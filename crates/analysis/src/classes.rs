@@ -1,0 +1,230 @@
+//! Equivalence classes and cases of uniformly generated references.
+//!
+//! Two references `a[f(i)]`, `a[g(i)]` are *uniformly generated* (Wolf & Lam)
+//! when `f(i) = H·i + c_f` and `g(i) = H·i + c_g` share the linear part `H`.
+//! The paper groups references that share `H` **and** the array into a
+//! *class*, and introduces *cases*: groups sharing `H` but reading different
+//! arrays (§3). Both drive the minimum-cache-size bound and the off-chip
+//! placement.
+
+use loopir::{AccessKind, ArrayId, Kernel};
+
+/// One equivalence class: references to a single array sharing `H` **and**
+/// every constant-vector component except the innermost.
+///
+/// The paper's Example 1 groups Compress's four reads into class 1
+/// {`a[i-1,j-1]`, `a[i-1,j]`} and class 2 {`a[i,j-1]`, `a[i,j]`}: uniformly
+/// generated references that differ in an *outer* dimension live a whole row
+/// apart, can never share a cache line, and therefore form separate classes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RefClass {
+    /// The referenced array.
+    pub array: ArrayId,
+    /// The shared linear part, flattened row-major
+    /// (`subscripts × loop depth`).
+    pub h: Vec<i64>,
+    /// The shared constant-vector prefix (all but the innermost component).
+    pub outer_constants: Vec<i64>,
+    /// Indices into `kernel.nest.refs` of the member references.
+    pub members: Vec<usize>,
+    /// The members' constant vectors linearised to element offsets within
+    /// the array (row-major), sorted ascending.
+    pub linear_offsets: Vec<i64>,
+}
+
+impl RefClass {
+    /// The spread between the first and last member in elements
+    /// (`0` for singleton classes).
+    pub fn element_span(&self) -> i64 {
+        match (self.linear_offsets.first(), self.linear_offsets.last()) {
+            (Some(first), Some(last)) => last - first,
+            _ => 0,
+        }
+    }
+
+    /// Index (into the kernel's refs) of the *leader*: the member with the
+    /// smallest linearised constant vector.
+    pub fn leader(&self) -> usize {
+        self.members[0]
+    }
+}
+
+/// Partitions the kernel's references into classes (same `H`, same array).
+///
+/// With `reads_only` set, write references are ignored — the paper's models
+/// consider only reads. Members within a class are sorted by linearised
+/// constant offset; classes are returned in order of their leader's
+/// appearance in the body.
+pub fn partition_classes(kernel: &Kernel, reads_only: bool) -> Vec<RefClass> {
+    let depth = kernel.nest.depth();
+    let mut classes: Vec<RefClass> = Vec::new();
+    for (idx, r) in kernel.nest.refs.iter().enumerate() {
+        if reads_only && r.kind != AccessKind::Read {
+            continue;
+        }
+        let h = r.h_matrix(depth);
+        let constants = r.constant_vector();
+        let outer: Vec<i64> = constants[..constants.len().saturating_sub(1)].to_vec();
+        let offset = linearize_constant(kernel, r.array, &constants);
+        match classes
+            .iter_mut()
+            .find(|c| c.array == r.array && c.h == h && c.outer_constants == outer)
+        {
+            Some(c) => {
+                // Skip duplicate references (identical constant vector):
+                // e.g. `a[i,j]` read twice contributes one footprint.
+                if !c.linear_offsets.contains(&offset) {
+                    c.members.push(idx);
+                    c.linear_offsets.push(offset);
+                }
+            }
+            None => classes.push(RefClass {
+                array: r.array,
+                h,
+                outer_constants: outer,
+                members: vec![idx],
+                linear_offsets: vec![offset],
+            }),
+        }
+    }
+    for c in &mut classes {
+        let mut pairs: Vec<(i64, usize)> = c
+            .linear_offsets
+            .iter()
+            .copied()
+            .zip(c.members.iter().copied())
+            .collect();
+        pairs.sort();
+        c.linear_offsets = pairs.iter().map(|p| p.0).collect();
+        c.members = pairs.iter().map(|p| p.1).collect();
+    }
+    classes
+}
+
+/// Groups classes into *cases*: classes sharing the same `H` across
+/// different arrays form one case (§3). Each returned group holds indices
+/// into the `partition_classes` output; classes with a unique `H` form
+/// singleton groups.
+pub fn partition_cases(classes: &[RefClass]) -> Vec<Vec<usize>> {
+    let mut cases: Vec<(Vec<i64>, Vec<usize>)> = Vec::new();
+    for (i, c) in classes.iter().enumerate() {
+        match cases.iter_mut().find(|(h, _)| *h == c.h) {
+            Some((_, group)) => group.push(i),
+            None => cases.push((c.h.clone(), vec![i])),
+        }
+    }
+    cases.into_iter().map(|(_, g)| g).collect()
+}
+
+/// The paper's compatibility test (§4.1): two access patterns are
+/// *compatible* when the difference between their accesses is independent of
+/// the loop index — i.e. they share the linear part `H`. (`a[i]` and
+/// `a[i-2]` are compatible; `a[i]` and `a[b[i]]` would not be, but
+/// data-dependent subscripts are outside this affine IR by construction.)
+pub fn compatible(kernel: &Kernel, ref_a: usize, ref_b: usize) -> bool {
+    let depth = kernel.nest.depth();
+    let ra = &kernel.nest.refs[ref_a];
+    let rb = &kernel.nest.refs[ref_b];
+    ra.h_matrix(depth) == rb.h_matrix(depth)
+}
+
+/// Linearises a constant subscript vector to a row-major element offset.
+pub(crate) fn linearize_constant(kernel: &Kernel, array: ArrayId, c: &[i64]) -> i64 {
+    let weights = kernel.array(array).weights();
+    c.iter()
+        .zip(weights.iter())
+        .map(|(&ci, &w)| ci * w as i64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopir::kernels;
+
+    #[test]
+    fn compress_has_two_classes_of_two() {
+        let k = kernels::compress(31);
+        let classes = partition_classes(&k, true);
+        assert_eq!(classes.len(), 2);
+        for c in &classes {
+            assert_eq!(c.members.len(), 2, "each class has two references");
+        }
+        // Class of {a[i,j-1], a[i,j]} and class of {a[i-1,j-1], a[i-1,j]}:
+        // both span exactly 1 element.
+        assert!(classes.iter().all(|c| c.element_span() == 1));
+    }
+
+    #[test]
+    fn including_writes_merges_into_existing_class() {
+        // Compress writes a[i,j], which shares H and constant with the read.
+        let k = kernels::compress(31);
+        let with_writes = partition_classes(&k, false);
+        assert_eq!(with_writes.len(), 2); // still two classes (dup skipped)
+    }
+
+    #[test]
+    fn matadd_is_three_singleton_classes_one_case() {
+        let k = kernels::matadd(6);
+        let classes = partition_classes(&k, true);
+        assert_eq!(classes.len(), 2); // reads of a and b
+        let all = partition_classes(&k, false);
+        assert_eq!(all.len(), 3); // plus write of c
+        let cases = partition_cases(&all);
+        assert_eq!(cases.len(), 1, "same H across arrays is one case");
+        assert_eq!(cases[0].len(), 3);
+    }
+
+    #[test]
+    fn matmul_has_distinct_h_per_array() {
+        let k = kernels::matmul(8);
+        let classes = partition_classes(&k, true);
+        assert_eq!(classes.len(), 3); // c[i,j], a[i,k], b[k,j]
+        let cases = partition_cases(&classes);
+        assert_eq!(cases.len(), 3, "all three H matrices differ");
+    }
+
+    #[test]
+    fn sor_splits_into_three_row_classes() {
+        let k = kernels::sor(31);
+        let classes = partition_classes(&k, true);
+        assert_eq!(classes.len(), 3);
+        let sizes: Vec<usize> = classes.iter().map(|c| c.members.len()).collect();
+        // Row -1: {a[i-1,j]}; row 0: {a[i,j], a[i,j-1], a[i,j+1]}; row +1:
+        // {a[i+1,j]}. Body order puts row 0 first.
+        assert!(sizes.contains(&3));
+        assert_eq!(sizes.iter().sum::<usize>(), 5);
+        let row0 = classes.iter().find(|c| c.members.len() == 3).unwrap();
+        // Span from a[i,j-1] to a[i,j+1] is two elements.
+        assert_eq!(row0.element_span(), 2);
+    }
+
+    #[test]
+    fn pde_has_three_classes_for_a_plus_case_structure() {
+        let k = kernels::pde(31);
+        let classes = partition_classes(&k, true);
+        assert_eq!(classes.len(), 3);
+    }
+
+    #[test]
+    fn leaders_have_smallest_offset() {
+        let k = kernels::compress(31);
+        let classes = partition_classes(&k, true);
+        for c in &classes {
+            assert!(c
+                .linear_offsets
+                .windows(2)
+                .all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn compatibility_follows_h_equality() {
+        let k = kernels::compress(31);
+        // a[i,j] (ref 0) and a[i-1,j] (ref 1) share H.
+        assert!(compatible(&k, 0, 1));
+        let t = kernels::transpose(8);
+        // b[j,i] (ref 0) and a[i,j] (ref 1) have transposed H.
+        assert!(!compatible(&t, 0, 1));
+    }
+}

@@ -1,0 +1,36 @@
+//! Static reference analysis for the DAC'99 memory-exploration flow.
+//!
+//! Three pieces, mirroring the paper's §3 and §4.1:
+//!
+//! * [`classes`] — partitions a kernel's array references into equivalence
+//!   **classes** (same linear part `H`, same array) and **cases** (same `H`,
+//!   different arrays), after Wolf & Lam's *uniformly generated* references.
+//! * [`min_cache`] — the paper's closed-form minimum cache size: per class,
+//!   `distance = ⌊|Δc| / stride⌋ + 1` lines spanning
+//!   `⌊distance/L⌋ + 1 or 2` cache lines; the minimum cache is the sum
+//!   across classes times the line size.
+//! * [`placement`] — the off-chip memory assignment that pads array bases
+//!   and row pitches so each class's leading element maps to its own cache
+//!   line, eliminating conflict misses for compatible access patterns.
+//!
+//! # Example
+//!
+//! ```
+//! use analysis::classes::partition_classes;
+//! use loopir::kernels;
+//!
+//! // Compress has two classes: {a[i-1,j-1], a[i-1,j]} and {a[i,j-1], a[i,j]}.
+//! let k = kernels::compress(31);
+//! let classes = partition_classes(&k, /*reads_only=*/ true);
+//! assert_eq!(classes.len(), 2);
+//! ```
+
+pub mod classes;
+pub mod min_cache;
+pub mod missrate;
+pub mod placement;
+
+pub use classes::{compatible, partition_cases, partition_classes, RefClass};
+pub use missrate::{analytical_miss_rate, analytical_misses_per_iteration};
+pub use min_cache::{class_line_requirement, MinCacheReport};
+pub use placement::{optimize_layout, PlacementError, PlacementReport};

@@ -1,0 +1,177 @@
+//! The paper's minimum-cache-size bound (§3).
+//!
+//! For each reference class, compute
+//!
+//! ```text
+//! distance = ⌊ |Δ constant vector| / loop stride ⌋ + 1
+//! lines    = ⌊ distance / L ⌋ + 1   if distance mod L ∈ {0, 1}
+//!          = ⌊ distance / L ⌋ + 2   otherwise
+//! ```
+//!
+//! where `L` is the cache line size *in elements* and `Δ` is the spread of
+//! the members' innermost constants. The minimum conflict-free cache holds
+//! the sum across classes: `min size = total lines × line bytes`.
+//!
+//! For Compress with two classes of span 1 this gives 2 lines per class —
+//! 4 lines total and a minimum cache of `4·L` bytes, exactly the paper's
+//! Example 1.
+
+use crate::classes::{partition_classes, RefClass};
+use loopir::Kernel;
+
+/// The innermost-loop stride used by the distance formula: the step of the
+/// deepest loop with a non-zero coefficient in the class's `H`, or 1 if the
+/// class is loop-invariant.
+fn innermost_stride(kernel: &Kernel, class: &RefClass) -> i64 {
+    let depth = kernel.nest.depth();
+    // h is flattened (subscripts × depth); find the deepest driven loop.
+    let deepest = (0..depth)
+        .rev()
+        .find(|&d| (0..class.h.len() / depth.max(1)).any(|s| class.h[s * depth + d] != 0));
+    match deepest {
+        Some(d) => kernel.nest.loops[d].step,
+        None => 1,
+    }
+}
+
+/// Number of cache lines class `class` needs, for a line of `line_elems`
+/// elements (the paper's per-class formula).
+///
+/// # Panics
+///
+/// Panics if `line_elems` is zero.
+pub fn class_line_requirement(kernel: &Kernel, class: &RefClass, line_elems: u64) -> u64 {
+    assert!(line_elems > 0, "line size in elements must be > 0");
+    let stride = innermost_stride(kernel, class).unsigned_abs();
+    let span = class.element_span().unsigned_abs();
+    let distance = span / stride.max(1) + 1;
+    let rem = distance % line_elems;
+    if rem <= 1 {
+        distance / line_elems + 1
+    } else {
+        distance / line_elems + 2
+    }
+}
+
+/// The minimum cache size analysis for one kernel at one line size.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MinCacheReport {
+    /// Line size used, in bytes.
+    pub line_bytes: u64,
+    /// Per-class line requirements, in `partition_classes` order.
+    pub lines_per_class: Vec<u64>,
+    /// Total lines needed (sum across classes).
+    pub total_lines: u64,
+}
+
+impl MinCacheReport {
+    /// Runs the analysis. `line_bytes` must be a multiple of the element
+    /// size of every referenced array (true throughout the paper, where all
+    /// elements are 4-byte ints and lines are ≥ 4 bytes)... except that a
+    /// line smaller than an element is clamped to one element.
+    pub fn analyze(kernel: &Kernel, line_bytes: u64) -> Self {
+        let classes = partition_classes(kernel, true);
+        let lines_per_class: Vec<u64> = classes
+            .iter()
+            .map(|c| {
+                let elem = kernel.array(c.array).elem_size as u64;
+                let line_elems = (line_bytes / elem).max(1);
+                class_line_requirement(kernel, c, line_elems)
+            })
+            .collect();
+        let total_lines = lines_per_class.iter().sum();
+        MinCacheReport {
+            line_bytes,
+            lines_per_class,
+            total_lines,
+        }
+    }
+
+    /// The minimum cache size in bytes (`total lines × line size`).
+    pub fn min_cache_bytes(&self) -> u64 {
+        self.total_lines * self.line_bytes
+    }
+
+    /// The smallest power-of-two cache size that satisfies the bound —
+    /// what the MemExplore sweep can prune against.
+    pub fn min_pow2_cache_bytes(&self) -> u64 {
+        self.min_cache_bytes().next_power_of_two()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopir::kernels;
+
+    #[test]
+    fn compress_needs_four_lines_as_in_example_1() {
+        // Paper: "The total number of cache lines is 4 (two cache lines for
+        // references in class 1 and two for class 2). The minimum cache size
+        // is 4·L." With L = 16 B = 4 elements: distance = 1/1 + 1 = 2;
+        // 2 mod 4 = 2 -> lines = 0 + 2 = 2 per class.
+        let k = kernels::compress(31);
+        let r = MinCacheReport::analyze(&k, 16);
+        assert_eq!(r.lines_per_class, vec![2, 2]);
+        assert_eq!(r.total_lines, 4);
+        assert_eq!(r.min_cache_bytes(), 64);
+    }
+
+    #[test]
+    fn compress_bound_scales_with_line_size() {
+        let k = kernels::compress(31);
+        for line in [8u64, 16, 32, 64] {
+            let r = MinCacheReport::analyze(&k, line);
+            assert_eq!(r.total_lines, 4, "line={line}");
+            assert_eq!(r.min_cache_bytes(), 4 * line);
+        }
+    }
+
+    #[test]
+    fn singleton_classes_need_one_or_two_lines() {
+        // SOR row -1 and row +1 classes are singletons: distance = 1,
+        // 1 mod L <= 1 -> 1 line when L > 1 element.
+        let k = kernels::sor(31);
+        let r = MinCacheReport::analyze(&k, 16);
+        // Classes: row0 (span 2 -> distance 3; 3 mod 4 = 3 -> 0+2 = 2 lines),
+        // row -1 (1 line), row +1 (1 line).
+        assert_eq!(r.total_lines, 4);
+    }
+
+    #[test]
+    fn four_byte_lines_use_single_element_lines() {
+        // L = 4 B = 1 element: compress distance 2, 2 mod 1 = 0 -> 2/1+1 = 3
+        // lines per class (the formula's conservative +1).
+        let k = kernels::compress(31);
+        let r = MinCacheReport::analyze(&k, 4);
+        assert_eq!(r.lines_per_class, vec![3, 3]);
+        assert_eq!(r.min_pow2_cache_bytes(), 32);
+    }
+
+    #[test]
+    fn matadd_needs_one_line_per_array() {
+        // Three compatible arrays, singleton classes: "the three different
+        // arrays a, b and c can be assigned to three different cache lines
+        // which is the minimum number of cache lines" (§4.1) — the write
+        // class included.
+        let k = kernels::matadd(6);
+        let reads = MinCacheReport::analyze(&k, 8);
+        assert_eq!(reads.total_lines, 2); // reads only: a and b
+    }
+
+    #[test]
+    fn min_pow2_rounds_up() {
+        let k = kernels::sor(31);
+        let r = MinCacheReport::analyze(&k, 8);
+        assert!(r.min_pow2_cache_bytes() >= r.min_cache_bytes());
+        assert!(r.min_pow2_cache_bytes().is_power_of_two());
+    }
+
+    #[test]
+    fn matmul_bound_is_finite_and_small() {
+        let k = kernels::matmul(31);
+        let r = MinCacheReport::analyze(&k, 16);
+        assert_eq!(r.lines_per_class.len(), 3);
+        assert!(r.total_lines <= 6);
+    }
+}

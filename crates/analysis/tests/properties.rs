@@ -1,0 +1,145 @@
+//! Property-based tests for the static analyses.
+
+use analysis::classes::{partition_cases, partition_classes};
+use analysis::min_cache::{class_line_requirement, MinCacheReport};
+use analysis::missrate::analytical_miss_rate;
+use analysis::placement::optimize_layout;
+use loopir::{AffineExpr, ArrayDecl, ArrayId, ArrayRef, Kernel, Loop, LoopNest};
+use proptest::prelude::*;
+
+/// Random multi-array stencil kernels.
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    (
+        5usize..12,
+        5usize..12,
+        1usize..=3,
+        proptest::collection::vec((0usize..3, -1i64..=1, -1i64..=1, proptest::bool::ANY), 1..6),
+    )
+        .prop_map(|(rows, cols, n_arrays, refs)| {
+            let arrays: Vec<ArrayDecl> = (0..n_arrays)
+                .map(|i| ArrayDecl::new(format!("a{i}"), &[rows, cols], 4))
+                .collect();
+            let body = refs
+                .into_iter()
+                .map(|(aid, c0, c1, w)| {
+                    let subs = vec![AffineExpr::var(0) + c0, AffineExpr::var(1) + c1];
+                    let array = ArrayId(aid % n_arrays);
+                    if w {
+                        ArrayRef::write(array, subs)
+                    } else {
+                        ArrayRef::read(array, subs)
+                    }
+                })
+                .collect();
+            let nest = LoopNest {
+                loops: vec![
+                    Loop::new(1, rows as i64 - 2),
+                    Loop::new(1, cols as i64 - 2),
+                ],
+                refs: body,
+            };
+            Kernel::new("Gen", arrays, nest)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn classes_cover_every_distinct_read(kernel in arb_kernel()) {
+        let classes = partition_classes(&kernel, true);
+        let mut distinct = std::collections::HashSet::new();
+        for r in &kernel.nest.refs {
+            if r.kind == loopir::AccessKind::Read {
+                distinct.insert((r.array, r.constant_vector()));
+            }
+        }
+        let covered: usize = classes.iter().map(|c| c.members.len()).sum();
+        prop_assert_eq!(covered, distinct.len());
+    }
+
+    #[test]
+    fn class_members_share_array_h_and_outer_constants(kernel in arb_kernel()) {
+        let depth = kernel.nest.depth();
+        for c in partition_classes(&kernel, false) {
+            for &m in &c.members {
+                let r = &kernel.nest.refs[m];
+                prop_assert_eq!(r.array, c.array);
+                prop_assert_eq!(r.h_matrix(depth), c.h.clone());
+                let cv = r.constant_vector();
+                prop_assert_eq!(&cv[..cv.len() - 1], &c.outer_constants[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn cases_partition_the_classes(kernel in arb_kernel()) {
+        let classes = partition_classes(&kernel, false);
+        let cases = partition_cases(&classes);
+        let mut seen = vec![false; classes.len()];
+        for group in &cases {
+            for &i in group {
+                prop_assert!(!seen[i], "class {} in two cases", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn line_requirement_is_at_least_one_and_weakly_decreasing(kernel in arb_kernel()) {
+        let classes = partition_classes(&kernel, true);
+        for c in &classes {
+            let mut prev: Option<u64> = None;
+            for le in [1u64, 2, 4, 8, 16] {
+                let need = class_line_requirement(&kernel, c, le);
+                prop_assert!(need >= 1);
+                // The formula's +1/+2 slack keeps it within one line of
+                // monotone; allow that slack.
+                if let Some(p) = prev {
+                    prop_assert!(need <= p + 1);
+                }
+                prev = Some(need);
+            }
+        }
+    }
+
+    #[test]
+    fn min_cache_bound_scales_with_line(kernel in arb_kernel(), ls in 2u32..6) {
+        let line = 1u64 << ls;
+        let report = MinCacheReport::analyze(&kernel, line);
+        prop_assert!(report.min_cache_bytes() >= line * report.lines_per_class.len() as u64);
+        prop_assert!(report.min_pow2_cache_bytes().is_power_of_two());
+        prop_assert!(report.min_pow2_cache_bytes() >= report.min_cache_bytes());
+    }
+
+    #[test]
+    fn placement_reports_are_internally_consistent(kernel in arb_kernel(), g in 0usize..3) {
+        let (t, l) = [(64u64, 8u64), (128, 16), (256, 8)][g];
+        let report = optimize_layout(&kernel, t, l).expect("placement succeeds");
+        prop_assert!(report.layout.check_no_overlap(&kernel).is_ok());
+        prop_assert!(report.colliding_classes <= report.total_classes);
+        for &line_idx in &report.leader_lines {
+            prop_assert!(line_idx < t / l);
+        }
+        if report.conflict_free {
+            prop_assert_eq!(report.colliding_classes, 0);
+        }
+    }
+
+    #[test]
+    fn analytical_miss_rate_is_a_rate(kernel in arb_kernel(), ls in 2u32..6) {
+        let mr = analytical_miss_rate(&kernel, 1 << ls);
+        prop_assert!((0.0..=1.0).contains(&mr));
+    }
+
+    #[test]
+    fn analytical_miss_rate_weakly_decreases_with_line(kernel in arb_kernel()) {
+        let mut prev = f64::INFINITY;
+        for l in [4u64, 8, 16, 32] {
+            let mr = analytical_miss_rate(&kernel, l);
+            prop_assert!(mr <= prev + 1e-12);
+            prev = mr;
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Exploration cost, plus the ablation timings called out in DESIGN.md:
+//! analytical vs simulated evaluation, Gray vs binary buses, and pruned vs
+//! exhaustive sweeps.
+
+use analysis::min_cache::MinCacheReport;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use loopir::kernels;
+use memexplore::{CacheDesign, DesignSpace, Evaluator, Explorer};
+use memsim::BusEncoding;
+
+fn bench_single_evaluation(c: &mut Criterion) {
+    let kernel = kernels::compress(31);
+    let eval = Evaluator::default();
+    let d = CacheDesign::new(64, 8, 1, 1);
+    let mut group = c.benchmark_group("explore/evaluate");
+    group.bench_function("simulated", |b| {
+        b.iter(|| black_box(eval.evaluate(&kernel, d).energy_nj))
+    });
+    group.bench_function("analytical", |b| {
+        b.iter(|| black_box(eval.evaluate_analytical(&kernel, d).energy_nj))
+    });
+    group.finish();
+}
+
+fn bench_small_space_sweep(c: &mut Criterion) {
+    let kernel = kernels::dequant(31);
+    let space = DesignSpace::small();
+    c.bench_function("explore/small_space_sweep", |b| {
+        b.iter(|| black_box(Explorer::default().explore(&kernel, &space).len()))
+    });
+}
+
+fn bench_bus_encoding_ablation(c: &mut Criterion) {
+    let kernel = kernels::compress(31);
+    let d = CacheDesign::new(64, 8, 1, 1);
+    let mut group = c.benchmark_group("explore/bus_encoding");
+    for (name, enc) in [("gray", BusEncoding::Gray), ("binary", BusEncoding::Binary)] {
+        let eval = Evaluator {
+            bus_encoding: enc,
+            ..Evaluator::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(eval.evaluate(&kernel, d).energy_nj))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruned_vs_exhaustive(c: &mut Criterion) {
+    // Pruning: skip cache sizes below the analytical minimum (§3) before
+    // sweeping. The bound is cheap; the savings come from skipped designs.
+    let kernel = kernels::sor(31);
+    let space = DesignSpace::paper();
+    let mut group = c.benchmark_group("explore/sweep");
+    group.sample_size(10);
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| black_box(Explorer::default().explore(&kernel, &space).len()))
+    });
+    group.bench_function("pruned_by_min_cache", |b| {
+        b.iter(|| {
+            let designs: Vec<CacheDesign> = space
+                .designs()
+                .into_iter()
+                .filter(|d| {
+                    let bound = MinCacheReport::analyze(&kernel, d.line as u64);
+                    (d.cache_size as u64) >= bound.min_pow2_cache_bytes()
+                })
+                .collect();
+            black_box(Explorer::default().explore_designs(&kernel, &designs).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_evaluation,
+    bench_small_space_sweep,
+    bench_bus_encoding_ablation,
+    bench_pruned_vs_exhaustive
+);
+criterion_main!(benches);

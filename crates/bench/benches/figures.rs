@@ -1,0 +1,30 @@
+//! One Criterion benchmark per paper figure: the cost of regenerating each
+//! table/series end-to-end (the `figNN` binaries print the same outputs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    type Fig = (&'static str, fn() -> String);
+    let figs: [Fig; 10] = [
+        ("fig01", bench::figures::fig01),
+        ("fig02", bench::figures::fig02),
+        ("fig03", bench::figures::fig03),
+        ("fig04", bench::figures::fig04),
+        ("fig05", bench::figures::fig05),
+        ("fig06", bench::figures::fig06),
+        ("fig07", bench::figures::fig07),
+        ("fig08", bench::figures::fig08),
+        ("fig09", bench::figures::fig09),
+        ("fig10", bench::figures::fig10),
+    ];
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for (name, f) in figs {
+        group.bench_function(name, |b| b.iter(|| black_box(f().len())));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

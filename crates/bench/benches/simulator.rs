@@ -1,0 +1,86 @@
+//! Cache-simulator throughput: accesses per second across geometries,
+//! replacement policies, and with/without three-C classification.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use loopir::{kernels, AccessKind, DataLayout, TraceGen};
+use memsim::{BusEncoding, CacheConfig, Replacement, Simulator, TraceEvent};
+
+fn compress_trace() -> Vec<TraceEvent> {
+    let kernel = kernels::compress(31);
+    let layout = DataLayout::natural(&kernel);
+    TraceGen::new(&kernel, &layout)
+        .filter(|a| a.kind == AccessKind::Read)
+        .map(|a| TraceEvent::read(a.addr, a.size))
+        .collect()
+}
+
+fn bench_geometries(c: &mut Criterion) {
+    let trace = compress_trace();
+    let mut group = c.benchmark_group("simulator/geometry");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (t, l, s) in [(64usize, 8usize, 1usize), (64, 8, 8), (1024, 32, 4)] {
+        let cfg = CacheConfig::new(t, l, s).expect("valid geometry");
+        group.bench_function(format!("C{t}L{l}SA{s}"), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(cfg);
+                sim.run(trace.iter().copied());
+                black_box(sim.stats().misses())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_replacement_policies(c: &mut Criterion) {
+    let trace = compress_trace();
+    let mut group = c.benchmark_group("simulator/replacement");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, policy) in [
+        ("lru", Replacement::Lru),
+        ("fifo", Replacement::Fifo),
+        ("plru", Replacement::Plru),
+        ("random", Replacement::Random { seed: 42 }),
+    ] {
+        let cfg = CacheConfig::new(128, 8, 4)
+            .expect("valid geometry")
+            .with_replacement(policy);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(cfg);
+                sim.run(trace.iter().copied());
+                black_box(sim.stats().misses())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_classification_overhead(c: &mut Criterion) {
+    let trace = compress_trace();
+    let cfg = CacheConfig::new(64, 8, 1).expect("valid geometry");
+    let mut group = c.benchmark_group("simulator/classification");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_options(cfg, BusEncoding::Gray, false);
+            sim.run(trace.iter().copied());
+            black_box(sim.stats().misses())
+        })
+    });
+    group.bench_function("classified", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_options(cfg, BusEncoding::Gray, true);
+            sim.run(trace.iter().copied());
+            black_box(sim.stats().misses())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_geometries,
+    bench_replacement_policies,
+    bench_classification_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! Ablation studies for the design choices called out in DESIGN.md §4:
+//! replacement policy, bus encoding, energy-model choice, and analytical vs
+//! simulated miss rates.
+
+use analysis::missrate::analytical_miss_rate;
+use bench::tables::{fmt_mr, fmt_nj, Table};
+use energy::{DacEnergyModel, KambleGhoseModel, SramPart};
+use loopir::{kernels, AccessKind, DataLayout, TraceGen};
+use memexplore::{select, CacheDesign, Evaluator, Explorer};
+use memsim::{BusEncoding, CacheConfig, Replacement, Simulator, TraceEvent};
+
+fn main() {
+    replacement_policies();
+    bus_encoding();
+    energy_model_choice();
+    analytical_vs_simulated();
+    line_buffer();
+    write_path();
+}
+
+/// Miss rate per replacement policy at a 4-way cache (the paper assumes
+/// LRU; embedded parts often ship PLRU or random).
+fn replacement_policies() {
+    let mut table = Table::new(
+        "miss rate by replacement policy (C128 L8 SA4, natural layout)",
+        &["kernel", "LRU", "FIFO", "PLRU", "random"],
+    );
+    for kernel in kernels::all_paper_kernels() {
+        let layout = DataLayout::natural(&kernel);
+        let mut row = vec![kernel.name.clone()];
+        for policy in [
+            Replacement::Lru,
+            Replacement::Fifo,
+            Replacement::Plru,
+            Replacement::Random { seed: 7 },
+        ] {
+            let cfg = CacheConfig::new(128, 8, 4)
+                .expect("valid geometry")
+                .with_replacement(policy);
+            let events = TraceGen::new(&kernel, &layout)
+                .filter(|a| a.kind == AccessKind::Read)
+                .map(|a| TraceEvent::read(a.addr, a.size));
+            row.push(fmt_mr(Simulator::simulate(cfg, events).stats.read_miss_rate()));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+}
+
+/// Address-bus switching under Gray vs binary encoding and its energy
+/// impact through `E_dec`/`E_io`.
+fn bus_encoding() {
+    let mut table = Table::new(
+        "avg address-bus switches and energy, Gray vs binary (C64 L8)",
+        &["kernel", "gray add_bs", "binary add_bs", "gray nJ", "binary nJ"],
+    );
+    for kernel in kernels::all_paper_kernels() {
+        let layout = DataLayout::natural(&kernel);
+        let model = DacEnergyModel::new(SramPart::cy7c_2mbit());
+        let mut cells = vec![kernel.name.clone()];
+        let mut energies = Vec::new();
+        for enc in [BusEncoding::Gray, BusEncoding::Binary] {
+            let cfg = CacheConfig::new(64, 8, 1).expect("valid geometry");
+            let mut sim = Simulator::with_options(cfg, enc, false);
+            sim.run(
+                TraceGen::new(&kernel, &layout)
+                    .filter(|a| a.kind == AccessKind::Read)
+                    .map(|a| TraceEvent::read(a.addr, a.size)),
+            );
+            let report = sim.into_report();
+            cells.push(format!("{:.2}", report.cpu_bus.avg_switches()));
+            energies.push(model.trace_energy_nj(&report));
+        }
+        cells.push(fmt_nj(energies[0]));
+        cells.push(fmt_nj(energies[1]));
+        table.row(cells);
+    }
+    println!("{}", table.render());
+}
+
+/// Does the simplified DAC'99 energy model pick the same minimum-energy
+/// configuration as the Kamble–Ghose-style model?
+fn energy_model_choice() {
+    let mut table = Table::new(
+        "minimum-energy design under each energy model (size-line grid)",
+        &["kernel", "DAC'99 model", "Kamble-Ghose model", "agree"],
+    );
+    let kg = KambleGhoseModel::new(SramPart::cy7c_2mbit());
+    for kernel in kernels::all_paper_kernels() {
+        let designs: Vec<CacheDesign> = [16usize, 32, 64, 128, 256, 512]
+            .iter()
+            .flat_map(|&t| {
+                [4usize, 8, 16, 32]
+                    .iter()
+                    .filter(move |&&l| l <= t && t / l >= 4)
+                    .map(move |&l| CacheDesign::new(t, l, 1, 1))
+            })
+            .collect();
+        let records = Explorer::default().explore_designs(&kernel, &designs);
+        let dac_best = select::min_energy(&records).expect("non-empty").design;
+        // Re-rank the same simulations under the Kamble–Ghose model.
+        let kg_best = records
+            .iter()
+            .min_by(|a, b| {
+                let ea = kg_energy(&kg, a);
+                let eb = kg_energy(&kg, b);
+                ea.partial_cmp(&eb).expect("finite")
+            })
+            .expect("non-empty")
+            .design;
+        table.row(vec![
+            kernel.name.clone(),
+            dac_best.to_string(),
+            kg_best.to_string(),
+            (dac_best == kg_best).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn kg_energy(kg: &KambleGhoseModel, r: &memexplore::Record) -> f64 {
+    let cfg = r.design.cache_config().expect("valid design");
+    let trip = r.trip_count as f64;
+    trip * (1.0 - r.miss_rate) * kg.hit_energy_nj(&cfg)
+        + trip * r.miss_rate * kg.miss_energy_nj(&cfg)
+}
+
+/// Energy with and without a single-entry line buffer in front of the
+/// cache (Su–Despain block buffering).
+fn line_buffer() {
+    let mut table = Table::new(
+        "read energy with a line buffer (C64 L8, optimized layout)",
+        &["kernel", "buffer hit share", "plain nJ", "buffered nJ", "saving"],
+    );
+    let model = DacEnergyModel::new(SramPart::cy7c_2mbit());
+    for kernel in kernels::all_paper_kernels() {
+        let layout = analysis::placement::optimize_layout(&kernel, 64, 8)
+            .expect("placement succeeds")
+            .layout;
+        let cfg = CacheConfig::new(64, 8, 1).expect("valid geometry");
+        let mut sim = Simulator::new(cfg).with_line_buffer();
+        sim.run(
+            TraceGen::new(&kernel, &layout)
+                .filter(|a| a.kind == AccessKind::Read)
+                .map(|a| TraceEvent::read(a.addr, a.size)),
+        );
+        let report = sim.into_report();
+        let plain = model.trace_energy_nj(&report);
+        let buffered = model.trace_energy_with_buffer_nj(&report);
+        table.row(vec![
+            kernel.name.clone(),
+            format!(
+                "{:.0}%",
+                100.0 * report.stats.buffer_hits as f64 / report.stats.reads as f64
+            ),
+            fmt_nj(plain),
+            fmt_nj(buffered),
+            format!("{:.1}%", 100.0 * (1.0 - buffered / plain)),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// Read-only energy (the paper's model) vs the write-path extension.
+fn write_path() {
+    let mut table = Table::new(
+        "read-only vs write-inclusive energy (C64 L8, natural layout)",
+        &["kernel", "reads-only nJ", "with writes nJ", "writebacks"],
+    );
+    let model = DacEnergyModel::new(SramPart::cy7c_2mbit());
+    for kernel in kernels::all_paper_kernels() {
+        let layout = DataLayout::natural(&kernel);
+        let cfg = CacheConfig::new(64, 8, 1).expect("valid geometry");
+        let mut sim = Simulator::new(cfg);
+        sim.run(TraceGen::new(&kernel, &layout).map(|a| TraceEvent {
+            addr: a.addr,
+            size: a.size,
+            is_write: a.kind == AccessKind::Write,
+        }));
+        let report = sim.into_report();
+        table.row(vec![
+            kernel.name.clone(),
+            fmt_nj(model.trace_energy_nj(&report)),
+            fmt_nj(model.trace_energy_with_writes_nj(&report)),
+            report.stats.writebacks.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// The paper's closed-form miss rates vs exact trace-driven simulation.
+fn analytical_vs_simulated() {
+    let mut table = Table::new(
+        "analytical vs simulated miss rate (optimized layout, L8)",
+        &["kernel", "analytical", "sim C64", "sim C256", "sim C1024"],
+    );
+    let eval = Evaluator::default();
+    for kernel in kernels::all_paper_kernels() {
+        let mut row = vec![kernel.name.clone(), fmt_mr(analytical_miss_rate(&kernel, 8))];
+        for t in [64usize, 256, 1024] {
+            row.push(fmt_mr(
+                eval.evaluate(&kernel, CacheDesign::new(t, 8, 1, 1)).miss_rate,
+            ));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "The analytical model ignores capacity: simulation converges to it\n\
+         as the cache grows, but exceeds it at small caches — which is why\n\
+         the exact-simulation energy optimum sits at a larger cache than the\n\
+         paper's C16L4 (see fig04)."
+    );
+}

@@ -1,0 +1,20 @@
+//! Prints every figure reproduction in order — the source of EXPERIMENTS.md.
+fn main() {
+    type Fig = (&'static str, fn() -> String);
+    let figs: [Fig; 10] = [
+        ("fig01", bench::figures::fig01),
+        ("fig02", bench::figures::fig02),
+        ("fig03", bench::figures::fig03),
+        ("fig04", bench::figures::fig04),
+        ("fig05", bench::figures::fig05),
+        ("fig06", bench::figures::fig06),
+        ("fig07", bench::figures::fig07),
+        ("fig08", bench::figures::fig08),
+        ("fig09", bench::figures::fig09),
+        ("fig10", bench::figures::fig10),
+    ];
+    for (name, f) in figs {
+        eprintln!("[all_figures] running {name} ...");
+        println!("{}", f());
+    }
+}

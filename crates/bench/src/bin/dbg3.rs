@@ -1,0 +1,31 @@
+use analysis::placement::optimize_layout;
+use loopir::*;
+use memsim::{CacheConfig, Simulator, TraceEvent};
+fn main() {
+    let a0 = ArrayDecl::new("a0", &[5, 8], 4);
+    let a1 = ArrayDecl::new("a1", &[5, 8], 4);
+    let nest = LoopNest {
+        loops: vec![Loop::new(1, 3), Loop::new(1, 6)],
+        refs: vec![
+            ArrayRef::read(ArrayId(0), vec![AffineExpr::var(0) + 1, AffineExpr::var(1)]),
+            ArrayRef::read(ArrayId(1), vec![AffineExpr::var(0) - 1, AffineExpr::var(1)]),
+            ArrayRef::read(ArrayId(0), vec![AffineExpr::var(0), AffineExpr::var(1)]),
+        ],
+    };
+    let k = Kernel::new("cex", vec![a0, a1], nest);
+    let r = optimize_layout(&k, 128, 8).unwrap();
+    for i in 0..2 {
+        let p = r.layout.placement(ArrayId(i));
+        println!("a{i}: base={} pitch={}", p.base, p.row_pitch);
+    }
+    println!("cf={} leaders={:?} colliding={}", r.conflict_free, r.leader_lines, r.colliding_classes);
+    let cfg = CacheConfig::new(128, 8, 1).unwrap();
+    let ev: Vec<_> = TraceGen::new(&k, &r.layout).filter(|a| a.kind == AccessKind::Read)
+        .map(|a| TraceEvent::read(a.addr, a.size)).collect();
+    // print addresses with line numbers for first rows
+    for (n, e) in ev.iter().enumerate().take(24) {
+        println!("{n}: addr={} line={}", e.addr, (e.addr/8)%16);
+    }
+    let rep = Simulator::simulate_classified(cfg, ev);
+    println!("mr={:.3} {:?}", rep.stats.read_miss_rate(), rep.miss_classes);
+}

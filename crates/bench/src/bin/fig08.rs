@@ -1,0 +1,4 @@
+//! Prints the paper's Figure 08 reproduction (see `bench::figures`).
+fn main() {
+    print!("{}", bench::figures::fig08());
+}

@@ -1,0 +1,32 @@
+//! Figure 1 — Compress: energy vs cache size and line size at the two
+//! extremes of off-chip energy (`Em` = 43.56 nJ and `Em` = 2.31 nJ).
+//!
+//! The paper's point: with an expensive off-chip memory, energy *falls* as
+//! cache and line size grow (misses dominate); with a cheap one, energy
+//! *rises* (the cell array dominates). Miss rate alone would always favour
+//! the big cache.
+
+use super::{grid_records, metric_grid_table};
+use crate::tables::fmt_nj;
+use energy::SramPart;
+use loopir::kernels::compress;
+use memexplore::Evaluator;
+
+/// Regenerates Figure 1.
+pub fn fig01() -> String {
+    let kernel = compress(31);
+    let mut out = String::new();
+    out.push_str("# Figure 1 — Compress energy (nJ) for Em extremes\n\n");
+    for part in [SramPart::sram_16mbit(), SramPart::low_power_2mbit()] {
+        let em = part.energy_per_access_nj;
+        let records = grid_records(&kernel, &Evaluator::with_part(part));
+        let table = metric_grid_table(
+            &format!("energy (nJ), Em = {em} nJ"),
+            &records,
+            |r| fmt_nj(r.energy_nj),
+        );
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,56 @@
+//! Figure 2 — miss rate, cycles, and energy vs (cache size, line size) for
+//! the five kernels at `Em` = 4.95 nJ.
+//!
+//! The paper samples the diagonal C16L4 → C32L8 → C64L16 → C128L32; miss
+//! rate and cycles shrink monotonically, while energy need not.
+
+use super::five_kernels;
+use crate::tables::{fmt_cycles, fmt_mr, fmt_nj, Table};
+use memexplore::{CacheDesign, Evaluator, Record};
+
+/// The sampled diagonal.
+pub const POINTS: [(usize, usize); 4] = [(16, 4), (32, 8), (64, 16), (128, 32)];
+
+/// Regenerates Figure 2.
+pub fn fig02() -> String {
+    let kernels = five_kernels();
+    let eval = Evaluator::default();
+    // records[kernel][point]
+    let records: Vec<Vec<Record>> = kernels
+        .iter()
+        .map(|k| {
+            POINTS
+                .iter()
+                .map(|&(t, l)| eval.evaluate(k, CacheDesign::new(t, l, 1, 1)))
+                .collect()
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("# Figure 2 — metrics vs cache & line size (Em = 4.95 nJ)\n\n");
+    for (name, metric) in [
+        ("miss rate", 0usize),
+        ("cycles", 1),
+        ("energy (nJ)", 2),
+    ] {
+        let mut header = vec!["config".to_string()];
+        header.extend(kernels.iter().map(|k| k.name.clone()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(name, &header_refs);
+        for (pi, &(t, l)) in POINTS.iter().enumerate() {
+            let mut row = vec![format!("C{t} L{l}")];
+            for recs in &records {
+                let r = &recs[pi];
+                row.push(match metric {
+                    0 => fmt_mr(r.miss_rate),
+                    1 => fmt_cycles(r.cycles),
+                    _ => fmt_nj(r.energy_nj),
+                });
+            }
+            table.row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,22 @@
+//! Figure 3 — Compress: processor cycles over the cache × line grid
+//! (configurations with at least 4 cache lines).
+//!
+//! Cycles fall monotonically toward the big-cache/big-line corner — which is
+//! exactly why cycles alone mislead a low-power design.
+
+use super::{grid_records, metric_grid_table};
+use crate::tables::fmt_cycles;
+use loopir::kernels::compress;
+use memexplore::Evaluator;
+
+/// Regenerates Figure 3.
+pub fn fig03() -> String {
+    let records = grid_records(&compress(31), &Evaluator::default());
+    let mut out = String::new();
+    out.push_str("# Figure 3 — Compress cycles vs cache & line size\n\n");
+    out.push_str(
+        &metric_grid_table("cycles (>= 4 lines)", &records, |r| fmt_cycles(r.cycles))
+            .render(),
+    );
+    out
+}

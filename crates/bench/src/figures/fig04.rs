@@ -1,0 +1,129 @@
+//! Figure 4 — Compress: energy over the cache × line grid at the reference
+//! part (`Em` = 4.95 nJ), plus the §3 bounded selections.
+//!
+//! The paper's narrative on this grid: the minimum-energy configuration is a
+//! *small* cache, the minimum-time configuration the *largest*; a cycle
+//! bound pulls the energy optimum toward larger caches, and an energy bound
+//! pulls the time optimum back. We print the same four selections with
+//! bounds set at 1.25× the respective minima (the paper's absolute bounds,
+//! 5,000 cycles and 5,500 nJ, refer to its analytical-model numbers).
+
+use super::{grid_records, metric_grid_table};
+use crate::tables::{fmt_cycles, fmt_nj};
+use loopir::kernels::compress;
+use memexplore::{select, Evaluator};
+use std::fmt::Write as _;
+
+/// Regenerates Figure 4.
+pub fn fig04() -> String {
+    let records = grid_records(&compress(31), &Evaluator::default());
+    let mut out = String::new();
+    out.push_str("# Figure 4 — Compress energy vs cache & line size (Em = 4.95 nJ)\n\n");
+    out.push_str(&metric_grid_table("energy (nJ)", &records, |r| fmt_nj(r.energy_nj)).render());
+    out.push('\n');
+
+    let e_min = select::min_energy(&records).expect("grid is non-empty");
+    let t_min = select::min_cycles(&records).expect("grid is non-empty");
+    let cycle_bound = t_min.cycles * 1.25;
+    let energy_bound = e_min.energy_nj * 1.25;
+    let e_bounded = select::min_energy_bounded(&records, cycle_bound);
+    let t_bounded = select::min_cycles_bounded(&records, energy_bound);
+
+    let _ = writeln!(out, "## selections");
+    let _ = writeln!(
+        out,
+        "minimum energy:              {} ({} nJ, {} cycles)",
+        e_min.design,
+        fmt_nj(e_min.energy_nj),
+        fmt_cycles(e_min.cycles)
+    );
+    let _ = writeln!(
+        out,
+        "minimum time:                {} ({} cycles, {} nJ)",
+        t_min.design,
+        fmt_cycles(t_min.cycles),
+        fmt_nj(t_min.energy_nj)
+    );
+    match e_bounded {
+        Some(r) => {
+            let _ = writeln!(
+                out,
+                "min energy s.t. cycles <= {}: {} ({} nJ, {} cycles)",
+                fmt_cycles(cycle_bound),
+                r.design,
+                fmt_nj(r.energy_nj),
+                fmt_cycles(r.cycles)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "min energy under cycle bound: infeasible");
+        }
+    }
+    match t_bounded {
+        Some(r) => {
+            let _ = writeln!(
+                out,
+                "min time s.t. energy <= {} nJ: {} ({} cycles, {} nJ)",
+                fmt_nj(energy_bound),
+                r.design,
+                fmt_cycles(r.cycles),
+                fmt_nj(r.energy_nj)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "min time under energy bound: infeasible");
+        }
+    }
+
+    let _ = writeln!(out, "\n## energy-time pareto frontier");
+    for r in select::pareto(&records) {
+        let _ = writeln!(
+            out,
+            "  {}  cycles={}  energy={} nJ",
+            r.design,
+            fmt_cycles(r.cycles),
+            fmt_nj(r.energy_nj)
+        );
+    }
+
+    // The paper derived its grid from closed-form expressions; replaying
+    // the same grid through the analytical (conflict-free, capacity-blind)
+    // model recovers its exact selections: minimum energy at the smallest
+    // cache, minimum time at the largest line.
+    out.push('\n');
+    let eval = Evaluator::default();
+    let kernel = compress(31);
+    let analytical: Vec<_> = super::GRID_SIZES
+        .iter()
+        .flat_map(|&t| {
+            super::GRID_LINES
+                .iter()
+                .filter(move |&&l| l <= t && t / l >= super::MIN_LINES)
+                .map(move |&l| (t, l))
+        })
+        .map(|(t, l)| eval.evaluate_analytical(&kernel, memexplore::CacheDesign::new(t, l, 1, 1)))
+        .collect();
+    out.push_str(
+        &metric_grid_table(
+            "energy (nJ), paper's analytical miss-rate model",
+            &analytical,
+            |r| fmt_nj(r.energy_nj),
+        )
+        .render(),
+    );
+    let ae = select::min_energy(&analytical).expect("grid is non-empty");
+    let at = select::min_cycles(&analytical).expect("grid is non-empty");
+    let _ = writeln!(
+        out,
+        "\nanalytical minimum energy: {} ({} nJ) — the paper's C16L4",
+        ae.design,
+        fmt_nj(ae.energy_nj)
+    );
+    let _ = writeln!(
+        out,
+        "analytical minimum time:   L{} at any size ({} cycles) — the paper's C512L64",
+        at.design.line,
+        fmt_cycles(at.cycles)
+    );
+    out
+}

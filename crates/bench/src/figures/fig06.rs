@@ -1,0 +1,52 @@
+//! Figure 6 — miss rate, cycles, and energy vs tiling size at C64L8
+//! (`Em` = 4.95 nJ) for the five kernels.
+//!
+//! The paper's observation: metrics improve with tiling up to the number of
+//! cache lines (8 here), then degrade — tiles wider than the cache replace
+//! data before it is reused.
+
+use super::five_kernels;
+use crate::tables::{fmt_cycles, fmt_mr, fmt_nj, Table};
+use memexplore::{CacheDesign, Evaluator, Record};
+
+/// Tiling sizes swept (16 deliberately exceeds the 8 cache lines).
+pub const TILINGS: [u64; 5] = [1, 2, 4, 8, 16];
+
+/// Regenerates Figure 6.
+pub fn fig06() -> String {
+    let kernels = five_kernels();
+    let eval = Evaluator::default();
+    let records: Vec<Vec<Record>> = kernels
+        .iter()
+        .map(|k| {
+            TILINGS
+                .iter()
+                .map(|&b| eval.evaluate(k, CacheDesign::new(64, 8, 1, b)))
+                .collect()
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("# Figure 6 — metrics vs tiling size (C64 L8, Em = 4.95 nJ)\n\n");
+    for (name, metric) in [("miss rate", 0usize), ("cycles", 1), ("energy (nJ)", 2)] {
+        let mut header = vec!["tiling".to_string()];
+        header.extend(kernels.iter().map(|k| k.name.clone()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(name, &header_refs);
+        for (bi, &b) in TILINGS.iter().enumerate() {
+            let mut row = vec![format!("B{b}")];
+            for recs in &records {
+                let r = &recs[bi];
+                row.push(match metric {
+                    0 => fmt_mr(r.miss_rate),
+                    1 => fmt_cycles(r.cycles),
+                    _ => fmt_nj(r.energy_nj),
+                });
+            }
+            table.row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}

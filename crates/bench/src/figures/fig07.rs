@@ -1,0 +1,42 @@
+//! Figure 7 — Compress and Dequant: energy vs tiling size (T1…T16) and vs
+//! set associativity (SA1…SA8) at C64L8.
+
+use crate::tables::{fmt_nj, Table};
+use loopir::kernels::{compress, dequant};
+use memexplore::{CacheDesign, Evaluator};
+
+/// Regenerates Figure 7.
+pub fn fig07() -> String {
+    let kernels = [compress(31), dequant(31)];
+    let eval = Evaluator::default();
+    let mut out = String::new();
+    out.push_str("# Figure 7 — energy vs tiling and vs associativity (C64 L8)\n\n");
+
+    let mut tiling = Table::new(
+        "energy (nJ) vs tiling size",
+        &["tiling", "Compress", "Dequant"],
+    );
+    for b in [1u64, 2, 4, 8, 16] {
+        let mut row = vec![format!("T{b}")];
+        for k in &kernels {
+            row.push(fmt_nj(eval.evaluate(k, CacheDesign::new(64, 8, 1, b)).energy_nj));
+        }
+        tiling.row(row);
+    }
+    out.push_str(&tiling.render());
+    out.push('\n');
+
+    let mut assoc = Table::new(
+        "energy (nJ) vs set associativity",
+        &["assoc", "Compress", "Dequant"],
+    );
+    for s in [1usize, 2, 4, 8] {
+        let mut row = vec![format!("SA{s}")];
+        for k in &kernels {
+            row.push(fmt_nj(eval.evaluate(k, CacheDesign::new(64, 8, s, 1)).energy_nj));
+        }
+        assoc.row(row);
+    }
+    out.push_str(&assoc.render());
+    out
+}

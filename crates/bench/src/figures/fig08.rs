@@ -1,0 +1,52 @@
+//! Figure 8 — miss rate, cycles, and energy vs set associativity at C64L8
+//! (tiling 1, `Em` = 4.95 nJ) for the five kernels.
+//!
+//! Higher associativity removes conflict misses but lengthens the hit path
+//! (the cycle model's 1 → 1.14 cycles per hit), so neither cycles nor energy
+//! are guaranteed to fall.
+
+use super::five_kernels;
+use crate::tables::{fmt_cycles, fmt_mr, fmt_nj, Table};
+use memexplore::{CacheDesign, Evaluator, Record};
+
+/// Associativities swept.
+pub const ASSOCS: [usize; 4] = [1, 2, 4, 8];
+
+/// Regenerates Figure 8.
+pub fn fig08() -> String {
+    let kernels = five_kernels();
+    let eval = Evaluator::default();
+    let records: Vec<Vec<Record>> = kernels
+        .iter()
+        .map(|k| {
+            ASSOCS
+                .iter()
+                .map(|&s| eval.evaluate(k, CacheDesign::new(64, 8, s, 1)))
+                .collect()
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("# Figure 8 — metrics vs set associativity (C64 L8, tiling 1)\n\n");
+    for (name, metric) in [("miss rate", 0usize), ("cycles", 1), ("energy (nJ)", 2)] {
+        let mut header = vec!["assoc".to_string()];
+        header.extend(kernels.iter().map(|k| k.name.clone()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(name, &header_refs);
+        for (si, &s) in ASSOCS.iter().enumerate() {
+            let mut row = vec![format!("SA{s}")];
+            for recs in &records {
+                let r = &recs[si];
+                row.push(match metric {
+                    0 => fmt_mr(r.miss_rate),
+                    1 => fmt_cycles(r.cycles),
+                    _ => fmt_nj(r.energy_nj),
+                });
+            }
+            table.row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,58 @@
+//! Figure 9 — combined set associativity × tiling at C64L8, with optimized
+//! values and (in parentheses) unoptimized-layout values.
+//!
+//! The paper's takeaway: without the off-chip assignment the miss rate is so
+//! large that tiling and associativity barely matter.
+
+use super::five_kernels;
+use crate::tables::{fmt_cycles, fmt_mr, fmt_nj, Table};
+use memexplore::{CacheDesign, Evaluator, Record};
+
+/// The sampled (associativity, tiling) pairs.
+pub const PAIRS: [(usize, u64); 3] = [(1, 1), (2, 4), (8, 8)];
+
+/// Regenerates Figure 9.
+pub fn fig09() -> String {
+    let kernels = five_kernels();
+    let opt = Evaluator::default();
+    let unopt = Evaluator::default().unoptimized();
+    // records[kernel][pair] = (optimized, unoptimized)
+    let records: Vec<Vec<(Record, Record)>> = kernels
+        .iter()
+        .map(|k| {
+            PAIRS
+                .iter()
+                .map(|&(s, b)| {
+                    let d = CacheDesign::new(64, 8, s, b);
+                    (opt.evaluate(k, d), unopt.evaluate(k, d))
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str(
+        "# Figure 9 — associativity x tiling, optimized (unoptimized) layouts (C64 L8)\n\n",
+    );
+    for (name, metric) in [("miss rate", 0usize), ("cycles", 1), ("energy (nJ)", 2)] {
+        let mut header = vec!["SA/TS".to_string()];
+        header.extend(kernels.iter().map(|k| k.name.clone()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(name, &header_refs);
+        for (pi, &(s, b)) in PAIRS.iter().enumerate() {
+            let mut row = vec![format!("SA{s} TS{b}")];
+            for recs in &records {
+                let (ro, ru) = &recs[pi];
+                row.push(match metric {
+                    0 => format!("{} ({})", fmt_mr(ro.miss_rate), fmt_mr(ru.miss_rate)),
+                    1 => format!("{} ({})", fmt_cycles(ro.cycles), fmt_cycles(ru.cycles)),
+                    _ => format!("{} ({})", fmt_nj(ro.energy_nj), fmt_nj(ru.energy_nj)),
+                });
+            }
+            table.row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}

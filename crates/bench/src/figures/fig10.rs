@@ -1,0 +1,83 @@
+//! Figure 10 + §5 — the MPEG decoder case study.
+//!
+//! Per kernel: the minimum-energy cache configuration over the full
+//! `(T, L, S, B)` space. For the whole decoder (trip-weighted aggregation):
+//! the minimum-energy and minimum-time configurations, which the paper shows
+//! to differ both from each other and from every kernel's own optimum.
+
+use crate::tables::{fmt_cycles, fmt_nj, Table};
+use memexplore::composite::as_records;
+use memexplore::{select, DesignSpace, Explorer};
+use std::fmt::Write as _;
+
+/// Regenerates Figure 10 and the §5 whole-program numbers.
+pub fn fig10() -> String {
+    let program = mpeg::decoder();
+    let explorer = Explorer::default();
+    let space = DesignSpace::paper();
+
+    let mut out = String::new();
+    out.push_str("# Figure 10 — MPEG decoder case study\n\n");
+
+    // Per-kernel minimum-energy configurations.
+    let mut table = Table::new(
+        "minimum-energy configuration per kernel",
+        &["kernel", "cache", "line", "assoc", "tiling", "energy (nJ)", "cycles"],
+    );
+    let designs = space.designs();
+    let mut per_kernel_records = Vec::new();
+    for (kernel, _) in &program.components {
+        let records = explorer.explore_designs(kernel, &designs);
+        let best = select::min_energy(&records).expect("non-empty space");
+        table.row(vec![
+            kernel.name.clone(),
+            best.design.cache_size.to_string(),
+            best.design.line.to_string(),
+            best.design.assoc.to_string(),
+            best.design.tiling.to_string(),
+            fmt_nj(best.energy_nj),
+            fmt_cycles(best.cycles),
+        ]);
+        per_kernel_records.push(records);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+
+    // Whole-program aggregation (§5 formulas) reuses the per-kernel sweeps.
+    let composites: Vec<_> = (0..designs.len())
+        .map(|i| {
+            program.aggregate(
+                per_kernel_records
+                    .iter()
+                    .map(|rs| rs[i].clone())
+                    .collect(),
+            )
+        })
+        .collect();
+    let flat = as_records(&composites);
+    let e_min = select::min_energy(&flat).expect("non-empty space");
+    let t_min = select::min_cycles(&flat).expect("non-empty space");
+
+    let _ = writeln!(out, "## whole-decoder optima (trip-weighted)");
+    let _ = writeln!(
+        out,
+        "minimum energy: {}  energy={} nJ  cycles={}",
+        e_min.design,
+        fmt_nj(e_min.energy_nj),
+        fmt_cycles(e_min.cycles)
+    );
+    let _ = writeln!(
+        out,
+        "minimum time:   {}  cycles={}  energy={} nJ",
+        t_min.design,
+        fmt_cycles(t_min.cycles),
+        fmt_nj(t_min.energy_nj)
+    );
+    if e_min.design != t_min.design {
+        let _ = writeln!(
+            out,
+            "=> the minimum-energy and minimum-time configurations differ, as in the paper"
+        );
+    }
+    out
+}

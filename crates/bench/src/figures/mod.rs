@@ -1,0 +1,96 @@
+//! One module per paper figure. Each `figNN()` returns the rendered tables.
+//!
+//! | figure | contents |
+//! |---|---|
+//! | [`fig01`] | Compress energy vs (cache, line) at `Em` = 43.56 / 2.31 nJ |
+//! | [`fig02`] | miss rate / cycles / energy at four (C, L) points, 5 kernels |
+//! | [`fig03`] | Compress cycles grid |
+//! | [`fig04`] | Compress energy grid (`Em` = 4.95) + bounded selections |
+//! | [`fig05`] | off-chip assignment: optimized vs unoptimized miss rate |
+//! | [`fig06`] | metrics vs tiling size, 5 kernels |
+//! | [`fig07`] | Compress & Dequant energy vs tiling and vs associativity |
+//! | [`fig08`] | metrics vs set associativity, 5 kernels |
+//! | [`fig09`] | combined associativity × tiling, optimized vs unoptimized |
+//! | [`fig10`] | MPEG decoder: per-kernel and whole-program optima |
+
+mod fig01;
+mod fig02;
+mod fig03;
+mod fig04;
+mod fig05;
+mod fig06;
+mod fig07;
+mod fig08;
+mod fig09;
+mod fig10;
+
+pub use fig01::fig01;
+pub use fig02::fig02;
+pub use fig03::fig03;
+pub use fig04::fig04;
+pub use fig05::fig05;
+pub use fig06::fig06;
+pub use fig07::fig07;
+pub use fig08::fig08;
+pub use fig09::fig09;
+pub use fig10::fig10;
+
+use crate::tables::Table;
+use loopir::Kernel;
+use memexplore::{CacheDesign, Evaluator, Record};
+
+/// Cache sizes of the paper's Figs. 1, 3, 4 grids.
+pub const GRID_SIZES: [usize; 6] = [16, 32, 64, 128, 256, 512];
+/// Line sizes of the paper's Figs. 1, 3, 4 grids.
+pub const GRID_LINES: [usize; 5] = [4, 8, 16, 32, 64];
+/// The paper's Fig. 3 note: configurations keep at least 4 cache lines.
+pub const MIN_LINES: usize = 4;
+
+/// The five evaluation kernels at the paper's 31×31 iteration space.
+pub fn five_kernels() -> Vec<Kernel> {
+    loopir::kernels::all_paper_kernels()
+}
+
+/// Direct-mapped, untiled records over the (size, line) grid.
+pub fn grid_records(kernel: &Kernel, evaluator: &Evaluator) -> Vec<Record> {
+    let designs: Vec<CacheDesign> = GRID_SIZES
+        .iter()
+        .flat_map(|&t| {
+            GRID_LINES
+                .iter()
+                .filter(move |&&l| l <= t && t / l >= MIN_LINES)
+                .map(move |&l| CacheDesign::new(t, l, 1, 1))
+        })
+        .collect();
+    memexplore::Explorer::new(evaluator.clone()).explore_designs(kernel, &designs)
+}
+
+/// Looks up the grid record at `(t, l)`.
+pub fn find(records: &[Record], t: usize, l: usize) -> Option<&Record> {
+    records
+        .iter()
+        .find(|r| r.design.cache_size == t && r.design.line == l)
+}
+
+/// Renders a size × line grid of one metric.
+pub fn metric_grid_table(
+    title: &str,
+    records: &[Record],
+    metric: impl Fn(&Record) -> String,
+) -> Table {
+    let mut header: Vec<String> = vec!["cache".to_string()];
+    header.extend(GRID_LINES.iter().map(|l| format!("L{l}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &header_refs);
+    for &t in &GRID_SIZES {
+        let mut row = vec![format!("C{t}")];
+        for &l in &GRID_LINES {
+            row.push(match find(records, t, l) {
+                Some(r) => metric(r),
+                None => "-".to_string(),
+            });
+        }
+        table.row(row);
+    }
+    table
+}

@@ -1,0 +1,12 @@
+//! Figure-regeneration harness for the DAC'99 reproduction.
+//!
+//! One library function per paper figure (`figures::fig01` … `fig10`), each
+//! returning the rendered text tables; the `fig01`…`fig10` binaries print
+//! them, and `all_figures` prints everything (this is what populates
+//! `EXPERIMENTS.md`). Criterion benchmarks in `benches/` time the underlying
+//! machinery and the ablation studies.
+
+pub mod figures;
+pub mod tables;
+
+pub use tables::Table;

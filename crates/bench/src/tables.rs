@@ -1,0 +1,142 @@
+//! Minimal aligned-text table rendering for figure output.
+
+use std::fmt::Write as _;
+
+/// A text table with a title, a header row, and data rows.
+///
+/// # Example
+///
+/// ```
+/// use bench::Table;
+/// let mut t = Table::new("demo", &["x", "y"]);
+/// t.row(vec!["1".into(), "2".into()]);
+/// let s = t.render();
+/// assert!(s.contains("demo"));
+/// assert!(s.contains("| 1 | 2 |"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, " {cell:>w$} |", w = w);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats an energy value in nanojoules with thousands grouping.
+pub fn fmt_nj(e: f64) -> String {
+    group_thousands(e.round() as i64)
+}
+
+/// Formats a cycle count.
+pub fn fmt_cycles(c: f64) -> String {
+    group_thousands(c.round() as i64)
+}
+
+/// Formats a miss rate with three decimals.
+pub fn fmt_mr(mr: f64) -> String {
+    format!("{mr:.3}")
+}
+
+fn group_thousands(mut v: i64) -> String {
+    let neg = v < 0;
+    v = v.abs();
+    let digits = v.to_string();
+    let mut grouped = String::new();
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            grouped.push(',');
+        }
+        grouped.push(ch);
+    }
+    if neg {
+        format!("-{grouped}")
+    } else {
+        grouped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("t", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("## t"));
+        assert!(s.contains("|      name | value |"));
+        assert!(s.contains("| long-name | 12345 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(fmt_nj(1234567.0), "1,234,567");
+        assert_eq!(fmt_nj(999.4), "999");
+        assert_eq!(fmt_cycles(1000.0), "1,000");
+        assert_eq!(group_thousands(-12345), "-12,345");
+        assert_eq!(group_thousands(0), "0");
+    }
+
+    #[test]
+    fn miss_rate_formatting() {
+        assert_eq!(fmt_mr(0.06125), "0.061");
+    }
+}

@@ -1,0 +1,225 @@
+//! Whole-program exploration from kernel records (§5).
+//!
+//! A large program — the paper's MPEG decoder — is a set of kernel programs
+//! each invoked `trip(k)` times. Given per-kernel records
+//! `(T, L, S, B, mr, C, E)`, the whole-program metrics for a configuration
+//! are
+//!
+//! ```text
+//! MISS_R = Σ mr(k)·trip(k) / Σ trip(k)
+//! CYCLES = Σ C(k)·trip(k)
+//! ENERGY = Σ E(k)·trip(k)
+//! ```
+//!
+//! and the selection procedure is the same as for a single kernel. The
+//! paper's headline: the whole-decoder minimum-energy configuration differs
+//! from every kernel's own optimum.
+
+use crate::explore::{DesignSpace, Explorer};
+use crate::metrics::{CacheDesign, Record};
+use loopir::Kernel;
+
+/// A program composed of weighted kernels.
+///
+/// # Example
+///
+/// ```
+/// use loopir::kernels;
+/// use memexplore::{CompositeProgram, DesignSpace, Explorer};
+///
+/// let program = CompositeProgram::new(
+///     "filter chain",
+///     vec![(kernels::fir(64, 8), 10), (kernels::matadd(6), 1)],
+/// );
+/// let records = program.explore(&Explorer::default(), &DesignSpace::small());
+/// // One whole-program record per design, aggregating both kernels.
+/// assert_eq!(records.len(), DesignSpace::small().designs().len());
+/// assert_eq!(records[0].per_kernel.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompositeProgram {
+    /// Program name, e.g. `"MPEG decoder"`.
+    pub name: String,
+    /// `(kernel, trip count)` pairs — how often each kernel runs.
+    pub components: Vec<(Kernel, u64)>,
+}
+
+/// Whole-program metrics for one design, plus the per-kernel records they
+/// were aggregated from.
+#[derive(Clone, Debug)]
+pub struct CompositeRecord {
+    /// The design point.
+    pub design: CacheDesign,
+    /// Trip-weighted miss rate (`MISS_R`).
+    pub miss_rate: f64,
+    /// Total cycles (`CYCLES`).
+    pub cycles: f64,
+    /// Total energy in nanojoules (`ENERGY`).
+    pub energy_nj: f64,
+    /// The per-kernel records, in component order.
+    pub per_kernel: Vec<Record>,
+}
+
+impl CompositeProgram {
+    /// Builds a composite program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty or any trip count is zero.
+    pub fn new(name: impl Into<String>, components: Vec<(Kernel, u64)>) -> Self {
+        assert!(!components.is_empty(), "composite needs at least one kernel");
+        assert!(
+            components.iter().all(|(_, t)| *t > 0),
+            "trip counts must be positive"
+        );
+        CompositeProgram {
+            name: name.into(),
+            components,
+        }
+    }
+
+    /// Total trip count `Σ trip(k)`.
+    pub fn total_trips(&self) -> u64 {
+        self.components.iter().map(|(_, t)| t).sum()
+    }
+
+    /// Aggregates per-kernel records (one per component, same design) into
+    /// a whole-program record using the paper's formulas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` length differs from the component count or the
+    /// designs disagree.
+    pub fn aggregate(&self, records: Vec<Record>) -> CompositeRecord {
+        assert_eq!(
+            records.len(),
+            self.components.len(),
+            "one record per component required"
+        );
+        let design = records[0].design;
+        assert!(
+            records.iter().all(|r| r.design == design),
+            "all records must share one design"
+        );
+        let total_trips = self.total_trips() as f64;
+        let mut miss_r = 0.0;
+        let mut cycles = 0.0;
+        let mut energy = 0.0;
+        for ((_, trips), r) in self.components.iter().zip(&records) {
+            let t = *trips as f64;
+            miss_r += r.miss_rate * t;
+            cycles += r.cycles * t;
+            energy += r.energy_nj * t;
+        }
+        CompositeRecord {
+            design,
+            miss_rate: miss_r / total_trips,
+            cycles,
+            energy_nj: energy,
+            per_kernel: records,
+        }
+    }
+
+    /// Explores the whole design space: every kernel evaluated at every
+    /// design, then aggregated.
+    pub fn explore(&self, explorer: &Explorer, space: &DesignSpace) -> Vec<CompositeRecord> {
+        let designs = space.designs();
+        // Per-kernel sweeps (each internally parallel), then zip.
+        let per_kernel: Vec<Vec<Record>> = self
+            .components
+            .iter()
+            .map(|(k, _)| explorer.explore_designs(k, &designs))
+            .collect();
+        (0..designs.len())
+            .map(|i| {
+                let records: Vec<Record> =
+                    per_kernel.iter().map(|rs| rs[i].clone()).collect();
+                self.aggregate(records)
+            })
+            .collect()
+    }
+}
+
+/// Converts composite records into plain records (dropping per-kernel
+/// detail) so the [`select`](crate::select) functions apply unchanged.
+pub fn as_records(composites: &[CompositeRecord]) -> Vec<Record> {
+    composites
+        .iter()
+        .map(|c| Record {
+            design: c.design,
+            miss_rate: c.miss_rate,
+            cycles: c.cycles,
+            energy_nj: c.energy_nj,
+            trip_count: 0,
+            conflict_free: c.per_kernel.iter().all(|r| r.conflict_free),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Evaluator;
+    use loopir::kernels;
+
+    fn two_kernel_program() -> CompositeProgram {
+        CompositeProgram::new(
+            "demo",
+            vec![(kernels::matadd(6), 10), (kernels::dequant(8), 3)],
+        )
+    }
+
+    #[test]
+    fn aggregate_uses_paper_formulas() {
+        let p = two_kernel_program();
+        let eval = Evaluator::default();
+        let d = CacheDesign::new(64, 8, 1, 1);
+        let r1 = eval.evaluate(&p.components[0].0, d);
+        let r2 = eval.evaluate(&p.components[1].0, d);
+        let agg = p.aggregate(vec![r1.clone(), r2.clone()]);
+        let expect_miss = (r1.miss_rate * 10.0 + r2.miss_rate * 3.0) / 13.0;
+        assert!((agg.miss_rate - expect_miss).abs() < 1e-12);
+        assert!((agg.cycles - (r1.cycles * 10.0 + r2.cycles * 3.0)).abs() < 1e-9);
+        assert!((agg.energy_nj - (r1.energy_nj * 10.0 + r2.energy_nj * 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn explore_returns_one_composite_per_design() {
+        let p = two_kernel_program();
+        let space = DesignSpace::small();
+        let out = p.explore(&Explorer::default(), &space);
+        assert_eq!(out.len(), space.designs().len());
+        assert!(out.iter().all(|c| c.per_kernel.len() == 2));
+    }
+
+    #[test]
+    fn as_records_preserves_metrics() {
+        let p = two_kernel_program();
+        let out = p.explore(&Explorer::default(), &DesignSpace::small());
+        let recs = as_records(&out);
+        assert_eq!(recs.len(), out.len());
+        assert_eq!(recs[0].energy_nj, out[0].energy_nj);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kernel")]
+    fn empty_composite_panics() {
+        let _ = CompositeProgram::new("empty", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_trip_count_panics() {
+        let _ = CompositeProgram::new("zero", vec![(kernels::matadd(6), 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one design")]
+    fn mismatched_designs_panic() {
+        let p = two_kernel_program();
+        let eval = Evaluator::default();
+        let r1 = eval.evaluate(&p.components[0].0, CacheDesign::new(64, 8, 1, 1));
+        let r2 = eval.evaluate(&p.components[1].0, CacheDesign::new(32, 8, 1, 1));
+        let _ = p.aggregate(vec![r1, r2]);
+    }
+}

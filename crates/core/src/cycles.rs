@@ -1,0 +1,140 @@
+//! The paper's processor-cycle model (§2.2).
+//!
+//! Adopted from Hennessy & Patterson (the paper's \[10\]):
+//!
+//! * cycles per hit grow slightly with associativity (longer hit path):
+//!   1, 1.1, 1.12, 1.14 for 1-, 2-, 4-, 8-way;
+//! * cycles per miss grow with line size (longer refill):
+//!   40, 40, 42, 44, 48, 56, 72 for lines of 4…256 bytes;
+//! * tiling adds its loop overhead to the miss path:
+//!
+//! ```text
+//! cycles = hit_rate·trip_count·(cycles per hit)
+//!        + miss_rate·trip_count·(tiling size + cycles per miss)
+//! ```
+
+/// The cycle model with the paper's constants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CycleModel;
+
+impl CycleModel {
+    /// Cycles per hit for a given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is not 1, 2, 4, or 8 (the paper caps `S ≤ 8`).
+    pub fn cycles_per_hit(&self, assoc: usize) -> f64 {
+        match assoc {
+            1 => 1.0,
+            2 => 1.1,
+            4 => 1.12,
+            8 => 1.14,
+            _ => panic!("associativity {assoc} outside the model's 1..=8 range"),
+        }
+    }
+
+    /// Cycles per miss for a given line size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is not a power of two in `4..=256`.
+    pub fn cycles_per_miss(&self, line: usize) -> f64 {
+        match line {
+            4 => 40.0,
+            8 => 40.0,
+            16 => 42.0,
+            32 => 44.0,
+            64 => 48.0,
+            128 => 56.0,
+            256 => 72.0,
+            _ => panic!("line size {line} outside the model's 4..=256 range"),
+        }
+    }
+
+    /// Total cycles from hit/miss counts.
+    ///
+    /// `tiling` is the paper's tiling size `B` (use 1 when untiled).
+    pub fn cycles_from_counts(&self, hits: u64, misses: u64, assoc: usize, line: usize, tiling: u64) -> f64 {
+        hits as f64 * self.cycles_per_hit(assoc)
+            + misses as f64 * (tiling as f64 + self.cycles_per_miss(line))
+    }
+
+    /// Total cycles from rates and a trip count (the paper's exact formula).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `miss_rate` is outside `[0, 1]`.
+    pub fn cycles_from_rates(
+        &self,
+        miss_rate: f64,
+        trip_count: u64,
+        assoc: usize,
+        line: usize,
+        tiling: u64,
+    ) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&miss_rate),
+            "miss rate must be in [0, 1], got {miss_rate}"
+        );
+        let tc = trip_count as f64;
+        (1.0 - miss_rate) * tc * self.cycles_per_hit(assoc)
+            + miss_rate * tc * (tiling as f64 + self.cycles_per_miss(line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_cycles_match_the_paper_table() {
+        let m = CycleModel;
+        assert_eq!(m.cycles_per_hit(1), 1.0);
+        assert_eq!(m.cycles_per_hit(2), 1.1);
+        assert_eq!(m.cycles_per_hit(4), 1.12);
+        assert_eq!(m.cycles_per_hit(8), 1.14);
+    }
+
+    #[test]
+    fn miss_cycles_match_the_paper_table() {
+        let m = CycleModel;
+        for (l, c) in [(4, 40.0), (8, 40.0), (16, 42.0), (32, 44.0), (64, 48.0), (128, 56.0), (256, 72.0)] {
+            assert_eq!(m.cycles_per_miss(l), c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity")]
+    fn sixteen_way_is_out_of_model() {
+        let _ = CycleModel.cycles_per_hit(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "line size")]
+    fn two_byte_line_is_out_of_model() {
+        let _ = CycleModel.cycles_per_miss(2);
+    }
+
+    #[test]
+    fn counts_and_rates_agree() {
+        let m = CycleModel;
+        let (hits, misses) = (900u64, 100u64);
+        let from_counts = m.cycles_from_counts(hits, misses, 2, 16, 4);
+        let from_rates = m.cycles_from_rates(0.1, 1000, 2, 16, 4);
+        assert!((from_counts - from_rates).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiling_adds_to_the_miss_path_only() {
+        let m = CycleModel;
+        let untiled = m.cycles_from_counts(100, 10, 1, 8, 1);
+        let tiled = m.cycles_from_counts(100, 10, 1, 8, 9);
+        assert!((tiled - untiled - 10.0 * 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_hit_run_is_one_cycle_per_access() {
+        let m = CycleModel;
+        assert_eq!(m.cycles_from_counts(1234, 0, 1, 4, 1), 1234.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! The MemExplore sweep.
+
+use crate::metrics::{CacheDesign, Evaluator, Record};
+use loopir::Kernel;
+
+/// The swept parameter ranges (all powers of two, per the paper's
+/// `Algorithm MemExplore`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DesignSpace {
+    /// Candidate cache sizes `T` in bytes.
+    pub cache_sizes: Vec<usize>,
+    /// Candidate line sizes `L` in bytes (filtered to `L ≤ T / min_lines`).
+    pub line_sizes: Vec<usize>,
+    /// Candidate associativities `S` (filtered to `S ≤ T/L`).
+    pub assocs: Vec<usize>,
+    /// Candidate tiling sizes `B` (filtered to `B ≤ T/L`).
+    pub tilings: Vec<u64>,
+    /// Minimum number of cache lines per configuration (the paper's Fig. 3
+    /// restricts to ≥ 4 lines).
+    pub min_lines: usize,
+}
+
+impl DesignSpace {
+    /// The paper's evaluation grid: `T` ∈ 16…1024, `L` ∈ 4…64,
+    /// `S` ∈ {1, 2, 4, 8}, `B` ∈ 1…16, at least 4 lines.
+    pub fn paper() -> Self {
+        DesignSpace {
+            cache_sizes: pow2_range(16, 1024),
+            line_sizes: pow2_range(4, 64),
+            assocs: vec![1, 2, 4, 8],
+            tilings: vec![1, 2, 4, 8, 16],
+            min_lines: 4,
+        }
+    }
+
+    /// A small grid for tests and doc examples (direct-mapped, untiled).
+    pub fn small() -> Self {
+        DesignSpace {
+            cache_sizes: pow2_range(16, 128),
+            line_sizes: pow2_range(4, 16),
+            assocs: vec![1],
+            tilings: vec![1],
+            min_lines: 2,
+        }
+    }
+
+    /// Direct-mapped, untiled sweep over the given size/line ranges — the
+    /// grid of the paper's Figs. 1–4.
+    pub fn size_line_grid(cache_sizes: &[usize], line_sizes: &[usize]) -> Self {
+        DesignSpace {
+            cache_sizes: cache_sizes.to_vec(),
+            line_sizes: line_sizes.to_vec(),
+            assocs: vec![1],
+            tilings: vec![1],
+            min_lines: 1,
+        }
+    }
+
+    /// Enumerates all valid designs in sweep order
+    /// (`T` outer … `B` inner, as in the paper's pseudocode).
+    pub fn designs(&self) -> Vec<CacheDesign> {
+        let mut out = Vec::new();
+        for &t in &self.cache_sizes {
+            for &l in &self.line_sizes {
+                if l > t || t / l < self.min_lines {
+                    continue;
+                }
+                for &s in &self.assocs {
+                    if s > t / l {
+                        continue;
+                    }
+                    for &b in &self.tilings {
+                        if b > (t / l) as u64 {
+                            continue;
+                        }
+                        out.push(CacheDesign::new(t, l, s, b));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Powers of two from `lo` to `hi` inclusive.
+pub fn pow2_range(lo: usize, hi: usize) -> Vec<usize> {
+    assert!(lo > 0 && lo.is_power_of_two() && hi.is_power_of_two() && lo <= hi);
+    let mut v = Vec::new();
+    let mut x = lo;
+    while x <= hi {
+        v.push(x);
+        x *= 2;
+    }
+    v
+}
+
+/// Runs the sweep, fanning designs out across worker threads.
+///
+/// # Example
+///
+/// ```
+/// use memexplore::{DesignSpace, Explorer};
+/// use loopir::kernels;
+///
+/// let records = Explorer::default().explore(&kernels::matadd(6), &DesignSpace::small());
+/// assert!(!records.is_empty());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Explorer {
+    /// Per-design evaluator.
+    pub evaluator: Evaluator,
+}
+
+impl Explorer {
+    /// An explorer around a specific evaluator.
+    pub fn new(evaluator: Evaluator) -> Self {
+        Explorer { evaluator }
+    }
+
+    /// Evaluates every design of `space` on `kernel`. Results come back in
+    /// sweep order regardless of thread scheduling.
+    pub fn explore(&self, kernel: &Kernel, space: &DesignSpace) -> Vec<Record> {
+        let designs = space.designs();
+        self.explore_designs(kernel, &designs)
+    }
+
+    /// Evaluates an explicit design list (in order).
+    ///
+    /// The off-chip layout is computed once per `(T, L)` pair — it does not
+    /// depend on associativity or tiling — and shared across the sweep.
+    pub fn explore_designs(&self, kernel: &Kernel, designs: &[CacheDesign]) -> Vec<Record> {
+        // Precompute layouts (the placement search dominates design cost).
+        let mut layouts: std::collections::HashMap<(usize, usize), (loopir::DataLayout, bool)> =
+            std::collections::HashMap::new();
+        for d in designs {
+            layouts
+                .entry((d.cache_size, d.line))
+                .or_insert_with(|| self.evaluator.layout_for(kernel, d.cache_size, d.line));
+        }
+        let eval_one = |d: CacheDesign| {
+            let (layout, cf) = &layouts[&(d.cache_size, d.line)];
+            self.evaluator.evaluate_with_layout(kernel, d, layout, *cf)
+        };
+
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(designs.len().max(1));
+        if workers <= 1 || designs.len() < 4 {
+            return designs.iter().map(|&d| eval_one(d)).collect();
+        }
+        let mut slots: Vec<Option<Record>> = vec![None; designs.len()];
+        std::thread::scope(|scope| {
+            let chunk = designs.len().div_ceil(workers);
+            for (designs_chunk, slots_chunk) in
+                designs.chunks(chunk).zip(slots.chunks_mut(chunk))
+            {
+                let eval_one = &eval_one;
+                scope.spawn(move || {
+                    for (d, slot) in designs_chunk.iter().zip(slots_chunk.iter_mut()) {
+                        *slot = Some(eval_one(*d));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every slot filled by its worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopir::kernels;
+
+    #[test]
+    fn pow2_range_is_inclusive() {
+        assert_eq!(pow2_range(4, 64), vec![4, 8, 16, 32, 64]);
+        assert_eq!(pow2_range(16, 16), vec![16]);
+    }
+
+    #[test]
+    fn designs_respect_all_constraints() {
+        let space = DesignSpace::paper();
+        for d in space.designs() {
+            assert!(d.line <= d.cache_size);
+            assert!(d.cache_size / d.line >= space.min_lines);
+            assert!(d.assoc <= d.cache_size / d.line);
+            assert!(d.tiling <= (d.cache_size / d.line) as u64);
+            assert!(d.cache_config().is_ok());
+        }
+    }
+
+    #[test]
+    fn paper_space_is_reasonably_sized() {
+        let n = DesignSpace::paper().designs().len();
+        assert!(n > 100, "space too small: {n}");
+        assert!(n < 3000, "space too large: {n}");
+    }
+
+    #[test]
+    fn sweep_order_is_t_outer_b_inner() {
+        let space = DesignSpace::paper();
+        let designs = space.designs();
+        // Cache sizes must be non-decreasing through the list.
+        assert!(designs.windows(2).all(|w| w[0].cache_size <= w[1].cache_size));
+    }
+
+    #[test]
+    fn parallel_and_serial_results_agree() {
+        let k = kernels::matadd(6);
+        let space = DesignSpace::small();
+        let designs = space.designs();
+        let explorer = Explorer::default();
+        let parallel = explorer.explore_designs(&k, &designs);
+        let serial: Vec<_> = designs
+            .iter()
+            .map(|&d| explorer.evaluator.evaluate(&k, d))
+            .collect();
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.design, s.design);
+            assert_eq!(p.miss_rate, s.miss_rate);
+            assert_eq!(p.energy_nj, s.energy_nj);
+        }
+    }
+
+    #[test]
+    fn grid_space_is_direct_mapped_untiled() {
+        let g = DesignSpace::size_line_grid(&[16, 32], &[4, 8]);
+        for d in g.designs() {
+            assert_eq!(d.assoc, 1);
+            assert_eq!(d.tiling, 1);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! A Kamble–Ghose-style analytical cache energy model.
+//!
+//! Kamble & Ghose (ISLPED'97) — the paper's reference \[3\] — model cache
+//! power from first principles: bit-line precharge/discharge, word-line
+//! drive, address decoding, tag comparison, and output drivers, with
+//! capacitances from Wilton & Jouppi's 0.8 µm measurements. The DAC'99
+//! paper deliberately simplifies this to the four-term model in
+//! [`DacEnergyModel`](crate::DacEnergyModel); we keep a faithful-in-shape
+//! Kamble–Ghose variant as an *ablation* model to check that configuration
+//! rankings are robust to the energy-model choice.
+//!
+//! The capacitance constants below are representative 0.8 µm values (order
+//! of magnitude from Wilton & Jouppi TR 93/5); the model is for relative
+//! comparison, not absolute calibration.
+
+use crate::sram::SramPart;
+use memsim::{CacheConfig, SimReport};
+
+/// Per-structure capacitance coefficients (picofarads) and supply voltage.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct KambleGhoseParams {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Bit-line capacitance per cell attached (pF).
+    pub c_bit_per_cell: f64,
+    /// Word-line capacitance per cell gate (pF).
+    pub c_word_per_cell: f64,
+    /// Address input / decoder capacitance per address bit (pF).
+    pub c_addr_per_bit: f64,
+    /// Output driver capacitance per data bit (pF).
+    pub c_out_per_bit: f64,
+    /// Tag comparator capacitance per tag bit per way (pF).
+    pub c_cmp_per_bit: f64,
+    /// Tag width assumed for comparators (bits).
+    pub tag_bits: u32,
+}
+
+impl Default for KambleGhoseParams {
+    fn default() -> Self {
+        KambleGhoseParams {
+            vdd: 3.3,
+            c_bit_per_cell: 0.0005,
+            c_word_per_cell: 0.0003,
+            c_addr_per_bit: 0.05,
+            c_out_per_bit: 0.1,
+            c_cmp_per_bit: 0.02,
+            tag_bits: 24,
+        }
+    }
+}
+
+/// The ablation energy model. Same interface shape as
+/// [`DacEnergyModel`](crate::DacEnergyModel): per-access hit/miss energies
+/// in nanojoules plus a whole-trace accumulator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct KambleGhoseModel {
+    /// Capacitance coefficients.
+    pub params: KambleGhoseParams,
+    /// Off-chip part providing the miss energy's main-memory term.
+    pub part: SramPart,
+}
+
+impl KambleGhoseModel {
+    /// A model with default 0.8 µm coefficients.
+    pub fn new(part: SramPart) -> Self {
+        KambleGhoseModel {
+            params: KambleGhoseParams::default(),
+            part,
+        }
+    }
+
+    /// Energy of the array read that every access performs (nJ):
+    /// precharged bit-lines across the selected set row, one word line,
+    /// decoder, and tag comparators.
+    pub fn hit_energy_nj(&self, config: &CacheConfig) -> f64 {
+        let p = &self.params;
+        let e = 0.5 * p.vdd * p.vdd; // per pF, in pJ (pF·V² = pJ)
+        let ways = config.assoc() as f64;
+        let line_bits = 8.0 * config.line() as f64;
+        let rows = config.num_sets() as f64;
+        // All bit-lines of the accessed ways swing over `rows` cells each.
+        let data_cells = ways * (line_bits + p.tag_bits as f64);
+        let e_bit = e * p.c_bit_per_cell * data_cells * rows;
+        // One word line drives every cell gate in the row.
+        let e_word = e * p.c_word_per_cell * data_cells;
+        // Decoder charges one address's worth of input lines.
+        let addr_bits = 32.0_f64;
+        let e_dec = e * p.c_addr_per_bit * addr_bits.min(rows.log2().max(1.0) + 8.0);
+        // One tag comparison per way, every probe.
+        let e_cmp = e * p.c_cmp_per_bit * p.tag_bits as f64 * ways;
+        pj_to_nj(e_bit + e_word + e_dec + e_cmp)
+    }
+
+    /// Energy of a miss (nJ): the hit probe plus output drivers moving a
+    /// line across the pads and the off-chip access per byte, as in the
+    /// DAC'99 model's `E_main`.
+    pub fn miss_energy_nj(&self, config: &CacheConfig) -> f64 {
+        let p = &self.params;
+        let e = 0.5 * p.vdd * p.vdd;
+        let line_bits = 8.0 * config.line() as f64;
+        let e_out = e * p.c_out_per_bit * line_bits;
+        self.hit_energy_nj(config)
+            + pj_to_nj(e_out)
+            + self.part.energy_per_access_nj * config.line() as f64
+    }
+
+    /// Total energy of a simulated run (nJ), reads only, mirroring
+    /// [`DacEnergyModel::trace_energy_nj`](crate::DacEnergyModel::trace_energy_nj).
+    pub fn trace_energy_nj(&self, report: &SimReport) -> f64 {
+        report.stats.read_hits as f64 * self.hit_energy_nj(&report.config)
+            + report.stats.read_misses() as f64 * self.miss_energy_nj(&report.config)
+    }
+}
+
+fn pj_to_nj(x: f64) -> f64 {
+    x / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(t: usize, l: usize, s: usize) -> CacheConfig {
+        CacheConfig::new(t, l, s).unwrap()
+    }
+
+    #[test]
+    fn hit_energy_grows_with_cache_size() {
+        let m = KambleGhoseModel::new(SramPart::cy7c_2mbit());
+        assert!(m.hit_energy_nj(&cfg(512, 8, 1)) > m.hit_energy_nj(&cfg(64, 8, 1)));
+    }
+
+    #[test]
+    fn associativity_costs_energy_per_probe() {
+        // Reading more ways in parallel discharges more bit-lines.
+        let m = KambleGhoseModel::new(SramPart::cy7c_2mbit());
+        let direct = m.hit_energy_nj(&cfg(64, 8, 1));
+        let four_way = m.hit_energy_nj(&cfg(64, 8, 4));
+        assert!(four_way > direct);
+    }
+
+    #[test]
+    fn miss_exceeds_hit_by_at_least_the_off_chip_term() {
+        let m = KambleGhoseModel::new(SramPart::cy7c_2mbit());
+        let c = cfg(64, 8, 1);
+        let delta = m.miss_energy_nj(&c) - m.hit_energy_nj(&c);
+        assert!(delta >= 4.95 * 8.0);
+    }
+
+    #[test]
+    fn rankings_agree_with_dac_model_on_em_direction() {
+        // Both models must agree that with an expensive off-chip memory a
+        // larger cache (fewer misses) is preferable.
+        use crate::model::DacEnergyModel;
+        let (mr_small, mr_large) = (0.2, 0.02);
+        let small = cfg(16, 4, 1);
+        let large = cfg(512, 4, 1);
+        let kg = KambleGhoseModel::new(SramPart::sram_16mbit());
+        let dac = DacEnergyModel::new(SramPart::sram_16mbit());
+        let kg_small = (1.0 - mr_small) * kg.hit_energy_nj(&small) + mr_small * kg.miss_energy_nj(&small);
+        let kg_large = (1.0 - mr_large) * kg.hit_energy_nj(&large) + mr_large * kg.miss_energy_nj(&large);
+        let dac_small = dac.access_energy_nj(&small, 1.0 - mr_small, 1.0);
+        let dac_large = dac.access_energy_nj(&large, 1.0 - mr_large, 1.0);
+        assert_eq!(kg_small > kg_large, dac_small > dac_large);
+    }
+}

@@ -1,0 +1,129 @@
+//! Off-chip SRAM part models.
+//!
+//! The exploration only needs one number from the datasheet — the energy per
+//! access `Em` — but the part descriptor keeps the other headline figures so
+//! reports stay self-describing. The three parts below are the ones the
+//! paper studies (its Figs. 1, 2–4, 6–10).
+
+use std::fmt;
+
+/// An off-chip SRAM device characterised by its energy per access.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SramPart {
+    /// Device name, e.g. `"Cypress CY7C (2 Mbit)"`.
+    pub name: String,
+    /// Capacity in bits.
+    pub capacity_bits: u64,
+    /// Access time in nanoseconds.
+    pub access_time_ns: f64,
+    /// Supply voltage in volts.
+    pub voltage_v: f64,
+    /// Energy per access in nanojoules — the model's `Em`.
+    pub energy_per_access_nj: f64,
+}
+
+impl SramPart {
+    /// The paper's reference part: Cypress CY7C 2 Mbit, 4 ns, 3.3 V,
+    /// 375 mA — `Em = 4.95 nJ` per access (§2.3).
+    pub fn cy7c_2mbit() -> Self {
+        SramPart {
+            name: "Cypress CY7C (2 Mbit)".to_string(),
+            capacity_bits: 2 * 1024 * 1024,
+            access_time_ns: 4.0,
+            voltage_v: 3.3,
+            energy_per_access_nj: 4.95,
+        }
+    }
+
+    /// The low-energy end of the paper's spectrum: a 2 Mbit SRAM with
+    /// `Em = 2.31 nJ` (§3, Fig. 1 right).
+    pub fn low_power_2mbit() -> Self {
+        SramPart {
+            name: "low-power SRAM (2 Mbit)".to_string(),
+            capacity_bits: 2 * 1024 * 1024,
+            access_time_ns: 4.0,
+            voltage_v: 3.3,
+            energy_per_access_nj: 2.31,
+        }
+    }
+
+    /// The high-energy end: a 16 Mbit SRAM with `Em = 43.56 nJ`
+    /// (§3, Fig. 1 left).
+    pub fn sram_16mbit() -> Self {
+        SramPart {
+            name: "SRAM (16 Mbit)".to_string(),
+            capacity_bits: 16 * 1024 * 1024,
+            access_time_ns: 8.0,
+            voltage_v: 3.3,
+            energy_per_access_nj: 43.56,
+        }
+    }
+
+    /// A custom part with only `Em` specified (other fields defaulted),
+    /// for parameter sweeps over the off-chip energy.
+    pub fn custom(name: impl Into<String>, energy_per_access_nj: f64) -> Self {
+        assert!(
+            energy_per_access_nj >= 0.0,
+            "energy per access must be non-negative"
+        );
+        SramPart {
+            name: name.into(),
+            capacity_bits: 0,
+            access_time_ns: 0.0,
+            voltage_v: 0.0,
+            energy_per_access_nj,
+        }
+    }
+
+    /// The three parts the paper evaluates, low to high `Em`.
+    pub fn paper_parts() -> Vec<SramPart> {
+        vec![
+            SramPart::low_power_2mbit(),
+            SramPart::cy7c_2mbit(),
+            SramPart::sram_16mbit(),
+        ]
+    }
+}
+
+impl fmt::Display for SramPart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (Em = {} nJ)", self.name, self.energy_per_access_nj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_em_values_match_the_text() {
+        assert_eq!(SramPart::cy7c_2mbit().energy_per_access_nj, 4.95);
+        assert_eq!(SramPart::low_power_2mbit().energy_per_access_nj, 2.31);
+        assert_eq!(SramPart::sram_16mbit().energy_per_access_nj, 43.56);
+    }
+
+    #[test]
+    fn paper_parts_sorted_by_em() {
+        let parts = SramPart::paper_parts();
+        assert!(parts
+            .windows(2)
+            .all(|w| w[0].energy_per_access_nj < w[1].energy_per_access_nj));
+    }
+
+    #[test]
+    fn custom_part_carries_its_em() {
+        let p = SramPart::custom("test", 10.0);
+        assert_eq!(p.energy_per_access_nj, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_em_panics() {
+        let _ = SramPart::custom("bad", -1.0);
+    }
+
+    #[test]
+    fn display_shows_em() {
+        assert!(format!("{}", SramPart::cy7c_2mbit()).contains("4.95"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the energy models.
+
+use energy::{DacEnergyModel, KambleGhoseModel, SramPart};
+use memsim::CacheConfig;
+use proptest::prelude::*;
+
+fn arb_geometry() -> impl Strategy<Value = CacheConfig> {
+    (2u32..8, 2u32..6, 0u32..4).prop_filter_map("valid geometry", |(ts, ls, ss)| {
+        let t = 1usize << (ts + 3);
+        let l = 1usize << ls;
+        let s = 1usize << ss;
+        CacheConfig::new(t, l, s).ok()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn miss_energy_strictly_exceeds_hit_energy(cfg in arb_geometry(), em in 0.1f64..50.0) {
+        let m = DacEnergyModel::new(SramPart::custom("sweep", em));
+        prop_assert!(m.miss_energy_nj(&cfg, 1.0) > m.hit_energy_nj(&cfg, 1.0));
+    }
+
+    #[test]
+    fn energy_is_monotone_in_em(cfg in arb_geometry(), em in 0.1f64..40.0) {
+        let lo = DacEnergyModel::new(SramPart::custom("lo", em));
+        let hi = DacEnergyModel::new(SramPart::custom("hi", em * 2.0));
+        prop_assert!(hi.miss_energy_nj(&cfg, 1.0) > lo.miss_energy_nj(&cfg, 1.0));
+        // Hit energy does not involve the off-chip part at all.
+        prop_assert_eq!(hi.hit_energy_nj(&cfg, 1.0), lo.hit_energy_nj(&cfg, 1.0));
+    }
+
+    #[test]
+    fn access_energy_is_bounded_by_hit_and_miss(
+        cfg in arb_geometry(),
+        hit_rate in 0.0f64..=1.0,
+        add_bs in 0.0f64..8.0,
+    ) {
+        let m = DacEnergyModel::new(SramPart::cy7c_2mbit());
+        let e = m.access_energy_nj(&cfg, hit_rate, add_bs);
+        let e_hit = m.hit_energy_nj(&cfg, add_bs);
+        let e_miss = m.miss_energy_nj(&cfg, add_bs);
+        prop_assert!(e >= e_hit - 1e-12 && e <= e_miss + 1e-12);
+    }
+
+    #[test]
+    fn access_energy_is_monotone_decreasing_in_hit_rate(
+        cfg in arb_geometry(),
+        hr in 0.0f64..0.9,
+    ) {
+        let m = DacEnergyModel::new(SramPart::cy7c_2mbit());
+        prop_assert!(
+            m.access_energy_nj(&cfg, hr + 0.1, 1.0) < m.access_energy_nj(&cfg, hr, 1.0)
+        );
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_the_total(cfg in arb_geometry(), add_bs in 0.0f64..8.0) {
+        let m = DacEnergyModel::new(SramPart::cy7c_2mbit());
+        let b = m.miss_breakdown(&cfg, add_bs);
+        let total = b.dec_nj + b.cell_nj + b.io_nj + b.main_nj;
+        prop_assert!((total - b.total_nj()).abs() < 1e-12);
+        prop_assert!((b.total_nj() - m.miss_energy_nj(&cfg, add_bs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_energy_depends_only_on_capacity(cfg in arb_geometry()) {
+        // The paper's E_cell = β·8·T is organisation-invariant: any line
+        // size / associativity split of the same capacity gives the same
+        // cell energy.
+        let m = DacEnergyModel::new(SramPart::cy7c_2mbit());
+        let reference = m.hit_breakdown(&cfg, 0.0).cell_nj;
+        let other = CacheConfig::new(cfg.size(), cfg.size().min(cfg.line() * 2), 1);
+        if let Ok(other) = other {
+            prop_assert!((m.hit_breakdown(&other, 0.0).cell_nj - reference).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kamble_ghose_miss_also_exceeds_hit(cfg in arb_geometry()) {
+        let m = KambleGhoseModel::new(SramPart::cy7c_2mbit());
+        prop_assert!(m.miss_energy_nj(&cfg) > m.hit_energy_nj(&cfg));
+    }
+
+    #[test]
+    fn both_models_grow_hit_energy_with_capacity(ls in 2u32..5) {
+        let l = 1usize << ls;
+        let dac = DacEnergyModel::new(SramPart::cy7c_2mbit());
+        let kg = KambleGhoseModel::new(SramPart::cy7c_2mbit());
+        let mut prev_dac = 0.0;
+        let mut prev_kg = 0.0;
+        for ts in 0..5 {
+            let t = (l * 4) << ts;
+            let cfg = CacheConfig::new(t, l, 1).expect("valid");
+            let e_dac = dac.hit_energy_nj(&cfg, 0.0);
+            let e_kg = kg.hit_energy_nj(&cfg);
+            prop_assert!(e_dac > prev_dac);
+            prop_assert!(e_kg > prev_kg);
+            prev_dac = e_dac;
+            prev_kg = e_kg;
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! I-cache exploration and the joint I/D on-chip budget split.
+
+use crate::stream::InstructionStream;
+use energy::DacEnergyModel;
+use energy::SramPart;
+use loopir::Kernel;
+use memexplore::{select, CacheDesign, CycleModel, DesignSpace, Explorer, Record};
+use memsim::{CacheConfig, Simulator};
+
+/// Performance of one I-cache configuration on one instruction stream.
+#[derive(Clone, Debug)]
+pub struct ICacheRecord {
+    /// The configuration (direct-mapped; loop code has no conflict problem
+    /// once it fits, so ways buy nothing).
+    pub config: CacheConfig,
+    /// Fetch miss rate.
+    pub miss_rate: f64,
+    /// Fetch cycles under the paper's cycle model.
+    pub cycles: f64,
+    /// Fetch energy in nanojoules.
+    pub energy_nj: f64,
+}
+
+/// Simulates the stream against every `(size, line)` pair.
+///
+/// # Panics
+///
+/// Panics if any size/line pair is not a valid power-of-two geometry.
+pub fn explore_icache(
+    stream: &InstructionStream,
+    sizes: &[usize],
+    lines: &[usize],
+) -> Vec<ICacheRecord> {
+    let model = DacEnergyModel::new(SramPart::cy7c_2mbit());
+    let cycle_model = CycleModel;
+    let mut out = Vec::new();
+    for &t in sizes {
+        for &l in lines {
+            if l > t {
+                continue;
+            }
+            let config = CacheConfig::new(t, l, 1)
+                .unwrap_or_else(|e| panic!("invalid I-cache geometry C{t}L{l}: {e}"));
+            let mut sim = Simulator::new(config);
+            sim.run(stream.fetches());
+            let report = sim.into_report();
+            let cycles = cycle_model.cycles_from_counts(
+                report.stats.read_hits,
+                report.stats.read_misses(),
+                1,
+                l,
+                1,
+            );
+            out.push(ICacheRecord {
+                config,
+                miss_rate: report.stats.read_miss_rate(),
+                cycles,
+                energy_nj: model.trace_energy_nj(&report),
+            });
+        }
+    }
+    out
+}
+
+/// One point of the joint I/D split of an on-chip budget.
+#[derive(Clone, Debug)]
+pub struct JointRecord {
+    /// D-cache record (full `(T, L, S, B)` optimum for its share).
+    pub data: Record,
+    /// I-cache record.
+    pub instruction: ICacheRecord,
+    /// Combined energy (nJ).
+    pub total_energy_nj: f64,
+    /// Combined cycles (fetches and data accesses are both on the critical
+    /// path of a single-issue embedded core).
+    pub total_cycles: f64,
+}
+
+impl JointRecord {
+    /// The split as `(icache bytes, dcache bytes)`.
+    pub fn split(&self) -> (usize, usize) {
+        (self.instruction.config.size(), self.data.design.cache_size)
+    }
+}
+
+/// Explores every power-of-two split of `total_budget` bytes of on-chip
+/// memory between an I-cache and a D-cache — the paper's outermost
+/// `for on-chip memory size M` loop — and returns one best-energy record
+/// per split (ordered by I-cache share, ascending).
+///
+/// # Panics
+///
+/// Panics if `total_budget` is not a power of two of at least 32 bytes.
+pub fn joint_explore(
+    kernel: &Kernel,
+    stream: &InstructionStream,
+    total_budget: usize,
+) -> Vec<JointRecord> {
+    assert!(
+        total_budget >= 32 && total_budget.is_power_of_two(),
+        "budget must be a power of two of at least 32 bytes"
+    );
+    let explorer = Explorer::default();
+    let mut out = Vec::new();
+    // Smallest sensible halves: 16 B each. The budget is an upper bound:
+    // the D-cache gets the largest power of two that fits beside the
+    // I-cache (cache sizes must be powers of two, budgets need not be).
+    let mut i_share = 16usize;
+    while i_share < total_budget {
+        let remainder = total_budget - i_share;
+        if remainder < 16 {
+            break;
+        }
+        let d_cap = prev_power_of_two(remainder);
+        // D side: full (T, L, S, B) sweep capped at its share.
+        let space = DesignSpace {
+            cache_sizes: memexplore::explore::pow2_range(16, d_cap),
+            ..DesignSpace::paper()
+        };
+        let d_records = explorer.explore(kernel, &space);
+        let d_best = match select::min_energy(&d_records) {
+            Some(r) => r.clone(),
+            None => {
+                i_share *= 2;
+                continue;
+            }
+        };
+        // I side: best line size at exactly the I share.
+        let i_records = explore_icache(stream, &[i_share], &[4, 8, 16, 32]);
+        if let Some(i_best) = i_records
+            .into_iter()
+            .min_by(|a, b| a.energy_nj.partial_cmp(&b.energy_nj).expect("finite"))
+        {
+            out.push(JointRecord {
+                total_energy_nj: d_best.energy_nj + i_best.energy_nj,
+                total_cycles: d_best.cycles + i_best.cycles,
+                data: d_best,
+                instruction: i_best,
+            });
+        }
+        i_share *= 2;
+    }
+    out
+}
+
+/// Largest power of two `<= x` (`x >= 1`).
+fn prev_power_of_two(x: usize) -> usize {
+    let np = x.next_power_of_two();
+    if np == x {
+        x
+    } else {
+        np / 2
+    }
+}
+
+/// Convenience: the minimum-energy joint split.
+pub fn best_joint_split(
+    kernel: &Kernel,
+    stream: &InstructionStream,
+    total_budget: usize,
+) -> Option<JointRecord> {
+    joint_explore(kernel, stream, total_budget)
+        .into_iter()
+        .min_by(|a, b| {
+            a.total_energy_nj
+                .partial_cmp(&b.total_energy_nj)
+                .expect("finite")
+        })
+}
+
+/// Builds the evaluator-compatible design for an I-cache record (used by
+/// reports).
+pub fn as_design(record: &ICacheRecord) -> CacheDesign {
+    CacheDesign::new(record.config.size(), record.config.line(), 1, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopir::kernels;
+
+    #[test]
+    fn fitting_body_reduces_misses_to_cold_only() {
+        // 100 B body in a 128 B cache: only the first pass misses.
+        let s = InstructionStream::from_body(0, 25, 100);
+        let records = explore_icache(&s, &[64, 128], &[8]);
+        let small = &records[0];
+        let large = &records[1];
+        assert!(small.miss_rate > 0.3, "64 B cannot hold 100 B: {}", small.miss_rate);
+        // Cold misses only: 13 line fills over 2,500 fetches.
+        assert!(large.miss_rate < 0.01, "128 B holds the body: {}", large.miss_rate);
+        assert!(large.energy_nj < small.energy_nj);
+    }
+
+    #[test]
+    fn smallest_covering_cache_wins_energy() {
+        let s = InstructionStream::from_body(0, 25, 961);
+        let records = explore_icache(&s, &[128, 256, 512, 1024], &[8]);
+        let best = records
+            .iter()
+            .min_by(|a, b| a.energy_nj.partial_cmp(&b.energy_nj).expect("finite"))
+            .expect("non-empty");
+        assert_eq!(best.config.size(), 128);
+    }
+
+    #[test]
+    fn joint_split_prefers_small_icache_for_loop_kernels() {
+        let kernel = kernels::compress(31);
+        let stream = InstructionStream::for_kernel(&kernel, 0x8000);
+        let best = best_joint_split(&kernel, &stream, 512).expect("some split works");
+        let (i_share, d_share) = best.split();
+        // Compress's body is 28 instructions = 112 B: a 128 B I-cache is the
+        // smallest that stops the fetch stream thrashing, and anything
+        // bigger wastes cell energy. The D side picks its own optimum (C32)
+        // well under the remaining budget.
+        assert_eq!(i_share, 128, "smallest covering I-cache should win");
+        assert!(best.instruction.miss_rate < 0.01);
+        assert!(d_share >= 32);
+        assert!(best.total_energy_nj > 0.0);
+    }
+
+    #[test]
+    fn joint_explore_covers_all_power_of_two_splits() {
+        let kernel = kernels::matadd(6);
+        let stream = InstructionStream::for_kernel(&kernel, 0);
+        let records = joint_explore(&kernel, &stream, 256);
+        let shares: Vec<usize> = records.iter().map(|r| r.instruction.config.size()).collect();
+        // 16+? budget 256: valid power-of-two splits are 128+128 only; plus
+        // smaller I shares with non-pow2 remainders skipped except...
+        assert!(!shares.is_empty());
+        assert!(shares.iter().all(|s| s.is_power_of_two()));
+        for r in &records {
+            assert!(r.instruction.config.size() + r.data.design.cache_size <= 256);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_budget_panics() {
+        let kernel = kernels::matadd(6);
+        let stream = InstructionStream::for_kernel(&kernel, 0);
+        let _ = joint_explore(&kernel, &stream, 100);
+    }
+}

@@ -1,0 +1,44 @@
+//! Instruction-cache extension of the DAC'99 exploration.
+//!
+//! The paper's conclusion notes that "the exploration procedure described
+//! here for data caches can be extended to instruction caches by merging the
+//! method of Kirovski et al. with ours". This crate implements that
+//! extension:
+//!
+//! * [`stream`] models a kernel's instruction-fetch behaviour — a compact
+//!   code footprint fetched repeatedly as the loop nest iterates, the
+//!   pattern Kirovski-style application-driven synthesis characterises —
+//!   and generates the fetch trace;
+//! * [`explore`] sweeps I-cache configurations over that trace with the
+//!   same cycle and energy models as the data side, and performs the
+//!   **joint split** of one on-chip budget `M` into I- and D-cache — the
+//!   outermost `for on-chip memory size M` loop of `Algorithm MemExplore`
+//!   that the paper states but never exercises.
+//!
+//! The key instruction-side behaviour: loop-kernel code is tiny and reused
+//! every iteration, so once the I-cache holds the body, the miss rate
+//! collapses to the cold misses — the optimum is the *smallest* I-cache
+//! that covers the footprint, freeing budget for data.
+//!
+//! # Example
+//!
+//! ```
+//! use icache::stream::InstructionStream;
+//! use icache::explore::explore_icache;
+//!
+//! // ~25 instructions of loop body, executed 961 times.
+//! let stream = InstructionStream::from_body(0x1000, 25, 961);
+//! let records = explore_icache(&stream, &[64, 128, 256], &[8, 16]);
+//! let best = records
+//!     .iter()
+//!     .min_by(|a, b| a.energy_nj.partial_cmp(&b.energy_nj).unwrap())
+//!     .unwrap();
+//! // A 128 B I-cache already holds the 100 B body.
+//! assert!(best.config.size() <= 256);
+//! ```
+
+pub mod explore;
+pub mod stream;
+
+pub use explore::{explore_icache, joint_explore, ICacheRecord, JointRecord};
+pub use stream::InstructionStream;

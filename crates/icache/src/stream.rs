@@ -1,0 +1,126 @@
+//! Instruction-fetch stream modelling.
+//!
+//! A loop kernel's instruction behaviour is overwhelmingly regular: a body
+//! of `n` instructions laid out contiguously is fetched start-to-end once
+//! per iteration, `iterations` times. That is the abstraction Kirovski et
+//! al.'s application-driven synthesis exploits, and it is all the I-cache
+//! exploration needs — the interesting question is only whether the cache
+//! covers the footprint.
+
+use loopir::Kernel;
+use memsim::TraceEvent;
+
+/// Instruction word size in bytes (a 32-bit embedded core).
+pub const INSTR_BYTES: u32 = 4;
+
+/// The instruction-fetch behaviour of one kernel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InstructionStream {
+    /// Byte address of the first body instruction.
+    pub base: u64,
+    /// Instructions in the loop body (including loop control).
+    pub body_len: u32,
+    /// Number of body executions (the nest's iteration count).
+    pub iterations: u64,
+}
+
+impl InstructionStream {
+    /// A stream fetching `body_len` instructions at `base`, `iterations`
+    /// times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body_len` or `iterations` is zero.
+    pub fn from_body(base: u64, body_len: u32, iterations: u64) -> Self {
+        assert!(body_len > 0, "body must contain at least one instruction");
+        assert!(iterations > 0, "stream must execute at least once");
+        InstructionStream {
+            base,
+            body_len,
+            iterations,
+        }
+    }
+
+    /// Estimates the stream of a data kernel: each array reference costs a
+    /// handful of instructions (address arithmetic + the access) plus fixed
+    /// loop overhead per nest level.
+    ///
+    /// The constants (4 instructions per reference, 3 per loop level, 2 of
+    /// arithmetic glue per body) are representative of compiled embedded
+    /// code; the exploration outcome depends only on the footprint's order
+    /// of magnitude.
+    pub fn for_kernel(kernel: &Kernel, base: u64) -> Self {
+        let refs = kernel.nest.refs.len() as u32;
+        let levels = kernel.nest.depth() as u32;
+        let body_len = 4 * refs + 3 * levels + 2;
+        let iterations = kernel
+            .nest
+            .const_iteration_count()
+            .expect("exploration kernels are rectangular")
+            .max(1);
+        InstructionStream::from_body(base, body_len, iterations)
+    }
+
+    /// The code footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.body_len as u64 * INSTR_BYTES as u64
+    }
+
+    /// Total fetches issued over the whole execution.
+    pub fn fetch_count(&self) -> u64 {
+        self.body_len as u64 * self.iterations
+    }
+
+    /// Iterator over the fetch trace: `body_len` sequential instruction
+    /// reads per iteration, repeated `iterations` times.
+    pub fn fetches(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        (0..self.iterations).flat_map(move |_| {
+            (0..self.body_len).map(move |i| {
+                TraceEvent::read(self.base + i as u64 * INSTR_BYTES as u64, INSTR_BYTES)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopir::kernels;
+
+    #[test]
+    fn fetch_trace_is_body_times_iterations() {
+        let s = InstructionStream::from_body(0x100, 10, 7);
+        let trace: Vec<_> = s.fetches().collect();
+        assert_eq!(trace.len(), 70);
+        assert_eq!(s.fetch_count(), 70);
+        assert_eq!(trace[0].addr, 0x100);
+        assert_eq!(trace[9].addr, 0x100 + 9 * 4);
+        assert_eq!(trace[10].addr, 0x100, "second iteration restarts the body");
+    }
+
+    #[test]
+    fn footprint_is_in_bytes() {
+        assert_eq!(InstructionStream::from_body(0, 25, 1).footprint_bytes(), 100);
+    }
+
+    #[test]
+    fn kernel_streams_scale_with_body_complexity() {
+        let small = InstructionStream::for_kernel(&kernels::matadd(6), 0);
+        let large = InstructionStream::for_kernel(&kernels::sor(31), 0);
+        assert!(large.body_len > small.body_len);
+        assert_eq!(small.iterations, 36);
+        assert_eq!(large.iterations, 961);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn empty_body_panics() {
+        let _ = InstructionStream::from_body(0, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least once")]
+    fn zero_iterations_panics() {
+        let _ = InstructionStream::from_body(0, 1, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests for the instruction-cache extension.
+
+use icache::explore::explore_icache;
+use icache::stream::InstructionStream;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fetch_count_matches_the_trace(body in 1u32..200, iters in 1u64..50, base in 0u64..0x10000) {
+        let s = InstructionStream::from_body(base * 4, body, iters);
+        prop_assert_eq!(s.fetches().count() as u64, s.fetch_count());
+        prop_assert_eq!(s.fetch_count(), body as u64 * iters);
+    }
+
+    #[test]
+    fn every_fetch_is_inside_the_footprint(body in 1u32..100, iters in 1u64..10) {
+        let s = InstructionStream::from_body(0x4000, body, iters);
+        for f in s.fetches() {
+            prop_assert!(f.addr >= 0x4000);
+            prop_assert!(f.addr + 4 <= 0x4000 + s.footprint_bytes());
+            prop_assert!(!f.is_write);
+        }
+    }
+
+    #[test]
+    fn covering_caches_have_cold_misses_only(body in 1u32..60, iters in 2u64..40) {
+        let s = InstructionStream::from_body(0, body, iters);
+        let covering = (s.footprint_bytes() as usize)
+            .next_power_of_two()
+            .max(16);
+        let records = explore_icache(&s, &[covering], &[8]);
+        let r = &records[0];
+        // Cold misses = line count of the footprint; everything else hits.
+        let cold = s.footprint_bytes().div_ceil(8);
+        let expected = cold as f64 / s.fetch_count() as f64;
+        prop_assert!((r.miss_rate - expected).abs() < 1e-9,
+            "mr {} vs expected {}", r.miss_rate, expected);
+    }
+
+    #[test]
+    fn miss_rate_is_monotone_in_cache_size(body in 8u32..120, iters in 2u64..20) {
+        let s = InstructionStream::from_body(0, body, iters);
+        let sizes = [32usize, 64, 128, 256, 512];
+        let records = explore_icache(&s, &sizes, &[8]);
+        for w in records.windows(2) {
+            prop_assert!(
+                w[1].miss_rate <= w[0].miss_rate + 1e-12,
+                "{} -> {}", w[0].miss_rate, w[1].miss_rate
+            );
+        }
+    }
+
+    #[test]
+    fn energy_and_cycles_are_positive_and_finite(body in 1u32..100, iters in 1u64..20) {
+        let s = InstructionStream::from_body(0, body, iters);
+        for r in explore_icache(&s, &[64, 256], &[4, 16]) {
+            prop_assert!(r.energy_nj.is_finite() && r.energy_nj > 0.0);
+            prop_assert!(r.cycles.is_finite() && r.cycles > 0.0);
+            prop_assert!((0.0..=1.0).contains(&r.miss_rate));
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Affine expressions over loop induction variables.
+//!
+//! An [`AffineExpr`] represents `c0*i0 + c1*i1 + … + k` where `i0, i1, …`
+//! are the induction variables of the enclosing [`LoopNest`](crate::LoopNest)
+//! from outermost to innermost. The paper's "uniformly generated" reference
+//! test (after Wolf & Lam) compares the linear parts `H` of two expressions
+//! and their constant parts `c`.
+
+use std::fmt;
+
+/// An affine function of the loop induction variables: `Σ coeffs[d]·i_d + constant`.
+///
+/// The coefficient vector is indexed by loop depth (0 = outermost). Missing
+/// trailing coefficients are treated as zero, so an expression built for a
+/// shallow nest remains valid when loops are added around or inside it as
+/// long as depths are remapped via [`AffineExpr::remap_depths`].
+///
+/// # Example
+///
+/// ```
+/// use loopir::AffineExpr;
+/// // The subscript `i - 1` in `a[i-1][j]` at depth 0:
+/// let e = AffineExpr::var(0) - 1;
+/// assert_eq!(e.eval(&[5, 9]), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct AffineExpr {
+    coeffs: Vec<i64>,
+    constant: i64,
+}
+
+impl AffineExpr {
+    /// The constant expression `k`.
+    pub fn constant(k: i64) -> Self {
+        AffineExpr {
+            coeffs: Vec::new(),
+            constant: k,
+        }
+    }
+
+    /// The induction variable of the loop at `depth` (0 = outermost).
+    pub fn var(depth: usize) -> Self {
+        let mut coeffs = vec![0; depth + 1];
+        coeffs[depth] = 1;
+        AffineExpr {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    /// Builds `coeff * i_depth + k` in one step.
+    pub fn linear(depth: usize, coeff: i64, k: i64) -> Self {
+        let mut coeffs = vec![0; depth + 1];
+        coeffs[depth] = coeff;
+        AffineExpr {
+            coeffs,
+            constant: k,
+        }
+    }
+
+    /// The coefficient of the induction variable at `depth`.
+    pub fn coeff(&self, depth: usize) -> i64 {
+        self.coeffs.get(depth).copied().unwrap_or(0)
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// The linear part as a dense coefficient vector of length `depth_count`.
+    ///
+    /// Two references are *uniformly generated* when their linear parts are
+    /// equal; this vector is what gets compared.
+    pub fn linear_part(&self, depth_count: usize) -> Vec<i64> {
+        (0..depth_count).map(|d| self.coeff(d)).collect()
+    }
+
+    /// True if no induction variable has a non-zero coefficient.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Evaluates the expression at the iteration point `ivs`
+    /// (`ivs[d]` = current value of the loop at depth `d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ivs` is shorter than the deepest referenced variable.
+    pub fn eval(&self, ivs: &[i64]) -> i64 {
+        let mut acc = self.constant;
+        for (d, &c) in self.coeffs.iter().enumerate() {
+            if c != 0 {
+                acc += c * ivs[d];
+            }
+        }
+        acc
+    }
+
+    /// Returns a copy with every referenced depth `d` replaced by `map(d)`.
+    ///
+    /// Used by loop transformations (tiling adds `k` tile-controlling loops
+    /// in front, shifting every original depth by `k`; interchange swaps two
+    /// depths).
+    pub fn remap_depths(&self, map: impl Fn(usize) -> usize) -> Self {
+        let mut out = AffineExpr::constant(self.constant);
+        for (d, &c) in self.coeffs.iter().enumerate() {
+            if c != 0 {
+                let nd = map(d);
+                if out.coeffs.len() <= nd {
+                    out.coeffs.resize(nd + 1, 0);
+                }
+                out.coeffs[nd] += c;
+            }
+        }
+        out
+    }
+
+    /// The highest depth with a non-zero coefficient, if any.
+    pub fn max_depth(&self) -> Option<usize> {
+        self.coeffs.iter().rposition(|&c| c != 0)
+    }
+}
+
+impl std::ops::Add for AffineExpr {
+    type Output = AffineExpr;
+    fn add(self, rhs: AffineExpr) -> AffineExpr {
+        let mut coeffs = self.coeffs;
+        if coeffs.len() < rhs.coeffs.len() {
+            coeffs.resize(rhs.coeffs.len(), 0);
+        }
+        for (d, c) in rhs.coeffs.iter().enumerate() {
+            coeffs[d] += c;
+        }
+        AffineExpr {
+            coeffs,
+            constant: self.constant + rhs.constant,
+        }
+    }
+}
+
+impl std::ops::Add<i64> for AffineExpr {
+    type Output = AffineExpr;
+    fn add(mut self, rhs: i64) -> AffineExpr {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl std::ops::Sub<i64> for AffineExpr {
+    type Output = AffineExpr;
+    fn sub(mut self, rhs: i64) -> AffineExpr {
+        self.constant -= rhs;
+        self
+    }
+}
+
+impl std::ops::Mul<i64> for AffineExpr {
+    type Output = AffineExpr;
+    fn mul(mut self, rhs: i64) -> AffineExpr {
+        for c in &mut self.coeffs {
+            *c *= rhs;
+        }
+        self.constant *= rhs;
+        self
+    }
+}
+
+impl fmt::Debug for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        for (d, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if wrote {
+                write!(f, "{}", if c > 0 { " + " } else { " - " })?;
+            } else if c < 0 {
+                write!(f, "-")?;
+            }
+            if c.abs() != 1 {
+                write!(f, "{}*", c.abs())?;
+            }
+            write!(f, "i{d}")?;
+            wrote = true;
+        }
+        if !wrote {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_evaluates_to_itself() {
+        assert_eq!(AffineExpr::constant(7).eval(&[]), 7);
+        assert!(AffineExpr::constant(7).is_constant());
+    }
+
+    #[test]
+    fn var_picks_the_right_induction_variable() {
+        assert_eq!(AffineExpr::var(1).eval(&[10, 20, 30]), 20);
+    }
+
+    #[test]
+    fn arithmetic_composes() {
+        let e = AffineExpr::var(0) * 2 + AffineExpr::var(1) - 3;
+        assert_eq!(e.eval(&[4, 5]), 2 * 4 + 5 - 3);
+        assert_eq!(e.coeff(0), 2);
+        assert_eq!(e.coeff(1), 1);
+        assert_eq!(e.constant_term(), -3);
+    }
+
+    #[test]
+    fn linear_part_pads_with_zeros() {
+        let e = AffineExpr::var(0);
+        assert_eq!(e.linear_part(3), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn remap_depths_shifts_coefficients() {
+        let e = AffineExpr::var(0) * 3 + AffineExpr::var(1) + 5;
+        let shifted = e.remap_depths(|d| d + 2);
+        assert_eq!(shifted.coeff(2), 3);
+        assert_eq!(shifted.coeff(3), 1);
+        assert_eq!(shifted.constant_term(), 5);
+        assert_eq!(shifted.coeff(0), 0);
+    }
+
+    #[test]
+    fn remap_depths_can_merge_variables() {
+        let e = AffineExpr::var(0) + AffineExpr::var(1);
+        let merged = e.remap_depths(|_| 0);
+        assert_eq!(merged.coeff(0), 2);
+    }
+
+    #[test]
+    fn max_depth_reports_deepest_use() {
+        assert_eq!(AffineExpr::constant(1).max_depth(), None);
+        assert_eq!((AffineExpr::var(2) + 1).max_depth(), Some(2));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = AffineExpr::var(0) - 1;
+        assert_eq!(format!("{e}"), "i0 - 1");
+        let e2 = AffineExpr::var(1) * -2 + 3;
+        assert_eq!(format!("{e2}"), "-2*i1 + 3");
+        assert_eq!(format!("{}", AffineExpr::constant(0)), "0");
+    }
+}

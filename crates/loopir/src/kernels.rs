@@ -1,0 +1,352 @@
+//! The DAC'99 benchmark kernels.
+//!
+//! The paper evaluates on five loop kernels — **Compress**, **Matrix
+//! Multiplication**, **PDE**, **SOR**, **Dequant** — each over a 31×31
+//! iteration space, plus the 6×6 **Matrix Addition** placement example
+//! (Example 2) and the **Transpose** tiling example (Example 3).
+//!
+//! All kernels use 4-byte `int` elements, matching the `int a[32,32]`
+//! declaration in the paper's Example 1. Loop bodies are represented purely
+//! by their array references (reads in evaluation order, then writes), since
+//! the exploration models consume only the memory behaviour.
+
+use crate::expr::AffineExpr;
+use crate::nest::{ArrayDecl, ArrayId, ArrayRef, Kernel, Loop, LoopNest};
+
+/// Element size used throughout the paper's kernels (C `int`).
+pub const ELEM: usize = 4;
+
+fn v(d: usize) -> AffineExpr {
+    AffineExpr::var(d)
+}
+
+/// The paper's Example 1:
+///
+/// ```text
+/// int a[32,32]
+/// for i = 1, 31
+///   for j = 1, 31
+///     a[i,j] = a[i,j] - a[i-1,j] - a[i,j-1] - 2*a[i-1,j-1]
+/// ```
+///
+/// Four reads and one write per iteration; two reference classes
+/// ({`a[i-1,j-1]`, `a[i-1,j]`} and {`a[i,j-1]`, `a[i,j]`}).
+pub fn compress(n: i64) -> Kernel {
+    let a = ArrayDecl::new("a", &[n as usize + 1, n as usize + 1], ELEM);
+    let id = ArrayId(0);
+    let nest = LoopNest {
+        loops: vec![Loop::new(1, n), Loop::new(1, n)],
+        refs: vec![
+            ArrayRef::read(id, vec![v(0), v(1)]),
+            ArrayRef::read(id, vec![v(0) - 1, v(1)]),
+            ArrayRef::read(id, vec![v(0), v(1) - 1]),
+            ArrayRef::read(id, vec![v(0) - 1, v(1) - 1]),
+            ArrayRef::write(id, vec![v(0), v(1)]),
+        ],
+    };
+    Kernel::new("Compress", vec![a], nest)
+}
+
+/// Square matrix multiplication `c[i,j] += a[i,k] * b[k,j]` with an `ijk`
+/// nest over `n`×`n` matrices (the paper's 31×31 iteration space refers to
+/// the `i`/`j` loops).
+///
+/// Three reads (`c[i,j]`, `a[i,k]`, `b[k,j]`) and one write per innermost
+/// iteration.
+pub fn matmul(n: i64) -> Kernel {
+    let dims = &[n as usize, n as usize];
+    let a = ArrayDecl::new("a", dims, ELEM);
+    let b = ArrayDecl::new("b", dims, ELEM);
+    let c = ArrayDecl::new("c", dims, ELEM);
+    let nest = LoopNest {
+        loops: vec![
+            Loop::new(0, n - 1),
+            Loop::new(0, n - 1),
+            Loop::new(0, n - 1),
+        ],
+        refs: vec![
+            ArrayRef::read(ArrayId(2), vec![v(0), v(1)]),
+            ArrayRef::read(ArrayId(0), vec![v(0), v(2)]),
+            ArrayRef::read(ArrayId(1), vec![v(2), v(1)]),
+            ArrayRef::write(ArrayId(2), vec![v(0), v(1)]),
+        ],
+    };
+    Kernel::new("MatMult", vec![a, b, c], nest)
+}
+
+/// A 2-D PDE solver step (Jacobi relaxation from Wolf & Lam's benchmark
+/// suite): `b[i,j] = (a[i-1,j] + a[i+1,j] + a[i,j-1] + a[i,j+1]) / 4`.
+///
+/// Two arrays (so references split into *cases* as well as classes); four
+/// reads and one write per iteration over the interior `n`×`n` points.
+pub fn pde(n: i64) -> Kernel {
+    let ext = n as usize + 2;
+    let a = ArrayDecl::new("a", &[ext, ext], ELEM);
+    let b = ArrayDecl::new("b", &[ext, ext], ELEM);
+    let nest = LoopNest {
+        loops: vec![Loop::new(1, n), Loop::new(1, n)],
+        refs: vec![
+            ArrayRef::read(ArrayId(0), vec![v(0) - 1, v(1)]),
+            ArrayRef::read(ArrayId(0), vec![v(0) + 1, v(1)]),
+            ArrayRef::read(ArrayId(0), vec![v(0), v(1) - 1]),
+            ArrayRef::read(ArrayId(0), vec![v(0), v(1) + 1]),
+            ArrayRef::write(ArrayId(1), vec![v(0), v(1)]),
+        ],
+    };
+    Kernel::new("PDE", vec![a, b], nest)
+}
+
+/// Successive over-relaxation:
+/// `a[i,j] = 0.2 * (a[i,j] + a[i-1,j] + a[i+1,j] + a[i,j-1] + a[i,j+1])`.
+///
+/// Five reads and one write per iteration over the interior `n`×`n` points
+/// of a single array (in-place stencil).
+pub fn sor(n: i64) -> Kernel {
+    let ext = n as usize + 2;
+    let a = ArrayDecl::new("a", &[ext, ext], ELEM);
+    let id = ArrayId(0);
+    let nest = LoopNest {
+        loops: vec![Loop::new(1, n), Loop::new(1, n)],
+        refs: vec![
+            ArrayRef::read(id, vec![v(0), v(1)]),
+            ArrayRef::read(id, vec![v(0) - 1, v(1)]),
+            ArrayRef::read(id, vec![v(0) + 1, v(1)]),
+            ArrayRef::read(id, vec![v(0), v(1) - 1]),
+            ArrayRef::read(id, vec![v(0), v(1) + 1]),
+            ArrayRef::write(id, vec![v(0), v(1)]),
+        ],
+    };
+    Kernel::new("SOR", vec![a], nest)
+}
+
+/// MPEG inverse quantisation (the paper's Dequant, from Panda/Dutt \[1\]):
+/// `out[i,j] = coeff[i,j] * qtable[i,j]` over an `n`×`n` coefficient plane.
+///
+/// Two reads and one write per iteration; three arrays with identical access
+/// patterns (compatible — a pure *case* workload for the placement
+/// optimiser).
+pub fn dequant(n: i64) -> Kernel {
+    let dims = &[n as usize, n as usize];
+    let coeff = ArrayDecl::new("coeff", dims, ELEM);
+    let qtable = ArrayDecl::new("qtable", dims, ELEM);
+    let out = ArrayDecl::new("out", dims, ELEM);
+    let nest = LoopNest {
+        loops: vec![Loop::new(0, n - 1), Loop::new(0, n - 1)],
+        refs: vec![
+            ArrayRef::read(ArrayId(0), vec![v(0), v(1)]),
+            ArrayRef::read(ArrayId(1), vec![v(0), v(1)]),
+            ArrayRef::write(ArrayId(2), vec![v(0), v(1)]),
+        ],
+    };
+    Kernel::new("Dequant", vec![coeff, qtable, out], nest)
+}
+
+/// The paper's Example 2 (matrix addition), used to demonstrate off-chip
+/// assignment across three arrays:
+///
+/// ```text
+/// int a[6][6], b[6][6], c[6][6]
+/// for i = 0, 5
+///   for j = 0, 5
+///     c[i,j] = a[i,j] + b[i,j]
+/// ```
+pub fn matadd(n: i64) -> Kernel {
+    let dims = &[n as usize, n as usize];
+    let a = ArrayDecl::new("a", dims, ELEM);
+    let b = ArrayDecl::new("b", dims, ELEM);
+    let c = ArrayDecl::new("c", dims, ELEM);
+    let nest = LoopNest {
+        loops: vec![Loop::new(0, n - 1), Loop::new(0, n - 1)],
+        refs: vec![
+            ArrayRef::read(ArrayId(0), vec![v(0), v(1)]),
+            ArrayRef::read(ArrayId(1), vec![v(0), v(1)]),
+            ArrayRef::write(ArrayId(2), vec![v(0), v(1)]),
+        ],
+    };
+    Kernel::new("MatAdd", vec![a, b, c], nest)
+}
+
+/// The paper's Example 3(a) (`a[i,j] = b[j,i]`), whose column-major read of
+/// `b` motivates tiling.
+pub fn transpose(n: i64) -> Kernel {
+    let dims = &[n as usize, n as usize];
+    let a = ArrayDecl::new("a", dims, ELEM);
+    let b = ArrayDecl::new("b", dims, ELEM);
+    let nest = LoopNest {
+        loops: vec![Loop::new(0, n - 1), Loop::new(0, n - 1)],
+        refs: vec![
+            ArrayRef::read(ArrayId(1), vec![v(1), v(0)]),
+            ArrayRef::write(ArrayId(0), vec![v(0), v(1)]),
+        ],
+    };
+    Kernel::new("Transpose", vec![a, b], nest)
+}
+
+/// A direct-form FIR filter: `y[i] = Σ_k h[k] · x[i+k]` over `taps`
+/// coefficients — the canonical 1-D DSP kernel of the paper's domain.
+/// The coefficient array is tiny and perfectly reused; the signal streams.
+pub fn fir(n: i64, taps: i64) -> Kernel {
+    let x = ArrayDecl::new("x", &[(n + taps) as usize], ELEM);
+    let h = ArrayDecl::new("h", &[taps as usize], ELEM);
+    let y = ArrayDecl::new("y", &[n as usize], ELEM);
+    let nest = LoopNest {
+        loops: vec![Loop::new(0, n - 1), Loop::new(0, taps - 1)],
+        refs: vec![
+            ArrayRef::read(ArrayId(0), vec![v(0) + v(1)]),
+            ArrayRef::read(ArrayId(1), vec![v(1)]),
+            ArrayRef::write(ArrayId(2), vec![v(0)]),
+        ],
+    };
+    Kernel::new("FIR", vec![x, h, y], nest)
+}
+
+/// 2-D convolution with a `k`×`k` kernel over an `n`×`n` image —
+/// the workhorse of embedded image processing.
+pub fn conv2d(n: i64, k: i64) -> Kernel {
+    let img = ArrayDecl::new("img", &[(n + k - 1) as usize, (n + k - 1) as usize], ELEM);
+    let coef = ArrayDecl::new("coef", &[k as usize, k as usize], ELEM);
+    let out = ArrayDecl::new("out", &[n as usize, n as usize], ELEM);
+    let nest = LoopNest {
+        loops: vec![
+            Loop::new(0, n - 1),
+            Loop::new(0, n - 1),
+            Loop::new(0, k - 1),
+            Loop::new(0, k - 1),
+        ],
+        refs: vec![
+            ArrayRef::read(ArrayId(0), vec![v(0) + v(2), v(1) + v(3)]),
+            ArrayRef::read(ArrayId(1), vec![v(2), v(3)]),
+            ArrayRef::write(ArrayId(2), vec![v(0), v(1)]),
+        ],
+    };
+    Kernel::new("Conv2D", vec![img, coef, out], nest)
+}
+
+/// Matrix–vector product `y[i] += m[i,j] · x[j]`: the matrix streams once,
+/// the vector is reused every row.
+pub fn matvec(n: i64) -> Kernel {
+    let m = ArrayDecl::new("m", &[n as usize, n as usize], ELEM);
+    let x = ArrayDecl::new("x", &[n as usize], ELEM);
+    let y = ArrayDecl::new("y", &[n as usize], ELEM);
+    let nest = LoopNest {
+        loops: vec![Loop::new(0, n - 1), Loop::new(0, n - 1)],
+        refs: vec![
+            ArrayRef::read(ArrayId(0), vec![v(0), v(1)]),
+            ArrayRef::read(ArrayId(1), vec![v(1)]),
+            ArrayRef::read(ArrayId(2), vec![v(0)]),
+            ArrayRef::write(ArrayId(2), vec![v(0)]),
+        ],
+    };
+    Kernel::new("MatVec", vec![m, x, y], nest)
+}
+
+/// The five kernels of the paper's evaluation, each with the paper's 31×31
+/// iteration space.
+pub fn all_paper_kernels() -> Vec<Kernel> {
+    vec![
+        compress(31),
+        matmul(31),
+        pde(31),
+        sor(31),
+        dequant(31),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::DataLayout;
+    use crate::trace::TraceGen;
+
+    #[test]
+    fn compress_matches_paper_example_1() {
+        let k = compress(31);
+        assert_eq!(k.arrays[0].dims, vec![32, 32]);
+        assert_eq!(k.nest.const_iteration_count(), Some(31 * 31));
+        assert_eq!(k.reads_per_iteration(), 4);
+        assert_eq!(k.read_trip_count(), Some(4 * 961));
+    }
+
+    #[test]
+    fn all_paper_kernels_have_31x31_outer_iteration_space() {
+        for k in all_paper_kernels() {
+            let outer = k.nest.loops[0].const_trip_count().unwrap();
+            let inner = k.nest.loops[1].const_trip_count().unwrap();
+            assert_eq!((outer, inner), (31, 31), "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn matmul_is_three_deep() {
+        let k = matmul(31);
+        assert_eq!(k.nest.depth(), 3);
+        assert_eq!(k.nest.const_iteration_count(), Some(31 * 31 * 31));
+        assert_eq!(k.reads_per_iteration(), 3);
+    }
+
+    #[test]
+    fn every_kernel_traces_without_panicking() {
+        for k in all_paper_kernels()
+            .into_iter()
+            .chain([matadd(6), transpose(8)])
+        {
+            let l = DataLayout::natural(&k);
+            let n = TraceGen::new(&k, &l).count();
+            let expected =
+                k.nest.const_iteration_count().unwrap() as usize * k.nest.refs.len();
+            assert_eq!(n, expected, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn stencil_kernels_stay_in_bounds() {
+        // PDE/SOR touch i±1, j±1; the declared extents must absorb them.
+        for k in [pde(31), sor(31)] {
+            let l = DataLayout::natural(&k);
+            // element_address panics on out-of-bounds; consuming the trace
+            // is the assertion.
+            let _ = TraceGen::new(&k, &l).count();
+        }
+    }
+
+    #[test]
+    fn dequant_reads_two_arrays_per_point() {
+        let k = dequant(31);
+        assert_eq!(k.reads_per_iteration(), 2);
+        assert_eq!(k.read_trip_count(), Some(2 * 961));
+    }
+
+    #[test]
+    fn fir_coefficients_are_loop_reused() {
+        let k = fir(64, 16);
+        assert_eq!(k.nest.depth(), 2);
+        assert_eq!(k.reads_per_iteration(), 2);
+        let l = DataLayout::natural(&k);
+        assert_eq!(TraceGen::new(&k, &l).count(), 64 * 16 * 3);
+    }
+
+    #[test]
+    fn conv2d_traces_in_bounds() {
+        let k = conv2d(16, 3);
+        let l = DataLayout::natural(&k);
+        // element_address panics on out-of-bounds; consuming the trace is
+        // the assertion.
+        assert_eq!(TraceGen::new(&k, &l).count(), 16 * 16 * 9 * 3);
+    }
+
+    #[test]
+    fn matvec_reads_three_arrays() {
+        let k = matvec(31);
+        assert_eq!(k.reads_per_iteration(), 3);
+        assert_eq!(k.read_trip_count(), Some(3 * 961));
+    }
+
+    #[test]
+    fn matadd_matches_paper_example_2_sizes() {
+        let k = matadd(6);
+        let l = DataLayout::natural(&k);
+        // Natural packed bases: a at 0, b at 144, c at 288 (4-byte ints).
+        assert_eq!(l.placement(ArrayId(1)).base, 144);
+        assert_eq!(l.placement(ArrayId(2)).base, 288);
+    }
+}

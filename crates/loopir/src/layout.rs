@@ -1,0 +1,338 @@
+//! Off-chip data layouts.
+//!
+//! The DAC'99 off-chip memory assignment works by *padding*: shifting array
+//! base addresses and stretching the outermost-dimension pitch so that the
+//! leading element of each reference class maps to a chosen cache line
+//! (paper §4.1 — `a[1][0]` moved from address 32 to 36 so it lands on cache
+//! line 2 instead of colliding with `a[0][0]` on line 0).
+//!
+//! A [`DataLayout`] therefore stores, per array, a base byte address and an
+//! outermost-dimension pitch; inner dimensions stay contiguous row-major.
+
+use crate::nest::{ArrayId, Kernel};
+
+/// Placement of one array in off-chip memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Placement {
+    /// Byte address of element `[0][0]…[0]`.
+    pub base: u64,
+    /// Bytes between consecutive outermost-dimension slices ("rows").
+    /// Equals the natural slice size when unpadded. Unused for rank-1 arrays.
+    pub row_pitch: u64,
+}
+
+/// Maps every array of a kernel to off-chip byte addresses.
+///
+/// # Example
+///
+/// ```
+/// use loopir::kernels;
+/// use loopir::layout::DataLayout;
+/// use loopir::ArrayId;
+///
+/// let k = kernels::compress(31);
+/// let layout = DataLayout::natural(&k);
+/// // a[0][0] at base 0; a[1][0] one natural row (32 ints = 128 B) later.
+/// assert_eq!(layout.element_address(&k, ArrayId(0), &[0, 0]), 0);
+/// assert_eq!(layout.element_address(&k, ArrayId(0), &[1, 0]), 128);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DataLayout {
+    placements: Vec<Placement>,
+}
+
+impl DataLayout {
+    /// The natural layout: arrays packed back-to-back starting at address 0,
+    /// each with its natural (unpadded) row pitch.
+    pub fn natural(kernel: &Kernel) -> Self {
+        let mut placements = Vec::with_capacity(kernel.arrays.len());
+        let mut cursor = 0u64;
+        for a in &kernel.arrays {
+            let row_pitch = natural_row_pitch(a.dims.as_slice(), a.elem_size);
+            placements.push(Placement {
+                base: cursor,
+                row_pitch,
+            });
+            cursor += a.byte_size() as u64;
+        }
+        DataLayout { placements }
+    }
+
+    /// Builds a layout from explicit placements (used by the off-chip
+    /// assignment optimiser).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of placements differs from the kernel's array
+    /// count, or any pitch is smaller than the natural slice size (which
+    /// would make distinct elements alias).
+    pub fn from_placements(kernel: &Kernel, placements: Vec<Placement>) -> Self {
+        assert_eq!(
+            placements.len(),
+            kernel.arrays.len(),
+            "one placement per array required"
+        );
+        for (a, p) in kernel.arrays.iter().zip(&placements) {
+            let natural = natural_row_pitch(a.dims.as_slice(), a.elem_size);
+            assert!(
+                p.row_pitch >= natural,
+                "pitch {} for `{}` is below the natural slice size {natural}",
+                p.row_pitch,
+                a.name
+            );
+        }
+        DataLayout { placements }
+    }
+
+    /// The placement of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn placement(&self, id: ArrayId) -> Placement {
+        self.placements[id.0]
+    }
+
+    /// Byte address of the element at `subscripts` of array `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range, the subscript arity is wrong, or any
+    /// subscript is outside the declared extent.
+    pub fn element_address(&self, kernel: &Kernel, id: ArrayId, subscripts: &[i64]) -> u64 {
+        let a = kernel.array(id);
+        assert_eq!(subscripts.len(), a.dims.len(), "subscript arity mismatch");
+        for (k, (&s, &d)) in subscripts.iter().zip(&a.dims).enumerate() {
+            assert!(
+                s >= 0 && (s as usize) < d,
+                "subscript {k} of `{}` out of bounds: {s} not in 0..{d}",
+                a.name
+            );
+        }
+        let p = self.placements[id.0];
+        if a.dims.len() == 1 {
+            return p.base + subscripts[0] as u64 * a.elem_size as u64;
+        }
+        let weights = a.weights();
+        let inner: u64 = subscripts[1..]
+            .iter()
+            .zip(&weights[1..])
+            .map(|(&s, &w)| s as u64 * w as u64)
+            .sum();
+        p.base + subscripts[0] as u64 * p.row_pitch + inner * a.elem_size as u64
+    }
+
+    /// One-past-the-end byte address of array `id` under this layout.
+    pub fn end_address(&self, kernel: &Kernel, id: ArrayId) -> u64 {
+        let a = kernel.array(id);
+        let p = self.placements[id.0];
+        if a.dims.len() == 1 {
+            return p.base + a.byte_size() as u64;
+        }
+        let slice_bytes: u64 = a.dims[1..]
+            .iter()
+            .map(|&d| d as u64)
+            .product::<u64>()
+            * a.elem_size as u64;
+        p.base + (a.dims[0] as u64 - 1) * p.row_pitch + slice_bytes
+    }
+
+    /// Total padding introduced relative to the natural packed layout,
+    /// in bytes — the off-chip memory cost of the optimised assignment.
+    pub fn padding_overhead(&self, kernel: &Kernel) -> u64 {
+        let natural: u64 = kernel.arrays.iter().map(|a| a.byte_size() as u64).sum();
+        let max_end = kernel
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, _)| self.end_address(kernel, ArrayId(i)))
+            .max()
+            .unwrap_or(0);
+        max_end.saturating_sub(natural)
+    }
+
+    /// Checks that no two arrays overlap under this layout.
+    ///
+    /// Returns the pair of overlapping array ids on failure. Row padding
+    /// *inside* an array is allowed to hold no data but may not be claimed
+    /// by another array.
+    pub fn check_no_overlap(&self, kernel: &Kernel) -> Result<(), (ArrayId, ArrayId)> {
+        let mut spans: Vec<(u64, u64, ArrayId)> = kernel
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let id = ArrayId(i);
+                (self.placements[i].base, self.end_address(kernel, id), id)
+            })
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err((w[0].2, w[1].2));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn natural_row_pitch(dims: &[usize], elem_size: usize) -> u64 {
+    dims[1..].iter().map(|&d| d as u64).product::<u64>() * elem_size as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+    use crate::nest::{ArrayDecl, ArrayRef, Kernel, Loop, LoopNest};
+
+    fn kernel_two_arrays() -> Kernel {
+        let a = ArrayDecl::new("a", &[6, 6], 1);
+        let b = ArrayDecl::new("b", &[6, 6], 1);
+        let nest = LoopNest {
+            loops: vec![Loop::new(0, 5), Loop::new(0, 5)],
+            refs: vec![
+                ArrayRef::read(ArrayId(0), vec![AffineExpr::var(0), AffineExpr::var(1)]),
+                ArrayRef::read(ArrayId(1), vec![AffineExpr::var(0), AffineExpr::var(1)]),
+            ],
+        };
+        Kernel::new("two", vec![a, b], nest)
+    }
+
+    #[test]
+    fn natural_layout_packs_arrays() {
+        let k = kernel_two_arrays();
+        let l = DataLayout::natural(&k);
+        assert_eq!(l.placement(ArrayId(0)).base, 0);
+        assert_eq!(l.placement(ArrayId(1)).base, 36);
+        assert_eq!(l.element_address(&k, ArrayId(1), &[0, 0]), 36);
+        assert_eq!(l.element_address(&k, ArrayId(1), &[2, 3]), 36 + 15);
+    }
+
+    #[test]
+    fn padded_pitch_shifts_rows_only() {
+        let k = kernel_two_arrays();
+        let l = DataLayout::from_placements(
+            &k,
+            vec![
+                Placement {
+                    base: 0,
+                    row_pitch: 9, // 3 bytes of padding per row
+                },
+                Placement {
+                    base: 100,
+                    row_pitch: 6,
+                },
+            ],
+        );
+        assert_eq!(l.element_address(&k, ArrayId(0), &[0, 5]), 5);
+        assert_eq!(l.element_address(&k, ArrayId(0), &[1, 0]), 9);
+        assert_eq!(l.end_address(&k, ArrayId(0)), 5 * 9 + 6);
+    }
+
+    #[test]
+    fn paper_compress_padding_example() {
+        // §4.1: byte-sized elements, a[0][0] at 0, pitch padded 32 -> 36
+        // puts a[1][0] at 36.
+        let a = ArrayDecl::new("a", &[32, 32], 1);
+        let nest = LoopNest {
+            loops: vec![Loop::new(1, 31), Loop::new(1, 31)],
+            refs: vec![ArrayRef::read(
+                ArrayId(0),
+                vec![AffineExpr::var(0), AffineExpr::var(1)],
+            )],
+        };
+        let k = Kernel::new("compress-bytes", vec![a], nest);
+        let l = DataLayout::from_placements(
+            &k,
+            vec![Placement {
+                base: 0,
+                row_pitch: 36,
+            }],
+        );
+        assert_eq!(l.element_address(&k, ArrayId(0), &[1, 0]), 36);
+        // With cache size 8 and line size 2: 36 / 2 = line 18; 18 mod 4 = line 2.
+        assert_eq!((36 / 2) % (8 / 2), 2);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let k = kernel_two_arrays();
+        let bad = DataLayout::from_placements(
+            &k,
+            vec![
+                Placement {
+                    base: 0,
+                    row_pitch: 6,
+                },
+                Placement {
+                    base: 10,
+                    row_pitch: 6,
+                },
+            ],
+        );
+        assert_eq!(bad.check_no_overlap(&k), Err((ArrayId(0), ArrayId(1))));
+        let good = DataLayout::natural(&k);
+        assert!(good.check_no_overlap(&k).is_ok());
+    }
+
+    #[test]
+    fn padding_overhead_counts_extra_bytes() {
+        let k = kernel_two_arrays();
+        assert_eq!(DataLayout::natural(&k).padding_overhead(&k), 0);
+        let padded = DataLayout::from_placements(
+            &k,
+            vec![
+                Placement {
+                    base: 0,
+                    row_pitch: 6,
+                },
+                Placement {
+                    base: 38,
+                    row_pitch: 6,
+                },
+            ],
+        );
+        assert_eq!(padded.padding_overhead(&k), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_subscript_panics() {
+        let k = kernel_two_arrays();
+        let l = DataLayout::natural(&k);
+        let _ = l.element_address(&k, ArrayId(0), &[0, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the natural")]
+    fn under_pitch_panics() {
+        let k = kernel_two_arrays();
+        let _ = DataLayout::from_placements(
+            &k,
+            vec![
+                Placement {
+                    base: 0,
+                    row_pitch: 5,
+                },
+                Placement {
+                    base: 100,
+                    row_pitch: 6,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    fn rank_one_arrays_ignore_pitch() {
+        let v = ArrayDecl::new("v", &[10], 4);
+        let nest = LoopNest {
+            loops: vec![Loop::new(0, 9)],
+            refs: vec![ArrayRef::read(ArrayId(0), vec![AffineExpr::var(0)])],
+        };
+        let k = Kernel::new("vec", vec![v], nest);
+        let l = DataLayout::natural(&k);
+        assert_eq!(l.element_address(&k, ArrayId(0), &[3]), 12);
+        assert_eq!(l.end_address(&k, ArrayId(0)), 40);
+    }
+}

@@ -1,0 +1,450 @@
+//! Loop nests, arrays, and array references.
+//!
+//! A [`Kernel`] is a perfectly nested affine loop over a set of declared
+//! arrays — the unit of workload in the DAC'99 exploration flow. Loop bounds
+//! may depend affinely on outer induction variables (needed by the tiled
+//! nests that [`transform::tile`](crate::transform::tile) produces, whose
+//! element loops run `for j = tj .. min(tj + B - 1, n)`).
+
+use crate::expr::AffineExpr;
+use std::fmt;
+
+/// Identifies an array within one [`Kernel`] (index into [`Kernel::arrays`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ArrayId(pub usize);
+
+/// A declared multi-dimensional array.
+///
+/// Arrays are laid out row-major by [`DataLayout`](crate::layout::DataLayout);
+/// `dims` are extents per dimension and `elem_size` is the element size in
+/// bytes (the paper's kernels use 4-byte `int`s).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArrayDecl {
+    /// Human-readable name, e.g. `"a"`.
+    pub name: String,
+    /// Extent of each dimension, outermost first.
+    pub dims: Vec<usize>,
+    /// Element size in bytes.
+    pub elem_size: usize,
+}
+
+impl ArrayDecl {
+    /// Declares an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty, any dimension is zero, or `elem_size` is 0.
+    pub fn new(name: impl Into<String>, dims: &[usize], elem_size: usize) -> Self {
+        assert!(!dims.is_empty(), "array must have at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "array dimensions must be > 0");
+        assert!(elem_size > 0, "element size must be > 0");
+        ArrayDecl {
+            name: name.into(),
+            dims: dims.to_vec(),
+            elem_size,
+        }
+    }
+
+    /// Number of elements in the array.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True if the array holds no elements (never true for validated decls).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total natural (unpadded) size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.len() * self.elem_size
+    }
+
+    /// Row-major weight (in elements) of each subscript position:
+    /// `weights[k]` multiplies subscript `k` when linearising.
+    pub fn weights(&self) -> Vec<usize> {
+        let mut w = vec![1usize; self.dims.len()];
+        for k in (0..self.dims.len().saturating_sub(1)).rev() {
+            w[k] = w[k + 1] * self.dims[k + 1];
+        }
+        w
+    }
+}
+
+/// Whether a reference reads or writes memory.
+///
+/// The paper's energy model counts only reads ("reads dominate processor
+/// cache accesses"), but the trace generator emits both so the simulator
+/// substrate stays general.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// One textual array reference inside the loop body, e.g. `a[i-1][j]`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArrayRef {
+    /// Which array is referenced.
+    pub array: ArrayId,
+    /// One affine subscript per array dimension.
+    pub subscripts: Vec<AffineExpr>,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl ArrayRef {
+    /// A read reference.
+    pub fn read(array: ArrayId, subscripts: Vec<AffineExpr>) -> Self {
+        ArrayRef {
+            array,
+            subscripts,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// A write reference.
+    pub fn write(array: ArrayId, subscripts: Vec<AffineExpr>) -> Self {
+        ArrayRef {
+            array,
+            subscripts,
+            kind: AccessKind::Write,
+        }
+    }
+
+    /// The linear parts of all subscripts, concatenated — the `H` matrix of
+    /// Wolf & Lam flattened row-major. Two references with equal `h_matrix`
+    /// are *uniformly generated*.
+    pub fn h_matrix(&self, depth_count: usize) -> Vec<i64> {
+        let mut h = Vec::with_capacity(self.subscripts.len() * depth_count);
+        for s in &self.subscripts {
+            h.extend(s.linear_part(depth_count));
+        }
+        h
+    }
+
+    /// The constant vector `c` of the reference (one entry per subscript).
+    pub fn constant_vector(&self) -> Vec<i64> {
+        self.subscripts.iter().map(|s| s.constant_term()).collect()
+    }
+}
+
+/// An inclusive loop bound, possibly affine in outer induction variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Bound {
+    /// A compile-time constant.
+    Const(i64),
+    /// An affine function of outer induction variables.
+    Affine(AffineExpr),
+    /// `min(expr, cap)` — produced by tiling for the last partial tile.
+    Min(AffineExpr, i64),
+}
+
+impl Bound {
+    /// Evaluates the bound at the current iteration point (outer loops only).
+    pub fn eval(&self, ivs: &[i64]) -> i64 {
+        match self {
+            Bound::Const(k) => *k,
+            Bound::Affine(e) => e.eval(ivs),
+            Bound::Min(e, cap) => e.eval(ivs).min(*cap),
+        }
+    }
+
+    /// The constant value if this bound does not depend on any variable.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            Bound::Const(k) => Some(*k),
+            Bound::Affine(e) if e.is_constant() => Some(e.constant_term()),
+            Bound::Min(e, cap) if e.is_constant() => Some(e.constant_term().min(*cap)),
+            _ => None,
+        }
+    }
+
+    /// Remaps the depths of any embedded expression (see
+    /// [`AffineExpr::remap_depths`]).
+    pub fn remap_depths(&self, map: impl Fn(usize) -> usize) -> Bound {
+        match self {
+            Bound::Const(k) => Bound::Const(*k),
+            Bound::Affine(e) => Bound::Affine(e.remap_depths(map)),
+            Bound::Min(e, cap) => Bound::Min(e.remap_depths(map), *cap),
+        }
+    }
+}
+
+impl From<i64> for Bound {
+    fn from(k: i64) -> Bound {
+        Bound::Const(k)
+    }
+}
+
+/// One loop level: `for iv = lower ..= upper step step`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Loop {
+    /// Inclusive lower bound.
+    pub lower: Bound,
+    /// Inclusive upper bound.
+    pub upper: Bound,
+    /// Positive step.
+    pub step: i64,
+}
+
+impl Loop {
+    /// A unit-step loop `lower ..= upper`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both bounds are constant and `lower > upper` (empty loops
+    /// are almost always construction bugs in this domain).
+    pub fn new(lower: impl Into<Bound>, upper: impl Into<Bound>) -> Self {
+        Self::with_step(lower, upper, 1)
+    }
+
+    /// A loop with an explicit step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step <= 0`, or if both bounds are constant with
+    /// `lower > upper`.
+    pub fn with_step(lower: impl Into<Bound>, upper: impl Into<Bound>, step: i64) -> Self {
+        assert!(step > 0, "loop step must be positive");
+        let (lower, upper) = (lower.into(), upper.into());
+        if let (Some(lo), Some(hi)) = (lower.as_const(), upper.as_const()) {
+            assert!(lo <= hi, "empty loop: {lo} ..= {hi}");
+        }
+        Loop { lower, upper, step }
+    }
+
+    /// Trip count if both bounds are constant.
+    pub fn const_trip_count(&self) -> Option<u64> {
+        let lo = self.lower.as_const()?;
+        let hi = self.upper.as_const()?;
+        Some(((hi - lo) / self.step + 1).max(0) as u64)
+    }
+}
+
+/// A perfect loop nest: the loops (outermost first) and the body references
+/// in program order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LoopNest {
+    /// Loop levels, outermost first.
+    pub loops: Vec<Loop>,
+    /// Body references in program order (executed once per iteration point).
+    pub refs: Vec<ArrayRef>,
+}
+
+impl LoopNest {
+    /// Nest depth.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Iteration count if all bounds are constant (rectangular nest).
+    pub fn const_iteration_count(&self) -> Option<u64> {
+        self.loops
+            .iter()
+            .map(Loop::const_trip_count)
+            .try_fold(1u64, |acc, t| t.map(|t| acc * t))
+    }
+}
+
+/// A named workload: declared arrays plus one perfect loop nest.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Kernel {
+    /// Display name, e.g. `"Compress"`.
+    pub name: String,
+    /// All arrays touched by the nest.
+    pub arrays: Vec<ArrayDecl>,
+    /// The loop nest.
+    pub nest: LoopNest,
+}
+
+impl Kernel {
+    /// Builds a kernel, validating that every reference is well-formed:
+    /// array ids in range, subscript arity matching the array rank, and no
+    /// subscript referencing a loop deeper than the nest.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any of the above violations — these are construction bugs,
+    /// not runtime conditions.
+    pub fn new(name: impl Into<String>, arrays: Vec<ArrayDecl>, nest: LoopNest) -> Self {
+        let depth = nest.depth();
+        for r in &nest.refs {
+            let a = arrays
+                .get(r.array.0)
+                .unwrap_or_else(|| panic!("reference to undeclared array {:?}", r.array));
+            assert_eq!(
+                r.subscripts.len(),
+                a.dims.len(),
+                "reference to `{}` has {} subscripts but the array has rank {}",
+                a.name,
+                r.subscripts.len(),
+                a.dims.len()
+            );
+            for s in &r.subscripts {
+                if let Some(d) = s.max_depth() {
+                    assert!(
+                        d < depth,
+                        "subscript {s} of `{}` references loop depth {d} but nest depth is {depth}",
+                        a.name
+                    );
+                }
+            }
+        }
+        Kernel {
+            name: name.into(),
+            arrays,
+            nest,
+        }
+    }
+
+    /// The declaration for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0]
+    }
+
+    /// Number of read references per iteration point.
+    pub fn reads_per_iteration(&self) -> usize {
+        self.nest
+            .refs
+            .iter()
+            .filter(|r| r.kind == AccessKind::Read)
+            .count()
+    }
+
+    /// Total read accesses for a rectangular nest (the paper's
+    /// *trip count* input to the cycle model), if bounds are constant.
+    pub fn read_trip_count(&self) -> Option<u64> {
+        Some(self.nest.const_iteration_count()? * self.reads_per_iteration() as u64)
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel {} {{", self.name)?;
+        for a in &self.arrays {
+            write!(f, "  array {}", a.name)?;
+            for d in &a.dims {
+                write!(f, "[{d}]")?;
+            }
+            writeln!(f, " ({}B elems)", a.elem_size)?;
+        }
+        for (d, l) in self.nest.loops.iter().enumerate() {
+            writeln!(
+                f,
+                "  for i{d} = {:?} ..= {:?} step {}",
+                l.lower, l.upper, l.step
+            )?;
+        }
+        for r in &self.nest.refs {
+            let a = &self.arrays[r.array.0];
+            write!(
+                f,
+                "    {} {}",
+                if r.kind == AccessKind::Read { "R" } else { "W" },
+                a.name
+            )?;
+            for s in &r.subscripts {
+                write!(f, "[{s}]")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_d_kernel() -> Kernel {
+        let a = ArrayDecl::new("a", &[8, 8], 4);
+        let nest = LoopNest {
+            loops: vec![Loop::new(0, 7), Loop::new(0, 7)],
+            refs: vec![ArrayRef::read(
+                ArrayId(0),
+                vec![AffineExpr::var(0), AffineExpr::var(1)],
+            )],
+        };
+        Kernel::new("k", vec![a], nest)
+    }
+
+    #[test]
+    fn array_weights_are_row_major() {
+        let a = ArrayDecl::new("a", &[4, 5, 6], 4);
+        assert_eq!(a.weights(), vec![30, 6, 1]);
+        assert_eq!(a.len(), 120);
+        assert_eq!(a.byte_size(), 480);
+    }
+
+    #[test]
+    fn loop_trip_count_includes_both_ends() {
+        assert_eq!(Loop::new(1, 31).const_trip_count(), Some(31));
+        assert_eq!(Loop::with_step(0, 9, 3).const_trip_count(), Some(4));
+    }
+
+    #[test]
+    fn nest_iteration_count_multiplies() {
+        let k = two_d_kernel();
+        assert_eq!(k.nest.const_iteration_count(), Some(64));
+        assert_eq!(k.read_trip_count(), Some(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty loop")]
+    fn empty_loop_panics() {
+        let _ = Loop::new(5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn wrong_arity_panics() {
+        let a = ArrayDecl::new("a", &[8, 8], 4);
+        let nest = LoopNest {
+            loops: vec![Loop::new(0, 7)],
+            refs: vec![ArrayRef::read(ArrayId(0), vec![AffineExpr::var(0)])],
+        };
+        let _ = Kernel::new("bad", vec![a], nest);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn deep_subscript_panics() {
+        let a = ArrayDecl::new("a", &[8], 4);
+        let nest = LoopNest {
+            loops: vec![Loop::new(0, 7)],
+            refs: vec![ArrayRef::read(ArrayId(0), vec![AffineExpr::var(3)])],
+        };
+        let _ = Kernel::new("bad", vec![a], nest);
+    }
+
+    #[test]
+    fn bound_min_evaluates() {
+        let b = Bound::Min(AffineExpr::var(0) + 3, 10);
+        assert_eq!(b.eval(&[5]), 8);
+        assert_eq!(b.eval(&[9]), 10);
+        assert_eq!(b.as_const(), None);
+    }
+
+    #[test]
+    fn h_matrix_and_constant_vector() {
+        let k = two_d_kernel();
+        let r = &k.nest.refs[0];
+        assert_eq!(r.h_matrix(2), vec![1, 0, 0, 1]);
+        assert_eq!(r.constant_vector(), vec![0, 0]);
+    }
+
+    #[test]
+    fn display_contains_name_and_refs() {
+        let k = two_d_kernel();
+        let s = format!("{k}");
+        assert!(s.contains("kernel k"));
+        assert!(s.contains("R a[i0][i1]"));
+    }
+}

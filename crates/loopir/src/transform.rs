@@ -1,0 +1,334 @@
+//! Loop transformations: tiling (blocking) and interchange.
+//!
+//! Tiling follows Wolf & Lam (PLDI'91), the paper's reference \[9\]: the first
+//! `k` loops of a rectangular nest are strip-mined into tile-controlling
+//! loops and element loops, and the element loops are pushed inside. The
+//! paper's Example 3 —
+//!
+//! ```text
+//! for ti = 1, n, 64            |  for i = 1, n
+//!   for tj = 1, n, 64          |    for j = 1, n
+//!     for i = ti, min(ti+63,n) |      a[i,j] = b[j,i]
+//!       for j = tj, min(tj+63,n)
+//!         a[i,j] = b[j,i]
+//! ```
+//!
+//! — is exactly what [`tile`] produces for `tile_sizes = [64, 64]`.
+
+use crate::nest::{Bound, Kernel, Loop, LoopNest};
+use crate::AffineExpr;
+
+/// Tiles the outermost `tile_sizes.len()` loops of a kernel.
+///
+/// `tile_sizes[d]` is the tile extent (in iterations) of loop `d`. A tile
+/// size of 1 degenerates to the original loop order for that level (the
+/// paper treats tiling size `B = 1` as "untiled"). The transformed nest has
+/// `k` extra loops in front; every reference's subscripts are depth-remapped
+/// accordingly, so traces generated from the result visit exactly the same
+/// addresses in tiled order.
+///
+/// # Panics
+///
+/// Panics if more tile sizes than loops are given, if any tile size is 0,
+/// if any tiled loop has non-constant bounds (only rectangular nests can be
+/// tiled by this strip-mine), or if any tiled loop has a non-unit step.
+pub fn tile(kernel: &Kernel, tile_sizes: &[u64]) -> Kernel {
+    let n = kernel.nest.loops.len();
+    let k = tile_sizes.len();
+    assert!(k <= n, "cannot tile {k} loops of a depth-{n} nest");
+    assert!(tile_sizes.iter().all(|&b| b > 0), "tile sizes must be > 0");
+
+    if k == 0 || tile_sizes.iter().all(|&b| b == 1) {
+        // B = 1 along every tiled dimension is the identity transform; avoid
+        // inserting degenerate single-iteration tile loops.
+        return kernel.clone();
+    }
+
+    let mut loops = Vec::with_capacity(n + k);
+    // Tile-controlling loops (depths 0..k in the new nest).
+    for (d, &b) in tile_sizes.iter().enumerate() {
+        let l = &kernel.nest.loops[d];
+        let lo = l
+            .lower
+            .as_const()
+            .expect("tiled loop must have constant bounds");
+        let hi = l
+            .upper
+            .as_const()
+            .expect("tiled loop must have constant bounds");
+        assert_eq!(l.step, 1, "tiled loop must have unit step");
+        loops.push(Loop::with_step(lo, hi, b as i64));
+    }
+    // Element loops for the tiled levels (new depths k..2k):
+    // for i_d = t_d ..= min(t_d + B - 1, hi_d).
+    for (d, &b) in tile_sizes.iter().enumerate() {
+        let hi = kernel.nest.loops[d].upper.as_const().unwrap();
+        loops.push(Loop {
+            lower: Bound::Affine(AffineExpr::var(d)),
+            upper: Bound::Min(AffineExpr::var(d) + (b as i64 - 1), hi),
+            step: 1,
+        });
+    }
+    // Remaining untouched loops shift from depth d to depth k + d; their
+    // bounds may reference outer variables, which also shift by k.
+    for l in &kernel.nest.loops[k..] {
+        loops.push(Loop {
+            lower: l.lower.remap_depths(|d| d + k),
+            upper: l.upper.remap_depths(|d| d + k),
+            step: l.step,
+        });
+    }
+
+    // Original depth d now lives at new depth k + d (tiled levels' element
+    // loops occupy k..2k in original order; untouched loops follow).
+    let refs = kernel
+        .nest
+        .refs
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            for s in &mut r.subscripts {
+                *s = s.remap_depths(|d| d + k);
+            }
+            r
+        })
+        .collect();
+
+    Kernel::new(
+        format!("{}-tiled{:?}", kernel.name, tile_sizes),
+        kernel.arrays.clone(),
+        LoopNest { loops, refs },
+    )
+}
+
+/// Tiles the two outermost loops with the same tile size `b` — the paper's
+/// single "tiling size B" knob used throughout its evaluation.
+///
+/// For depth-1 nests only the single loop is tiled. `b = 1` returns the
+/// kernel unchanged.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`tile`].
+pub fn tile_square(kernel: &Kernel, b: u64) -> Kernel {
+    if b <= 1 {
+        return kernel.clone();
+    }
+    let depth = kernel.nest.loops.len().min(2);
+    tile(kernel, &vec![b; depth])
+}
+
+/// Tiles *every* loop of the nest with the same tile size `b` — classic
+/// blocking; for matrix multiplication this is the (i, j, k) tiling whose
+/// B×B×B working set is what actually fits in a small cache.
+///
+/// `b = 1` returns the kernel unchanged.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`tile`].
+pub fn tile_all(kernel: &Kernel, b: u64) -> Kernel {
+    if b <= 1 {
+        return kernel.clone();
+    }
+    tile(kernel, &vec![b; kernel.nest.loops.len()])
+}
+
+/// Interchanges loops `d1` and `d2` of a rectangular nest.
+///
+/// # Panics
+///
+/// Panics if either depth is out of range, or either loop's bounds are not
+/// constant (interchange of non-rectangular nests is not legal in general).
+pub fn interchange(kernel: &Kernel, d1: usize, d2: usize) -> Kernel {
+    let n = kernel.nest.loops.len();
+    assert!(d1 < n && d2 < n, "interchange depth out of range");
+    for &d in &[d1, d2] {
+        let l = &kernel.nest.loops[d];
+        assert!(
+            l.lower.as_const().is_some() && l.upper.as_const().is_some(),
+            "interchange requires constant bounds at depth {d}"
+        );
+    }
+    let mut loops = kernel.nest.loops.clone();
+    loops.swap(d1, d2);
+    let map = move |d: usize| {
+        if d == d1 {
+            d2
+        } else if d == d2 {
+            d1
+        } else {
+            d
+        }
+    };
+    let refs = kernel
+        .nest
+        .refs
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            for s in &mut r.subscripts {
+                *s = s.remap_depths(map);
+            }
+            r
+        })
+        .collect();
+    Kernel::new(
+        format!("{}-swap({d1},{d2})", kernel.name),
+        kernel.arrays.clone(),
+        LoopNest { loops, refs },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::DataLayout;
+    use crate::nest::{ArrayDecl, ArrayId, ArrayRef};
+    use crate::trace::TraceGen;
+    use std::collections::BTreeMap;
+
+    /// `a[i][j] = b[j][i]` over n×n — the paper's Example 3.
+    fn transpose_kernel(n: usize) -> Kernel {
+        let a = ArrayDecl::new("a", &[n, n], 4);
+        let b = ArrayDecl::new("b", &[n, n], 4);
+        let nest = LoopNest {
+            loops: vec![Loop::new(0, n as i64 - 1), Loop::new(0, n as i64 - 1)],
+            refs: vec![
+                ArrayRef::read(ArrayId(1), vec![AffineExpr::var(1), AffineExpr::var(0)]),
+                ArrayRef::write(ArrayId(0), vec![AffineExpr::var(0), AffineExpr::var(1)]),
+            ],
+        };
+        Kernel::new("transpose", vec![a, b], nest)
+    }
+
+    fn address_multiset(k: &Kernel) -> BTreeMap<u64, usize> {
+        let l = DataLayout::natural(k);
+        let mut m = BTreeMap::new();
+        for acc in TraceGen::new(k, &l) {
+            *m.entry(acc.addr).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn tiling_preserves_the_address_multiset() {
+        let k = transpose_kernel(7);
+        for b in [2u64, 3, 4, 8] {
+            let t = tile_square(&k, b);
+            assert_eq!(
+                address_multiset(&k),
+                address_multiset(&t),
+                "tile size {b} changed the set of touched addresses"
+            );
+        }
+    }
+
+    #[test]
+    fn tiling_changes_visit_order() {
+        let k = transpose_kernel(6);
+        let t = tile_square(&k, 2);
+        let l = DataLayout::natural(&k);
+        let orig: Vec<u64> = TraceGen::new(&k, &l).map(|a| a.addr).collect();
+        let lt = DataLayout::natural(&t);
+        let tiled: Vec<u64> = TraceGen::new(&t, &lt).map(|a| a.addr).collect();
+        assert_eq!(orig.len(), tiled.len());
+        assert_ne!(orig, tiled);
+    }
+
+    #[test]
+    fn tile_size_one_is_identity() {
+        let k = transpose_kernel(5);
+        let t = tile_square(&k, 1);
+        assert_eq!(k, t);
+    }
+
+    #[test]
+    fn partial_tiles_are_capped() {
+        // n = 5, b = 2: tiles {0,1},{2,3},{4}.
+        let k = transpose_kernel(5);
+        let t = tile_square(&k, 2);
+        assert_eq!(t.nest.loops.len(), 4);
+        let l = DataLayout::natural(&t);
+        assert_eq!(TraceGen::new(&t, &l).count(), 5 * 5 * 2);
+    }
+
+    #[test]
+    fn tiled_nest_structure_matches_example_3() {
+        let k = transpose_kernel(8);
+        let t = tile(&k, &[4, 4]);
+        // ti, tj tile loops with step 4.
+        assert_eq!(t.nest.loops[0].step, 4);
+        assert_eq!(t.nest.loops[1].step, 4);
+        // Element loop i: lower = ti, upper = min(ti+3, 7).
+        assert_eq!(t.nest.loops[2].lower, Bound::Affine(AffineExpr::var(0)));
+        assert_eq!(
+            t.nest.loops[2].upper,
+            Bound::Min(AffineExpr::var(0) + 3, 7)
+        );
+        // b[j][i] becomes b[i3][i2].
+        assert_eq!(t.nest.refs[0].subscripts[0], AffineExpr::var(3));
+        assert_eq!(t.nest.refs[0].subscripts[1], AffineExpr::var(2));
+    }
+
+    #[test]
+    fn interchange_swaps_traversal_order() {
+        let k = transpose_kernel(4);
+        let sw = interchange(&k, 0, 1);
+        let lw = DataLayout::natural(&sw);
+        // After interchange the read b[j][i] becomes row-major sequential.
+        let first: Vec<u64> = TraceGen::new(&sw, &lw)
+            .filter(|a| a.kind == crate::AccessKind::Read)
+            .take(4)
+            .map(|a| a.addr)
+            .collect();
+        let base = 4 * 4 * 4; // b starts after a
+        assert_eq!(
+            first,
+            vec![base as u64, base as u64 + 4, base as u64 + 8, base as u64 + 12]
+        );
+    }
+
+    #[test]
+    fn interchange_is_involutive() {
+        let k = transpose_kernel(5);
+        let twice = interchange(&interchange(&k, 0, 1), 0, 1);
+        assert_eq!(k.nest, twice.nest);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit step")]
+    fn tiling_a_tiled_nest_panics() {
+        let k = transpose_kernel(4);
+        let t = tile_square(&k, 2);
+        // The tile-controlling loops have step 2; re-tiling is rejected.
+        let _ = tile(&t, &[2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant bounds")]
+    fn tiling_affine_bounds_panics() {
+        let a = ArrayDecl::new("a", &[6], 1);
+        let nest = LoopNest {
+            loops: vec![
+                Loop::new(0, 5),
+                Loop {
+                    lower: Bound::Affine(AffineExpr::var(0)),
+                    upper: Bound::Const(5),
+                    step: 1,
+                },
+            ],
+            refs: vec![ArrayRef::read(ArrayId(0), vec![AffineExpr::var(1)])],
+        };
+        let k = Kernel::new("tri", vec![a], nest);
+        let _ = tile(&k, &[2, 2]);
+    }
+
+    #[test]
+    fn tile_one_loop_of_deep_nest() {
+        let k = transpose_kernel(6);
+        let t = tile(&k, &[3]);
+        assert_eq!(t.nest.loops.len(), 3);
+        assert_eq!(address_multiset(&k), address_multiset(&t));
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the loop-nest IR.
+
+use loopir::parse::parse_kernel;
+use loopir::transform::{interchange, tile_all};
+use loopir::{AffineExpr, ArrayDecl, ArrayId, ArrayRef, DataLayout, Kernel, Loop, LoopNest, TraceGen};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_expr() -> impl Strategy<Value = (AffineExpr, Vec<i64>)> {
+    // An expression over up to 3 variables plus an evaluation point.
+    (
+        proptest::collection::vec(-5i64..=5, 3),
+        -10i64..=10,
+        proptest::collection::vec(-20i64..=20, 3),
+    )
+        .prop_map(|(coeffs, k, point)| {
+            let mut e = AffineExpr::constant(k);
+            for (d, &c) in coeffs.iter().enumerate() {
+                e = e + AffineExpr::linear(d, c, 0);
+            }
+            (e, point)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn expr_addition_is_pointwise((a, p) in arb_expr(), (b, _) in arb_expr()) {
+        let sum = a.clone() + b.clone();
+        prop_assert_eq!(sum.eval(&p), a.eval(&p) + b.eval(&p));
+    }
+
+    #[test]
+    fn expr_scaling_is_pointwise((a, p) in arb_expr(), k in -4i64..=4) {
+        prop_assert_eq!((a.clone() * k).eval(&p), k * a.eval(&p));
+    }
+
+    #[test]
+    fn remap_depths_commutes_with_eval((a, p) in arb_expr(), shift in 0usize..3) {
+        // Shifting depths by `shift` and padding the point front with zeros
+        // (whose values are then read at the shifted positions) keeps eval.
+        let shifted = a.remap_depths(|d| d + shift);
+        let mut padded = vec![0i64; shift];
+        padded.extend(&p);
+        prop_assert_eq!(shifted.eval(&padded), a.eval(&p));
+    }
+
+    #[test]
+    fn linear_part_and_constant_fully_determine_eval((a, p) in arb_expr()) {
+        let manual: i64 = a
+            .linear_part(3)
+            .iter()
+            .zip(&p)
+            .map(|(c, x)| c * x)
+            .sum::<i64>()
+            + a.constant_term();
+        prop_assert_eq!(a.eval(&p), manual);
+    }
+}
+
+/// Random rectangular 2-D kernels with in-bounds stencil refs, rendered to
+/// the text format and parsed back.
+fn arb_stencil() -> impl Strategy<Value = (usize, usize, Vec<(i64, i64, bool)>)> {
+    (
+        4usize..10,
+        4usize..10,
+        proptest::collection::vec((-1i64..=1, -1i64..=1, proptest::bool::ANY), 1..5),
+    )
+}
+
+fn build_kernel(rows: usize, cols: usize, refs: &[(i64, i64, bool)]) -> Kernel {
+    let a = ArrayDecl::new("a", &[rows, cols], 4);
+    let body = refs
+        .iter()
+        .map(|&(c0, c1, w)| {
+            let subs = vec![AffineExpr::var(0) + c0, AffineExpr::var(1) + c1];
+            if w {
+                ArrayRef::write(ArrayId(0), subs)
+            } else {
+                ArrayRef::read(ArrayId(0), subs)
+            }
+        })
+        .collect();
+    let nest = LoopNest {
+        loops: vec![
+            Loop::new(1, rows as i64 - 2),
+            Loop::new(1, cols as i64 - 2),
+        ],
+        refs: body,
+    };
+    Kernel::new("Gen", vec![a], nest)
+}
+
+fn render_source(rows: usize, cols: usize, refs: &[(i64, i64, bool)]) -> String {
+    let mut s = format!(
+        "kernel Gen\narray a[{rows}][{cols}] elem 4\nfor i = 1 .. {}\nfor j = 1 .. {}\n",
+        rows - 2,
+        cols - 2
+    );
+    let term = |v: &str, c: i64| match c.cmp(&0) {
+        std::cmp::Ordering::Equal => v.to_string(),
+        std::cmp::Ordering::Greater => format!("{v}+{c}"),
+        std::cmp::Ordering::Less => format!("{v}{c}"),
+    };
+    for &(c0, c1, w) in refs {
+        s.push_str(&format!(
+            "{} a[{}][{}]\n",
+            if w { "write" } else { "read" },
+            term("i", c0),
+            term("j", c1)
+        ));
+    }
+    s
+}
+
+fn trace_multiset(kernel: &Kernel) -> BTreeMap<(u64, bool), usize> {
+    let layout = DataLayout::natural(kernel);
+    let mut m = BTreeMap::new();
+    for a in TraceGen::new(kernel, &layout) {
+        *m.entry((a.addr, a.kind == loopir::AccessKind::Write))
+            .or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parser_round_trips_random_stencils((rows, cols, refs) in arb_stencil()) {
+        let direct = build_kernel(rows, cols, &refs);
+        let parsed = parse_kernel(&render_source(rows, cols, &refs))
+            .expect("rendered source is valid");
+        prop_assert_eq!(&parsed.arrays, &direct.arrays);
+        prop_assert_eq!(&parsed.nest, &direct.nest);
+    }
+
+    #[test]
+    fn traces_stay_within_the_arrays((rows, cols, refs) in arb_stencil()) {
+        let kernel = build_kernel(rows, cols, &refs);
+        let layout = DataLayout::natural(&kernel);
+        let end = rows as u64 * cols as u64 * 4;
+        for access in TraceGen::new(&kernel, &layout) {
+            prop_assert!(access.addr + access.size as u64 <= end);
+        }
+    }
+
+    #[test]
+    fn interchange_preserves_the_access_multiset((rows, cols, refs) in arb_stencil()) {
+        let kernel = build_kernel(rows, cols, &refs);
+        let swapped = interchange(&kernel, 0, 1);
+        prop_assert_eq!(trace_multiset(&kernel), trace_multiset(&swapped));
+    }
+
+    #[test]
+    fn tiling_preserves_counts_at_any_size(
+        (rows, cols, refs) in arb_stencil(),
+        b in 1u64..8,
+    ) {
+        let kernel = build_kernel(rows, cols, &refs);
+        let tiled = tile_all(&kernel, b);
+        prop_assert_eq!(trace_multiset(&kernel), trace_multiset(&tiled));
+    }
+
+    #[test]
+    fn read_trip_count_matches_the_trace((rows, cols, refs) in arb_stencil()) {
+        let kernel = build_kernel(rows, cols, &refs);
+        let layout = DataLayout::natural(&kernel);
+        let reads = TraceGen::new(&kernel, &layout)
+            .filter(|a| a.kind == loopir::AccessKind::Read)
+            .count() as u64;
+        prop_assert_eq!(kernel.read_trip_count(), Some(reads));
+    }
+}

@@ -1,0 +1,446 @@
+//! The cache proper: sets, ways, and replacement state.
+
+use crate::config::{CacheConfig, Replacement, WritePolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The result of a single line access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessOutcome {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Line-aligned address of a dirty line written back to memory, if any.
+    pub writeback: Option<u64>,
+    /// Line-aligned address of the line brought in from memory, if any
+    /// (`None` on hits and on write-through misses without allocation).
+    pub fill: Option<u64>,
+    /// Line-aligned address evicted to make room (clean or dirty), if any.
+    pub evicted: Option<u64>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64,
+    dirty: bool,
+    /// Monotonic counter value at last *use* (LRU) or at *fill* (FIFO).
+    stamp: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Set {
+    ways: Vec<Option<Way>>,
+    /// Tree-PLRU direction bits (bit per internal node), used when the
+    /// policy is [`Replacement::Plru`].
+    plru_bits: u64,
+}
+
+/// A set-associative cache with pluggable replacement and write policies.
+///
+/// Addresses are byte addresses; the cache tracks presence per line. Data
+/// contents are not modelled — this is a performance/energy simulator, not a
+/// functional one.
+///
+/// # Example
+///
+/// ```
+/// use memsim::{Cache, CacheConfig, Replacement};
+///
+/// let cfg = CacheConfig::new(32, 8, 2)?.with_replacement(Replacement::Lru);
+/// let mut cache = Cache::new(cfg);
+/// cache.read(0);
+/// cache.read(32);   // same set, second way
+/// cache.read(0);    // LRU refresh
+/// let out = cache.read(64); // evicts line 32, not line 0
+/// assert_eq!(out.evicted, Some(32));
+/// assert!(cache.read(0).hit);
+/// # Ok::<(), memsim::ConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Set>,
+    clock: u64,
+    rng: Option<StdRng>,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = vec![
+            Set {
+                ways: vec![None; config.assoc()],
+                plru_bits: 0,
+            };
+            config.num_sets()
+        ];
+        let rng = match config.replacement {
+            Replacement::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        Cache {
+            config,
+            sets,
+            clock: 0,
+            rng,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Invalidates every line, returning the cache to its initial state.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.ways.iter_mut().for_each(|w| *w = None);
+            set.plru_bits = 0;
+        }
+        self.clock = 0;
+    }
+
+    /// Reads the line containing `addr`.
+    pub fn read(&mut self, addr: u64) -> AccessOutcome {
+        self.access(addr, false)
+    }
+
+    /// Writes the line containing `addr`.
+    pub fn write(&mut self, addr: u64) -> AccessOutcome {
+        self.access(addr, true)
+    }
+
+    /// Performs one line access. Multi-byte accesses that span a line
+    /// boundary must be split by the caller (see
+    /// [`Simulator`](crate::sim::Simulator), which does this).
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.clock += 1;
+        let (set_idx, tag) = self.config.locate(addr);
+        let line_base = self.config.line_base(addr);
+        let assoc = self.config.assoc();
+        let replacement = self.config.replacement;
+        let write_policy = self.config.write_policy;
+        let clock = self.clock;
+
+        let set = &mut self.sets[set_idx];
+
+        // Hit path.
+        if let Some(way_idx) = set
+            .ways
+            .iter()
+            .position(|w| w.is_some_and(|w| w.tag == tag))
+        {
+            let way = set.ways[way_idx].as_mut().expect("way just matched");
+            if replacement == Replacement::Lru {
+                way.stamp = clock;
+            }
+            if is_write {
+                match write_policy {
+                    WritePolicy::WriteBackAllocate => way.dirty = true,
+                    WritePolicy::WriteThroughNoAllocate => {} // memory updated directly
+                }
+            }
+            if replacement == Replacement::Plru {
+                touch_plru(&mut set.plru_bits, way_idx, assoc);
+            }
+            return AccessOutcome {
+                hit: true,
+                writeback: None,
+                fill: None,
+                evicted: None,
+            };
+        }
+
+        // Miss path.
+        if is_write && write_policy == WritePolicy::WriteThroughNoAllocate {
+            // Write goes straight to memory; nothing is allocated.
+            return AccessOutcome {
+                hit: false,
+                writeback: None,
+                fill: None,
+                evicted: None,
+            };
+        }
+
+        // Choose a victim way: first invalid way, else per policy.
+        let victim_idx = match set.ways.iter().position(Option::is_none) {
+            Some(idx) => idx,
+            None => match replacement {
+                Replacement::Lru | Replacement::Fifo => set
+                    .ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.expect("all ways valid").stamp)
+                    .map(|(i, _)| i)
+                    .expect("associativity is at least 1"),
+                Replacement::Plru => plru_victim(set.plru_bits, assoc),
+                Replacement::Random { .. } => self
+                    .rng
+                    .as_mut()
+                    .expect("random policy always has an rng")
+                    .gen_range(0..assoc),
+            },
+        };
+
+        let set = &mut self.sets[set_idx];
+        let old = set.ways[victim_idx];
+        let (writeback, evicted) = match old {
+            Some(w) => {
+                let evicted_base = self.config.reconstruct_line_base(set_idx, w.tag);
+                (w.dirty.then_some(evicted_base), Some(evicted_base))
+            }
+            None => (None, None),
+        };
+
+        set.ways[victim_idx] = Some(Way {
+            tag,
+            dirty: is_write && write_policy == WritePolicy::WriteBackAllocate,
+            stamp: clock,
+        });
+        if replacement == Replacement::Plru {
+            touch_plru(&mut set.plru_bits, victim_idx, assoc);
+        }
+
+        AccessOutcome {
+            hit: false,
+            writeback,
+            fill: Some(line_base),
+            evicted,
+        }
+    }
+
+    /// True if the line containing `addr` is currently cached (no state
+    /// change — useful in tests and in the conflict-miss classifier).
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.config.locate(addr);
+        self.sets[set_idx]
+            .ways
+            .iter()
+            .any(|w| w.is_some_and(|w| w.tag == tag))
+    }
+
+    /// Number of currently valid lines.
+    pub fn valid_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.ways.iter().filter(|w| w.is_some()).count())
+            .sum()
+    }
+}
+
+impl CacheConfig {
+    /// Rebuilds the line-aligned byte address from `(set, tag)`.
+    fn reconstruct_line_base(&self, set: usize, tag: u64) -> u64 {
+        (tag * self.num_sets() as u64 + set as u64) * self.line() as u64
+    }
+}
+
+/// Walks the PLRU tree from the root, flipping the bits along the path to
+/// point *away* from `way`, marking it most-recently used.
+fn touch_plru(bits: &mut u64, way: usize, assoc: usize) {
+    debug_assert!(assoc.is_power_of_two());
+    let mut node = 0usize; // root
+    let mut lo = 0usize;
+    let mut hi = assoc;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        let go_right = way >= mid;
+        // Bit semantics: 0 = victim on the left, 1 = victim on the right.
+        // Point the victim pointer at the *other* half.
+        if go_right {
+            *bits &= !(1 << node);
+            lo = mid;
+            node = 2 * node + 2;
+        } else {
+            *bits |= 1 << node;
+            hi = mid;
+            node = 2 * node + 1;
+        }
+    }
+}
+
+/// Follows the PLRU victim pointers from the root to a leaf.
+fn plru_victim(bits: u64, assoc: usize) -> usize {
+    let mut node = 0usize;
+    let mut lo = 0usize;
+    let mut hi = assoc;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if bits & (1 << node) != 0 {
+            lo = mid;
+            node = 2 * node + 2;
+        } else {
+            hi = mid;
+            node = 2 * node + 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Replacement, WritePolicy};
+
+    fn cache(size: usize, line: usize, assoc: usize) -> Cache {
+        Cache::new(CacheConfig::new(size, line, assoc).unwrap())
+    }
+
+    #[test]
+    fn cold_miss_then_hit_within_line() {
+        let mut c = cache(64, 8, 1);
+        assert!(!c.read(0x10).hit);
+        assert!(c.read(0x17).hit);
+        assert!(!c.read(0x18).hit);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = cache(64, 8, 1); // 8 sets
+        assert!(!c.read(0).hit);
+        assert!(!c.read(64).hit); // same set 0, evicts
+        assert!(!c.read(0).hit); // evicted again
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn two_way_lru_keeps_recently_used() {
+        let mut c = cache(32, 8, 2); // 2 sets, addresses 0,16,32 map to set 0
+        c.read(0);
+        c.read(16);
+        c.read(0); // refresh 0
+        let out = c.read(32);
+        assert_eq!(out.evicted, Some(16));
+        assert!(c.contains(0));
+        assert!(!c.contains(16));
+    }
+
+    #[test]
+    fn fifo_evicts_in_fill_order() {
+        let cfg = CacheConfig::new(32, 8, 2)
+            .unwrap()
+            .with_replacement(Replacement::Fifo);
+        let mut c = Cache::new(cfg);
+        c.read(0);
+        c.read(16);
+        c.read(0); // does NOT refresh under FIFO
+        let out = c.read(32);
+        assert_eq!(out.evicted, Some(0));
+    }
+
+    #[test]
+    fn plru_four_way_behaves_sanely() {
+        let cfg = CacheConfig::new(32, 8, 4)
+            .unwrap()
+            .with_replacement(Replacement::Plru);
+        let mut c = Cache::new(cfg);
+        for a in [0u64, 32, 64, 96] {
+            assert!(!c.read(a).hit);
+        }
+        // All four resident; a fifth distinct line evicts exactly one.
+        let out = c.read(128);
+        assert!(out.evicted.is_some());
+        assert_eq!(c.valid_lines(), 4);
+        // The most recently touched line (96) must survive one eviction
+        // under tree-PLRU.
+        assert!(c.contains(128));
+    }
+
+    #[test]
+    fn plru_never_evicts_most_recent() {
+        let cfg = CacheConfig::new(64, 8, 8)
+            .unwrap()
+            .with_replacement(Replacement::Plru);
+        let mut c = Cache::new(cfg);
+        for i in 0..8u64 {
+            c.read(i * 64);
+        }
+        for i in 8..64u64 {
+            let just_read = i * 64;
+            let out = c.read(just_read);
+            assert_ne!(out.evicted, Some(just_read));
+            assert!(c.contains(just_read));
+        }
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let cfg = CacheConfig::new(32, 8, 4)
+                .unwrap()
+                .with_replacement(Replacement::Random { seed });
+            let mut c = Cache::new(cfg);
+            let mut evictions = Vec::new();
+            for i in 0..64u64 {
+                if let Some(e) = c.read(i * 8 % 512).evicted {
+                    evictions.push(e);
+                }
+            }
+            evictions
+        };
+        assert_eq!(mk(7), mk(7));
+    }
+
+    #[test]
+    fn writeback_marks_dirty_and_writes_back() {
+        let mut c = cache(16, 8, 1); // 2 sets
+        c.write(0);
+        let out = c.read(16); // set 0 conflict, dirty victim
+        assert_eq!(out.writeback, Some(0));
+        assert_eq!(out.evicted, Some(0));
+        let out2 = c.read(32); // clean victim now
+        assert_eq!(out2.writeback, None);
+        assert_eq!(out2.evicted, Some(16));
+    }
+
+    #[test]
+    fn write_through_does_not_allocate() {
+        let cfg = CacheConfig::new(16, 8, 1)
+            .unwrap()
+            .with_write_policy(WritePolicy::WriteThroughNoAllocate);
+        let mut c = Cache::new(cfg);
+        assert!(!c.write(0).hit);
+        assert!(!c.contains(0));
+        c.read(0);
+        assert!(c.write(0).hit); // write hits update in place
+        let out = c.read(16);
+        assert_eq!(out.writeback, None); // never dirty
+    }
+
+    #[test]
+    fn flush_restores_cold_state() {
+        let mut c = cache(64, 8, 2);
+        c.read(0);
+        c.read(64);
+        assert!(c.valid_lines() > 0);
+        c.flush();
+        assert_eq!(c.valid_lines(), 0);
+        assert!(!c.read(0).hit);
+    }
+
+    #[test]
+    fn fill_reports_line_base() {
+        let mut c = cache(64, 16, 1);
+        let out = c.read(0x23);
+        assert_eq!(out.fill, Some(0x20));
+    }
+
+    #[test]
+    fn evicted_address_round_trips() {
+        let mut c = cache(64, 8, 1); // 8 sets
+        c.read(8 * 3 + 64 * 5); // set 3, tag 5
+        let out = c.read(8 * 3 + 64 * 9); // same set, different tag
+        assert_eq!(out.evicted, Some(8 * 3 + 64 * 5));
+    }
+
+    #[test]
+    fn fully_associative_no_conflict_misses() {
+        let mut c = Cache::new(CacheConfig::fully_associative(64, 8).unwrap());
+        // 8 lines with addresses that would all collide direct-mapped.
+        for i in 0..8u64 {
+            assert!(!c.read(i * 64).hit);
+        }
+        for i in 0..8u64 {
+            assert!(c.read(i * 64).hit, "line {i} should still be resident");
+        }
+    }
+}

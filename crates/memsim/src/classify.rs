@@ -1,0 +1,201 @@
+//! Three-C miss classification: compulsory, capacity, conflict.
+//!
+//! The paper's off-chip assignment (§4.1) claims to eliminate *conflict*
+//! misses entirely for compatible access patterns. To verify that claim we
+//! classify every miss of the simulated cache by the standard three-C
+//! taxonomy (Hill/Smith, as popularised by Hennessy & Patterson — the
+//! paper's reference \[10\]):
+//!
+//! * **compulsory** — the line was never referenced before;
+//! * **capacity** — a fully associative LRU cache of the same capacity and
+//!   line size would also miss;
+//! * **conflict** — the fully associative cache would have hit; the miss is
+//!   an artifact of limited associativity / placement.
+
+use crate::cache::Cache;
+use crate::config::CacheConfig;
+use std::collections::HashSet;
+
+/// The class of one miss.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MissClass {
+    /// First-ever reference to the line.
+    Compulsory,
+    /// Would miss even with full associativity.
+    Capacity,
+    /// Misses only because of limited associativity.
+    Conflict,
+}
+
+/// Per-class miss counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MissClassCounts {
+    /// Compulsory (cold) misses.
+    pub compulsory: u64,
+    /// Capacity misses.
+    pub capacity: u64,
+    /// Conflict misses.
+    pub conflict: u64,
+}
+
+impl MissClassCounts {
+    /// Total classified misses.
+    pub fn total(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+}
+
+/// Classifies misses by running a fully associative LRU shadow cache in
+/// lockstep with the real cache.
+///
+/// Feed it every access (`observe`), in the same order the real cache sees
+/// them; for accesses that missed in the real cache it returns the class.
+///
+/// # Example
+///
+/// ```
+/// use memsim::{Cache, CacheConfig, Classifier, MissClass};
+///
+/// let cfg = CacheConfig::new(64, 8, 1)?;
+/// let mut cache = Cache::new(cfg);
+/// let mut cls = Classifier::new(&cfg)?;
+///
+/// let addr = 0x40;
+/// let hit = cache.read(addr).hit;
+/// assert_eq!(cls.observe(addr, hit), Some(MissClass::Compulsory));
+/// # Ok::<(), memsim::ConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Classifier {
+    shadow: Cache,
+    seen: HashSet<u64>,
+    line: usize,
+    counts: MissClassCounts,
+}
+
+impl Classifier {
+    /// Builds a classifier for caches of `config`'s capacity and line size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`](crate::ConfigError) from building the
+    /// fully associative shadow configuration (cannot happen for a valid
+    /// `config`).
+    pub fn new(config: &CacheConfig) -> Result<Self, crate::ConfigError> {
+        let shadow_cfg = CacheConfig::fully_associative(config.size(), config.line())?;
+        Ok(Classifier {
+            shadow: Cache::new(shadow_cfg),
+            seen: HashSet::new(),
+            line: config.line(),
+            counts: MissClassCounts::default(),
+        })
+    }
+
+    /// Observes one access. `real_hit` is the outcome in the real cache.
+    /// Returns the miss class if the real cache missed, `None` on hits.
+    pub fn observe(&mut self, addr: u64, real_hit: bool) -> Option<MissClass> {
+        let line_addr = addr / self.line as u64;
+        let first_touch = self.seen.insert(line_addr);
+        let shadow_hit = self.shadow.read(addr).hit;
+        if real_hit {
+            return None;
+        }
+        let class = if first_touch {
+            MissClass::Compulsory
+        } else if !shadow_hit {
+            MissClass::Capacity
+        } else {
+            MissClass::Conflict
+        };
+        match class {
+            MissClass::Compulsory => self.counts.compulsory += 1,
+            MissClass::Capacity => self.counts.capacity += 1,
+            MissClass::Conflict => self.counts.conflict += 1,
+        }
+        Some(class)
+    }
+
+    /// Counters accumulated so far.
+    pub fn counts(&self) -> MissClassCounts {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: CacheConfig, trace: &[u64]) -> MissClassCounts {
+        let mut cache = Cache::new(cfg);
+        let mut cls = Classifier::new(&cfg).unwrap();
+        for &a in trace {
+            let hit = cache.read(a).hit;
+            cls.observe(a, hit);
+        }
+        cls.counts()
+    }
+
+    #[test]
+    fn first_touches_are_compulsory() {
+        let cfg = CacheConfig::new(64, 8, 1).unwrap();
+        let c = run(cfg, &[0, 8, 16]);
+        assert_eq!(c.compulsory, 3);
+        assert_eq!(c.conflict, 0);
+        assert_eq!(c.capacity, 0);
+    }
+
+    #[test]
+    fn direct_mapped_ping_pong_is_conflict() {
+        // Two lines mapping to the same set of a direct-mapped cache,
+        // alternating: all repeat misses are conflict (full assoc would hit).
+        let cfg = CacheConfig::new(64, 8, 1).unwrap();
+        let trace: Vec<u64> = (0..10).map(|i| (i % 2) * 64).collect();
+        let c = run(cfg, &trace);
+        assert_eq!(c.compulsory, 2);
+        assert_eq!(c.conflict, 8);
+        assert_eq!(c.capacity, 0);
+    }
+
+    #[test]
+    fn streaming_beyond_capacity_is_capacity() {
+        // Sequentially stream 32 distinct lines through an 8-line cache,
+        // twice: second pass misses are capacity.
+        let cfg = CacheConfig::new(64, 8, 8).unwrap(); // fully assoc itself
+        let pass: Vec<u64> = (0..32).map(|i| i * 8).collect();
+        let trace: Vec<u64> = pass.iter().chain(pass.iter()).copied().collect();
+        let c = run(cfg, &trace);
+        assert_eq!(c.compulsory, 32);
+        assert_eq!(c.capacity, 32);
+        assert_eq!(c.conflict, 0);
+    }
+
+    #[test]
+    fn hits_return_none_and_count_nothing() {
+        let cfg = CacheConfig::new(64, 8, 1).unwrap();
+        let mut cache = Cache::new(cfg);
+        let mut cls = Classifier::new(&cfg).unwrap();
+        cache.read(0);
+        cls.observe(0, false);
+        let hit = cache.read(0).hit;
+        assert!(hit);
+        assert_eq!(cls.observe(0, true), None);
+        assert_eq!(cls.counts().total(), 1);
+    }
+
+    #[test]
+    fn classes_partition_the_misses() {
+        let cfg = CacheConfig::new(32, 4, 1).unwrap();
+        let trace: Vec<u64> = (0..200).map(|i| (i * 13) % 256).collect();
+        let mut cache = Cache::new(cfg);
+        let mut cls = Classifier::new(&cfg).unwrap();
+        let mut misses = 0;
+        for &a in &trace {
+            let hit = cache.read(a).hit;
+            if !hit {
+                misses += 1;
+            }
+            cls.observe(a, hit);
+        }
+        assert_eq!(cls.counts().total(), misses);
+    }
+}

@@ -1,0 +1,199 @@
+//! Dinero `.din` trace-format interop.
+//!
+//! The classic Dinero (III/IV) "din" input format is one access per line:
+//!
+//! ```text
+//! <label> <hex address>
+//! ```
+//!
+//! where label `0` is a data read, `1` a data write, and `2` an instruction
+//! fetch. The paper cites Dinero IV as the off-the-shelf simulator it chose
+//! *not* to port to (\[11\]); we support the format so traces can be exchanged
+//! with it for validation.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// One record of a `.din` trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DinRecord {
+    /// Access type.
+    pub label: DinLabel,
+    /// Byte address.
+    pub addr: u64,
+}
+
+/// Dinero access labels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DinLabel {
+    /// Data read (label 0).
+    Read,
+    /// Data write (label 1).
+    Write,
+    /// Instruction fetch (label 2).
+    Ifetch,
+}
+
+impl DinLabel {
+    fn code(self) -> u8 {
+        match self {
+            DinLabel::Read => 0,
+            DinLabel::Write => 1,
+            DinLabel::Ifetch => 2,
+        }
+    }
+}
+
+/// Errors from [`parse_din`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseDinError {
+    /// A line did not have exactly two whitespace-separated fields.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The label field was not 0, 1, or 2.
+    BadLabel {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The address field was not valid hexadecimal.
+    BadAddress {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl fmt::Display for ParseDinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDinError::MalformedLine { line } => {
+                write!(f, "line {line}: expected `<label> <hex addr>`")
+            }
+            ParseDinError::BadLabel { line, token } => {
+                write!(f, "line {line}: bad label `{token}` (expected 0, 1, or 2)")
+            }
+            ParseDinError::BadAddress { line, token } => {
+                write!(f, "line {line}: bad hex address `{token}`")
+            }
+        }
+    }
+}
+
+impl Error for ParseDinError {}
+
+/// Parses a `.din` trace from a reader. Blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns a [`ParseDinError`] describing the first malformed line; I/O
+/// errors are surfaced as [`ParseDinError::MalformedLine`] is *not* used for
+/// them — they panic only in [`BufRead`] misuse and otherwise bubble up via
+/// the inner `Result`.
+pub fn parse_din<R: BufRead>(reader: R) -> Result<Vec<DinRecord>, Box<dyn Error + Send + Sync>> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let (label_tok, addr_tok) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(l), Some(a), None) => (l, a),
+            _ => return Err(ParseDinError::MalformedLine { line: line_no }.into()),
+        };
+        let label = match label_tok {
+            "0" => DinLabel::Read,
+            "1" => DinLabel::Write,
+            "2" => DinLabel::Ifetch,
+            _ => {
+                return Err(ParseDinError::BadLabel {
+                    line: line_no,
+                    token: label_tok.to_string(),
+                }
+                .into())
+            }
+        };
+        let addr_tok_clean = addr_tok.trim_start_matches("0x").trim_start_matches("0X");
+        let addr = u64::from_str_radix(addr_tok_clean, 16).map_err(|_| ParseDinError::BadAddress {
+            line: line_no,
+            token: addr_tok.to_string(),
+        })?;
+        out.push(DinRecord { label, addr });
+    }
+    Ok(out)
+}
+
+/// Writes records in `.din` format. A mut reference may be passed as the
+/// writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_din<W: Write>(mut writer: W, records: &[DinRecord]) -> std::io::Result<()> {
+    for r in records {
+        writeln!(writer, "{} {:x}", r.label.code(), r.addr)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let records = vec![
+            DinRecord {
+                label: DinLabel::Read,
+                addr: 0x1000,
+            },
+            DinRecord {
+                label: DinLabel::Write,
+                addr: 0xdeadbeef,
+            },
+            DinRecord {
+                label: DinLabel::Ifetch,
+                addr: 0,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_din(&mut buf, &records).unwrap();
+        let parsed = parse_din(buf.as_slice()).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn parses_0x_prefix_and_blank_lines() {
+        let text = "0 0x40\n\n1 80\n";
+        let parsed = parse_din(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].addr, 0x40);
+        assert_eq!(parsed[1].addr, 0x80);
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        let err = parse_din("7 40\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad label"));
+    }
+
+    #[test]
+    fn rejects_bad_address() {
+        let err = parse_din("0 zz\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad hex address"));
+    }
+
+    #[test]
+    fn rejects_extra_fields() {
+        let err = parse_din("0 40 extra\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Two-level cache hierarchies.
+//!
+//! The paper explores a single on-chip data cache, but "memory hierarchy"
+//! is one of its keywords and any production memory-exploration library
+//! needs the substrate: a [`Hierarchy`] chains an L1 in front of an L2 —
+//! L1 misses probe the L2, L1 write-backs are absorbed by the L2, and only
+//! L2 misses reach main memory. Statistics are kept per level so energy
+//! models can charge each structure separately.
+//!
+//! The L2 is inclusive by construction of the access stream (every line the
+//! L1 holds was fetched through the L2), though no back-invalidation is
+//! modelled — adequate for miss-rate/energy studies on single-core embedded
+//! systems.
+//!
+//! # Example
+//!
+//! ```
+//! use memsim::{CacheConfig, TraceEvent};
+//! use memsim::hierarchy::Hierarchy;
+//!
+//! let l1 = CacheConfig::new(64, 8, 1)?;
+//! let l2 = CacheConfig::new(1024, 32, 4)?;
+//! let mut h = Hierarchy::new(l1, l2);
+//! h.run((0..500).map(|i| TraceEvent::read((i * 8) % 2048, 4)));
+//! let report = h.report();
+//! // The L2 absorbs most of the L1's misses on this small footprint.
+//! assert!(report.l2.read_miss_rate() < report.l1.read_miss_rate());
+//! # Ok::<(), memsim::ConfigError>(())
+//! ```
+
+use crate::cache::Cache;
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+/// Per-level statistics of a two-level run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HierarchyReport {
+    /// L1 counters (relative to processor accesses).
+    pub l1: CacheStats,
+    /// L2 counters (relative to L1 miss/writeback traffic).
+    pub l2: CacheStats,
+}
+
+impl HierarchyReport {
+    /// Global miss rate: the fraction of processor accesses served by main
+    /// memory.
+    pub fn global_miss_rate(&self) -> f64 {
+        if self.l1.accesses() == 0 {
+            0.0
+        } else {
+            self.l2.misses() as f64 / self.l1.accesses() as f64
+        }
+    }
+}
+
+/// An L1 cache backed by an L2 cache.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    stats: HierarchyReport,
+}
+
+impl Hierarchy {
+    /// Builds an empty two-level hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the L2 line is smaller than the L1 line (refills could not
+    /// be satisfied from a single L2 line).
+    pub fn new(l1: CacheConfig, l2: CacheConfig) -> Self {
+        assert!(
+            l2.line() >= l1.line(),
+            "L2 line ({}) must be at least the L1 line ({})",
+            l2.line(),
+            l1.line()
+        );
+        Hierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            stats: HierarchyReport::default(),
+        }
+    }
+
+    /// Processes one access (splitting line-spanning accesses at L1
+    /// granularity like [`Simulator`](crate::Simulator)).
+    pub fn step(&mut self, event: crate::TraceEvent) {
+        let line = self.l1.config().line() as u64;
+        let size = event.size.max(1) as u64;
+        let first = event.addr / line;
+        let last = (event.addr + size - 1) / line;
+        for l in first..=last {
+            let addr = if l == first { event.addr } else { l * line };
+            self.access_one(addr, event.is_write);
+        }
+    }
+
+    fn access_one(&mut self, addr: u64, is_write: bool) {
+        let out = self.l1.access(addr, is_write);
+        if is_write {
+            self.stats.l1.writes += 1;
+            if out.hit {
+                self.stats.l1.write_hits += 1;
+            }
+        } else {
+            self.stats.l1.reads += 1;
+            if out.hit {
+                self.stats.l1.read_hits += 1;
+            }
+        }
+        if let Some(fill) = out.fill {
+            self.stats.l1.fills += 1;
+            // The refill probes the L2 as a read of the missing line.
+            let l2out = self.l2.access(fill, false);
+            self.stats.l2.reads += 1;
+            if l2out.hit {
+                self.stats.l2.read_hits += 1;
+            }
+            if l2out.fill.is_some() {
+                self.stats.l2.fills += 1;
+            }
+            if l2out.evicted.is_some() {
+                self.stats.l2.evictions += 1;
+            }
+            if l2out.writeback.is_some() {
+                self.stats.l2.writebacks += 1;
+            }
+        }
+        if out.evicted.is_some() {
+            self.stats.l1.evictions += 1;
+        }
+        if let Some(wb) = out.writeback {
+            self.stats.l1.writebacks += 1;
+            // Dirty L1 victims are written into the L2.
+            let l2out = self.l2.access(wb, true);
+            self.stats.l2.writes += 1;
+            if l2out.hit {
+                self.stats.l2.write_hits += 1;
+            }
+            if l2out.fill.is_some() {
+                self.stats.l2.fills += 1;
+            }
+            if l2out.evicted.is_some() {
+                self.stats.l2.evictions += 1;
+            }
+            if l2out.writeback.is_some() {
+                self.stats.l2.writebacks += 1;
+            }
+        }
+    }
+
+    /// Runs a whole trace.
+    pub fn run<I: IntoIterator<Item = crate::TraceEvent>>(&mut self, events: I) {
+        for e in events {
+            self.step(e);
+        }
+    }
+
+    /// The per-level statistics so far.
+    pub fn report(&self) -> HierarchyReport {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, Pattern};
+    use crate::{Simulator, TraceEvent};
+
+    fn cfg(t: usize, l: usize, s: usize) -> CacheConfig {
+        CacheConfig::new(t, l, s).expect("valid geometry")
+    }
+
+    #[test]
+    fn l1_behaviour_matches_the_single_level_simulator() {
+        // The L1 stream is independent of what backs it.
+        let trace = generate(Pattern::Uniform, 4096, 4, 2000, 5);
+        let mut h = Hierarchy::new(cfg(64, 8, 1), cfg(1024, 32, 4));
+        h.run(trace.iter().copied());
+        let single = Simulator::simulate(cfg(64, 8, 1), trace);
+        let hr = h.report();
+        assert_eq!(hr.l1.reads, single.stats.reads);
+        assert_eq!(hr.l1.read_hits, single.stats.read_hits);
+        assert_eq!(hr.l1.fills, single.stats.fills);
+    }
+
+    #[test]
+    fn l2_sees_only_l1_misses() {
+        let trace = generate(Pattern::Strided { stride: 4 }, 2048, 4, 4000, 0);
+        let mut h = Hierarchy::new(cfg(64, 8, 1), cfg(4096, 32, 4));
+        h.run(trace);
+        let r = h.report();
+        assert_eq!(r.l2.reads, r.l1.fills);
+        assert!(r.l2.reads < r.l1.reads);
+    }
+
+    #[test]
+    fn big_l2_absorbs_capacity_misses() {
+        // 2 KB working set: thrashes a 64 B L1 but fits a 4 KB L2.
+        let trace = generate(Pattern::Strided { stride: 8 }, 2048, 4, 10_000, 0);
+        let mut h = Hierarchy::new(cfg(64, 8, 1), cfg(4096, 32, 4));
+        h.run(trace);
+        let r = h.report();
+        assert!(r.l1.read_miss_rate() > 0.4);
+        assert!(r.global_miss_rate() < 0.05, "{}", r.global_miss_rate());
+    }
+
+    #[test]
+    fn dirty_victims_land_in_the_l2() {
+        let mut h = Hierarchy::new(cfg(16, 8, 1), cfg(256, 8, 2));
+        h.run([
+            TraceEvent::write(0, 4),
+            TraceEvent::read(16, 4), // evicts dirty line 0 into L2
+            TraceEvent::read(0, 4),  // L1 miss, L2 HIT (absorbed writeback)
+        ]);
+        let r = h.report();
+        assert_eq!(r.l1.writebacks, 1);
+        assert_eq!(r.l2.writes, 1);
+        assert!(r.l2.read_hits >= 1, "{:?}", r.l2);
+    }
+
+    #[test]
+    #[should_panic(expected = "L2 line")]
+    fn smaller_l2_line_panics() {
+        let _ = Hierarchy::new(cfg(64, 32, 1), cfg(1024, 8, 1));
+    }
+
+    #[test]
+    fn global_miss_rate_is_bounded_by_l1_miss_rate() {
+        let trace = generate(Pattern::HotCold { hot_bytes: 256, hot_fraction: 0.8 }, 16384, 4, 5000, 2);
+        let mut h = Hierarchy::new(cfg(128, 8, 2), cfg(2048, 32, 4));
+        h.run(trace);
+        let r = h.report();
+        assert!(r.global_miss_rate() <= r.l1.miss_rate() + 1e-12);
+    }
+}

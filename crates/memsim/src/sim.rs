@@ -1,0 +1,333 @@
+//! The trace-driven simulation loop.
+
+use crate::bus::{BusEncoding, BusMonitor, BusStats};
+use crate::cache::Cache;
+use crate::classify::{Classifier, MissClassCounts};
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+/// One trace event fed to the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Byte address of the first byte accessed.
+    pub addr: u64,
+    /// Access width in bytes (≥ 1).
+    pub size: u32,
+    /// Store if true, load otherwise.
+    pub is_write: bool,
+}
+
+impl TraceEvent {
+    /// A load of `size` bytes at `addr`.
+    pub fn read(addr: u64, size: u32) -> Self {
+        TraceEvent {
+            addr,
+            size,
+            is_write: false,
+        }
+    }
+
+    /// A store of `size` bytes at `addr`.
+    pub fn write(addr: u64, size: u32) -> Self {
+        TraceEvent {
+            addr,
+            size,
+            is_write: true,
+        }
+    }
+}
+
+/// Everything measured in one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// The simulated configuration.
+    pub config: CacheConfig,
+    /// Hit/miss counters.
+    pub stats: CacheStats,
+    /// Processor↔cache address-bus activity.
+    pub cpu_bus: BusStats,
+    /// Cache↔memory address-bus activity (fills + writebacks).
+    pub mem_bus: BusStats,
+    /// Three-C classification, if enabled.
+    pub miss_classes: Option<MissClassCounts>,
+}
+
+/// Drives trace events through a [`Cache`], a [`BusMonitor`], and optionally
+/// a [`Classifier`].
+///
+/// Accesses wider than a line, or unaligned accesses spanning a line
+/// boundary, are split into one access per line touched (each counted
+/// separately, as Dinero does with its `-atype` splitting).
+///
+/// # Example
+///
+/// ```
+/// use memsim::{CacheConfig, Simulator, TraceEvent};
+///
+/// let cfg = CacheConfig::new(64, 8, 2)?;
+/// let mut sim = Simulator::new(cfg);
+/// sim.run([TraceEvent::read(0, 4), TraceEvent::read(4, 4), TraceEvent::read(8, 4)]);
+/// let report = sim.into_report();
+/// assert_eq!(report.stats.reads, 3);
+/// assert_eq!(report.stats.read_misses(), 2); // lines 0 and 8
+/// # Ok::<(), memsim::ConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    cache: Cache,
+    bus: BusMonitor,
+    classifier: Option<Classifier>,
+    stats: CacheStats,
+    /// Line-aligned address held by the single-entry line buffer, if one is
+    /// configured (Su–Despain block buffering: repeated accesses to the
+    /// most recent line skip the cell arrays).
+    line_buffer: Option<Option<u64>>,
+}
+
+impl Simulator {
+    /// A simulator with a Gray-coded bus and no miss classification.
+    pub fn new(config: CacheConfig) -> Self {
+        Self::with_options(config, BusEncoding::Gray, false)
+    }
+
+    /// Full control over bus encoding and classification.
+    pub fn with_options(config: CacheConfig, encoding: BusEncoding, classify: bool) -> Self {
+        Simulator {
+            cache: Cache::new(config),
+            bus: BusMonitor::new(encoding),
+            classifier: classify
+                .then(|| Classifier::new(&config).expect("valid config implies valid shadow")),
+            stats: CacheStats::new(),
+            line_buffer: None,
+        }
+    }
+
+    /// Adds a single-entry line buffer in front of the cache
+    /// (builder-style). Read hits to the buffered line are counted in
+    /// [`CacheStats::buffer_hits`] and do not consult the arrays; writes
+    /// always go to the cache and invalidate the buffer when they allocate
+    /// a different line.
+    pub fn with_line_buffer(mut self) -> Self {
+        self.line_buffer = Some(None);
+        self
+    }
+
+    /// Processes one event (splitting line-spanning accesses).
+    pub fn step(&mut self, event: TraceEvent) {
+        let line = self.cache.config().line() as u64;
+        let size = event.size.max(1) as u64;
+        let first_line = event.addr / line;
+        let last_line = (event.addr + size - 1) / line;
+        for l in first_line..=last_line {
+            let addr = if l == first_line { event.addr } else { l * line };
+            self.access_one(addr, event.is_write);
+        }
+    }
+
+    fn access_one(&mut self, addr: u64, is_write: bool) {
+        self.bus.observe_cpu(addr);
+        let line_base = self.cache.config().line_base(addr);
+        if let Some(buffered) = &mut self.line_buffer {
+            if !is_write && *buffered == Some(line_base) {
+                // Served entirely by the buffer; the arrays stay quiet and
+                // replacement state is untouched (the buffered line was the
+                // MRU line already).
+                self.stats.reads += 1;
+                self.stats.read_hits += 1;
+                self.stats.buffer_hits += 1;
+                if let Some(c) = &mut self.classifier {
+                    c.observe(addr, true);
+                }
+                return;
+            }
+        }
+        let out = self.cache.access(addr, is_write);
+        if let Some(buffered) = &mut self.line_buffer {
+            // The buffer tracks the most recently accessed line once it is
+            // resident (hit or freshly filled); write-through no-allocate
+            // misses leave it unchanged.
+            if out.hit || out.fill.is_some() {
+                *buffered = Some(line_base);
+            }
+        }
+        if is_write {
+            self.stats.writes += 1;
+            if out.hit {
+                self.stats.write_hits += 1;
+            }
+        } else {
+            self.stats.reads += 1;
+            if out.hit {
+                self.stats.read_hits += 1;
+            }
+        }
+        if let Some(fill) = out.fill {
+            self.stats.fills += 1;
+            self.bus.observe_mem(fill);
+        }
+        if out.evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        if let Some(wb) = out.writeback {
+            self.stats.writebacks += 1;
+            self.bus.observe_mem(wb);
+        }
+        if let Some(c) = &mut self.classifier {
+            c.observe(addr, out.hit);
+        }
+    }
+
+    /// Runs every event of an iterator.
+    pub fn run<I: IntoIterator<Item = TraceEvent>>(&mut self, events: I) {
+        for e in events {
+            self.step(e);
+        }
+    }
+
+    /// Current counters (the run can continue afterwards).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Read access to the underlying cache.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Finishes the run and returns the collected report.
+    pub fn into_report(self) -> SimReport {
+        SimReport {
+            config: *self.cache.config(),
+            stats: self.stats,
+            cpu_bus: self.bus.cpu(),
+            mem_bus: self.bus.mem(),
+            miss_classes: self.classifier.map(|c| c.counts()),
+        }
+    }
+
+    /// Convenience: simulate a whole trace in one call.
+    pub fn simulate<I: IntoIterator<Item = TraceEvent>>(config: CacheConfig, events: I) -> SimReport {
+        let mut sim = Simulator::new(config);
+        sim.run(events);
+        sim.into_report()
+    }
+
+    /// Convenience: simulate with three-C classification enabled.
+    pub fn simulate_classified<I: IntoIterator<Item = TraceEvent>>(
+        config: CacheConfig,
+        events: I,
+    ) -> SimReport {
+        let mut sim = Simulator::with_options(config, BusEncoding::Gray, true);
+        sim.run(events);
+        sim.into_report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spanning_access_touches_both_lines() {
+        let cfg = CacheConfig::new(64, 8, 1).unwrap();
+        let mut sim = Simulator::new(cfg);
+        sim.step(TraceEvent::read(6, 4)); // bytes 6..10 span lines 0 and 1
+        let r = sim.into_report();
+        assert_eq!(r.stats.reads, 2);
+        assert_eq!(r.stats.read_misses(), 2);
+    }
+
+    #[test]
+    fn aligned_access_is_single() {
+        let cfg = CacheConfig::new(64, 8, 1).unwrap();
+        let mut sim = Simulator::new(cfg);
+        sim.step(TraceEvent::read(8, 8));
+        assert_eq!(sim.stats().reads, 1);
+    }
+
+    #[test]
+    fn report_counts_fills_and_writebacks() {
+        let cfg = CacheConfig::new(16, 8, 1).unwrap(); // 2 sets
+        let mut sim = Simulator::new(cfg);
+        sim.run([
+            TraceEvent::write(0, 4),
+            TraceEvent::read(16, 4), // evicts dirty line 0
+        ]);
+        let r = sim.into_report();
+        assert_eq!(r.stats.fills, 2);
+        assert_eq!(r.stats.writebacks, 1);
+        assert_eq!(r.mem_bus.transfers, 3); // 2 fills + 1 writeback
+    }
+
+    #[test]
+    fn classification_is_optional_and_consistent() {
+        let cfg = CacheConfig::new(32, 8, 1).unwrap();
+        let trace: Vec<TraceEvent> = (0..50)
+            .map(|i| TraceEvent::read((i * 8) % 128, 4))
+            .collect();
+        let plain = Simulator::simulate(cfg, trace.iter().copied());
+        assert!(plain.miss_classes.is_none());
+        let classified = Simulator::simulate_classified(cfg, trace);
+        let classes = classified.miss_classes.unwrap();
+        assert_eq!(classes.total(), classified.stats.misses());
+        assert_eq!(plain.stats, classified.stats);
+    }
+
+    #[test]
+    fn cpu_bus_sees_every_line_access() {
+        let cfg = CacheConfig::new(64, 8, 1).unwrap();
+        let mut sim = Simulator::new(cfg);
+        sim.run([TraceEvent::read(0, 4), TraceEvent::read(6, 4)]); // second spans
+        let r = sim.into_report();
+        assert_eq!(r.cpu_bus.transfers, 3);
+    }
+
+    #[test]
+    fn zero_size_access_counts_once() {
+        let cfg = CacheConfig::new(64, 8, 1).unwrap();
+        let mut sim = Simulator::new(cfg);
+        sim.step(TraceEvent::read(0, 0));
+        assert_eq!(sim.stats().reads, 1);
+    }
+
+    #[test]
+    fn line_buffer_absorbs_same_line_reads() {
+        let cfg = CacheConfig::new(64, 8, 1).unwrap();
+        let mut sim = Simulator::new(cfg).with_line_buffer();
+        sim.run([
+            TraceEvent::read(0, 4), // miss, fills + buffers line 0
+            TraceEvent::read(4, 4), // buffer hit
+            TraceEvent::read(0, 4), // buffer hit
+            TraceEvent::read(8, 4), // different line: cache miss
+            TraceEvent::read(4, 4), // back to line 0: cache hit, re-buffers
+            TraceEvent::read(0, 4), // buffer hit
+        ]);
+        let st = sim.stats();
+        assert_eq!(st.reads, 6);
+        assert_eq!(st.read_hits, 4);
+        assert_eq!(st.buffer_hits, 3);
+    }
+
+    #[test]
+    fn line_buffer_never_changes_hit_miss_totals() {
+        let cfg = CacheConfig::new(32, 8, 2).unwrap();
+        let trace: Vec<TraceEvent> = (0..200)
+            .map(|i| TraceEvent::read((i * 4) % 256, 4))
+            .collect();
+        let plain = Simulator::simulate(cfg, trace.iter().copied()).stats;
+        let mut buffered = Simulator::new(cfg).with_line_buffer();
+        buffered.run(trace);
+        let bstats = *buffered.stats();
+        assert_eq!(plain.read_hits, bstats.read_hits);
+        assert_eq!(plain.fills, bstats.fills);
+        assert!(bstats.buffer_hits <= bstats.read_hits);
+        assert!(bstats.buffer_hits > 0);
+    }
+
+    #[test]
+    fn plain_simulator_reports_zero_buffer_hits() {
+        let cfg = CacheConfig::new(64, 8, 1).unwrap();
+        let report = Simulator::simulate(cfg, (0..32).map(|i| TraceEvent::read(i, 1)));
+        assert_eq!(report.stats.buffer_hits, 0);
+    }
+}

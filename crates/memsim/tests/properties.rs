@@ -1,0 +1,172 @@
+//! Property-based tests for the cache simulator.
+
+use memsim::din::{parse_din, write_din, DinLabel, DinRecord};
+use memsim::{Cache, CacheConfig, Replacement, Simulator, TraceEvent, WritePolicy};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Vec<TraceEvent>> {
+    proptest::collection::vec(
+        (0u64..4096, prop_oneof![Just(1u32), Just(4), Just(8)], proptest::bool::ANY),
+        1..400,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(addr, size, w)| TraceEvent {
+                addr,
+                size,
+                is_write: w,
+            })
+            .collect()
+    })
+}
+
+fn arb_geometry() -> impl Strategy<Value = (usize, usize, usize)> {
+    (2u32..7, 2u32..4, 0u32..3).prop_filter_map("valid geometry", |(ts, ls, ss)| {
+        let t = 1usize << (ts + 3); // 32..1024
+        let l = 1usize << ls; // 4..8
+        let s = 1usize << ss; // 1..4
+        (l <= t && s <= t / l).then_some((t, l, s))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stats_are_internally_consistent(trace in arb_trace(), geom in arb_geometry()) {
+        let (t, l, s) = geom;
+        let cfg = CacheConfig::new(t, l, s).expect("filtered to valid");
+        let report = Simulator::simulate(cfg, trace);
+        let st = report.stats;
+        prop_assert!(st.read_hits <= st.reads);
+        prop_assert!(st.write_hits <= st.writes);
+        prop_assert!(st.evictions <= st.fills);
+        prop_assert!(st.writebacks <= st.evictions);
+        prop_assert!(st.miss_rate() >= 0.0 && st.miss_rate() <= 1.0);
+        prop_assert!((st.miss_rate() + st.hit_rate() - 1.0).abs() < 1e-12
+            || st.accesses() == 0);
+    }
+
+    #[test]
+    fn valid_lines_never_exceed_capacity(trace in arb_trace(), geom in arb_geometry()) {
+        let (t, l, s) = geom;
+        let cfg = CacheConfig::new(t, l, s).expect("filtered to valid");
+        let mut cache = Cache::new(cfg);
+        for e in &trace {
+            cache.access(e.addr, e.is_write);
+            prop_assert!(cache.valid_lines() <= cfg.num_lines());
+        }
+    }
+
+    #[test]
+    fn lru_inclusion_property_on_random_traces(trace in arb_trace()) {
+        // Fully associative LRU is a stack algorithm: misses are monotone
+        // non-increasing in capacity.
+        let reads: Vec<TraceEvent> = trace
+            .iter()
+            .map(|e| TraceEvent::read(e.addr, e.size))
+            .collect();
+        let small = CacheConfig::fully_associative(128, 8).expect("valid");
+        let large = CacheConfig::fully_associative(256, 8).expect("valid");
+        let m_small = Simulator::simulate(small, reads.iter().copied()).stats.misses();
+        let m_large = Simulator::simulate(large, reads).stats.misses();
+        prop_assert!(m_large <= m_small);
+    }
+
+    #[test]
+    fn classification_partitions_the_misses(trace in arb_trace(), geom in arb_geometry()) {
+        let (t, l, s) = geom;
+        let cfg = CacheConfig::new(t, l, s).expect("filtered to valid");
+        let reads: Vec<TraceEvent> = trace
+            .iter()
+            .map(|e| TraceEvent::read(e.addr, e.size))
+            .collect();
+        let report = Simulator::simulate_classified(cfg, reads);
+        let classes = report.miss_classes.expect("classification enabled");
+        prop_assert_eq!(classes.total(), report.stats.misses());
+    }
+
+    #[test]
+    fn full_associativity_has_no_conflict_misses(trace in arb_trace()) {
+        let cfg = CacheConfig::fully_associative(128, 8).expect("valid");
+        let reads: Vec<TraceEvent> = trace
+            .iter()
+            .map(|e| TraceEvent::read(e.addr, e.size))
+            .collect();
+        let report = Simulator::simulate_classified(cfg, reads);
+        prop_assert_eq!(report.miss_classes.expect("classified").conflict, 0);
+    }
+
+    #[test]
+    fn read_behaviour_is_write_policy_independent(trace in arb_trace(), geom in arb_geometry()) {
+        // On read-only traces the write policy cannot matter.
+        let (t, l, s) = geom;
+        let reads: Vec<TraceEvent> = trace
+            .iter()
+            .map(|e| TraceEvent::read(e.addr, e.size))
+            .collect();
+        let wb = CacheConfig::new(t, l, s).expect("valid");
+        let wt = wb.with_write_policy(WritePolicy::WriteThroughNoAllocate);
+        let a = Simulator::simulate(wb, reads.iter().copied()).stats;
+        let b = Simulator::simulate(wt, reads).stats;
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replacement_policies_agree_on_direct_mapped(trace in arb_trace()) {
+        // With one way there is no replacement choice to make.
+        let base = CacheConfig::new(128, 8, 1).expect("valid");
+        let reference = Simulator::simulate(base, trace.iter().copied()).stats;
+        for policy in [Replacement::Fifo, Replacement::Plru, Replacement::Random { seed: 3 }] {
+            let cfg = base.with_replacement(policy);
+            let stats = Simulator::simulate(cfg, trace.iter().copied()).stats;
+            prop_assert_eq!(stats, reference);
+        }
+    }
+
+    #[test]
+    fn din_round_trip_is_lossless(
+        records in proptest::collection::vec((0u64..u64::MAX, 0u8..3), 0..200)
+    ) {
+        let records: Vec<DinRecord> = records
+            .into_iter()
+            .map(|(addr, label)| DinRecord {
+                label: match label {
+                    0 => DinLabel::Read,
+                    1 => DinLabel::Write,
+                    _ => DinLabel::Ifetch,
+                },
+                addr,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_din(&mut buf, &records).expect("in-memory write");
+        let parsed = parse_din(buf.as_slice()).expect("own output parses");
+        prop_assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn flush_restores_the_initial_miss_pattern(trace in arb_trace(), geom in arb_geometry()) {
+        let (t, l, s) = geom;
+        let cfg = CacheConfig::new(t, l, s).expect("valid");
+        let mut cache = Cache::new(cfg);
+        let first: Vec<bool> = trace.iter().map(|e| cache.access(e.addr, e.is_write).hit).collect();
+        cache.flush();
+        let second: Vec<bool> = trace.iter().map(|e| cache.access(e.addr, e.is_write).hit).collect();
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn rereading_everything_hits_when_it_fits(
+        addrs in proptest::collection::vec(0u64..128, 1..16)
+    ) {
+        // Any working set smaller than the cache is fully resident after
+        // one pass under LRU.
+        let cfg = CacheConfig::fully_associative(256, 8).expect("valid");
+        let mut sim = Simulator::new(cfg);
+        sim.run(addrs.iter().map(|&a| TraceEvent::read(a, 1)));
+        let warm = sim.stats().misses();
+        sim.run(addrs.iter().map(|&a| TraceEvent::read(a, 1)));
+        prop_assert_eq!(sim.stats().misses(), warm, "second pass must be all hits");
+    }
+}

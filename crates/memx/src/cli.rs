@@ -1,0 +1,451 @@
+//! Argument parsing (dependency-free).
+
+use std::error::Error;
+use std::fmt;
+
+/// The usage text printed by `memx help` and on errors.
+pub const USAGE: &str = "\
+memx — energy-aware data-cache exploration (DAC'99)
+
+USAGE:
+  memx explore   KERNEL.mx [--part cy7c|lp2m|16m] [--em NJ] [--natural]
+                 [--analytical] [--bound-cycles N] [--bound-energy NJ]
+                 [--pareto]
+  memx simulate  KERNEL.mx --cache N --line N [--assoc N] [--tiling B]
+                 [--natural] [--classify]
+  memx place     KERNEL.mx --cache N --line N
+  memx min-cache KERNEL.mx --line N
+  memx classes   KERNEL.mx
+  memx trace     KERNEL.mx [--reads-only]
+  memx simulate-din TRACE.din --cache N --line N [--assoc N] [--classify]
+  memx help
+
+Kernel files use the loopir text format, e.g.:
+
+  kernel Compress
+  array a[32][32] elem 4
+  for i = 1 .. 31
+  for j = 1 .. 31
+    read  a[i][j]
+    read  a[i-1][j-1]
+    write a[i][j]
+";
+
+/// A parsed command line.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Command {
+    /// Full design-space exploration with optional bounds.
+    Explore {
+        /// Path to the kernel file.
+        file: String,
+        /// Off-chip part keyword (`cy7c`, `lp2m`, `16m`).
+        part: String,
+        /// Custom `Em` (nJ/access) overriding `part`.
+        em_nj: Option<f64>,
+        /// Use the natural (unoptimized) layout.
+        natural: bool,
+        /// Use the paper's analytical miss-rate model.
+        analytical: bool,
+        /// Cycle bound for the min-energy selection.
+        bound_cycles: Option<f64>,
+        /// Energy bound (nJ) for the min-time selection.
+        bound_energy: Option<f64>,
+        /// Print the Pareto frontier.
+        pareto: bool,
+    },
+    /// Simulate one configuration.
+    Simulate {
+        /// Path to the kernel file.
+        file: String,
+        /// Cache size in bytes.
+        cache: usize,
+        /// Line size in bytes.
+        line: usize,
+        /// Associativity.
+        assoc: usize,
+        /// Tiling size.
+        tiling: u64,
+        /// Use the natural layout.
+        natural: bool,
+        /// Enable three-C miss classification.
+        classify: bool,
+    },
+    /// Run the off-chip assignment and report the layout.
+    Place {
+        /// Path to the kernel file.
+        file: String,
+        /// Cache size in bytes.
+        cache: u64,
+        /// Line size in bytes.
+        line: u64,
+    },
+    /// The §3 minimum cache size bound.
+    MinCache {
+        /// Path to the kernel file.
+        file: String,
+        /// Line size in bytes.
+        line: u64,
+    },
+    /// Print the reference classes and cases.
+    Classes {
+        /// Path to the kernel file.
+        file: String,
+    },
+    /// Emit the address trace in Dinero `.din` format.
+    Trace {
+        /// Path to the kernel file.
+        file: String,
+        /// Keep only reads.
+        reads_only: bool,
+    },
+    /// Simulate a Dinero `.din` trace directly (no kernel knowledge).
+    SimulateDin {
+        /// Path to the `.din` file.
+        file: String,
+        /// Cache size in bytes.
+        cache: usize,
+        /// Line size in bytes.
+        line: usize,
+        /// Associativity.
+        assoc: usize,
+        /// Enable three-C miss classification.
+        classify: bool,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A command-line usage problem (bad flag, missing value, …).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for UsageError {}
+
+fn err(msg: impl Into<String>) -> UsageError {
+    UsageError(msg.into())
+}
+
+/// A tiny flag cursor over the argument list.
+struct Args<'a> {
+    items: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Args<'a> {
+    fn next(&mut self) -> Option<&'a str> {
+        let item = self.items.get(self.pos)?;
+        self.pos += 1;
+        Some(item)
+    }
+
+    fn value_of(&mut self, flag: &str) -> Result<&'a str, UsageError> {
+        self.next()
+            .ok_or_else(|| err(format!("flag `{flag}` needs a value")))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, UsageError> {
+    value
+        .parse()
+        .map_err(|_| err(format!("bad value `{value}` for `{flag}`")))
+}
+
+/// Parses the argument vector (without the program name).
+///
+/// # Errors
+///
+/// [`UsageError`] describing the first problem; callers print it together
+/// with [`USAGE`].
+pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
+    let mut args = Args {
+        items: argv,
+        pos: 0,
+    };
+    let sub = args.next().ok_or_else(|| err("missing subcommand"))?;
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "explore" => {
+            let file = args.next().ok_or_else(|| err("explore needs a kernel file"))?;
+            let mut cmd = Command::Explore {
+                file: file.to_string(),
+                part: "cy7c".to_string(),
+                em_nj: None,
+                natural: false,
+                analytical: false,
+                bound_cycles: None,
+                bound_energy: None,
+                pareto: false,
+            };
+            while let Some(flag) = args.next() {
+                let Command::Explore {
+                    part,
+                    em_nj,
+                    natural,
+                    analytical,
+                    bound_cycles,
+                    bound_energy,
+                    pareto,
+                    ..
+                } = &mut cmd
+                else {
+                    unreachable!("cmd is Explore by construction");
+                };
+                match flag {
+                    "--part" => {
+                        let v = args.value_of(flag)?;
+                        if !["cy7c", "lp2m", "16m"].contains(&v) {
+                            return Err(err(format!(
+                                "unknown part `{v}` (expected cy7c, lp2m, or 16m)"
+                            )));
+                        }
+                        *part = v.to_string();
+                    }
+                    "--em" => *em_nj = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--natural" => *natural = true,
+                    "--analytical" => *analytical = true,
+                    "--bound-cycles" => {
+                        *bound_cycles = Some(parse_num(flag, args.value_of(flag)?)?)
+                    }
+                    "--bound-energy" => {
+                        *bound_energy = Some(parse_num(flag, args.value_of(flag)?)?)
+                    }
+                    "--pareto" => *pareto = true,
+                    other => return Err(err(format!("unknown flag `{other}` for explore"))),
+                }
+            }
+            Ok(cmd)
+        }
+        "simulate" => {
+            let file = args
+                .next()
+                .ok_or_else(|| err("simulate needs a kernel file"))?
+                .to_string();
+            let (mut cache, mut line) = (None, None);
+            let (mut assoc, mut tiling) = (1usize, 1u64);
+            let (mut natural, mut classify) = (false, false);
+            while let Some(flag) = args.next() {
+                match flag {
+                    "--cache" => cache = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--line" => line = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--assoc" => assoc = parse_num(flag, args.value_of(flag)?)?,
+                    "--tiling" => tiling = parse_num(flag, args.value_of(flag)?)?,
+                    "--natural" => natural = true,
+                    "--classify" => classify = true,
+                    other => return Err(err(format!("unknown flag `{other}` for simulate"))),
+                }
+            }
+            Ok(Command::Simulate {
+                file,
+                cache: cache.ok_or_else(|| err("simulate needs --cache"))?,
+                line: line.ok_or_else(|| err("simulate needs --line"))?,
+                assoc,
+                tiling,
+                natural,
+                classify,
+            })
+        }
+        "place" | "min-cache" => {
+            let is_place = sub == "place";
+            let file = args
+                .next()
+                .ok_or_else(|| err(format!("{sub} needs a kernel file")))?
+                .to_string();
+            let (mut cache, mut line) = (None, None);
+            while let Some(flag) = args.next() {
+                match flag {
+                    "--cache" if is_place => cache = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--line" => line = Some(parse_num(flag, args.value_of(flag)?)?),
+                    other => return Err(err(format!("unknown flag `{other}` for {sub}"))),
+                }
+            }
+            let line = line.ok_or_else(|| err(format!("{sub} needs --line")))?;
+            if is_place {
+                Ok(Command::Place {
+                    file,
+                    cache: cache.ok_or_else(|| err("place needs --cache"))?,
+                    line,
+                })
+            } else {
+                Ok(Command::MinCache { file, line })
+            }
+        }
+        "classes" => {
+            let file = args
+                .next()
+                .ok_or_else(|| err("classes needs a kernel file"))?
+                .to_string();
+            if let Some(extra) = args.next() {
+                return Err(err(format!("unexpected argument `{extra}`")));
+            }
+            Ok(Command::Classes { file })
+        }
+        "simulate-din" => {
+            let file = args
+                .next()
+                .ok_or_else(|| err("simulate-din needs a trace file"))?
+                .to_string();
+            let (mut cache, mut line) = (None, None);
+            let mut assoc = 1usize;
+            let mut classify = false;
+            while let Some(flag) = args.next() {
+                match flag {
+                    "--cache" => cache = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--line" => line = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--assoc" => assoc = parse_num(flag, args.value_of(flag)?)?,
+                    "--classify" => classify = true,
+                    other => {
+                        return Err(err(format!("unknown flag `{other}` for simulate-din")))
+                    }
+                }
+            }
+            Ok(Command::SimulateDin {
+                file,
+                cache: cache.ok_or_else(|| err("simulate-din needs --cache"))?,
+                line: line.ok_or_else(|| err("simulate-din needs --line"))?,
+                assoc,
+                classify,
+            })
+        }
+        "trace" => {
+            let file = args
+                .next()
+                .ok_or_else(|| err("trace needs a kernel file"))?
+                .to_string();
+            let mut reads_only = false;
+            while let Some(flag) = args.next() {
+                match flag {
+                    "--reads-only" => reads_only = true,
+                    other => return Err(err(format!("unknown flag `{other}` for trace"))),
+                }
+            }
+            Ok(Command::Trace { file, reads_only })
+        }
+        other => Err(err(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_explore_with_all_flags() {
+        let cmd = parse_args(&argv(
+            "explore k.mx --part 16m --natural --analytical --bound-cycles 5000 --bound-energy 5500 --pareto",
+        ))
+        .expect("valid");
+        match cmd {
+            Command::Explore {
+                file,
+                part,
+                natural,
+                analytical,
+                bound_cycles,
+                bound_energy,
+                pareto,
+                em_nj,
+            } => {
+                assert_eq!(file, "k.mx");
+                assert_eq!(part, "16m");
+                assert!(natural && analytical && pareto);
+                assert_eq!(bound_cycles, Some(5000.0));
+                assert_eq!(bound_energy, Some(5500.0));
+                assert_eq!(em_nj, None);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_requires_geometry() {
+        let e = parse_args(&argv("simulate k.mx --cache 64")).expect_err("should fail");
+        assert!(e.0.contains("--line"));
+        let ok = parse_args(&argv("simulate k.mx --cache 64 --line 8 --assoc 2 --classify"))
+            .expect("valid");
+        assert!(matches!(
+            ok,
+            Command::Simulate {
+                cache: 64,
+                line: 8,
+                assoc: 2,
+                classify: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_context() {
+        let e = parse_args(&argv("explore k.mx --wat")).expect_err("should fail");
+        assert!(e.0.contains("--wat") && e.0.contains("explore"));
+    }
+
+    #[test]
+    fn unknown_part_is_rejected() {
+        let e = parse_args(&argv("explore k.mx --part dram")).expect_err("should fail");
+        assert!(e.0.contains("dram"));
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse_args(&argv(h)).expect("valid"), Command::Help);
+        }
+    }
+
+    #[test]
+    fn missing_subcommand() {
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn place_and_min_cache() {
+        assert!(matches!(
+            parse_args(&argv("place k.mx --cache 64 --line 8")).expect("valid"),
+            Command::Place {
+                cache: 64,
+                line: 8,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_args(&argv("min-cache k.mx --line 16")).expect("valid"),
+            Command::MinCache { line: 16, .. }
+        ));
+        // place's --cache is not valid for min-cache.
+        assert!(parse_args(&argv("min-cache k.mx --cache 64 --line 8")).is_err());
+    }
+
+    #[test]
+    fn simulate_din_parses() {
+        let ok = parse_args(&argv("simulate-din t.din --cache 128 --line 16 --assoc 4"))
+            .expect("valid");
+        assert!(matches!(
+            ok,
+            Command::SimulateDin {
+                cache: 128,
+                line: 16,
+                assoc: 4,
+                classify: false,
+                ..
+            }
+        ));
+        assert!(parse_args(&argv("simulate-din t.din --line 16")).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_are_reported() {
+        let e = parse_args(&argv("simulate k.mx --cache sixty --line 8")).expect_err("fail");
+        assert!(e.0.contains("sixty"));
+    }
+}

@@ -1,0 +1,494 @@
+//! Command implementations: each returns its report as a `String`.
+
+use crate::cli::{Command, USAGE};
+use analysis::classes::{partition_cases, partition_classes};
+use analysis::min_cache::MinCacheReport;
+use analysis::placement::optimize_layout;
+use energy::SramPart;
+use loopir::parse::parse_kernel;
+use loopir::{AccessKind, ArrayId, DataLayout, Kernel, TraceGen};
+use memexplore::{select, CacheDesign, DesignSpace, Evaluator, Explorer, PlacementMode};
+use memsim::din::{parse_din, write_din, DinLabel, DinRecord};
+use memsim::{CacheConfig, Simulator, TraceEvent};
+use std::error::Error;
+use std::fmt::Write as _;
+
+/// Executes a parsed command, reading kernel files from disk.
+///
+/// # Errors
+///
+/// I/O errors, kernel parse errors, and invalid geometries are returned as
+/// boxed errors for the binary to print.
+pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Explore {
+            file,
+            part,
+            em_nj,
+            natural,
+            analytical,
+            bound_cycles,
+            bound_energy,
+            pareto,
+        } => {
+            let kernel = load(&file)?;
+            let part = match em_nj {
+                Some(em) => SramPart::custom(format!("custom (Em = {em} nJ)"), em),
+                None => match part.as_str() {
+                    "lp2m" => SramPart::low_power_2mbit(),
+                    "16m" => SramPart::sram_16mbit(),
+                    _ => SramPart::cy7c_2mbit(),
+                },
+            };
+            let mut evaluator = Evaluator::with_part(part.clone());
+            if natural {
+                evaluator.placement = PlacementMode::Natural;
+            }
+            explore(
+                &kernel,
+                evaluator,
+                analytical,
+                bound_cycles,
+                bound_energy,
+                pareto,
+            )
+        }
+        Command::Simulate {
+            file,
+            cache,
+            line,
+            assoc,
+            tiling,
+            natural,
+            classify,
+        } => {
+            let kernel = load(&file)?;
+            simulate(&kernel, cache, line, assoc, tiling, natural, classify)
+        }
+        Command::Place { file, cache, line } => {
+            let kernel = load(&file)?;
+            place(&kernel, cache, line)
+        }
+        Command::MinCache { file, line } => {
+            let kernel = load(&file)?;
+            Ok(min_cache(&kernel, line))
+        }
+        Command::Classes { file } => {
+            let kernel = load(&file)?;
+            Ok(classes(&kernel))
+        }
+        Command::Trace { file, reads_only } => {
+            let kernel = load(&file)?;
+            trace(&kernel, reads_only)
+        }
+        Command::SimulateDin {
+            file,
+            cache,
+            line,
+            assoc,
+            classify,
+        } => simulate_din(&file, cache, line, assoc, classify),
+    }
+}
+
+fn simulate_din(
+    path: &str,
+    cache: usize,
+    line: usize,
+    assoc: usize,
+    classify: bool,
+) -> Result<String, Box<dyn Error + Send + Sync>> {
+    let config = CacheConfig::new(cache, line, assoc)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let records = parse_din(text.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+    let events = records.iter().map(|r| TraceEvent {
+        addr: r.addr,
+        size: 1,
+        is_write: r.label == DinLabel::Write,
+    });
+    let report = if classify {
+        Simulator::simulate_classified(config, events)
+    } else {
+        Simulator::simulate(config, events)
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{} records from {path} on {config}", records.len());
+    let _ = writeln!(out, "{}", report.stats);
+    if let Some(c) = report.miss_classes {
+        let _ = writeln!(
+            out,
+            "miss classes: compulsory {}  capacity {}  conflict {}",
+            c.compulsory, c.capacity, c.conflict
+        );
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<Kernel, Box<dyn Error + Send + Sync>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Ok(parse_kernel(&text).map_err(|e| format!("{path}: {e}"))?)
+}
+
+fn explore(
+    kernel: &Kernel,
+    evaluator: Evaluator,
+    analytical: bool,
+    bound_cycles: Option<f64>,
+    bound_energy: Option<f64>,
+    pareto: bool,
+) -> Result<String, Box<dyn Error + Send + Sync>> {
+    let space = DesignSpace::paper();
+    let records = if analytical {
+        space
+            .designs()
+            .into_iter()
+            .map(|d| evaluator.evaluate_analytical(kernel, d))
+            .collect()
+    } else {
+        Explorer::new(evaluator).explore(kernel, &space)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "explored {} configurations of kernel {} ({})",
+        records.len(),
+        kernel.name,
+        if analytical {
+            "analytical model"
+        } else {
+            "trace-driven simulation"
+        }
+    );
+    let fmt_rec = |r: &memexplore::Record| {
+        format!(
+            "{}  miss rate {:.3}  cycles {:.0}  energy {:.0} nJ",
+            r.design, r.miss_rate, r.cycles, r.energy_nj
+        )
+    };
+    if let Some(r) = select::min_energy(&records) {
+        let _ = writeln!(out, "minimum energy : {}", fmt_rec(r));
+    }
+    if let Some(r) = select::min_cycles(&records) {
+        let _ = writeln!(out, "minimum time   : {}", fmt_rec(r));
+    }
+    if let Some(bound) = bound_cycles {
+        match select::min_energy_bounded(&records, bound) {
+            Some(r) => {
+                let _ = writeln!(out, "min energy @ cycles<={bound:.0} : {}", fmt_rec(r));
+            }
+            None => {
+                let _ = writeln!(out, "min energy @ cycles<={bound:.0} : infeasible");
+            }
+        }
+    }
+    if let Some(bound) = bound_energy {
+        match select::min_cycles_bounded(&records, bound) {
+            Some(r) => {
+                let _ = writeln!(out, "min time @ energy<={bound:.0} nJ : {}", fmt_rec(r));
+            }
+            None => {
+                let _ = writeln!(out, "min time @ energy<={bound:.0} nJ : infeasible");
+            }
+        }
+    }
+    if pareto {
+        let _ = writeln!(out, "pareto frontier:");
+        for r in select::pareto(&records) {
+            let _ = writeln!(out, "  {}", fmt_rec(r));
+        }
+    }
+    Ok(out)
+}
+
+fn simulate(
+    kernel: &Kernel,
+    cache: usize,
+    line: usize,
+    assoc: usize,
+    tiling: u64,
+    natural: bool,
+    classify: bool,
+) -> Result<String, Box<dyn Error + Send + Sync>> {
+    // Validate geometry up front so the user gets an error, not a panic.
+    let config = CacheConfig::new(cache, line, assoc)?;
+    let mut evaluator = Evaluator::default();
+    if natural {
+        evaluator.placement = PlacementMode::Natural;
+    }
+    let design = CacheDesign::new(cache, line, assoc, tiling);
+    let record = evaluator.evaluate(kernel, design);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel {} on {}", kernel.name, config);
+    let _ = writeln!(
+        out,
+        "reads {}  miss rate {:.4}  cycles {:.0}  energy {:.0} nJ  conflict-free {}",
+        record.trip_count, record.miss_rate, record.cycles, record.energy_nj, record.conflict_free
+    );
+    if classify {
+        let (layout, _) = evaluator.layout_for(kernel, cache, line);
+        let tiled = loopir::transform::tile_all(kernel, tiling);
+        let events = TraceGen::new(&tiled, &layout)
+            .filter(|a| a.kind == AccessKind::Read)
+            .map(|a| TraceEvent::read(a.addr, a.size));
+        let report = Simulator::simulate_classified(config, events);
+        let c = report.miss_classes.expect("classification enabled");
+        let _ = writeln!(
+            out,
+            "miss classes: compulsory {}  capacity {}  conflict {}",
+            c.compulsory, c.capacity, c.conflict
+        );
+    }
+    Ok(out)
+}
+
+fn place(
+    kernel: &Kernel,
+    cache: u64,
+    line: u64,
+) -> Result<String, Box<dyn Error + Send + Sync>> {
+    let report = optimize_layout(kernel, cache, line)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "off-chip assignment for {} (cache {cache} B, line {line} B):",
+        kernel.name
+    );
+    for (i, a) in kernel.arrays.iter().enumerate() {
+        let p = report.layout.placement(ArrayId(i));
+        let natural: u64 = a.dims[1..].iter().map(|&d| d as u64).product::<u64>()
+            * a.elem_size as u64;
+        let _ = writeln!(
+            out,
+            "  {:<10} base {:>6}  row pitch {:>5} (natural {natural})",
+            a.name, p.base, p.row_pitch
+        );
+    }
+    let _ = writeln!(
+        out,
+        "padding {} B, conflict-free: {}, class leader lines: {:?}",
+        report.padding_bytes, report.conflict_free, report.leader_lines
+    );
+    Ok(out)
+}
+
+fn min_cache(kernel: &Kernel, line: u64) -> String {
+    let report = MinCacheReport::analyze(kernel, line);
+    format!(
+        "{}: {} lines per class {:?} -> total {} lines, minimum cache {} B (next pow2 {} B)\n",
+        kernel.name,
+        report.lines_per_class.len(),
+        report.lines_per_class,
+        report.total_lines,
+        report.min_cache_bytes(),
+        report.min_pow2_cache_bytes()
+    )
+}
+
+fn classes(kernel: &Kernel) -> String {
+    let classes = partition_classes(kernel, false);
+    let cases = partition_cases(&classes);
+    let mut out = format!("{} reference classes in {}:\n", classes.len(), kernel.name);
+    for (i, c) in classes.iter().enumerate() {
+        let array = kernel.array(c.array);
+        let members: Vec<String> = c
+            .members
+            .iter()
+            .map(|&m| {
+                let r = &kernel.nest.refs[m];
+                let subs: Vec<String> =
+                    r.subscripts.iter().map(|s| format!("[{s}]")).collect();
+                format!("{}{}", array.name, subs.join(""))
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  class {i}: array {} | {}",
+            array.name,
+            members.join(", ")
+        );
+    }
+    let _ = writeln!(out, "{} case group(s) (classes sharing H): {cases:?}", cases.len());
+    out
+}
+
+fn trace(kernel: &Kernel, reads_only: bool) -> Result<String, Box<dyn Error + Send + Sync>> {
+    let layout = DataLayout::natural(kernel);
+    let records: Vec<DinRecord> = TraceGen::new(kernel, &layout)
+        .filter(|a| !reads_only || a.kind == AccessKind::Read)
+        .map(|a| DinRecord {
+            label: if a.kind == AccessKind::Read {
+                DinLabel::Read
+            } else {
+                DinLabel::Write
+            },
+            addr: a.addr,
+        })
+        .collect();
+    let mut buf = Vec::new();
+    write_din(&mut buf, &records)?;
+    Ok(String::from_utf8(buf).expect("din output is ASCII"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::parse_args;
+
+    fn write_kernel() -> (tempdir::TempDirGuard, String) {
+        let dir = tempdir::tempdir();
+        let path = dir.path.join("compress.mx");
+        std::fs::write(
+            &path,
+            "kernel Compress\narray a[32][32] elem 4\nfor i = 1 .. 31\nfor j = 1 .. 31\n  read a[i][j]\n  read a[i-1][j]\n  read a[i][j-1]\n  read a[i-1][j-1]\n  write a[i][j]\n",
+        )
+        .expect("tempdir is writable");
+        (dir, path.to_string_lossy().into_owned())
+    }
+
+    /// Minimal self-cleaning temp dir (no external dependency).
+    mod tempdir {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        pub struct TempDirGuard {
+            pub path: PathBuf,
+        }
+
+        impl Drop for TempDirGuard {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.path);
+            }
+        }
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        pub fn tempdir() -> TempDirGuard {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!(
+                "memx-test-{}-{n}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&path).expect("temp dir is creatable");
+            TempDirGuard { path }
+        }
+    }
+
+    #[test]
+    fn simulate_command_end_to_end() {
+        let (_dir, path) = write_kernel();
+        let cmd = parse_args(&[
+            "simulate".into(),
+            path,
+            "--cache".into(),
+            "64".into(),
+            "--line".into(),
+            "8".into(),
+            "--classify".into(),
+        ])
+        .expect("valid argv");
+        let out = run(cmd).expect("command succeeds");
+        assert!(out.contains("miss rate"));
+        assert!(out.contains("conflict 0"), "{out}");
+    }
+
+    #[test]
+    fn min_cache_command_matches_the_paper() {
+        let (_dir, path) = write_kernel();
+        let out = run(Command::MinCache {
+            file: path,
+            line: 16,
+        })
+        .expect("command succeeds");
+        assert!(out.contains("total 4 lines"), "{out}");
+        assert!(out.contains("minimum cache 64 B"), "{out}");
+    }
+
+    #[test]
+    fn classes_command_lists_two_classes() {
+        let (_dir, path) = write_kernel();
+        let out = run(Command::Classes { file: path }).expect("command succeeds");
+        assert!(out.contains("class 0"));
+        assert!(out.contains("class 1"));
+        assert!(!out.contains("class 2"));
+    }
+
+    #[test]
+    fn trace_command_emits_din() {
+        let (_dir, path) = write_kernel();
+        let out = run(Command::Trace {
+            file: path,
+            reads_only: true,
+        })
+        .expect("command succeeds");
+        let first = out.lines().next().expect("non-empty trace");
+        assert!(first.starts_with("0 "), "{first}");
+        assert_eq!(out.lines().count(), 31 * 31 * 4);
+    }
+
+    #[test]
+    fn place_command_reports_layout() {
+        let (_dir, path) = write_kernel();
+        let out = run(Command::Place {
+            file: path,
+            cache: 64,
+            line: 8,
+        })
+        .expect("command succeeds");
+        assert!(out.contains("conflict-free: true"), "{out}");
+    }
+
+    #[test]
+    fn explore_command_with_bounds() {
+        let (_dir, path) = write_kernel();
+        let out = run(Command::Explore {
+            file: path,
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            analytical: true, // analytical keeps the test fast
+            bound_cycles: Some(10_000.0),
+            bound_energy: Some(1.0), // infeasible
+            pareto: true,
+        })
+        .expect("command succeeds");
+        assert!(out.contains("minimum energy"));
+        assert!(out.contains("infeasible"));
+        assert!(out.contains("pareto"));
+    }
+
+    #[test]
+    fn trace_then_simulate_din_round_trip() {
+        let (dir, path) = write_kernel();
+        let din = run(Command::Trace {
+            file: path,
+            reads_only: true,
+        })
+        .expect("trace succeeds");
+        let din_path = dir.path.join("t.din");
+        std::fs::write(&din_path, din).expect("tempdir writable");
+        let out = run(Command::SimulateDin {
+            file: din_path.to_string_lossy().into_owned(),
+            cache: 64,
+            line: 8,
+            assoc: 1,
+            classify: true,
+        })
+        .expect("simulate-din succeeds");
+        assert!(out.contains("3844 records"), "{out}");
+        assert!(out.contains("conflict"), "{out}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let e = run(Command::Classes {
+            file: "/nonexistent/k.mx".into(),
+        })
+        .expect_err("should fail");
+        assert!(e.to_string().contains("cannot read"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Command implementations behind the `memx` binary.
+//!
+//! `memx` is the operator-facing entry point of the exploration flow: it
+//! reads kernels in the [`loopir::parse`] text format and runs the paper's
+//! analyses on them.
+//!
+//! ```text
+//! memx explore  KERNEL.mx [--part cy7c|lp2m|16m] [--natural] [--analytical]
+//!                         [--bound-cycles N] [--bound-energy NJ] [--pareto]
+//! memx simulate KERNEL.mx --cache N --line N [--assoc N] [--tiling B]
+//!                         [--natural] [--classify]
+//! memx place    KERNEL.mx --cache N --line N
+//! memx min-cache KERNEL.mx --line N
+//! memx classes  KERNEL.mx
+//! memx trace    KERNEL.mx [--reads-only]      # Dinero .din on stdout
+//! ```
+//!
+//! Each command is a plain function taking parsed options and returning the
+//! report as a `String`, so everything is unit-testable without spawning a
+//! process.
+
+pub mod cli;
+pub mod commands;
+
+pub use cli::{parse_args, Command, UsageError};
+pub use commands::run;

@@ -1,0 +1,24 @@
+//! `memx` — the command-line front end. See [`memx::cli::USAGE`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match memx::parse_args(&argv) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", memx::cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match memx::run(cmd) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

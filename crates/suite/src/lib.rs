@@ -1,0 +1,1 @@
+//! Umbrella crate: hosts the workspace-level examples and integration tests.

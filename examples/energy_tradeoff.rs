@@ -1,0 +1,43 @@
+//! Why energy must be a first-class metric (paper §3, Fig. 1).
+//!
+//! Sweeps cache size for the Compress kernel under three off-chip SRAM
+//! parts. With a cheap off-chip access (`Em` = 2.31 nJ) the minimum-energy
+//! cache is small; with an expensive one (`Em` = 43.56 nJ) it is large —
+//! while the minimum-*time* configuration is the same large cache in both
+//! cases. Size and cycles alone cannot see this.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p suite --release --example energy_tradeoff
+//! ```
+
+use energy::SramPart;
+use loopir::kernels;
+use memexplore::{select, CacheDesign, Evaluator, Explorer};
+
+fn main() {
+    let kernel = kernels::compress(31);
+    let designs: Vec<CacheDesign> = [16usize, 32, 64, 128, 256, 512]
+        .iter()
+        .map(|&t| CacheDesign::new(t, 4, 1, 1))
+        .collect();
+
+    for part in SramPart::paper_parts() {
+        println!("{part}");
+        let explorer = Explorer::new(Evaluator::with_part(part.clone()));
+        let records = explorer.explore_designs(&kernel, &designs);
+        for r in &records {
+            println!(
+                "  C{:<4} miss rate {:.3}  cycles {:>7.0}  energy {:>9.0} nJ",
+                r.design.cache_size, r.miss_rate, r.cycles, r.energy_nj
+            );
+        }
+        let e = select::min_energy(&records).expect("non-empty");
+        let t = select::min_cycles(&records).expect("non-empty");
+        println!(
+            "  -> min energy at C{}, min time at C{}\n",
+            e.design.cache_size, t.design.cache_size
+        );
+    }
+}

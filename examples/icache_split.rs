@@ -1,0 +1,49 @@
+//! Joint I-/D-cache budget splitting — the paper's stated extension to
+//! instruction caches and its outermost `for on-chip memory size M` loop.
+//!
+//! Loop-kernel code is tiny and perfectly reused, so the minimum-energy
+//! split gives the I-cache exactly the smallest power of two covering the
+//! body and spends the rest of the budget (or less!) on data.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p suite --release --example icache_split
+//! ```
+
+use icache::explore::{best_joint_split, joint_explore};
+use icache::stream::InstructionStream;
+use loopir::kernels;
+
+fn main() {
+    let kernel = kernels::compress(31);
+    let stream = InstructionStream::for_kernel(&kernel, 0x8000);
+    println!(
+        "kernel {}: {} body instructions ({} B of code), {} iterations\n",
+        kernel.name,
+        stream.body_len,
+        stream.footprint_bytes(),
+        stream.iterations
+    );
+
+    for budget in [256usize, 512, 1024] {
+        println!("on-chip budget M = {budget} B:");
+        for r in joint_explore(&kernel, &stream, budget) {
+            let (i, _d) = r.split();
+            println!(
+                "  I={i:<5} D-pick={:<14} I-mr {:.3}  total energy {:>9.0} nJ  cycles {:>8.0}",
+                r.data.design.to_string(),
+                r.instruction.miss_rate,
+                r.total_energy_nj,
+                r.total_cycles
+            );
+        }
+        if let Some(best) = best_joint_split(&kernel, &stream, budget) {
+            let (i, d) = best.split();
+            println!(
+                "  => best split: {i} B instruction / {d} B data ({:.0} nJ)\n",
+                best.total_energy_nj
+            );
+        }
+    }
+}

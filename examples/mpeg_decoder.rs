@@ -1,0 +1,71 @@
+//! Whole-program exploration of the MPEG decoder (paper §5).
+//!
+//! Shows the paper's closing observation: the minimum-energy configuration
+//! of the *whole* decoder differs from the minimum-energy configuration of
+//! every constituent kernel — per-kernel tuning does not compose.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p suite --release --example mpeg_decoder
+//! ```
+
+use memexplore::composite::as_records;
+use memexplore::{select, DesignSpace, Explorer};
+
+fn main() {
+    let program = mpeg::decoder();
+    let explorer = Explorer::default();
+    let space = DesignSpace::paper();
+
+    println!(
+        "{}: {} kernels, {} total invocations",
+        program.name,
+        program.components.len(),
+        program.total_trips()
+    );
+
+    // Per-kernel optima.
+    println!("\nper-kernel minimum-energy configurations:");
+    let designs = space.designs();
+    let mut kernel_optima = Vec::new();
+    let mut per_kernel = Vec::new();
+    for (kernel, trips) in &program.components {
+        let records = explorer.explore_designs(kernel, &designs);
+        let best = select::min_energy(&records).expect("non-empty space");
+        println!(
+            "  {:<8} x{:<3} -> {:<14} {:>9.0} nJ",
+            kernel.name,
+            trips,
+            best.design.to_string(),
+            best.energy_nj
+        );
+        kernel_optima.push(best.design);
+        per_kernel.push(records);
+    }
+
+    // Whole-program aggregation over the same sweeps.
+    let composites: Vec<_> = (0..designs.len())
+        .map(|i| program.aggregate(per_kernel.iter().map(|rs| rs[i].clone()).collect()))
+        .collect();
+    let flat = as_records(&composites);
+    let e_min = select::min_energy(&flat).expect("non-empty space");
+    let t_min = select::min_cycles(&flat).expect("non-empty space");
+
+    println!("\nwhole-decoder minimum energy: {}", e_min.design);
+    println!(
+        "  energy = {:.0} nJ, cycles = {:.0}",
+        e_min.energy_nj, e_min.cycles
+    );
+    println!("whole-decoder minimum time:   {}", t_min.design);
+    println!(
+        "  cycles = {:.0}, energy = {:.0} nJ",
+        t_min.cycles, t_min.energy_nj
+    );
+
+    let matches = kernel_optima.iter().filter(|&&d| d == e_min.design).count();
+    println!(
+        "\nkernels whose own optimum equals the whole-program optimum: {matches}/{}",
+        kernel_optima.len()
+    );
+}

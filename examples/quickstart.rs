@@ -1,0 +1,54 @@
+//! Quickstart: explore the data-cache design space for one kernel and pick
+//! configurations under time/energy bounds — the paper's core workflow.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p suite --release --example quickstart
+//! ```
+
+use loopir::kernels;
+use memexplore::{select, DesignSpace, Explorer};
+
+fn main() {
+    // The paper's Example 1 kernel: a 31x31 difference stencil.
+    let kernel = kernels::compress(31);
+    println!("{kernel}\n");
+
+    // Sweep the full (T, L, S, B) space of the paper's MemExplore loop.
+    let explorer = Explorer::default(); // CY7C SRAM, Em = 4.95 nJ
+    let records = explorer.explore(&kernel, &DesignSpace::paper());
+    println!("explored {} configurations\n", records.len());
+
+    // Unconstrained optima.
+    let e_min = select::min_energy(&records).expect("space is non-empty");
+    let t_min = select::min_cycles(&records).expect("space is non-empty");
+    println!(
+        "minimum energy: {}  ({:.0} nJ, {:.0} cycles, miss rate {:.3})",
+        e_min.design, e_min.energy_nj, e_min.cycles, e_min.miss_rate
+    );
+    println!(
+        "minimum time:   {}  ({:.0} cycles, {:.0} nJ, miss rate {:.3})",
+        t_min.design, t_min.cycles, t_min.energy_nj, t_min.miss_rate
+    );
+
+    // Bounded selection: "minimum energy if time is the hard constraint".
+    let cycle_bound = t_min.cycles * 1.2;
+    if let Some(r) = select::min_energy_bounded(&records, cycle_bound) {
+        println!(
+            "min energy with cycles <= {:.0}: {}  ({:.0} nJ)",
+            cycle_bound, r.design, r.energy_nj
+        );
+    }
+
+    // The energy-time trade-off curve.
+    println!("\nenergy-time Pareto frontier:");
+    for r in select::pareto(&records) {
+        println!(
+            "  {:<16} cycles={:>9.0}  energy={:>9.0} nJ",
+            r.design.to_string(),
+            r.cycles,
+            r.energy_nj
+        );
+    }
+}

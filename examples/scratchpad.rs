@@ -1,0 +1,47 @@
+//! Scratchpad vs cache: partitioning the on-chip budget (the technique of
+//! the paper's reference [2], Panda/Dutt/Nicolau).
+//!
+//! Small, hot arrays (a quantisation table, FIR coefficients) are better
+//! held in a directly-addressed scratchpad — no tags, no misses — while
+//! streaming data keeps a (smaller) cache.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p suite --release --example scratchpad
+//! ```
+
+use loopir::kernels;
+use memexplore::spm::{best_split, explore_split};
+use memexplore::Evaluator;
+
+fn main() {
+    let eval = Evaluator::default();
+    for kernel in [kernels::dequant(31), kernels::fir(256, 16), kernels::compress(31)] {
+        println!("kernel {} — SPM/cache splits of a 4 KiB budget:", kernel.name);
+        let records = explore_split(&kernel, 4096, &eval);
+        for r in &records {
+            let names: Vec<&str> = r
+                .assignment
+                .arrays
+                .iter()
+                .map(|&a| kernel.array(a).name.as_str())
+                .collect();
+            println!(
+                "  SPM {:>5} B [{}] + cache {:<14} cache-mr {:.3}  cycles {:>9.0}  energy {:>10.0} nJ",
+                r.spm_bytes,
+                names.join(","),
+                r.cache_design.to_string(),
+                r.cache_miss_rate,
+                r.cycles,
+                r.energy_nj
+            );
+        }
+        if let Some(best) = best_split(&records) {
+            println!(
+                "  => best: {} B of scratchpad ({:.0} nJ)\n",
+                best.spm_bytes, best.energy_nj
+            );
+        }
+    }
+}

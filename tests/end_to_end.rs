@@ -1,0 +1,100 @@
+//! End-to-end exploration invariants across all crates.
+
+use loopir::kernels;
+use memexplore::{select, CacheDesign, DesignSpace, Evaluator, Explorer};
+
+#[test]
+fn full_sweep_produces_valid_records() {
+    let kernel = kernels::compress(31);
+    let space = DesignSpace::paper();
+    let records = Explorer::default().explore(&kernel, &space);
+    assert_eq!(records.len(), space.designs().len());
+    for r in &records {
+        assert!((0.0..=1.0).contains(&r.miss_rate), "{}: {}", r.design, r.miss_rate);
+        assert!(r.cycles >= r.trip_count as f64, "{}", r.design);
+        assert!(r.energy_nj > 0.0, "{}", r.design);
+        assert_eq!(r.trip_count, 4 * 961, "{}", r.design);
+    }
+}
+
+#[test]
+fn selections_are_consistent_with_each_other() {
+    let kernel = kernels::dequant(31);
+    let records = Explorer::default().explore(&kernel, &DesignSpace::small());
+    let e = select::min_energy(&records).expect("non-empty");
+    let t = select::min_cycles(&records).expect("non-empty");
+    for r in &records {
+        assert!(e.energy_nj <= r.energy_nj);
+        assert!(t.cycles <= r.cycles);
+    }
+    // A bound at exactly the optimum is feasible and returns it.
+    let bounded = select::min_energy_bounded(&records, t.cycles).expect("feasible at optimum");
+    assert!(bounded.cycles <= t.cycles + 1e-9);
+}
+
+#[test]
+fn pareto_frontier_is_sound_and_complete() {
+    let kernel = kernels::pde(31);
+    let records = Explorer::default().explore(&kernel, &DesignSpace::small());
+    let frontier = select::pareto(&records);
+    assert!(!frontier.is_empty());
+    // No frontier point is dominated by any record.
+    for f in &frontier {
+        for r in &records {
+            let dominates = r.cycles <= f.cycles
+                && r.energy_nj <= f.energy_nj
+                && (r.cycles < f.cycles || r.energy_nj < f.energy_nj);
+            assert!(
+                !dominates,
+                "{} dominates frontier point {}",
+                r.design, f.design
+            );
+        }
+    }
+    // Both extreme optima appear on the frontier.
+    let e = select::min_energy(&records).expect("non-empty");
+    let t = select::min_cycles(&records).expect("non-empty");
+    assert!(frontier.iter().any(|f| f.energy_nj == e.energy_nj));
+    assert!(frontier.iter().any(|f| f.cycles == t.cycles));
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let kernel = kernels::sor(31);
+    let eval = Evaluator::default();
+    let d = CacheDesign::new(64, 8, 2, 4);
+    let a = eval.evaluate(&kernel, d);
+    let b = eval.evaluate(&kernel, d);
+    assert_eq!(a.miss_rate, b.miss_rate);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.energy_nj, b.energy_nj);
+}
+
+#[test]
+fn all_five_kernels_explore_the_small_space() {
+    for kernel in kernels::all_paper_kernels() {
+        let records = Explorer::default().explore(&kernel, &DesignSpace::small());
+        assert!(!records.is_empty(), "{}", kernel.name);
+        assert!(
+            select::min_energy(&records).is_some(),
+            "{} has no optimum",
+            kernel.name
+        );
+    }
+}
+
+#[test]
+fn natural_placement_never_beats_optimized_at_c64l8() {
+    let d = CacheDesign::new(64, 8, 1, 1);
+    for kernel in kernels::all_paper_kernels() {
+        let opt = Evaluator::default().evaluate(&kernel, d);
+        let nat = Evaluator::default().unoptimized().evaluate(&kernel, d);
+        assert!(
+            opt.miss_rate <= nat.miss_rate + 1e-9,
+            "{}: optimized {} vs natural {}",
+            kernel.name,
+            opt.miss_rate,
+            nat.miss_rate
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! The paper's headline claims, verified end-to-end against the simulator.
+
+use analysis::placement::optimize_layout;
+use energy::SramPart;
+use loopir::{kernels, AccessKind, TraceGen};
+use memexplore::composite::as_records;
+use memexplore::{select, CacheDesign, DesignSpace, Evaluator, Explorer};
+use memsim::{CacheConfig, Simulator, TraceEvent};
+
+/// §4.1: for compatible access patterns, the off-chip assignment eliminates
+/// conflict misses entirely.
+#[test]
+fn claim_placement_eliminates_conflict_misses() {
+    for kernel in [kernels::compress(31), kernels::sor(31), kernels::matadd(6)] {
+        let placed = optimize_layout(&kernel, 64, 8).expect("placement succeeds");
+        assert!(placed.conflict_free, "{} not conflict-free", kernel.name);
+        let cfg = CacheConfig::new(64, 8, 1).expect("valid geometry");
+        let events = TraceGen::new(&kernel, &placed.layout)
+            .filter(|a| a.kind == AccessKind::Read)
+            .map(|a| TraceEvent::read(a.addr, a.size));
+        let rep = Simulator::simulate_classified(cfg, events);
+        assert_eq!(
+            rep.miss_classes.expect("classified").conflict,
+            0,
+            "{} still has conflict misses",
+            kernel.name
+        );
+    }
+}
+
+/// §1/§3: increasing cache size reduces the miss rate but not necessarily
+/// the energy.
+#[test]
+fn claim_energy_is_not_monotone_in_cache_size() {
+    let kernel = kernels::compress(31);
+    let eval = Evaluator::default();
+    let records: Vec<_> = [16usize, 32, 64, 128, 256, 512]
+        .iter()
+        .map(|&t| eval.evaluate(&kernel, CacheDesign::new(t, 4, 1, 1)))
+        .collect();
+    // Miss rate is non-increasing along the size axis…
+    for w in records.windows(2) {
+        assert!(
+            w[1].miss_rate <= w[0].miss_rate + 1e-9,
+            "miss rate must not grow with size"
+        );
+    }
+    // …but the energy sequence has at least one increase.
+    assert!(
+        records.windows(2).any(|w| w[1].energy_nj > w[0].energy_nj),
+        "energy was monotone decreasing — the paper's tension is missing"
+    );
+}
+
+/// §3/Fig. 1: the off-chip energy decides whether a small or a large cache
+/// minimises energy.
+#[test]
+fn claim_em_extremes_flip_the_optimum_size() {
+    let kernel = kernels::compress(31);
+    let designs: Vec<CacheDesign> = [16usize, 32, 64, 128, 256, 512]
+        .iter()
+        .map(|&t| CacheDesign::new(t, 4, 1, 1))
+        .collect();
+    let best_size = |part: SramPart| {
+        let records =
+            Explorer::new(Evaluator::with_part(part)).explore_designs(&kernel, &designs);
+        select::min_energy(&records).expect("non-empty").design.cache_size
+    };
+    let cheap = best_size(SramPart::low_power_2mbit());
+    let dear = best_size(SramPart::sram_16mbit());
+    assert!(
+        cheap < dear,
+        "cheap Em should favour a smaller cache ({cheap}) than dear Em ({dear})"
+    );
+}
+
+/// §4.2: blocking matrix multiplication has a sweet spot at or below the
+/// number of cache lines, and degrades past it.
+#[test]
+fn claim_tiling_sweet_spot_for_matmul() {
+    let eval = Evaluator::default();
+    let kernel = kernels::matmul(31);
+    let mr =
+        |b: u64| eval.evaluate(&kernel, CacheDesign::new(64, 8, 1, b)).miss_rate;
+    let untiled = mr(1);
+    let sweet = mr(4); // 8 lines; B = 4 keeps the working set resident
+    let oversized = mr(16);
+    assert!(sweet < untiled, "tiling must help matmul: {sweet} vs {untiled}");
+    assert!(
+        oversized > sweet,
+        "tiles beyond the cache must hurt: {oversized} vs {sweet}"
+    );
+}
+
+/// §5: the whole-program optimum differs from the kernels' own optima, and
+/// the minimum-energy configuration differs from the minimum-time one.
+#[test]
+fn claim_mpeg_whole_program_optimum_is_its_own() {
+    let program = mpeg::decoder();
+    let explorer = Explorer::default();
+    // A reduced space keeps the test fast while leaving room for divergence.
+    let space = DesignSpace {
+        cache_sizes: vec![16, 64, 256, 1024],
+        line_sizes: vec![4, 16],
+        assocs: vec![1, 8],
+        tilings: vec![1, 8],
+        min_lines: 4,
+    };
+    let designs = space.designs();
+    let mut kernel_optima = Vec::new();
+    let mut per_kernel = Vec::new();
+    for (kernel, _) in &program.components {
+        let records = explorer.explore_designs(kernel, &designs);
+        kernel_optima.push(select::min_energy(&records).expect("non-empty").design);
+        per_kernel.push(records);
+    }
+    let composites: Vec<_> = (0..designs.len())
+        .map(|i| program.aggregate(per_kernel.iter().map(|rs| rs[i].clone()).collect()))
+        .collect();
+    let flat = as_records(&composites);
+    let e_min = select::min_energy(&flat).expect("non-empty").design;
+    let t_min = select::min_cycles(&flat).expect("non-empty").design;
+    assert_ne!(e_min, t_min, "energy and time optima should differ");
+    let agreeing = kernel_optima.iter().filter(|&&d| d == e_min).count();
+    assert!(
+        agreeing < kernel_optima.len(),
+        "whole-program optimum should not match every kernel optimum"
+    );
+}
+
+/// §4.1/Fig. 9: without the assignment the miss rate is extreme (the paper
+/// reports 0.969–0.999 for the stencil kernels).
+#[test]
+fn claim_unoptimized_miss_rates_are_extreme() {
+    let d = CacheDesign::new(64, 8, 1, 1);
+    for kernel in [kernels::compress(31), kernels::pde(31), kernels::dequant(31)] {
+        let nat = Evaluator::default().unoptimized().evaluate(&kernel, d);
+        assert!(
+            nat.miss_rate > 0.9,
+            "{}: natural-layout miss rate {} not extreme",
+            kernel.name,
+            nat.miss_rate
+        );
+    }
+}
+
+/// §2.2 + §2.3 shapes: associativity lengthens the hit path (cycles per hit
+/// 1 → 1.14) even when it cannot reduce misses.
+#[test]
+fn claim_associativity_costs_cycles_when_conflicts_are_gone() {
+    let kernel = kernels::compress(31);
+    let eval = Evaluator::default();
+    let direct = eval.evaluate(&kernel, CacheDesign::new(64, 8, 1, 1));
+    let eight = eval.evaluate(&kernel, CacheDesign::new(64, 8, 8, 1));
+    // Placement already removed conflicts, so the miss rate cannot improve…
+    assert!(eight.miss_rate >= direct.miss_rate - 1e-9);
+    // …and the longer hit path costs cycles.
+    assert!(eight.cycles > direct.cycles);
+}

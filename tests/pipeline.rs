@@ -1,0 +1,157 @@
+//! Cross-crate pipeline consistency: trace → simulate → classify → models.
+
+use analysis::min_cache::MinCacheReport;
+use energy::{DacEnergyModel, SramPart};
+use loopir::{kernels, AccessKind, AffineExpr, DataLayout, TraceGen};
+use memexplore::{CacheDesign, CycleModel, Evaluator};
+use memsim::din::{parse_din, write_din, DinLabel, DinRecord};
+use memsim::{CacheConfig, Simulator, TraceEvent};
+
+fn read_events(kernel: &loopir::Kernel) -> Vec<TraceEvent> {
+    let layout = DataLayout::natural(kernel);
+    TraceGen::new(kernel, &layout)
+        .filter(|a| a.kind == AccessKind::Read)
+        .map(|a| TraceEvent::read(a.addr, a.size))
+        .collect()
+}
+
+#[test]
+fn record_matches_manual_pipeline() {
+    // Evaluator output must equal simulating + applying the models by hand.
+    let kernel = kernels::dequant(31);
+    let design = CacheDesign::new(64, 8, 1, 1);
+    let eval = Evaluator::default().unoptimized();
+    let record = eval.evaluate(&kernel, design);
+
+    let cfg = CacheConfig::new(64, 8, 1).expect("valid geometry");
+    let report = Simulator::simulate(cfg, read_events(&kernel));
+    assert_eq!(record.miss_rate, report.stats.read_miss_rate());
+
+    let cycles = CycleModel.cycles_from_counts(
+        report.stats.read_hits,
+        report.stats.read_misses(),
+        1,
+        8,
+        1,
+    );
+    assert!((record.cycles - cycles).abs() < 1e-9);
+
+    let energy = DacEnergyModel::new(SramPart::cy7c_2mbit()).trace_energy_nj(&report);
+    assert!((record.energy_nj - energy).abs() < 1e-6);
+}
+
+#[test]
+fn din_round_trip_preserves_simulation_results() {
+    // Export a kernel trace to Dinero format, parse it back, and check the
+    // simulation is identical.
+    let kernel = kernels::matadd(6);
+    let events = read_events(&kernel);
+    let records: Vec<DinRecord> = events
+        .iter()
+        .map(|e| DinRecord {
+            label: DinLabel::Read,
+            addr: e.addr,
+        })
+        .collect();
+    let mut buf = Vec::new();
+    write_din(&mut buf, &records).expect("in-memory write cannot fail");
+    let parsed = parse_din(buf.as_slice()).expect("own output parses");
+    let replayed: Vec<TraceEvent> = parsed
+        .iter()
+        .map(|r| TraceEvent::read(r.addr, 4))
+        .collect();
+
+    let cfg = CacheConfig::new(32, 4, 1).expect("valid geometry");
+    let a = Simulator::simulate(cfg, events);
+    let b = Simulator::simulate(cfg, replayed);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn min_cache_bound_is_sufficient_for_conflict_freedom() {
+    // Placing Compress into its analytical minimum power-of-two cache must
+    // leave zero conflict misses.
+    let kernel = kernels::compress(31);
+    for line in [8u64, 16, 32] {
+        let bound = MinCacheReport::analyze(&kernel, line);
+        let t = bound.min_pow2_cache_bytes().max(2 * line);
+        let placed = analysis::placement::optimize_layout(&kernel, t, line)
+            .expect("placement succeeds");
+        let cfg = CacheConfig::new(t as usize, line as usize, 1).expect("valid geometry");
+        let events = TraceGen::new(&kernel, &placed.layout)
+            .filter(|a| a.kind == AccessKind::Read)
+            .map(|a| TraceEvent::read(a.addr, a.size));
+        let rep = Simulator::simulate_classified(cfg, events);
+        assert_eq!(
+            rep.miss_classes.expect("classified").conflict,
+            0,
+            "line {line}: min-cache bound {t} was not conflict-free"
+        );
+    }
+}
+
+#[test]
+fn classification_sums_match_plain_simulation() {
+    let kernel = kernels::sor(31);
+    let events = read_events(&kernel);
+    let cfg = CacheConfig::new(64, 8, 2).expect("valid geometry");
+    let plain = Simulator::simulate(cfg, events.iter().copied());
+    let classified = Simulator::simulate_classified(cfg, events);
+    assert_eq!(plain.stats, classified.stats);
+    assert_eq!(
+        classified.miss_classes.expect("classified").total(),
+        plain.stats.misses()
+    );
+}
+
+#[test]
+fn gray_bus_switches_less_than_binary_on_sequential_traces() {
+    use loopir::{ArrayRef, Loop, LoopNest};
+    use memsim::BusEncoding;
+    // Gray coding wins on unit-stride address streams (its design point):
+    // one line toggles per step vs. ~two for binary. Larger strides or
+    // interleaved bodies can go either way, so the comparison uses a
+    // byte-stride stream.
+    let a = loopir::ArrayDecl::new("a", &[512], 1);
+    let nest = LoopNest {
+        loops: vec![Loop::new(0, 511)],
+        refs: vec![ArrayRef::read(loopir::ArrayId(0), vec![AffineExpr::var(0)])],
+    };
+    let kernel = loopir::Kernel::new("stream", vec![a], nest);
+    let events = read_events(&kernel);
+    let cfg = CacheConfig::new(64, 8, 1).expect("valid geometry");
+    let mut gray = Simulator::with_options(cfg, BusEncoding::Gray, false);
+    gray.run(events.iter().copied());
+    let mut bin = Simulator::with_options(cfg, BusEncoding::Binary, false);
+    bin.run(events);
+    assert!(
+        gray.into_report().cpu_bus.bit_switches < bin.into_report().cpu_bus.bit_switches,
+        "Gray coding should reduce address-bus switching on loop traces"
+    );
+}
+
+#[test]
+fn kamble_ghose_and_dac_agree_on_placement_benefit() {
+    // Both energy models must rank the optimized layout at or below the
+    // natural one for Compress (same miss counts feed both).
+    let kernel = kernels::compress(31);
+    let cfg = CacheConfig::new(64, 8, 1).expect("valid geometry");
+
+    let natural = DataLayout::natural(&kernel);
+    let placed = analysis::placement::optimize_layout(&kernel, 64, 8)
+        .expect("placement succeeds")
+        .layout;
+    let run = |layout: &DataLayout| {
+        let events = TraceGen::new(&kernel, layout)
+            .filter(|a| a.kind == AccessKind::Read)
+            .map(|a| TraceEvent::read(a.addr, a.size));
+        Simulator::simulate(cfg, events)
+    };
+    let nat = run(&natural);
+    let opt = run(&placed);
+
+    let dac = DacEnergyModel::new(SramPart::cy7c_2mbit());
+    let kg = energy::KambleGhoseModel::new(SramPart::cy7c_2mbit());
+    assert!(dac.trace_energy_nj(&opt) <= dac.trace_energy_nj(&nat));
+    assert!(kg.trace_energy_nj(&opt) <= kg.trace_energy_nj(&nat));
+}

@@ -1,0 +1,134 @@
+//! Property-based tests over randomly generated affine kernels.
+
+use analysis::placement::optimize_layout;
+use loopir::transform::tile_all;
+use loopir::{
+    AccessKind, AffineExpr, ArrayDecl, ArrayId, ArrayRef, DataLayout, Kernel, Loop, LoopNest,
+    TraceGen,
+};
+use memsim::{CacheConfig, Simulator, TraceEvent};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A random rectangular 2-D stencil kernel: 1–3 arrays of the same shape,
+/// 2–6 references with constant offsets in {-1, 0, 1}, loops over the
+/// interior so every reference stays in bounds.
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    let dims = (5usize..12, 5usize..12);
+    let n_arrays = 1usize..=3;
+    let refs = proptest::collection::vec(
+        (0usize..3, -1i64..=1, -1i64..=1, proptest::bool::ANY),
+        2..=6,
+    );
+    (dims, n_arrays, refs).prop_map(|((rows, cols), n_arrays, refs)| {
+        let arrays: Vec<ArrayDecl> = (0..n_arrays)
+            .map(|i| ArrayDecl::new(format!("a{i}"), &[rows, cols], 4))
+            .collect();
+        let body: Vec<ArrayRef> = refs
+            .into_iter()
+            .map(|(aid, c0, c1, is_write)| {
+                let subs = vec![AffineExpr::var(0) + c0, AffineExpr::var(1) + c1];
+                let array = ArrayId(aid % n_arrays);
+                if is_write {
+                    ArrayRef::write(array, subs)
+                } else {
+                    ArrayRef::read(array, subs)
+                }
+            })
+            .collect();
+        let nest = LoopNest {
+            loops: vec![
+                Loop::new(1, rows as i64 - 2),
+                Loop::new(1, cols as i64 - 2),
+            ],
+            refs: body,
+        };
+        Kernel::new("random", arrays, nest)
+    })
+}
+
+fn address_multiset(kernel: &Kernel, layout: &DataLayout) -> BTreeMap<u64, usize> {
+    let mut m = BTreeMap::new();
+    for a in TraceGen::new(kernel, layout) {
+        *m.entry(a.addr).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn trace_length_is_iterations_times_refs(kernel in arb_kernel()) {
+        let layout = DataLayout::natural(&kernel);
+        let n = TraceGen::new(&kernel, &layout).count();
+        let expected = kernel.nest.const_iteration_count().unwrap() as usize
+            * kernel.nest.refs.len();
+        prop_assert_eq!(n, expected);
+    }
+
+    #[test]
+    fn tiling_preserves_the_address_multiset(kernel in arb_kernel(), b in 1u64..6) {
+        let layout = DataLayout::natural(&kernel);
+        let tiled = tile_all(&kernel, b);
+        prop_assert_eq!(
+            address_multiset(&kernel, &layout),
+            address_multiset(&tiled, &layout)
+        );
+    }
+
+    #[test]
+    fn optimized_layouts_never_overlap(kernel in arb_kernel(), geom in 0usize..4) {
+        let (t, l) = [(32u64, 4u64), (64, 8), (128, 16), (256, 8)][geom];
+        let report = optimize_layout(&kernel, t, l).unwrap();
+        prop_assert!(report.layout.check_no_overlap(&kernel).is_ok());
+        // Padding stays within one cache size per array (pitch) plus one
+        // per gap (base), times rows for the pitch component.
+        let rows = kernel.arrays[0].dims[0] as u64;
+        let bound = kernel.arrays.len() as u64 * t * (rows + 1);
+        prop_assert!(report.padding_bytes <= bound);
+    }
+
+    #[test]
+    fn optimized_evaluation_never_misses_more_than_natural(kernel in arb_kernel()) {
+        // The raw optimizer is a heuristic (padding can enlarge a borderline
+        // working set), but the Evaluator arbitrates against the natural
+        // layout, so at the evaluation level the guarantee is strict.
+        use memexplore::{CacheDesign, Evaluator};
+        let d = CacheDesign::new(64, 8, 1, 1);
+        let optimized = Evaluator::default().evaluate(&kernel, d).miss_rate;
+        let natural = Evaluator::default().unoptimized().evaluate(&kernel, d).miss_rate;
+        prop_assert!(
+            optimized <= natural + 1e-12,
+            "optimized {} vs natural {}", optimized, natural
+        );
+    }
+
+    #[test]
+    fn lru_inclusion_property_holds(kernel in arb_kernel()) {
+        // A fully-associative LRU cache of twice the capacity never misses
+        // more (stack-algorithm inclusion).
+        let layout = DataLayout::natural(&kernel);
+        let events: Vec<TraceEvent> = TraceGen::new(&kernel, &layout)
+            .filter(|a| a.kind == AccessKind::Read)
+            .map(|a| TraceEvent::read(a.addr, a.size))
+            .collect();
+        let small = CacheConfig::fully_associative(64, 8).unwrap();
+        let large = CacheConfig::fully_associative(128, 8).unwrap();
+        let m_small = Simulator::simulate(small, events.iter().copied()).stats.misses();
+        let m_large = Simulator::simulate(large, events).stats.misses();
+        prop_assert!(m_large <= m_small, "large {} > small {}", m_large, m_small);
+    }
+
+    #[test]
+    fn conflict_free_reports_imply_zero_conflict_misses(kernel in arb_kernel()) {
+        let report = optimize_layout(&kernel, 128, 8).unwrap();
+        prop_assume!(report.conflict_free);
+        let cfg = CacheConfig::new(128, 8, 1).unwrap();
+        let events = TraceGen::new(&kernel, &report.layout)
+            .filter(|a| a.kind == AccessKind::Read)
+            .map(|a| TraceEvent::read(a.addr, a.size));
+        let sim = Simulator::simulate_classified(cfg, events);
+        prop_assert_eq!(sim.miss_classes.unwrap().conflict, 0);
+    }
+}

@@ -211,10 +211,7 @@ mod tests {
         let k = kernels::compress(31);
         let classes = partition_classes(&k, true);
         for c in &classes {
-            assert!(c
-                .linear_offsets
-                .windows(2)
-                .all(|w| w[0] <= w[1]));
+            assert!(c.linear_offsets.windows(2).all(|w| w[0] <= w[1]));
         }
     }
 

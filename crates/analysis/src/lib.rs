@@ -31,6 +31,6 @@ pub mod missrate;
 pub mod placement;
 
 pub use classes::{compatible, partition_cases, partition_classes, RefClass};
-pub use missrate::{analytical_miss_rate, analytical_misses_per_iteration};
 pub use min_cache::{class_line_requirement, MinCacheReport};
+pub use missrate::{analytical_miss_rate, analytical_misses_per_iteration};
 pub use placement::{optimize_layout, PlacementError, PlacementReport};

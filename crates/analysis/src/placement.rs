@@ -223,9 +223,7 @@ pub fn optimize_layout(
                 continue;
             }
             let group: Vec<usize> = (i..classes.len())
-                .filter(|&j| {
-                    classes[j].array == classes[i].array && classes[j].h == classes[i].h
-                })
+                .filter(|&j| classes[j].array == classes[i].array && classes[j].h == classes[i].h)
                 .collect();
             for &j in &group {
                 grouped[j] = true;
@@ -258,8 +256,7 @@ pub fn optimize_layout(
                     units.push(Unit {
                         array: classes[j].array,
                         leader_class: j,
-                        footprint: classes[j].element_span().unsigned_abs() * elem + elem
-                            - 1
+                        footprint: classes[j].element_span().unsigned_abs() * elem + elem - 1
                             + line,
                     });
                 }
@@ -295,11 +292,7 @@ pub fn optimize_layout(
 
     for (aidx, array) in kernel.arrays.iter().enumerate() {
         let elem = array.elem_size as u64;
-        let natural_pitch: u64 = array.dims[1..]
-            .iter()
-            .map(|&d| d as u64)
-            .product::<u64>()
-            * elem;
+        let natural_pitch: u64 = array.dims[1..].iter().map(|&d| d as u64).product::<u64>() * elem;
         let multi_row = array.dims.len() > 1 && array.dims[0] > 1;
         let unit_ids = &per_array[aidx];
 
@@ -307,10 +300,7 @@ pub fn optimize_layout(
         // array sharing an `H` with one of this array's classes.
         let required_residue: Option<u64> = unit_ids.iter().find_map(|&ui| {
             let h = &classes[units[ui].leader_class].h;
-            residue_by_h
-                .iter()
-                .find(|(rh, _)| rh == h)
-                .map(|(_, r)| *r)
+            residue_by_h.iter().find(|(rh, _)| rh == h).map(|(_, r)| *r)
         });
         let pitch_candidates: Vec<u64> = if multi_row {
             (0..cache_size.div_ceil(elem))

@@ -19,7 +19,9 @@ fn bench_figures(c: &mut Criterion) {
         ("fig10", bench::figures::fig10),
     ];
     let mut group = c.benchmark_group("figures");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for (name, f) in figs {
         group.bench_function(name, |b| b.iter(|| black_box(f().len())));
     }

@@ -42,5 +42,10 @@ fn bench_placement_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partition, bench_min_cache, bench_placement_search);
+criterion_group!(
+    benches,
+    bench_partition,
+    bench_min_cache,
+    bench_placement_search
+);
 criterion_main!(benches);

@@ -40,7 +40,9 @@ fn replacement_policies() {
             let events = TraceGen::new(&kernel, &layout)
                 .filter(|a| a.kind == AccessKind::Read)
                 .map(|a| TraceEvent::read(a.addr, a.size));
-            row.push(fmt_mr(Simulator::simulate(cfg, events).stats.read_miss_rate()));
+            row.push(fmt_mr(
+                Simulator::simulate(cfg, events).stats.read_miss_rate(),
+            ));
         }
         table.row(row);
     }
@@ -52,7 +54,13 @@ fn replacement_policies() {
 fn bus_encoding() {
     let mut table = Table::new(
         "avg address-bus switches and energy, Gray vs binary (C64 L8)",
-        &["kernel", "gray add_bs", "binary add_bs", "gray nJ", "binary nJ"],
+        &[
+            "kernel",
+            "gray add_bs",
+            "binary add_bs",
+            "gray nJ",
+            "binary nJ",
+        ],
     );
     for kernel in kernels::all_paper_kernels() {
         let layout = DataLayout::natural(&kernel);
@@ -130,7 +138,13 @@ fn kg_energy(kg: &KambleGhoseModel, r: &memexplore::Record) -> f64 {
 fn line_buffer() {
     let mut table = Table::new(
         "read energy with a line buffer (C64 L8, optimized layout)",
-        &["kernel", "buffer hit share", "plain nJ", "buffered nJ", "saving"],
+        &[
+            "kernel",
+            "buffer hit share",
+            "plain nJ",
+            "buffered nJ",
+            "saving",
+        ],
     );
     let model = DacEnergyModel::new(SramPart::cy7c_2mbit());
     for kernel in kernels::all_paper_kernels() {
@@ -196,10 +210,14 @@ fn analytical_vs_simulated() {
     );
     let eval = Evaluator::default();
     for kernel in kernels::all_paper_kernels() {
-        let mut row = vec![kernel.name.clone(), fmt_mr(analytical_miss_rate(&kernel, 8))];
+        let mut row = vec![
+            kernel.name.clone(),
+            fmt_mr(analytical_miss_rate(&kernel, 8)),
+        ];
         for t in [64usize, 256, 1024] {
             row.push(fmt_mr(
-                eval.evaluate(&kernel, CacheDesign::new(t, 8, 1, 1)).miss_rate,
+                eval.evaluate(&kernel, CacheDesign::new(t, 8, 1, 1))
+                    .miss_rate,
             ));
         }
         table.row(row);

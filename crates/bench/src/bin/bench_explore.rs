@@ -1,0 +1,121 @@
+//! Sweep-engine benchmark: seed engine vs trace-once work stealing.
+//!
+//! Runs the full `DesignSpace::paper()` sweep of `kernels::compress(31)`
+//! with both engines, checks the records are bit-identical (to each other
+//! and to a fully serial sweep), and writes the timings plus the new
+//! engine's [`SweepTelemetry`] to `BENCH_explore.json` in the current
+//! directory. Each engine is timed over several runs and the best run is
+//! reported, which filters scheduler noise without external tooling.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_explore
+//! ```
+
+use bench::seed_engine::seed_explore_designs;
+use loopir::kernels;
+use memexplore::{DesignSpace, Evaluator, Explorer, Record, SweepTelemetry};
+use std::time::Instant;
+
+const RUNS: usize = 3;
+
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best: Option<(f64, T)> = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let value = f();
+        let secs = start.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(b, _)| secs < *b) {
+            best = Some((secs, value));
+        }
+    }
+    best.expect("runs >= 1")
+}
+
+fn main() {
+    let kernel = kernels::compress(31);
+    let designs = DesignSpace::paper().designs();
+    let evaluator = Evaluator::default();
+
+    let (seed_secs, seed_records) =
+        best_of(RUNS, || seed_explore_designs(&evaluator, &kernel, &designs));
+
+    let explorer = Explorer::new(evaluator.clone());
+    let (engine_secs, (records, telemetry)) = best_of(RUNS, || {
+        explorer.explore_designs_with_telemetry(&kernel, &designs)
+    });
+
+    let serial: Vec<Record> = explorer
+        .clone()
+        .with_workers(1)
+        .explore_designs(&kernel, &designs);
+    let identical_to_seed = records == seed_records;
+    let identical_to_serial = records == serial;
+    let speedup = seed_secs / engine_secs;
+
+    let json = render_json(
+        &kernel.name,
+        designs.len(),
+        seed_secs,
+        engine_secs,
+        speedup,
+        identical_to_seed,
+        identical_to_serial,
+        &telemetry,
+    );
+    std::fs::write("BENCH_explore.json", &json).expect("can write BENCH_explore.json");
+
+    println!(
+        "kernel {} | {} designs | seed {:.3} s | trace-once {:.3} s | speedup {:.2}x",
+        kernel.name,
+        designs.len(),
+        seed_secs,
+        engine_secs,
+        speedup
+    );
+    println!("{telemetry}");
+    println!("records bit-identical to seed engine: {identical_to_seed}, to serial sweep: {identical_to_serial}");
+    println!("wrote BENCH_explore.json");
+
+    assert!(identical_to_seed, "engines diverged");
+    assert!(identical_to_serial, "parallel sweep diverged from serial");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    kernel: &str,
+    designs: usize,
+    seed_secs: f64,
+    engine_secs: f64,
+    speedup: f64,
+    identical_to_seed: bool,
+    identical_to_serial: bool,
+    telemetry: &SweepTelemetry,
+) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"explore_paper_space\",\n",
+            "  \"kernel\": \"{}\",\n",
+            "  \"designs\": {},\n",
+            "  \"runs_per_engine\": {},\n",
+            "  \"seed_engine_secs\": {:.6},\n",
+            "  \"trace_once_engine_secs\": {:.6},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"records_identical_to_seed\": {},\n",
+            "  \"records_identical_to_serial\": {},\n",
+            "  \"telemetry\": {}\n",
+            "}}\n"
+        ),
+        kernel,
+        designs,
+        RUNS,
+        seed_secs,
+        engine_secs,
+        speedup,
+        identical_to_seed,
+        identical_to_serial,
+        telemetry.to_json()
+    )
+}

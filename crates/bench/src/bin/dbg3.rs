@@ -18,14 +18,23 @@ fn main() {
         let p = r.layout.placement(ArrayId(i));
         println!("a{i}: base={} pitch={}", p.base, p.row_pitch);
     }
-    println!("cf={} leaders={:?} colliding={}", r.conflict_free, r.leader_lines, r.colliding_classes);
+    println!(
+        "cf={} leaders={:?} colliding={}",
+        r.conflict_free, r.leader_lines, r.colliding_classes
+    );
     let cfg = CacheConfig::new(128, 8, 1).unwrap();
-    let ev: Vec<_> = TraceGen::new(&k, &r.layout).filter(|a| a.kind == AccessKind::Read)
-        .map(|a| TraceEvent::read(a.addr, a.size)).collect();
+    let ev: Vec<_> = TraceGen::new(&k, &r.layout)
+        .filter(|a| a.kind == AccessKind::Read)
+        .map(|a| TraceEvent::read(a.addr, a.size))
+        .collect();
     // print addresses with line numbers for first rows
     for (n, e) in ev.iter().enumerate().take(24) {
-        println!("{n}: addr={} line={}", e.addr, (e.addr/8)%16);
+        println!("{n}: addr={} line={}", e.addr, (e.addr / 8) % 16);
     }
     let rep = Simulator::simulate_classified(cfg, ev);
-    println!("mr={:.3} {:?}", rep.stats.read_miss_rate(), rep.miss_classes);
+    println!(
+        "mr={:.3} {:?}",
+        rep.stats.read_miss_rate(),
+        rep.miss_classes
+    );
 }

@@ -20,11 +20,9 @@ pub fn fig01() -> String {
     for part in [SramPart::sram_16mbit(), SramPart::low_power_2mbit()] {
         let em = part.energy_per_access_nj;
         let records = grid_records(&kernel, &Evaluator::with_part(part));
-        let table = metric_grid_table(
-            &format!("energy (nJ), Em = {em} nJ"),
-            &records,
-            |r| fmt_nj(r.energy_nj),
-        );
+        let table = metric_grid_table(&format!("energy (nJ), Em = {em} nJ"), &records, |r| {
+            fmt_nj(r.energy_nj)
+        });
         out.push_str(&table.render());
         out.push('\n');
     }

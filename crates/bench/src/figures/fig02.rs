@@ -28,11 +28,7 @@ pub fn fig02() -> String {
 
     let mut out = String::new();
     out.push_str("# Figure 2 — metrics vs cache & line size (Em = 4.95 nJ)\n\n");
-    for (name, metric) in [
-        ("miss rate", 0usize),
-        ("cycles", 1),
-        ("energy (nJ)", 2),
-    ] {
+    for (name, metric) in [("miss rate", 0usize), ("cycles", 1), ("energy (nJ)", 2)] {
         let mut header = vec!["config".to_string()];
         header.extend(kernels.iter().map(|k| k.name.clone()));
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();

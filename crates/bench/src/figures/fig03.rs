@@ -15,8 +15,7 @@ pub fn fig03() -> String {
     let mut out = String::new();
     out.push_str("# Figure 3 — Compress cycles vs cache & line size\n\n");
     out.push_str(
-        &metric_grid_table("cycles (>= 4 lines)", &records, |r| fmt_cycles(r.cycles))
-            .render(),
+        &metric_grid_table("cycles (>= 4 lines)", &records, |r| fmt_cycles(r.cycles)).render(),
     );
     out
 }

@@ -19,7 +19,9 @@ pub fn fig07() -> String {
     for b in [1u64, 2, 4, 8, 16] {
         let mut row = vec![format!("T{b}")];
         for k in &kernels {
-            row.push(fmt_nj(eval.evaluate(k, CacheDesign::new(64, 8, 1, b)).energy_nj));
+            row.push(fmt_nj(
+                eval.evaluate(k, CacheDesign::new(64, 8, 1, b)).energy_nj,
+            ));
         }
         tiling.row(row);
     }
@@ -33,7 +35,9 @@ pub fn fig07() -> String {
     for s in [1usize, 2, 4, 8] {
         let mut row = vec![format!("SA{s}")];
         for k in &kernels {
-            row.push(fmt_nj(eval.evaluate(k, CacheDesign::new(64, 8, s, 1)).energy_nj));
+            row.push(fmt_nj(
+                eval.evaluate(k, CacheDesign::new(64, 8, s, 1)).energy_nj,
+            ));
         }
         assoc.row(row);
     }

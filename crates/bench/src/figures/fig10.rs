@@ -22,7 +22,15 @@ pub fn fig10() -> String {
     // Per-kernel minimum-energy configurations.
     let mut table = Table::new(
         "minimum-energy configuration per kernel",
-        &["kernel", "cache", "line", "assoc", "tiling", "energy (nJ)", "cycles"],
+        &[
+            "kernel",
+            "cache",
+            "line",
+            "assoc",
+            "tiling",
+            "energy (nJ)",
+            "cycles",
+        ],
     );
     let designs = space.designs();
     let mut per_kernel_records = Vec::new();
@@ -45,14 +53,7 @@ pub fn fig10() -> String {
 
     // Whole-program aggregation (§5 formulas) reuses the per-kernel sweeps.
     let composites: Vec<_> = (0..designs.len())
-        .map(|i| {
-            program.aggregate(
-                per_kernel_records
-                    .iter()
-                    .map(|rs| rs[i].clone())
-                    .collect(),
-            )
-        })
+        .map(|i| program.aggregate(per_kernel_records.iter().map(|rs| rs[i].clone()).collect()))
         .collect();
     let flat = as_records(&composites);
     let e_min = select::min_energy(&flat).expect("non-empty space");

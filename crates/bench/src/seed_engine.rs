@@ -1,0 +1,101 @@
+//! The pre-trace-arena sweep engine, kept as the benchmark baseline.
+//!
+//! This is a faithful replica of the original `Explorer::explore_designs`:
+//! off-chip layouts are precomputed serially per `(T, L)`, then designs
+//! are split into static contiguous chunks (one per worker), and every
+//! design regenerates its access trace from the loop nest inside
+//! [`Evaluator::evaluate_with_layout`]. The `bench_explore` harness runs
+//! it head-to-head against the trace-once, work-stealing engine and
+//! records the speedup in `BENCH_explore.json`; keeping the old engine
+//! here (instead of in `memexplore`) means the library ships only one
+//! sweep path while the comparison stays reproducible.
+
+use loopir::transform::tile_all;
+use loopir::{AccessKind, DataLayout, Kernel, TraceGen};
+use memexplore::{CacheDesign, Evaluator, Record};
+use memsim::{Simulator, TraceEvent};
+use std::collections::HashMap;
+
+/// Sweeps `designs` with the seed engine (static chunking, one trace
+/// regeneration per design).
+pub fn seed_explore_designs(
+    evaluator: &Evaluator,
+    kernel: &Kernel,
+    designs: &[CacheDesign],
+) -> Vec<Record> {
+    let mut layouts: HashMap<(usize, usize), (DataLayout, bool)> = HashMap::new();
+    for d in designs {
+        layouts
+            .entry((d.cache_size, d.line))
+            .or_insert_with(|| evaluator.layout_for(kernel, d.cache_size, d.line));
+    }
+    // The seed evaluation path: re-tile, re-walk the loop nest, and feed
+    // the simulator from the live iterator (no materialized trace).
+    let eval_one = |d: CacheDesign| {
+        let (layout, cf) = &layouts[&(d.cache_size, d.line)];
+        let config = d
+            .cache_config()
+            .unwrap_or_else(|e| panic!("invalid design {d}: {e}"));
+        let tiled = tile_all(kernel, d.tiling);
+        let events = TraceGen::new(&tiled, layout)
+            .filter(|a| a.kind == AccessKind::Read)
+            .map(|a| TraceEvent::read(a.addr, a.size));
+        let mut sim = Simulator::with_options(config, evaluator.bus_encoding, false);
+        sim.run(events);
+        let report = sim.into_report();
+        let hits = report.stats.read_hits;
+        let misses = report.stats.read_misses();
+        let cycles = evaluator
+            .cycle_model
+            .cycles_from_counts(hits, misses, d.assoc, d.line, d.tiling);
+        Record {
+            design: d,
+            miss_rate: report.stats.read_miss_rate(),
+            cycles,
+            energy_nj: evaluator.energy_model.trace_energy_nj(&report),
+            trip_count: report.stats.reads,
+            conflict_free: *cf,
+        }
+    };
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(designs.len().max(1));
+    if workers <= 1 || designs.len() < 4 {
+        return designs.iter().map(|&d| eval_one(d)).collect();
+    }
+    let mut slots: Vec<Option<Record>> = vec![None; designs.len()];
+    std::thread::scope(|scope| {
+        let chunk = designs.len().div_ceil(workers);
+        for (designs_chunk, slots_chunk) in designs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            let eval_one = &eval_one;
+            scope.spawn(move || {
+                for (d, slot) in designs_chunk.iter().zip(slots_chunk.iter_mut()) {
+                    *slot = Some(eval_one(*d));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every slot filled by its worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopir::kernels;
+    use memexplore::{DesignSpace, Explorer};
+
+    #[test]
+    fn seed_and_trace_once_engines_agree() {
+        let k = kernels::compress(15);
+        let designs = DesignSpace::small().designs();
+        let evaluator = Evaluator::default();
+        let seed = seed_explore_designs(&evaluator, &k, &designs);
+        let new = Explorer::new(evaluator).explore_designs(&k, &designs);
+        assert_eq!(seed, new);
+    }
+}

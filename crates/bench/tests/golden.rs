@@ -1,0 +1,50 @@
+//! Golden-snapshot tests for the paper-figure tables.
+//!
+//! The committed fixtures pin the exact rendered output of `fig01` and
+//! `fig02` — any change to the simulator, energy model, placement, or
+//! sweep engine that shifts a single digit fails here first. After an
+//! *intentional* model change, regenerate the fixtures and review the
+//! diff:
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig01 > crates/bench/tests/golden/fig01.txt
+//! cargo run --release -p bench --bin fig02 > crates/bench/tests/golden/fig02.txt
+//! ```
+
+fn assert_matches_golden(actual: &str, golden: &str, name: &str) {
+    if actual == golden {
+        return;
+    }
+    for (i, (a, g)) in actual.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(
+            a,
+            g,
+            "{name} line {} diverged from the committed fixture (regeneration \
+             command in crates/bench/tests/golden.rs)",
+            i + 1
+        );
+    }
+    panic!(
+        "{name} length diverged: {} lines rendered vs {} in the fixture",
+        actual.lines().count(),
+        golden.lines().count()
+    );
+}
+
+#[test]
+fn fig01_matches_committed_fixture() {
+    assert_matches_golden(
+        &bench::figures::fig01(),
+        include_str!("golden/fig01.txt"),
+        "fig01",
+    );
+}
+
+#[test]
+fn fig02_matches_committed_fixture() {
+    assert_matches_golden(
+        &bench::figures::fig02(),
+        include_str!("golden/fig02.txt"),
+        "fig02",
+    );
+}

@@ -67,7 +67,10 @@ impl CompositeProgram {
     ///
     /// Panics if `components` is empty or any trip count is zero.
     pub fn new(name: impl Into<String>, components: Vec<(Kernel, u64)>) -> Self {
-        assert!(!components.is_empty(), "composite needs at least one kernel");
+        assert!(
+            !components.is_empty(),
+            "composite needs at least one kernel"
+        );
         assert!(
             components.iter().all(|(_, t)| *t > 0),
             "trip counts must be positive"
@@ -132,8 +135,7 @@ impl CompositeProgram {
             .collect();
         (0..designs.len())
             .map(|i| {
-                let records: Vec<Record> =
-                    per_kernel.iter().map(|rs| rs[i].clone()).collect();
+                let records: Vec<Record> = per_kernel.iter().map(|rs| rs[i].clone()).collect();
                 self.aggregate(records)
             })
             .collect()

@@ -54,7 +54,14 @@ impl CycleModel {
     /// Total cycles from hit/miss counts.
     ///
     /// `tiling` is the paper's tiling size `B` (use 1 when untiled).
-    pub fn cycles_from_counts(&self, hits: u64, misses: u64, assoc: usize, line: usize, tiling: u64) -> f64 {
+    pub fn cycles_from_counts(
+        &self,
+        hits: u64,
+        misses: u64,
+        assoc: usize,
+        line: usize,
+        tiling: u64,
+    ) -> f64 {
         hits as f64 * self.cycles_per_hit(assoc)
             + misses as f64 * (tiling as f64 + self.cycles_per_miss(line))
     }
@@ -98,7 +105,15 @@ mod tests {
     #[test]
     fn miss_cycles_match_the_paper_table() {
         let m = CycleModel;
-        for (l, c) in [(4, 40.0), (8, 40.0), (16, 42.0), (32, 44.0), (64, 48.0), (128, 56.0), (256, 72.0)] {
+        for (l, c) in [
+            (4, 40.0),
+            (8, 40.0),
+            (16, 42.0),
+            (32, 44.0),
+            (64, 48.0),
+            (128, 56.0),
+            (256, 72.0),
+        ] {
             assert_eq!(m.cycles_per_miss(l), c);
         }
     }

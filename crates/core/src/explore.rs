@@ -1,7 +1,27 @@
 //! The MemExplore sweep.
+//!
+//! The sweep engine is *trace-once, simulate-many*: each distinct access
+//! trace is materialized exactly once into a shared [`TraceArena`] and
+//! every `(T, L, S, B)` design point replays an immutable slice of it.
+//! A trace depends on the off-chip layout (a function of cache size `T`
+//! and line size `L`) and on the tiling `B` (tiling reorders the loop
+//! nest), so traces are keyed by deduplicated layout contents plus `B`:
+//! all associativities `S` — and all `(T, L)` pairs that optimize to the
+//! same layout — share one buffer. Designs are then fanned out over a work-stealing
+//! pool of scoped threads (a shared atomic next-design index — no static
+//! chunking, so skewed per-design costs cannot strand idle workers), and
+//! records are written into per-design slots so the returned order is
+//! the deterministic sweep order regardless of scheduling.
 
-use crate::metrics::{CacheDesign, Evaluator, Record};
-use loopir::Kernel;
+use crate::metrics::{read_trace, CacheDesign, Evaluator, Record};
+use crate::telemetry::SweepTelemetry;
+use loopir::transform::tile_all;
+use loopir::{DataLayout, Kernel};
+use memsim::TraceArena;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// The swept parameter ranges (all powers of two, per the paper's
 /// `Algorithm MemExplore`).
@@ -94,6 +114,37 @@ pub fn pow2_range(lo: usize, hi: usize) -> Vec<usize> {
     v
 }
 
+/// Runs `jobs` indexed tasks over `workers` threads with work stealing:
+/// every worker pulls the next index from one shared atomic counter until
+/// the range is exhausted. Returns each worker's busy time. With one
+/// worker the tasks run inline on the calling thread (still in index
+/// order pulled from the same counter), so serial and parallel sweeps
+/// share a single code path.
+fn steal_loop<F: Fn(usize) + Sync>(workers: usize, jobs: usize, run: F) -> Vec<Duration> {
+    let next = AtomicUsize::new(0);
+    let work = |next: &AtomicUsize| {
+        let start = Instant::now();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= jobs {
+                break;
+            }
+            run(i);
+        }
+        start.elapsed()
+    };
+    if workers <= 1 || jobs <= 1 {
+        return vec![work(&next)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers).map(|_| scope.spawn(|| work(&next))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+}
+
 /// Runs the sweep, fanning designs out across worker threads.
 ///
 /// # Example
@@ -109,64 +160,188 @@ pub fn pow2_range(lo: usize, hi: usize) -> Vec<usize> {
 pub struct Explorer {
     /// Per-design evaluator.
     pub evaluator: Evaluator,
+    /// Worker-thread count; `None` uses the machine's available
+    /// parallelism. `Some(1)` forces a fully serial sweep (useful as the
+    /// reference for determinism checks — results are bit-identical
+    /// either way).
+    pub workers: Option<usize>,
 }
 
 impl Explorer {
     /// An explorer around a specific evaluator.
     pub fn new(evaluator: Evaluator) -> Self {
-        Explorer { evaluator }
+        Explorer {
+            evaluator,
+            workers: None,
+        }
+    }
+
+    /// Pins the sweep to a fixed worker count (builder-style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    fn worker_count(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.workers.unwrap_or(hw).max(1).min(jobs.max(1))
     }
 
     /// Evaluates every design of `space` on `kernel`. Results come back in
     /// sweep order regardless of thread scheduling.
     pub fn explore(&self, kernel: &Kernel, space: &DesignSpace) -> Vec<Record> {
-        let designs = space.designs();
-        self.explore_designs(kernel, &designs)
+        self.explore_designs(kernel, &space.designs())
     }
 
     /// Evaluates an explicit design list (in order).
-    ///
-    /// The off-chip layout is computed once per `(T, L)` pair — it does not
-    /// depend on associativity or tiling — and shared across the sweep.
     pub fn explore_designs(&self, kernel: &Kernel, designs: &[CacheDesign]) -> Vec<Record> {
-        // Precompute layouts (the placement search dominates design cost).
-        let mut layouts: std::collections::HashMap<(usize, usize), (loopir::DataLayout, bool)> =
-            std::collections::HashMap::new();
-        for d in designs {
-            layouts
-                .entry((d.cache_size, d.line))
-                .or_insert_with(|| self.evaluator.layout_for(kernel, d.cache_size, d.line));
-        }
-        let eval_one = |d: CacheDesign| {
-            let (layout, cf) = &layouts[&(d.cache_size, d.line)];
-            self.evaluator.evaluate_with_layout(kernel, d, layout, *cf)
-        };
+        self.explore_designs_with_telemetry(kernel, designs).0
+    }
 
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(designs.len().max(1));
-        if workers <= 1 || designs.len() < 4 {
-            return designs.iter().map(|&d| eval_one(d)).collect();
+    /// [`explore`](Self::explore), additionally reporting
+    /// [`SweepTelemetry`] for the run.
+    pub fn explore_with_telemetry(
+        &self,
+        kernel: &Kernel,
+        space: &DesignSpace,
+    ) -> (Vec<Record>, SweepTelemetry) {
+        self.explore_designs_with_telemetry(kernel, &space.designs())
+    }
+
+    /// The trace-once, simulate-many engine behind every sweep.
+    ///
+    /// Four phases, the first three work-stealing over scoped threads:
+    ///
+    /// 1. **layout** — one off-chip placement per distinct `(T, L)` pair
+    ///    (placement does not depend on `S` or `B`);
+    /// 2. **trace** — one access trace per distinct (layout value, `B`)
+    ///    key, assembled into a shared [`TraceArena`] in first-appearance
+    ///    order;
+    /// 3. **simulate** — every design replays its arena slice; records
+    ///    land in per-design slots;
+    /// 4. **select** — slots are collected into sweep order.
+    pub fn explore_designs_with_telemetry(
+        &self,
+        kernel: &Kernel,
+        designs: &[CacheDesign],
+    ) -> (Vec<Record>, SweepTelemetry) {
+        let sweep_start = Instant::now();
+        let workers = self.worker_count(designs.len());
+
+        // Phase 1: off-chip layouts, one per distinct (T, L).
+        let phase_start = Instant::now();
+        let mut pair_index: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for d in designs {
+            pair_index.entry((d.cache_size, d.line)).or_insert_with(|| {
+                pairs.push((d.cache_size, d.line));
+                pairs.len() - 1
+            });
         }
-        let mut slots: Vec<Option<Record>> = vec![None; designs.len()];
-        std::thread::scope(|scope| {
-            let chunk = designs.len().div_ceil(workers);
-            for (designs_chunk, slots_chunk) in
-                designs.chunks(chunk).zip(slots.chunks_mut(chunk))
-            {
-                let eval_one = &eval_one;
-                scope.spawn(move || {
-                    for (d, slot) in designs_chunk.iter().zip(slots_chunk.iter_mut()) {
-                        *slot = Some(eval_one(*d));
-                    }
-                });
-            }
+        let layout_slots: Vec<OnceLock<(DataLayout, bool)>> =
+            pairs.iter().map(|_| OnceLock::new()).collect();
+        steal_loop(workers, pairs.len(), |i| {
+            let (t, l) = pairs[i];
+            let _ = layout_slots[i].set(self.evaluator.layout_for(kernel, t, l));
         });
-        slots
+        let layout_time = phase_start.elapsed();
+
+        // Phase 2: traces. A trace depends on the layout *contents* and the
+        // tiling — not on (T, L) directly — and distinct (T, L) pairs often
+        // optimize to identical layouts, so layouts are deduplicated by
+        // value first and traces are keyed by (layout id, B). Tiling
+        // reorders the loop nest, so the tiled kernel is shared per B.
+        let phase_start = Instant::now();
+        let mut tiled: HashMap<u64, Kernel> = HashMap::new();
+        for d in designs {
+            tiled
+                .entry(d.tiling)
+                .or_insert_with(|| tile_all(kernel, d.tiling));
+        }
+        let mut unique_layouts: Vec<&DataLayout> = Vec::new();
+        let layout_id: Vec<usize> = (0..pairs.len())
+            .map(|i| {
+                let (layout, _) = layout_slots[i]
+                    .get()
+                    .expect("layout phase filled every slot");
+                match unique_layouts.iter().position(|u| *u == layout) {
+                    Some(id) => id,
+                    None => {
+                        unique_layouts.push(layout);
+                        unique_layouts.len() - 1
+                    }
+                }
+            })
+            .collect();
+        let mut key_index: HashMap<(usize, u64), usize> = HashMap::new();
+        let mut keys: Vec<(usize, u64)> = Vec::new();
+        for d in designs {
+            let id = layout_id[pair_index[&(d.cache_size, d.line)]];
+            key_index.entry((id, d.tiling)).or_insert_with(|| {
+                keys.push((id, d.tiling));
+                keys.len() - 1
+            });
+        }
+        let trace_slots: Vec<OnceLock<Vec<memsim::TraceEvent>>> =
+            keys.iter().map(|_| OnceLock::new()).collect();
+        steal_loop(workers, keys.len(), |i| {
+            let (id, b) = keys[i];
+            let _ = trace_slots[i].set(read_trace(&tiled[&b], unique_layouts[id]));
+        });
+        let arena: TraceArena<(usize, u64)> = TraceArena::assemble(
+            keys.iter().copied().zip(
+                trace_slots
+                    .into_iter()
+                    .map(|s| s.into_inner().expect("trace phase filled every slot")),
+            ),
+        );
+        let trace_time = phase_start.elapsed();
+
+        // Phase 3: simulate every design against its shared trace slice,
+        // stealing design indices from one atomic counter.
+        let phase_start = Instant::now();
+        let record_slots: Vec<OnceLock<Record>> = designs.iter().map(|_| OnceLock::new()).collect();
+        let replayed = AtomicUsize::new(0);
+        let worker_busy = steal_loop(workers, designs.len(), |i| {
+            let d = designs[i];
+            let pair = pair_index[&(d.cache_size, d.line)];
+            let (_, conflict_free) = layout_slots[pair]
+                .get()
+                .expect("layout phase filled every slot");
+            let trace = arena
+                .get(&(layout_id[pair], d.tiling))
+                .expect("trace phase interned every key");
+            replayed.fetch_add(trace.len(), Ordering::Relaxed);
+            let _ =
+                record_slots[i].set(self.evaluator.evaluate_with_trace(d, trace, *conflict_free));
+        });
+        let simulate_time = phase_start.elapsed();
+
+        // Phase 4: collect records back into sweep order.
+        let phase_start = Instant::now();
+        let records: Vec<Record> = record_slots
             .into_iter()
-            .map(|r| r.expect("every slot filled by its worker"))
-            .collect()
+            .map(|s| s.into_inner().expect("simulate phase filled every slot"))
+            .collect();
+        let select_time = phase_start.elapsed();
+
+        let telemetry = SweepTelemetry {
+            designs_evaluated: designs.len(),
+            layouts_computed: pairs.len(),
+            traces_generated: keys.len(),
+            trace_events_generated: arena.events().len() as u64,
+            trace_events_replayed: replayed.into_inner() as u64,
+            workers,
+            layout_time,
+            trace_time,
+            simulate_time,
+            select_time,
+            total_time: sweep_start.elapsed(),
+            worker_busy,
+        };
+        (records, telemetry)
     }
 }
 
@@ -205,7 +380,9 @@ mod tests {
         let space = DesignSpace::paper();
         let designs = space.designs();
         // Cache sizes must be non-decreasing through the list.
-        assert!(designs.windows(2).all(|w| w[0].cache_size <= w[1].cache_size));
+        assert!(designs
+            .windows(2)
+            .all(|w| w[0].cache_size <= w[1].cache_size));
     }
 
     #[test]
@@ -234,5 +411,100 @@ mod tests {
             assert_eq!(d.assoc, 1);
             assert_eq!(d.tiling, 1);
         }
+    }
+
+    #[test]
+    fn steal_loop_visits_every_job_exactly_once() {
+        for workers in [1, 3, 8] {
+            let hits: Vec<AtomicUsize> = (0..57).map(|_| AtomicUsize::new(0)).collect();
+            let busy = steal_loop(workers, hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(!busy.is_empty() && busy.len() <= workers);
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "job {i} ({workers} workers)");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_stealing_sweeps_are_bit_identical() {
+        let k = kernels::compress(15);
+        let designs = DesignSpace::small().designs();
+        let serial = Explorer::default()
+            .with_workers(1)
+            .explore_designs(&k, &designs);
+        let parallel = Explorer::default()
+            .with_workers(4)
+            .explore_designs(&k, &designs);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn engine_matches_single_design_evaluation() {
+        let k = kernels::matadd(6);
+        let designs = DesignSpace::small().designs();
+        let explorer = Explorer::default();
+        let swept = explorer.explore_designs(&k, &designs);
+        for (rec, &d) in swept.iter().zip(&designs) {
+            let lone = explorer.evaluator.evaluate(&k, d);
+            assert_eq!(*rec, lone, "sweep diverged from evaluate() at {d}");
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_are_consistent() {
+        let k = kernels::matadd(6);
+        let space = DesignSpace {
+            cache_sizes: vec![64, 128],
+            line_sizes: vec![8],
+            assocs: vec![1, 2, 4],
+            tilings: vec![1, 2],
+            min_lines: 2,
+        };
+        let designs = space.designs();
+        let (records, t) = Explorer::default().explore_designs_with_telemetry(&k, &designs);
+        assert_eq!(records.len(), designs.len());
+        assert_eq!(t.designs_evaluated, designs.len());
+        assert_eq!(t.layouts_computed, 2); // (64, 8) and (128, 8)
+                                           // At most two distinct layouts x two tilings; at least one trace
+                                           // per tiling (layouts with equal contents share a trace).
+        assert!(
+            (2..=4).contains(&t.traces_generated),
+            "{}",
+            t.traces_generated
+        );
+        assert!(t.trace_events_generated > 0);
+        // Three associativities per (T, L, B) replay each trace; reuse must
+        // exceed generation.
+        assert!(t.trace_events_replayed > t.trace_events_generated);
+        assert_eq!(
+            t.trace_events_reused(),
+            t.trace_events_replayed - t.trace_events_generated
+        );
+        assert!(t.workers >= 1);
+        assert!(!t.worker_busy.is_empty());
+    }
+
+    #[test]
+    fn empty_design_list_yields_empty_sweep() {
+        let k = kernels::matadd(4);
+        let (records, t) = Explorer::default().explore_designs_with_telemetry(&k, &[]);
+        assert!(records.is_empty());
+        assert_eq!(t.designs_evaluated, 0);
+        assert_eq!(t.trace_events_generated, 0);
+        assert_eq!(t.trace_reuse_factor(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_designs_are_each_evaluated() {
+        let k = kernels::matadd(5);
+        let d = CacheDesign::new(64, 8, 1, 1);
+        let (records, t) = Explorer::default().explore_designs_with_telemetry(&k, &[d, d, d]);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], records[1]);
+        assert_eq!(records[1], records[2]);
+        assert_eq!(t.traces_generated, 1);
+        assert_eq!(t.trace_events_replayed, 3 * t.trace_events_generated);
     }
 }

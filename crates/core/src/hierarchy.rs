@@ -154,9 +154,8 @@ pub fn evaluate_two_level(
     let e_l1_hit = em.hit_energy_nj(&l1_cfg, add_bs);
     let e_l2_hit = em.hit_energy_nj(&l2_cfg, add_bs);
     let e_l2_miss = em.miss_energy_nj(&l2_cfg, add_bs);
-    let energy_nj = l1_hits * e_l1_hit
-        + l2_hits * (e_l1_hit + e_l2_hit)
-        + l2_misses * (e_l1_hit + e_l2_miss);
+    let energy_nj =
+        l1_hits * e_l1_hit + l2_hits * (e_l1_hit + e_l2_hit) + l2_misses * (e_l1_hit + e_l2_miss);
 
     TwoLevelRecord {
         l1,
@@ -225,7 +224,10 @@ mod tests {
         let cheap = Evaluator::default(); // Em = 4.95 nJ
         let two_cheap = evaluate_two_level(&kernel, l1, l2, &cheap);
         let one_cheap = cheap.evaluate(&kernel, CacheDesign::new(64, 8, 1, 1));
-        assert!(two_cheap.cycles < one_cheap.cycles, "the L2 always wins time");
+        assert!(
+            two_cheap.cycles < one_cheap.cycles,
+            "the L2 always wins time"
+        );
         assert!(
             two_cheap.energy_nj > one_cheap.energy_nj,
             "under the linear cell model the L2 loses energy vs cheap off-chip"

@@ -45,8 +45,10 @@ pub mod hierarchy;
 pub mod metrics;
 pub mod select;
 pub mod spm;
+pub mod telemetry;
 
 pub use composite::{CompositeProgram, CompositeRecord};
 pub use cycles::CycleModel;
 pub use explore::{DesignSpace, Explorer};
 pub use metrics::{CacheDesign, Evaluator, PlacementMode, Record};
+pub use telemetry::SweepTelemetry;

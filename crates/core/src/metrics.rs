@@ -55,7 +55,11 @@ impl fmt::Display for CacheDesign {
 
 /// The measured performance of one design on one kernel — the paper's §5
 /// record `(T, L, S, B, mr, C, E)`.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares the floating-point metrics exactly (bitwise for
+/// finite values) — the sweep engine is deterministic, so differential
+/// tests assert bit-identical records, not approximate ones.
+#[derive(Clone, PartialEq, Debug)]
 pub struct Record {
     /// The design point.
     pub design: CacheDesign,
@@ -148,7 +152,12 @@ impl Evaluator {
     /// are therefore miss-counted once on a direct-mapped cache, and the
     /// better one wins — the assignment can then never lose to doing
     /// nothing.
-    pub fn layout_for(&self, kernel: &Kernel, cache_size: usize, line: usize) -> (DataLayout, bool) {
+    pub fn layout_for(
+        &self,
+        kernel: &Kernel,
+        cache_size: usize,
+        line: usize,
+    ) -> (DataLayout, bool) {
         match self.placement {
             PlacementMode::Optimized => {
                 let r = optimize_layout(kernel, cache_size as u64, line as u64)
@@ -200,15 +209,33 @@ impl Evaluator {
         layout: &DataLayout,
         conflict_free: bool,
     ) -> Record {
+        let tiled = tile_all(kernel, design.tiling);
+        let trace = read_trace(&tiled, layout);
+        self.evaluate_with_trace(design, &trace, conflict_free)
+    }
+
+    /// Like [`evaluate`](Self::evaluate) but replaying a pre-materialized
+    /// read trace (the tiled kernel's reads under the chosen layout).
+    ///
+    /// This is the innermost entry point of the trace-once sweep engine:
+    /// the [`Explorer`](crate::Explorer) materializes each distinct
+    /// `(T, L, B)` trace once into a [`memsim::TraceArena`] and evaluates
+    /// every associativity against the same immutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`evaluate`](Self::evaluate).
+    pub fn evaluate_with_trace(
+        &self,
+        design: CacheDesign,
+        trace: &[TraceEvent],
+        conflict_free: bool,
+    ) -> Record {
         let config = design
             .cache_config()
             .unwrap_or_else(|e| panic!("invalid design {design}: {e}"));
-        let tiled = tile_all(kernel, design.tiling);
-        let events = TraceGen::new(&tiled, layout)
-            .filter(|a| a.kind == AccessKind::Read)
-            .map(|a| TraceEvent::read(a.addr, a.size));
         let mut sim = Simulator::with_options(config, self.bus_encoding, false);
-        sim.run(events);
+        sim.run_slice(trace);
         let report = sim.into_report();
 
         let hits = report.stats.read_hits;
@@ -279,6 +306,16 @@ impl Evaluator {
     }
 }
 
+/// Materializes the read trace of `kernel` under `layout` — the event
+/// format consumed by [`Evaluator::evaluate_with_trace`] and stored in
+/// sweep [`memsim::TraceArena`]s.
+pub fn read_trace(kernel: &Kernel, layout: &DataLayout) -> Vec<TraceEvent> {
+    TraceGen::new(kernel, layout)
+        .filter(|a| a.kind == AccessKind::Read)
+        .map(|a| TraceEvent::read(a.addr, a.size))
+        .collect()
+}
+
 /// Read-miss count of the untiled kernel on a direct-mapped cache — the
 /// proxy used to arbitrate between candidate layouts.
 fn quick_misses(kernel: &Kernel, layout: &DataLayout, cache_size: usize, line: usize) -> u64 {
@@ -345,10 +382,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid design")]
     fn invalid_geometry_panics() {
-        let _ = Evaluator::default().evaluate(
-            &kernels::compress(31),
-            CacheDesign::new(48, 8, 1, 1),
-        );
+        let _ =
+            Evaluator::default().evaluate(&kernels::compress(31), CacheDesign::new(48, 8, 1, 1));
     }
 
     #[test]

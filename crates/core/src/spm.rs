@@ -30,9 +30,9 @@
 //! assert!(best.energy_nj > 0.0);
 //! ```
 
+use crate::explore::{pow2_range, DesignSpace, Explorer};
 use crate::metrics::{CacheDesign, Evaluator, Record};
 use crate::select;
-use crate::explore::{pow2_range, DesignSpace, Explorer};
 use loopir::{AccessKind, ArrayId, Kernel, TraceGen};
 use memsim::{Simulator, TraceEvent};
 
@@ -92,7 +92,10 @@ pub fn choose_arrays(kernel: &Kernel, spm_bytes: u64) -> SpmAssignment {
                 || (reads == best.diverted_reads && bytes < best.bytes_used))
         {
             best = SpmAssignment {
-                arrays: (0..n).filter(|i| mask & (1 << i) != 0).map(ArrayId).collect(),
+                arrays: (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(ArrayId)
+                    .collect(),
                 bytes_used: bytes,
                 diverted_reads: reads,
             };

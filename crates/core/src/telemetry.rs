@@ -1,0 +1,202 @@
+//! Sweep instrumentation.
+//!
+//! [`SweepTelemetry`] is filled in by
+//! [`Explorer::explore_with_telemetry`](crate::Explorer::explore_with_telemetry)
+//! and reports what the trace-once engine actually did: how many layouts
+//! and traces were materialized, how many simulated events were served
+//! from the shared [`memsim::TraceArena`] instead of regenerated, where
+//! the wall time went per phase, and how evenly the work-stealing workers
+//! were loaded. The `memx explore --telemetry` flag and the
+//! `bench_explore` harness both print it; `BENCH_explore.json` embeds the
+//! [`to_json`](SweepTelemetry::to_json) form.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters and timings of one design-space sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SweepTelemetry {
+    /// Number of design points evaluated (length of the record list).
+    pub designs_evaluated: usize,
+    /// Distinct `(T, L)` off-chip layouts computed.
+    pub layouts_computed: usize,
+    /// Distinct (layout value, tiling) traces materialized into the arena.
+    pub traces_generated: usize,
+    /// Total events generated into the arena (each exactly once).
+    pub trace_events_generated: u64,
+    /// Total events replayed by simulations (every design replays its
+    /// span, so this counts reuse).
+    pub trace_events_replayed: u64,
+    /// Worker threads used by the sweep.
+    pub workers: usize,
+    /// Wall time of the layout phase (off-chip placement per `(T, L)`).
+    pub layout_time: Duration,
+    /// Wall time of the trace-materialization phase.
+    pub trace_time: Duration,
+    /// Wall time of the work-stealing simulation phase.
+    pub simulate_time: Duration,
+    /// Wall time of result collection into sweep order.
+    pub select_time: Duration,
+    /// End-to-end wall time of the sweep.
+    pub total_time: Duration,
+    /// Per-worker busy time during the simulation phase.
+    pub worker_busy: Vec<Duration>,
+}
+
+impl SweepTelemetry {
+    /// Events served from the arena beyond their first generation —
+    /// the work the trace-once engine avoided.
+    pub fn trace_events_reused(&self) -> u64 {
+        self.trace_events_replayed
+            .saturating_sub(self.trace_events_generated)
+    }
+
+    /// Replayed / generated event ratio (1.0 = no reuse; higher is
+    /// better). Returns 1.0 for an empty sweep.
+    pub fn trace_reuse_factor(&self) -> f64 {
+        if self.trace_events_generated == 0 {
+            return 1.0;
+        }
+        self.trace_events_replayed as f64 / self.trace_events_generated as f64
+    }
+
+    /// Mean fraction of the simulation phase each worker spent busy
+    /// (1.0 = perfectly balanced). Returns 1.0 when the phase was empty.
+    pub fn worker_utilization(&self) -> f64 {
+        let wall = self.simulate_time.as_secs_f64();
+        if wall <= 0.0 || self.worker_busy.is_empty() {
+            return 1.0;
+        }
+        let busy: f64 = self.worker_busy.iter().map(Duration::as_secs_f64).sum();
+        (busy / (wall * self.worker_busy.len() as f64)).min(1.0)
+    }
+
+    /// Flat JSON rendering (no external dependencies), embedded in
+    /// `BENCH_explore.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"designs_evaluated\":{},\"layouts_computed\":{},",
+                "\"traces_generated\":{},\"trace_events_generated\":{},",
+                "\"trace_events_replayed\":{},\"trace_events_reused\":{},",
+                "\"trace_reuse_factor\":{:.3},\"workers\":{},",
+                "\"worker_utilization\":{:.3},\"layout_secs\":{:.6},",
+                "\"trace_secs\":{:.6},\"simulate_secs\":{:.6},",
+                "\"select_secs\":{:.6},\"total_secs\":{:.6}}}"
+            ),
+            self.designs_evaluated,
+            self.layouts_computed,
+            self.traces_generated,
+            self.trace_events_generated,
+            self.trace_events_replayed,
+            self.trace_events_reused(),
+            self.trace_reuse_factor(),
+            self.workers,
+            self.worker_utilization(),
+            self.layout_time.as_secs_f64(),
+            self.trace_time.as_secs_f64(),
+            self.simulate_time.as_secs_f64(),
+            self.select_time.as_secs_f64(),
+            self.total_time.as_secs_f64(),
+        )
+    }
+}
+
+impl fmt::Display for SweepTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sweep: {} designs on {} workers in {:.1} ms",
+            self.designs_evaluated,
+            self.workers,
+            self.total_time.as_secs_f64() * 1e3
+        )?;
+        writeln!(
+            f,
+            "  layout   : {} (T, L) placements in {:.1} ms",
+            self.layouts_computed,
+            self.layout_time.as_secs_f64() * 1e3
+        )?;
+        writeln!(
+            f,
+            "  trace    : {} layout x tiling traces, {} events generated once in {:.1} ms",
+            self.traces_generated,
+            self.trace_events_generated,
+            self.trace_time.as_secs_f64() * 1e3
+        )?;
+        writeln!(
+            f,
+            "  simulate : {} events replayed ({:.1}x reuse) in {:.1} ms, {:.0}% worker utilization",
+            self.trace_events_replayed,
+            self.trace_reuse_factor(),
+            self.simulate_time.as_secs_f64() * 1e3,
+            self.worker_utilization() * 100.0
+        )?;
+        write!(
+            f,
+            "  select   : records collected in {:.1} ms",
+            self.select_time.as_secs_f64() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepTelemetry {
+        SweepTelemetry {
+            designs_evaluated: 8,
+            layouts_computed: 2,
+            traces_generated: 4,
+            trace_events_generated: 100,
+            trace_events_replayed: 400,
+            workers: 2,
+            layout_time: Duration::from_millis(10),
+            trace_time: Duration::from_millis(5),
+            simulate_time: Duration::from_millis(20),
+            select_time: Duration::from_millis(1),
+            total_time: Duration::from_millis(36),
+            worker_busy: vec![Duration::from_millis(18), Duration::from_millis(20)],
+        }
+    }
+
+    #[test]
+    fn reuse_accounting() {
+        let t = sample();
+        assert_eq!(t.trace_events_reused(), 300);
+        assert!((t.trace_reuse_factor() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let t = sample();
+        let u = t.worker_utilization();
+        assert!(u > 0.9 && u <= 1.0, "utilization {u}");
+        assert_eq!(SweepTelemetry::default().worker_utilization(), 1.0);
+    }
+
+    #[test]
+    fn json_is_flat_and_balanced() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"designs_evaluated\":8"));
+        assert!(j.contains("\"trace_events_reused\":300"));
+        assert_eq!(j.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn display_mentions_every_phase() {
+        let s = sample().to_string();
+        for phase in ["layout", "trace", "simulate", "select"] {
+            assert!(s.contains(phase), "missing {phase} in {s}");
+        }
+    }
+
+    #[test]
+    fn empty_sweep_has_sane_ratios() {
+        let t = SweepTelemetry::default();
+        assert_eq!(t.trace_reuse_factor(), 1.0);
+        assert_eq!(t.trace_events_reused(), 0);
+    }
+}

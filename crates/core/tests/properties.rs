@@ -1,0 +1,123 @@
+//! Property tests for the trace-once, work-stealing sweep engine.
+//!
+//! Two invariants the engine must hold for *any* kernel and design list:
+//!
+//! * scheduling must be invisible — a work-stealing parallel sweep
+//!   returns bit-identical records, in the same order, as a fully serial
+//!   sweep of the same designs;
+//! * memoization must be invisible — a trace interned in a
+//!   [`TraceArena`] and replayed later is event-for-event identical to a
+//!   trace generated fresh from the loop nest, and simulating either
+//!   yields identical statistics.
+
+use loopir::transform::tile_all;
+use loopir::{AffineExpr, ArrayDecl, ArrayId, ArrayRef, Kernel, Loop, LoopNest};
+use memexplore::metrics::read_trace;
+use memexplore::{CacheDesign, Evaluator, Explorer};
+use memsim::{CacheConfig, Simulator, TraceArena};
+use proptest::prelude::*;
+
+/// A random rectangular 2-D stencil kernel (same shape family as the
+/// workspace-level `random_kernels` suite): 1–3 arrays, 2–6 references
+/// with offsets in {-1, 0, 1}, loops over the interior.
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    let dims = (5usize..12, 5usize..12);
+    let n_arrays = 1usize..=3;
+    let refs = proptest::collection::vec(
+        (0usize..3, -1i64..=1, -1i64..=1, proptest::bool::ANY),
+        2..=6,
+    );
+    (dims, n_arrays, refs).prop_map(|((rows, cols), n_arrays, refs)| {
+        let arrays: Vec<ArrayDecl> = (0..n_arrays)
+            .map(|i| ArrayDecl::new(format!("a{i}"), &[rows, cols], 4))
+            .collect();
+        let body: Vec<ArrayRef> = refs
+            .into_iter()
+            .map(|(aid, c0, c1, is_write)| {
+                let subs = vec![AffineExpr::var(0) + c0, AffineExpr::var(1) + c1];
+                let array = ArrayId(aid % n_arrays);
+                if is_write {
+                    ArrayRef::write(array, subs)
+                } else {
+                    ArrayRef::read(array, subs)
+                }
+            })
+            .collect();
+        let nest = LoopNest {
+            loops: vec![Loop::new(1, rows as i64 - 2), Loop::new(1, cols as i64 - 2)],
+            refs: body,
+        };
+        Kernel::new("random", arrays, nest)
+    })
+}
+
+/// A random valid cache design: power-of-two geometry with `L ≤ T/2`,
+/// `S ≤ T/L`, and `B ≤ T/L`, clamped rather than filtered so every drawn
+/// tuple maps to a design.
+fn arb_design() -> impl Strategy<Value = CacheDesign> {
+    (4u32..=9, 2u32..=5, 0u32..=2, 0u32..=3).prop_map(|(t_exp, l_exp, s_exp, b_exp)| {
+        let t = 1usize << t_exp;
+        let l = (1usize << l_exp).min(t / 2);
+        let lines = t / l;
+        let s = (1usize << s_exp).min(lines);
+        let b = (1u64 << b_exp).min(lines as u64);
+        CacheDesign::new(t, l, s, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn work_stealing_sweep_is_bit_identical_to_serial(
+        kernel in arb_kernel(),
+        designs in proptest::collection::vec(arb_design(), 1..16),
+    ) {
+        let serial = Explorer::default()
+            .with_workers(1)
+            .explore_designs(&kernel, &designs);
+        let stolen = Explorer::default()
+            .with_workers(4)
+            .explore_designs(&kernel, &designs);
+        prop_assert_eq!(serial, stolen);
+    }
+
+    #[test]
+    fn sweep_records_match_independent_evaluation(
+        kernel in arb_kernel(),
+        designs in proptest::collection::vec(arb_design(), 1..8),
+    ) {
+        let explorer = Explorer::default();
+        let swept = explorer.explore_designs(&kernel, &designs);
+        for (record, &design) in swept.iter().zip(&designs) {
+            let lone = explorer.evaluator.evaluate(&kernel, design);
+            prop_assert_eq!(record, &lone);
+        }
+    }
+
+    #[test]
+    fn arena_replay_equals_fresh_trace(
+        kernel in arb_kernel(),
+        design in arb_design(),
+    ) {
+        let evaluator = Evaluator::default();
+        let (layout, _) = evaluator.layout_for(&kernel, design.cache_size, design.line);
+        let tiled = tile_all(&kernel, design.tiling);
+        let fresh = read_trace(&tiled, &layout);
+
+        let mut arena: TraceArena<(usize, usize, u64)> = TraceArena::new();
+        let key = (design.cache_size, design.line, design.tiling);
+        arena.intern_with(key, || read_trace(&tiled, &layout));
+        // A second intern must not regenerate or change the span.
+        let replayed = arena.intern_with(key, || panic!("trace regenerated"));
+        prop_assert_eq!(replayed, fresh.as_slice());
+
+        let config = CacheConfig::new(design.cache_size, design.line, design.assoc)
+            .expect("clamped geometry is valid");
+        let from_arena = Simulator::simulate_slice(config, arena.get(&key).expect("interned"));
+        let from_fresh = Simulator::simulate_slice(config, &fresh);
+        prop_assert_eq!(from_arena.stats, from_fresh.stats);
+        prop_assert_eq!(from_arena.cpu_bus, from_fresh.cpu_bus);
+        prop_assert_eq!(from_arena.mem_bus, from_fresh.mem_bus);
+    }
+}

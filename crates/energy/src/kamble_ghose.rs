@@ -157,8 +157,10 @@ mod tests {
         let large = cfg(512, 4, 1);
         let kg = KambleGhoseModel::new(SramPart::sram_16mbit());
         let dac = DacEnergyModel::new(SramPart::sram_16mbit());
-        let kg_small = (1.0 - mr_small) * kg.hit_energy_nj(&small) + mr_small * kg.miss_energy_nj(&small);
-        let kg_large = (1.0 - mr_large) * kg.hit_energy_nj(&large) + mr_large * kg.miss_energy_nj(&large);
+        let kg_small =
+            (1.0 - mr_small) * kg.hit_energy_nj(&small) + mr_small * kg.miss_energy_nj(&small);
+        let kg_large =
+            (1.0 - mr_large) * kg.hit_energy_nj(&large) + mr_large * kg.miss_energy_nj(&large);
         let dac_small = dac.access_energy_nj(&small, 1.0 - mr_small, 1.0);
         let dac_large = dac.access_energy_nj(&large, 1.0 - mr_large, 1.0);
         assert_eq!(kg_small > kg_large, dac_small > dac_large);

@@ -377,11 +377,17 @@ mod tests {
         let cheap = DacEnergyModel::new(SramPart::low_power_2mbit());
         let cheap_small = cheap.access_energy_nj(&small, 1.0 - mr_small, 1.0);
         let cheap_large = cheap.access_energy_nj(&large, 1.0 - mr_large, 1.0);
-        assert!(cheap_small < cheap_large, "cheap Em should favour small caches");
+        assert!(
+            cheap_small < cheap_large,
+            "cheap Em should favour small caches"
+        );
 
         let dear = DacEnergyModel::new(SramPart::sram_16mbit());
         let dear_small = dear.access_energy_nj(&small, 1.0 - mr_small, 1.0);
         let dear_large = dear.access_energy_nj(&large, 1.0 - mr_large, 1.0);
-        assert!(dear_small > dear_large, "dear Em should favour large caches");
+        assert!(
+            dear_small > dear_large,
+            "dear Em should favour large caches"
+        );
     }
 }

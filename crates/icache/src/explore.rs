@@ -186,9 +186,17 @@ mod tests {
         let records = explore_icache(&s, &[64, 128], &[8]);
         let small = &records[0];
         let large = &records[1];
-        assert!(small.miss_rate > 0.3, "64 B cannot hold 100 B: {}", small.miss_rate);
+        assert!(
+            small.miss_rate > 0.3,
+            "64 B cannot hold 100 B: {}",
+            small.miss_rate
+        );
         // Cold misses only: 13 line fills over 2,500 fetches.
-        assert!(large.miss_rate < 0.01, "128 B holds the body: {}", large.miss_rate);
+        assert!(
+            large.miss_rate < 0.01,
+            "128 B holds the body: {}",
+            large.miss_rate
+        );
         assert!(large.energy_nj < small.energy_nj);
     }
 
@@ -224,7 +232,10 @@ mod tests {
         let kernel = kernels::matadd(6);
         let stream = InstructionStream::for_kernel(&kernel, 0);
         let records = joint_explore(&kernel, &stream, 256);
-        let shares: Vec<usize> = records.iter().map(|r| r.instruction.config.size()).collect();
+        let shares: Vec<usize> = records
+            .iter()
+            .map(|r| r.instruction.config.size())
+            .collect();
         // 16+? budget 256: valid power-of-two splits are 128+128 only; plus
         // smaller I shares with non-pow2 remainders skipped except...
         assert!(!shares.is_empty());

@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn footprint_is_in_bytes() {
-        assert_eq!(InstructionStream::from_body(0, 25, 1).footprint_bytes(), 100);
+        assert_eq!(
+            InstructionStream::from_body(0, 25, 1).footprint_bytes(),
+            100
+        );
     }
 
     #[test]

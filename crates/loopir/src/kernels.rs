@@ -243,13 +243,7 @@ pub fn matvec(n: i64) -> Kernel {
 /// The five kernels of the paper's evaluation, each with the paper's 31×31
 /// iteration space.
 pub fn all_paper_kernels() -> Vec<Kernel> {
-    vec![
-        compress(31),
-        matmul(31),
-        pde(31),
-        sor(31),
-        dequant(31),
-    ]
+    vec![compress(31), matmul(31), pde(31), sor(31), dequant(31)]
 }
 
 #[cfg(test)]
@@ -292,8 +286,7 @@ mod tests {
         {
             let l = DataLayout::natural(&k);
             let n = TraceGen::new(&k, &l).count();
-            let expected =
-                k.nest.const_iteration_count().unwrap() as usize * k.nest.refs.len();
+            let expected = k.nest.const_iteration_count().unwrap() as usize * k.nest.refs.len();
             assert_eq!(n, expected, "{}", k.name);
         }
     }

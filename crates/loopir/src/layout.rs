@@ -129,11 +129,8 @@ impl DataLayout {
         if a.dims.len() == 1 {
             return p.base + a.byte_size() as u64;
         }
-        let slice_bytes: u64 = a.dims[1..]
-            .iter()
-            .map(|&d| d as u64)
-            .product::<u64>()
-            * a.elem_size as u64;
+        let slice_bytes: u64 =
+            a.dims[1..].iter().map(|&d| d as u64).product::<u64>() * a.elem_size as u64;
         p.base + (a.dims[0] as u64 - 1) * p.row_pitch + slice_bytes
     }
 

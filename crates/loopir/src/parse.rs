@@ -204,9 +204,9 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, ParseKernelError> {
 
 /// `NAME[d1][d2]… elem BYTES`
 fn parse_array(line: usize, rest: &str) -> Result<ArrayDecl, ParseKernelError> {
-    let (decl, elem) = rest.split_once("elem").ok_or_else(|| {
-        ParseKernelError::new(line, "array declaration needs `elem BYTES`")
-    })?;
+    let (decl, elem) = rest
+        .split_once("elem")
+        .ok_or_else(|| ParseKernelError::new(line, "array declaration needs `elem BYTES`"))?;
     let elem_size: usize = elem
         .trim()
         .parse()
@@ -225,10 +225,9 @@ fn parse_array(line: usize, rest: &str) -> Result<ArrayDecl, ParseKernelError> {
         let close = stripped
             .find(']')
             .ok_or_else(|| ParseKernelError::new(line, "unclosed `[` in array dimensions"))?;
-        let dim: usize = stripped[..close]
-            .trim()
-            .parse()
-            .map_err(|_| ParseKernelError::new(line, format!("bad dimension `{}`", &stripped[..close])))?;
+        let dim: usize = stripped[..close].trim().parse().map_err(|_| {
+            ParseKernelError::new(line, format!("bad dimension `{}`", &stripped[..close]))
+        })?;
         if dim == 0 {
             return Err(ParseKernelError::new(line, "zero array dimension"));
         }
@@ -258,7 +257,10 @@ fn parse_for(
         .ok_or_else(|| ParseKernelError::new(line, "for-loop needs `VAR = LO .. HI`"))?;
     let var = var.trim().to_string();
     if var.is_empty() || !var.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-        return Err(ParseKernelError::new(line, format!("bad loop variable `{var}`")));
+        return Err(ParseKernelError::new(
+            line,
+            format!("bad loop variable `{var}`"),
+        ));
     }
     let (range, step) = match bounds.split_once("step") {
         Some((r, s)) => {
@@ -280,7 +282,10 @@ fn parse_for(
     let upper = parse_bound(line, hi.trim(), outer_vars)?;
     if let (Some(l), Some(h)) = (lower.as_const(), upper.as_const()) {
         if l > h {
-            return Err(ParseKernelError::new(line, format!("empty range {l} .. {h}")));
+            return Err(ParseKernelError::new(
+                line,
+                format!("empty range {l} .. {h}"),
+            ));
         }
     }
     Ok((var, Loop { lower, upper, step }))
@@ -289,9 +294,9 @@ fn parse_for(
 /// An integer, `VAR±K`, or `min(VAR±K, N)`.
 fn parse_bound(line: usize, text: &str, vars: &[String]) -> Result<Bound, ParseKernelError> {
     if let Some(inner) = text.strip_prefix("min(").and_then(|t| t.strip_suffix(')')) {
-        let (e, cap) = inner.split_once(',').ok_or_else(|| {
-            ParseKernelError::new(line, "min() bound needs `min(EXPR, N)`")
-        })?;
+        let (e, cap) = inner
+            .split_once(',')
+            .ok_or_else(|| ParseKernelError::new(line, "min() bound needs `min(EXPR, N)`"))?;
         let expr = parse_affine(line, e.trim(), vars)?;
         let cap: i64 = cap
             .trim()
@@ -377,7 +382,10 @@ fn parse_affine(line: usize, text: &str, vars: &[String]) -> Result<AffineExpr, 
         }
     }
     if current.trim().is_empty() {
-        return Err(ParseKernelError::new(line, format!("dangling operator in `{text}`")));
+        return Err(ParseKernelError::new(
+            line,
+            format!("dangling operator in `{text}`"),
+        ));
     }
     terms.push((sign, current.trim().to_string()));
 
@@ -430,8 +438,7 @@ for j = 1 .. 31
     }
 
     #[test]
-    fn comments_and_blank_lines_are_ignored()
-    {
+    fn comments_and_blank_lines_are_ignored() {
         let text = "# header comment\n\nkernel K\narray v[8] elem 4 # trailing\nfor i = 0 .. 7\nread v[i]\n";
         let k = parse_kernel(text).expect("valid input");
         assert_eq!(k.name, "K");
@@ -500,29 +507,43 @@ for i = 3 .. 9
     #[test]
     fn rejects_structural_errors() {
         assert!(err_of("array v[8] elem 4\n").message.contains("kernel"));
-        assert!(err_of("kernel K\nread v[0]\n").message.contains("before any loop"));
-        assert!(err_of("kernel K\narray v[8] elem 4\nfor i = 5 .. 2\nread v[i]\n")
+        assert!(err_of("kernel K\nread v[0]\n")
             .message
-            .contains("empty range"));
-        assert!(err_of("kernel K\narray v[8] elem 4\nfor i = 0 .. 7\nread v[i]\nfor j = 0 .. 7\n")
-            .message
-            .contains("perfect nest"));
-        assert!(err_of("kernel K\narray v[8] elem 4\nfor i = 0 .. 7\nread v[i][0]\n")
-            .message
-            .contains("rank"));
+            .contains("before any loop"));
+        assert!(
+            err_of("kernel K\narray v[8] elem 4\nfor i = 5 .. 2\nread v[i]\n")
+                .message
+                .contains("empty range")
+        );
+        assert!(
+            err_of("kernel K\narray v[8] elem 4\nfor i = 0 .. 7\nread v[i]\nfor j = 0 .. 7\n")
+                .message
+                .contains("perfect nest")
+        );
+        assert!(
+            err_of("kernel K\narray v[8] elem 4\nfor i = 0 .. 7\nread v[i][0]\n")
+                .message
+                .contains("rank")
+        );
     }
 
     #[test]
     fn rejects_bad_expressions() {
-        assert!(err_of("kernel K\narray v[8] elem 4\nfor i = 0 .. 7\nread v[i+]\n")
-            .message
-            .contains("dangling"));
-        assert!(err_of("kernel K\narray v[8] elem 4\nfor i = 0 .. 7\nread v[q]\n")
-            .message
-            .contains("unknown variable"));
-        assert!(err_of("kernel K\narray v[8] elem 4\nfor i = 0 .. 7 step 0\nread v[i]\n")
-            .message
-            .contains("step"));
+        assert!(
+            err_of("kernel K\narray v[8] elem 4\nfor i = 0 .. 7\nread v[i+]\n")
+                .message
+                .contains("dangling")
+        );
+        assert!(
+            err_of("kernel K\narray v[8] elem 4\nfor i = 0 .. 7\nread v[q]\n")
+                .message
+                .contains("unknown variable")
+        );
+        assert!(
+            err_of("kernel K\narray v[8] elem 4\nfor i = 0 .. 7 step 0\nread v[i]\n")
+                .message
+                .contains("step")
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl<'a> TraceGen<'a> {
     ///
     /// The paper's models count only reads ("reads dominate processor cache
     /// accesses"), so most callers pass `true`.
-    pub fn collect_trace(kernel: &'a Kernel, layout: &'a DataLayout, reads_only: bool) -> Vec<MemoryAccess> {
+    pub fn collect_trace(
+        kernel: &'a Kernel,
+        layout: &'a DataLayout,
+        reads_only: bool,
+    ) -> Vec<MemoryAccess> {
         TraceGen::new(kernel, layout)
             .filter(|a| !reads_only || a.kind == AccessKind::Read)
             .collect()

@@ -262,10 +262,7 @@ mod tests {
         assert_eq!(t.nest.loops[1].step, 4);
         // Element loop i: lower = ti, upper = min(ti+3, 7).
         assert_eq!(t.nest.loops[2].lower, Bound::Affine(AffineExpr::var(0)));
-        assert_eq!(
-            t.nest.loops[2].upper,
-            Bound::Min(AffineExpr::var(0) + 3, 7)
-        );
+        assert_eq!(t.nest.loops[2].upper, Bound::Min(AffineExpr::var(0) + 3, 7));
         // b[j][i] becomes b[i3][i2].
         assert_eq!(t.nest.refs[0].subscripts[0], AffineExpr::var(3));
         assert_eq!(t.nest.refs[0].subscripts[1], AffineExpr::var(2));
@@ -285,7 +282,12 @@ mod tests {
         let base = 4 * 4 * 4; // b starts after a
         assert_eq!(
             first,
-            vec![base as u64, base as u64 + 4, base as u64 + 8, base as u64 + 12]
+            vec![
+                base as u64,
+                base as u64 + 4,
+                base as u64 + 8,
+                base as u64 + 12
+            ]
         );
     }
 

@@ -2,7 +2,9 @@
 
 use loopir::parse::parse_kernel;
 use loopir::transform::{interchange, tile_all};
-use loopir::{AffineExpr, ArrayDecl, ArrayId, ArrayRef, DataLayout, Kernel, Loop, LoopNest, TraceGen};
+use loopir::{
+    AffineExpr, ArrayDecl, ArrayId, ArrayRef, DataLayout, Kernel, Loop, LoopNest, TraceGen,
+};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -83,10 +85,7 @@ fn build_kernel(rows: usize, cols: usize, refs: &[(i64, i64, bool)]) -> Kernel {
         })
         .collect();
     let nest = LoopNest {
-        loops: vec![
-            Loop::new(1, rows as i64 - 2),
-            Loop::new(1, cols as i64 - 2),
-        ],
+        loops: vec![Loop::new(1, rows as i64 - 2), Loop::new(1, cols as i64 - 2)],
         refs: body,
     };
     Kernel::new("Gen", vec![a], nest)

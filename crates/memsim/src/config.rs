@@ -115,8 +115,11 @@ impl CacheConfig {
     ///
     /// Returns a [`ConfigError`] if any invariant listed on the type fails.
     pub fn new(size: usize, line: usize, assoc: usize) -> Result<Self, ConfigError> {
-        for (field, value) in [("cache size", size), ("line size", line), ("associativity", assoc)]
-        {
+        for (field, value) in [
+            ("cache size", size),
+            ("line size", line),
+            ("associativity", assoc),
+        ] {
             if value == 0 || !value.is_power_of_two() {
                 return Err(ConfigError::NotPowerOfTwo { field, value });
             }
@@ -182,9 +185,13 @@ impl CacheConfig {
 
     /// Maps a byte address to `(set index, tag)`.
     pub fn locate(&self, addr: u64) -> (usize, u64) {
-        let line_addr = addr / self.line as u64;
-        let set = (line_addr % self.num_sets() as u64) as usize;
-        let tag = line_addr / self.num_sets() as u64;
+        // Geometry is validated power-of-two, so the divisions reduce to
+        // shifts — this is the hottest address computation in a sweep.
+        let line_shift = self.line.trailing_zeros();
+        let sets_shift = self.size.trailing_zeros() - line_shift - self.assoc.trailing_zeros();
+        let line_addr = addr >> line_shift;
+        let set = (line_addr & ((1u64 << sets_shift) - 1)) as usize;
+        let tag = line_addr >> sets_shift;
         (set, tag)
     }
 
@@ -229,15 +236,24 @@ mod tests {
     fn non_power_of_two_rejected() {
         assert!(matches!(
             CacheConfig::new(48, 8, 1),
-            Err(ConfigError::NotPowerOfTwo { field: "cache size", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                field: "cache size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheConfig::new(64, 6, 1),
-            Err(ConfigError::NotPowerOfTwo { field: "line size", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                field: "line size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheConfig::new(64, 8, 3),
-            Err(ConfigError::NotPowerOfTwo { field: "associativity", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                field: "associativity",
+                ..
+            })
         ));
         assert!(matches!(
             CacheConfig::new(0, 8, 1),

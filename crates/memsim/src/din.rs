@@ -122,10 +122,11 @@ pub fn parse_din<R: BufRead>(reader: R) -> Result<Vec<DinRecord>, Box<dyn Error 
             }
         };
         let addr_tok_clean = addr_tok.trim_start_matches("0x").trim_start_matches("0X");
-        let addr = u64::from_str_radix(addr_tok_clean, 16).map_err(|_| ParseDinError::BadAddress {
-            line: line_no,
-            token: addr_tok.to_string(),
-        })?;
+        let addr =
+            u64::from_str_radix(addr_tok_clean, 16).map_err(|_| ParseDinError::BadAddress {
+                line: line_no,
+                token: addr_tok.to_string(),
+            })?;
         out.push(DinRecord { label, addr });
     }
     Ok(out)

@@ -228,7 +228,16 @@ mod tests {
 
     #[test]
     fn global_miss_rate_is_bounded_by_l1_miss_rate() {
-        let trace = generate(Pattern::HotCold { hot_bytes: 256, hot_fraction: 0.8 }, 16384, 4, 5000, 2);
+        let trace = generate(
+            Pattern::HotCold {
+                hot_bytes: 256,
+                hot_fraction: 0.8,
+            },
+            16384,
+            4,
+            5000,
+            2,
+        );
         let mut h = Hierarchy::new(cfg(128, 8, 2), cfg(2048, 32, 4));
         h.run(trace);
         let r = h.report();

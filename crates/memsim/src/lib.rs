@@ -32,6 +32,7 @@
 //! # Ok::<(), memsim::ConfigError>(())
 //! ```
 
+pub mod arena;
 pub mod bus;
 pub mod cache;
 pub mod classify;
@@ -42,6 +43,7 @@ pub mod sim;
 pub mod stats;
 pub mod synth;
 
+pub use arena::TraceArena;
 pub use bus::{gray_encode, BusEncoding, BusMonitor, BusStats};
 pub use cache::{AccessOutcome, Cache};
 pub use classify::{Classifier, MissClass, MissClassCounts};

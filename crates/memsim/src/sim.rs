@@ -114,12 +114,20 @@ impl Simulator {
 
     /// Processes one event (splitting line-spanning accesses).
     pub fn step(&mut self, event: TraceEvent) {
-        let line = self.cache.config().line() as u64;
+        let shift = self.cache.config().line().trailing_zeros();
         let size = event.size.max(1) as u64;
-        let first_line = event.addr / line;
-        let last_line = (event.addr + size - 1) / line;
+        let first_line = event.addr >> shift;
+        let last_line = (event.addr + size - 1) >> shift;
+        if first_line == last_line {
+            self.access_one(event.addr, event.is_write);
+            return;
+        }
         for l in first_line..=last_line {
-            let addr = if l == first_line { event.addr } else { l * line };
+            let addr = if l == first_line {
+                event.addr
+            } else {
+                l << shift
+            };
             self.access_one(addr, event.is_write);
         }
     }
@@ -184,6 +192,14 @@ impl Simulator {
         }
     }
 
+    /// Replays a materialized trace slice (e.g. from a
+    /// [`TraceArena`](crate::TraceArena)) without consuming it.
+    pub fn run_slice(&mut self, events: &[TraceEvent]) {
+        for &e in events {
+            self.step(e);
+        }
+    }
+
     /// Current counters (the run can continue afterwards).
     pub fn stats(&self) -> &CacheStats {
         &self.stats
@@ -206,9 +222,19 @@ impl Simulator {
     }
 
     /// Convenience: simulate a whole trace in one call.
-    pub fn simulate<I: IntoIterator<Item = TraceEvent>>(config: CacheConfig, events: I) -> SimReport {
+    pub fn simulate<I: IntoIterator<Item = TraceEvent>>(
+        config: CacheConfig,
+        events: I,
+    ) -> SimReport {
         let mut sim = Simulator::new(config);
         sim.run(events);
+        sim.into_report()
+    }
+
+    /// Convenience: simulate a materialized trace slice in one call.
+    pub fn simulate_slice(config: CacheConfig, events: &[TraceEvent]) -> SimReport {
+        let mut sim = Simulator::new(config);
+        sim.run_slice(events);
         sim.into_report()
     }
 

@@ -62,7 +62,10 @@ pub fn generate(
             hot_bytes,
             hot_fraction,
         } => {
-            assert!(hot_bytes > 0 && hot_bytes <= footprint, "hot region must fit");
+            assert!(
+                hot_bytes > 0 && hot_bytes <= footprint,
+                "hot region must fit"
+            );
             assert!(
                 (0.0..=1.0).contains(&hot_fraction),
                 "hot fraction must be a probability"

@@ -6,7 +6,11 @@ use proptest::prelude::*;
 
 fn arb_trace() -> impl Strategy<Value = Vec<TraceEvent>> {
     proptest::collection::vec(
-        (0u64..4096, prop_oneof![Just(1u32), Just(4), Just(8)], proptest::bool::ANY),
+        (
+            0u64..4096,
+            prop_oneof![Just(1u32), Just(4), Just(8)],
+            proptest::bool::ANY,
+        ),
         1..400,
     )
     .prop_map(|v| {

@@ -10,7 +10,7 @@ memx — energy-aware data-cache exploration (DAC'99)
 USAGE:
   memx explore   KERNEL.mx [--part cy7c|lp2m|16m] [--em NJ] [--natural]
                  [--analytical] [--bound-cycles N] [--bound-energy NJ]
-                 [--pareto]
+                 [--pareto] [--telemetry]
   memx simulate  KERNEL.mx --cache N --line N [--assoc N] [--tiling B]
                  [--natural] [--classify]
   memx place     KERNEL.mx --cache N --line N
@@ -52,6 +52,8 @@ pub enum Command {
         bound_energy: Option<f64>,
         /// Print the Pareto frontier.
         pareto: bool,
+        /// Print sweep telemetry (trace reuse, phase times, utilization).
+        telemetry: bool,
     },
     /// Simulate one configuration.
     Simulate {
@@ -171,7 +173,9 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "explore" => {
-            let file = args.next().ok_or_else(|| err("explore needs a kernel file"))?;
+            let file = args
+                .next()
+                .ok_or_else(|| err("explore needs a kernel file"))?;
             let mut cmd = Command::Explore {
                 file: file.to_string(),
                 part: "cy7c".to_string(),
@@ -181,6 +185,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 bound_cycles: None,
                 bound_energy: None,
                 pareto: false,
+                telemetry: false,
             };
             while let Some(flag) = args.next() {
                 let Command::Explore {
@@ -191,6 +196,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     bound_cycles,
                     bound_energy,
                     pareto,
+                    telemetry,
                     ..
                 } = &mut cmd
                 else {
@@ -216,6 +222,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                         *bound_energy = Some(parse_num(flag, args.value_of(flag)?)?)
                     }
                     "--pareto" => *pareto = true,
+                    "--telemetry" => *telemetry = true,
                     other => return Err(err(format!("unknown flag `{other}` for explore"))),
                 }
             }
@@ -299,9 +306,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     "--line" => line = Some(parse_num(flag, args.value_of(flag)?)?),
                     "--assoc" => assoc = parse_num(flag, args.value_of(flag)?)?,
                     "--classify" => classify = true,
-                    other => {
-                        return Err(err(format!("unknown flag `{other}` for simulate-din")))
-                    }
+                    other => return Err(err(format!("unknown flag `{other}` for simulate-din"))),
                 }
             }
             Ok(Command::SimulateDin {
@@ -341,7 +346,7 @@ mod tests {
     #[test]
     fn parses_explore_with_all_flags() {
         let cmd = parse_args(&argv(
-            "explore k.mx --part 16m --natural --analytical --bound-cycles 5000 --bound-energy 5500 --pareto",
+            "explore k.mx --part 16m --natural --analytical --bound-cycles 5000 --bound-energy 5500 --pareto --telemetry",
         ))
         .expect("valid");
         match cmd {
@@ -353,11 +358,12 @@ mod tests {
                 bound_cycles,
                 bound_energy,
                 pareto,
+                telemetry,
                 em_nj,
             } => {
                 assert_eq!(file, "k.mx");
                 assert_eq!(part, "16m");
-                assert!(natural && analytical && pareto);
+                assert!(natural && analytical && pareto && telemetry);
                 assert_eq!(bound_cycles, Some(5000.0));
                 assert_eq!(bound_energy, Some(5500.0));
                 assert_eq!(em_nj, None);
@@ -367,11 +373,21 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_defaults_off() {
+        match parse_args(&argv("explore k.mx")).expect("valid") {
+            Command::Explore { telemetry, .. } => assert!(!telemetry),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
     fn simulate_requires_geometry() {
         let e = parse_args(&argv("simulate k.mx --cache 64")).expect_err("should fail");
         assert!(e.0.contains("--line"));
-        let ok = parse_args(&argv("simulate k.mx --cache 64 --line 8 --assoc 2 --classify"))
-            .expect("valid");
+        let ok = parse_args(&argv(
+            "simulate k.mx --cache 64 --line 8 --assoc 2 --classify",
+        ))
+        .expect("valid");
         assert!(matches!(
             ok,
             Command::Simulate {
@@ -428,8 +444,8 @@ mod tests {
 
     #[test]
     fn simulate_din_parses() {
-        let ok = parse_args(&argv("simulate-din t.din --cache 128 --line 16 --assoc 4"))
-            .expect("valid");
+        let ok =
+            parse_args(&argv("simulate-din t.din --cache 128 --line 16 --assoc 4")).expect("valid");
         assert!(matches!(
             ok,
             Command::SimulateDin {

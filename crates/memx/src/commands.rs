@@ -31,6 +31,7 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
             bound_cycles,
             bound_energy,
             pareto,
+            telemetry,
         } => {
             let kernel = load(&file)?;
             let part = match em_nj {
@@ -52,6 +53,7 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
                 bound_cycles,
                 bound_energy,
                 pareto,
+                telemetry,
             )
         }
         Command::Simulate {
@@ -100,8 +102,7 @@ fn simulate_din(
     classify: bool,
 ) -> Result<String, Box<dyn Error + Send + Sync>> {
     let config = CacheConfig::new(cache, line, assoc)?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let records = parse_din(text.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
     let events = records.iter().map(|r| TraceEvent {
         addr: r.addr,
@@ -127,11 +128,11 @@ fn simulate_din(
 }
 
 fn load(path: &str) -> Result<Kernel, Box<dyn Error + Send + Sync>> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     Ok(parse_kernel(&text).map_err(|e| format!("{path}: {e}"))?)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn explore(
     kernel: &Kernel,
     evaluator: Evaluator,
@@ -139,16 +140,19 @@ fn explore(
     bound_cycles: Option<f64>,
     bound_energy: Option<f64>,
     pareto: bool,
+    telemetry: bool,
 ) -> Result<String, Box<dyn Error + Send + Sync>> {
     let space = DesignSpace::paper();
-    let records = if analytical {
-        space
+    let (records, sweep_telemetry) = if analytical {
+        let records = space
             .designs()
             .into_iter()
             .map(|d| evaluator.evaluate_analytical(kernel, d))
-            .collect()
+            .collect();
+        (records, None)
     } else {
-        Explorer::new(evaluator).explore(kernel, &space)
+        let (records, t) = Explorer::new(evaluator).explore_with_telemetry(kernel, &space);
+        (records, Some(t))
     };
 
     let mut out = String::new();
@@ -201,6 +205,19 @@ fn explore(
             let _ = writeln!(out, "  {}", fmt_rec(r));
         }
     }
+    if telemetry {
+        match sweep_telemetry {
+            Some(t) => {
+                let _ = writeln!(out, "{t}");
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "telemetry: not available for the analytical model (no traces are simulated)"
+                );
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -246,11 +263,7 @@ fn simulate(
     Ok(out)
 }
 
-fn place(
-    kernel: &Kernel,
-    cache: u64,
-    line: u64,
-) -> Result<String, Box<dyn Error + Send + Sync>> {
+fn place(kernel: &Kernel, cache: u64, line: u64) -> Result<String, Box<dyn Error + Send + Sync>> {
     let report = optimize_layout(kernel, cache, line)?;
     let mut out = String::new();
     let _ = writeln!(
@@ -260,8 +273,8 @@ fn place(
     );
     for (i, a) in kernel.arrays.iter().enumerate() {
         let p = report.layout.placement(ArrayId(i));
-        let natural: u64 = a.dims[1..].iter().map(|&d| d as u64).product::<u64>()
-            * a.elem_size as u64;
+        let natural: u64 =
+            a.dims[1..].iter().map(|&d| d as u64).product::<u64>() * a.elem_size as u64;
         let _ = writeln!(
             out,
             "  {:<10} base {:>6}  row pitch {:>5} (natural {natural})",
@@ -300,8 +313,7 @@ fn classes(kernel: &Kernel) -> String {
             .iter()
             .map(|&m| {
                 let r = &kernel.nest.refs[m];
-                let subs: Vec<String> =
-                    r.subscripts.iter().map(|s| format!("[{s}]")).collect();
+                let subs: Vec<String> = r.subscripts.iter().map(|s| format!("[{s}]")).collect();
                 format!("{}{}", array.name, subs.join(""))
             })
             .collect();
@@ -312,7 +324,11 @@ fn classes(kernel: &Kernel) -> String {
             members.join(", ")
         );
     }
-    let _ = writeln!(out, "{} case group(s) (classes sharing H): {cases:?}", cases.len());
+    let _ = writeln!(
+        out,
+        "{} case group(s) (classes sharing H): {cases:?}",
+        cases.len()
+    );
     out
 }
 
@@ -369,10 +385,7 @@ mod tests {
 
         pub fn tempdir() -> TempDirGuard {
             let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-            let path = std::env::temp_dir().join(format!(
-                "memx-test-{}-{n}",
-                std::process::id()
-            ));
+            let path = std::env::temp_dir().join(format!("memx-test-{}-{n}", std::process::id()));
             std::fs::create_dir_all(&path).expect("temp dir is creatable");
             TempDirGuard { path }
         }
@@ -454,11 +467,51 @@ mod tests {
             bound_cycles: Some(10_000.0),
             bound_energy: Some(1.0), // infeasible
             pareto: true,
+            telemetry: false,
         })
         .expect("command succeeds");
         assert!(out.contains("minimum energy"));
         assert!(out.contains("infeasible"));
         assert!(out.contains("pareto"));
+        assert!(!out.contains("telemetry"));
+    }
+
+    #[test]
+    fn explore_telemetry_analytical_prints_note() {
+        let (_dir, path) = write_kernel();
+        let out = run(Command::Explore {
+            file: path,
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            analytical: true,
+            bound_cycles: None,
+            bound_energy: None,
+            pareto: false,
+            telemetry: true,
+        })
+        .expect("command succeeds");
+        assert!(out.contains("telemetry: not available"), "{out}");
+    }
+
+    #[test]
+    fn explore_telemetry_reports_sweep_counters() {
+        let (_dir, path) = write_kernel();
+        let out = run(Command::Explore {
+            file: path,
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            analytical: false,
+            bound_cycles: None,
+            bound_energy: None,
+            pareto: false,
+            telemetry: true,
+        })
+        .expect("command succeeds");
+        assert!(out.contains("sweep:"), "{out}");
+        assert!(out.contains("worker utilization"), "{out}");
+        assert!(out.contains("reuse"), "{out}");
     }
 
     #[test]

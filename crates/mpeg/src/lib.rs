@@ -201,10 +201,7 @@ pub fn kernels() -> Vec<Kernel> {
 /// frame-level kernels once.
 pub fn decoder() -> CompositeProgram {
     let trips = [4u64, 4, 4, 2, 1, 1, 4, 4, 4];
-    CompositeProgram::new(
-        "MPEG decoder",
-        kernels().into_iter().zip(trips).collect(),
-    )
+    CompositeProgram::new("MPEG decoder", kernels().into_iter().zip(trips).collect())
 }
 
 #[cfg(test)]
@@ -218,10 +215,7 @@ mod tests {
         let names: Vec<String> = kernels().into_iter().map(|k| k.name).collect();
         assert_eq!(
             names,
-            vec![
-                "VLD", "Dequant", "IDCT", "Plus", "Display", "Store", "Addr", "Fetch",
-                "Compute"
-            ]
+            vec!["VLD", "Dequant", "IDCT", "Plus", "Display", "Store", "Addr", "Fetch", "Compute"]
         );
     }
 

@@ -38,9 +38,7 @@ fn main() {
         let p = report.layout.placement(ArrayId(i));
         println!(
             "  array {} -> base address {} (cache line {})",
-            a.name,
-            p.base,
-            report.leader_lines[i]
+            a.name, p.base, report.leader_lines[i]
         );
     }
     println!("  conflict-free: {}\n", report.conflict_free);

@@ -17,8 +17,15 @@ use memexplore::Evaluator;
 
 fn main() {
     let eval = Evaluator::default();
-    for kernel in [kernels::dequant(31), kernels::fir(256, 16), kernels::compress(31)] {
-        println!("kernel {} — SPM/cache splits of a 4 KiB budget:", kernel.name);
+    for kernel in [
+        kernels::dequant(31),
+        kernels::fir(256, 16),
+        kernels::compress(31),
+    ] {
+        println!(
+            "kernel {} — SPM/cache splits of a 4 KiB budget:",
+            kernel.name
+        );
         let records = explore_split(&kernel, 4096, &eval);
         for r in &records {
             let names: Vec<&str> = r

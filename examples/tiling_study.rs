@@ -23,7 +23,10 @@ fn main() {
     println!("cache C{t} L{l} ({} lines)\n", t / l);
 
     println!("MatMult (31x31x31): metrics vs tiling size");
-    println!("{:>7} {:>10} {:>12} {:>12}", "tiling", "miss rate", "cycles", "energy (nJ)");
+    println!(
+        "{:>7} {:>10} {:>12} {:>12}",
+        "tiling", "miss rate", "cycles", "energy (nJ)"
+    );
     for b in [1u64, 2, 4, 8, 16] {
         let r = eval.evaluate(&kernels::matmul(31), CacheDesign::new(t, l, 1, b));
         println!(

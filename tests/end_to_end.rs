@@ -10,7 +10,12 @@ fn full_sweep_produces_valid_records() {
     let records = Explorer::default().explore(&kernel, &space);
     assert_eq!(records.len(), space.designs().len());
     for r in &records {
-        assert!((0.0..=1.0).contains(&r.miss_rate), "{}: {}", r.design, r.miss_rate);
+        assert!(
+            (0.0..=1.0).contains(&r.miss_rate),
+            "{}: {}",
+            r.design,
+            r.miss_rate
+        );
         assert!(r.cycles >= r.trip_count as f64, "{}", r.design);
         assert!(r.energy_nj > 0.0, "{}", r.design);
         assert_eq!(r.trip_count, 4 * 961, "{}", r.design);

@@ -62,9 +62,11 @@ fn claim_em_extremes_flip_the_optimum_size() {
         .map(|&t| CacheDesign::new(t, 4, 1, 1))
         .collect();
     let best_size = |part: SramPart| {
-        let records =
-            Explorer::new(Evaluator::with_part(part)).explore_designs(&kernel, &designs);
-        select::min_energy(&records).expect("non-empty").design.cache_size
+        let records = Explorer::new(Evaluator::with_part(part)).explore_designs(&kernel, &designs);
+        select::min_energy(&records)
+            .expect("non-empty")
+            .design
+            .cache_size
     };
     let cheap = best_size(SramPart::low_power_2mbit());
     let dear = best_size(SramPart::sram_16mbit());
@@ -80,12 +82,17 @@ fn claim_em_extremes_flip_the_optimum_size() {
 fn claim_tiling_sweet_spot_for_matmul() {
     let eval = Evaluator::default();
     let kernel = kernels::matmul(31);
-    let mr =
-        |b: u64| eval.evaluate(&kernel, CacheDesign::new(64, 8, 1, b)).miss_rate;
+    let mr = |b: u64| {
+        eval.evaluate(&kernel, CacheDesign::new(64, 8, 1, b))
+            .miss_rate
+    };
     let untiled = mr(1);
     let sweet = mr(4); // 8 lines; B = 4 keeps the working set resident
     let oversized = mr(16);
-    assert!(sweet < untiled, "tiling must help matmul: {sweet} vs {untiled}");
+    assert!(
+        sweet < untiled,
+        "tiling must help matmul: {sweet} vs {untiled}"
+    );
     assert!(
         oversized > sweet,
         "tiles beyond the cache must hurt: {oversized} vs {sweet}"
@@ -133,7 +140,11 @@ fn claim_mpeg_whole_program_optimum_is_its_own() {
 #[test]
 fn claim_unoptimized_miss_rates_are_extreme() {
     let d = CacheDesign::new(64, 8, 1, 1);
-    for kernel in [kernels::compress(31), kernels::pde(31), kernels::dequant(31)] {
+    for kernel in [
+        kernels::compress(31),
+        kernels::pde(31),
+        kernels::dequant(31),
+    ] {
         let nat = Evaluator::default().unoptimized().evaluate(&kernel, d);
         assert!(
             nat.miss_rate > 0.9,

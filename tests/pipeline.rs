@@ -27,13 +27,8 @@ fn record_matches_manual_pipeline() {
     let report = Simulator::simulate(cfg, read_events(&kernel));
     assert_eq!(record.miss_rate, report.stats.read_miss_rate());
 
-    let cycles = CycleModel.cycles_from_counts(
-        report.stats.read_hits,
-        report.stats.read_misses(),
-        1,
-        8,
-        1,
-    );
+    let cycles =
+        CycleModel.cycles_from_counts(report.stats.read_hits, report.stats.read_misses(), 1, 8, 1);
     assert!((record.cycles - cycles).abs() < 1e-9);
 
     let energy = DacEnergyModel::new(SramPart::cy7c_2mbit()).trace_energy_nj(&report);
@@ -56,10 +51,7 @@ fn din_round_trip_preserves_simulation_results() {
     let mut buf = Vec::new();
     write_din(&mut buf, &records).expect("in-memory write cannot fail");
     let parsed = parse_din(buf.as_slice()).expect("own output parses");
-    let replayed: Vec<TraceEvent> = parsed
-        .iter()
-        .map(|r| TraceEvent::read(r.addr, 4))
-        .collect();
+    let replayed: Vec<TraceEvent> = parsed.iter().map(|r| TraceEvent::read(r.addr, 4)).collect();
 
     let cfg = CacheConfig::new(32, 4, 1).expect("valid geometry");
     let a = Simulator::simulate(cfg, events);
@@ -75,8 +67,8 @@ fn min_cache_bound_is_sufficient_for_conflict_freedom() {
     for line in [8u64, 16, 32] {
         let bound = MinCacheReport::analyze(&kernel, line);
         let t = bound.min_pow2_cache_bytes().max(2 * line);
-        let placed = analysis::placement::optimize_layout(&kernel, t, line)
-            .expect("placement succeeds");
+        let placed =
+            analysis::placement::optimize_layout(&kernel, t, line).expect("placement succeeds");
         let cfg = CacheConfig::new(t as usize, line as usize, 1).expect("valid geometry");
         let events = TraceGen::new(&kernel, &placed.layout)
             .filter(|a| a.kind == AccessKind::Read)

@@ -37,10 +37,7 @@ fn arb_kernel() -> impl Strategy<Value = Kernel> {
             })
             .collect();
         let nest = LoopNest {
-            loops: vec![
-                Loop::new(1, rows as i64 - 2),
-                Loop::new(1, cols as i64 - 2),
-            ],
+            loops: vec![Loop::new(1, rows as i64 - 2), Loop::new(1, cols as i64 - 2)],
             refs: body,
         };
         Kernel::new("random", arrays, nest)

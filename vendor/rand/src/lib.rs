@@ -1,0 +1,140 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small subset of the `rand` 0.8 API it actually
+//! uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over half-open integer ranges, and
+//! [`Rng::gen_bool`]. Determinism per seed is the only contract callers
+//! rely on (seeded replacement policies and synthetic trace generators);
+//! the stream is *not* compatible with upstream `rand`.
+
+use std::ops::Range;
+
+/// Minimal core-RNG trait: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a seed; equal seeds give equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Maps a uniform 64-bit word into `lo..hi` (requires `lo < hi`).
+    fn from_word(lo: Self, hi: Self, word: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_word(lo: Self, hi: Self, word: u64) -> Self {
+                let width = (hi as i128) - (lo as i128);
+                debug_assert!(width > 0);
+                let off = (word as u128 % width as u128) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing helpers layered on any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform draw from the half-open range `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "cannot sample empty range");
+        T::from_word(range.start, range.end, self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        // 53 uniform mantissa bits -> [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64). Statistically fine for
+    /// simulation workloads; not cryptographic.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads {heads}");
+    }
+}

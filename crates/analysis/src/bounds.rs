@@ -1,0 +1,182 @@
+//! Admissible lower bounds on cache behaviour, computed from a trace.
+//!
+//! The analytical miss-rate model in [`missrate`](crate::missrate) is an
+//! *estimate* — it can land on either side of the simulated value — so it
+//! cannot prune a sweep without risking a wrong answer. This module provides
+//! the rigorous counterpart: a [`TraceFootprint`] holds, for one access
+//! trace at one line size,
+//!
+//! * the **exact** number of line-level accesses the simulator will count
+//!   (after splitting accesses that span a line boundary), and
+//! * the number of **distinct lines** touched — a true lower bound on the
+//!   misses of *any* cold-started cache, of any size, associativity or
+//!   replacement policy, because every distinct line's first touch must miss.
+//!
+//! Both quantities depend only on the trace and the line size, never on the
+//! cache geometry, which is what makes a bound built from them admissible
+//! for branch-and-bound pruning over `(T, S, B)` at fixed `L`.
+//!
+//! The splitting rule mirrors `memsim::Simulator::step` exactly (one access
+//! per line touched, sizes clamped to ≥ 1 byte) so the access count matches
+//! the simulator's `reads + writes` bitwise, not just approximately.
+
+use std::collections::HashSet;
+
+/// Exact access count and compulsory-miss floor for one trace at one line
+/// size.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceFootprint {
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Line-level accesses after splitting (what the simulator counts).
+    pub accesses: u64,
+    /// Number of distinct lines touched.
+    pub distinct_lines: u64,
+}
+
+impl TraceFootprint {
+    /// Scans `events` — `(address, size_in_bytes)` pairs — once, applying
+    /// the simulator's line-splitting rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two (mirroring the cache
+    /// config validation).
+    pub fn analyze<I>(line_bytes: u64, events: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, u32)>,
+    {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two, got {line_bytes}"
+        );
+        let shift = line_bytes.trailing_zeros();
+        let mut accesses = 0u64;
+        let mut lines = HashSet::new();
+        for (addr, size) in events {
+            let size = size.max(1) as u64;
+            let first_line = addr >> shift;
+            let last_line = (addr + size - 1) >> shift;
+            accesses += last_line - first_line + 1;
+            for l in first_line..=last_line {
+                lines.insert(l);
+            }
+        }
+        TraceFootprint {
+            line_bytes,
+            accesses,
+            distinct_lines: lines.len() as u64,
+        }
+    }
+
+    /// Lower bound on misses for any cold-started cache replaying this
+    /// trace: the compulsory misses.
+    pub fn min_misses(&self) -> u64 {
+        self.distinct_lines
+    }
+
+    /// Upper bound on hits (`accesses − min_misses`).
+    pub fn max_hits(&self) -> u64 {
+        self.accesses - self.distinct_lines
+    }
+
+    /// Lower bound on the miss rate (0 for an empty trace).
+    pub fn min_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.distinct_lines as f64 / self.accesses as f64
+        }
+    }
+
+    /// Total bytes of distinct lines touched — the trace's memory footprint
+    /// rounded to lines.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.distinct_lines * self.line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopir::{kernels, AccessKind, DataLayout, TraceGen};
+
+    fn read_accesses(kernel: &loopir::Kernel) -> Vec<(u64, u32)> {
+        let layout = DataLayout::natural(kernel);
+        TraceGen::new(kernel, &layout)
+            .filter(|a| a.kind == AccessKind::Read)
+            .map(|a| (a.addr, a.size))
+            .collect()
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let f = TraceFootprint::analyze(8, std::iter::empty());
+        assert_eq!(f.accesses, 0);
+        assert_eq!(f.distinct_lines, 0);
+        assert_eq!(f.min_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn spanning_access_splits_like_the_simulator() {
+        // Bytes 6..10 with 8-byte lines touch lines 0 and 1.
+        let f = TraceFootprint::analyze(8, [(6u64, 4u32)]);
+        assert_eq!(f.accesses, 2);
+        assert_eq!(f.distinct_lines, 2);
+    }
+
+    #[test]
+    fn zero_size_access_counts_once() {
+        let f = TraceFootprint::analyze(8, [(3u64, 0u32)]);
+        assert_eq!(f.accesses, 1);
+        assert_eq!(f.distinct_lines, 1);
+    }
+
+    #[test]
+    fn repeated_touches_share_a_line() {
+        let f = TraceFootprint::analyze(16, [(0u64, 4u32), (4, 4), (12, 4), (16, 4)]);
+        assert_eq!(f.accesses, 4);
+        assert_eq!(f.distinct_lines, 2);
+        assert_eq!(f.max_hits(), 2);
+        assert_eq!(f.footprint_bytes(), 32);
+    }
+
+    #[test]
+    fn compress_footprint_matches_array_extent() {
+        // Compress reads every element of one 32×32 int array (4096 B):
+        // 961 iterations × 4 reads = 3844 accesses, 4096/L distinct lines.
+        let k = kernels::compress(31);
+        let accesses = read_accesses(&k);
+        for line in [4u64, 8, 16, 32, 64] {
+            let f = TraceFootprint::analyze(line, accesses.iter().copied());
+            assert_eq!(f.accesses, 3844, "line={line}");
+            assert_eq!(f.distinct_lines, 4096 / line, "line={line}");
+            assert_eq!(f.footprint_bytes(), 4096, "line={line}");
+        }
+    }
+
+    #[test]
+    fn min_misses_is_admissible_for_every_geometry() {
+        use memsim::{CacheConfig, Simulator, TraceEvent};
+        let k = kernels::sor(15);
+        let accesses = read_accesses(&k);
+        for (t, l, s) in [
+            (16usize, 4usize, 1usize),
+            (64, 8, 2),
+            (256, 16, 4),
+            (1024, 32, 8),
+        ] {
+            let f = TraceFootprint::analyze(l as u64, accesses.iter().copied());
+            let cfg = CacheConfig::new(t, l, s).unwrap();
+            let events = accesses.iter().map(|&(a, sz)| TraceEvent::read(a, sz));
+            let report = Simulator::simulate(cfg, events);
+            assert!(
+                report.stats.misses() >= f.min_misses(),
+                "T={t} L={l} S={s}: simulated {} < bound {}",
+                report.stats.misses(),
+                f.min_misses()
+            );
+            assert_eq!(report.stats.accesses(), f.accesses);
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Static reference analysis for the DAC'99 memory-exploration flow.
 //!
-//! Three pieces, mirroring the paper's §3 and §4.1:
+//! Four pieces, mirroring the paper's §3 and §4.1 plus the rigorous bounds
+//! the pruned sweep needs:
 //!
 //! * [`classes`] — partitions a kernel's array references into equivalence
 //!   **classes** (same linear part `H`, same array) and **cases** (same `H`,
@@ -12,6 +13,9 @@
 //! * [`placement`] — the off-chip memory assignment that pads array bases
 //!   and row pitches so each class's leading element maps to its own cache
 //!   line, eliminating conflict misses for compatible access patterns.
+//! * [`bounds`] — exact trace footprints (split-access counts and distinct
+//!   lines touched) giving admissible lower bounds on misses for
+//!   branch-and-bound pruning of the design sweep.
 //!
 //! # Example
 //!
@@ -25,11 +29,13 @@
 //! assert_eq!(classes.len(), 2);
 //! ```
 
+pub mod bounds;
 pub mod classes;
 pub mod min_cache;
 pub mod missrate;
 pub mod placement;
 
+pub use bounds::TraceFootprint;
 pub use classes::{compatible, partition_cases, partition_classes, RefClass};
 pub use min_cache::{class_line_requirement, MinCacheReport};
 pub use missrate::{analytical_miss_rate, analytical_misses_per_iteration};

@@ -1,0 +1,114 @@
+//! Pareto-exploration benchmark: admissible pruning vs exhaustive sweep.
+//!
+//! For every paper kernel, extracts the `(cycles, energy, cache size)`
+//! Pareto frontier of the full `DesignSpace::paper()` twice — once from an
+//! exhaustive sweep, once with the branch-and-bound pruner — asserts the
+//! frontiers are bit-identical, and writes per-kernel timings, prune
+//! counts and speedups to `BENCH_pareto.json` in the current directory.
+//! Each engine is timed over several runs and the best run is reported.
+//!
+//! Kernels whose working set exceeds the largest swept cache (MatMult)
+//! legitimately prune nothing — the interesting column is the speedup on
+//! the kernels that do.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_pareto
+//! ```
+
+use loopir::kernels;
+use memexplore::{DesignSpace, Explorer};
+use std::time::Instant;
+
+const RUNS: usize = 3;
+
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best: Option<(f64, T)> = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let value = f();
+        let secs = start.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(b, _)| secs < *b) {
+            best = Some((secs, value));
+        }
+    }
+    best.expect("runs >= 1")
+}
+
+fn main() {
+    let space = DesignSpace::paper();
+    let designs = space.designs().len();
+    let explorer = Explorer::default();
+
+    let mut rows = Vec::new();
+    let mut best_speedup: f64 = 0.0;
+    for kernel in kernels::all_paper_kernels() {
+        let (exhaustive_secs, (exhaustive, _)) =
+            best_of(RUNS, || explorer.pareto_exhaustive(&kernel, &space));
+        let (pruned_secs, (pruned, telemetry)) =
+            best_of(RUNS, || explorer.pareto_pruned(&kernel, &space));
+        assert_eq!(
+            exhaustive, pruned,
+            "{}: pruned frontier diverged from exhaustive",
+            kernel.name
+        );
+        let speedup = exhaustive_secs / pruned_secs;
+        best_speedup = best_speedup.max(speedup);
+        println!(
+            "kernel {:10} | {} designs | simulated {:3} pruned {:3} | frontier {:3} | exhaustive {:.3} s | pruned {:.3} s | speedup {:.2}x",
+            kernel.name,
+            designs,
+            telemetry.designs_evaluated,
+            telemetry.designs_pruned,
+            pruned.len(),
+            exhaustive_secs,
+            pruned_secs,
+            speedup
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"kernel\": \"{}\",\n",
+                "      \"designs\": {},\n",
+                "      \"designs_simulated\": {},\n",
+                "      \"designs_pruned\": {},\n",
+                "      \"frontier_size\": {},\n",
+                "      \"frontier_identical\": true,\n",
+                "      \"exhaustive_secs\": {:.6},\n",
+                "      \"pruned_secs\": {:.6},\n",
+                "      \"speedup\": {:.3},\n",
+                "      \"telemetry\": {}\n",
+                "    }}"
+            ),
+            kernel.name,
+            designs,
+            telemetry.designs_evaluated,
+            telemetry.designs_pruned,
+            pruned.len(),
+            exhaustive_secs,
+            pruned_secs,
+            speedup,
+            telemetry.to_json()
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"pareto_paper_space\",\n",
+            "  \"designs\": {},\n",
+            "  \"runs_per_engine\": {},\n",
+            "  \"best_speedup\": {:.3},\n",
+            "  \"kernels\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        designs,
+        RUNS,
+        best_speedup,
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_pareto.json", &json).expect("can write BENCH_pareto.json");
+    println!("best pruning speedup: {best_speedup:.2}x");
+    println!("wrote BENCH_pareto.json");
+}

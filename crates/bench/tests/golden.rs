@@ -1,15 +1,21 @@
 //! Golden-snapshot tests for the paper-figure tables.
 //!
-//! The committed fixtures pin the exact rendered output of `fig01` and
-//! `fig02` — any change to the simulator, energy model, placement, or
+//! The committed fixtures pin the exact rendered output of the snapshot
+//! figures — any change to the simulator, energy model, placement, or
 //! sweep engine that shifts a single digit fails here first. After an
 //! *intentional* model change, regenerate the fixtures and review the
 //! diff:
 //!
 //! ```text
-//! cargo run --release -p bench --bin fig01 > crates/bench/tests/golden/fig01.txt
-//! cargo run --release -p bench --bin fig02 > crates/bench/tests/golden/fig02.txt
+//! for f in fig01 fig02 fig03 fig07 fig10; do
+//!   cargo run --release -p bench --bin $f > crates/bench/tests/golden/$f.txt
+//! done
 //! ```
+//!
+//! The snapshot set spans the model surface: fig01/fig02 (miss rate and
+//! energy vs geometry), fig03 (cycles vs cache and line size), fig07
+//! (energy vs tiling and associativity), fig10 (the whole-program MPEG
+//! case study, which exercises placement and the composite sweep).
 
 fn assert_matches_golden(actual: &str, golden: &str, name: &str) {
     if actual == golden {
@@ -46,5 +52,32 @@ fn fig02_matches_committed_fixture() {
         &bench::figures::fig02(),
         include_str!("golden/fig02.txt"),
         "fig02",
+    );
+}
+
+#[test]
+fn fig03_matches_committed_fixture() {
+    assert_matches_golden(
+        &bench::figures::fig03(),
+        include_str!("golden/fig03.txt"),
+        "fig03",
+    );
+}
+
+#[test]
+fn fig07_matches_committed_fixture() {
+    assert_matches_golden(
+        &bench::figures::fig07(),
+        include_str!("golden/fig07.txt"),
+        "fig07",
+    );
+}
+
+#[test]
+fn fig10_matches_committed_fixture() {
+    assert_matches_golden(
+        &bench::figures::fig10(),
+        include_str!("golden/fig10.txt"),
+        "fig10",
     );
 }

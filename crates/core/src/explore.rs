@@ -120,7 +120,11 @@ pub fn pow2_range(lo: usize, hi: usize) -> Vec<usize> {
 /// worker the tasks run inline on the calling thread (still in index
 /// order pulled from the same counter), so serial and parallel sweeps
 /// share a single code path.
-fn steal_loop<F: Fn(usize) + Sync>(workers: usize, jobs: usize, run: F) -> Vec<Duration> {
+pub(crate) fn steal_loop<F: Fn(usize) + Sync>(
+    workers: usize,
+    jobs: usize,
+    run: F,
+) -> Vec<Duration> {
     let next = AtomicUsize::new(0);
     let work = |next: &AtomicUsize| {
         let start = Instant::now();
@@ -182,7 +186,7 @@ impl Explorer {
         self
     }
 
-    fn worker_count(&self, jobs: usize) -> usize {
+    pub(crate) fn worker_count(&self, jobs: usize) -> usize {
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -340,6 +344,7 @@ impl Explorer {
             select_time,
             total_time: sweep_start.elapsed(),
             worker_busy,
+            ..SweepTelemetry::default()
         };
         (records, telemetry)
     }

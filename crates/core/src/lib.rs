@@ -43,6 +43,7 @@ pub mod cycles;
 pub mod explore;
 pub mod hierarchy;
 pub mod metrics;
+pub mod pareto;
 pub mod select;
 pub mod spm;
 pub mod telemetry;

@@ -106,6 +106,70 @@ pub fn pareto(records: &[Record]) -> Vec<&Record> {
     frontier
 }
 
+/// Whether `a` strictly dominates `b` in the paper's three objectives
+/// — cycles, energy, **and cache size** (all ≤, at least one <).
+///
+/// This is the dominance relation of the multi-objective mode: a smaller
+/// cache with equal time and energy is a strictly better embedded design.
+pub fn dominates3(a: &Record, b: &Record) -> bool {
+    let le = a.cycles <= b.cycles
+        && a.energy_nj <= b.energy_nj
+        && a.design.cache_size <= b.design.cache_size;
+    le && (a.cycles < b.cycles
+        || a.energy_nj < b.energy_nj
+        || a.design.cache_size < b.design.cache_size)
+}
+
+/// Sort key that totally orders frontier records: metrics first, then the
+/// remaining design coordinates so ties are broken deterministically.
+fn canonical_key(r: &Record) -> (f64, f64, usize, usize, usize, u64) {
+    (
+        r.cycles,
+        r.energy_nj,
+        r.design.cache_size,
+        r.design.line,
+        r.design.assoc,
+        r.design.tiling,
+    )
+}
+
+/// The exact three-objective Pareto frontier over
+/// `(cycles, energy, cache size)`: every record not strictly dominated by
+/// another (ties are kept — equal points dominate nothing).
+///
+/// The result is sorted by the canonical key (cycles, energy, cache size,
+/// then the remaining design coordinates), so two frontiers computed from
+/// the same underlying records — e.g. by the exhaustive and the pruned
+/// sweep — compare equal with `==`, bitwise on the floating-point metrics.
+///
+/// # Example
+///
+/// ```
+/// use memexplore::{select, DesignSpace, Explorer};
+/// use loopir::kernels;
+///
+/// let records = Explorer::default().explore(&kernels::matadd(6), &DesignSpace::small());
+/// let frontier = select::pareto3(&records);
+/// assert!(!frontier.is_empty());
+/// // No frontier member dominates another.
+/// for a in &frontier {
+///     assert!(!frontier.iter().any(|b| select::dominates3(b, a)));
+/// }
+/// ```
+pub fn pareto3(records: &[Record]) -> Vec<Record> {
+    let mut frontier: Vec<Record> = records
+        .iter()
+        .filter(|r| !records.iter().any(|other| dominates3(other, r)))
+        .cloned()
+        .collect();
+    frontier.sort_by(|a, b| {
+        canonical_key(a)
+            .partial_cmp(&canonical_key(b))
+            .expect("metrics are finite")
+    });
+    frontier
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +250,77 @@ mod tests {
         let r = sample();
         assert!(min_energy_bounded(&r, 10.0).is_none());
         assert!(min_cycles_bounded(&r, 10.0).is_none());
+    }
+
+    #[test]
+    fn dominates3_requires_strictness() {
+        let a = rec(16, 100.0, 100.0);
+        let b = rec(16, 100.0, 100.0);
+        assert!(!dominates3(&a, &b)); // ties dominate nothing
+        let c = rec(16, 100.0, 101.0);
+        assert!(dominates3(&a, &c));
+        assert!(!dominates3(&c, &a));
+        // Smaller cache alone is a strict improvement.
+        let d = rec(32, 100.0, 100.0);
+        assert!(dominates3(&a, &d));
+    }
+
+    #[test]
+    fn dominates3_needs_all_three_axes() {
+        let fast_big = rec(512, 10.0, 100.0);
+        let slow_small = rec(16, 100.0, 10.0);
+        assert!(!dominates3(&fast_big, &slow_small));
+        assert!(!dominates3(&slow_small, &fast_big));
+    }
+
+    #[test]
+    fn pareto3_keeps_cache_size_tradeoffs_pareto2_drops() {
+        // Same cycles/energy at different sizes: 2-D pareto keeps one,
+        // 3-D dominance removes the bigger cache.
+        let r = vec![rec(16, 100.0, 100.0), rec(32, 100.0, 100.0)];
+        let f = pareto3(&r);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].design.cache_size, 16);
+        // But a bigger cache that buys speed survives.
+        let r = vec![rec(16, 100.0, 100.0), rec(32, 90.0, 100.0)];
+        assert_eq!(pareto3(&r).len(), 2);
+    }
+
+    #[test]
+    fn pareto3_ties_are_kept_and_ordered() {
+        let mut a = rec(16, 100.0, 100.0);
+        a.design.line = 8;
+        let mut b = rec(16, 100.0, 100.0);
+        b.design.line = 4;
+        let f = pareto3(&[a.clone(), b.clone()]);
+        assert_eq!(f, vec![b, a]); // canonical order breaks the tie by line
+    }
+
+    #[test]
+    fn pareto3_is_order_independent() {
+        let mut r = sample();
+        let f1 = pareto3(&r);
+        r.reverse();
+        let f2 = pareto3(&r);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn pareto3_of_empty_is_empty() {
+        assert!(pareto3(&[]).is_empty());
+    }
+
+    #[test]
+    fn pareto3_members_are_mutually_nondominated() {
+        let f = pareto3(&sample());
+        for a in &f {
+            assert!(!f.iter().any(|b| dominates3(b, a)));
+        }
+        // Every excluded record is dominated by some frontier member.
+        for r in sample() {
+            if !f.contains(&r) {
+                assert!(f.iter().any(|m| dominates3(m, &r)), "{:?}", r.design);
+            }
+        }
     }
 }

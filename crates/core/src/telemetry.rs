@@ -41,6 +41,14 @@ pub struct SweepTelemetry {
     pub total_time: Duration,
     /// Per-worker busy time during the simulation phase.
     pub worker_busy: Vec<Duration>,
+    /// Designs skipped by the admissible branch-and-bound pruner without
+    /// simulation (0 for exhaustive sweeps).
+    pub designs_pruned: usize,
+    /// Pareto-frontier size, when the sweep extracted one (0 otherwise).
+    pub frontier_size: usize,
+    /// Wall time spent computing admissible bounds and dominance checks
+    /// (zero for exhaustive sweeps).
+    pub bound_time: Duration,
 }
 
 impl SweepTelemetry {
@@ -58,6 +66,22 @@ impl SweepTelemetry {
             return 1.0;
         }
         self.trace_events_replayed as f64 / self.trace_events_generated as f64
+    }
+
+    /// Designs considered by the sweep: simulated plus pruned.
+    pub fn designs_considered(&self) -> usize {
+        self.designs_evaluated + self.designs_pruned
+    }
+
+    /// Fraction of considered designs the pruner skipped (0.0 for an
+    /// exhaustive or empty sweep).
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.designs_considered();
+        if total == 0 {
+            0.0
+        } else {
+            self.designs_pruned as f64 / total as f64
+        }
     }
 
     /// Mean fraction of the simulation phase each worker spent busy
@@ -80,8 +104,10 @@ impl SweepTelemetry {
                 "\"traces_generated\":{},\"trace_events_generated\":{},",
                 "\"trace_events_replayed\":{},\"trace_events_reused\":{},",
                 "\"trace_reuse_factor\":{:.3},\"workers\":{},",
-                "\"worker_utilization\":{:.3},\"layout_secs\":{:.6},",
-                "\"trace_secs\":{:.6},\"simulate_secs\":{:.6},",
+                "\"worker_utilization\":{:.3},\"designs_pruned\":{},",
+                "\"prune_rate\":{:.3},\"frontier_size\":{},",
+                "\"layout_secs\":{:.6},\"trace_secs\":{:.6},",
+                "\"bound_secs\":{:.6},\"simulate_secs\":{:.6},",
                 "\"select_secs\":{:.6},\"total_secs\":{:.6}}}"
             ),
             self.designs_evaluated,
@@ -93,8 +119,12 @@ impl SweepTelemetry {
             self.trace_reuse_factor(),
             self.workers,
             self.worker_utilization(),
+            self.designs_pruned,
+            self.prune_rate(),
+            self.frontier_size,
             self.layout_time.as_secs_f64(),
             self.trace_time.as_secs_f64(),
+            self.bound_time.as_secs_f64(),
             self.simulate_time.as_secs_f64(),
             self.select_time.as_secs_f64(),
             self.total_time.as_secs_f64(),
@@ -124,6 +154,16 @@ impl fmt::Display for SweepTelemetry {
             self.trace_events_generated,
             self.trace_time.as_secs_f64() * 1e3
         )?;
+        if self.designs_pruned > 0 || self.bound_time > Duration::ZERO {
+            writeln!(
+                f,
+                "  prune    : {} of {} designs pruned ({:.0}%) in {:.1} ms",
+                self.designs_pruned,
+                self.designs_considered(),
+                self.prune_rate() * 100.0,
+                self.bound_time.as_secs_f64() * 1e3
+            )?;
+        }
         writeln!(
             f,
             "  simulate : {} events replayed ({:.1}x reuse) in {:.1} ms, {:.0}% worker utilization",
@@ -132,6 +172,13 @@ impl fmt::Display for SweepTelemetry {
             self.simulate_time.as_secs_f64() * 1e3,
             self.worker_utilization() * 100.0
         )?;
+        if self.frontier_size > 0 {
+            writeln!(
+                f,
+                "  frontier : {} non-dominated designs",
+                self.frontier_size
+            )?;
+        }
         write!(
             f,
             "  select   : records collected in {:.1} ms",
@@ -158,6 +205,7 @@ mod tests {
             select_time: Duration::from_millis(1),
             total_time: Duration::from_millis(36),
             worker_busy: vec![Duration::from_millis(18), Duration::from_millis(20)],
+            ..SweepTelemetry::default()
         }
     }
 
@@ -198,5 +246,31 @@ mod tests {
         let t = SweepTelemetry::default();
         assert_eq!(t.trace_reuse_factor(), 1.0);
         assert_eq!(t.trace_events_reused(), 0);
+        assert_eq!(t.prune_rate(), 0.0);
+    }
+
+    #[test]
+    fn prune_accounting() {
+        let mut t = sample();
+        t.designs_pruned = 24;
+        assert_eq!(t.designs_considered(), 32);
+        assert!((t.prune_rate() - 0.75).abs() < 1e-12);
+        let j = t.to_json();
+        assert!(j.contains("\"designs_pruned\":24"));
+        assert!(j.contains("\"prune_rate\":0.750"));
+        assert_eq!(j.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn display_shows_prune_and_frontier_only_when_present() {
+        let plain = sample().to_string();
+        assert!(!plain.contains("prune"));
+        assert!(!plain.contains("frontier"));
+        let mut t = sample();
+        t.designs_pruned = 5;
+        t.frontier_size = 7;
+        let s = t.to_string();
+        assert!(s.contains("prune"), "{s}");
+        assert!(s.contains("frontier : 7"), "{s}");
     }
 }

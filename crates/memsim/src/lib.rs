@@ -17,7 +17,9 @@
 //!   (compulsory / capacity / conflict, [`classify::Classifier`]),
 //! * address-bus activity tracking with Gray-coded or binary buses
 //!   ([`bus::BusMonitor`]) — the `Add_bs` input of the paper's energy model,
-//! * a [`sim::Simulator`] that drives a trace through all of the above, and
+//! * a [`sim::Simulator`] that drives a trace through all of the above,
+//! * a deliberately naive [`reference::ReferenceCache`] sharing no code
+//!   with the optimized path, for differential testing, and
 //! * Dinero `.din` trace interop ([`din`]).
 //!
 //! # Example
@@ -39,6 +41,7 @@ pub mod classify;
 pub mod config;
 pub mod din;
 pub mod hierarchy;
+pub mod reference;
 pub mod sim;
 pub mod stats;
 pub mod synth;

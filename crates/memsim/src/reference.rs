@@ -1,0 +1,270 @@
+//! A deliberately naive reference cache model for differential testing.
+//!
+//! The production [`Cache`](crate::Cache)/[`Simulator`](crate::Simulator)
+//! pair is built for sweep throughput: shift/mask address arithmetic,
+//! per-set way vectors, monotonic stamps. This module reimplements the
+//! same *semantics* in the most obvious way possible — one flat `Vec` of
+//! resident lines, linear search, `/` and `%` instead of shifts, explicit
+//! per-byte line splitting — so the two implementations share no code and
+//! no tricks. `tests/reference_differential.rs` drives random traces
+//! through both and asserts identical [`CacheStats`], which is how bugs in
+//! either address path would surface.
+//!
+//! Scope: LRU and FIFO replacement with both write policies. PLRU and
+//! random replacement are stateful heuristics whose "naive" version would
+//! have to copy the production algorithm verbatim, which tests nothing, so
+//! they are excluded (the production PLRU/random paths are covered by the
+//! direct-mapped-equivalence property, where no replacement choice
+//! exists).
+
+use crate::config::{CacheConfig, Replacement, WritePolicy};
+use crate::sim::TraceEvent;
+use crate::stats::CacheStats;
+
+/// One resident line. The full line-aligned byte address is stored —
+/// no tags, no set/tag split to reconstruct from.
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    base: u64,
+    dirty: bool,
+    /// Last-use time (LRU) — refreshed on every touch.
+    used_at: u64,
+    /// Fill time (FIFO) — set once when the line comes in.
+    filled_at: u64,
+}
+
+/// The naive model: every resident line in one unordered vector.
+///
+/// # Example
+///
+/// ```
+/// use memsim::reference::ReferenceCache;
+/// use memsim::CacheConfig;
+///
+/// let mut cache = ReferenceCache::new(CacheConfig::new(64, 8, 1)?);
+/// assert!(!cache.access(0x10, false)); // cold miss
+/// assert!(cache.access(0x17, false));  // same line
+/// # Ok::<(), memsim::ConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReferenceCache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl ReferenceCache {
+    /// An empty reference cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on PLRU or random replacement — the naive model covers LRU
+    /// and FIFO only (see the module docs).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(
+            matches!(config.replacement, Replacement::Lru | Replacement::Fifo),
+            "reference model supports LRU and FIFO only, got {}",
+            config.replacement
+        );
+        ReferenceCache {
+            config,
+            lines: Vec::new(),
+            clock: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Set index of `addr`, by division — not by shifting.
+    fn set_of(&self, addr: u64) -> u64 {
+        (addr / self.config.line() as u64) % self.config.num_sets() as u64
+    }
+
+    /// Line-aligned base of `addr`, by remainder — not by masking.
+    fn base_of(&self, addr: u64) -> u64 {
+        addr - addr % self.config.line() as u64
+    }
+
+    /// One line access (the caller splits spanning accesses). Returns
+    /// whether it hit, and updates the counters.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
+        self.clock += 1;
+        let base = self.base_of(addr);
+        let set = self.set_of(addr);
+
+        // Linear search of the whole vector for the line.
+        let found = self.lines.iter_mut().find(|l| l.base == base);
+        if let Some(line) = found {
+            if self.config.replacement == Replacement::Lru {
+                line.used_at = self.clock;
+            }
+            if is_write && self.config.write_policy == WritePolicy::WriteBackAllocate {
+                line.dirty = true;
+            }
+            self.count(is_write, true);
+            return true;
+        }
+
+        self.count(is_write, false);
+        if is_write && self.config.write_policy == WritePolicy::WriteThroughNoAllocate {
+            return false; // straight to memory, nothing allocated
+        }
+
+        // The set is full when `assoc` of its lines are resident; evict
+        // the oldest by the policy's notion of age, else just insert.
+        let mut residents: Vec<usize> = (0..self.lines.len())
+            .filter(|&i| self.set_of(self.lines[i].base) == set)
+            .collect();
+        debug_assert!(residents.len() <= self.config.assoc());
+        if residents.len() == self.config.assoc() {
+            residents.sort_by_key(|&i| match self.config.replacement {
+                Replacement::Lru => self.lines[i].used_at,
+                _ => self.lines[i].filled_at,
+            });
+            let victim = residents[0];
+            let old = self.lines.swap_remove(victim);
+            self.stats.evictions += 1;
+            if old.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        self.stats.fills += 1;
+        self.lines.push(Line {
+            base,
+            dirty: is_write && self.config.write_policy == WritePolicy::WriteBackAllocate,
+            used_at: self.clock,
+            filled_at: self.clock,
+        });
+        false
+    }
+
+    fn count(&mut self, is_write: bool, hit: bool) {
+        if is_write {
+            self.stats.writes += 1;
+            if hit {
+                self.stats.write_hits += 1;
+            }
+        } else {
+            self.stats.reads += 1;
+            if hit {
+                self.stats.read_hits += 1;
+            }
+        }
+    }
+
+    /// Processes one event, splitting it per byte: walk every byte the
+    /// access covers and issue a line access each time a new line starts.
+    /// (The production simulator jumps line to line arithmetically; the
+    /// walk is the naive spelling of the same split.)
+    pub fn step(&mut self, event: TraceEvent) {
+        let size = u64::from(event.size.max(1));
+        let mut prev_line = None;
+        for b in event.addr..event.addr + size {
+            let line_no = b / self.config.line() as u64;
+            if prev_line != Some(line_no) {
+                let addr = if prev_line.is_none() { event.addr } else { b };
+                self.access(addr, event.is_write);
+                prev_line = Some(line_no);
+            }
+        }
+    }
+
+    /// The accumulated counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Convenience: run a whole trace and return the counters.
+    pub fn simulate<I: IntoIterator<Item = TraceEvent>>(
+        config: CacheConfig,
+        events: I,
+    ) -> CacheStats {
+        let mut cache = ReferenceCache::new(config);
+        for e in events {
+            cache.step(e);
+        }
+        cache.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(size: usize, line: usize, assoc: usize) -> CacheConfig {
+        CacheConfig::new(size, line, assoc).expect("valid geometry")
+    }
+
+    #[test]
+    fn cold_miss_then_hit_within_line() {
+        let mut c = ReferenceCache::new(cfg(64, 8, 1));
+        assert!(!c.access(0x10, false));
+        assert!(c.access(0x17, false));
+        assert!(!c.access(0x18, false));
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = ReferenceCache::new(cfg(64, 8, 1)); // 8 sets
+        assert!(!c.access(0, false));
+        assert!(!c.access(64, false)); // same set, evicts line 0
+        assert!(!c.access(0, false));
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn lru_and_fifo_differ_on_the_classic_pattern() {
+        // 0, 16, 0, 32 in one 2-way set: LRU keeps 0, FIFO evicts it.
+        let trace = [0u64, 16, 0, 32, 0];
+        let run = |policy| {
+            let mut c = ReferenceCache::new(cfg(32, 8, 2).with_replacement(policy));
+            for &a in &trace {
+                c.access(a, false);
+            }
+            c.stats().read_hits
+        };
+        assert_eq!(run(Replacement::Lru), 2); // second 0 and final 0 hit
+        assert_eq!(run(Replacement::Fifo), 1); // final 0 was evicted
+    }
+
+    #[test]
+    fn write_through_does_not_allocate() {
+        let mut c = ReferenceCache::new(
+            cfg(16, 8, 1).with_write_policy(WritePolicy::WriteThroughNoAllocate),
+        );
+        assert!(!c.access(0, true));
+        assert_eq!(c.stats().fills, 0);
+        assert!(!c.access(0, false)); // still not resident
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = ReferenceCache::new(cfg(16, 8, 1)); // 2 sets
+        c.access(0, true);
+        c.access(16, false); // conflict in set 0, dirty victim
+        assert_eq!(c.stats().writebacks, 1);
+        c.access(32, false); // clean victim
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn spanning_access_is_split_per_line() {
+        let mut c = ReferenceCache::new(cfg(64, 8, 1));
+        c.step(TraceEvent::read(6, 4)); // bytes 6..10 touch lines 0 and 1
+        assert_eq!(c.stats().reads, 2);
+        assert_eq!(c.stats().read_misses(), 2);
+    }
+
+    #[test]
+    fn zero_size_access_counts_once() {
+        let mut c = ReferenceCache::new(cfg(64, 8, 1));
+        c.step(TraceEvent::read(0, 0));
+        assert_eq!(c.stats().reads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "LRU and FIFO only")]
+    fn plru_is_rejected() {
+        ReferenceCache::new(cfg(32, 8, 4).with_replacement(Replacement::Plru));
+    }
+}

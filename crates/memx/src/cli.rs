@@ -11,6 +11,8 @@ USAGE:
   memx explore   KERNEL.mx [--part cy7c|lp2m|16m] [--em NJ] [--natural]
                  [--analytical] [--bound-cycles N] [--bound-energy NJ]
                  [--pareto] [--telemetry]
+  memx pareto    KERNEL.mx [--part cy7c|lp2m|16m] [--em NJ] [--natural]
+                 [--format csv|json] [--exhaustive] [--telemetry]
   memx simulate  KERNEL.mx --cache N --line N [--assoc N] [--tiling B]
                  [--natural] [--classify]
   memx place     KERNEL.mx --cache N --line N
@@ -53,6 +55,24 @@ pub enum Command {
         /// Print the Pareto frontier.
         pareto: bool,
         /// Print sweep telemetry (trace reuse, phase times, utilization).
+        telemetry: bool,
+    },
+    /// The three-objective Pareto frontier over the paper grid, with
+    /// admissible branch-and-bound pruning.
+    Pareto {
+        /// Path to the kernel file.
+        file: String,
+        /// Off-chip part keyword (`cy7c`, `lp2m`, `16m`).
+        part: String,
+        /// Custom `Em` (nJ/access) overriding `part`.
+        em_nj: Option<f64>,
+        /// Use the natural (unoptimized) layout.
+        natural: bool,
+        /// Output format: `csv` (default) or `json`.
+        format: String,
+        /// Run the exhaustive sweep instead of the pruned one.
+        exhaustive: bool,
+        /// Print sweep telemetry (prune counts, phase times) as comments.
         telemetry: bool,
     },
     /// Simulate one configuration.
@@ -228,6 +248,54 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
             }
             Ok(cmd)
         }
+        "pareto" => {
+            let file = args
+                .next()
+                .ok_or_else(|| err("pareto needs a kernel file"))?
+                .to_string();
+            let mut part = "cy7c".to_string();
+            let mut em_nj = None;
+            let mut natural = false;
+            let mut format = "csv".to_string();
+            let mut exhaustive = false;
+            let mut telemetry = false;
+            while let Some(flag) = args.next() {
+                match flag {
+                    "--part" => {
+                        let v = args.value_of(flag)?;
+                        if !["cy7c", "lp2m", "16m"].contains(&v) {
+                            return Err(err(format!(
+                                "unknown part `{v}` (expected cy7c, lp2m, or 16m)"
+                            )));
+                        }
+                        part = v.to_string();
+                    }
+                    "--em" => em_nj = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--natural" => natural = true,
+                    "--format" => {
+                        let v = args.value_of(flag)?;
+                        if !["csv", "json"].contains(&v) {
+                            return Err(err(format!(
+                                "unknown format `{v}` (expected csv or json)"
+                            )));
+                        }
+                        format = v.to_string();
+                    }
+                    "--exhaustive" => exhaustive = true,
+                    "--telemetry" => telemetry = true,
+                    other => return Err(err(format!("unknown flag `{other}` for pareto"))),
+                }
+            }
+            Ok(Command::Pareto {
+                file,
+                part,
+                em_nj,
+                natural,
+                format,
+                exhaustive,
+                telemetry,
+            })
+        }
         "simulate" => {
             let file = args
                 .next()
@@ -378,6 +446,55 @@ mod tests {
             Command::Explore { telemetry, .. } => assert!(!telemetry),
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_pareto_with_all_flags() {
+        let cmd = parse_args(&argv(
+            "pareto k.mx --part lp2m --natural --format json --exhaustive --telemetry",
+        ))
+        .expect("valid");
+        match cmd {
+            Command::Pareto {
+                file,
+                part,
+                em_nj,
+                natural,
+                format,
+                exhaustive,
+                telemetry,
+            } => {
+                assert_eq!(file, "k.mx");
+                assert_eq!(part, "lp2m");
+                assert_eq!(em_nj, None);
+                assert!(natural && exhaustive && telemetry);
+                assert_eq!(format, "json");
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pareto_defaults_to_pruned_csv() {
+        match parse_args(&argv("pareto k.mx")).expect("valid") {
+            Command::Pareto {
+                format,
+                exhaustive,
+                telemetry,
+                ..
+            } => {
+                assert_eq!(format, "csv");
+                assert!(!exhaustive && !telemetry);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pareto_rejects_bad_format() {
+        let e = parse_args(&argv("pareto k.mx --format xml")).expect_err("should fail");
+        assert!(e.0.contains("xml"));
+        assert!(parse_args(&argv("pareto")).is_err());
     }
 
     #[test]

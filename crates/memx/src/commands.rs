@@ -34,18 +34,7 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
             telemetry,
         } => {
             let kernel = load(&file)?;
-            let part = match em_nj {
-                Some(em) => SramPart::custom(format!("custom (Em = {em} nJ)"), em),
-                None => match part.as_str() {
-                    "lp2m" => SramPart::low_power_2mbit(),
-                    "16m" => SramPart::sram_16mbit(),
-                    _ => SramPart::cy7c_2mbit(),
-                },
-            };
-            let mut evaluator = Evaluator::with_part(part.clone());
-            if natural {
-                evaluator.placement = PlacementMode::Natural;
-            }
+            let evaluator = make_evaluator(&part, em_nj, natural);
             explore(
                 &kernel,
                 evaluator,
@@ -55,6 +44,19 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
                 pareto,
                 telemetry,
             )
+        }
+        Command::Pareto {
+            file,
+            part,
+            em_nj,
+            natural,
+            format,
+            exhaustive,
+            telemetry,
+        } => {
+            let kernel = load(&file)?;
+            let evaluator = make_evaluator(&part, em_nj, natural);
+            pareto_frontier(&kernel, evaluator, &format, exhaustive, telemetry)
         }
         Command::Simulate {
             file,
@@ -125,6 +127,24 @@ fn simulate_din(
         );
     }
     Ok(out)
+}
+
+/// Builds the evaluator shared by `explore` and `pareto`: off-chip part
+/// from the keyword (or a custom `Em`), optionally with natural layout.
+fn make_evaluator(part: &str, em_nj: Option<f64>, natural: bool) -> Evaluator {
+    let part = match em_nj {
+        Some(em) => SramPart::custom(format!("custom (Em = {em} nJ)"), em),
+        None => match part {
+            "lp2m" => SramPart::low_power_2mbit(),
+            "16m" => SramPart::sram_16mbit(),
+            _ => SramPart::cy7c_2mbit(),
+        },
+    };
+    let mut evaluator = Evaluator::with_part(part);
+    if natural {
+        evaluator.placement = PlacementMode::Natural;
+    }
+    evaluator
 }
 
 fn load(path: &str) -> Result<Kernel, Box<dyn Error + Send + Sync>> {
@@ -215,6 +235,90 @@ fn explore(
                     out,
                     "telemetry: not available for the analytical model (no traces are simulated)"
                 );
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn pareto_frontier(
+    kernel: &Kernel,
+    evaluator: Evaluator,
+    format: &str,
+    exhaustive: bool,
+    telemetry: bool,
+) -> Result<String, Box<dyn Error + Send + Sync>> {
+    let space = DesignSpace::paper();
+    let explorer = Explorer::new(evaluator);
+    let (frontier, sweep) = if exhaustive {
+        explorer.pareto_exhaustive(kernel, &space)
+    } else {
+        explorer.pareto_pruned(kernel, &space)
+    };
+
+    let mut out = String::new();
+    if format == "json" {
+        let rows: Vec<String> = frontier
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "    {{\"cache\":{},\"line\":{},\"assoc\":{},",
+                        "\"tiling\":{},\"miss_rate\":{:.6},\"cycles\":{:.1},",
+                        "\"energy_nj\":{:.3},\"conflict_free\":{}}}"
+                    ),
+                    r.design.cache_size,
+                    r.design.line,
+                    r.design.assoc,
+                    r.design.tiling,
+                    r.miss_rate,
+                    r.cycles,
+                    r.energy_nj,
+                    r.conflict_free
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"kernel\": \"{}\",", kernel.name);
+        let _ = writeln!(
+            out,
+            "  \"engine\": \"{}\",",
+            if exhaustive { "exhaustive" } else { "pruned" }
+        );
+        let _ = writeln!(out, "  \"frontier_size\": {},", frontier.len());
+        let _ = writeln!(out, "  \"frontier\": [\n{}\n  ]{}", rows.join(",\n"), {
+            if telemetry {
+                ","
+            } else {
+                ""
+            }
+        });
+        if telemetry {
+            let _ = writeln!(out, "  \"telemetry\": {}", sweep.to_json());
+        }
+        let _ = writeln!(out, "}}");
+    } else {
+        let _ = writeln!(
+            out,
+            "cache,line,assoc,tiling,miss_rate,cycles,energy_nj,conflict_free"
+        );
+        for r in &frontier {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.6},{:.1},{:.3},{}",
+                r.design.cache_size,
+                r.design.line,
+                r.design.assoc,
+                r.design.tiling,
+                r.miss_rate,
+                r.cycles,
+                r.energy_nj,
+                r.conflict_free
+            );
+        }
+        if telemetry {
+            for line in sweep.to_string().lines() {
+                let _ = writeln!(out, "# {line}");
             }
         }
     }
@@ -534,6 +638,72 @@ mod tests {
         .expect("simulate-din succeeds");
         assert!(out.contains("3844 records"), "{out}");
         assert!(out.contains("conflict"), "{out}");
+    }
+
+    #[test]
+    fn pareto_command_emits_csv_with_telemetry_comments() {
+        let (_dir, path) = write_kernel();
+        let out = run(Command::Pareto {
+            file: path,
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            format: "csv".into(),
+            exhaustive: false,
+            telemetry: true,
+        })
+        .expect("command succeeds");
+        let mut lines = out.lines();
+        assert_eq!(
+            lines.next(),
+            Some("cache,line,assoc,tiling,miss_rate,cycles,energy_nj,conflict_free")
+        );
+        let data: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
+        assert!(data.len() > 2, "frontier should be non-trivial: {out}");
+        assert!(
+            out.lines()
+                .any(|l| l.starts_with("# ") && l.contains("prune")),
+            "telemetry comments missing: {out}"
+        );
+    }
+
+    #[test]
+    fn pareto_command_json_matches_exhaustive_frontier() {
+        let (_dir, path) = write_kernel();
+        let pruned = run(Command::Pareto {
+            file: path.clone(),
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            format: "json".into(),
+            exhaustive: false,
+            telemetry: false,
+        })
+        .expect("pruned succeeds");
+        let exhaustive = run(Command::Pareto {
+            file: path,
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            format: "json".into(),
+            exhaustive: true,
+            telemetry: false,
+        })
+        .expect("exhaustive succeeds");
+        assert!(pruned.contains("\"engine\": \"pruned\""), "{pruned}");
+        assert!(
+            exhaustive.contains("\"engine\": \"exhaustive\""),
+            "{exhaustive}"
+        );
+        // Identical frontiers: everything after the engine line must match.
+        let body = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("\"engine\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(body(&pruned), body(&exhaustive));
+        assert!(pruned.contains("\"frontier_size\""), "{pruned}");
     }
 
     #[test]

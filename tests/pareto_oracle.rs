@@ -1,0 +1,65 @@
+//! The pruning oracle: on every paper kernel, the branch-and-bound Pareto
+//! engine must return a frontier *bit-identical* to the one extracted
+//! from an exhaustive sweep of the full paper grid.
+//!
+//! This is the correctness backbone of the admissible pruner
+//! (`memexplore::pareto`): the bounds may only ever skip designs whose
+//! true record is strictly dominated by an already-simulated one, so the
+//! two engines must agree exactly — including float bit patterns, since
+//! `Record` equality is bitwise. One test per kernel so a divergence
+//! names the kernel that produced it.
+
+use loopir::kernels;
+use loopir::Kernel;
+use memexplore::{DesignSpace, Explorer};
+
+fn assert_oracle(kernel: &Kernel) {
+    let space = DesignSpace::paper();
+    let explorer = Explorer::default();
+    let (exhaustive, _) = explorer.pareto_exhaustive(kernel, &space);
+    let (pruned, telemetry) = explorer.pareto_pruned(kernel, &space);
+
+    assert_eq!(
+        exhaustive, pruned,
+        "{}: pruned frontier diverged from exhaustive",
+        kernel.name
+    );
+    // Every design was either simulated or provably dominated — none lost.
+    assert_eq!(
+        telemetry.designs_considered(),
+        space.designs().len(),
+        "{}: simulated + pruned must cover the whole space",
+        kernel.name
+    );
+    assert_eq!(telemetry.frontier_size, pruned.len(), "{}", kernel.name);
+    assert!(
+        !pruned.is_empty(),
+        "{}: a non-empty space has a non-empty frontier",
+        kernel.name
+    );
+}
+
+#[test]
+fn pruned_frontier_matches_exhaustive_on_compress() {
+    assert_oracle(&kernels::compress(31));
+}
+
+#[test]
+fn pruned_frontier_matches_exhaustive_on_matmul() {
+    assert_oracle(&kernels::matmul(31));
+}
+
+#[test]
+fn pruned_frontier_matches_exhaustive_on_pde() {
+    assert_oracle(&kernels::pde(31));
+}
+
+#[test]
+fn pruned_frontier_matches_exhaustive_on_sor() {
+    assert_oracle(&kernels::sor(31));
+}
+
+#[test]
+fn pruned_frontier_matches_exhaustive_on_dequant() {
+    assert_oracle(&kernels::dequant(31));
+}

@@ -1,11 +1,15 @@
-//! Sweep-engine benchmark: seed engine vs trace-once work stealing.
+//! Sweep-engine benchmark: fused one-pass replay vs per-design replay
+//! (plus the historical seed-engine comparison on `compress`).
 //!
-//! Runs the full `DesignSpace::paper()` sweep of `kernels::compress(31)`
-//! with both engines, checks the records are bit-identical (to each other
-//! and to a fully serial sweep), and writes the timings plus the new
-//! engine's [`SweepTelemetry`] to `BENCH_explore.json` in the current
-//! directory. Each engine is timed over several runs and the best run is
-//! reported, which filters scheduler noise without external tooling.
+//! For each of the paper's five kernels this runs the full
+//! `DesignSpace::paper()` sweep with both the fused and the per-design
+//! engine, checks the records are bit-identical, and reports the
+//! replay-phase speedup (`simulate_time` per-design / fused) alongside
+//! the wall-clock speedup. On `compress` it additionally times the
+//! original seed engine as a baseline. Everything is written to
+//! `BENCH_explore.json` in the current directory. Each engine is timed
+//! over several runs and the best run is reported, which filters
+//! scheduler noise without external tooling.
 //!
 //! Regenerate with:
 //!
@@ -15,7 +19,8 @@
 
 use bench::seed_engine::seed_explore_designs;
 use loopir::kernels;
-use memexplore::{DesignSpace, Evaluator, Explorer, Record, SweepTelemetry};
+use memexplore::{DesignSpace, Engine, Evaluator, Explorer, Record, SweepTelemetry};
+use std::fmt::Write as _;
 use std::time::Instant;
 
 const RUNS: usize = 3;
@@ -33,89 +38,148 @@ fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     best.expect("runs >= 1")
 }
 
-fn main() {
-    let kernel = kernels::compress(31);
-    let designs = DesignSpace::paper().designs();
-    let evaluator = Evaluator::default();
+struct KernelResult {
+    kernel: String,
+    designs: usize,
+    fused_secs: f64,
+    per_design_secs: f64,
+    replay_speedup: f64,
+    total_speedup: f64,
+    identical: bool,
+    telemetry: SweepTelemetry,
+}
 
-    let (seed_secs, seed_records) =
-        best_of(RUNS, || seed_explore_designs(&evaluator, &kernel, &designs));
+fn bench_kernel(kernel: &loopir::Kernel, designs: &[memexplore::CacheDesign]) -> KernelResult {
+    let fused = Explorer::default().with_engine(Engine::Fused);
+    let per_design = Explorer::default().with_engine(Engine::PerDesign);
 
-    let explorer = Explorer::new(evaluator.clone());
-    let (engine_secs, (records, telemetry)) = best_of(RUNS, || {
-        explorer.explore_designs_with_telemetry(&kernel, &designs)
+    let (fused_secs, (fused_records, fused_t)) = best_of(RUNS, || {
+        fused.explore_designs_with_telemetry(kernel, designs)
+    });
+    let (per_secs, (per_records, per_t)) = best_of(RUNS, || {
+        per_design.explore_designs_with_telemetry(kernel, designs)
     });
 
-    let serial: Vec<Record> = explorer
-        .clone()
+    KernelResult {
+        kernel: kernel.name.clone(),
+        designs: designs.len(),
+        fused_secs,
+        per_design_secs: per_secs,
+        replay_speedup: per_t.simulate_time.as_secs_f64() / fused_t.simulate_time.as_secs_f64(),
+        total_speedup: per_secs / fused_secs,
+        identical: fused_records == per_records,
+        telemetry: fused_t,
+    }
+}
+
+fn main() {
+    let designs = DesignSpace::paper().designs();
+
+    let results: Vec<KernelResult> = kernels::all_paper_kernels()
+        .iter()
+        .map(|k| bench_kernel(k, &designs))
+        .collect();
+
+    // Historical baseline: the pre-refactor seed engine, on compress only
+    // (it regenerates the trace per design, so it is slow on every kernel).
+    let kernel = kernels::compress(31);
+    let evaluator = Evaluator::default();
+    let (seed_secs, seed_records) =
+        best_of(RUNS, || seed_explore_designs(&evaluator, &kernel, &designs));
+    let compress = &results[0];
+    let serial: Vec<Record> = Explorer::default()
         .with_workers(1)
         .explore_designs(&kernel, &designs);
-    let identical_to_seed = records == seed_records;
-    let identical_to_serial = records == serial;
-    let speedup = seed_secs / engine_secs;
+    let fused_compress = Explorer::default()
+        .with_engine(Engine::Fused)
+        .explore_designs(&kernel, &designs);
+    let identical_to_seed = fused_compress == seed_records;
+    let identical_to_serial = fused_compress == serial;
 
     let json = render_json(
-        &kernel.name,
-        designs.len(),
+        &results,
         seed_secs,
-        engine_secs,
-        speedup,
+        compress.fused_secs,
         identical_to_seed,
         identical_to_serial,
-        &telemetry,
     );
     std::fs::write("BENCH_explore.json", &json).expect("can write BENCH_explore.json");
 
+    for r in &results {
+        println!(
+            "kernel {} | {} designs | fused {:.3} s | per-design {:.3} s | replay speedup {:.2}x | total {:.2}x",
+            r.kernel, r.designs, r.fused_secs, r.per_design_secs, r.replay_speedup, r.total_speedup
+        );
+        assert!(r.identical, "{}: engines diverged", r.kernel);
+    }
     println!(
-        "kernel {} | {} designs | seed {:.3} s | trace-once {:.3} s | speedup {:.2}x",
+        "seed engine on {}: {:.3} s ({:.2}x vs fused)",
         kernel.name,
-        designs.len(),
         seed_secs,
-        engine_secs,
-        speedup
+        seed_secs / compress.fused_secs
     );
-    println!("{telemetry}");
-    println!("records bit-identical to seed engine: {identical_to_seed}, to serial sweep: {identical_to_serial}");
+    println!("{}", compress.telemetry);
+    println!(
+        "records bit-identical to seed engine: {identical_to_seed}, to serial sweep: {identical_to_serial}"
+    );
     println!("wrote BENCH_explore.json");
 
-    assert!(identical_to_seed, "engines diverged");
+    assert!(identical_to_seed, "fused engine diverged from seed engine");
     assert!(identical_to_serial, "parallel sweep diverged from serial");
 }
 
-#[allow(clippy::too_many_arguments)]
 fn render_json(
-    kernel: &str,
-    designs: usize,
+    results: &[KernelResult],
     seed_secs: f64,
-    engine_secs: f64,
-    speedup: f64,
+    fused_compress_secs: f64,
     identical_to_seed: bool,
     identical_to_serial: bool,
-    telemetry: &SweepTelemetry,
 ) -> String {
+    let mut kernels_json = String::new();
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            kernels_json,
+            concat!(
+                "    {{\n",
+                "      \"kernel\": \"{}\",\n",
+                "      \"designs\": {},\n",
+                "      \"fused_secs\": {:.6},\n",
+                "      \"per_design_secs\": {:.6},\n",
+                "      \"replay_phase_speedup\": {:.3},\n",
+                "      \"total_speedup\": {:.3},\n",
+                "      \"records_identical\": {},\n",
+                "      \"telemetry\": {}\n",
+                "    }}{}"
+            ),
+            r.kernel,
+            r.designs,
+            r.fused_secs,
+            r.per_design_secs,
+            r.replay_speedup,
+            r.total_speedup,
+            r.identical,
+            r.telemetry.to_json(),
+            if i + 1 < results.len() { ",\n" } else { "\n" }
+        );
+    }
     format!(
         concat!(
             "{{\n",
             "  \"benchmark\": \"explore_paper_space\",\n",
-            "  \"kernel\": \"{}\",\n",
-            "  \"designs\": {},\n",
             "  \"runs_per_engine\": {},\n",
-            "  \"seed_engine_secs\": {:.6},\n",
-            "  \"trace_once_engine_secs\": {:.6},\n",
-            "  \"speedup\": {:.3},\n",
+            "  \"engines\": [\"fused\", \"per-design\"],\n",
+            "  \"kernels\": [\n{}  ],\n",
+            "  \"seed_engine_secs_compress\": {:.6},\n",
+            "  \"seed_vs_fused_speedup_compress\": {:.3},\n",
             "  \"records_identical_to_seed\": {},\n",
-            "  \"records_identical_to_serial\": {},\n",
-            "  \"telemetry\": {}\n",
+            "  \"records_identical_to_serial\": {}\n",
             "}}\n"
         ),
-        kernel,
-        designs,
         RUNS,
+        kernels_json,
         seed_secs,
-        engine_secs,
-        speedup,
+        seed_secs / fused_compress_secs,
         identical_to_seed,
         identical_to_serial,
-        telemetry.to_json()
     )
 }

@@ -5,7 +5,10 @@
 //! exhaustive sweep, once with the branch-and-bound pruner — asserts the
 //! frontiers are bit-identical, and writes per-kernel timings, prune
 //! counts and speedups to `BENCH_pareto.json` in the current directory.
-//! Each engine is timed over several runs and the best run is reported.
+//! The pruned search additionally runs under both replay engines (fused
+//! banked replay vs per-design replay) so the banked speedup is recorded
+//! on the pruning path as well. Each configuration is timed over several
+//! runs and the best run is reported.
 //!
 //! Kernels whose working set exceeds the largest swept cache (MatMult)
 //! legitimately prune nothing — the interesting column is the speedup on
@@ -18,7 +21,7 @@
 //! ```
 
 use loopir::kernels;
-use memexplore::{DesignSpace, Explorer};
+use memexplore::{DesignSpace, Engine, Explorer};
 use std::time::Instant;
 
 const RUNS: usize = 3;
@@ -39,7 +42,8 @@ fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 fn main() {
     let space = DesignSpace::paper();
     let designs = space.designs().len();
-    let explorer = Explorer::default();
+    let explorer = Explorer::default().with_engine(Engine::Fused);
+    let per_design = Explorer::default().with_engine(Engine::PerDesign);
 
     let mut rows = Vec::new();
     let mut best_speedup: f64 = 0.0;
@@ -48,15 +52,23 @@ fn main() {
             best_of(RUNS, || explorer.pareto_exhaustive(&kernel, &space));
         let (pruned_secs, (pruned, telemetry)) =
             best_of(RUNS, || explorer.pareto_pruned(&kernel, &space));
+        let (pruned_pd_secs, (pruned_pd, _)) =
+            best_of(RUNS, || per_design.pareto_pruned(&kernel, &space));
         assert_eq!(
             exhaustive, pruned,
             "{}: pruned frontier diverged from exhaustive",
             kernel.name
         );
+        assert_eq!(
+            pruned, pruned_pd,
+            "{}: fused pruned frontier diverged from per-design",
+            kernel.name
+        );
         let speedup = exhaustive_secs / pruned_secs;
+        let engine_speedup = pruned_pd_secs / pruned_secs;
         best_speedup = best_speedup.max(speedup);
         println!(
-            "kernel {:10} | {} designs | simulated {:3} pruned {:3} | frontier {:3} | exhaustive {:.3} s | pruned {:.3} s | speedup {:.2}x",
+            "kernel {:10} | {} designs | simulated {:3} pruned {:3} | frontier {:3} | exhaustive {:.3} s | pruned {:.3} s | speedup {:.2}x | fused vs per-design {:.2}x",
             kernel.name,
             designs,
             telemetry.designs_evaluated,
@@ -64,7 +76,8 @@ fn main() {
             pruned.len(),
             exhaustive_secs,
             pruned_secs,
-            speedup
+            speedup,
+            engine_speedup
         );
         rows.push(format!(
             concat!(
@@ -77,7 +90,9 @@ fn main() {
                 "      \"frontier_identical\": true,\n",
                 "      \"exhaustive_secs\": {:.6},\n",
                 "      \"pruned_secs\": {:.6},\n",
+                "      \"pruned_per_design_secs\": {:.6},\n",
                 "      \"speedup\": {:.3},\n",
+                "      \"fused_vs_per_design_speedup\": {:.3},\n",
                 "      \"telemetry\": {}\n",
                 "    }}"
             ),
@@ -88,7 +103,9 @@ fn main() {
             pruned.len(),
             exhaustive_secs,
             pruned_secs,
+            pruned_pd_secs,
             speedup,
+            engine_speedup,
             telemetry.to_json()
         ));
     }

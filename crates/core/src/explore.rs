@@ -7,11 +7,17 @@
 //! and line size `L`) and on the tiling `B` (tiling reorders the loop
 //! nest), so traces are keyed by deduplicated layout contents plus `B`:
 //! all associativities `S` — and all `(T, L)` pairs that optimize to the
-//! same layout — share one buffer. Designs are then fanned out over a work-stealing
-//! pool of scoped threads (a shared atomic next-design index — no static
-//! chunking, so skewed per-design costs cannot strand idle workers), and
-//! records are written into per-design slots so the returned order is
-//! the deterministic sweep order regardless of scheduling.
+//! same layout — share one buffer. Replay work is then fanned out over a
+//! work-stealing pool of scoped threads (a shared atomic next-job index —
+//! no static chunking, so skewed costs cannot strand idle workers). The
+//! default [`Engine::Fused`] makes the work unit a *trace group*: one
+//! arena slice plus the bank of all designs keyed to it, streamed once
+//! through a `memsim::ReplayBank` that steps every design in lockstep, so
+//! trace consumption is O(events) per group instead of O(events ×
+//! designs). [`Engine::PerDesign`] keeps one design per steal as the
+//! differential reference. Records are written into per-design slots
+//! either way, so the returned order is the deterministic sweep order
+//! regardless of scheduling or engine.
 
 use crate::metrics::{read_trace, CacheDesign, Evaluator, Record};
 use crate::telemetry::SweepTelemetry;
@@ -19,6 +25,7 @@ use loopir::transform::tile_all;
 use loopir::{DataLayout, Kernel};
 use memsim::TraceArena;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
@@ -102,6 +109,32 @@ impl DesignSpace {
     }
 }
 
+/// Which simulation engine a sweep uses. Both produce bit-identical
+/// records in the same deterministic sweep order; they differ only in how
+/// the work-stealing queue partitions the replay work.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// The work unit is a **trace group**: one arena slice plus the bank
+    /// of every design replaying it, evaluated by a fused one-pass replay
+    /// (`memsim::ReplayBank`) that streams the slice once while stepping
+    /// all cache states in lockstep.
+    #[default]
+    Fused,
+    /// The work unit is a single design; each one re-scans its shared
+    /// arena slice. Kept as the reference implementation for differential
+    /// tests and perf comparisons.
+    PerDesign,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Engine::Fused => "fused",
+            Engine::PerDesign => "per-design",
+        })
+    }
+}
+
 /// Powers of two from `lo` to `hi` inclusive.
 pub fn pow2_range(lo: usize, hi: usize) -> Vec<usize> {
     assert!(lo > 0 && lo.is_power_of_two() && hi.is_power_of_two() && lo <= hi);
@@ -169,6 +202,9 @@ pub struct Explorer {
     /// reference for determinism checks — results are bit-identical
     /// either way).
     pub workers: Option<usize>,
+    /// Simulation engine ([`Engine::Fused`] by default; records are
+    /// bit-identical either way).
+    pub engine: Engine,
 }
 
 impl Explorer {
@@ -177,12 +213,19 @@ impl Explorer {
         Explorer {
             evaluator,
             workers: None,
+            engine: Engine::default(),
         }
     }
 
     /// Pins the sweep to a fixed worker count (builder-style).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Selects the simulation engine (builder-style).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -223,8 +266,13 @@ impl Explorer {
     /// 2. **trace** — one access trace per distinct (layout value, `B`)
     ///    key, assembled into a shared [`TraceArena`] in first-appearance
     ///    order;
-    /// 3. **simulate** — every design replays its arena slice; records
-    ///    land in per-design slots;
+    /// 3. **simulate** — with [`Engine::Fused`] the work unit is a *trace
+    ///    group* (one arena slice plus the bank of designs keyed to it):
+    ///    workers steal groups and a `memsim::ReplayBank` streams the
+    ///    slice once, stepping every design in lockstep. With
+    ///    [`Engine::PerDesign`] workers steal individual designs and each
+    ///    re-scans its slice. Either way, records scatter into per-design
+    ///    slots;
     /// 4. **select** — slots are collected into sweep order.
     pub fn explore_designs_with_telemetry(
         &self,
@@ -303,24 +351,64 @@ impl Explorer {
         );
         let trace_time = phase_start.elapsed();
 
-        // Phase 3: simulate every design against its shared trace slice,
-        // stealing design indices from one atomic counter.
+        // Phase 3: simulate. The conflict-free flag rides with each design
+        // (it belongs to the design's own (T, L) pair, which can differ
+        // within a trace group even though the layout contents agree).
         let phase_start = Instant::now();
         let record_slots: Vec<OnceLock<Record>> = designs.iter().map(|_| OnceLock::new()).collect();
         let replayed = AtomicUsize::new(0);
-        let worker_busy = steal_loop(workers, designs.len(), |i| {
-            let d = designs[i];
-            let pair = pair_index[&(d.cache_size, d.line)];
-            let (_, conflict_free) = layout_slots[pair]
+        let scanned = AtomicUsize::new(0);
+        let conflict_free_of = |i: usize| -> bool {
+            let pair = pair_index[&(designs[i].cache_size, designs[i].line)];
+            layout_slots[pair]
                 .get()
-                .expect("layout phase filled every slot");
-            let trace = arena
-                .get(&(layout_id[pair], d.tiling))
-                .expect("trace phase interned every key");
-            replayed.fetch_add(trace.len(), Ordering::Relaxed);
-            let _ =
-                record_slots[i].set(self.evaluator.evaluate_with_trace(d, trace, *conflict_free));
-        });
+                .expect("layout phase filled every slot")
+                .1
+        };
+        let (worker_busy, fused_groups, max_bank_width) = match self.engine {
+            Engine::Fused => {
+                // Trace groups: every design keyed to the same arena slice
+                // forms one bank, scanned once in lockstep.
+                let mut groups: Vec<Vec<usize>> = vec![Vec::new(); keys.len()];
+                for (i, d) in designs.iter().enumerate() {
+                    let id = layout_id[pair_index[&(d.cache_size, d.line)]];
+                    groups[key_index[&(id, d.tiling)]].push(i);
+                }
+                let max_width = groups.iter().map(Vec::len).max().unwrap_or(0);
+                let busy = steal_loop(workers, groups.len(), |g| {
+                    let members = &groups[g];
+                    let trace = arena.get(&keys[g]).expect("trace phase interned every key");
+                    scanned.fetch_add(trace.len(), Ordering::Relaxed);
+                    replayed.fetch_add(trace.len() * members.len(), Ordering::Relaxed);
+                    let bank: Vec<(CacheDesign, bool)> = members
+                        .iter()
+                        .map(|&i| (designs[i], conflict_free_of(i)))
+                        .collect();
+                    let records = self.evaluator.evaluate_bank_with_trace(&bank, trace);
+                    for (&i, record) in members.iter().zip(records) {
+                        let _ = record_slots[i].set(record);
+                    }
+                });
+                (busy, groups.len(), max_width)
+            }
+            Engine::PerDesign => {
+                let busy = steal_loop(workers, designs.len(), |i| {
+                    let d = designs[i];
+                    let pair = pair_index[&(d.cache_size, d.line)];
+                    let trace = arena
+                        .get(&(layout_id[pair], d.tiling))
+                        .expect("trace phase interned every key");
+                    replayed.fetch_add(trace.len(), Ordering::Relaxed);
+                    scanned.fetch_add(trace.len(), Ordering::Relaxed);
+                    let _ = record_slots[i].set(self.evaluator.evaluate_with_trace(
+                        d,
+                        trace,
+                        conflict_free_of(i),
+                    ));
+                });
+                (busy, 0, 0)
+            }
+        };
         let simulate_time = phase_start.elapsed();
 
         // Phase 4: collect records back into sweep order.
@@ -337,6 +425,9 @@ impl Explorer {
             traces_generated: keys.len(),
             trace_events_generated: arena.events().len() as u64,
             trace_events_replayed: replayed.into_inner() as u64,
+            trace_events_scanned: scanned.into_inner() as u64,
+            fused_groups,
+            max_bank_width,
             workers,
             layout_time,
             trace_time,
@@ -489,6 +580,65 @@ mod tests {
         );
         assert!(t.workers >= 1);
         assert!(!t.worker_busy.is_empty());
+    }
+
+    #[test]
+    fn fused_and_per_design_engines_are_bit_identical() {
+        let k = kernels::compress(15);
+        let space = DesignSpace {
+            cache_sizes: vec![32, 64, 128],
+            line_sizes: vec![4, 8, 16],
+            assocs: vec![1, 2],
+            tilings: vec![1, 2],
+            min_lines: 2,
+        };
+        let designs = space.designs();
+        let fused = Explorer::default()
+            .with_engine(Engine::Fused)
+            .explore_designs(&k, &designs);
+        let per_design = Explorer::default()
+            .with_engine(Engine::PerDesign)
+            .explore_designs(&k, &designs);
+        assert_eq!(fused, per_design);
+    }
+
+    #[test]
+    fn fused_engine_scans_less_than_it_replays() {
+        let k = kernels::matadd(6);
+        let space = DesignSpace {
+            cache_sizes: vec![64, 128],
+            line_sizes: vec![8],
+            assocs: vec![1, 2, 4],
+            tilings: vec![1],
+            min_lines: 2,
+        };
+        let designs = space.designs();
+        let (_, fused) = Explorer::default()
+            .with_engine(Engine::Fused)
+            .explore_designs_with_telemetry(&k, &designs);
+        assert!(fused.fused_groups > 0);
+        assert!(fused.max_bank_width >= 3); // 3 associativities share a slice
+        assert!(fused.trace_events_scanned < fused.trace_events_replayed);
+        assert_eq!(
+            fused.trace_events_avoided(),
+            fused.trace_events_replayed - fused.trace_events_scanned
+        );
+        let (_, per) = Explorer::default()
+            .with_engine(Engine::PerDesign)
+            .explore_designs_with_telemetry(&k, &designs);
+        assert_eq!(per.fused_groups, 0);
+        assert_eq!(per.max_bank_width, 0);
+        assert_eq!(per.trace_events_scanned, per.trace_events_replayed);
+        assert_eq!(per.trace_events_avoided(), 0);
+        // Logical replay counts agree across engines.
+        assert_eq!(per.trace_events_replayed, fused.trace_events_replayed);
+    }
+
+    #[test]
+    fn engine_display_matches_cli_names() {
+        assert_eq!(Engine::Fused.to_string(), "fused");
+        assert_eq!(Engine::PerDesign.to_string(), "per-design");
+        assert_eq!(Engine::default(), Engine::Fused);
     }
 
     #[test]

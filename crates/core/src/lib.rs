@@ -50,6 +50,6 @@ pub mod telemetry;
 
 pub use composite::{CompositeProgram, CompositeRecord};
 pub use cycles::CycleModel;
-pub use explore::{DesignSpace, Explorer};
+pub use explore::{DesignSpace, Engine, Explorer};
 pub use metrics::{CacheDesign, Evaluator, PlacementMode, Record};
 pub use telemetry::SweepTelemetry;

@@ -6,7 +6,7 @@ use energy::DacEnergyModel;
 use energy::SramPart;
 use loopir::transform::tile_all;
 use loopir::{AccessKind, DataLayout, Kernel, TraceGen};
-use memsim::{BusEncoding, CacheConfig, Simulator, TraceEvent};
+use memsim::{BusEncoding, CacheConfig, ReplayBank, Simulator, TraceEvent};
 use std::fmt;
 
 /// One point of the design space: the paper's `(T, L, S, B)`.
@@ -236,8 +236,54 @@ impl Evaluator {
             .unwrap_or_else(|e| panic!("invalid design {design}: {e}"));
         let mut sim = Simulator::with_options(config, self.bus_encoding, false);
         sim.run_slice(trace);
-        let report = sim.into_report();
+        self.record_from_report(design, &sim.into_report(), conflict_free)
+    }
 
+    /// Evaluates a whole bank of designs against one shared trace slice in
+    /// a single scan — the fused engine's work unit (a *trace group*).
+    ///
+    /// All designs must share the trace, i.e. the same `(T, L)` layout and
+    /// tiling `B`; the sweep groups them that way. Returns one record per
+    /// design, in input order, each bit-identical to what
+    /// [`evaluate_with_trace`](Self::evaluate_with_trace) would produce for
+    /// that design alone (see `memsim::ReplayBank` for the argument).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`evaluate`](Self::evaluate), for any design in
+    /// the bank.
+    pub fn evaluate_bank_with_trace(
+        &self,
+        designs: &[(CacheDesign, bool)],
+        trace: &[TraceEvent],
+    ) -> Vec<Record> {
+        let configs: Vec<CacheConfig> = designs
+            .iter()
+            .map(|(design, _)| {
+                design
+                    .cache_config()
+                    .unwrap_or_else(|e| panic!("invalid design {design}: {e}"))
+            })
+            .collect();
+        let mut bank = ReplayBank::with_options(&configs, self.bus_encoding, false);
+        bank.run_slice(trace);
+        bank.into_reports()
+            .iter()
+            .zip(designs)
+            .map(|(report, &(design, conflict_free))| {
+                self.record_from_report(design, report, conflict_free)
+            })
+            .collect()
+    }
+
+    /// Applies the cycle and energy models to a finished simulation report
+    /// — the shared tail of the per-design and fused evaluation paths.
+    fn record_from_report(
+        &self,
+        design: CacheDesign,
+        report: &memsim::SimReport,
+        conflict_free: bool,
+    ) -> Record {
         let hits = report.stats.read_hits;
         let misses = report.stats.read_misses();
         let cycles = self.cycle_model.cycles_from_counts(
@@ -247,7 +293,7 @@ impl Evaluator {
             design.line,
             design.tiling,
         );
-        let energy_nj = self.energy_model.trace_energy_nj(&report);
+        let energy_nj = self.energy_model.trace_energy_nj(report);
         Record {
             design,
             miss_rate: report.stats.read_miss_rate(),

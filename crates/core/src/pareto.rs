@@ -55,8 +55,17 @@
 //! conflict-free minimum for the candidate's line size the compulsory
 //! floor is unreachable, so the pruner does not bother scanning for a
 //! dominator there.
+//!
+//! With [`Engine::Fused`] (the default) each wave's survivors are grouped
+//! by shared trace slice and simulated as one `memsim::ReplayBank` per
+//! group — the pruner drops designs from a bank *before* the scan starts,
+//! so fused lockstep only steps lanes that must be measured. Prune
+//! decisions are order-independent predicates over the already-evaluated
+//! record list (which grows only at wave boundaries in both engines), so
+//! banking within a wave changes neither the prune set nor the frontier:
+//! both stay bit-identical to the per-design engine.
 
-use crate::explore::{steal_loop, DesignSpace, Explorer};
+use crate::explore::{steal_loop, DesignSpace, Engine, Explorer};
 use crate::metrics::{read_trace, CacheDesign, Record};
 use crate::select::pareto3;
 use crate::telemetry::SweepTelemetry;
@@ -270,24 +279,69 @@ impl Explorer {
                 }
                 telemetry.trace_time += phase_start.elapsed();
 
-                // Simulate the wave's survivors with work stealing.
+                // Simulate the wave's survivors with work stealing. The
+                // pruner has already dropped designs from each bank, so
+                // the fused engine only steps lanes that must be measured.
                 let phase_start = Instant::now();
                 let record_slots: Vec<OnceLock<Record>> =
                     survivors.iter().map(|_| OnceLock::new()).collect();
                 let replayed = AtomicUsize::new(0);
-                let busy = steal_loop(workers, survivors.len(), |i| {
-                    let d = survivors[i];
-                    let (id, conflict_free) = pair_layout[&(d.cache_size, d.line)];
-                    let trace = &traces[&(id, d.tiling)];
-                    replayed.fetch_add(trace.len(), Ordering::Relaxed);
-                    let _ = record_slots[i].set(self.evaluator.evaluate_with_trace(
-                        d,
-                        trace,
-                        conflict_free,
-                    ));
-                });
+                let scanned = AtomicUsize::new(0);
+                let busy = match self.engine {
+                    Engine::Fused => {
+                        // Trace groups within the wave: survivors sharing
+                        // one (layout id, tiling) slice form one bank.
+                        let mut group_of: HashMap<(usize, u64), usize> = HashMap::new();
+                        let mut groups: Vec<Vec<usize>> = Vec::new();
+                        for (i, d) in survivors.iter().enumerate() {
+                            let (id, _) = pair_layout[&(d.cache_size, d.line)];
+                            let g = *group_of.entry((id, d.tiling)).or_insert_with(|| {
+                                groups.push(Vec::new());
+                                groups.len() - 1
+                            });
+                            groups[g].push(i);
+                        }
+                        telemetry.fused_groups += groups.len();
+                        telemetry.max_bank_width = telemetry
+                            .max_bank_width
+                            .max(groups.iter().map(Vec::len).max().unwrap_or(0));
+                        steal_loop(workers, groups.len(), |g| {
+                            let members = &groups[g];
+                            let bank: Vec<(CacheDesign, bool)> = members
+                                .iter()
+                                .map(|&i| {
+                                    let d = survivors[i];
+                                    let (_, conflict_free) = pair_layout[&(d.cache_size, d.line)];
+                                    (d, conflict_free)
+                                })
+                                .collect();
+                            let d = survivors[members[0]];
+                            let (id, _) = pair_layout[&(d.cache_size, d.line)];
+                            let trace = &traces[&(id, d.tiling)];
+                            scanned.fetch_add(trace.len(), Ordering::Relaxed);
+                            replayed.fetch_add(trace.len() * members.len(), Ordering::Relaxed);
+                            let records = self.evaluator.evaluate_bank_with_trace(&bank, trace);
+                            for (&i, record) in members.iter().zip(records) {
+                                let _ = record_slots[i].set(record);
+                            }
+                        })
+                    }
+                    Engine::PerDesign => steal_loop(workers, survivors.len(), |i| {
+                        let d = survivors[i];
+                        let (id, conflict_free) = pair_layout[&(d.cache_size, d.line)];
+                        let trace = &traces[&(id, d.tiling)];
+                        replayed.fetch_add(trace.len(), Ordering::Relaxed);
+                        scanned.fetch_add(trace.len(), Ordering::Relaxed);
+                        let _ = record_slots[i].set(self.evaluator.evaluate_with_trace(
+                            d,
+                            trace,
+                            conflict_free,
+                        ));
+                    }),
+                };
                 telemetry.simulate_time += phase_start.elapsed();
                 telemetry.trace_events_replayed += replayed.into_inner() as u64;
+                telemetry.trace_events_scanned += scanned.into_inner() as u64;
                 for (i, d) in busy.into_iter().enumerate() {
                     if i < worker_busy.len() {
                         worker_busy[i] += d;
@@ -433,6 +487,33 @@ mod tests {
             .with_workers(4)
             .pareto_pruned(&k, &space);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn fused_and_per_design_pruned_sweeps_agree() {
+        let k = kernels::compress(15);
+        let space = DesignSpace {
+            cache_sizes: vec![16, 32, 64, 128, 256],
+            line_sizes: vec![4, 8, 16],
+            assocs: vec![1, 2],
+            tilings: vec![1, 2],
+            min_lines: 2,
+        };
+        let (fused, tf) = Explorer::default()
+            .with_engine(Engine::Fused)
+            .pareto_pruned(&k, &space);
+        let (per, tp) = Explorer::default()
+            .with_engine(Engine::PerDesign)
+            .pareto_pruned(&k, &space);
+        assert_eq!(fused, per);
+        // Same prune decisions, different scheduling.
+        assert_eq!(tf.designs_pruned, tp.designs_pruned);
+        assert_eq!(tf.designs_evaluated, tp.designs_evaluated);
+        assert_eq!(tf.trace_events_replayed, tp.trace_events_replayed);
+        assert!(tf.fused_groups > 0);
+        assert!(tf.trace_events_scanned <= tf.trace_events_replayed);
+        assert_eq!(tp.fused_groups, 0);
+        assert_eq!(tp.trace_events_scanned, tp.trace_events_replayed);
     }
 
     #[test]

@@ -24,9 +24,22 @@ pub struct SweepTelemetry {
     pub traces_generated: usize,
     /// Total events generated into the arena (each exactly once).
     pub trace_events_generated: u64,
-    /// Total events replayed by simulations (every design replays its
-    /// span, so this counts reuse).
+    /// Total events replayed by simulations, counted *logically*: every
+    /// design consumes its whole span, so this is events × designs even
+    /// when the fused engine scans the span once for many designs.
     pub trace_events_replayed: u64,
+    /// Total events *physically* streamed from the arena. Equal to
+    /// [`trace_events_replayed`](Self::trace_events_replayed) for the
+    /// per-design engine; with the fused engine each trace group is
+    /// scanned once regardless of bank width, so this is smaller by
+    /// [`trace_events_avoided`](Self::trace_events_avoided).
+    pub trace_events_scanned: u64,
+    /// Trace groups the fused engine scheduled (one arena slice plus the
+    /// bank of designs replaying it). 0 for the per-design engine.
+    pub fused_groups: usize,
+    /// Widest design bank stepped in lockstep by the fused engine
+    /// (0 for the per-design engine).
+    pub max_bank_width: usize,
     /// Worker threads used by the sweep.
     pub workers: usize,
     /// Wall time of the layout phase (off-chip placement per `(T, L)`).
@@ -68,6 +81,22 @@ impl SweepTelemetry {
         self.trace_events_replayed as f64 / self.trace_events_generated as f64
     }
 
+    /// Events the fused one-pass replay avoided streaming: logical
+    /// replays minus physical scans (0 for the per-design engine).
+    pub fn trace_events_avoided(&self) -> u64 {
+        self.trace_events_replayed
+            .saturating_sub(self.trace_events_scanned)
+    }
+
+    /// Mean designs per trace group (1.0 when the sweep ran per-design or
+    /// was empty) — how much lockstep the fused engine achieved.
+    pub fn mean_bank_width(&self) -> f64 {
+        if self.fused_groups == 0 {
+            return 1.0;
+        }
+        self.designs_evaluated as f64 / self.fused_groups as f64
+    }
+
     /// Designs considered by the sweep: simulated plus pruned.
     pub fn designs_considered(&self) -> usize {
         self.designs_evaluated + self.designs_pruned
@@ -103,6 +132,8 @@ impl SweepTelemetry {
                 "{{\"designs_evaluated\":{},\"layouts_computed\":{},",
                 "\"traces_generated\":{},\"trace_events_generated\":{},",
                 "\"trace_events_replayed\":{},\"trace_events_reused\":{},",
+                "\"trace_events_scanned\":{},\"trace_events_avoided\":{},",
+                "\"fused_groups\":{},\"max_bank_width\":{},",
                 "\"trace_reuse_factor\":{:.3},\"workers\":{},",
                 "\"worker_utilization\":{:.3},\"designs_pruned\":{},",
                 "\"prune_rate\":{:.3},\"frontier_size\":{},",
@@ -116,6 +147,10 @@ impl SweepTelemetry {
             self.trace_events_generated,
             self.trace_events_replayed,
             self.trace_events_reused(),
+            self.trace_events_scanned,
+            self.trace_events_avoided(),
+            self.fused_groups,
+            self.max_bank_width,
             self.trace_reuse_factor(),
             self.workers,
             self.worker_utilization(),
@@ -172,6 +207,17 @@ impl fmt::Display for SweepTelemetry {
             self.simulate_time.as_secs_f64() * 1e3,
             self.worker_utilization() * 100.0
         )?;
+        if self.fused_groups > 0 {
+            writeln!(
+                f,
+                "  fused    : {} trace groups (mean bank {:.1}, max {}), {} events scanned, {} avoided",
+                self.fused_groups,
+                self.mean_bank_width(),
+                self.max_bank_width,
+                self.trace_events_scanned,
+                self.trace_events_avoided()
+            )?;
+        }
         if self.frontier_size > 0 {
             writeln!(
                 f,
@@ -247,6 +293,40 @@ mod tests {
         assert_eq!(t.trace_reuse_factor(), 1.0);
         assert_eq!(t.trace_events_reused(), 0);
         assert_eq!(t.prune_rate(), 0.0);
+    }
+
+    #[test]
+    fn fused_accounting() {
+        let mut t = sample();
+        // Per-design run: scanned == replayed, nothing avoided.
+        t.trace_events_scanned = t.trace_events_replayed;
+        assert_eq!(t.trace_events_avoided(), 0);
+        assert_eq!(t.mean_bank_width(), 1.0);
+        // Fused run: 8 designs over 2 groups scanned 100 events once each.
+        t.fused_groups = 2;
+        t.max_bank_width = 6;
+        t.trace_events_scanned = 100;
+        assert_eq!(t.trace_events_avoided(), 300);
+        assert!((t.mean_bank_width() - 4.0).abs() < 1e-12);
+        let j = t.to_json();
+        assert!(j.contains("\"trace_events_scanned\":100"));
+        assert!(j.contains("\"trace_events_avoided\":300"));
+        assert!(j.contains("\"fused_groups\":2"));
+        assert!(j.contains("\"max_bank_width\":6"));
+        assert_eq!(j.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn display_shows_fused_line_only_for_fused_runs() {
+        let plain = sample().to_string();
+        assert!(!plain.contains("fused"));
+        let mut t = sample();
+        t.fused_groups = 3;
+        t.max_bank_width = 4;
+        t.trace_events_scanned = 120;
+        let s = t.to_string();
+        assert!(s.contains("fused    : 3 trace groups"), "{s}");
+        assert!(s.contains("max 4"), "{s}");
     }
 
     #[test]

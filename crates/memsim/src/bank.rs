@@ -1,0 +1,536 @@
+//! Fused one-pass replay: a bank of per-design cache states advanced in
+//! lockstep over a single scan of a shared trace.
+//!
+//! Design-space sweeps evaluate many cache configurations against the same
+//! immutable event stream (see [`TraceArena`](crate::TraceArena)). Replaying
+//! the stream once per configuration makes trace *consumption*
+//! O(designs × trace length) even after trace *generation* has been
+//! deduplicated. A [`ReplayBank`] instead owns N independent lanes — one
+//! [`Cache`] plus its [`CacheStats`] and memory-side bus per design — and
+//! steps all of them per event, so the trace is streamed exactly once per
+//! bank no matter how many designs consume it.
+//!
+//! Two pieces of per-event work depend only on the trace and the line size,
+//! not on the cache behind it, and are therefore shared across every lane
+//! with the same line size (a [`LineClass`]):
+//!
+//! * the split of a multi-byte access into line-level sub-accesses, and
+//! * the processor↔cache address bus, whose switching sequence is a pure
+//!   function of the (encoded) sub-access address stream.
+//!
+//! Lanes with equal line sizes receive bit-identical CPU-bus statistics —
+//! exactly what N independent [`Simulator`](crate::Simulator) runs would
+//! have produced, since each run would observe the same address sequence
+//! from the same idle-bus initial state. Everything else (hit/miss state,
+//! replacement metadata, fills, writebacks, the memory-side bus, the
+//! optional classifier and line buffer) is private lane state and evolves
+//! exactly as in a lone simulator. The single-design [`Simulator`]
+//! (crate::Simulator) is itself a bank of one, so there is exactly one
+//! stepping code path to test and to trust.
+//!
+//! # Example
+//!
+//! ```
+//! use memsim::{CacheConfig, ReplayBank, Simulator, TraceEvent};
+//!
+//! let configs = [CacheConfig::new(64, 8, 1)?, CacheConfig::new(128, 16, 2)?];
+//! let trace: Vec<TraceEvent> = (0..64).map(|i| TraceEvent::read(i * 4, 4)).collect();
+//!
+//! let mut bank = ReplayBank::new(&configs);
+//! bank.run_slice(&trace);
+//! let fused = bank.into_reports();
+//!
+//! // Bit-identical to N independent simulations of the same slice.
+//! for (config, report) in configs.iter().zip(&fused) {
+//!     let lone = Simulator::simulate_slice(*config, &trace);
+//!     assert_eq!(lone.stats, report.stats);
+//!     assert_eq!(lone.cpu_bus, report.cpu_bus);
+//!     assert_eq!(lone.mem_bus, report.mem_bus);
+//! }
+//! # Ok::<(), memsim::ConfigError>(())
+//! ```
+
+use crate::bus::{BusEncoding, BusMonitor, BusStats};
+use crate::cache::Cache;
+use crate::classify::Classifier;
+use crate::config::CacheConfig;
+use crate::sim::{SimReport, TraceEvent};
+use crate::stats::CacheStats;
+
+/// Per-line-size state shared by every lane with that line size: the
+/// current event's line-level sub-accesses and the processor-side address
+/// bus (a pure function of the sub-access stream).
+#[derive(Clone, Debug)]
+struct LineClass {
+    /// `line.trailing_zeros()` — the line size is a validated power of two.
+    shift: u32,
+    cpu_bus: BusMonitor,
+    /// Sub-access byte addresses of the event currently being stepped
+    /// (scratch, rewritten per event).
+    sub_addrs: Vec<u64>,
+    /// Indices of the lanes in this class, in lane order.
+    members: Vec<usize>,
+}
+
+impl LineClass {
+    /// Splits `event` into one access per line touched (the Dinero-style
+    /// `-atype` splitting) and drives each address onto the shared CPU bus.
+    fn split(&mut self, event: TraceEvent) {
+        self.sub_addrs.clear();
+        let size = u64::from(event.size.max(1));
+        let first_line = event.addr >> self.shift;
+        let last_line = (event.addr + size - 1) >> self.shift;
+        if first_line == last_line {
+            self.cpu_bus.observe_cpu(event.addr);
+            self.sub_addrs.push(event.addr);
+            return;
+        }
+        for l in first_line..=last_line {
+            let addr = if l == first_line {
+                event.addr
+            } else {
+                l << self.shift
+            };
+            self.cpu_bus.observe_cpu(addr);
+            self.sub_addrs.push(addr);
+        }
+    }
+}
+
+/// One design's private replay state.
+#[derive(Clone, Debug)]
+struct Lane {
+    cache: Cache,
+    stats: CacheStats,
+    /// Cache↔memory address bus (fills + writebacks); the CPU side lives
+    /// in the lane's [`LineClass`].
+    mem_bus: BusMonitor,
+    classifier: Option<Classifier>,
+    /// Line-aligned address held by the single-entry line buffer, if one
+    /// is configured (Su–Despain block buffering).
+    line_buffer: Option<Option<u64>>,
+    /// Index of this lane's [`LineClass`].
+    class: usize,
+}
+
+impl Lane {
+    /// The per-event core: processes one line-level sub-access by byte
+    /// address. This and [`access_line`](Self::access_line) are the only
+    /// places in the crate where an event reaches a cache — the
+    /// single-design [`Simulator`](crate::Simulator) goes through them too.
+    fn access_one(&mut self, addr: u64, is_write: bool) {
+        self.access_line(addr >> self.cache.line_shift(), is_write);
+    }
+
+    /// The same core by line number (`addr >> line_shift`). Every consumer
+    /// downstream of the sub-access split is line-granular — the cache,
+    /// the line buffer, the memory-side bus (fills and writebacks are
+    /// line-aligned), and the classifier (its shadow cache and first-touch
+    /// set key on the line) — so the byte offset can be dropped at the
+    /// split and the shift shared across the line class.
+    fn access_line(&mut self, line_addr: u64, is_write: bool) {
+        let line_base = line_addr << self.cache.line_shift();
+        if let Some(buffered) = &mut self.line_buffer {
+            if !is_write && *buffered == Some(line_base) {
+                // Served entirely by the buffer; the arrays stay quiet and
+                // replacement state is untouched (the buffered line was the
+                // MRU line already).
+                self.stats.reads += 1;
+                self.stats.read_hits += 1;
+                self.stats.buffer_hits += 1;
+                if let Some(c) = &mut self.classifier {
+                    c.observe(line_base, true);
+                }
+                return;
+            }
+        }
+        let out = self.cache.access_line(line_addr, is_write);
+        if let Some(buffered) = &mut self.line_buffer {
+            // The buffer tracks the most recently accessed line once it is
+            // resident (hit or freshly filled); write-through no-allocate
+            // misses leave it unchanged.
+            if out.hit || out.fill.is_some() {
+                *buffered = Some(line_base);
+            }
+        }
+        let w = u64::from(is_write);
+        let h = u64::from(out.hit);
+        self.stats.writes += w;
+        self.stats.write_hits += w & h;
+        self.stats.reads += 1 - w;
+        self.stats.read_hits += (1 - w) & h;
+        if let Some(fill) = out.fill {
+            self.stats.fills += 1;
+            self.mem_bus.observe_mem(fill);
+        }
+        if out.evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        if let Some(wb) = out.writeback {
+            self.stats.writebacks += 1;
+            self.mem_bus.observe_mem(wb);
+        }
+        if let Some(c) = &mut self.classifier {
+            c.observe(line_base, out.hit);
+        }
+    }
+
+    /// [`run_slice`](ReplayBank::run_slice) fast path for lanes without a
+    /// line buffer: identical to [`access_line`](Self::access_line) except
+    /// that the read/write *totals* are skipped — they are a property of
+    /// the stream, not the lane, so the caller bulk-adds them once per
+    /// lane after the replay loop.
+    #[inline]
+    fn access_line_bulk(&mut self, line_addr: u64, is_write: bool) {
+        let out = self.cache.access_line(line_addr, is_write);
+        let w = u64::from(is_write);
+        let h = u64::from(out.hit);
+        self.stats.write_hits += w & h;
+        self.stats.read_hits += (1 - w) & h;
+        if let Some(fill) = out.fill {
+            self.stats.fills += 1;
+            self.mem_bus.observe_mem(fill);
+        }
+        if out.evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        if let Some(wb) = out.writeback {
+            self.stats.writebacks += 1;
+            self.mem_bus.observe_mem(wb);
+        }
+        if let Some(c) = &mut self.classifier {
+            c.observe(line_addr << self.cache.line_shift(), out.hit);
+        }
+    }
+}
+
+/// A bank of independent cache states that replays a trace in one scan.
+///
+/// Lane order follows the configuration order given at construction;
+/// [`into_reports`](Self::into_reports) returns one [`SimReport`] per lane
+/// in that order.
+#[derive(Clone, Debug)]
+pub struct ReplayBank {
+    lanes: Vec<Lane>,
+    classes: Vec<LineClass>,
+}
+
+impl ReplayBank {
+    /// A bank with Gray-coded buses and no miss classification.
+    pub fn new(configs: &[CacheConfig]) -> Self {
+        Self::with_options(configs, BusEncoding::Gray, false)
+    }
+
+    /// Full control over bus encoding and classification (applied to every
+    /// lane, as [`Simulator::with_options`](crate::Simulator::with_options)
+    /// does for its single lane).
+    pub fn with_options(configs: &[CacheConfig], encoding: BusEncoding, classify: bool) -> Self {
+        let mut classes: Vec<LineClass> = Vec::new();
+        let mut lanes = Vec::with_capacity(configs.len());
+        for (i, &config) in configs.iter().enumerate() {
+            let shift = config.line().trailing_zeros();
+            let class = match classes.iter().position(|c| c.shift == shift) {
+                Some(c) => c,
+                None => {
+                    classes.push(LineClass {
+                        shift,
+                        cpu_bus: BusMonitor::new(encoding),
+                        sub_addrs: Vec::new(),
+                        members: Vec::new(),
+                    });
+                    classes.len() - 1
+                }
+            };
+            classes[class].members.push(i);
+            lanes.push(Lane {
+                cache: Cache::new(config),
+                stats: CacheStats::new(),
+                mem_bus: BusMonitor::new(encoding),
+                classifier: classify
+                    .then(|| Classifier::new(&config).expect("valid config implies valid shadow")),
+                line_buffer: None,
+                class,
+            });
+        }
+        ReplayBank { lanes, classes }
+    }
+
+    /// Adds a single-entry line buffer in front of every lane
+    /// (builder-style). See
+    /// [`Simulator::with_line_buffer`](crate::Simulator::with_line_buffer).
+    pub fn with_line_buffers(mut self) -> Self {
+        for lane in &mut self.lanes {
+            lane.line_buffer = Some(None);
+        }
+        self
+    }
+
+    /// Number of lanes (designs) in the bank.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the bank has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Number of distinct line sizes — the split/CPU-bus work per event.
+    pub fn line_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Advances every lane by one event: each line-size class splits the
+    /// event and drives the shared CPU bus once, then its lanes process
+    /// the resulting sub-accesses.
+    pub fn step(&mut self, event: TraceEvent) {
+        let classes = &mut self.classes;
+        let lanes = &mut self.lanes;
+        for class in classes.iter_mut() {
+            class.split(event);
+        }
+        for class in classes.iter() {
+            for &i in &class.members {
+                let lane = &mut lanes[i];
+                for &addr in &class.sub_addrs {
+                    lane.access_one(addr, event.is_write);
+                }
+            }
+        }
+    }
+
+    /// Runs every event of an iterator through the whole bank.
+    pub fn run<I: IntoIterator<Item = TraceEvent>>(&mut self, events: I) {
+        for e in events {
+            self.step(e);
+        }
+    }
+
+    /// Replays a materialized trace slice (e.g. from a
+    /// [`TraceArena`](crate::TraceArena)) in one scan.
+    ///
+    /// Class-major fast path: the slice is split once per line-size class
+    /// into a flat stream of line numbers (driving the shared CPU bus as
+    /// it is built), then the stream is replayed through each member lane
+    /// in a tight loop. Lanes never interact, so lane-major order yields
+    /// the same counters as the event-major [`step`](Self::step) loop
+    /// while paying the split, the bus observation, and the byte-to-line
+    /// shift once per class instead of once per lane per event.
+    pub fn run_slice(&mut self, events: &[TraceEvent]) {
+        let ReplayBank { lanes, classes } = self;
+        let mut stream: Vec<(u64, bool)> = Vec::new();
+        for class in classes.iter_mut() {
+            stream.clear();
+            stream.reserve(events.len());
+            let shift = class.shift;
+            let mut writes = 0u64;
+            for e in events {
+                let size = u64::from(e.size.max(1));
+                let first_line = e.addr >> shift;
+                let last_line = (e.addr + size - 1) >> shift;
+                class.cpu_bus.observe_cpu(e.addr);
+                stream.push((first_line, e.is_write));
+                writes += u64::from(e.is_write);
+                for l in (first_line + 1)..=last_line {
+                    class.cpu_bus.observe_cpu(l << shift);
+                    stream.push((l, e.is_write));
+                    writes += u64::from(e.is_write);
+                }
+            }
+            let reads = stream.len() as u64 - writes;
+            for &i in &class.members {
+                let lane = &mut lanes[i];
+                if lane.line_buffer.is_none() {
+                    for &(line_addr, is_write) in &stream {
+                        lane.access_line_bulk(line_addr, is_write);
+                    }
+                    lane.stats.reads += reads;
+                    lane.stats.writes += writes;
+                } else {
+                    // The buffer's read-hit shortcut changes per-access
+                    // accounting, so buffered lanes take the full path.
+                    for &(line_addr, is_write) in &stream {
+                        lane.access_line(line_addr, is_write);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lane `i`'s current counters (the run can continue afterwards).
+    pub fn stats(&self, i: usize) -> &CacheStats {
+        &self.lanes[i].stats
+    }
+
+    /// Read access to lane `i`'s cache.
+    pub fn cache(&self, i: usize) -> &Cache {
+        &self.lanes[i].cache
+    }
+
+    /// Lane `i`'s processor-side bus statistics (shared with every lane of
+    /// equal line size).
+    pub fn cpu_bus(&self, i: usize) -> BusStats {
+        self.classes[self.lanes[i].class].cpu_bus.cpu()
+    }
+
+    /// Finishes the run and returns one report per lane, in lane order.
+    pub fn into_reports(self) -> Vec<SimReport> {
+        let classes = self.classes;
+        self.lanes
+            .into_iter()
+            .map(|lane| SimReport {
+                config: *lane.cache.config(),
+                stats: lane.stats,
+                cpu_bus: classes[lane.class].cpu_bus.cpu(),
+                mem_bus: lane.mem_bus.mem(),
+                miss_classes: lane.classifier.map(|c| c.counts()),
+            })
+            .collect()
+    }
+
+    /// Convenience: replay a slice through a fresh bank in one call.
+    pub fn simulate_slice(configs: &[CacheConfig], events: &[TraceEvent]) -> Vec<SimReport> {
+        let mut bank = ReplayBank::new(configs);
+        bank.run_slice(events);
+        bank.into_reports()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    fn stride_trace(n: u64, stride: u64) -> Vec<TraceEvent> {
+        (0..n)
+            .map(|i| TraceEvent::read((i * stride) % 512, 4))
+            .collect()
+    }
+
+    #[test]
+    fn bank_matches_independent_simulators() {
+        let configs = [
+            CacheConfig::new(64, 8, 1).unwrap(),
+            CacheConfig::new(64, 8, 2).unwrap(),
+            CacheConfig::new(128, 16, 4).unwrap(),
+            CacheConfig::new(256, 8, 1).unwrap(),
+        ];
+        let trace = stride_trace(500, 12);
+        let fused = ReplayBank::simulate_slice(&configs, &trace);
+        for (config, report) in configs.iter().zip(&fused) {
+            let lone = Simulator::simulate_slice(*config, &trace);
+            assert_eq!(lone.stats, report.stats, "{config}");
+            assert_eq!(lone.cpu_bus, report.cpu_bus, "{config}");
+            assert_eq!(lone.mem_bus, report.mem_bus, "{config}");
+        }
+    }
+
+    #[test]
+    fn equal_line_sizes_share_one_class() {
+        let configs = [
+            CacheConfig::new(64, 8, 1).unwrap(),
+            CacheConfig::new(128, 8, 2).unwrap(),
+            CacheConfig::new(64, 16, 1).unwrap(),
+        ];
+        let bank = ReplayBank::new(&configs);
+        assert_eq!(bank.len(), 3);
+        assert_eq!(bank.line_classes(), 2);
+    }
+
+    #[test]
+    fn shared_cpu_bus_is_identical_across_a_class() {
+        let configs = [
+            CacheConfig::new(64, 8, 1).unwrap(),
+            CacheConfig::new(512, 8, 4).unwrap(),
+        ];
+        let mut bank = ReplayBank::new(&configs);
+        bank.run_slice(&stride_trace(200, 28));
+        assert_eq!(bank.cpu_bus(0), bank.cpu_bus(1));
+        let reports = bank.into_reports();
+        assert_eq!(reports[0].cpu_bus, reports[1].cpu_bus);
+        // Different cache sizes still miss differently.
+        assert_ne!(
+            reports[0].stats.read_misses(),
+            reports[1].stats.read_misses()
+        );
+    }
+
+    #[test]
+    fn spanning_accesses_split_per_line_size() {
+        let configs = [
+            CacheConfig::new(64, 8, 1).unwrap(),
+            CacheConfig::new(64, 16, 1).unwrap(),
+        ];
+        let mut bank = ReplayBank::new(&configs);
+        bank.step(TraceEvent::read(6, 4)); // spans 8 B lines, not 16 B ones
+        assert_eq!(bank.stats(0).reads, 2);
+        assert_eq!(bank.stats(1).reads, 1);
+    }
+
+    #[test]
+    fn empty_bank_steps_harmlessly() {
+        let mut bank = ReplayBank::new(&[]);
+        bank.run_slice(&stride_trace(10, 4));
+        assert!(bank.is_empty());
+        assert_eq!(bank.line_classes(), 0);
+        assert!(bank.into_reports().is_empty());
+    }
+
+    #[test]
+    fn empty_trace_yields_zeroed_reports() {
+        let configs = [CacheConfig::new(64, 8, 1).unwrap()];
+        let reports = ReplayBank::simulate_slice(&configs, &[]);
+        assert_eq!(reports[0].stats, CacheStats::new());
+        assert_eq!(reports[0].cpu_bus.transfers, 0);
+    }
+
+    #[test]
+    fn classified_bank_matches_classified_simulator() {
+        let configs = [
+            CacheConfig::new(32, 8, 1).unwrap(),
+            CacheConfig::new(64, 8, 2).unwrap(),
+        ];
+        let trace = stride_trace(300, 8);
+        let mut bank = ReplayBank::with_options(&configs, BusEncoding::Gray, true);
+        bank.run_slice(&trace);
+        for (config, report) in configs.iter().zip(bank.into_reports()) {
+            let mut sim = Simulator::with_options(*config, BusEncoding::Gray, true);
+            sim.run_slice(&trace);
+            assert_eq!(sim.into_report().miss_classes, report.miss_classes);
+        }
+    }
+
+    #[test]
+    fn line_buffered_bank_matches_buffered_simulator() {
+        let configs = [
+            CacheConfig::new(64, 8, 1).unwrap(),
+            CacheConfig::new(128, 16, 2).unwrap(),
+        ];
+        let trace = stride_trace(300, 4);
+        let mut bank = ReplayBank::new(&configs).with_line_buffers();
+        bank.run_slice(&trace);
+        for (config, report) in configs.iter().zip(bank.into_reports()) {
+            let mut sim = Simulator::new(*config).with_line_buffer();
+            sim.run_slice(&trace);
+            let lone = sim.into_report();
+            assert_eq!(lone.stats, report.stats, "{config}");
+            assert!(report.stats.buffer_hits > 0, "{config}");
+        }
+    }
+
+    #[test]
+    fn writes_and_writebacks_stay_per_lane() {
+        let configs = [
+            CacheConfig::new(16, 8, 1).unwrap(),
+            CacheConfig::new(64, 8, 1).unwrap(),
+        ];
+        let mut bank = ReplayBank::new(&configs);
+        bank.run([TraceEvent::write(0, 4), TraceEvent::read(16, 4)]);
+        let reports = bank.into_reports();
+        // The 16 B cache evicts the dirty line; the 64 B one keeps it.
+        assert_eq!(reports[0].stats.writebacks, 1);
+        assert_eq!(reports[1].stats.writebacks, 0);
+        assert_eq!(reports[0].mem_bus.transfers, 3);
+        assert_eq!(reports[1].mem_bus.transfers, 2);
+    }
+}

@@ -18,22 +18,6 @@ pub struct AccessOutcome {
     pub evicted: Option<u64>,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Way {
-    tag: u64,
-    dirty: bool,
-    /// Monotonic counter value at last *use* (LRU) or at *fill* (FIFO).
-    stamp: u64,
-}
-
-#[derive(Clone, Debug)]
-struct Set {
-    ways: Vec<Option<Way>>,
-    /// Tree-PLRU direction bits (bit per internal node), used when the
-    /// policy is [`Replacement::Plru`].
-    plru_bits: u64,
-}
-
 /// A set-associative cache with pluggable replacement and write policies.
 ///
 /// Addresses are byte addresses; the cache tracks presence per line. Data
@@ -58,7 +42,29 @@ struct Set {
 #[derive(Clone, Debug)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Set>,
+    /// Tag keys, set-major: set `s` owns `keys[s * assoc..(s + 1) * assoc]`.
+    /// A valid way stores `(tag << 1) | 1`; an invalid way stores `0`. The
+    /// tag is `addr >> (line_shift + sets_shift)`, which leaves the marker
+    /// bit free whenever the cache maps more than one byte per set
+    /// (debug-asserted in [`access_line`](Self::access_line)). Keeping the
+    /// probe loop on a flat `u64` array — tags only, no replacement
+    /// metadata interleaved — is what makes `access` cheap: it is the
+    /// inner loop of every sweep.
+    keys: Vec<u64>,
+    /// Monotonic counter value at last *use* (LRU) or at *fill* (FIFO),
+    /// parallel to `keys`; only read for valid ways.
+    stamps: Vec<u64>,
+    /// Dirty flags, parallel to `keys`.
+    dirty: Vec<bool>,
+    /// Tree-PLRU direction bits (bit per internal node), one word per set,
+    /// used when the policy is [`Replacement::Plru`].
+    plru_bits: Vec<u64>,
+    /// `line.trailing_zeros()` — precomputed, the geometry is validated.
+    line_shift: u32,
+    /// `num_sets.trailing_zeros()` — shift between line number and tag.
+    sets_shift: u32,
+    /// `num_sets - 1` — mask from line number to set index.
+    set_mask: u64,
     clock: u64,
     rng: Option<StdRng>,
 }
@@ -66,20 +72,20 @@ pub struct Cache {
 impl Cache {
     /// Builds an empty (all-invalid) cache.
     pub fn new(config: CacheConfig) -> Self {
-        let sets = vec![
-            Set {
-                ways: vec![None; config.assoc()],
-                plru_bits: 0,
-            };
-            config.num_sets()
-        ];
         let rng = match config.replacement {
             Replacement::Random { seed } => Some(StdRng::seed_from_u64(seed)),
             _ => None,
         };
+        let lines = config.num_sets() * config.assoc();
         Cache {
+            line_shift: config.line().trailing_zeros(),
+            sets_shift: config.num_sets().trailing_zeros(),
+            set_mask: config.num_sets() as u64 - 1,
             config,
-            sets,
+            keys: vec![0; lines],
+            stamps: vec![0; lines],
+            dirty: vec![false; lines],
+            plru_bits: vec![0; config.num_sets()],
             clock: 0,
             rng,
         }
@@ -90,12 +96,16 @@ impl Cache {
         &self.config
     }
 
+    /// `line.trailing_zeros()` — the shift from byte address to line number.
+    pub fn line_shift(&self) -> u32 {
+        self.line_shift
+    }
+
     /// Invalidates every line, returning the cache to its initial state.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.ways.iter_mut().for_each(|w| *w = None);
-            set.plru_bits = 0;
-        }
+        self.keys.iter_mut().for_each(|k| *k = 0);
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        self.plru_bits.iter_mut().for_each(|b| *b = 0);
         self.clock = 0;
     }
 
@@ -113,34 +123,37 @@ impl Cache {
     /// boundary must be split by the caller (see
     /// [`Simulator`](crate::sim::Simulator), which does this).
     pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.access_line(addr >> self.line_shift, is_write)
+    }
+
+    /// Performs one access by line number (`addr >> line_shift`). This is
+    /// the core of [`access`](Self::access); the fused
+    /// [`ReplayBank`](crate::ReplayBank) calls it directly with line
+    /// numbers precomputed once per line-size class.
+    pub fn access_line(&mut self, line_addr: u64, is_write: bool) -> AccessOutcome {
         self.clock += 1;
-        let (set_idx, tag) = self.config.locate(addr);
-        let line_base = self.config.line_base(addr);
+        let set_idx = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.sets_shift;
+        debug_assert!(tag <= u64::MAX >> 1, "tag must leave the marker bit free");
+        let key = (tag << 1) | 1;
         let assoc = self.config.assoc();
         let replacement = self.config.replacement;
         let write_policy = self.config.write_policy;
         let clock = self.clock;
 
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * assoc;
+        let set = &self.keys[base..base + assoc];
 
         // Hit path.
-        if let Some(way_idx) = set
-            .ways
-            .iter()
-            .position(|w| w.is_some_and(|w| w.tag == tag))
-        {
-            let way = set.ways[way_idx].as_mut().expect("way just matched");
+        if let Some(way_idx) = set.iter().position(|&k| k == key) {
             if replacement == Replacement::Lru {
-                way.stamp = clock;
+                self.stamps[base + way_idx] = clock;
             }
-            if is_write {
-                match write_policy {
-                    WritePolicy::WriteBackAllocate => way.dirty = true,
-                    WritePolicy::WriteThroughNoAllocate => {} // memory updated directly
-                }
+            if is_write && write_policy == WritePolicy::WriteBackAllocate {
+                self.dirty[base + way_idx] = true;
             }
             if replacement == Replacement::Plru {
-                touch_plru(&mut set.plru_bits, way_idx, assoc);
+                touch_plru(&mut self.plru_bits[set_idx], way_idx, assoc);
             }
             return AccessOutcome {
                 hit: true,
@@ -162,17 +175,16 @@ impl Cache {
         }
 
         // Choose a victim way: first invalid way, else per policy.
-        let victim_idx = match set.ways.iter().position(Option::is_none) {
+        let victim_idx = match set.iter().position(|&k| k == 0) {
             Some(idx) => idx,
             None => match replacement {
-                Replacement::Lru | Replacement::Fifo => set
-                    .ways
+                Replacement::Lru | Replacement::Fifo => self.stamps[base..base + assoc]
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, w)| w.expect("all ways valid").stamp)
+                    .min_by_key(|&(_, s)| s)
                     .map(|(i, _)| i)
                     .expect("associativity is at least 1"),
-                Replacement::Plru => plru_victim(set.plru_bits, assoc),
+                Replacement::Plru => plru_victim(self.plru_bits[set_idx], assoc),
                 Replacement::Random { .. } => self
                     .rng
                     .as_mut()
@@ -181,29 +193,30 @@ impl Cache {
             },
         };
 
-        let set = &mut self.sets[set_idx];
-        let old = set.ways[victim_idx];
-        let (writeback, evicted) = match old {
-            Some(w) => {
-                let evicted_base = self.config.reconstruct_line_base(set_idx, w.tag);
-                (w.dirty.then_some(evicted_base), Some(evicted_base))
-            }
-            None => (None, None),
+        let victim = base + victim_idx;
+        let old_key = self.keys[victim];
+        let (writeback, evicted) = if old_key != 0 {
+            let evicted_line = ((old_key >> 1) << self.sets_shift) | set_idx as u64;
+            let evicted_base = evicted_line << self.line_shift;
+            (
+                self.dirty[victim].then_some(evicted_base),
+                Some(evicted_base),
+            )
+        } else {
+            (None, None)
         };
 
-        set.ways[victim_idx] = Some(Way {
-            tag,
-            dirty: is_write && write_policy == WritePolicy::WriteBackAllocate,
-            stamp: clock,
-        });
+        self.keys[victim] = key;
+        self.stamps[victim] = clock;
+        self.dirty[victim] = is_write && write_policy == WritePolicy::WriteBackAllocate;
         if replacement == Replacement::Plru {
-            touch_plru(&mut set.plru_bits, victim_idx, assoc);
+            touch_plru(&mut self.plru_bits[set_idx], victim_idx, assoc);
         }
 
         AccessOutcome {
             hit: false,
             writeback,
-            fill: Some(line_base),
+            fill: Some(line_addr << self.line_shift),
             evicted,
         }
     }
@@ -211,26 +224,16 @@ impl Cache {
     /// True if the line containing `addr` is currently cached (no state
     /// change — useful in tests and in the conflict-miss classifier).
     pub fn contains(&self, addr: u64) -> bool {
-        let (set_idx, tag) = self.config.locate(addr);
-        self.sets[set_idx]
-            .ways
-            .iter()
-            .any(|w| w.is_some_and(|w| w.tag == tag))
+        let line_addr = addr >> self.line_shift;
+        let set_idx = (line_addr & self.set_mask) as usize;
+        let key = ((line_addr >> self.sets_shift) << 1) | 1;
+        let base = set_idx * self.config.assoc();
+        self.keys[base..base + self.config.assoc()].contains(&key)
     }
 
     /// Number of currently valid lines.
     pub fn valid_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.ways.iter().filter(|w| w.is_some()).count())
-            .sum()
-    }
-}
-
-impl CacheConfig {
-    /// Rebuilds the line-aligned byte address from `(set, tag)`.
-    fn reconstruct_line_base(&self, set: usize, tag: u64) -> u64 {
-        (tag * self.num_sets() as u64 + set as u64) * self.line() as u64
+        self.keys.iter().filter(|&&k| k != 0).count()
     }
 }
 

@@ -18,6 +18,9 @@
 //! * address-bus activity tracking with Gray-coded or binary buses
 //!   ([`bus::BusMonitor`]) — the `Add_bs` input of the paper's energy model,
 //! * a [`sim::Simulator`] that drives a trace through all of the above,
+//! * a [`bank::ReplayBank`] that steps many cache designs in lockstep over
+//!   a single scan of a shared trace (the fused sweep engine's work unit;
+//!   the `Simulator` is a bank of one),
 //! * a deliberately naive [`reference::ReferenceCache`] sharing no code
 //!   with the optimized path, for differential testing, and
 //! * Dinero `.din` trace interop ([`din`]).
@@ -35,6 +38,7 @@
 //! ```
 
 pub mod arena;
+pub mod bank;
 pub mod bus;
 pub mod cache;
 pub mod classify;
@@ -47,6 +51,7 @@ pub mod stats;
 pub mod synth;
 
 pub use arena::TraceArena;
+pub use bank::ReplayBank;
 pub use bus::{gray_encode, BusEncoding, BusMonitor, BusStats};
 pub use cache::{AccessOutcome, Cache};
 pub use classify::{Classifier, MissClass, MissClassCounts};

@@ -1,8 +1,9 @@
 //! The trace-driven simulation loop.
 
-use crate::bus::{BusEncoding, BusMonitor, BusStats};
+use crate::bank::ReplayBank;
+use crate::bus::{BusEncoding, BusStats};
 use crate::cache::Cache;
-use crate::classify::{Classifier, MissClassCounts};
+use crate::classify::MissClassCounts;
 use crate::config::CacheConfig;
 use crate::stats::CacheStats;
 
@@ -52,12 +53,16 @@ pub struct SimReport {
     pub miss_classes: Option<MissClassCounts>,
 }
 
-/// Drives trace events through a [`Cache`], a [`BusMonitor`], and optionally
-/// a [`Classifier`].
+/// Drives trace events through a [`Cache`], a
+/// [`BusMonitor`](crate::BusMonitor), and optionally a
+/// [`Classifier`](crate::Classifier).
 ///
 /// Accesses wider than a line, or unaligned accesses spanning a line
 /// boundary, are split into one access per line touched (each counted
 /// separately, as Dinero does with its `-atype` splitting).
+///
+/// Internally this is a [`ReplayBank`] of exactly one lane, so the
+/// single-design and fused multi-design paths share one stepping core.
 ///
 /// # Example
 ///
@@ -74,14 +79,7 @@ pub struct SimReport {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Simulator {
-    cache: Cache,
-    bus: BusMonitor,
-    classifier: Option<Classifier>,
-    stats: CacheStats,
-    /// Line-aligned address held by the single-entry line buffer, if one is
-    /// configured (Su–Despain block buffering: repeated accesses to the
-    /// most recent line skip the cell arrays).
-    line_buffer: Option<Option<u64>>,
+    bank: ReplayBank,
 }
 
 impl Simulator {
@@ -93,12 +91,7 @@ impl Simulator {
     /// Full control over bus encoding and classification.
     pub fn with_options(config: CacheConfig, encoding: BusEncoding, classify: bool) -> Self {
         Simulator {
-            cache: Cache::new(config),
-            bus: BusMonitor::new(encoding),
-            classifier: classify
-                .then(|| Classifier::new(&config).expect("valid config implies valid shadow")),
-            stats: CacheStats::new(),
-            line_buffer: None,
+            bank: ReplayBank::with_options(&[config], encoding, classify),
         }
     }
 
@@ -108,117 +101,49 @@ impl Simulator {
     /// always go to the cache and invalidate the buffer when they allocate
     /// a different line.
     pub fn with_line_buffer(mut self) -> Self {
-        self.line_buffer = Some(None);
+        self.bank = self.bank.with_line_buffers();
         self
     }
 
     /// Processes one event (splitting line-spanning accesses).
     pub fn step(&mut self, event: TraceEvent) {
-        let shift = self.cache.config().line().trailing_zeros();
-        let size = event.size.max(1) as u64;
-        let first_line = event.addr >> shift;
-        let last_line = (event.addr + size - 1) >> shift;
-        if first_line == last_line {
-            self.access_one(event.addr, event.is_write);
-            return;
-        }
-        for l in first_line..=last_line {
-            let addr = if l == first_line {
-                event.addr
-            } else {
-                l << shift
-            };
-            self.access_one(addr, event.is_write);
-        }
-    }
-
-    fn access_one(&mut self, addr: u64, is_write: bool) {
-        self.bus.observe_cpu(addr);
-        let line_base = self.cache.config().line_base(addr);
-        if let Some(buffered) = &mut self.line_buffer {
-            if !is_write && *buffered == Some(line_base) {
-                // Served entirely by the buffer; the arrays stay quiet and
-                // replacement state is untouched (the buffered line was the
-                // MRU line already).
-                self.stats.reads += 1;
-                self.stats.read_hits += 1;
-                self.stats.buffer_hits += 1;
-                if let Some(c) = &mut self.classifier {
-                    c.observe(addr, true);
-                }
-                return;
-            }
-        }
-        let out = self.cache.access(addr, is_write);
-        if let Some(buffered) = &mut self.line_buffer {
-            // The buffer tracks the most recently accessed line once it is
-            // resident (hit or freshly filled); write-through no-allocate
-            // misses leave it unchanged.
-            if out.hit || out.fill.is_some() {
-                *buffered = Some(line_base);
-            }
-        }
-        if is_write {
-            self.stats.writes += 1;
-            if out.hit {
-                self.stats.write_hits += 1;
-            }
-        } else {
-            self.stats.reads += 1;
-            if out.hit {
-                self.stats.read_hits += 1;
-            }
-        }
-        if let Some(fill) = out.fill {
-            self.stats.fills += 1;
-            self.bus.observe_mem(fill);
-        }
-        if out.evicted.is_some() {
-            self.stats.evictions += 1;
-        }
-        if let Some(wb) = out.writeback {
-            self.stats.writebacks += 1;
-            self.bus.observe_mem(wb);
-        }
-        if let Some(c) = &mut self.classifier {
-            c.observe(addr, out.hit);
-        }
+        self.bank.step(event);
     }
 
     /// Runs every event of an iterator.
     pub fn run<I: IntoIterator<Item = TraceEvent>>(&mut self, events: I) {
-        for e in events {
-            self.step(e);
-        }
+        self.bank.run(events);
     }
 
     /// Replays a materialized trace slice (e.g. from a
     /// [`TraceArena`](crate::TraceArena)) without consuming it.
+    ///
+    /// A lone simulator replays event by event through the same stepping
+    /// core as [`step`](Self::step); the class-major batch replay of
+    /// [`ReplayBank::run_slice`] only pays off when several lanes share
+    /// the per-class stream, which a bank of one never does.
     pub fn run_slice(&mut self, events: &[TraceEvent]) {
-        for &e in events {
-            self.step(e);
+        for &event in events {
+            self.bank.step(event);
         }
     }
 
     /// Current counters (the run can continue afterwards).
     pub fn stats(&self) -> &CacheStats {
-        &self.stats
+        self.bank.stats(0)
     }
 
     /// Read access to the underlying cache.
     pub fn cache(&self) -> &Cache {
-        &self.cache
+        self.bank.cache(0)
     }
 
     /// Finishes the run and returns the collected report.
     pub fn into_report(self) -> SimReport {
-        SimReport {
-            config: *self.cache.config(),
-            stats: self.stats,
-            cpu_bus: self.bus.cpu(),
-            mem_bus: self.bus.mem(),
-            miss_classes: self.classifier.map(|c| c.counts()),
-        }
+        self.bank
+            .into_reports()
+            .pop()
+            .expect("a Simulator is a bank of exactly one lane")
     }
 
     /// Convenience: simulate a whole trace in one call.

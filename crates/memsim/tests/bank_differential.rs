@@ -1,0 +1,198 @@
+//! Differential tests: a fused [`ReplayBank`] against N independent
+//! [`Simulator`] runs of the same trace.
+//!
+//! The bank is the work unit of the fused sweep engine — one scan of the
+//! trace steps every lane — so these properties are the losslessness
+//! argument in executable form: for random traces (unaligned, spanning,
+//! zero-size, empty), random geometry mixes (shared and distinct line
+//! sizes), LRU/FIFO replacement, and both write policies, every counter
+//! of every lane must be bit-identical to a lone simulator fed the same
+//! events, including the degenerate bank-of-one and empty-trace cases.
+
+use memsim::{
+    BusEncoding, CacheConfig, Replacement, ReplayBank, Simulator, TraceEvent, WritePolicy,
+};
+use proptest::prelude::*;
+
+/// Random traces with unaligned, line-spanning, and zero-size accesses;
+/// may be empty.
+fn arb_trace() -> impl Strategy<Value = Vec<TraceEvent>> {
+    proptest::collection::vec(
+        (
+            0u64..2048,
+            prop_oneof![Just(0u32), Just(1), Just(4), Just(8), Just(13), Just(32)],
+            proptest::bool::ANY,
+        ),
+        0..300,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(addr, size, w)| TraceEvent {
+                addr,
+                size,
+                is_write: w,
+            })
+            .collect()
+    })
+}
+
+/// One random valid configuration: power-of-two geometry, LRU or FIFO,
+/// either write policy.
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (
+        2u32..7,
+        2u32..5,
+        0u32..4,
+        prop_oneof![Just(Replacement::Lru), Just(Replacement::Fifo)],
+        prop_oneof![
+            Just(WritePolicy::WriteBackAllocate),
+            Just(WritePolicy::WriteThroughNoAllocate),
+        ],
+    )
+        .prop_filter_map("valid geometry", |(ts, ls, ss, repl, wp)| {
+            let t = 1usize << (ts + 3); // 32..1024
+            let l = 1usize << ls; // 4..16
+            let s = 1usize << ss; // 1..8
+            (l <= t && s <= t / l).then(|| {
+                CacheConfig::new(t, l, s)
+                    .expect("filtered to valid")
+                    .with_replacement(repl)
+                    .with_write_policy(wp)
+            })
+        })
+}
+
+/// Banks of 1..=6 lanes — duplicates allowed, so equal line sizes (and
+/// even fully identical lanes) share a line class.
+fn arb_bank() -> impl Strategy<Value = Vec<CacheConfig>> {
+    proptest::collection::vec(arb_config(), 1..=6)
+}
+
+fn arb_encoding() -> impl Strategy<Value = BusEncoding> {
+    prop_oneof![Just(BusEncoding::Gray), Just(BusEncoding::Binary)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bank_is_bit_identical_to_independent_simulators(
+        trace in arb_trace(),
+        configs in arb_bank(),
+        encoding in arb_encoding(),
+    ) {
+        let mut bank = ReplayBank::with_options(&configs, encoding, false);
+        bank.run_slice(&trace);
+        let fused = bank.into_reports();
+        prop_assert_eq!(fused.len(), configs.len());
+        for (config, report) in configs.iter().zip(&fused) {
+            let mut sim = Simulator::with_options(*config, encoding, false);
+            sim.run_slice(&trace);
+            let lone = sim.into_report();
+            prop_assert_eq!(lone.stats, report.stats, "stats for {}", config);
+            prop_assert_eq!(lone.cpu_bus, report.cpu_bus, "cpu bus for {}", config);
+            prop_assert_eq!(lone.mem_bus, report.mem_bus, "mem bus for {}", config);
+        }
+    }
+
+    #[test]
+    fn classified_bank_matches_classified_simulators(
+        trace in arb_trace(),
+        configs in arb_bank(),
+    ) {
+        let mut bank = ReplayBank::with_options(&configs, BusEncoding::Gray, true);
+        bank.run_slice(&trace);
+        for (config, report) in configs.iter().zip(bank.into_reports()) {
+            let mut sim = Simulator::with_options(*config, BusEncoding::Gray, true);
+            sim.run_slice(&trace);
+            let lone = sim.into_report();
+            prop_assert_eq!(lone.stats, report.stats, "stats for {}", config);
+            prop_assert_eq!(
+                lone.miss_classes, report.miss_classes, "classes for {}", config
+            );
+        }
+    }
+
+    #[test]
+    fn line_buffered_bank_matches_buffered_simulators(
+        trace in arb_trace(),
+        configs in arb_bank(),
+    ) {
+        let mut bank = ReplayBank::new(&configs).with_line_buffers();
+        bank.run_slice(&trace);
+        for (config, report) in configs.iter().zip(bank.into_reports()) {
+            let mut sim = Simulator::new(*config).with_line_buffer();
+            sim.run_slice(&trace);
+            let lone = sim.into_report();
+            prop_assert_eq!(lone.stats, report.stats, "stats for {}", config);
+            prop_assert_eq!(lone.mem_bus, report.mem_bus, "mem bus for {}", config);
+        }
+    }
+
+    #[test]
+    fn bank_of_one_is_exactly_a_simulator(
+        trace in arb_trace(),
+        config in arb_config(),
+    ) {
+        let fused = ReplayBank::simulate_slice(&[config], &trace)
+            .pop()
+            .expect("one lane in, one report out");
+        let lone = Simulator::simulate_slice(config, &trace);
+        prop_assert_eq!(lone.stats, fused.stats);
+        prop_assert_eq!(lone.cpu_bus, fused.cpu_bus);
+        prop_assert_eq!(lone.mem_bus, fused.mem_bus);
+    }
+}
+
+/// Deterministic corners kept out of the property loop so failures name
+/// themselves.
+#[test]
+fn empty_trace_through_a_wide_bank_is_all_zero() {
+    let configs = [
+        CacheConfig::new(64, 8, 1).expect("valid"),
+        CacheConfig::new(128, 16, 2).expect("valid"),
+        CacheConfig::new(256, 8, 4).expect("valid"),
+    ];
+    for report in ReplayBank::simulate_slice(&configs, &[]) {
+        assert_eq!(report.stats.accesses(), 0);
+        assert_eq!(report.cpu_bus.transfers, 0);
+        assert_eq!(report.mem_bus.transfers, 0);
+    }
+}
+
+#[test]
+fn identical_lanes_produce_identical_reports() {
+    let config = CacheConfig::new(64, 8, 2)
+        .expect("valid")
+        .with_replacement(Replacement::Fifo);
+    let trace: Vec<TraceEvent> = (0..200)
+        .map(|i| TraceEvent::read(i * 12 % 512, 4))
+        .collect();
+    let reports = ReplayBank::simulate_slice(&[config, config], &trace);
+    assert_eq!(reports[0].stats, reports[1].stats);
+    assert_eq!(reports[0].cpu_bus, reports[1].cpu_bus);
+    assert_eq!(reports[0].mem_bus, reports[1].mem_bus);
+}
+
+#[test]
+fn write_policy_mix_in_one_bank_matches_lone_runs() {
+    let wb = CacheConfig::new(64, 8, 1).expect("valid");
+    let wt = wb.with_write_policy(WritePolicy::WriteThroughNoAllocate);
+    let trace: Vec<TraceEvent> = (0..100)
+        .map(|i| {
+            if i % 3 == 0 {
+                TraceEvent::write(i * 8 % 256, 4)
+            } else {
+                TraceEvent::read(i * 8 % 256, 4)
+            }
+        })
+        .collect();
+    for (config, report) in [wb, wt]
+        .iter()
+        .zip(ReplayBank::simulate_slice(&[wb, wt], &trace))
+    {
+        let lone = Simulator::simulate_slice(*config, &trace);
+        assert_eq!(lone.stats, report.stats, "{config}");
+        assert_eq!(lone.mem_bus, report.mem_bus, "{config}");
+    }
+}

@@ -10,9 +10,10 @@ memx — energy-aware data-cache exploration (DAC'99)
 USAGE:
   memx explore   KERNEL.mx [--part cy7c|lp2m|16m] [--em NJ] [--natural]
                  [--analytical] [--bound-cycles N] [--bound-energy NJ]
-                 [--pareto] [--telemetry]
+                 [--pareto] [--telemetry] [--engine fused|per-design]
   memx pareto    KERNEL.mx [--part cy7c|lp2m|16m] [--em NJ] [--natural]
                  [--format csv|json] [--exhaustive] [--telemetry]
+                 [--engine fused|per-design]
   memx simulate  KERNEL.mx --cache N --line N [--assoc N] [--tiling B]
                  [--natural] [--classify]
   memx place     KERNEL.mx --cache N --line N
@@ -56,6 +57,8 @@ pub enum Command {
         pareto: bool,
         /// Print sweep telemetry (trace reuse, phase times, utilization).
         telemetry: bool,
+        /// Simulation engine (`fused`, the default, or `per-design`).
+        engine: String,
     },
     /// The three-objective Pareto frontier over the paper grid, with
     /// admissible branch-and-bound pruning.
@@ -74,6 +77,8 @@ pub enum Command {
         exhaustive: bool,
         /// Print sweep telemetry (prune counts, phase times) as comments.
         telemetry: bool,
+        /// Simulation engine (`fused`, the default, or `per-design`).
+        engine: String,
     },
     /// Simulate one configuration.
     Simulate {
@@ -178,6 +183,15 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, UsageEr
         .map_err(|_| err(format!("bad value `{value}` for `{flag}`")))
 }
 
+fn parse_engine(value: &str) -> Result<String, UsageError> {
+    if !["fused", "per-design"].contains(&value) {
+        return Err(err(format!(
+            "unknown engine `{value}` (expected fused or per-design)"
+        )));
+    }
+    Ok(value.to_string())
+}
+
 /// Parses the argument vector (without the program name).
 ///
 /// # Errors
@@ -206,6 +220,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 bound_energy: None,
                 pareto: false,
                 telemetry: false,
+                engine: "fused".to_string(),
             };
             while let Some(flag) = args.next() {
                 let Command::Explore {
@@ -217,6 +232,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     bound_energy,
                     pareto,
                     telemetry,
+                    engine,
                     ..
                 } = &mut cmd
                 else {
@@ -243,6 +259,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     }
                     "--pareto" => *pareto = true,
                     "--telemetry" => *telemetry = true,
+                    "--engine" => *engine = parse_engine(args.value_of(flag)?)?,
                     other => return Err(err(format!("unknown flag `{other}` for explore"))),
                 }
             }
@@ -259,6 +276,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
             let mut format = "csv".to_string();
             let mut exhaustive = false;
             let mut telemetry = false;
+            let mut engine = "fused".to_string();
             while let Some(flag) = args.next() {
                 match flag {
                     "--part" => {
@@ -283,6 +301,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     }
                     "--exhaustive" => exhaustive = true,
                     "--telemetry" => telemetry = true,
+                    "--engine" => engine = parse_engine(args.value_of(flag)?)?,
                     other => return Err(err(format!("unknown flag `{other}` for pareto"))),
                 }
             }
@@ -294,6 +313,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 format,
                 exhaustive,
                 telemetry,
+                engine,
             })
         }
         "simulate" => {
@@ -414,7 +434,7 @@ mod tests {
     #[test]
     fn parses_explore_with_all_flags() {
         let cmd = parse_args(&argv(
-            "explore k.mx --part 16m --natural --analytical --bound-cycles 5000 --bound-energy 5500 --pareto --telemetry",
+            "explore k.mx --part 16m --natural --analytical --bound-cycles 5000 --bound-energy 5500 --pareto --telemetry --engine per-design",
         ))
         .expect("valid");
         match cmd {
@@ -428,6 +448,7 @@ mod tests {
                 pareto,
                 telemetry,
                 em_nj,
+                engine,
             } => {
                 assert_eq!(file, "k.mx");
                 assert_eq!(part, "16m");
@@ -435,6 +456,7 @@ mod tests {
                 assert_eq!(bound_cycles, Some(5000.0));
                 assert_eq!(bound_energy, Some(5500.0));
                 assert_eq!(em_nj, None);
+                assert_eq!(engine, "per-design");
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -463,12 +485,14 @@ mod tests {
                 format,
                 exhaustive,
                 telemetry,
+                engine,
             } => {
                 assert_eq!(file, "k.mx");
                 assert_eq!(part, "lp2m");
                 assert_eq!(em_nj, None);
                 assert!(natural && exhaustive && telemetry);
                 assert_eq!(format, "json");
+                assert_eq!(engine, "fused");
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -488,6 +512,21 @@ mod tests {
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn engine_defaults_to_fused_and_rejects_unknown_values() {
+        match parse_args(&argv("explore k.mx")).expect("valid") {
+            Command::Explore { engine, .. } => assert_eq!(engine, "fused"),
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse_args(&argv("pareto k.mx --engine per-design")).expect("valid") {
+            Command::Pareto { engine, .. } => assert_eq!(engine, "per-design"),
+            other => panic!("wrong command: {other:?}"),
+        }
+        let e = parse_args(&argv("explore k.mx --engine turbo")).expect_err("should fail");
+        assert!(e.0.contains("turbo"));
+        assert!(parse_args(&argv("pareto k.mx --engine")).is_err());
     }
 
     #[test]

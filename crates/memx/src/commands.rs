@@ -7,7 +7,7 @@ use analysis::placement::optimize_layout;
 use energy::SramPart;
 use loopir::parse::parse_kernel;
 use loopir::{AccessKind, ArrayId, DataLayout, Kernel, TraceGen};
-use memexplore::{select, CacheDesign, DesignSpace, Evaluator, Explorer, PlacementMode};
+use memexplore::{select, CacheDesign, DesignSpace, Engine, Evaluator, Explorer, PlacementMode};
 use memsim::din::{parse_din, write_din, DinLabel, DinRecord};
 use memsim::{CacheConfig, Simulator, TraceEvent};
 use std::error::Error;
@@ -32,6 +32,7 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
             bound_energy,
             pareto,
             telemetry,
+            engine,
         } => {
             let kernel = load(&file)?;
             let evaluator = make_evaluator(&part, em_nj, natural);
@@ -43,6 +44,7 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
                 bound_energy,
                 pareto,
                 telemetry,
+                engine_kind(&engine),
             )
         }
         Command::Pareto {
@@ -53,10 +55,18 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
             format,
             exhaustive,
             telemetry,
+            engine,
         } => {
             let kernel = load(&file)?;
             let evaluator = make_evaluator(&part, em_nj, natural);
-            pareto_frontier(&kernel, evaluator, &format, exhaustive, telemetry)
+            pareto_frontier(
+                &kernel,
+                evaluator,
+                &format,
+                exhaustive,
+                telemetry,
+                engine_kind(&engine),
+            )
         }
         Command::Simulate {
             file,
@@ -76,7 +86,7 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
         }
         Command::MinCache { file, line } => {
             let kernel = load(&file)?;
-            Ok(min_cache(&kernel, line))
+            min_cache(&kernel, line)
         }
         Command::Classes { file } => {
             let kernel = load(&file)?;
@@ -129,6 +139,15 @@ fn simulate_din(
     Ok(out)
 }
 
+/// Maps the validated `--engine` keyword to the sweep engine (the parser
+/// only lets `fused` and `per-design` through).
+fn engine_kind(engine: &str) -> Engine {
+    match engine {
+        "per-design" => Engine::PerDesign,
+        _ => Engine::Fused,
+    }
+}
+
 /// Builds the evaluator shared by `explore` and `pareto`: off-chip part
 /// from the keyword (or a custom `Em`), optionally with natural layout.
 fn make_evaluator(part: &str, em_nj: Option<f64>, natural: bool) -> Evaluator {
@@ -161,6 +180,7 @@ fn explore(
     bound_energy: Option<f64>,
     pareto: bool,
     telemetry: bool,
+    engine: Engine,
 ) -> Result<String, Box<dyn Error + Send + Sync>> {
     let space = DesignSpace::paper();
     let (records, sweep_telemetry) = if analytical {
@@ -171,7 +191,9 @@ fn explore(
             .collect();
         (records, None)
     } else {
-        let (records, t) = Explorer::new(evaluator).explore_with_telemetry(kernel, &space);
+        let (records, t) = Explorer::new(evaluator)
+            .with_engine(engine)
+            .explore_with_telemetry(kernel, &space);
         (records, Some(t))
     };
 
@@ -247,9 +269,10 @@ fn pareto_frontier(
     format: &str,
     exhaustive: bool,
     telemetry: bool,
+    engine: Engine,
 ) -> Result<String, Box<dyn Error + Send + Sync>> {
     let space = DesignSpace::paper();
-    let explorer = Explorer::new(evaluator);
+    let explorer = Explorer::new(evaluator).with_engine(engine);
     let (frontier, sweep) = if exhaustive {
         explorer.pareto_exhaustive(kernel, &space)
     } else {
@@ -336,6 +359,20 @@ fn simulate(
 ) -> Result<String, Box<dyn Error + Send + Sync>> {
     // Validate geometry up front so the user gets an error, not a panic.
     let config = CacheConfig::new(cache, line, assoc)?;
+    // The cycle model only covers the paper's parameter ranges; reject the
+    // rest here rather than panicking deep inside the evaluator.
+    if ![1, 2, 4, 8].contains(&assoc) {
+        return Err(format!(
+            "associativity {assoc} is outside the cycle model (use 1, 2, 4, or 8)"
+        )
+        .into());
+    }
+    if !(4..=256).contains(&line) {
+        return Err(format!("line size {line} B is outside the cycle model (use 4 to 256)").into());
+    }
+    if tiling == 0 {
+        return Err("tiling must be at least 1 (1 = untiled)".into());
+    }
     let mut evaluator = Evaluator::default();
     if natural {
         evaluator.placement = PlacementMode::Natural;
@@ -393,9 +430,19 @@ fn place(kernel: &Kernel, cache: u64, line: u64) -> Result<String, Box<dyn Error
     Ok(out)
 }
 
-fn min_cache(kernel: &Kernel, line: u64) -> String {
+fn min_cache(kernel: &Kernel, line: u64) -> Result<String, Box<dyn Error + Send + Sync>> {
+    if line == 0 || !line.is_power_of_two() {
+        return Err(format!("line size {line} must be a power of two").into());
+    }
+    if let Some(a) = kernel.arrays.iter().find(|a| a.elem_size as u64 > line) {
+        return Err(format!(
+            "line size {line} B is smaller than the {} B elements of array {}",
+            a.elem_size, a.name
+        )
+        .into());
+    }
     let report = MinCacheReport::analyze(kernel, line);
-    format!(
+    Ok(format!(
         "{}: {} lines per class {:?} -> total {} lines, minimum cache {} B (next pow2 {} B)\n",
         kernel.name,
         report.lines_per_class.len(),
@@ -403,7 +450,7 @@ fn min_cache(kernel: &Kernel, line: u64) -> String {
         report.total_lines,
         report.min_cache_bytes(),
         report.min_pow2_cache_bytes()
-    )
+    ))
 }
 
 fn classes(kernel: &Kernel) -> String {
@@ -572,6 +619,7 @@ mod tests {
             bound_energy: Some(1.0), // infeasible
             pareto: true,
             telemetry: false,
+            engine: "fused".into(),
         })
         .expect("command succeeds");
         assert!(out.contains("minimum energy"));
@@ -593,6 +641,7 @@ mod tests {
             bound_energy: None,
             pareto: false,
             telemetry: true,
+            engine: "fused".into(),
         })
         .expect("command succeeds");
         assert!(out.contains("telemetry: not available"), "{out}");
@@ -611,6 +660,7 @@ mod tests {
             bound_energy: None,
             pareto: false,
             telemetry: true,
+            engine: "fused".into(),
         })
         .expect("command succeeds");
         assert!(out.contains("sweep:"), "{out}");
@@ -651,6 +701,7 @@ mod tests {
             format: "csv".into(),
             exhaustive: false,
             telemetry: true,
+            engine: "fused".into(),
         })
         .expect("command succeeds");
         let mut lines = out.lines();
@@ -678,6 +729,7 @@ mod tests {
             format: "json".into(),
             exhaustive: false,
             telemetry: false,
+            engine: "fused".into(),
         })
         .expect("pruned succeeds");
         let exhaustive = run(Command::Pareto {
@@ -688,6 +740,7 @@ mod tests {
             format: "json".into(),
             exhaustive: true,
             telemetry: false,
+            engine: "fused".into(),
         })
         .expect("exhaustive succeeds");
         assert!(pruned.contains("\"engine\": \"pruned\""), "{pruned}");
@@ -704,6 +757,113 @@ mod tests {
         };
         assert_eq!(body(&pruned), body(&exhaustive));
         assert!(pruned.contains("\"frontier_size\""), "{pruned}");
+    }
+
+    #[test]
+    fn invalid_simulate_inputs_error_instead_of_panicking() {
+        let (_dir, path) = write_kernel();
+        let cases: &[(&[&str], &str)] = &[
+            // Non-power-of-two cache: caught by CacheConfig.
+            (&["--cache", "48", "--line", "8"], "48"),
+            // Valid geometry but outside the cycle model's ranges.
+            (&["--cache", "1024", "--line", "512"], "line size 512"),
+            (
+                &["--cache", "1024", "--line", "8", "--assoc", "16"],
+                "associativity 16",
+            ),
+            (&["--cache", "64", "--line", "8", "--tiling", "0"], "tiling"),
+        ];
+        for (flags, needle) in cases {
+            let mut argv = vec!["simulate".to_string(), path.clone()];
+            argv.extend(flags.iter().map(|s| s.to_string()));
+            let cmd = parse_args(&argv).expect("parses fine; validation is semantic");
+            let e = match run(cmd) {
+                Err(e) => e.to_string(),
+                Ok(out) => panic!("{flags:?} should error, got: {out}"),
+            };
+            assert!(e.contains(needle), "{flags:?}: {e}");
+            assert!(!e.contains('\n'), "error must be one line: {e:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_min_cache_line_errors_instead_of_panicking() {
+        let (_dir, path) = write_kernel();
+        for line in [0u64, 3] {
+            let e = run(Command::MinCache {
+                file: path.clone(),
+                line,
+            })
+            .expect_err("bad line must error");
+            assert!(e.to_string().contains("power of two"), "{e}");
+        }
+        // Line smaller than the 4 B elements.
+        let e = run(Command::MinCache {
+            file: path.clone(),
+            line: 2,
+        })
+        .expect_err("line < elem must error");
+        assert!(e.to_string().contains("smaller"), "{e}");
+    }
+
+    #[test]
+    fn explore_engines_agree_on_records() {
+        let (_dir, path) = write_kernel();
+        let run_with = |engine: &str| {
+            run(Command::Explore {
+                file: path.clone(),
+                part: "cy7c".into(),
+                em_nj: None,
+                natural: false,
+                analytical: false,
+                bound_cycles: None,
+                bound_energy: None,
+                pareto: true,
+                telemetry: false,
+                engine: engine.into(),
+            })
+            .expect("command succeeds")
+        };
+        assert_eq!(run_with("fused"), run_with("per-design"));
+    }
+
+    #[test]
+    fn explore_fused_telemetry_reports_trace_groups() {
+        let (_dir, path) = write_kernel();
+        let out = run(Command::Explore {
+            file: path,
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            analytical: false,
+            bound_cycles: None,
+            bound_energy: None,
+            pareto: false,
+            telemetry: true,
+            engine: "fused".into(),
+        })
+        .expect("command succeeds");
+        assert!(out.contains("fused"), "{out}");
+        assert!(out.contains("trace groups"), "{out}");
+    }
+
+    #[test]
+    fn pareto_engines_agree_on_the_frontier() {
+        let (_dir, path) = write_kernel();
+        let run_with = |engine: &str| {
+            run(Command::Pareto {
+                file: path.clone(),
+                part: "cy7c".into(),
+                em_nj: None,
+                natural: false,
+                format: "csv".into(),
+                exhaustive: false,
+                telemetry: false,
+                engine: engine.into(),
+            })
+            .expect("command succeeds")
+        };
+        assert_eq!(run_with("fused"), run_with("per-design"));
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! Sweep checkpoint files.
+//!
+//! A checkpoint is a sidecar file holding the records a sweep has already
+//! completed, so a killed run can resume without re-simulating them (see
+//! [`supervisor`](crate::supervisor)). The format is a fixed binary layout
+//! written atomically (temp file + rename), self-describing enough to
+//! reject anything that is not a complete, matching checkpoint:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"MXCK"
+//!      4     4  format version (LE u32, currently 1)
+//!      8     8  sweep id (LE u64) — hash of kernel + grid + evaluator
+//!     16     8  entry count (LE u64)
+//!     24     8  payload length in bytes (LE u64) = count * 80
+//!     32     8  FNV-1a-64 checksum of the payload (LE u64)
+//!     40     …  payload: per entry, ten LE u64 words
+//!               (design index, cache size, line, assoc, tiling,
+//!                miss_rate bits, cycles bits, energy bits,
+//!                trip count, conflict-free flag)
+//! ```
+//!
+//! Floats are stored via [`f64::to_bits`], so a resumed sweep reproduces
+//! records *bit-identically* — the property the resume tests assert.
+//! Every load failure maps to a typed [`CheckpointError`]; a truncated,
+//! corrupted, or version-skewed file is reported cleanly and never
+//! panics or yields partial garbage.
+
+use crate::metrics::{CacheDesign, Record};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// File magic: "MemXplore ChecKpoint".
+pub const MAGIC: [u8; 4] = *b"MXCK";
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 40;
+/// Serialized size of one entry in bytes (ten LE u64 words).
+pub const ENTRY_LEN: usize = 80;
+
+/// Why a checkpoint could not be read or written.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure, with the path it occurred on.
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// File is shorter than its header or declared payload.
+    Truncated { expected: usize, got: usize },
+    /// Leading magic bytes are not `MXCK`.
+    BadMagic,
+    /// Format version this build does not understand.
+    BadVersion { found: u32 },
+    /// Payload checksum mismatch (bit rot or a torn write).
+    BadChecksum { expected: u64, got: u64 },
+    /// Checkpoint belongs to a different sweep configuration.
+    SweepMismatch { expected: u64, found: u64 },
+    /// An entry's design index is out of range for the current sweep.
+    BadEntry { index: u64, designs: usize },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, source } => write!(f, "checkpoint `{path}`: {source}"),
+            Self::Truncated { expected, got } => {
+                write!(f, "truncated checkpoint: need {expected} bytes, found {got}")
+            }
+            Self::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            Self::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {found} (this build reads {VERSION})"
+                )
+            }
+            Self::BadChecksum { expected, got } => write!(
+                f,
+                "corrupt checkpoint: checksum {got:#018x}, expected {expected:#018x}"
+            ),
+            Self::SweepMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different sweep (id {found:#018x}, this sweep is {expected:#018x})"
+            ),
+            Self::BadEntry { index, designs } => write!(
+                f,
+                "corrupt checkpoint: design index {index} out of range for {designs} designs"
+            ),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash — the checksum and sweep-id primitive (std-only,
+/// stable across platforms and runs).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// In-memory form of a checkpoint: which sweep it belongs to and the
+/// completed `(design index, record)` pairs, in completion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Hash binding the file to one (kernel, grid, evaluator) sweep.
+    pub sweep_id: u64,
+    /// Completed records, keyed by their index in the design grid.
+    pub entries: Vec<(usize, Record)>,
+}
+
+impl Checkpoint {
+    /// Serializes to the on-disk byte layout described in the module docs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(self.entries.len() * ENTRY_LEN);
+        for (idx, r) in &self.entries {
+            for word in [
+                *idx as u64,
+                r.design.cache_size as u64,
+                r.design.line as u64,
+                r.design.assoc as u64,
+                r.design.tiling,
+                r.miss_rate.to_bits(),
+                r.cycles.to_bits(),
+                r.energy_nj.to_bits(),
+                r.trip_count,
+                r.conflict_free as u64,
+            ] {
+                payload.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.sweep_id.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parses and fully validates the byte layout. Any deviation —
+    /// truncation at *any* offset, flipped bits, wrong magic or version —
+    /// yields a typed error, never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(CheckpointError::Truncated {
+                expected: HEADER_LEN,
+                got: bytes.len(),
+            });
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let u64_at = |b: &[u8], o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
+        let version = u32_at(4);
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion { found: version });
+        }
+        let sweep_id = u64_at(bytes, 8);
+        let count = u64_at(bytes, 16);
+        let payload_len = u64_at(bytes, 24);
+        let checksum = u64_at(bytes, 32);
+        if payload_len != count.saturating_mul(ENTRY_LEN as u64) {
+            // The header is internally inconsistent; report it as the
+            // corruption it is rather than over- or under-reading.
+            return Err(CheckpointError::BadChecksum {
+                expected: checksum,
+                got: fnv1a(&bytes[HEADER_LEN..]),
+            });
+        }
+        let expected_total = HEADER_LEN as u64 + payload_len;
+        if (bytes.len() as u64) < expected_total {
+            return Err(CheckpointError::Truncated {
+                expected: expected_total as usize,
+                got: bytes.len(),
+            });
+        }
+        let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len as usize];
+        let got = fnv1a(payload);
+        if got != checksum {
+            return Err(CheckpointError::BadChecksum {
+                expected: checksum,
+                got,
+            });
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for e in 0..count as usize {
+            let at = |w: usize| u64_at(payload, e * ENTRY_LEN + w * 8);
+            entries.push((
+                at(0) as usize,
+                Record {
+                    design: CacheDesign {
+                        cache_size: at(1) as usize,
+                        line: at(2) as usize,
+                        assoc: at(3) as usize,
+                        tiling: at(4),
+                    },
+                    miss_rate: f64::from_bits(at(5)),
+                    cycles: f64::from_bits(at(6)),
+                    energy_nj: f64::from_bits(at(7)),
+                    trip_count: at(8),
+                    conflict_free: at(9) != 0,
+                },
+            ));
+        }
+        Ok(Checkpoint { sweep_id, entries })
+    }
+
+    /// Writes the checkpoint atomically: the bytes go to `<path>.tmp`,
+    /// are flushed, and the temp file is renamed over `path`. A reader
+    /// (or a crash at any instant) sees either the previous complete
+    /// checkpoint or this one — never a torn mix.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let io = |source: std::io::Error| CheckpointError::Io {
+            path: path.display().to_string(),
+            source,
+        };
+        let tmp = path.with_extension("tmp");
+        let mut f = fs::File::create(&tmp).map_err(io)?;
+        f.write_all(&self.to_bytes()).map_err(io)?;
+        f.sync_all().map_err(io)?;
+        drop(f);
+        fs::rename(&tmp, path).map_err(io)
+    }
+
+    /// Reads and validates a checkpoint from disk.
+    pub fn read(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = fs::read(path).map_err(|source| CheckpointError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let record = |i: u64| Record {
+            design: CacheDesign {
+                cache_size: 1 << (6 + i),
+                line: 8,
+                assoc: 2,
+                tiling: 4,
+            },
+            miss_rate: 0.125 + i as f64 * 0.001,
+            cycles: 1e6 + i as f64,
+            energy_nj: 42.5 * (i + 1) as f64,
+            trip_count: 1000 + i,
+            conflict_free: i.is_multiple_of(2),
+        };
+        Checkpoint {
+            sweep_id: 0xdead_beef_cafe_f00d,
+            entries: (0..5).map(|i| (i as usize * 3, record(i))).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        let ck = sample();
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        // Record's PartialEq is bitwise on the floats, so this asserts
+        // bit-identity, not approximate equality.
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn empty_checkpoint_round_trips() {
+        let ck = Checkpoint {
+            sweep_id: 7,
+            entries: Vec::new(),
+        };
+        assert_eq!(Checkpoint::from_bytes(&ck.to_bytes()).unwrap(), ck);
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_clean_error() {
+        let bytes = sample().to_bytes();
+        for len in 0..bytes.len() {
+            let err = Checkpoint::from_bytes(&bytes[..len])
+                .expect_err("truncated checkpoint must not parse");
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated { .. } | CheckpointError::BadChecksum { .. }
+                ),
+                "length {len}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_bit_fails_checksum() {
+        let mut bytes = sample().to_bytes();
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed() {
+        let good = sample().to_bytes();
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'Z';
+        assert!(matches!(
+            Checkpoint::from_bytes(&bad_magic),
+            Err(CheckpointError::BadMagic)
+        ));
+        let mut bad_version = good;
+        bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&bad_version),
+            Err(CheckpointError::BadVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!("memx-ck-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
+        let ck = sample();
+        ck.write_atomic(&path).unwrap();
+        assert_eq!(Checkpoint::read(&path).unwrap(), ck);
+        // Overwrite with a longer checkpoint; the rename replaces cleanly.
+        let mut bigger = ck.clone();
+        bigger.entries.extend_from_slice(&ck.entries);
+        bigger.write_atomic(&path).unwrap();
+        assert_eq!(Checkpoint::read(&path).unwrap(), bigger);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Checkpoint::read(Path::new("/nonexistent/sweep.ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io { .. }));
+        assert!(err.to_string().contains("/nonexistent/sweep.ckpt"));
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

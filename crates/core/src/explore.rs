@@ -19,12 +19,14 @@
 //! either way, so the returned order is the deterministic sweep order
 //! regardless of scheduling or engine.
 
+use crate::checkpoint::CheckpointError;
 use crate::metrics::{read_trace, CacheDesign, Evaluator, Record};
 use crate::telemetry::SweepTelemetry;
 use loopir::transform::tile_all;
 use loopir::{DataLayout, Kernel};
-use memsim::TraceArena;
+use memsim::{TraceArena, TraceEvent};
 use std::collections::HashMap;
+use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -135,6 +137,66 @@ impl fmt::Display for Engine {
     }
 }
 
+/// A typed sweep failure.
+///
+/// Worker panics are joined and *propagated* as this error instead of
+/// re-panicking on the coordinating thread (which used to turn one broken
+/// design into an abort of the whole process). The supervised sweep
+/// ([`Explorer::explore_supervised`](crate::supervisor)) additionally
+/// wraps checkpoint problems.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// A worker thread panicked during the named sweep phase. The panic
+    /// payload (when it was a string) is preserved in `message`.
+    WorkerPanic {
+        /// Sweep phase that lost the worker (`layout`, `trace`,
+        /// `simulate`, `fallback`).
+        phase: &'static str,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// Loading or validating a sweep checkpoint failed.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::WorkerPanic { phase, message } => {
+                write!(f, "sweep worker panicked during {phase} phase: {message}")
+            }
+            ExploreError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl Error for ExploreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExploreError::Checkpoint(e) => Some(e),
+            ExploreError::WorkerPanic { .. } => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for ExploreError {
+    fn from(e: CheckpointError) -> Self {
+        ExploreError::Checkpoint(e)
+    }
+}
+
+/// Renders a panic payload as text (panics carry `&str` or `String` in
+/// practice; anything else is reported generically).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Powers of two from `lo` to `hi` inclusive.
 pub fn pow2_range(lo: usize, hi: usize) -> Vec<usize> {
     assert!(lo > 0 && lo.is_power_of_two() && hi.is_power_of_two() && lo <= hi);
@@ -158,6 +220,19 @@ pub(crate) fn steal_loop<F: Fn(usize) + Sync>(
     jobs: usize,
     run: F,
 ) -> Vec<Duration> {
+    try_steal_loop(workers, jobs, run)
+        .unwrap_or_else(|message| panic!("sweep worker panicked: {message}"))
+}
+
+/// Fallible [`steal_loop`]: a panicking worker is *joined*, the remaining
+/// workers drain the queue, and the first panic's payload comes back as
+/// `Err` — the coordinating thread never double-panics and callers can
+/// surface the failure as a typed [`ExploreError`].
+pub(crate) fn try_steal_loop<F: Fn(usize) + Sync>(
+    workers: usize,
+    jobs: usize,
+    run: F,
+) -> Result<Vec<Duration>, String> {
     let next = AtomicUsize::new(0);
     let work = |next: &AtomicUsize| {
         let start = Instant::now();
@@ -171,14 +246,27 @@ pub(crate) fn steal_loop<F: Fn(usize) + Sync>(
         start.elapsed()
     };
     if workers <= 1 || jobs <= 1 {
-        return vec![work(&next)];
+        return match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(&next))) {
+            Ok(busy) => Ok(vec![busy]),
+            Err(payload) => Err(panic_message(payload)),
+        };
     }
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers).map(|_| scope.spawn(|| work(&next))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+        let mut busy = Vec::with_capacity(handles.len());
+        let mut first_panic: Option<String> = None;
+        for h in handles {
+            match h.join() {
+                Ok(d) => busy.push(d),
+                Err(payload) => {
+                    first_panic.get_or_insert_with(|| panic_message(payload));
+                }
+            }
+        }
+        match first_panic {
+            None => Ok(busy),
+            Some(message) => Err(message),
+        }
     })
 }
 
@@ -205,6 +293,66 @@ pub struct Explorer {
     /// Simulation engine ([`Engine::Fused`] by default; records are
     /// bit-identical either way).
     pub engine: Engine,
+}
+
+/// The shared preparation of a sweep: the layout phase (one off-chip
+/// placement per distinct `(T, L)` pair) and the trace phase (one
+/// materialized trace per distinct (deduplicated layout, tiling) key,
+/// interned into a [`TraceArena`]). Both the plain sweep and the
+/// supervised sweep run phases 3–4 over one of these.
+pub(crate) struct SweepPlan {
+    /// Distinct `(T, L)` pairs in first-appearance order.
+    pub pairs: Vec<(usize, usize)>,
+    /// `(T, L)` → index into [`pairs`](Self::pairs).
+    pub pair_index: HashMap<(usize, usize), usize>,
+    /// Conflict-free flag per pair (belongs to the pair, not the layout:
+    /// pairs with equal layout contents can differ here).
+    pub conflict_free: Vec<bool>,
+    /// Unique-layout id per pair (layouts deduplicated by value).
+    pub layout_id: Vec<usize>,
+    /// Distinct (layout id, tiling) trace keys in first-appearance order.
+    pub keys: Vec<(usize, u64)>,
+    /// Trace key → index into [`keys`](Self::keys).
+    pub key_index: HashMap<(usize, u64), usize>,
+    /// The shared trace storage, one immutable slice per key.
+    pub arena: TraceArena<(usize, u64)>,
+    /// Wall time of the layout phase.
+    pub layout_time: Duration,
+    /// Wall time of the trace phase.
+    pub trace_time: Duration,
+}
+
+impl SweepPlan {
+    /// The conflict-free flag of a design's `(T, L)` pair.
+    pub fn conflict_free_of(&self, d: &CacheDesign) -> bool {
+        self.conflict_free[self.pair_index[&(d.cache_size, d.line)]]
+    }
+
+    /// The trace key a design replays.
+    pub fn key_of(&self, d: &CacheDesign) -> (usize, u64) {
+        (
+            self.layout_id[self.pair_index[&(d.cache_size, d.line)]],
+            d.tiling,
+        )
+    }
+
+    /// The arena slice a design replays.
+    pub fn trace_of(&self, d: &CacheDesign) -> &[TraceEvent] {
+        self.arena
+            .get(&self.key_of(d))
+            .expect("trace phase interned every key")
+    }
+
+    /// Trace groups over `designs`: `groups[k]` lists the indices of every
+    /// design replaying key `k`, in sweep order — the fused engine's units
+    /// of work.
+    pub fn groups(&self, designs: &[CacheDesign]) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.keys.len()];
+        for (i, d) in designs.iter().enumerate() {
+            groups[self.key_index[&self.key_of(d)]].push(i);
+        }
+        groups
+    }
 }
 
 impl Explorer {
@@ -279,9 +427,21 @@ impl Explorer {
         kernel: &Kernel,
         designs: &[CacheDesign],
     ) -> (Vec<Record>, SweepTelemetry) {
-        let sweep_start = Instant::now();
-        let workers = self.worker_count(designs.len());
+        self.try_explore_designs_with_telemetry(kernel, designs)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 
+    /// Runs the layout and trace phases over `designs` and interns the
+    /// result — the part of the sweep shared by the plain and supervised
+    /// engines. A worker panic here is a whole-phase failure (layouts and
+    /// traces are inputs to *every* design), so it propagates as
+    /// [`ExploreError::WorkerPanic`] rather than being isolated per unit.
+    pub(crate) fn prepare(
+        &self,
+        kernel: &Kernel,
+        designs: &[CacheDesign],
+        workers: usize,
+    ) -> Result<SweepPlan, ExploreError> {
         // Phase 1: off-chip layouts, one per distinct (T, L).
         let phase_start = Instant::now();
         let mut pair_index: HashMap<(usize, usize), usize> = HashMap::new();
@@ -294,10 +454,14 @@ impl Explorer {
         }
         let layout_slots: Vec<OnceLock<(DataLayout, bool)>> =
             pairs.iter().map(|_| OnceLock::new()).collect();
-        steal_loop(workers, pairs.len(), |i| {
+        try_steal_loop(workers, pairs.len(), |i| {
             let (t, l) = pairs[i];
             let _ = layout_slots[i].set(self.evaluator.layout_for(kernel, t, l));
-        });
+        })
+        .map_err(|message| ExploreError::WorkerPanic {
+            phase: "layout",
+            message,
+        })?;
         let layout_time = phase_start.elapsed();
 
         // Phase 2: traces. A trace depends on the layout *contents* and the
@@ -312,21 +476,20 @@ impl Explorer {
                 .entry(d.tiling)
                 .or_insert_with(|| tile_all(kernel, d.tiling));
         }
-        let mut unique_layouts: Vec<&DataLayout> = Vec::new();
-        let layout_id: Vec<usize> = (0..pairs.len())
-            .map(|i| {
-                let (layout, _) = layout_slots[i]
-                    .get()
-                    .expect("layout phase filled every slot");
-                match unique_layouts.iter().position(|u| *u == layout) {
-                    Some(id) => id,
-                    None => {
-                        unique_layouts.push(layout);
-                        unique_layouts.len() - 1
-                    }
+        let mut conflict_free = Vec::with_capacity(pairs.len());
+        let mut unique_layouts: Vec<DataLayout> = Vec::new();
+        let mut layout_id = Vec::with_capacity(pairs.len());
+        for slot in layout_slots {
+            let (layout, cf) = slot.into_inner().expect("layout phase filled every slot");
+            conflict_free.push(cf);
+            match unique_layouts.iter().position(|u| *u == layout) {
+                Some(id) => layout_id.push(id),
+                None => {
+                    unique_layouts.push(layout);
+                    layout_id.push(unique_layouts.len() - 1);
                 }
-            })
-            .collect();
+            }
+        }
         let mut key_index: HashMap<(usize, u64), usize> = HashMap::new();
         let mut keys: Vec<(usize, u64)> = Vec::new();
         for d in designs {
@@ -336,12 +499,16 @@ impl Explorer {
                 keys.len() - 1
             });
         }
-        let trace_slots: Vec<OnceLock<Vec<memsim::TraceEvent>>> =
+        let trace_slots: Vec<OnceLock<Vec<TraceEvent>>> =
             keys.iter().map(|_| OnceLock::new()).collect();
-        steal_loop(workers, keys.len(), |i| {
+        try_steal_loop(workers, keys.len(), |i| {
             let (id, b) = keys[i];
-            let _ = trace_slots[i].set(read_trace(&tiled[&b], unique_layouts[id]));
-        });
+            let _ = trace_slots[i].set(read_trace(&tiled[&b], &unique_layouts[id]));
+        })
+        .map_err(|message| ExploreError::WorkerPanic {
+            phase: "trace",
+            message,
+        })?;
         let arena: TraceArena<(usize, u64)> = TraceArena::assemble(
             keys.iter().copied().zip(
                 trace_slots
@@ -351,6 +518,33 @@ impl Explorer {
         );
         let trace_time = phase_start.elapsed();
 
+        Ok(SweepPlan {
+            pairs,
+            pair_index,
+            conflict_free,
+            layout_id,
+            keys,
+            key_index,
+            arena,
+            layout_time,
+            trace_time,
+        })
+    }
+
+    /// Fallible [`explore_designs_with_telemetry`](Self::explore_designs_with_telemetry):
+    /// a worker panic in any phase surfaces as a typed
+    /// [`ExploreError`] instead of a process abort. For *per-unit* panic
+    /// isolation (quarantine, fallback, checkpointing), use the supervised
+    /// sweep in [`supervisor`](crate::supervisor).
+    pub fn try_explore_designs_with_telemetry(
+        &self,
+        kernel: &Kernel,
+        designs: &[CacheDesign],
+    ) -> Result<(Vec<Record>, SweepTelemetry), ExploreError> {
+        let sweep_start = Instant::now();
+        let workers = self.worker_count(designs.len());
+        let plan = self.prepare(kernel, designs, workers)?;
+
         // Phase 3: simulate. The conflict-free flag rides with each design
         // (it belongs to the design's own (T, L) pair, which can differ
         // within a trace group even though the layout contents agree).
@@ -358,31 +552,23 @@ impl Explorer {
         let record_slots: Vec<OnceLock<Record>> = designs.iter().map(|_| OnceLock::new()).collect();
         let replayed = AtomicUsize::new(0);
         let scanned = AtomicUsize::new(0);
-        let conflict_free_of = |i: usize| -> bool {
-            let pair = pair_index[&(designs[i].cache_size, designs[i].line)];
-            layout_slots[pair]
-                .get()
-                .expect("layout phase filled every slot")
-                .1
-        };
         let (worker_busy, fused_groups, max_bank_width) = match self.engine {
             Engine::Fused => {
                 // Trace groups: every design keyed to the same arena slice
                 // forms one bank, scanned once in lockstep.
-                let mut groups: Vec<Vec<usize>> = vec![Vec::new(); keys.len()];
-                for (i, d) in designs.iter().enumerate() {
-                    let id = layout_id[pair_index[&(d.cache_size, d.line)]];
-                    groups[key_index[&(id, d.tiling)]].push(i);
-                }
+                let groups = plan.groups(designs);
                 let max_width = groups.iter().map(Vec::len).max().unwrap_or(0);
-                let busy = steal_loop(workers, groups.len(), |g| {
+                let busy = try_steal_loop(workers, groups.len(), |g| {
                     let members = &groups[g];
-                    let trace = arena.get(&keys[g]).expect("trace phase interned every key");
+                    let trace = plan
+                        .arena
+                        .get(&plan.keys[g])
+                        .expect("trace phase interned every key");
                     scanned.fetch_add(trace.len(), Ordering::Relaxed);
                     replayed.fetch_add(trace.len() * members.len(), Ordering::Relaxed);
                     let bank: Vec<(CacheDesign, bool)> = members
                         .iter()
-                        .map(|&i| (designs[i], conflict_free_of(i)))
+                        .map(|&i| (designs[i], plan.conflict_free_of(&designs[i])))
                         .collect();
                     let records = self.evaluator.evaluate_bank_with_trace(&bank, trace);
                     for (&i, record) in members.iter().zip(records) {
@@ -392,23 +578,24 @@ impl Explorer {
                 (busy, groups.len(), max_width)
             }
             Engine::PerDesign => {
-                let busy = steal_loop(workers, designs.len(), |i| {
+                let busy = try_steal_loop(workers, designs.len(), |i| {
                     let d = designs[i];
-                    let pair = pair_index[&(d.cache_size, d.line)];
-                    let trace = arena
-                        .get(&(layout_id[pair], d.tiling))
-                        .expect("trace phase interned every key");
+                    let trace = plan.trace_of(&d);
                     replayed.fetch_add(trace.len(), Ordering::Relaxed);
                     scanned.fetch_add(trace.len(), Ordering::Relaxed);
                     let _ = record_slots[i].set(self.evaluator.evaluate_with_trace(
                         d,
                         trace,
-                        conflict_free_of(i),
+                        plan.conflict_free_of(&d),
                     ));
                 });
                 (busy, 0, 0)
             }
         };
+        let worker_busy = worker_busy.map_err(|message| ExploreError::WorkerPanic {
+            phase: "simulate",
+            message,
+        })?;
         let simulate_time = phase_start.elapsed();
 
         // Phase 4: collect records back into sweep order.
@@ -421,23 +608,23 @@ impl Explorer {
 
         let telemetry = SweepTelemetry {
             designs_evaluated: designs.len(),
-            layouts_computed: pairs.len(),
-            traces_generated: keys.len(),
-            trace_events_generated: arena.events().len() as u64,
+            layouts_computed: plan.pairs.len(),
+            traces_generated: plan.keys.len(),
+            trace_events_generated: plan.arena.events().len() as u64,
             trace_events_replayed: replayed.into_inner() as u64,
             trace_events_scanned: scanned.into_inner() as u64,
             fused_groups,
             max_bank_width,
             workers,
-            layout_time,
-            trace_time,
+            layout_time: plan.layout_time,
+            trace_time: plan.trace_time,
             simulate_time,
             select_time,
             total_time: sweep_start.elapsed(),
             worker_busy,
             ..SweepTelemetry::default()
         };
-        (records, telemetry)
+        Ok((records, telemetry))
     }
 }
 

@@ -38,18 +38,24 @@
 //! println!("minimum-energy configuration: {}", best.design);
 //! ```
 
+pub mod checkpoint;
 pub mod composite;
 pub mod cycles;
 pub mod explore;
+pub mod fault;
 pub mod hierarchy;
 pub mod metrics;
 pub mod pareto;
 pub mod select;
 pub mod spm;
+pub mod supervisor;
 pub mod telemetry;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use composite::{CompositeProgram, CompositeRecord};
 pub use cycles::CycleModel;
-pub use explore::{DesignSpace, Engine, Explorer};
+pub use explore::{DesignSpace, Engine, ExploreError, Explorer};
+pub use fault::FaultPlan;
 pub use metrics::{CacheDesign, Evaluator, PlacementMode, Record};
+pub use supervisor::{CheckpointPolicy, SweepError, SweepOptions, SweepOutcome};
 pub use telemetry::SweepTelemetry;

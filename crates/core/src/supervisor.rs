@@ -1,0 +1,434 @@
+//! Fault-isolated sweep supervision: panic quarantine, engine fallback,
+//! checkpoint/resume, and deadline-bounded partial results.
+//!
+//! The plain sweep engines ([`Explorer::explore_designs_with_telemetry`])
+//! treat a worker panic as fatal: long exhaustive sweeps lose every
+//! simulated record to one bad design. [`Explorer::explore_supervised`]
+//! instead wraps each *unit of work* — a trace group for the fused
+//! engine, a single design for the per-design engine — in
+//! [`catch_unwind`], and degrades per unit:
+//!
+//! * a panicking fused bank scan is **retried** once per member on the
+//!   per-design engine (the fallback path), so one poisoned design in a
+//!   bank cannot take its neighbours down with it;
+//! * a panicking single design is **quarantined** into a structured
+//!   [`SweepError`] instead of aborting;
+//! * every unaffected design stays **bit-identical** to a clean run,
+//!   because units share only immutable inputs (the interned sweep plan)
+//!   and write-once output slots.
+//!
+//! With a [`CheckpointPolicy`], completed records are periodically
+//! persisted through [`Checkpoint::write_atomic`]; a killed sweep resumed
+//! from the sidecar file re-simulates only the missing designs and its
+//! final output is bit-identical to an uninterrupted run. A cooperative
+//! [`deadline`](SweepOptions::deadline) is checked at unit boundaries and
+//! turns a timeout into a well-formed partial [`SweepOutcome`] flagged in
+//! telemetry. The deterministic [`FaultPlan`] hooks (compiled in by the
+//! `fault-injection` feature) let the suite drive each of these paths on
+//! purpose.
+
+use crate::checkpoint::{fnv1a, Checkpoint, CheckpointError};
+use crate::explore::{panic_message, try_steal_loop, ExploreError};
+use crate::fault::FaultPlan;
+use crate::metrics::{CacheDesign, Evaluator, Record};
+use crate::telemetry::SweepTelemetry;
+use crate::{Engine, Explorer};
+use loopir::Kernel;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How a supervised sweep persists progress.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Sidecar file written atomically (temp + rename).
+    pub path: PathBuf,
+    /// Flush after every `every` newly completed records (the final
+    /// flush at sweep end always happens). Clamped to at least 1.
+    pub every: usize,
+    /// Load `path` before sweeping and skip every design it already
+    /// holds. A missing file is treated as a fresh start; a corrupt or
+    /// mismatched file is a typed error.
+    pub resume: bool,
+}
+
+impl CheckpointPolicy {
+    /// Policy writing to `path` every 32 records, without resuming.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            every: 32,
+            resume: false,
+        }
+    }
+}
+
+/// Knobs of a supervised sweep. The default supervises panics only — no
+/// checkpointing, no deadline, no injected faults.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Checkpoint sidecar policy, if any.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Cooperative time budget, checked at unit-of-work boundaries.
+    pub deadline: Option<Duration>,
+    /// Deterministic fault plan (inert without the `fault-injection`
+    /// feature).
+    pub fault: FaultPlan,
+}
+
+/// One quarantined design: the sweep finished without it and recorded
+/// why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Index of the design in the sweep grid.
+    pub design_index: usize,
+    /// The design itself.
+    pub design: CacheDesign,
+    /// Engine that panicked last: `"fused"`, `"per-design"`, or
+    /// `"fallback"` (per-design retry after a fused bank panic).
+    pub engine: &'static str,
+    /// Panic payload, downcast to text.
+    pub message: String,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "design #{} ({}) quarantined on {} engine: {}",
+            self.design_index, self.design, self.engine, self.message
+        )
+    }
+}
+
+/// Result of a supervised sweep: records in sweep order (`None` for
+/// designs that were quarantined or never reached before cancellation),
+/// the quarantine log, and the run's telemetry.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Per-design records, in the grid's sweep order.
+    pub records: Vec<Option<Record>>,
+    /// Quarantined designs, sorted by design index.
+    pub errors: Vec<SweepError>,
+    /// Counters and timings, including the supervisor's quarantine /
+    /// retry / checkpoint / resume / cancellation accounting.
+    pub telemetry: SweepTelemetry,
+}
+
+impl SweepOutcome {
+    /// True when every design produced a record.
+    pub fn is_complete(&self) -> bool {
+        self.records.iter().all(Option::is_some)
+    }
+
+    /// The present records, in sweep order.
+    pub fn completed_records(&self) -> Vec<Record> {
+        self.records.iter().filter_map(Clone::clone).collect()
+    }
+}
+
+/// Stable identity of a sweep configuration, stored in checkpoint
+/// headers so a sidecar file can never be resumed against a different
+/// kernel, design grid, or evaluator.
+pub fn sweep_id(kernel: &Kernel, designs: &[CacheDesign], evaluator: &Evaluator) -> u64 {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(kernel.name.as_bytes());
+    bytes.push(0);
+    for d in designs {
+        for word in [d.cache_size as u64, d.line as u64, d.assoc as u64, d.tiling] {
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+    bytes.push(evaluator.placement as u8);
+    bytes.push(evaluator.bus_encoding as u8);
+    bytes.extend_from_slice(evaluator.energy_model.part.name.as_bytes());
+    bytes.extend_from_slice(
+        &evaluator
+            .energy_model
+            .part
+            .energy_per_access_nj
+            .to_bits()
+            .to_le_bytes(),
+    );
+    fnv1a(&bytes)
+}
+
+/// Mutable checkpoint state shared by workers. Held only for pushes and
+/// flushes — never across a simulation — so a unit panic cannot poison
+/// it mid-update.
+struct Sink {
+    entries: Vec<(usize, Record)>,
+    since_flush: usize,
+    flushes: usize,
+    written: usize,
+    failed: usize,
+}
+
+impl Explorer {
+    /// Runs the sweep under the fault-isolation supervisor. Layout and
+    /// trace phases are shared inputs to every design, so a panic there
+    /// is still a whole-sweep [`ExploreError`]; from the simulate phase
+    /// on, failures degrade per unit of work as described in the module
+    /// docs.
+    pub fn explore_supervised(
+        &self,
+        kernel: &Kernel,
+        designs: &[CacheDesign],
+        options: &SweepOptions,
+    ) -> Result<SweepOutcome, ExploreError> {
+        let sweep_start = Instant::now();
+        let workers = self.worker_count(designs.len());
+        let id = sweep_id(kernel, designs, &self.evaluator);
+
+        // Resume: pre-fill output slots from the sidecar file.
+        let record_slots: Vec<OnceLock<Record>> = designs.iter().map(|_| OnceLock::new()).collect();
+        let mut resumed_entries: Vec<(usize, Record)> = Vec::new();
+        if let Some(policy) = options.checkpoint.as_ref().filter(|p| p.resume) {
+            match Checkpoint::read(&policy.path) {
+                Ok(ck) => {
+                    if ck.sweep_id != id {
+                        return Err(CheckpointError::SweepMismatch {
+                            expected: id,
+                            found: ck.sweep_id,
+                        }
+                        .into());
+                    }
+                    for (idx, record) in ck.entries {
+                        if idx >= designs.len() {
+                            return Err(CheckpointError::BadEntry {
+                                index: idx as u64,
+                                designs: designs.len(),
+                            }
+                            .into());
+                        }
+                        let _ = record_slots[idx].set(record.clone());
+                        resumed_entries.push((idx, record));
+                    }
+                }
+                // A missing sidecar just means nothing was completed yet
+                // (the natural state of a fresh `--resume` invocation);
+                // any other failure is a real, reportable error.
+                Err(CheckpointError::Io { ref source, .. })
+                    if source.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let records_resumed = resumed_entries.len();
+
+        let plan = self.prepare(kernel, designs, workers)?;
+
+        let phase_start = Instant::now();
+        let replayed = AtomicUsize::new(0);
+        let scanned = AtomicUsize::new(0);
+        let retried = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let deadline = options.deadline.map(|d| sweep_start + d);
+        let errors: Mutex<Vec<SweepError>> = Mutex::new(Vec::new());
+        let sink = Mutex::new(Sink {
+            entries: resumed_entries,
+            since_flush: 0,
+            flushes: 0,
+            written: 0,
+            failed: 0,
+        });
+
+        // Locks in this phase never panic while held (pushes and atomic
+        // file writes only), so a poisoned mutex means a supervisor bug —
+        // recover the data rather than cascading the panic.
+        let quarantine = |e: SweepError| {
+            errors.lock().unwrap_or_else(|p| p.into_inner()).push(e);
+        };
+        let flush_with_id = |sink: &mut Sink, policy: &CheckpointPolicy| {
+            let nth = sink.flushes;
+            sink.flushes += 1;
+            sink.since_flush = 0;
+            if options.fault.should_fail_checkpoint(nth) {
+                sink.failed += 1;
+                return;
+            }
+            let ck = Checkpoint {
+                sweep_id: id,
+                entries: sink.entries.clone(),
+            };
+            match ck.write_atomic(&policy.path) {
+                Ok(()) => sink.written += 1,
+                // A failed flush loses nothing but recency: the previous
+                // checkpoint is still intact on disk (atomic rename), so
+                // the sweep keeps going and the counter reports it.
+                Err(_) => sink.failed += 1,
+            }
+        };
+        let complete = |idx: usize, record: Record| {
+            if record_slots[idx].set(record.clone()).is_ok() {
+                if let Some(policy) = options.checkpoint.as_ref() {
+                    let mut sink = sink.lock().unwrap_or_else(|p| p.into_inner());
+                    sink.entries.push((idx, record));
+                    sink.since_flush += 1;
+                    if sink.since_flush >= policy.every.max(1) {
+                        flush_with_id(&mut sink, policy);
+                    }
+                }
+            }
+        };
+        let out_of_time = || {
+            if cancelled.load(Ordering::Relaxed) {
+                return true;
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                cancelled.store(true, Ordering::Relaxed);
+                return true;
+            }
+            false
+        };
+        // Per-design simulation, shared by the per-design engine and the
+        // fused engine's fallback path. `AssertUnwindSafe` is sound here:
+        // the closure only reads the immutable plan/evaluator and a panic
+        // cannot leave a half-written record, because the write-once slot
+        // is only set after the evaluation returns (see also the panic-
+        // safety audit in `memsim::bank`).
+        let simulate_one = |i: usize| -> Result<Record, String> {
+            catch_unwind(AssertUnwindSafe(|| {
+                options.fault.maybe_panic_design(i);
+                let d = designs[i];
+                let trace = plan.trace_of(&d);
+                replayed.fetch_add(trace.len(), Ordering::Relaxed);
+                scanned.fetch_add(trace.len(), Ordering::Relaxed);
+                self.evaluator
+                    .evaluate_with_trace(d, trace, plan.conflict_free_of(&d))
+            }))
+            .map_err(panic_message)
+        };
+
+        let (worker_busy, fused_groups, max_bank_width) = match self.engine {
+            Engine::Fused => {
+                let groups = plan.groups(designs);
+                let max_width = groups.iter().map(Vec::len).max().unwrap_or(0);
+                let busy = try_steal_loop(workers, groups.len(), |g| {
+                    if out_of_time() {
+                        return;
+                    }
+                    let members = &groups[g];
+                    if members.iter().all(|&i| record_slots[i].get().is_some()) {
+                        return; // whole group resumed from the checkpoint
+                    }
+                    let scan = catch_unwind(AssertUnwindSafe(|| {
+                        options.fault.maybe_panic_group(g);
+                        let trace = plan
+                            .arena
+                            .get(&plan.keys[g])
+                            .expect("trace phase interned every key");
+                        scanned.fetch_add(trace.len(), Ordering::Relaxed);
+                        replayed.fetch_add(trace.len() * members.len(), Ordering::Relaxed);
+                        let bank: Vec<(CacheDesign, bool)> = members
+                            .iter()
+                            .map(|&i| (designs[i], plan.conflict_free_of(&designs[i])))
+                            .collect();
+                        self.evaluator.evaluate_bank_with_trace(&bank, trace)
+                    }));
+                    match scan {
+                        Ok(records) => {
+                            for (&i, record) in members.iter().zip(records) {
+                                complete(i, record);
+                            }
+                        }
+                        Err(_) => {
+                            // Fallback: re-run each member alone on the
+                            // per-design engine; only a design that also
+                            // panics there is quarantined.
+                            for &i in members {
+                                if record_slots[i].get().is_some() {
+                                    continue;
+                                }
+                                retried.fetch_add(1, Ordering::Relaxed);
+                                match simulate_one(i) {
+                                    Ok(record) => complete(i, record),
+                                    Err(message) => quarantine(SweepError {
+                                        design_index: i,
+                                        design: designs[i],
+                                        engine: "fallback",
+                                        message,
+                                    }),
+                                }
+                            }
+                        }
+                    }
+                });
+                (busy, groups.len(), max_width)
+            }
+            Engine::PerDesign => {
+                let busy = try_steal_loop(workers, designs.len(), |i| {
+                    if out_of_time() || record_slots[i].get().is_some() {
+                        return;
+                    }
+                    match simulate_one(i) {
+                        Ok(record) => complete(i, record),
+                        Err(message) => quarantine(SweepError {
+                            design_index: i,
+                            design: designs[i],
+                            engine: "per-design",
+                            message,
+                        }),
+                    }
+                });
+                (busy, 0, 0)
+            }
+        };
+        let worker_busy = worker_busy.map_err(|message| ExploreError::WorkerPanic {
+            phase: "simulate",
+            message,
+        })?;
+        let simulate_time = phase_start.elapsed();
+
+        // Final flush so the sidecar captures the tail of the sweep.
+        let (checkpoints_written, checkpoints_failed) = match options.checkpoint.as_ref() {
+            Some(policy) => {
+                let mut sink = sink.lock().unwrap_or_else(|p| p.into_inner());
+                if sink.since_flush > 0 || sink.flushes == 0 {
+                    flush_with_id(&mut sink, policy);
+                }
+                (sink.written, sink.failed)
+            }
+            None => (0, 0),
+        };
+
+        let phase_start = Instant::now();
+        let records: Vec<Option<Record>> =
+            record_slots.into_iter().map(OnceLock::into_inner).collect();
+        let mut errors = errors.into_inner().unwrap_or_else(|p| p.into_inner());
+        errors.sort_by_key(|e| e.design_index);
+        let select_time = phase_start.elapsed();
+
+        let telemetry = SweepTelemetry {
+            designs_evaluated: records.iter().filter(|r| r.is_some()).count(),
+            layouts_computed: plan.pairs.len(),
+            traces_generated: plan.keys.len(),
+            trace_events_generated: plan.arena.events().len() as u64,
+            trace_events_replayed: replayed.into_inner() as u64,
+            trace_events_scanned: scanned.into_inner() as u64,
+            fused_groups,
+            max_bank_width,
+            workers,
+            layout_time: plan.layout_time,
+            trace_time: plan.trace_time,
+            simulate_time,
+            select_time,
+            total_time: sweep_start.elapsed(),
+            worker_busy,
+            designs_quarantined: errors.len(),
+            designs_retried: retried.into_inner(),
+            checkpoints_written,
+            checkpoints_failed,
+            records_resumed,
+            cancelled: cancelled.into_inner(),
+            ..SweepTelemetry::default()
+        };
+        Ok(SweepOutcome {
+            records,
+            errors,
+            telemetry,
+        })
+    }
+}

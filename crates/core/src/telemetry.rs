@@ -62,6 +62,22 @@ pub struct SweepTelemetry {
     /// Wall time spent computing admissible bounds and dominance checks
     /// (zero for exhaustive sweeps).
     pub bound_time: Duration,
+    /// Designs quarantined by the supervisor after panicking on every
+    /// available engine (0 for unsupervised sweeps).
+    pub designs_quarantined: usize,
+    /// Designs re-run on the per-design fallback engine after their
+    /// fused bank scan panicked.
+    pub designs_retried: usize,
+    /// Checkpoint flushes that reached the sidecar file.
+    pub checkpoints_written: usize,
+    /// Checkpoint flushes that failed (the sweep continues; the previous
+    /// checkpoint stays intact on disk).
+    pub checkpoints_failed: usize,
+    /// Records loaded from a resumed checkpoint instead of simulated.
+    pub records_resumed: usize,
+    /// True when a cooperative deadline cancelled the sweep, leaving a
+    /// well-formed partial result.
+    pub cancelled: bool,
 }
 
 impl SweepTelemetry {
@@ -137,6 +153,9 @@ impl SweepTelemetry {
                 "\"trace_reuse_factor\":{:.3},\"workers\":{},",
                 "\"worker_utilization\":{:.3},\"designs_pruned\":{},",
                 "\"prune_rate\":{:.3},\"frontier_size\":{},",
+                "\"designs_quarantined\":{},\"designs_retried\":{},",
+                "\"checkpoints_written\":{},\"checkpoints_failed\":{},",
+                "\"records_resumed\":{},\"cancelled\":{},",
                 "\"layout_secs\":{:.6},\"trace_secs\":{:.6},",
                 "\"bound_secs\":{:.6},\"simulate_secs\":{:.6},",
                 "\"select_secs\":{:.6},\"total_secs\":{:.6}}}"
@@ -157,6 +176,12 @@ impl SweepTelemetry {
             self.designs_pruned,
             self.prune_rate(),
             self.frontier_size,
+            self.designs_quarantined,
+            self.designs_retried,
+            self.checkpoints_written,
+            self.checkpoints_failed,
+            self.records_resumed,
+            self.cancelled,
             self.layout_time.as_secs_f64(),
             self.trace_time.as_secs_f64(),
             self.bound_time.as_secs_f64(),
@@ -224,6 +249,23 @@ impl fmt::Display for SweepTelemetry {
                 "  frontier : {} non-dominated designs",
                 self.frontier_size
             )?;
+        }
+        if self.designs_quarantined > 0 || self.designs_retried > 0 {
+            writeln!(
+                f,
+                "  isolate  : {} designs quarantined, {} retried on the per-design fallback",
+                self.designs_quarantined, self.designs_retried
+            )?;
+        }
+        if self.checkpoints_written > 0 || self.checkpoints_failed > 0 || self.records_resumed > 0 {
+            writeln!(
+                f,
+                "  ckpt     : {} flushes written, {} failed, {} records resumed",
+                self.checkpoints_written, self.checkpoints_failed, self.records_resumed
+            )?;
+        }
+        if self.cancelled {
+            writeln!(f, "  deadline : sweep cancelled, result is partial")?;
         }
         write!(
             f,
@@ -339,6 +381,43 @@ mod tests {
         assert!(j.contains("\"designs_pruned\":24"));
         assert!(j.contains("\"prune_rate\":0.750"));
         assert_eq!(j.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn supervisor_accounting() {
+        let mut t = sample();
+        t.designs_quarantined = 1;
+        t.designs_retried = 4;
+        t.checkpoints_written = 3;
+        t.checkpoints_failed = 1;
+        t.records_resumed = 120;
+        t.cancelled = true;
+        let j = t.to_json();
+        for field in [
+            "\"designs_quarantined\":1",
+            "\"designs_retried\":4",
+            "\"checkpoints_written\":3",
+            "\"checkpoints_failed\":1",
+            "\"records_resumed\":120",
+            "\"cancelled\":true",
+        ] {
+            assert!(j.contains(field), "missing {field} in {j}");
+        }
+        assert_eq!(j.matches('{').count(), 1);
+        let s = t.to_string();
+        assert!(s.contains("isolate"), "{s}");
+        assert!(s.contains("ckpt"), "{s}");
+        assert!(s.contains("cancelled"), "{s}");
+    }
+
+    #[test]
+    fn display_hides_supervisor_lines_for_plain_runs() {
+        let s = sample().to_string();
+        assert!(!s.contains("isolate"));
+        assert!(!s.contains("ckpt"));
+        assert!(!s.contains("deadline"));
+        let j = sample().to_json();
+        assert!(j.contains("\"cancelled\":false"));
     }
 
     #[test]

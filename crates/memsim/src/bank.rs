@@ -209,6 +209,23 @@ impl Lane {
 /// Lane order follows the configuration order given at construction;
 /// [`into_reports`](Self::into_reports) returns one [`SimReport`] per lane
 /// in that order.
+///
+/// # Panic safety
+///
+/// Sweep supervisors run bank scans under `catch_unwind` and fall back to
+/// per-design simulation when a scan panics, which makes the bank's
+/// unwind behaviour part of its contract:
+///
+/// * A bank is **plain owned data** — `Vec`s of counters, cache arrays,
+///   and bus monitors; no interior mutability, locks, raw pointers, or
+///   `unsafe`. It is therefore `UnwindSafe`/`RefUnwindSafe` by
+///   construction (asserted by a compile-time test below), and a panic
+///   mid-step cannot corrupt anything outside the bank itself.
+/// * A caught panic **poisons the bank's value, not its invariants**: a
+///   lane may have stepped more events than its neighbour. Callers must
+///   discard the bank after a caught panic and re-simulate — exactly what
+///   the supervisor's fallback path does — rather than resume stepping
+///   it.
 #[derive(Clone, Debug)]
 pub struct ReplayBank {
     lanes: Vec<Lane>,
@@ -516,6 +533,16 @@ mod tests {
             assert_eq!(lone.stats, report.stats, "{config}");
             assert!(report.stats.buffer_hits > 0, "{config}");
         }
+    }
+
+    #[test]
+    fn bank_is_unwind_safe_and_send() {
+        // The supervisor relies on these bounds to wrap bank scans in
+        // `catch_unwind` and to run banks on stealing workers; adding
+        // interior mutability or raw pointers to a lane would break this
+        // at compile time, here.
+        fn assert_bounds<T: std::panic::UnwindSafe + std::panic::RefUnwindSafe + Send>() {}
+        assert_bounds::<ReplayBank>();
     }
 
     #[test]

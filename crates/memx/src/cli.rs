@@ -11,9 +11,13 @@ USAGE:
   memx explore   KERNEL.mx [--part cy7c|lp2m|16m] [--em NJ] [--natural]
                  [--analytical] [--bound-cycles N] [--bound-energy NJ]
                  [--pareto] [--telemetry] [--engine fused|per-design]
+                 [--checkpoint PATH [--checkpoint-every N] [--resume]]
+                 [--deadline SECS]
   memx pareto    KERNEL.mx [--part cy7c|lp2m|16m] [--em NJ] [--natural]
                  [--format csv|json] [--exhaustive] [--telemetry]
                  [--engine fused|per-design]
+                 [--checkpoint PATH [--checkpoint-every N] [--resume]]
+                 [--deadline SECS]
   memx simulate  KERNEL.mx --cache N --line N [--assoc N] [--tiling B]
                  [--natural] [--classify]
   memx place     KERNEL.mx --cache N --line N
@@ -33,6 +37,63 @@ Kernel files use the loopir text format, e.g.:
     read  a[i-1][j-1]
     write a[i][j]
 ";
+
+/// Sweep-supervisor flags shared by `explore` and `pareto`
+/// (checkpoint/resume/deadline). All default to off; the sweep then runs
+/// supervised only when one of them is set.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Supervise {
+    /// Checkpoint sidecar path (`--checkpoint`).
+    pub checkpoint: Option<String>,
+    /// Flush the checkpoint after every N completed records
+    /// (`--checkpoint-every`, default 32).
+    pub checkpoint_every: usize,
+    /// Resume from an existing checkpoint (`--resume`).
+    pub resume: bool,
+    /// Cooperative deadline in seconds (`--deadline`).
+    pub deadline_secs: Option<f64>,
+}
+
+impl Supervise {
+    /// True when any supervisor feature was requested.
+    pub fn is_active(&self) -> bool {
+        self.checkpoint.is_some() || self.deadline_secs.is_some()
+    }
+
+    /// Cross-flag validation, run after the flag loop.
+    fn validate(&self) -> Result<(), UsageError> {
+        if self.resume && self.checkpoint.is_none() {
+            return Err(err("`--resume` requires `--checkpoint PATH`"));
+        }
+        if self.checkpoint_every > 0 && self.checkpoint.is_none() {
+            return Err(err("`--checkpoint-every` requires `--checkpoint PATH`"));
+        }
+        // `<= 0.0 || NaN` rather than `!(d > 0.0)`: same set, and clippy
+        // prefers the comparison spelled positively.
+        if self.deadline_secs.is_some_and(|d| d <= 0.0 || d.is_nan()) {
+            return Err(err("`--deadline` must be a positive number of seconds"));
+        }
+        Ok(())
+    }
+
+    /// Handles one supervisor flag; returns false if `flag` is not one.
+    fn parse_flag(&mut self, flag: &str, args: &mut Args<'_>) -> Result<bool, UsageError> {
+        match flag {
+            "--checkpoint" => self.checkpoint = Some(args.value_of(flag)?.to_string()),
+            "--checkpoint-every" => {
+                let n: usize = parse_num(flag, args.value_of(flag)?)?;
+                if n == 0 {
+                    return Err(err("`--checkpoint-every` must be at least 1"));
+                }
+                self.checkpoint_every = n;
+            }
+            "--resume" => self.resume = true,
+            "--deadline" => self.deadline_secs = Some(parse_num(flag, args.value_of(flag)?)?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
 
 /// A parsed command line.
 #[derive(Clone, PartialEq, Debug)]
@@ -59,6 +120,8 @@ pub enum Command {
         telemetry: bool,
         /// Simulation engine (`fused`, the default, or `per-design`).
         engine: String,
+        /// Supervisor options (checkpoint/resume/deadline).
+        supervise: Supervise,
     },
     /// The three-objective Pareto frontier over the paper grid, with
     /// admissible branch-and-bound pruning.
@@ -79,6 +142,8 @@ pub enum Command {
         telemetry: bool,
         /// Simulation engine (`fused`, the default, or `per-design`).
         engine: String,
+        /// Supervisor options (checkpoint/resume/deadline).
+        supervise: Supervise,
     },
     /// Simulate one configuration.
     Simulate {
@@ -221,6 +286,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 pareto: false,
                 telemetry: false,
                 engine: "fused".to_string(),
+                supervise: Supervise::default(),
             };
             while let Some(flag) = args.next() {
                 let Command::Explore {
@@ -233,6 +299,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     pareto,
                     telemetry,
                     engine,
+                    supervise,
                     ..
                 } = &mut cmd
                 else {
@@ -260,8 +327,15 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     "--pareto" => *pareto = true,
                     "--telemetry" => *telemetry = true,
                     "--engine" => *engine = parse_engine(args.value_of(flag)?)?,
-                    other => return Err(err(format!("unknown flag `{other}` for explore"))),
+                    other => {
+                        if !supervise.parse_flag(other, &mut args)? {
+                            return Err(err(format!("unknown flag `{other}` for explore")));
+                        }
+                    }
                 }
+            }
+            if let Command::Explore { supervise, .. } = &cmd {
+                supervise.validate()?;
             }
             Ok(cmd)
         }
@@ -277,6 +351,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
             let mut exhaustive = false;
             let mut telemetry = false;
             let mut engine = "fused".to_string();
+            let mut supervise = Supervise::default();
             while let Some(flag) = args.next() {
                 match flag {
                     "--part" => {
@@ -302,9 +377,14 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     "--exhaustive" => exhaustive = true,
                     "--telemetry" => telemetry = true,
                     "--engine" => engine = parse_engine(args.value_of(flag)?)?,
-                    other => return Err(err(format!("unknown flag `{other}` for pareto"))),
+                    other => {
+                        if !supervise.parse_flag(other, &mut args)? {
+                            return Err(err(format!("unknown flag `{other}` for pareto")));
+                        }
+                    }
                 }
             }
+            supervise.validate()?;
             Ok(Command::Pareto {
                 file,
                 part,
@@ -314,6 +394,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 exhaustive,
                 telemetry,
                 engine,
+                supervise,
             })
         }
         "simulate" => {
@@ -449,6 +530,7 @@ mod tests {
                 telemetry,
                 em_nj,
                 engine,
+                supervise,
             } => {
                 assert_eq!(file, "k.mx");
                 assert_eq!(part, "16m");
@@ -457,6 +539,8 @@ mod tests {
                 assert_eq!(bound_energy, Some(5500.0));
                 assert_eq!(em_nj, None);
                 assert_eq!(engine, "per-design");
+                assert_eq!(supervise, Supervise::default());
+                assert!(!supervise.is_active());
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -486,6 +570,7 @@ mod tests {
                 exhaustive,
                 telemetry,
                 engine,
+                supervise,
             } => {
                 assert_eq!(file, "k.mx");
                 assert_eq!(part, "lp2m");
@@ -493,6 +578,7 @@ mod tests {
                 assert!(natural && exhaustive && telemetry);
                 assert_eq!(format, "json");
                 assert_eq!(engine, "fused");
+                assert!(!supervise.is_active());
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -554,6 +640,43 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn parses_supervisor_flags_on_both_sweeps() {
+        let cmd = parse_args(&argv(
+            "explore k.mx --checkpoint sweep.ckpt --checkpoint-every 8 --resume --deadline 2.5",
+        ))
+        .expect("valid");
+        match cmd {
+            Command::Explore { supervise, .. } => {
+                assert_eq!(supervise.checkpoint.as_deref(), Some("sweep.ckpt"));
+                assert_eq!(supervise.checkpoint_every, 8);
+                assert!(supervise.resume);
+                assert_eq!(supervise.deadline_secs, Some(2.5));
+                assert!(supervise.is_active());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse_args(&argv("pareto k.mx --checkpoint p.ckpt")).expect("valid") {
+            Command::Pareto { supervise, .. } => {
+                assert_eq!(supervise.checkpoint.as_deref(), Some("p.ckpt"));
+                assert!(!supervise.resume);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervisor_flag_combinations_are_validated() {
+        let e = parse_args(&argv("explore k.mx --resume")).expect_err("should fail");
+        assert!(e.0.contains("--checkpoint"), "{e}");
+        let e = parse_args(&argv("pareto k.mx --checkpoint-every 4")).expect_err("should fail");
+        assert!(e.0.contains("--checkpoint"), "{e}");
+        assert!(parse_args(&argv("explore k.mx --checkpoint c --checkpoint-every 0")).is_err());
+        assert!(parse_args(&argv("explore k.mx --deadline 0")).is_err());
+        assert!(parse_args(&argv("explore k.mx --deadline -3")).is_err());
+        assert!(parse_args(&argv("explore k.mx --checkpoint")).is_err());
     }
 
     #[test]

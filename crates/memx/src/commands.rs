@@ -1,25 +1,76 @@
 //! Command implementations: each returns its report as a `String`.
 
-use crate::cli::{Command, USAGE};
+use crate::cli::{Command, Supervise, USAGE};
 use analysis::classes::{partition_cases, partition_classes};
 use analysis::min_cache::MinCacheReport;
 use analysis::placement::optimize_layout;
 use energy::SramPart;
 use loopir::parse::parse_kernel;
 use loopir::{AccessKind, ArrayId, DataLayout, Kernel, TraceGen};
-use memexplore::{select, CacheDesign, DesignSpace, Engine, Evaluator, Explorer, PlacementMode};
+use memexplore::{
+    select, CacheDesign, CheckpointPolicy, DesignSpace, Engine, Evaluator, ExploreError, Explorer,
+    FaultPlan, PlacementMode, SweepOptions, SweepOutcome,
+};
 use memsim::din::{parse_din, write_din, DinLabel, DinRecord};
 use memsim::{CacheConfig, Simulator, TraceEvent};
 use std::error::Error;
+use std::fmt;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// A failed command, classified by the exit-code contract: invalid CLI
+/// input is exit 2 (handled by the parser), I/O failures are also exit 2,
+/// every other runtime failure is exit 1.
+#[derive(Debug)]
+pub enum RunError {
+    /// Filesystem problem (unreadable input, unwritable or corrupt
+    /// checkpoint) — one line on stderr, exit code 2.
+    Io(String),
+    /// Any other runtime failure — exit code 1.
+    Other(Box<dyn Error + Send + Sync>),
+}
+
+impl RunError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Self::Io(_) => 2,
+            Self::Other(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(msg) => write!(f, "{msg}"),
+            Self::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+impl From<Box<dyn Error + Send + Sync>> for RunError {
+    fn from(e: Box<dyn Error + Send + Sync>) -> Self {
+        Self::Other(e)
+    }
+}
+
+impl From<String> for RunError {
+    fn from(e: String) -> Self {
+        Self::Other(e.into())
+    }
+}
 
 /// Executes a parsed command, reading kernel files from disk.
 ///
 /// # Errors
 ///
-/// I/O errors, kernel parse errors, and invalid geometries are returned as
-/// boxed errors for the binary to print.
-pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
+/// [`RunError`] carrying the message and the exit code: I/O failures map
+/// to exit 2 (like invalid CLI input), everything else to exit 1.
+pub fn run(cmd: Command) -> Result<String, RunError> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
         Command::Explore {
@@ -33,6 +84,7 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
             pareto,
             telemetry,
             engine,
+            supervise,
         } => {
             let kernel = load(&file)?;
             let evaluator = make_evaluator(&part, em_nj, natural);
@@ -45,6 +97,7 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
                 pareto,
                 telemetry,
                 engine_kind(&engine),
+                &supervise,
             )
         }
         Command::Pareto {
@@ -56,6 +109,7 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
             exhaustive,
             telemetry,
             engine,
+            supervise,
         } => {
             let kernel = load(&file)?;
             let evaluator = make_evaluator(&part, em_nj, natural);
@@ -66,6 +120,7 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
                 exhaustive,
                 telemetry,
                 engine_kind(&engine),
+                &supervise,
             )
         }
         Command::Simulate {
@@ -78,15 +133,17 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
             classify,
         } => {
             let kernel = load(&file)?;
-            simulate(&kernel, cache, line, assoc, tiling, natural, classify)
+            Ok(simulate(
+                &kernel, cache, line, assoc, tiling, natural, classify,
+            )?)
         }
         Command::Place { file, cache, line } => {
             let kernel = load(&file)?;
-            place(&kernel, cache, line)
+            Ok(place(&kernel, cache, line)?)
         }
         Command::MinCache { file, line } => {
             let kernel = load(&file)?;
-            min_cache(&kernel, line)
+            Ok(min_cache(&kernel, line)?)
         }
         Command::Classes { file } => {
             let kernel = load(&file)?;
@@ -94,7 +151,7 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn Error + Send + Sync>> {
         }
         Command::Trace { file, reads_only } => {
             let kernel = load(&file)?;
-            trace(&kernel, reads_only)
+            Ok(trace(&kernel, reads_only)?)
         }
         Command::SimulateDin {
             file,
@@ -112,9 +169,10 @@ fn simulate_din(
     line: usize,
     assoc: usize,
     classify: bool,
-) -> Result<String, Box<dyn Error + Send + Sync>> {
-    let config = CacheConfig::new(cache, line, assoc)?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+) -> Result<String, RunError> {
+    let config = CacheConfig::new(cache, line, assoc).map_err(|e| RunError::Other(e.into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| RunError::Io(format!("cannot read `{path}`: {e}")))?;
     let records = parse_din(text.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
     let events = records.iter().map(|r| TraceEvent {
         addr: r.addr,
@@ -166,9 +224,124 @@ fn make_evaluator(part: &str, em_nj: Option<f64>, natural: bool) -> Evaluator {
     evaluator
 }
 
-fn load(path: &str) -> Result<Kernel, Box<dyn Error + Send + Sync>> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    Ok(parse_kernel(&text).map_err(|e| format!("{path}: {e}"))?)
+fn load(path: &str) -> Result<Kernel, RunError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| RunError::Io(format!("cannot read `{path}`: {e}")))?;
+    parse_kernel(&text).map_err(|e| RunError::Other(format!("{path}: {e}").into()))
+}
+
+/// Pre-sweep validation (satellite guard against silently useless runs):
+/// an empty design grid is an error; tilings larger than every loop's
+/// trip count are flagged as warnings (they degenerate to untiled runs).
+fn check_sweep_inputs(kernel: &Kernel, designs: &[CacheDesign]) -> Result<(), RunError> {
+    if designs.is_empty() {
+        return Err(RunError::Other(
+            format!(
+                "design grid for kernel {} is empty: nothing to sweep",
+                kernel.name
+            )
+            .into(),
+        ));
+    }
+    let max_trip = kernel
+        .nest
+        .loops
+        .iter()
+        .filter_map(|l| l.const_trip_count())
+        .max();
+    if let Some(max_trip) = max_trip {
+        let mut excessive: Vec<u64> = designs
+            .iter()
+            .map(|d| d.tiling)
+            .filter(|&b| b > 1 && b > max_trip)
+            .collect();
+        excessive.sort_unstable();
+        excessive.dedup();
+        if !excessive.is_empty() {
+            eprintln!(
+                "warning: tiling size(s) {excessive:?} exceed the largest loop trip count \
+                 ({max_trip}) of kernel {}; they behave as untiled",
+                kernel.name
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Probes that the checkpoint sidecar will be writable before a long
+/// sweep starts, using the same `.tmp` neighbour the atomic writer uses.
+/// An unwritable path is an I/O error (exit 2) up front, not a silent
+/// stream of failed flushes an hour in.
+fn probe_checkpoint_writable(path: &Path) -> Result<(), RunError> {
+    let probe = path.with_extension("tmp");
+    std::fs::File::create(&probe)
+        .map_err(|e| RunError::Io(format!("cannot write checkpoint `{}`: {e}", path.display())))?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
+}
+
+/// Runs the supervised sweep behind `--checkpoint/--resume/--deadline`,
+/// translating CLI flags into [`SweepOptions`] and supervisor events into
+/// stderr notes (stdout stays byte-identical to an unsupervised run).
+fn run_supervised(
+    explorer: &Explorer,
+    kernel: &Kernel,
+    designs: &[CacheDesign],
+    supervise: &Supervise,
+) -> Result<SweepOutcome, RunError> {
+    let checkpoint = match &supervise.checkpoint {
+        Some(path) => {
+            let path = PathBuf::from(path);
+            if supervise.resume && !path.exists() {
+                eprintln!(
+                    "note: checkpoint `{}` not found; starting a fresh sweep",
+                    path.display()
+                );
+            }
+            probe_checkpoint_writable(&path)?;
+            Some(CheckpointPolicy {
+                path,
+                every: match supervise.checkpoint_every {
+                    0 => 32,
+                    n => n,
+                },
+                resume: supervise.resume,
+            })
+        }
+        None => None,
+    };
+    let options = SweepOptions {
+        checkpoint,
+        deadline: supervise.deadline_secs.map(Duration::from_secs_f64),
+        fault: FaultPlan::none(),
+    };
+    let outcome = explorer
+        .explore_supervised(kernel, designs, &options)
+        .map_err(|e| match e {
+            // A rejected checkpoint (unreadable, corrupt, truncated,
+            // or from a different sweep) follows the I/O contract.
+            ExploreError::Checkpoint(c) => RunError::Io(c.to_string()),
+            other => RunError::Other(other.to_string().into()),
+        })?;
+    let t = &outcome.telemetry;
+    if t.records_resumed > 0 {
+        eprintln!(
+            "note: resumed {} of {} records from the checkpoint",
+            t.records_resumed,
+            designs.len()
+        );
+    }
+    for e in &outcome.errors {
+        eprintln!("warning: {e}");
+    }
+    if t.cancelled {
+        eprintln!(
+            "warning: deadline reached; result is partial ({} of {} designs)",
+            t.designs_evaluated,
+            designs.len()
+        );
+    }
+    Ok(outcome)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -181,20 +354,31 @@ fn explore(
     pareto: bool,
     telemetry: bool,
     engine: Engine,
-) -> Result<String, Box<dyn Error + Send + Sync>> {
+    supervise: &Supervise,
+) -> Result<String, RunError> {
     let space = DesignSpace::paper();
+    let designs = space.designs();
+    check_sweep_inputs(kernel, &designs)?;
     let (records, sweep_telemetry) = if analytical {
-        let records = space
-            .designs()
-            .into_iter()
-            .map(|d| evaluator.evaluate_analytical(kernel, d))
+        if supervise.is_active() {
+            eprintln!(
+                "warning: --checkpoint/--deadline are ignored with --analytical (no sweep runs)"
+            );
+        }
+        let records = designs
+            .iter()
+            .map(|&d| evaluator.evaluate_analytical(kernel, d))
             .collect();
         (records, None)
     } else {
-        let (records, t) = Explorer::new(evaluator)
-            .with_engine(engine)
-            .explore_with_telemetry(kernel, &space);
-        (records, Some(t))
+        let explorer = Explorer::new(evaluator).with_engine(engine);
+        if supervise.is_active() {
+            let outcome = run_supervised(&explorer, kernel, &designs, supervise)?;
+            (outcome.completed_records(), Some(outcome.telemetry))
+        } else {
+            let (records, t) = explorer.explore_with_telemetry(kernel, &space);
+            (records, Some(t))
+        }
     };
 
     let mut out = String::new();
@@ -263,6 +447,7 @@ fn explore(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn pareto_frontier(
     kernel: &Kernel,
     evaluator: Evaluator,
@@ -270,15 +455,42 @@ fn pareto_frontier(
     exhaustive: bool,
     telemetry: bool,
     engine: Engine,
-) -> Result<String, Box<dyn Error + Send + Sync>> {
+    supervise: &Supervise,
+) -> Result<String, RunError> {
     let space = DesignSpace::paper();
+    let designs = space.designs();
+    check_sweep_inputs(kernel, &designs)?;
     let explorer = Explorer::new(evaluator).with_engine(engine);
-    let (frontier, sweep) = if exhaustive {
+    let (frontier, sweep) = if supervise.is_active() {
+        // The supervised sweep is exhaustive over the grid; the frontier
+        // over its completed records is bit-identical to the pruned one
+        // when the run is clean (the pareto oracle tests pin that), and
+        // well-formed over whatever completed when it is not.
+        let outcome = run_supervised(&explorer, kernel, &designs, supervise)?;
+        let completed = outcome.completed_records();
+        let frontier = select::pareto3(&completed);
+        let mut t = outcome.telemetry;
+        t.frontier_size = frontier.len();
+        (frontier, t)
+    } else if exhaustive {
         explorer.pareto_exhaustive(kernel, &space)
     } else {
         explorer.pareto_pruned(kernel, &space)
     };
+    if frontier.is_empty() {
+        eprintln!(
+            "warning: the Pareto frontier of kernel {} is empty (no designs completed)",
+            kernel.name
+        );
+    }
 
+    let engine_label = if supervise.is_active() {
+        "supervised"
+    } else if exhaustive {
+        "exhaustive"
+    } else {
+        "pruned"
+    };
     let mut out = String::new();
     if format == "json" {
         let rows: Vec<String> = frontier
@@ -303,11 +515,7 @@ fn pareto_frontier(
             .collect();
         let _ = writeln!(out, "{{");
         let _ = writeln!(out, "  \"kernel\": \"{}\",", kernel.name);
-        let _ = writeln!(
-            out,
-            "  \"engine\": \"{}\",",
-            if exhaustive { "exhaustive" } else { "pruned" }
-        );
+        let _ = writeln!(out, "  \"engine\": \"{engine_label}\",");
         let _ = writeln!(out, "  \"frontier_size\": {},", frontier.len());
         let _ = writeln!(out, "  \"frontier\": [\n{}\n  ]{}", rows.join(",\n"), {
             if telemetry {
@@ -620,6 +828,7 @@ mod tests {
             pareto: true,
             telemetry: false,
             engine: "fused".into(),
+            supervise: Supervise::default(),
         })
         .expect("command succeeds");
         assert!(out.contains("minimum energy"));
@@ -642,6 +851,7 @@ mod tests {
             pareto: false,
             telemetry: true,
             engine: "fused".into(),
+            supervise: Supervise::default(),
         })
         .expect("command succeeds");
         assert!(out.contains("telemetry: not available"), "{out}");
@@ -661,6 +871,7 @@ mod tests {
             pareto: false,
             telemetry: true,
             engine: "fused".into(),
+            supervise: Supervise::default(),
         })
         .expect("command succeeds");
         assert!(out.contains("sweep:"), "{out}");
@@ -702,6 +913,7 @@ mod tests {
             exhaustive: false,
             telemetry: true,
             engine: "fused".into(),
+            supervise: Supervise::default(),
         })
         .expect("command succeeds");
         let mut lines = out.lines();
@@ -730,6 +942,7 @@ mod tests {
             exhaustive: false,
             telemetry: false,
             engine: "fused".into(),
+            supervise: Supervise::default(),
         })
         .expect("pruned succeeds");
         let exhaustive = run(Command::Pareto {
@@ -741,6 +954,7 @@ mod tests {
             exhaustive: true,
             telemetry: false,
             engine: "fused".into(),
+            supervise: Supervise::default(),
         })
         .expect("exhaustive succeeds");
         assert!(pruned.contains("\"engine\": \"pruned\""), "{pruned}");
@@ -821,6 +1035,7 @@ mod tests {
                 pareto: true,
                 telemetry: false,
                 engine: engine.into(),
+                supervise: Supervise::default(),
             })
             .expect("command succeeds")
         };
@@ -841,6 +1056,7 @@ mod tests {
             pareto: false,
             telemetry: true,
             engine: "fused".into(),
+            supervise: Supervise::default(),
         })
         .expect("command succeeds");
         assert!(out.contains("fused"), "{out}");
@@ -860,6 +1076,7 @@ mod tests {
                 exhaustive: false,
                 telemetry: false,
                 engine: engine.into(),
+                supervise: Supervise::default(),
             })
             .expect("command succeeds")
         };

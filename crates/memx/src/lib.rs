@@ -22,5 +22,5 @@
 pub mod cli;
 pub mod commands;
 
-pub use cli::{parse_args, Command, UsageError};
-pub use commands::run;
+pub use cli::{parse_args, Command, Supervise, UsageError};
+pub use commands::{run, RunError};

@@ -16,9 +16,12 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
+        // One line on stderr; the code follows the contract in
+        // `RunError::exit_code` (2 for I/O, like invalid CLI input;
+        // 1 for other runtime failures).
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

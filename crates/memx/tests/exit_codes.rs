@@ -1,0 +1,241 @@
+//! Exit-code contract of the `memx` binary.
+//!
+//! * 0 — success
+//! * 1 — runtime failure (bad geometry, parse error, …)
+//! * 2 — invalid CLI input **or** an I/O failure (unreadable input,
+//!   unwritable or corrupt checkpoint), always with a one-line
+//!   `error: …` message on stderr
+//!
+//! These run the real binary (`CARGO_BIN_EXE_memx`) so the contract is
+//! pinned end to end, not just at the library layer.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn memx(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_memx"))
+        .args(args)
+        .output()
+        .expect("memx binary runs")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("memx exited normally")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Self-cleaning scratch dir holding a small valid kernel.
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("memx-exit-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        Self { dir }
+    }
+
+    fn kernel(&self) -> String {
+        let path = self.dir.join("k.mx");
+        std::fs::write(
+            &path,
+            "kernel Compress\narray a[32][32] elem 4\nfor i = 1 .. 31\nfor j = 1 .. 31\n  read a[i][j]\n  read a[i-1][j-1]\n  write a[i][j]\n",
+        )
+        .expect("tempdir is writable");
+        path.to_string_lossy().into_owned()
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn assert_one_line_error(out: &Output) {
+    let err = stderr(out);
+    assert!(err.starts_with("error: "), "stderr: {err:?}");
+    assert_eq!(
+        err.trim_end().lines().count(),
+        1,
+        "I/O errors must be one line: {err:?}"
+    );
+}
+
+#[test]
+fn success_is_exit_zero() {
+    let scratch = Scratch::new("ok");
+    let out = memx(&["classes", &scratch.kernel()]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn invalid_cli_is_exit_two_with_usage() {
+    for args in [
+        &["explore"][..],
+        &["frobnicate"][..],
+        &["explore", "k.mx", "--wat"][..],
+        &["explore", "k.mx", "--resume"][..],
+    ] {
+        let out = memx(args);
+        assert_eq!(exit_code(&out), 2, "args {args:?}");
+        assert!(stderr(&out).contains("USAGE"), "args {args:?}");
+    }
+}
+
+#[test]
+fn unreadable_input_is_exit_two_one_line() {
+    for args in [
+        &["explore", "/nonexistent/k.mx"][..],
+        &["classes", "/nonexistent/k.mx"][..],
+        &[
+            "simulate-din",
+            "/nonexistent/t.din",
+            "--cache",
+            "64",
+            "--line",
+            "8",
+        ][..],
+    ] {
+        let out = memx(args);
+        assert_eq!(exit_code(&out), 2, "args {args:?}: {}", stderr(&out));
+        assert_one_line_error(&out);
+        assert!(stderr(&out).contains("cannot read"), "args {args:?}");
+        // I/O failures do not dump the usage text; that is for CLI errors.
+        assert!(!stderr(&out).contains("USAGE"), "args {args:?}");
+    }
+}
+
+#[test]
+fn unwritable_checkpoint_path_is_exit_two() {
+    let scratch = Scratch::new("unwritable");
+    let kernel = scratch.kernel();
+    let out = memx(&[
+        "explore",
+        &kernel,
+        "--checkpoint",
+        "/nonexistent-dir/sweep.ckpt",
+    ]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    assert_one_line_error(&out);
+    assert!(stderr(&out).contains("cannot write checkpoint"));
+}
+
+#[test]
+fn corrupt_checkpoint_on_resume_is_exit_two() {
+    let scratch = Scratch::new("corrupt");
+    let kernel = scratch.kernel();
+    let ckpt = scratch.path("sweep.ckpt");
+    std::fs::write(&ckpt, [b'x'; 64]).expect("tempdir writable");
+    let out = memx(&[
+        "explore",
+        &kernel,
+        "--checkpoint",
+        ckpt.to_str().expect("utf8 path"),
+        "--resume",
+    ]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    assert_one_line_error(&out);
+    assert!(
+        stderr(&out).contains("not a checkpoint file"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn runtime_failures_are_exit_one() {
+    let scratch = Scratch::new("runtime");
+    let kernel = scratch.kernel();
+    // Valid CLI, readable file, bad geometry: a runtime failure.
+    let out = memx(&["simulate", &kernel, "--cache", "48", "--line", "8"]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", stderr(&out));
+    assert_one_line_error(&out);
+    // Unparseable kernel text: also runtime, not I/O.
+    let bad = scratch.path("bad.mx");
+    std::fs::write(&bad, "this is not a kernel").expect("tempdir writable");
+    let out = memx(&["classes", bad.to_str().expect("utf8 path")]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn checkpointed_sweep_matches_plain_sweep_on_stdout() {
+    let scratch = Scratch::new("ckpt-identity");
+    let kernel = scratch.kernel();
+    let ckpt = scratch.path("sweep.ckpt");
+    let plain = memx(&["explore", &kernel, "--pareto"]);
+    let supervised = memx(&[
+        "explore",
+        &kernel,
+        "--pareto",
+        "--checkpoint",
+        ckpt.to_str().expect("utf8 path"),
+        "--checkpoint-every",
+        "16",
+    ]);
+    assert_eq!(exit_code(&plain), 0, "stderr: {}", stderr(&plain));
+    assert_eq!(exit_code(&supervised), 0, "stderr: {}", stderr(&supervised));
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&supervised.stdout),
+        "supervised stdout must be byte-identical to a plain run"
+    );
+    assert!(ckpt.exists(), "sidecar file was written");
+    // Resuming from the completed checkpoint reproduces the same stdout.
+    let resumed = memx(&[
+        "explore",
+        &kernel,
+        "--pareto",
+        "--checkpoint",
+        ckpt.to_str().expect("utf8 path"),
+        "--resume",
+    ]);
+    assert_eq!(exit_code(&resumed), 0, "stderr: {}", stderr(&resumed));
+    assert_eq!(plain.stdout, resumed.stdout);
+    assert!(stderr(&resumed).contains("resumed"), "{}", stderr(&resumed));
+}
+
+#[test]
+fn sweep_mismatch_on_resume_is_exit_two() {
+    let scratch = Scratch::new("mismatch");
+    let kernel = scratch.kernel();
+    let ckpt = scratch.path("sweep.ckpt");
+    let first = memx(&[
+        "explore",
+        &kernel,
+        "--checkpoint",
+        ckpt.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(exit_code(&first), 0, "stderr: {}", stderr(&first));
+    // Same checkpoint, different evaluator (natural layout): rejected.
+    let out = memx(&[
+        "explore",
+        &kernel,
+        "--natural",
+        "--checkpoint",
+        ckpt.to_str().expect("utf8 path"),
+        "--resume",
+    ]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("different sweep"), "{}", stderr(&out));
+}
+
+#[test]
+fn deadline_yields_partial_result_with_exit_zero() {
+    let scratch = Scratch::new("deadline");
+    let kernel = scratch.kernel();
+    // A deadline that cannot fit the whole sweep: tiny but non-zero so at
+    // least the cancellation path runs; the result must stay well-formed.
+    let out = memx(&["explore", &kernel, "--telemetry", "--deadline", "0.000001"]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("explored"), "{stdout}");
+}

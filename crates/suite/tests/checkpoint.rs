@@ -1,0 +1,174 @@
+//! Robustness of the sweep-checkpoint format against damaged sidecars.
+//!
+//! A checkpoint file a crashed run leaves behind may be truncated at any
+//! byte (torn copy), bit-flipped (storage rot), or written by a different
+//! build (version skew) or a different sweep (operator error). Every such
+//! file must be rejected with a typed [`CheckpointError`] — never parsed
+//! into garbage records and never panicked on.
+
+use loopir::kernels;
+use memexplore::checkpoint::{CheckpointError, ENTRY_LEN, HEADER_LEN};
+use memexplore::supervisor::sweep_id;
+use memexplore::{Checkpoint, CheckpointPolicy, DesignSpace, ExploreError, Explorer, SweepOptions};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A real checkpoint: every record of a small compress sweep.
+fn real_checkpoint() -> Checkpoint {
+    let kernel = kernels::compress(15);
+    let designs = DesignSpace::small().designs();
+    let explorer = Explorer::default();
+    let (records, _) = explorer.explore_designs_with_telemetry(&kernel, &designs);
+    Checkpoint {
+        sweep_id: sweep_id(&kernel, &designs, &explorer.evaluator),
+        entries: records.into_iter().enumerate().collect(),
+    }
+}
+
+/// Self-cleaning scratch dir for on-disk checkpoint cases.
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("memx-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        Self { dir }
+    }
+
+    fn ckpt(&self) -> PathBuf {
+        self.dir.join("sweep.ckpt")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncation at *any* byte offset — header, mid-entry, or one byte
+    /// short of complete — is a typed error, never a partial parse.
+    #[test]
+    fn any_truncation_is_rejected(cut in 0.0f64..1.0) {
+        let bytes = real_checkpoint().to_bytes();
+        let len = (bytes.len() as f64 * cut) as usize;
+        prop_assume!(len < bytes.len());
+        let err = Checkpoint::from_bytes(&bytes[..len])
+            .expect_err("truncated checkpoint must not parse");
+        prop_assert!(matches!(
+            err,
+            CheckpointError::Truncated { .. } | CheckpointError::BadChecksum { .. }
+        ), "cut at {len}: unexpected error {err}");
+    }
+
+    /// No single byte flip anywhere in the file can smuggle through: the
+    /// parse fails, or the flip landed in the sweep-id field — which the
+    /// resume path then rejects as a sweep mismatch.
+    #[test]
+    fn any_byte_flip_is_caught(pos in 0.0f64..1.0, bit in 0u8..8) {
+        let original = real_checkpoint();
+        let mut bytes = original.to_bytes();
+        let at = ((bytes.len() as f64 * pos) as usize).min(bytes.len() - 1);
+        bytes[at] ^= 1 << bit;
+        match Checkpoint::from_bytes(&bytes) {
+            Err(_) => {}
+            Ok(parsed) => {
+                prop_assert!(
+                    (8..16).contains(&at),
+                    "flip at byte {at} parsed without touching the sweep id"
+                );
+                prop_assert_ne!(parsed.sweep_id, original.sweep_id);
+                prop_assert_eq!(parsed.entries, original.entries);
+            }
+        }
+    }
+}
+
+#[test]
+fn version_skew_is_a_typed_error() {
+    let mut bytes = real_checkpoint().to_bytes();
+    bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+    assert!(matches!(
+        Checkpoint::from_bytes(&bytes),
+        Err(CheckpointError::BadVersion { found: 2 })
+    ));
+}
+
+#[test]
+fn inconsistent_header_counts_are_rejected() {
+    let mut bytes = real_checkpoint().to_bytes();
+    // Claim one more entry than the payload length supports.
+    let count = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    bytes[16..24].copy_from_slice(&(count + 1).to_le_bytes());
+    assert!(matches!(
+        Checkpoint::from_bytes(&bytes),
+        Err(CheckpointError::BadChecksum { .. })
+    ));
+}
+
+#[test]
+fn resume_rejects_a_checkpoint_from_a_different_sweep() {
+    let scratch = Scratch::new("mismatch");
+    let mut ck = real_checkpoint();
+    ck.sweep_id ^= 1;
+    ck.write_atomic(&scratch.ckpt()).expect("checkpoint writes");
+    let kernel = kernels::compress(15);
+    let designs = DesignSpace::small().designs();
+    let options = SweepOptions {
+        checkpoint: Some(CheckpointPolicy {
+            path: scratch.ckpt(),
+            every: 32,
+            resume: true,
+        }),
+        ..SweepOptions::default()
+    };
+    let err = Explorer::default()
+        .explore_supervised(&kernel, &designs, &options)
+        .expect_err("mismatched sweep id must be rejected");
+    assert!(matches!(
+        err,
+        ExploreError::Checkpoint(CheckpointError::SweepMismatch { .. })
+    ));
+}
+
+#[test]
+fn resume_rejects_out_of_range_design_indices() {
+    let scratch = Scratch::new("bad-entry");
+    let kernel = kernels::compress(15);
+    let designs = DesignSpace::small().designs();
+    let mut ck = real_checkpoint();
+    // Valid format, valid sweep id, but an entry pointing past the grid.
+    ck.entries[0].0 = designs.len();
+    ck.write_atomic(&scratch.ckpt()).expect("checkpoint writes");
+    let options = SweepOptions {
+        checkpoint: Some(CheckpointPolicy {
+            path: scratch.ckpt(),
+            every: 32,
+            resume: true,
+        }),
+        ..SweepOptions::default()
+    };
+    let err = Explorer::default()
+        .explore_supervised(&kernel, &designs, &options)
+        .expect_err("out-of-range entry must be rejected");
+    assert!(matches!(
+        err,
+        ExploreError::Checkpoint(CheckpointError::BadEntry { .. })
+    ));
+}
+
+#[test]
+fn truncated_file_on_disk_is_a_typed_error() {
+    let scratch = Scratch::new("torn");
+    let bytes = real_checkpoint().to_bytes();
+    std::fs::write(scratch.ckpt(), &bytes[..HEADER_LEN + ENTRY_LEN / 2]).expect("tempdir writable");
+    assert!(matches!(
+        Checkpoint::read(&scratch.ckpt()),
+        Err(CheckpointError::Truncated { .. })
+    ));
+}

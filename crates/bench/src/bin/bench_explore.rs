@@ -119,6 +119,12 @@ fn main() {
         seed_secs / compress.fused_secs
     );
     println!("{}", compress.telemetry);
+    for r in &results {
+        let scan = &r.telemetry.scan_latency;
+        if scan.count > 0 {
+            println!("kernel {} | fused scan latency: {scan}", r.kernel);
+        }
+    }
     println!(
         "records bit-identical to seed engine: {identical_to_seed}, to serial sweep: {identical_to_serial}"
     );

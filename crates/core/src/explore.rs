@@ -21,6 +21,7 @@
 
 use crate::checkpoint::CheckpointError;
 use crate::metrics::{read_trace, CacheDesign, Evaluator, Record};
+use crate::obs::{FieldValue, LatencyHistogram, Obs, Span};
 use crate::telemetry::SweepTelemetry;
 use loopir::transform::tile_all;
 use loopir::{DataLayout, Kernel};
@@ -29,8 +30,13 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// How often the fused bank reports scanned-event progress to the
+/// observability counters (events per tick). Coarse enough that the
+/// per-chunk overhead vanishes, fine enough that the progress line moves.
+pub(crate) const OBS_TICK_EVENTS: usize = 1 << 16;
 
 /// The swept parameter ranges (all powers of two, per the paper's
 /// `Algorithm MemExplore`).
@@ -211,11 +217,12 @@ pub fn pow2_range(lo: usize, hi: usize) -> Vec<usize> {
 
 /// Runs `jobs` indexed tasks over `workers` threads with work stealing:
 /// every worker pulls the next index from one shared atomic counter until
-/// the range is exhausted. Returns each worker's busy time. With one
-/// worker the tasks run inline on the calling thread (still in index
-/// order pulled from the same counter), so serial and parallel sweeps
-/// share a single code path.
-pub(crate) fn steal_loop<F: Fn(usize) + Sync>(
+/// the range is exhausted. The task closure receives `(worker, job)` so
+/// instrumented callers can attribute units of work to the worker that
+/// ran them. Returns each worker's busy time. With one worker the tasks
+/// run inline on the calling thread (still in index order pulled from the
+/// same counter), so serial and parallel sweeps share a single code path.
+pub(crate) fn steal_loop<F: Fn(usize, usize) + Sync>(
     workers: usize,
     jobs: usize,
     run: F,
@@ -228,31 +235,35 @@ pub(crate) fn steal_loop<F: Fn(usize) + Sync>(
 /// workers drain the queue, and the first panic's payload comes back as
 /// `Err` — the coordinating thread never double-panics and callers can
 /// surface the failure as a typed [`ExploreError`].
-pub(crate) fn try_steal_loop<F: Fn(usize) + Sync>(
+pub(crate) fn try_steal_loop<F: Fn(usize, usize) + Sync>(
     workers: usize,
     jobs: usize,
     run: F,
 ) -> Result<Vec<Duration>, String> {
     let next = AtomicUsize::new(0);
-    let work = |next: &AtomicUsize| {
+    let work = |worker: usize, next: &AtomicUsize| {
         let start = Instant::now();
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= jobs {
                 break;
             }
-            run(i);
+            run(worker, i);
         }
         start.elapsed()
     };
     if workers <= 1 || jobs <= 1 {
-        return match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(&next))) {
+        return match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(0, &next))) {
             Ok(busy) => Ok(vec![busy]),
             Err(payload) => Err(panic_message(payload)),
         };
     }
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers).map(|_| scope.spawn(|| work(&next))).collect();
+        let work = &work;
+        let next = &next;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| scope.spawn(move || work(w, next)))
+            .collect();
         let mut busy = Vec::with_capacity(handles.len());
         let mut first_panic: Option<String> = None;
         for h in handles {
@@ -268,6 +279,33 @@ pub(crate) fn try_steal_loop<F: Fn(usize) + Sync>(
             Some(message) => Err(message),
         }
     })
+}
+
+/// The per-unit latency histograms every sweep engine records into
+/// (whether or not a JSONL log is configured): trace-group scans,
+/// per-design simulations, layout placements, and checkpoint flushes.
+/// Snapshotted into the matching [`SweepTelemetry`] fields at the end of
+/// a run.
+#[derive(Debug, Default)]
+pub(crate) struct SweepHists {
+    /// Layout placement latency (one sample per distinct `(T, L)` pair).
+    pub layout: LatencyHistogram,
+    /// Per-design simulation latency (per-design engine + fallbacks).
+    pub design: LatencyHistogram,
+    /// Trace-group scan latency (fused engine, one sample per bank).
+    pub scan: LatencyHistogram,
+    /// Checkpoint flush latency (supervised sweeps).
+    pub flush: LatencyHistogram,
+}
+
+impl SweepHists {
+    /// Snapshots every histogram into its telemetry field.
+    pub fn fill(&self, t: &mut SweepTelemetry) {
+        t.layout_latency = self.layout.summary();
+        t.design_latency = self.design.summary();
+        t.scan_latency = self.scan.summary();
+        t.flush_latency = self.flush.summary();
+    }
 }
 
 /// Runs the sweep, fanning designs out across worker threads.
@@ -293,6 +331,10 @@ pub struct Explorer {
     /// Simulation engine ([`Engine::Fused`] by default; records are
     /// bit-identical either way).
     pub engine: Engine,
+    /// Observability hub (JSONL events + progress counters). `None` — the
+    /// default — keeps the sweep exactly as uninstrumented as before;
+    /// records are bit-identical either way.
+    pub obs: Option<Arc<Obs>>,
 }
 
 /// The shared preparation of a sweep: the layout phase (one off-chip
@@ -362,6 +404,7 @@ impl Explorer {
             evaluator,
             workers: None,
             engine: Engine::default(),
+            obs: None,
         }
     }
 
@@ -374,6 +417,12 @@ impl Explorer {
     /// Selects the simulation engine (builder-style).
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Attaches an observability hub (builder-style).
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -441,9 +490,12 @@ impl Explorer {
         kernel: &Kernel,
         designs: &[CacheDesign],
         workers: usize,
+        hists: &SweepHists,
     ) -> Result<SweepPlan, ExploreError> {
+        let obs = self.obs.as_deref();
         // Phase 1: off-chip layouts, one per distinct (T, L).
         let phase_start = Instant::now();
+        let span = Span::begin(obs, "layout");
         let mut pair_index: HashMap<(usize, usize), usize> = HashMap::new();
         let mut pairs: Vec<(usize, usize)> = Vec::new();
         for d in designs {
@@ -454,14 +506,30 @@ impl Explorer {
         }
         let layout_slots: Vec<OnceLock<(DataLayout, bool)>> =
             pairs.iter().map(|_| OnceLock::new()).collect();
-        try_steal_loop(workers, pairs.len(), |i| {
+        try_steal_loop(workers, pairs.len(), |w, i| {
             let (t, l) = pairs[i];
+            let unit_start = Instant::now();
             let _ = layout_slots[i].set(self.evaluator.layout_for(kernel, t, l));
+            let dur = unit_start.elapsed();
+            hists.layout.record(dur);
+            if let Some(o) = obs {
+                o.unit(
+                    "layout",
+                    "place",
+                    w as u64,
+                    dur,
+                    &[
+                        ("cache", FieldValue::U64(t as u64)),
+                        ("line", FieldValue::U64(l as u64)),
+                    ],
+                );
+            }
         })
         .map_err(|message| ExploreError::WorkerPanic {
             phase: "layout",
             message,
         })?;
+        drop(span);
         let layout_time = phase_start.elapsed();
 
         // Phase 2: traces. A trace depends on the layout *contents* and the
@@ -470,6 +538,7 @@ impl Explorer {
         // value first and traces are keyed by (layout id, B). Tiling
         // reorders the loop nest, so the tiled kernel is shared per B.
         let phase_start = Instant::now();
+        let span = Span::begin(obs, "trace");
         let mut tiled: HashMap<u64, Kernel> = HashMap::new();
         for d in designs {
             tiled
@@ -501,7 +570,7 @@ impl Explorer {
         }
         let trace_slots: Vec<OnceLock<Vec<TraceEvent>>> =
             keys.iter().map(|_| OnceLock::new()).collect();
-        try_steal_loop(workers, keys.len(), |i| {
+        try_steal_loop(workers, keys.len(), |_w, i| {
             let (id, b) = keys[i];
             let _ = trace_slots[i].set(read_trace(&tiled[&b], &unique_layouts[id]));
         })
@@ -516,6 +585,7 @@ impl Explorer {
                     .map(|s| s.into_inner().expect("trace phase filled every slot")),
             ),
         );
+        drop(span);
         let trace_time = phase_start.elapsed();
 
         Ok(SweepPlan {
@@ -543,12 +613,20 @@ impl Explorer {
     ) -> Result<(Vec<Record>, SweepTelemetry), ExploreError> {
         let sweep_start = Instant::now();
         let workers = self.worker_count(designs.len());
-        let plan = self.prepare(kernel, designs, workers)?;
+        let obs = self.obs.as_deref();
+        if let Some(o) = obs {
+            o.counters
+                .total
+                .fetch_add(designs.len() as u64, Ordering::Relaxed);
+        }
+        let hists = SweepHists::default();
+        let plan = self.prepare(kernel, designs, workers, &hists)?;
 
         // Phase 3: simulate. The conflict-free flag rides with each design
         // (it belongs to the design's own (T, L) pair, which can differ
         // within a trace group even though the layout contents agree).
         let phase_start = Instant::now();
+        let span = Span::begin(obs, "simulate");
         let record_slots: Vec<OnceLock<Record>> = designs.iter().map(|_| OnceLock::new()).collect();
         let replayed = AtomicUsize::new(0);
         let scanned = AtomicUsize::new(0);
@@ -558,7 +636,7 @@ impl Explorer {
                 // forms one bank, scanned once in lockstep.
                 let groups = plan.groups(designs);
                 let max_width = groups.iter().map(Vec::len).max().unwrap_or(0);
-                let busy = try_steal_loop(workers, groups.len(), |g| {
+                let busy = try_steal_loop(workers, groups.len(), |w, g| {
                     let members = &groups[g];
                     let trace = plan
                         .arena
@@ -570,28 +648,68 @@ impl Explorer {
                         .iter()
                         .map(|&i| (designs[i], plan.conflict_free_of(&designs[i])))
                         .collect();
-                    let records = self.evaluator.evaluate_bank_with_trace(&bank, trace);
+                    let unit_start = Instant::now();
+                    let records = match obs {
+                        Some(o) => self.evaluator.evaluate_bank_with_trace_ticked(
+                            &bank,
+                            trace,
+                            OBS_TICK_EVENTS,
+                            &|n| o.counters.add_events(n),
+                        ),
+                        None => self.evaluator.evaluate_bank_with_trace(&bank, trace),
+                    };
+                    let dur = unit_start.elapsed();
+                    hists.scan.record(dur);
                     for (&i, record) in members.iter().zip(records) {
                         let _ = record_slots[i].set(record);
+                    }
+                    if let Some(o) = obs {
+                        o.counters.add_done(members.len() as u64);
+                        o.unit(
+                            "simulate",
+                            "scan",
+                            w as u64,
+                            dur,
+                            &[
+                                ("events", FieldValue::U64(trace.len() as u64)),
+                                ("width", FieldValue::U64(members.len() as u64)),
+                                ("fresh", FieldValue::U64(members.len() as u64)),
+                            ],
+                        );
                     }
                 });
                 (busy, groups.len(), max_width)
             }
             Engine::PerDesign => {
-                let busy = try_steal_loop(workers, designs.len(), |i| {
+                let busy = try_steal_loop(workers, designs.len(), |w, i| {
                     let d = designs[i];
                     let trace = plan.trace_of(&d);
                     replayed.fetch_add(trace.len(), Ordering::Relaxed);
                     scanned.fetch_add(trace.len(), Ordering::Relaxed);
+                    let unit_start = Instant::now();
                     let _ = record_slots[i].set(self.evaluator.evaluate_with_trace(
                         d,
                         trace,
                         plan.conflict_free_of(&d),
                     ));
+                    let dur = unit_start.elapsed();
+                    hists.design.record(dur);
+                    if let Some(o) = obs {
+                        o.counters.add_done(1);
+                        o.counters.add_events(trace.len() as u64);
+                        o.unit(
+                            "simulate",
+                            "sim",
+                            w as u64,
+                            dur,
+                            &[("events", FieldValue::U64(trace.len() as u64))],
+                        );
+                    }
                 });
                 (busy, 0, 0)
             }
         };
+        drop(span);
         let worker_busy = worker_busy.map_err(|message| ExploreError::WorkerPanic {
             phase: "simulate",
             message,
@@ -600,13 +718,15 @@ impl Explorer {
 
         // Phase 4: collect records back into sweep order.
         let phase_start = Instant::now();
+        let span = Span::begin(obs, "select");
         let records: Vec<Record> = record_slots
             .into_iter()
             .map(|s| s.into_inner().expect("simulate phase filled every slot"))
             .collect();
+        drop(span);
         let select_time = phase_start.elapsed();
 
-        let telemetry = SweepTelemetry {
+        let mut telemetry = SweepTelemetry {
             designs_evaluated: designs.len(),
             layouts_computed: plan.pairs.len(),
             traces_generated: plan.keys.len(),
@@ -624,6 +744,15 @@ impl Explorer {
             worker_busy,
             ..SweepTelemetry::default()
         };
+        hists.fill(&mut telemetry);
+        // Busy time is measured strictly inside the simulate window, so
+        // the true (unclamped) utilization can only exceed 1 by clock
+        // noise; anything more means busy-time overcounting.
+        debug_assert!(
+            telemetry.worker_utilization() <= 1.05,
+            "worker busy time overcounted: utilization {}",
+            telemetry.worker_utilization()
+        );
         Ok((records, telemetry))
     }
 }
@@ -700,7 +829,8 @@ mod tests {
     fn steal_loop_visits_every_job_exactly_once() {
         for workers in [1, 3, 8] {
             let hits: Vec<AtomicUsize> = (0..57).map(|_| AtomicUsize::new(0)).collect();
-            let busy = steal_loop(workers, hits.len(), |i| {
+            let busy = steal_loop(workers, hits.len(), |w, i| {
+                assert!(w < workers);
                 hits[i].fetch_add(1, Ordering::Relaxed);
             });
             assert!(!busy.is_empty() && busy.len() <= workers);

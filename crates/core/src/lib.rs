@@ -45,6 +45,7 @@ pub mod explore;
 pub mod fault;
 pub mod hierarchy;
 pub mod metrics;
+pub mod obs;
 pub mod pareto;
 pub mod select;
 pub mod spm;
@@ -57,5 +58,9 @@ pub use cycles::CycleModel;
 pub use explore::{DesignSpace, Engine, ExploreError, Explorer};
 pub use fault::FaultPlan;
 pub use metrics::{CacheDesign, Evaluator, PlacementMode, Record};
+pub use obs::{
+    Event, EventKind, FieldValue, LatencyHistogram, LatencySummary, Obs, ObsConfig, ObsSink,
+    RunReport,
+};
 pub use supervisor::{CheckpointPolicy, SweepError, SweepOptions, SweepOutcome};
 pub use telemetry::SweepTelemetry;

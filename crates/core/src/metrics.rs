@@ -276,6 +276,38 @@ impl Evaluator {
             .collect()
     }
 
+    /// [`evaluate_bank_with_trace`](Self::evaluate_bank_with_trace) with a
+    /// progress hook: `tick(n)` is called after roughly every `every`
+    /// trace events scanned (and once at the end with the remainder), so
+    /// an observability layer can meter throughput mid-scan. Records are
+    /// bit-identical to the untracked variant — bank state persists across
+    /// chunk boundaries, so chunked replay is the same computation.
+    pub fn evaluate_bank_with_trace_ticked(
+        &self,
+        designs: &[(CacheDesign, bool)],
+        trace: &[TraceEvent],
+        every: usize,
+        tick: &(dyn Fn(u64) + Sync),
+    ) -> Vec<Record> {
+        let configs: Vec<CacheConfig> = designs
+            .iter()
+            .map(|(design, _)| {
+                design
+                    .cache_config()
+                    .unwrap_or_else(|e| panic!("invalid design {design}: {e}"))
+            })
+            .collect();
+        let mut bank = ReplayBank::with_options(&configs, self.bus_encoding, false);
+        bank.run_slice_ticked(trace, every, tick);
+        bank.into_reports()
+            .iter()
+            .zip(designs)
+            .map(|(report, &(design, conflict_free))| {
+                self.record_from_report(design, report, conflict_free)
+            })
+            .collect()
+    }
+
     /// Applies the cycle and energy models to a finished simulation report
     /// — the shared tail of the per-design and fused evaluation paths.
     fn record_from_report(

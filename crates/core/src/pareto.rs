@@ -65,8 +65,9 @@
 //! banking within a wave changes neither the prune set nor the frontier:
 //! both stay bit-identical to the per-design engine.
 
-use crate::explore::{steal_loop, DesignSpace, Engine, Explorer};
+use crate::explore::{steal_loop, DesignSpace, Engine, Explorer, SweepHists, OBS_TICK_EVENTS};
 use crate::metrics::{read_trace, CacheDesign, Record};
+use crate::obs::{FieldValue, Span};
 use crate::select::pareto3;
 use crate::telemetry::SweepTelemetry;
 use analysis::{MinCacheReport, TraceFootprint};
@@ -140,6 +141,13 @@ impl Explorer {
         let sweep_start = Instant::now();
         let designs = space.designs();
         let workers = self.worker_count(designs.len());
+        let obs = self.obs.as_deref();
+        if let Some(o) = obs {
+            o.counters
+                .total
+                .fetch_add(designs.len() as u64, Ordering::Relaxed);
+        }
+        let hists = SweepHists::default();
 
         // Caches shared across groups. Layouts are deduplicated by value
         // (distinct (T, L) pairs frequently optimize to the same layout),
@@ -185,10 +193,27 @@ impl Explorer {
             };
             let layout_slots: Vec<OnceLock<(DataLayout, bool)>> =
                 new_pairs.iter().map(|_| OnceLock::new()).collect();
-            steal_loop(workers, new_pairs.len(), |i| {
+            let layout_span = Span::begin(obs, "layout");
+            steal_loop(workers, new_pairs.len(), |w, i| {
                 let (t, l) = new_pairs[i];
+                let unit_start = Instant::now();
                 let _ = layout_slots[i].set(self.evaluator.layout_for(kernel, t, l));
+                let dur = unit_start.elapsed();
+                hists.layout.record(dur);
+                if let Some(o) = obs {
+                    o.unit(
+                        "layout",
+                        "place",
+                        w as u64,
+                        dur,
+                        &[
+                            ("cache", FieldValue::U64(t as u64)),
+                            ("line", FieldValue::U64(l as u64)),
+                        ],
+                    );
+                }
             });
+            drop(layout_span);
             for (pair, slot) in new_pairs.iter().zip(layout_slots) {
                 let (layout, conflict_free) = slot.into_inner().expect("layout slot filled");
                 let id = match unique_layouts.iter().position(|u| *u == layout) {
@@ -251,6 +276,7 @@ impl Explorer {
 
                 // Bound check (serial — it only scans the evaluated list).
                 let phase_start = Instant::now();
+                let bound_span = Span::begin(obs, "bound");
                 let wave_size = members.len();
                 let survivors: Vec<CacheDesign> = members
                     .into_iter()
@@ -259,7 +285,25 @@ impl Explorer {
                         !self.is_pruned(d, &pair_layout, &bounds, min_pow2, &evaluated)
                     })
                     .collect();
-                telemetry.designs_pruned += wave_size - survivors.len();
+                let pruned_here = wave_size - survivors.len();
+                telemetry.designs_pruned += pruned_here;
+                drop(bound_span);
+                if pruned_here > 0 {
+                    if let Some(o) = obs {
+                        o.counters
+                            .pruned
+                            .fetch_add(pruned_here as u64, Ordering::Relaxed);
+                        o.point(
+                            "bound",
+                            "pruned",
+                            &[
+                                ("cache", FieldValue::U64(t as u64)),
+                                ("wave", FieldValue::U64(wave as u64)),
+                                ("count", FieldValue::U64(pruned_here as u64)),
+                            ],
+                        );
+                    }
+                }
                 telemetry.bound_time += phase_start.elapsed();
 
                 // Materialize any traces the survivors still need.
@@ -283,6 +327,7 @@ impl Explorer {
                 // pruner has already dropped designs from each bank, so
                 // the fused engine only steps lanes that must be measured.
                 let phase_start = Instant::now();
+                let simulate_span = Span::begin(obs, "simulate");
                 let record_slots: Vec<OnceLock<Record>> =
                     survivors.iter().map(|_| OnceLock::new()).collect();
                 let replayed = AtomicUsize::new(0);
@@ -305,7 +350,7 @@ impl Explorer {
                         telemetry.max_bank_width = telemetry
                             .max_bank_width
                             .max(groups.iter().map(Vec::len).max().unwrap_or(0));
-                        steal_loop(workers, groups.len(), |g| {
+                        steal_loop(workers, groups.len(), |w, g| {
                             let members = &groups[g];
                             let bank: Vec<(CacheDesign, bool)> = members
                                 .iter()
@@ -320,25 +365,65 @@ impl Explorer {
                             let trace = &traces[&(id, d.tiling)];
                             scanned.fetch_add(trace.len(), Ordering::Relaxed);
                             replayed.fetch_add(trace.len() * members.len(), Ordering::Relaxed);
-                            let records = self.evaluator.evaluate_bank_with_trace(&bank, trace);
+                            let unit_start = Instant::now();
+                            let records = match obs {
+                                Some(o) => self.evaluator.evaluate_bank_with_trace_ticked(
+                                    &bank,
+                                    trace,
+                                    OBS_TICK_EVENTS,
+                                    &|n| o.counters.add_events(n),
+                                ),
+                                None => self.evaluator.evaluate_bank_with_trace(&bank, trace),
+                            };
+                            let dur = unit_start.elapsed();
+                            hists.scan.record(dur);
                             for (&i, record) in members.iter().zip(records) {
                                 let _ = record_slots[i].set(record);
                             }
+                            if let Some(o) = obs {
+                                o.counters.add_done(members.len() as u64);
+                                o.unit(
+                                    "simulate",
+                                    "scan",
+                                    w as u64,
+                                    dur,
+                                    &[
+                                        ("events", FieldValue::U64(trace.len() as u64)),
+                                        ("width", FieldValue::U64(members.len() as u64)),
+                                        ("fresh", FieldValue::U64(members.len() as u64)),
+                                    ],
+                                );
+                            }
                         })
                     }
-                    Engine::PerDesign => steal_loop(workers, survivors.len(), |i| {
+                    Engine::PerDesign => steal_loop(workers, survivors.len(), |w, i| {
                         let d = survivors[i];
                         let (id, conflict_free) = pair_layout[&(d.cache_size, d.line)];
                         let trace = &traces[&(id, d.tiling)];
                         replayed.fetch_add(trace.len(), Ordering::Relaxed);
                         scanned.fetch_add(trace.len(), Ordering::Relaxed);
+                        let unit_start = Instant::now();
                         let _ = record_slots[i].set(self.evaluator.evaluate_with_trace(
                             d,
                             trace,
                             conflict_free,
                         ));
+                        let dur = unit_start.elapsed();
+                        hists.design.record(dur);
+                        if let Some(o) = obs {
+                            o.counters.add_done(1);
+                            o.counters.add_events(trace.len() as u64);
+                            o.unit(
+                                "simulate",
+                                "sim",
+                                w as u64,
+                                dur,
+                                &[("events", FieldValue::U64(trace.len() as u64))],
+                            );
+                        }
                     }),
                 };
+                drop(simulate_span);
                 telemetry.simulate_time += phase_start.elapsed();
                 telemetry.trace_events_replayed += replayed.into_inner() as u64;
                 telemetry.trace_events_scanned += scanned.into_inner() as u64;
@@ -356,12 +441,20 @@ impl Explorer {
         }
 
         let phase_start = Instant::now();
+        let select_span = Span::begin(obs, "select");
         let frontier = pareto3(&evaluated);
+        drop(select_span);
         telemetry.select_time = phase_start.elapsed();
         telemetry.designs_evaluated = evaluated.len();
         telemetry.frontier_size = frontier.len();
         telemetry.worker_busy = worker_busy;
         telemetry.total_time = sweep_start.elapsed();
+        hists.fill(&mut telemetry);
+        debug_assert!(
+            telemetry.worker_utilization() <= 1.05,
+            "worker busy time overcounted: utilization {}",
+            telemetry.worker_utilization()
+        );
         (frontier, telemetry)
     }
 

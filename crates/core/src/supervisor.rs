@@ -28,9 +28,10 @@
 //! purpose.
 
 use crate::checkpoint::{fnv1a, Checkpoint, CheckpointError};
-use crate::explore::{panic_message, try_steal_loop, ExploreError};
+use crate::explore::{panic_message, try_steal_loop, ExploreError, SweepHists, OBS_TICK_EVENTS};
 use crate::fault::FaultPlan;
 use crate::metrics::{CacheDesign, Evaluator, Record};
+use crate::obs::{FieldValue, Span};
 use crate::telemetry::SweepTelemetry;
 use crate::{Engine, Explorer};
 use loopir::Kernel;
@@ -182,6 +183,12 @@ impl Explorer {
         let sweep_start = Instant::now();
         let workers = self.worker_count(designs.len());
         let id = sweep_id(kernel, designs, &self.evaluator);
+        let obs = self.obs.as_deref();
+        if let Some(o) = obs {
+            o.counters
+                .total
+                .fetch_add(designs.len() as u64, Ordering::Relaxed);
+        }
 
         // Resume: pre-fill output slots from the sidecar file.
         let record_slots: Vec<OnceLock<Record>> = designs.iter().map(|_| OnceLock::new()).collect();
@@ -217,10 +224,22 @@ impl Explorer {
             }
         }
         let records_resumed = resumed_entries.len();
+        if let Some(o) = obs {
+            if records_resumed > 0 {
+                o.counters.add_done(records_resumed as u64);
+                o.point(
+                    "supervise",
+                    "resume",
+                    &[("records", FieldValue::U64(records_resumed as u64))],
+                );
+            }
+        }
 
-        let plan = self.prepare(kernel, designs, workers)?;
+        let hists = SweepHists::default();
+        let plan = self.prepare(kernel, designs, workers, &hists)?;
 
         let phase_start = Instant::now();
+        let simulate_span = Span::begin(obs, "simulate");
         let replayed = AtomicUsize::new(0);
         let scanned = AtomicUsize::new(0);
         let retried = AtomicUsize::new(0);
@@ -239,26 +258,62 @@ impl Explorer {
         // file writes only), so a poisoned mutex means a supervisor bug —
         // recover the data rather than cascading the panic.
         let quarantine = |e: SweepError| {
+            if let Some(o) = obs {
+                o.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                o.point(
+                    "supervise",
+                    "quarantine",
+                    &[
+                        ("design", FieldValue::U64(e.design_index as u64)),
+                        ("engine", FieldValue::Str(e.engine.to_string())),
+                        ("message", FieldValue::Str(e.message.clone())),
+                    ],
+                );
+            }
             errors.lock().unwrap_or_else(|p| p.into_inner()).push(e);
         };
         let flush_with_id = |sink: &mut Sink, policy: &CheckpointPolicy| {
             let nth = sink.flushes;
             sink.flushes += 1;
             sink.since_flush = 0;
-            if options.fault.should_fail_checkpoint(nth) {
+            let flush_start = Instant::now();
+            let ok = if options.fault.should_fail_checkpoint(nth) {
                 sink.failed += 1;
-                return;
-            }
-            let ck = Checkpoint {
-                sweep_id: id,
-                entries: sink.entries.clone(),
+                false
+            } else {
+                let ck = Checkpoint {
+                    sweep_id: id,
+                    entries: sink.entries.clone(),
+                };
+                match ck.write_atomic(&policy.path) {
+                    Ok(()) => {
+                        sink.written += 1;
+                        true
+                    }
+                    // A failed flush loses nothing but recency: the previous
+                    // checkpoint is still intact on disk (atomic rename), so
+                    // the sweep keeps going and the counter reports it.
+                    Err(_) => {
+                        sink.failed += 1;
+                        false
+                    }
+                }
             };
-            match ck.write_atomic(&policy.path) {
-                Ok(()) => sink.written += 1,
-                // A failed flush loses nothing but recency: the previous
-                // checkpoint is still intact on disk (atomic rename), so
-                // the sweep keeps going and the counter reports it.
-                Err(_) => sink.failed += 1,
+            let dur = flush_start.elapsed();
+            hists.flush.record(dur);
+            if let Some(o) = obs {
+                o.point(
+                    "checkpoint",
+                    "flush",
+                    &[
+                        (
+                            "dur_us",
+                            FieldValue::U64(u64::try_from(dur.as_micros()).unwrap_or(u64::MAX)),
+                        ),
+                        ("ok", FieldValue::U64(u64::from(ok))),
+                        ("records", FieldValue::U64(sink.entries.len() as u64)),
+                    ],
+                );
             }
         };
         let complete = |idx: usize, record: Record| {
@@ -278,7 +333,12 @@ impl Explorer {
                 return true;
             }
             if deadline.is_some_and(|d| Instant::now() >= d) {
-                cancelled.store(true, Ordering::Relaxed);
+                // `swap` so exactly one worker emits the cancel event.
+                if !cancelled.swap(true, Ordering::Relaxed) {
+                    if let Some(o) = obs {
+                        o.point("supervise", "deadline_cancel", &[]);
+                    }
+                }
                 return true;
             }
             false
@@ -289,8 +349,9 @@ impl Explorer {
         // cannot leave a half-written record, because the write-once slot
         // is only set after the evaluation returns (see also the panic-
         // safety audit in `memsim::bank`).
-        let simulate_one = |i: usize| -> Result<Record, String> {
-            catch_unwind(AssertUnwindSafe(|| {
+        let simulate_one = |w: usize, i: usize| -> Result<Record, String> {
+            let unit_start = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| {
                 options.fault.maybe_panic_design(i);
                 let d = designs[i];
                 let trace = plan.trace_of(&d);
@@ -299,21 +360,43 @@ impl Explorer {
                 self.evaluator
                     .evaluate_with_trace(d, trace, plan.conflict_free_of(&d))
             }))
-            .map_err(panic_message)
+            .map_err(panic_message);
+            if result.is_ok() {
+                let dur = unit_start.elapsed();
+                hists.design.record(dur);
+                if let Some(o) = obs {
+                    let events = plan.trace_of(&designs[i]).len() as u64;
+                    o.counters.add_done(1);
+                    o.counters.add_events(events);
+                    o.unit(
+                        "simulate",
+                        "sim",
+                        w as u64,
+                        dur,
+                        &[("events", FieldValue::U64(events))],
+                    );
+                }
+            }
+            result
         };
 
         let (worker_busy, fused_groups, max_bank_width) = match self.engine {
             Engine::Fused => {
                 let groups = plan.groups(designs);
                 let max_width = groups.iter().map(Vec::len).max().unwrap_or(0);
-                let busy = try_steal_loop(workers, groups.len(), |g| {
+                let busy = try_steal_loop(workers, groups.len(), |w, g| {
                     if out_of_time() {
                         return;
                     }
                     let members = &groups[g];
-                    if members.iter().all(|&i| record_slots[i].get().is_some()) {
+                    let fresh = members
+                        .iter()
+                        .filter(|&&i| record_slots[i].get().is_none())
+                        .count();
+                    if fresh == 0 {
                         return; // whole group resumed from the checkpoint
                     }
+                    let unit_start = Instant::now();
                     let scan = catch_unwind(AssertUnwindSafe(|| {
                         options.fault.maybe_panic_group(g);
                         let trace = plan
@@ -326,24 +409,51 @@ impl Explorer {
                             .iter()
                             .map(|&i| (designs[i], plan.conflict_free_of(&designs[i])))
                             .collect();
-                        self.evaluator.evaluate_bank_with_trace(&bank, trace)
+                        let records = match obs {
+                            Some(o) => self.evaluator.evaluate_bank_with_trace_ticked(
+                                &bank,
+                                trace,
+                                OBS_TICK_EVENTS,
+                                &|n| o.counters.add_events(n),
+                            ),
+                            None => self.evaluator.evaluate_bank_with_trace(&bank, trace),
+                        };
+                        (records, trace.len())
                     }));
                     match scan {
-                        Ok(records) => {
+                        Ok((records, events)) => {
+                            let dur = unit_start.elapsed();
+                            hists.scan.record(dur);
                             for (&i, record) in members.iter().zip(records) {
                                 complete(i, record);
+                            }
+                            if let Some(o) = obs {
+                                o.counters.add_done(fresh as u64);
+                                o.unit(
+                                    "simulate",
+                                    "scan",
+                                    w as u64,
+                                    dur,
+                                    &[
+                                        ("events", FieldValue::U64(events as u64)),
+                                        ("width", FieldValue::U64(members.len() as u64)),
+                                        ("fresh", FieldValue::U64(fresh as u64)),
+                                    ],
+                                );
                             }
                         }
                         Err(_) => {
                             // Fallback: re-run each member alone on the
                             // per-design engine; only a design that also
                             // panics there is quarantined.
+                            let mut retried_here = 0u64;
                             for &i in members {
                                 if record_slots[i].get().is_some() {
                                     continue;
                                 }
                                 retried.fetch_add(1, Ordering::Relaxed);
-                                match simulate_one(i) {
+                                retried_here += 1;
+                                match simulate_one(w, i) {
                                     Ok(record) => complete(i, record),
                                     Err(message) => quarantine(SweepError {
                                         design_index: i,
@@ -353,17 +463,27 @@ impl Explorer {
                                     }),
                                 }
                             }
+                            if let Some(o) = obs {
+                                o.point(
+                                    "supervise",
+                                    "retry",
+                                    &[
+                                        ("group", FieldValue::U64(g as u64)),
+                                        ("count", FieldValue::U64(retried_here)),
+                                    ],
+                                );
+                            }
                         }
                     }
                 });
                 (busy, groups.len(), max_width)
             }
             Engine::PerDesign => {
-                let busy = try_steal_loop(workers, designs.len(), |i| {
+                let busy = try_steal_loop(workers, designs.len(), |w, i| {
                     if out_of_time() || record_slots[i].get().is_some() {
                         return;
                     }
-                    match simulate_one(i) {
+                    match simulate_one(w, i) {
                         Ok(record) => complete(i, record),
                         Err(message) => quarantine(SweepError {
                             design_index: i,
@@ -376,6 +496,7 @@ impl Explorer {
                 (busy, 0, 0)
             }
         };
+        drop(simulate_span);
         let worker_busy = worker_busy.map_err(|message| ExploreError::WorkerPanic {
             phase: "simulate",
             message,
@@ -395,13 +516,15 @@ impl Explorer {
         };
 
         let phase_start = Instant::now();
+        let select_span = Span::begin(obs, "select");
         let records: Vec<Option<Record>> =
             record_slots.into_iter().map(OnceLock::into_inner).collect();
         let mut errors = errors.into_inner().unwrap_or_else(|p| p.into_inner());
         errors.sort_by_key(|e| e.design_index);
+        drop(select_span);
         let select_time = phase_start.elapsed();
 
-        let telemetry = SweepTelemetry {
+        let mut telemetry = SweepTelemetry {
             designs_evaluated: records.iter().filter(|r| r.is_some()).count(),
             layouts_computed: plan.pairs.len(),
             traces_generated: plan.keys.len(),
@@ -425,6 +548,12 @@ impl Explorer {
             cancelled: cancelled.into_inner(),
             ..SweepTelemetry::default()
         };
+        hists.fill(&mut telemetry);
+        debug_assert!(
+            telemetry.worker_utilization() <= 1.05,
+            "worker busy time overcounted: utilization {}",
+            telemetry.worker_utilization()
+        );
         Ok(SweepOutcome {
             records,
             errors,

@@ -10,8 +10,13 @@
 //! `bench_explore` harness both print it; `BENCH_explore.json` embeds the
 //! [`to_json`](SweepTelemetry::to_json) form.
 
+use crate::obs::{json_f64, LatencySummary};
 use std::fmt;
 use std::time::Duration;
+
+/// Version stamp of the [`SweepTelemetry::to_json`] layout, emitted as
+/// its first field so downstream consumers can detect schema changes.
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 2;
 
 /// Counters and timings of one design-space sweep.
 #[derive(Clone, Debug, Default)]
@@ -78,6 +83,15 @@ pub struct SweepTelemetry {
     /// True when a cooperative deadline cancelled the sweep, leaving a
     /// well-formed partial result.
     pub cancelled: bool,
+    /// Per-unit layout placement latency (one sample per `(T, L)` pair).
+    pub layout_latency: LatencySummary,
+    /// Per-design simulation latency (per-design engine and supervisor
+    /// fallbacks).
+    pub design_latency: LatencySummary,
+    /// Trace-group scan latency (fused engine, one sample per bank).
+    pub scan_latency: LatencySummary,
+    /// Checkpoint flush latency (supervised sweeps).
+    pub flush_latency: LatencySummary,
 }
 
 impl SweepTelemetry {
@@ -131,35 +145,49 @@ impl SweepTelemetry {
 
     /// Mean fraction of the simulation phase each worker spent busy
     /// (1.0 = perfectly balanced). Returns 1.0 when the phase was empty.
+    ///
+    /// The *true* ratio is returned, including values above 1.0 — which
+    /// can only come from busy-time overcounting and used to be silently
+    /// clamped away. Clamping is a display concern
+    /// ([`Display`](fmt::Display) caps its percentage at 100%); the
+    /// sweep engines `debug_assert!` that this stays ≤ 1 so overcounting
+    /// bugs fail loudly instead of masquerading as full utilization.
     pub fn worker_utilization(&self) -> f64 {
         let wall = self.simulate_time.as_secs_f64();
         if wall <= 0.0 || self.worker_busy.is_empty() {
             return 1.0;
         }
         let busy: f64 = self.worker_busy.iter().map(Duration::as_secs_f64).sum();
-        (busy / (wall * self.worker_busy.len() as f64)).min(1.0)
+        busy / (wall * self.worker_busy.len() as f64)
     }
 
-    /// Flat JSON rendering (no external dependencies), embedded in
-    /// `BENCH_explore.json`.
+    /// JSON rendering (no external dependencies), embedded in
+    /// `BENCH_explore.json`. Scalar counters are flat; the per-unit
+    /// latency summaries are nested objects. Every float goes through a
+    /// finite guard ([`json_f64`]) — non-finite values render as `null`
+    /// instead of the invalid-JSON `NaN`/`inf` that `{:.3}` would emit.
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"designs_evaluated\":{},\"layouts_computed\":{},",
+                "{{\"schema_version\":{},",
+                "\"designs_evaluated\":{},\"layouts_computed\":{},",
                 "\"traces_generated\":{},\"trace_events_generated\":{},",
                 "\"trace_events_replayed\":{},\"trace_events_reused\":{},",
                 "\"trace_events_scanned\":{},\"trace_events_avoided\":{},",
                 "\"fused_groups\":{},\"max_bank_width\":{},",
-                "\"trace_reuse_factor\":{:.3},\"workers\":{},",
-                "\"worker_utilization\":{:.3},\"designs_pruned\":{},",
-                "\"prune_rate\":{:.3},\"frontier_size\":{},",
+                "\"trace_reuse_factor\":{},\"workers\":{},",
+                "\"worker_utilization\":{},\"designs_pruned\":{},",
+                "\"prune_rate\":{},\"frontier_size\":{},",
                 "\"designs_quarantined\":{},\"designs_retried\":{},",
                 "\"checkpoints_written\":{},\"checkpoints_failed\":{},",
                 "\"records_resumed\":{},\"cancelled\":{},",
-                "\"layout_secs\":{:.6},\"trace_secs\":{:.6},",
-                "\"bound_secs\":{:.6},\"simulate_secs\":{:.6},",
-                "\"select_secs\":{:.6},\"total_secs\":{:.6}}}"
+                "\"layout_secs\":{},\"trace_secs\":{},",
+                "\"bound_secs\":{},\"simulate_secs\":{},",
+                "\"select_secs\":{},\"total_secs\":{},",
+                "\"layout_latency\":{},\"design_latency\":{},",
+                "\"scan_latency\":{},\"flush_latency\":{}}}"
             ),
+            TELEMETRY_SCHEMA_VERSION,
             self.designs_evaluated,
             self.layouts_computed,
             self.traces_generated,
@@ -170,11 +198,11 @@ impl SweepTelemetry {
             self.trace_events_avoided(),
             self.fused_groups,
             self.max_bank_width,
-            self.trace_reuse_factor(),
+            json_f64(self.trace_reuse_factor(), 3),
             self.workers,
-            self.worker_utilization(),
+            json_f64(self.worker_utilization(), 3),
             self.designs_pruned,
-            self.prune_rate(),
+            json_f64(self.prune_rate(), 3),
             self.frontier_size,
             self.designs_quarantined,
             self.designs_retried,
@@ -182,12 +210,16 @@ impl SweepTelemetry {
             self.checkpoints_failed,
             self.records_resumed,
             self.cancelled,
-            self.layout_time.as_secs_f64(),
-            self.trace_time.as_secs_f64(),
-            self.bound_time.as_secs_f64(),
-            self.simulate_time.as_secs_f64(),
-            self.select_time.as_secs_f64(),
-            self.total_time.as_secs_f64(),
+            json_f64(self.layout_time.as_secs_f64(), 6),
+            json_f64(self.trace_time.as_secs_f64(), 6),
+            json_f64(self.bound_time.as_secs_f64(), 6),
+            json_f64(self.simulate_time.as_secs_f64(), 6),
+            json_f64(self.select_time.as_secs_f64(), 6),
+            json_f64(self.total_time.as_secs_f64(), 6),
+            self.layout_latency.to_json(),
+            self.design_latency.to_json(),
+            self.scan_latency.to_json(),
+            self.flush_latency.to_json(),
         )
     }
 }
@@ -230,8 +262,18 @@ impl fmt::Display for SweepTelemetry {
             self.trace_events_replayed,
             self.trace_reuse_factor(),
             self.simulate_time.as_secs_f64() * 1e3,
-            self.worker_utilization() * 100.0
+            self.worker_utilization().min(1.0) * 100.0
         )?;
+        for (name, s) in [
+            ("latency scan", &self.scan_latency),
+            ("latency sim", &self.design_latency),
+            ("latency lay", &self.layout_latency),
+            ("latency ckpt", &self.flush_latency),
+        ] {
+            if s.count > 0 {
+                writeln!(f, "  {name}: {s}")?;
+            }
+        }
         if self.fused_groups > 0 {
             writeln!(
                 f,
@@ -313,12 +355,67 @@ mod tests {
     }
 
     #[test]
-    fn json_is_flat_and_balanced() {
+    fn utilization_reports_overcounting_instead_of_clamping() {
+        // Busy time exceeding wall x workers means overcounting; the true
+        // ratio must surface (> 1.0) — only the display clamps.
+        let mut t = sample();
+        t.simulate_time = Duration::from_millis(10);
+        t.worker_busy = vec![Duration::from_millis(15), Duration::from_millis(15)];
+        let u = t.worker_utilization();
+        assert!(u > 1.0, "clamped: {u}");
+        assert!((u - 1.5).abs() < 1e-9, "{u}");
+        // Display caps at 100%; JSON keeps the true ratio.
+        assert!(t.to_string().contains("100% worker utilization"));
+        assert!(t.to_json().contains("\"worker_utilization\":1.500"));
+    }
+
+    #[test]
+    fn json_is_valid_and_carries_schema_version() {
         let j = sample().to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.starts_with("{\"schema_version\":"));
         assert!(j.contains("\"designs_evaluated\":8"));
         assert!(j.contains("\"trace_events_reused\":300"));
-        assert_eq!(j.matches('{').count(), 1);
+        let v = crate::obs::parse_json(&j).expect("telemetry json parses");
+        assert_eq!(
+            v.get("schema_version").and_then(crate::obs::Json::as_u64),
+            Some(TELEMETRY_SCHEMA_VERSION)
+        );
+        assert!(v.get("scan_latency").is_some());
+    }
+
+    #[test]
+    fn json_survives_non_finite_ratios() {
+        // A zero-duration phase with busy workers yields a division whose
+        // guard must hold; force non-finite values directly through the
+        // float fields to prove the guard (hand-formatted `{:.3}` would
+        // have emitted the invalid token `NaN`).
+        let mut t = sample();
+        t.trace_events_generated = 0;
+        t.trace_events_replayed = u64::MAX;
+        let j = t.to_json();
+        crate::obs::parse_json(&j).expect("json with extreme counters parses");
+        assert_eq!(crate::obs::json_f64(f64::NAN, 3), "null");
+    }
+
+    #[test]
+    fn latency_summaries_render_in_json_and_display() {
+        let mut t = sample();
+        let h = crate::obs::LatencyHistogram::new();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(900));
+        t.scan_latency = h.summary();
+        let j = t.to_json();
+        let v = crate::obs::parse_json(&j).expect("parses");
+        assert_eq!(
+            v.get("scan_latency")
+                .and_then(|s| s.get("count"))
+                .and_then(crate::obs::Json::as_u64),
+            Some(2)
+        );
+        let s = t.to_string();
+        assert!(s.contains("latency scan"), "{s}");
+        assert!(!s.contains("latency ckpt"), "{s}");
     }
 
     #[test]
@@ -355,7 +452,7 @@ mod tests {
         assert!(j.contains("\"trace_events_avoided\":300"));
         assert!(j.contains("\"fused_groups\":2"));
         assert!(j.contains("\"max_bank_width\":6"));
-        assert_eq!(j.matches('{').count(), 1);
+        crate::obs::parse_json(&j).expect("fused telemetry json parses");
     }
 
     #[test]
@@ -380,7 +477,7 @@ mod tests {
         let j = t.to_json();
         assert!(j.contains("\"designs_pruned\":24"));
         assert!(j.contains("\"prune_rate\":0.750"));
-        assert_eq!(j.matches('{').count(), 1);
+        crate::obs::parse_json(&j).expect("pruned telemetry json parses");
     }
 
     #[test]
@@ -403,7 +500,7 @@ mod tests {
         ] {
             assert!(j.contains(field), "missing {field} in {j}");
         }
-        assert_eq!(j.matches('{').count(), 1);
+        crate::obs::parse_json(&j).expect("supervisor telemetry json parses");
         let s = t.to_string();
         assert!(s.contains("isolate"), "{s}");
         assert!(s.contains("ckpt"), "{s}");

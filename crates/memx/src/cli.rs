@@ -12,12 +12,13 @@ USAGE:
                  [--analytical] [--bound-cycles N] [--bound-energy NJ]
                  [--pareto] [--telemetry] [--engine fused|per-design]
                  [--checkpoint PATH [--checkpoint-every N] [--resume]]
-                 [--deadline SECS]
+                 [--deadline SECS] [--log-json FILE] [--progress]
   memx pareto    KERNEL.mx [--part cy7c|lp2m|16m] [--em NJ] [--natural]
                  [--format csv|json] [--exhaustive] [--telemetry]
                  [--engine fused|per-design]
                  [--checkpoint PATH [--checkpoint-every N] [--resume]]
-                 [--deadline SECS]
+                 [--deadline SECS] [--log-json FILE] [--progress]
+  memx report    LOG.jsonl
   memx simulate  KERNEL.mx --cache N --line N [--assoc N] [--tiling B]
                  [--natural] [--classify]
   memx place     KERNEL.mx --cache N --line N
@@ -26,6 +27,12 @@ USAGE:
   memx trace     KERNEL.mx [--reads-only]
   memx simulate-din TRACE.din --cache N --line N [--assoc N] [--classify]
   memx help
+
+Streams: records and reports go to stdout; telemetry summaries, progress,
+notes, and warnings go to stderr, so piped output stays machine-readable.
+`--log-json FILE` writes one JSON event per line; `memx report` renders a
+run summary from such a log. `--checkpoint-every 0` selects the default
+flush interval (32 records).
 
 Kernel files use the loopir text format, e.g.:
 
@@ -81,14 +88,41 @@ impl Supervise {
         match flag {
             "--checkpoint" => self.checkpoint = Some(args.value_of(flag)?.to_string()),
             "--checkpoint-every" => {
+                // 0 selects the default flush interval (32 records), so
+                // scripts can pass a computed value without special-casing.
                 let n: usize = parse_num(flag, args.value_of(flag)?)?;
-                if n == 0 {
-                    return Err(err("`--checkpoint-every` must be at least 1"));
-                }
-                self.checkpoint_every = n;
+                self.checkpoint_every = if n == 0 { 32 } else { n };
             }
             "--resume" => self.resume = true,
             "--deadline" => self.deadline_secs = Some(parse_num(flag, args.value_of(flag)?)?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// Observability flags shared by `explore` and `pareto` (`--log-json`,
+/// `--progress`). Both default to off; with both off the sweep runs with
+/// zero observability overhead and byte-identical output.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ObsFlags {
+    /// JSONL event-log path (`--log-json FILE`).
+    pub log_json: Option<String>,
+    /// Live progress line on stderr (`--progress`).
+    pub progress: bool,
+}
+
+impl ObsFlags {
+    /// True when any observability feature was requested.
+    pub fn is_active(&self) -> bool {
+        self.log_json.is_some() || self.progress
+    }
+
+    /// Handles one observability flag; returns false if `flag` is not one.
+    fn parse_flag(&mut self, flag: &str, args: &mut Args<'_>) -> Result<bool, UsageError> {
+        match flag {
+            "--log-json" => self.log_json = Some(args.value_of(flag)?.to_string()),
+            "--progress" => self.progress = true,
             _ => return Ok(false),
         }
         Ok(true)
@@ -122,6 +156,8 @@ pub enum Command {
         engine: String,
         /// Supervisor options (checkpoint/resume/deadline).
         supervise: Supervise,
+        /// Observability options (JSONL event log, live progress).
+        obs: ObsFlags,
     },
     /// The three-objective Pareto frontier over the paper grid, with
     /// admissible branch-and-bound pruning.
@@ -144,6 +180,13 @@ pub enum Command {
         engine: String,
         /// Supervisor options (checkpoint/resume/deadline).
         supervise: Supervise,
+        /// Observability options (JSONL event log, live progress).
+        obs: ObsFlags,
+    },
+    /// Render a run summary from a `--log-json` event log.
+    Report {
+        /// Path to the JSONL event log.
+        file: String,
     },
     /// Simulate one configuration.
     Simulate {
@@ -287,6 +330,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 telemetry: false,
                 engine: "fused".to_string(),
                 supervise: Supervise::default(),
+                obs: ObsFlags::default(),
             };
             while let Some(flag) = args.next() {
                 let Command::Explore {
@@ -300,6 +344,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     telemetry,
                     engine,
                     supervise,
+                    obs,
                     ..
                 } = &mut cmd
                 else {
@@ -328,7 +373,9 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     "--telemetry" => *telemetry = true,
                     "--engine" => *engine = parse_engine(args.value_of(flag)?)?,
                     other => {
-                        if !supervise.parse_flag(other, &mut args)? {
+                        if !supervise.parse_flag(other, &mut args)?
+                            && !obs.parse_flag(other, &mut args)?
+                        {
                             return Err(err(format!("unknown flag `{other}` for explore")));
                         }
                     }
@@ -352,6 +399,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
             let mut telemetry = false;
             let mut engine = "fused".to_string();
             let mut supervise = Supervise::default();
+            let mut obs = ObsFlags::default();
             while let Some(flag) = args.next() {
                 match flag {
                     "--part" => {
@@ -378,7 +426,9 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     "--telemetry" => telemetry = true,
                     "--engine" => engine = parse_engine(args.value_of(flag)?)?,
                     other => {
-                        if !supervise.parse_flag(other, &mut args)? {
+                        if !supervise.parse_flag(other, &mut args)?
+                            && !obs.parse_flag(other, &mut args)?
+                        {
                             return Err(err(format!("unknown flag `{other}` for pareto")));
                         }
                     }
@@ -395,7 +445,18 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 telemetry,
                 engine,
                 supervise,
+                obs,
             })
+        }
+        "report" => {
+            let file = args
+                .next()
+                .ok_or_else(|| err("report needs a JSONL log file"))?
+                .to_string();
+            if let Some(extra) = args.next() {
+                return Err(err(format!("unexpected argument `{extra}`")));
+            }
+            Ok(Command::Report { file })
         }
         "simulate" => {
             let file = args
@@ -531,6 +592,7 @@ mod tests {
                 em_nj,
                 engine,
                 supervise,
+                obs,
             } => {
                 assert_eq!(file, "k.mx");
                 assert_eq!(part, "16m");
@@ -541,6 +603,8 @@ mod tests {
                 assert_eq!(engine, "per-design");
                 assert_eq!(supervise, Supervise::default());
                 assert!(!supervise.is_active());
+                assert_eq!(obs, ObsFlags::default());
+                assert!(!obs.is_active());
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -571,6 +635,7 @@ mod tests {
                 telemetry,
                 engine,
                 supervise,
+                obs,
             } => {
                 assert_eq!(file, "k.mx");
                 assert_eq!(part, "lp2m");
@@ -579,6 +644,7 @@ mod tests {
                 assert_eq!(format, "json");
                 assert_eq!(engine, "fused");
                 assert!(!supervise.is_active());
+                assert!(!obs.is_active());
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -673,10 +739,51 @@ mod tests {
         assert!(e.0.contains("--checkpoint"), "{e}");
         let e = parse_args(&argv("pareto k.mx --checkpoint-every 4")).expect_err("should fail");
         assert!(e.0.contains("--checkpoint"), "{e}");
-        assert!(parse_args(&argv("explore k.mx --checkpoint c --checkpoint-every 0")).is_err());
         assert!(parse_args(&argv("explore k.mx --deadline 0")).is_err());
         assert!(parse_args(&argv("explore k.mx --deadline -3")).is_err());
         assert!(parse_args(&argv("explore k.mx --checkpoint")).is_err());
+    }
+
+    #[test]
+    fn checkpoint_every_zero_selects_the_default_interval() {
+        match parse_args(&argv("explore k.mx --checkpoint c --checkpoint-every 0")).expect("valid")
+        {
+            Command::Explore { supervise, .. } => assert_eq!(supervise.checkpoint_every, 32),
+            other => panic!("wrong command: {other:?}"),
+        }
+        // The flag still requires a checkpoint path, even spelled as 0.
+        assert!(parse_args(&argv("explore k.mx --checkpoint-every 0")).is_err());
+    }
+
+    #[test]
+    fn parses_observability_flags_on_both_sweeps() {
+        match parse_args(&argv("explore k.mx --log-json run.jsonl --progress")).expect("valid") {
+            Command::Explore { obs, .. } => {
+                assert_eq!(obs.log_json.as_deref(), Some("run.jsonl"));
+                assert!(obs.progress && obs.is_active());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse_args(&argv("pareto k.mx --progress")).expect("valid") {
+            Command::Pareto { obs, .. } => {
+                assert_eq!(obs.log_json, None);
+                assert!(obs.progress && obs.is_active());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse_args(&argv("explore k.mx --log-json")).is_err());
+    }
+
+    #[test]
+    fn parses_report_command() {
+        assert_eq!(
+            parse_args(&argv("report run.jsonl")).expect("valid"),
+            Command::Report {
+                file: "run.jsonl".into()
+            }
+        );
+        assert!(parse_args(&argv("report")).is_err());
+        assert!(parse_args(&argv("report a.jsonl b.jsonl")).is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Command implementations: each returns its report as a `String`.
+//! Command implementations: each returns its report as an [`Output`]
+//! split by stream (records on stdout, human notes on stderr).
 
-use crate::cli::{Command, Supervise, USAGE};
+use crate::cli::{Command, ObsFlags, Supervise, USAGE};
 use analysis::classes::{partition_cases, partition_classes};
 use analysis::min_cache::MinCacheReport;
 use analysis::placement::optimize_layout;
@@ -9,7 +10,7 @@ use loopir::parse::parse_kernel;
 use loopir::{AccessKind, ArrayId, DataLayout, Kernel, TraceGen};
 use memexplore::{
     select, CacheDesign, CheckpointPolicy, DesignSpace, Engine, Evaluator, ExploreError, Explorer,
-    FaultPlan, PlacementMode, SweepOptions, SweepOutcome,
+    FaultPlan, Obs, ObsConfig, ObsSink, PlacementMode, RunReport, SweepOptions, SweepOutcome,
 };
 use memsim::din::{parse_din, write_din, DinLabel, DinRecord};
 use memsim::{CacheConfig, Simulator, TraceEvent};
@@ -17,7 +18,29 @@ use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A command's result, split by stream. `stdout` carries the
+/// machine-readable records/report; `stderr` carries human-facing notes
+/// (telemetry summaries, resume/deadline warnings), so piped stdout stays
+/// clean CSV/JSON even with `--telemetry`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Output {
+    /// Machine-readable command output.
+    pub stdout: String,
+    /// Human-facing notes and summaries.
+    pub stderr: String,
+}
+
+impl Output {
+    fn stdout_only(stdout: String) -> Self {
+        Output {
+            stdout,
+            stderr: String::new(),
+        }
+    }
+}
 
 /// A failed command, classified by the exit-code contract: invalid CLI
 /// input is exit 2 (handled by the parser), I/O failures are also exit 2,
@@ -70,9 +93,9 @@ impl From<String> for RunError {
 ///
 /// [`RunError`] carrying the message and the exit code: I/O failures map
 /// to exit 2 (like invalid CLI input), everything else to exit 1.
-pub fn run(cmd: Command) -> Result<String, RunError> {
+pub fn run(cmd: Command) -> Result<Output, RunError> {
     match cmd {
-        Command::Help => Ok(USAGE.to_string()),
+        Command::Help => Ok(Output::stdout_only(USAGE.to_string())),
         Command::Explore {
             file,
             part,
@@ -85,6 +108,7 @@ pub fn run(cmd: Command) -> Result<String, RunError> {
             telemetry,
             engine,
             supervise,
+            obs,
         } => {
             let kernel = load(&file)?;
             let evaluator = make_evaluator(&part, em_nj, natural);
@@ -98,6 +122,7 @@ pub fn run(cmd: Command) -> Result<String, RunError> {
                 telemetry,
                 engine_kind(&engine),
                 &supervise,
+                &obs,
             )
         }
         Command::Pareto {
@@ -110,6 +135,7 @@ pub fn run(cmd: Command) -> Result<String, RunError> {
             telemetry,
             engine,
             supervise,
+            obs,
         } => {
             let kernel = load(&file)?;
             let evaluator = make_evaluator(&part, em_nj, natural);
@@ -121,8 +147,10 @@ pub fn run(cmd: Command) -> Result<String, RunError> {
                 telemetry,
                 engine_kind(&engine),
                 &supervise,
+                &obs,
             )
         }
+        Command::Report { file } => report(&file),
         Command::Simulate {
             file,
             cache,
@@ -133,25 +161,25 @@ pub fn run(cmd: Command) -> Result<String, RunError> {
             classify,
         } => {
             let kernel = load(&file)?;
-            Ok(simulate(
+            Ok(Output::stdout_only(simulate(
                 &kernel, cache, line, assoc, tiling, natural, classify,
-            )?)
+            )?))
         }
         Command::Place { file, cache, line } => {
             let kernel = load(&file)?;
-            Ok(place(&kernel, cache, line)?)
+            Ok(Output::stdout_only(place(&kernel, cache, line)?))
         }
         Command::MinCache { file, line } => {
             let kernel = load(&file)?;
-            Ok(min_cache(&kernel, line)?)
+            Ok(Output::stdout_only(min_cache(&kernel, line)?))
         }
         Command::Classes { file } => {
             let kernel = load(&file)?;
-            Ok(classes(&kernel))
+            Ok(Output::stdout_only(classes(&kernel)))
         }
         Command::Trace { file, reads_only } => {
             let kernel = load(&file)?;
-            Ok(trace(&kernel, reads_only)?)
+            Ok(Output::stdout_only(trace(&kernel, reads_only)?))
         }
         Command::SimulateDin {
             file,
@@ -159,8 +187,41 @@ pub fn run(cmd: Command) -> Result<String, RunError> {
             line,
             assoc,
             classify,
-        } => simulate_din(&file, cache, line, assoc, classify),
+        } => Ok(Output::stdout_only(simulate_din(
+            &file, cache, line, assoc, classify,
+        )?)),
     }
+}
+
+/// Renders the `memx report` summary from a `--log-json` event log.
+fn report(path: &str) -> Result<Output, RunError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| RunError::Io(format!("cannot read `{path}`: {e}")))?;
+    let report =
+        RunReport::from_jsonl(&text).map_err(|e| RunError::Other(format!("{path}: {e}").into()))?;
+    Ok(Output::stdout_only(report.to_string()))
+}
+
+/// Builds the observability hub from the CLI flags; `None` when both are
+/// off, so the sweep path stays untouched (bit-identical output).
+fn build_obs(flags: &ObsFlags) -> Result<Option<Arc<Obs>>, RunError> {
+    if !flags.is_active() {
+        return Ok(None);
+    }
+    let config = ObsConfig {
+        log: flags
+            .log_json
+            .as_ref()
+            .map(|p| ObsSink::Path(PathBuf::from(p))),
+        progress: flags.progress,
+        run_id: None,
+    };
+    Obs::new(config).map(Some).map_err(|e| {
+        RunError::Io(format!(
+            "cannot write event log `{}`: {e}",
+            flags.log_json.as_deref().unwrap_or("<none>")
+        ))
+    })
 }
 
 fn simulate_din(
@@ -233,7 +294,11 @@ fn load(path: &str) -> Result<Kernel, RunError> {
 /// Pre-sweep validation (satellite guard against silently useless runs):
 /// an empty design grid is an error; tilings larger than every loop's
 /// trip count are flagged as warnings (they degenerate to untiled runs).
-fn check_sweep_inputs(kernel: &Kernel, designs: &[CacheDesign]) -> Result<(), RunError> {
+fn check_sweep_inputs(
+    kernel: &Kernel,
+    designs: &[CacheDesign],
+    stderr: &mut String,
+) -> Result<(), RunError> {
     if designs.is_empty() {
         return Err(RunError::Other(
             format!(
@@ -258,7 +323,8 @@ fn check_sweep_inputs(kernel: &Kernel, designs: &[CacheDesign]) -> Result<(), Ru
         excessive.sort_unstable();
         excessive.dedup();
         if !excessive.is_empty() {
-            eprintln!(
+            let _ = writeln!(
+                stderr,
                 "warning: tiling size(s) {excessive:?} exceed the largest loop trip count \
                  ({max_trip}) of kernel {}; they behave as untiled",
                 kernel.name
@@ -288,12 +354,14 @@ fn run_supervised(
     kernel: &Kernel,
     designs: &[CacheDesign],
     supervise: &Supervise,
+    stderr: &mut String,
 ) -> Result<SweepOutcome, RunError> {
     let checkpoint = match &supervise.checkpoint {
         Some(path) => {
             let path = PathBuf::from(path);
             if supervise.resume && !path.exists() {
-                eprintln!(
+                let _ = writeln!(
+                    stderr,
                     "note: checkpoint `{}` not found; starting a fresh sweep",
                     path.display()
                 );
@@ -325,17 +393,19 @@ fn run_supervised(
         })?;
     let t = &outcome.telemetry;
     if t.records_resumed > 0 {
-        eprintln!(
+        let _ = writeln!(
+            stderr,
             "note: resumed {} of {} records from the checkpoint",
             t.records_resumed,
             designs.len()
         );
     }
     for e in &outcome.errors {
-        eprintln!("warning: {e}");
+        let _ = writeln!(stderr, "warning: {e}");
     }
     if t.cancelled {
-        eprintln!(
+        let _ = writeln!(
+            stderr,
             "warning: deadline reached; result is partial ({} of {} designs)",
             t.designs_evaluated,
             designs.len()
@@ -355,14 +425,23 @@ fn explore(
     telemetry: bool,
     engine: Engine,
     supervise: &Supervise,
-) -> Result<String, RunError> {
+    obs_flags: &ObsFlags,
+) -> Result<Output, RunError> {
+    let mut stderr = String::new();
     let space = DesignSpace::paper();
     let designs = space.designs();
-    check_sweep_inputs(kernel, &designs)?;
+    check_sweep_inputs(kernel, &designs, &mut stderr)?;
     let (records, sweep_telemetry) = if analytical {
         if supervise.is_active() {
-            eprintln!(
+            let _ = writeln!(
+                stderr,
                 "warning: --checkpoint/--deadline are ignored with --analytical (no sweep runs)"
+            );
+        }
+        if obs_flags.is_active() {
+            let _ = writeln!(
+                stderr,
+                "warning: --log-json/--progress are ignored with --analytical (no sweep runs)"
             );
         }
         let records = designs
@@ -371,14 +450,22 @@ fn explore(
             .collect();
         (records, None)
     } else {
-        let explorer = Explorer::new(evaluator).with_engine(engine);
-        if supervise.is_active() {
-            let outcome = run_supervised(&explorer, kernel, &designs, supervise)?;
+        let obs = build_obs(obs_flags)?;
+        let mut explorer = Explorer::new(evaluator).with_engine(engine);
+        if let Some(o) = &obs {
+            explorer = explorer.with_obs(Arc::clone(o));
+        }
+        let result = if supervise.is_active() {
+            let outcome = run_supervised(&explorer, kernel, &designs, supervise, &mut stderr)?;
             (outcome.completed_records(), Some(outcome.telemetry))
         } else {
             let (records, t) = explorer.explore_with_telemetry(kernel, &space);
             (records, Some(t))
+        };
+        if let Some(o) = &obs {
+            o.finish();
         }
+        result
     };
 
     let mut out = String::new();
@@ -431,20 +518,25 @@ fn explore(
             let _ = writeln!(out, "  {}", fmt_rec(r));
         }
     }
+    // The summary goes to stderr, never into the record stream: with
+    // `--telemetry` a piped stdout must stay exactly the records.
     if telemetry {
         match sweep_telemetry {
             Some(t) => {
-                let _ = writeln!(out, "{t}");
+                let _ = writeln!(stderr, "{t}");
             }
             None => {
                 let _ = writeln!(
-                    out,
+                    stderr,
                     "telemetry: not available for the analytical model (no traces are simulated)"
                 );
             }
         }
     }
-    Ok(out)
+    Ok(Output {
+        stdout: out,
+        stderr,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -456,17 +548,23 @@ fn pareto_frontier(
     telemetry: bool,
     engine: Engine,
     supervise: &Supervise,
-) -> Result<String, RunError> {
+    obs_flags: &ObsFlags,
+) -> Result<Output, RunError> {
+    let mut stderr = String::new();
     let space = DesignSpace::paper();
     let designs = space.designs();
-    check_sweep_inputs(kernel, &designs)?;
-    let explorer = Explorer::new(evaluator).with_engine(engine);
+    check_sweep_inputs(kernel, &designs, &mut stderr)?;
+    let obs = build_obs(obs_flags)?;
+    let mut explorer = Explorer::new(evaluator).with_engine(engine);
+    if let Some(o) = &obs {
+        explorer = explorer.with_obs(Arc::clone(o));
+    }
     let (frontier, sweep) = if supervise.is_active() {
         // The supervised sweep is exhaustive over the grid; the frontier
         // over its completed records is bit-identical to the pruned one
         // when the run is clean (the pareto oracle tests pin that), and
         // well-formed over whatever completed when it is not.
-        let outcome = run_supervised(&explorer, kernel, &designs, supervise)?;
+        let outcome = run_supervised(&explorer, kernel, &designs, supervise, &mut stderr)?;
         let completed = outcome.completed_records();
         let frontier = select::pareto3(&completed);
         let mut t = outcome.telemetry;
@@ -477,8 +575,12 @@ fn pareto_frontier(
     } else {
         explorer.pareto_pruned(kernel, &space)
     };
+    if let Some(o) = &obs {
+        o.finish();
+    }
     if frontier.is_empty() {
-        eprintln!(
+        let _ = writeln!(
+            stderr,
             "warning: the Pareto frontier of kernel {} is empty (no designs completed)",
             kernel.name
         );
@@ -547,13 +649,16 @@ fn pareto_frontier(
                 r.conflict_free
             );
         }
+        // Telemetry goes to stderr so piped CSV stays pure rows (the JSON
+        // format embeds it instead, where it is valid structure).
         if telemetry {
-            for line in sweep.to_string().lines() {
-                let _ = writeln!(out, "# {line}");
-            }
+            let _ = writeln!(stderr, "{sweep}");
         }
     }
-    Ok(out)
+    Ok(Output {
+        stdout: out,
+        stderr,
+    })
 }
 
 fn simulate(
@@ -763,7 +868,7 @@ mod tests {
             "--classify".into(),
         ])
         .expect("valid argv");
-        let out = run(cmd).expect("command succeeds");
+        let out = run(cmd).expect("command succeeds").stdout;
         assert!(out.contains("miss rate"));
         assert!(out.contains("conflict 0"), "{out}");
     }
@@ -775,7 +880,8 @@ mod tests {
             file: path,
             line: 16,
         })
-        .expect("command succeeds");
+        .expect("command succeeds")
+        .stdout;
         assert!(out.contains("total 4 lines"), "{out}");
         assert!(out.contains("minimum cache 64 B"), "{out}");
     }
@@ -783,7 +889,9 @@ mod tests {
     #[test]
     fn classes_command_lists_two_classes() {
         let (_dir, path) = write_kernel();
-        let out = run(Command::Classes { file: path }).expect("command succeeds");
+        let out = run(Command::Classes { file: path })
+            .expect("command succeeds")
+            .stdout;
         assert!(out.contains("class 0"));
         assert!(out.contains("class 1"));
         assert!(!out.contains("class 2"));
@@ -796,7 +904,8 @@ mod tests {
             file: path,
             reads_only: true,
         })
-        .expect("command succeeds");
+        .expect("command succeeds")
+        .stdout;
         let first = out.lines().next().expect("non-empty trace");
         assert!(first.starts_with("0 "), "{first}");
         assert_eq!(out.lines().count(), 31 * 31 * 4);
@@ -810,7 +919,8 @@ mod tests {
             cache: 64,
             line: 8,
         })
-        .expect("command succeeds");
+        .expect("command succeeds")
+        .stdout;
         assert!(out.contains("conflict-free: true"), "{out}");
     }
 
@@ -829,8 +939,10 @@ mod tests {
             telemetry: false,
             engine: "fused".into(),
             supervise: Supervise::default(),
+            obs: ObsFlags::default(),
         })
-        .expect("command succeeds");
+        .expect("command succeeds")
+        .stdout;
         assert!(out.contains("minimum energy"));
         assert!(out.contains("infeasible"));
         assert!(out.contains("pareto"));
@@ -852,9 +964,11 @@ mod tests {
             telemetry: true,
             engine: "fused".into(),
             supervise: Supervise::default(),
+            obs: ObsFlags::default(),
         })
         .expect("command succeeds");
-        assert!(out.contains("telemetry: not available"), "{out}");
+        assert!(out.stderr.contains("telemetry: not available"), "{out:?}");
+        assert!(!out.stdout.contains("telemetry"), "{out:?}");
     }
 
     #[test]
@@ -872,11 +986,14 @@ mod tests {
             telemetry: true,
             engine: "fused".into(),
             supervise: Supervise::default(),
+            obs: ObsFlags::default(),
         })
         .expect("command succeeds");
-        assert!(out.contains("sweep:"), "{out}");
-        assert!(out.contains("worker utilization"), "{out}");
-        assert!(out.contains("reuse"), "{out}");
+        // The summary lives on stderr; stdout stays pure records.
+        assert!(out.stderr.contains("sweep:"), "{out:?}");
+        assert!(out.stderr.contains("worker utilization"), "{out:?}");
+        assert!(out.stderr.contains("reuse"), "{out:?}");
+        assert!(!out.stdout.contains("sweep:"), "{out:?}");
     }
 
     #[test]
@@ -886,7 +1003,8 @@ mod tests {
             file: path,
             reads_only: true,
         })
-        .expect("trace succeeds");
+        .expect("trace succeeds")
+        .stdout;
         let din_path = dir.path.join("t.din");
         std::fs::write(&din_path, din).expect("tempdir writable");
         let out = run(Command::SimulateDin {
@@ -896,7 +1014,8 @@ mod tests {
             assoc: 1,
             classify: true,
         })
-        .expect("simulate-din succeeds");
+        .expect("simulate-din succeeds")
+        .stdout;
         assert!(out.contains("3844 records"), "{out}");
         assert!(out.contains("conflict"), "{out}");
     }
@@ -914,19 +1033,26 @@ mod tests {
             telemetry: true,
             engine: "fused".into(),
             supervise: Supervise::default(),
+            obs: ObsFlags::default(),
         })
         .expect("command succeeds");
-        let mut lines = out.lines();
+        let mut lines = out.stdout.lines();
         assert_eq!(
             lines.next(),
             Some("cache,line,assoc,tiling,miss_rate,cycles,energy_nj,conflict_free")
         );
-        let data: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
-        assert!(data.len() > 2, "frontier should be non-trivial: {out}");
+        // Every stdout line is a pure CSV row; telemetry goes to stderr.
         assert!(
-            out.lines()
-                .any(|l| l.starts_with("# ") && l.contains("prune")),
-            "telemetry comments missing: {out}"
+            out.stdout.lines().count() > 2,
+            "frontier should be non-trivial: {out:?}"
+        );
+        assert!(
+            out.stdout.lines().all(|l| !l.starts_with('#')),
+            "stdout must stay pure CSV: {out:?}"
+        );
+        assert!(
+            out.stderr.contains("prune"),
+            "telemetry summary missing from stderr: {out:?}"
         );
     }
 
@@ -943,8 +1069,10 @@ mod tests {
             telemetry: false,
             engine: "fused".into(),
             supervise: Supervise::default(),
+            obs: ObsFlags::default(),
         })
-        .expect("pruned succeeds");
+        .expect("pruned succeeds")
+        .stdout;
         let exhaustive = run(Command::Pareto {
             file: path,
             part: "cy7c".into(),
@@ -955,8 +1083,10 @@ mod tests {
             telemetry: false,
             engine: "fused".into(),
             supervise: Supervise::default(),
+            obs: ObsFlags::default(),
         })
-        .expect("exhaustive succeeds");
+        .expect("exhaustive succeeds")
+        .stdout;
         assert!(pruned.contains("\"engine\": \"pruned\""), "{pruned}");
         assert!(
             exhaustive.contains("\"engine\": \"exhaustive\""),
@@ -993,7 +1123,7 @@ mod tests {
             let cmd = parse_args(&argv).expect("parses fine; validation is semantic");
             let e = match run(cmd) {
                 Err(e) => e.to_string(),
-                Ok(out) => panic!("{flags:?} should error, got: {out}"),
+                Ok(out) => panic!("{flags:?} should error, got: {}", out.stdout),
             };
             assert!(e.contains(needle), "{flags:?}: {e}");
             assert!(!e.contains('\n'), "error must be one line: {e:?}");
@@ -1036,6 +1166,7 @@ mod tests {
                 telemetry: false,
                 engine: engine.into(),
                 supervise: Supervise::default(),
+                obs: ObsFlags::default(),
             })
             .expect("command succeeds")
         };
@@ -1057,10 +1188,11 @@ mod tests {
             telemetry: true,
             engine: "fused".into(),
             supervise: Supervise::default(),
+            obs: ObsFlags::default(),
         })
         .expect("command succeeds");
-        assert!(out.contains("fused"), "{out}");
-        assert!(out.contains("trace groups"), "{out}");
+        assert!(out.stderr.contains("fused"), "{out:?}");
+        assert!(out.stderr.contains("trace groups"), "{out:?}");
     }
 
     #[test]
@@ -1077,6 +1209,7 @@ mod tests {
                 telemetry: false,
                 engine: engine.into(),
                 supervise: Supervise::default(),
+                obs: ObsFlags::default(),
             })
             .expect("command succeeds")
         };

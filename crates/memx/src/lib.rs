@@ -15,12 +15,12 @@
 //! memx trace    KERNEL.mx [--reads-only]      # Dinero .din on stdout
 //! ```
 //!
-//! Each command is a plain function taking parsed options and returning the
-//! report as a `String`, so everything is unit-testable without spawning a
-//! process.
+//! Each command is a plain function taking parsed options and returning an
+//! [`Output`] split by stream (records on stdout, notes on stderr), so
+//! everything is unit-testable without spawning a process.
 
 pub mod cli;
 pub mod commands;
 
-pub use cli::{parse_args, Command, Supervise, UsageError};
-pub use commands::{run, RunError};
+pub use cli::{parse_args, Command, ObsFlags, Supervise, UsageError};
+pub use commands::{run, Output, RunError};

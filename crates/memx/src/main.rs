@@ -13,7 +13,10 @@ fn main() -> ExitCode {
     };
     match memx::run(cmd) {
         Ok(output) => {
-            print!("{output}");
+            // Notes/telemetry first so they precede the prompt when stdout
+            // is piped; records on stdout keep the machine contract.
+            eprint!("{}", output.stderr);
+            print!("{}", output.stdout);
             ExitCode::SUCCESS
         }
         // One line on stderr; the code follows the contract in

@@ -1,0 +1,294 @@
+//! Observability acceptance tests.
+//!
+//! Two contracts: (1) the canonical JSONL event encoding round-trips
+//! bit-identically through emit → parse → re-emit for arbitrary events,
+//! and (2) a [`RunReport`] rebuilt from a sweep's event log alone agrees
+//! with the [`SweepTelemetry`] counters the sweep computed in-process —
+//! the log is a faithful record, not a best-effort trace.
+
+use loopir::kernels;
+use memexplore::obs::{Event, EventKind, FieldValue};
+use memexplore::{
+    CheckpointPolicy, DesignSpace, Engine, Explorer, Obs, ObsConfig, ObsSink, RunReport,
+    SweepOptions,
+};
+use proptest::prelude::*;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Property: emit → parse → re-emit is bit-identical
+// ---------------------------------------------------------------------------
+
+/// A lowercase identifier-ish string of 1..=8 chars.
+fn arb_ident() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..26, 1..=8).prop_map(|ix| {
+        ix.into_iter()
+            .map(|i| (b'a' + i as u8) as char)
+            .collect::<String>()
+    })
+}
+
+/// Field keys prefixed with `x` so they never collide with the reserved
+/// envelope names (`v`, `t_us`, `run`, `kind`, `phase`, `name`, `worker`).
+fn arb_field_key() -> impl Strategy<Value = String> {
+    arb_ident().prop_map(|s| format!("x{s}"))
+}
+
+/// Strings that stress the canonical escaping: quotes, backslashes,
+/// control characters, and multi-byte unicode.
+fn arb_string() -> impl Strategy<Value = String> {
+    const CHARS: &[char] = &[
+        'a',
+        'Z',
+        '0',
+        ' ',
+        '"',
+        '\\',
+        '\n',
+        '\r',
+        '\t',
+        '\u{1}',
+        '\u{1f}',
+        '/',
+        '{',
+        '}',
+        ':',
+        ',',
+        'é',
+        'λ',
+        '→',
+        '\u{10348}',
+    ];
+    proptest::collection::vec(0usize..CHARS.len(), 0..12)
+        .prop_map(|ix| ix.into_iter().map(|i| CHARS[i]).collect::<String>())
+}
+
+fn arb_field_value() -> impl Strategy<Value = FieldValue> {
+    prop_oneof![
+        (0u64..=u64::MAX).prop_map(FieldValue::U64),
+        (i64::MIN..=i64::MAX).prop_map(FieldValue::I64),
+        proptest::bool::ANY.prop_map(FieldValue::Bool),
+        arb_string().prop_map(FieldValue::Str),
+        // Raw number tokens: decimals survive verbatim through the parser.
+        (i64::MIN..=i64::MAX, 0u32..1_000_000u32)
+            .prop_map(|(i, frac)| FieldValue::Num(format!("{i}.{frac:06}"))),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    let envelope = (
+        0u64..=u64::MAX,
+        arb_ident(),
+        prop_oneof![
+            Just(EventKind::SpanBegin),
+            Just(EventKind::SpanEnd),
+            Just(EventKind::Point),
+        ],
+        arb_ident(),
+        arb_ident(),
+    );
+    let extras = (
+        prop_oneof![
+            Just(None),
+            (0u64..1024).prop_map(Some),
+            (0u64..=u64::MAX).prop_map(Some),
+        ],
+        proptest::collection::vec((arb_field_key(), arb_field_value()), 0..5),
+    );
+    (envelope, extras).prop_map(|((t_us, run, kind, phase, name), (worker, fields))| Event {
+        t_us,
+        run,
+        kind,
+        phase,
+        name,
+        worker,
+        fields,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn jsonl_event_round_trips_bit_identically(event in arb_event()) {
+        let line = event.to_jsonl();
+        let parsed = Event::parse(&line).expect("emitted line parses");
+        // Byte identity of the re-emitted line is the contract; the parsed
+        // value may normalize number representations (e.g. `5` -> U64).
+        prop_assert_eq!(parsed.to_jsonl(), line);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the log reconciles with in-process telemetry
+// ---------------------------------------------------------------------------
+
+/// A `Write` sink sharing its buffer with the test.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("no poisoned writers")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn take_text(&self) -> String {
+        String::from_utf8(self.0.lock().expect("no poisoned writers").clone())
+            .expect("JSONL is UTF-8")
+    }
+}
+
+fn obs_into(buf: &SharedBuf) -> Arc<Obs> {
+    Obs::new(ObsConfig {
+        log: Some(ObsSink::Writer(Box::new(buf.clone()))),
+        progress: false,
+        run_id: Some("suite-test".to_string()),
+    })
+    .expect("in-memory obs hub")
+}
+
+#[test]
+fn explore_log_reconciles_with_telemetry() {
+    for engine in [Engine::Fused, Engine::PerDesign] {
+        let kernel = kernels::compress(31);
+        let space = DesignSpace::paper();
+        let buf = SharedBuf::default();
+        let obs = obs_into(&buf);
+        let explorer = Explorer::default()
+            .with_engine(engine)
+            .with_obs(Arc::clone(&obs));
+        let (records, telemetry) = explorer.explore_with_telemetry(&kernel, &space);
+        obs.finish();
+
+        let report = RunReport::from_jsonl(&buf.take_text()).expect("log parses");
+        assert_eq!(report.run_id, "suite-test");
+        assert_eq!(
+            report.designs_done as usize, telemetry.designs_evaluated,
+            "{engine:?}: log totals diverge from telemetry"
+        );
+        assert_eq!(report.designs_done as usize, records.len());
+        assert_eq!(report.pruned, 0);
+        assert_eq!(report.quarantined, 0);
+        assert!(!report.cancelled);
+        // Phase structure: layout, trace, simulate, select all closed.
+        for phase in ["layout", "trace", "simulate", "select"] {
+            assert!(
+                report.phases.iter().any(|p| p.name == phase && p.spans > 0),
+                "{engine:?}: phase {phase} missing from log"
+            );
+        }
+        // Latency histograms rebuilt from the log match the sweep's own
+        // counts (same per-unit events feed both).
+        match engine {
+            Engine::Fused => {
+                assert_eq!(report.scan.count, telemetry.scan_latency.count);
+                assert_eq!(report.scan.count as usize, telemetry.fused_groups);
+            }
+            Engine::PerDesign => {
+                assert_eq!(report.sim.count, telemetry.design_latency.count);
+                assert_eq!(report.sim.count as usize, telemetry.designs_evaluated);
+            }
+        }
+        assert_eq!(report.layout.count, telemetry.layout_latency.count);
+    }
+}
+
+#[test]
+fn pareto_pruned_log_reconciles_with_telemetry() {
+    let kernel = kernels::compress(31);
+    let space = DesignSpace::paper();
+    let buf = SharedBuf::default();
+    let obs = obs_into(&buf);
+    let explorer = Explorer::default().with_obs(Arc::clone(&obs));
+    let (frontier, telemetry) = explorer.pareto_pruned(&kernel, &space);
+    obs.finish();
+    assert!(!frontier.is_empty());
+
+    let report = RunReport::from_jsonl(&buf.take_text()).expect("log parses");
+    assert_eq!(report.designs_done as usize, telemetry.designs_evaluated);
+    assert_eq!(report.pruned as usize, telemetry.designs_pruned);
+    assert!(
+        report.pruned > 0,
+        "the paper grid always prunes some designs"
+    );
+    assert!(report.phases.iter().any(|p| p.name == "bound"));
+}
+
+#[test]
+fn supervised_log_reconciles_with_telemetry_and_survives_resume() {
+    let dir = std::env::temp_dir().join(format!("memx-obs-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    let ckpt: PathBuf = dir.join("sweep.ckpt");
+
+    let kernel = kernels::compress(31);
+    let designs = DesignSpace::paper().designs();
+    let options = SweepOptions {
+        checkpoint: Some(CheckpointPolicy {
+            path: ckpt.clone(),
+            every: 16,
+            resume: false,
+        }),
+        ..SweepOptions::default()
+    };
+
+    let buf = SharedBuf::default();
+    let obs = obs_into(&buf);
+    let explorer = Explorer::default().with_obs(Arc::clone(&obs));
+    let outcome = explorer
+        .explore_supervised(&kernel, &designs, &options)
+        .expect("supervised sweep succeeds");
+    obs.finish();
+
+    let report = RunReport::from_jsonl(&buf.take_text()).expect("log parses");
+    assert_eq!(
+        report.designs_done as usize,
+        outcome.telemetry.designs_evaluated
+    );
+    assert_eq!(
+        report.flushes_written as usize,
+        outcome.telemetry.checkpoints_written
+    );
+    assert!(report.flushes_written > 0, "checkpointing must flush");
+    assert_eq!(report.flushes_failed, 0);
+    assert_eq!(report.flush.count, report.flushes_written);
+
+    // Resume from the completed checkpoint: every design arrives via the
+    // resume event, and the report still reconciles.
+    let resume_options = SweepOptions {
+        checkpoint: Some(CheckpointPolicy {
+            path: ckpt,
+            every: 16,
+            resume: true,
+        }),
+        ..SweepOptions::default()
+    };
+    let buf2 = SharedBuf::default();
+    let obs2 = obs_into(&buf2);
+    let explorer2 = Explorer::default().with_obs(Arc::clone(&obs2));
+    let resumed = explorer2
+        .explore_supervised(&kernel, &designs, &resume_options)
+        .expect("resumed sweep succeeds");
+    obs2.finish();
+
+    let report2 = RunReport::from_jsonl(&buf2.take_text()).expect("log parses");
+    assert_eq!(
+        resumed.telemetry.records_resumed,
+        designs.len(),
+        "everything resumes from a complete checkpoint"
+    );
+    assert_eq!(report2.records_resumed as usize, designs.len());
+    assert_eq!(report2.designs_done as usize, designs.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,199 @@
+//! Certified-search benchmark: bound-guided best-first search vs the
+//! exhaustive sweep.
+//!
+//! Two halves, both written to `BENCH_search.json`:
+//!
+//! * **Paper grid** — for every paper kernel and both single objectives,
+//!   run the exhaustive sweep + min-select and the gap-0 search, assert
+//!   the incumbents are bit-identical, and record timings and prune
+//!   counts.
+//! * **Big grid** — on `DesignSpace::expansive()` (over a million
+//!   candidates, including the replacement/write-policy axes) run the
+//!   search alone at a 1% gap target. The exhaustive baseline is
+//!   *extrapolated* from the paper grid's measured per-design cost; the
+//!   run asserts the certified gap stays ≤ 1% and the search beats the
+//!   extrapolated sweep by ≥ 10×.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_search
+//! ```
+
+use loopir::kernels;
+use memexplore::{select, DesignSpace, Explorer, Objective, SearchOptions};
+use std::time::Instant;
+
+const RUNS: usize = 3;
+const BIG_GAP: f64 = 0.01;
+const BIG_SPEEDUP_FLOOR: f64 = 10.0;
+
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best: Option<(f64, T)> = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let value = f();
+        let secs = start.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(b, _)| secs < *b) {
+            best = Some((secs, value));
+        }
+    }
+    best.expect("runs >= 1")
+}
+
+fn main() {
+    let space = DesignSpace::paper();
+    let designs = space.design_count();
+    let explorer = Explorer::default();
+
+    let mut rows = Vec::new();
+    let mut secs_per_design: f64 = f64::INFINITY;
+    for kernel in kernels::all_paper_kernels() {
+        let (exhaustive_secs, records) = best_of(RUNS, || explorer.explore(&kernel, &space));
+        // The cheapest measured sweep rate extrapolates most conservatively
+        // (it understates the exhaustive cost of the big grid).
+        secs_per_design = secs_per_design.min(exhaustive_secs / designs as f64);
+        for objective in [Objective::Energy, Objective::Cycles] {
+            let options = SearchOptions {
+                objective,
+                ..Default::default()
+            };
+            let (search_secs, out) = best_of(RUNS, || explorer.search(&kernel, &space, &options));
+            let oracle = match objective {
+                Objective::Energy => select::min_energy(&records),
+                _ => select::min_cycles(&records),
+            }
+            .expect("non-empty grid");
+            assert!(out.complete, "{}/{objective}: not certified", kernel.name);
+            assert_eq!(
+                out.incumbent.as_ref().expect("complete => incumbent"),
+                oracle,
+                "{}/{objective}: search diverged from the sweep minimum",
+                kernel.name
+            );
+            let speedup = exhaustive_secs / search_secs;
+            println!(
+                "kernel {:10} | {objective:7} | {designs} designs | simulated {:3} pruned {:3} | exhaustive {:.3} s | search {:.3} s | speedup {:.2}x",
+                kernel.name,
+                out.telemetry.designs_evaluated,
+                out.telemetry.designs_pruned,
+                exhaustive_secs,
+                search_secs,
+                speedup,
+            );
+            rows.push(format!(
+                concat!(
+                    "      {{\n",
+                    "        \"kernel\": \"{}\",\n",
+                    "        \"objective\": \"{}\",\n",
+                    "        \"designs\": {},\n",
+                    "        \"designs_simulated\": {},\n",
+                    "        \"designs_pruned\": {},\n",
+                    "        \"expansions\": {},\n",
+                    "        \"incumbent_identical\": true,\n",
+                    "        \"certified_gap\": {:.6},\n",
+                    "        \"exhaustive_secs\": {:.6},\n",
+                    "        \"search_secs\": {:.6},\n",
+                    "        \"speedup\": {:.3}\n",
+                    "      }}"
+                ),
+                kernel.name,
+                objective,
+                designs,
+                out.telemetry.designs_evaluated,
+                out.telemetry.designs_pruned,
+                out.expansions,
+                out.gap(),
+                exhaustive_secs,
+                search_secs,
+                speedup,
+            ));
+        }
+    }
+
+    // Big grid: a million-plus candidates, search only.
+    let big_space = DesignSpace::expansive();
+    let big_designs = big_space.design_count();
+    assert!(
+        big_designs >= 1_000_000,
+        "expansive grid shrank below a million designs ({big_designs})"
+    );
+    let kernel = kernels::compress(31);
+    let options = SearchOptions {
+        objective: Objective::Energy,
+        gap: BIG_GAP,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let out = explorer.search(&kernel, &big_space, &options);
+    let big_secs = start.elapsed().as_secs_f64();
+    let extrapolated = secs_per_design * big_designs as f64;
+    let big_speedup = extrapolated / big_secs;
+    assert!(
+        out.relative_gap() <= BIG_GAP + 1e-12,
+        "big grid: certified relative gap {} above the {BIG_GAP} target",
+        out.relative_gap()
+    );
+    assert!(
+        big_speedup >= BIG_SPEEDUP_FLOOR,
+        "big grid: search {big_secs:.1}s vs extrapolated exhaustive {extrapolated:.1}s is only {big_speedup:.1}x (need {BIG_SPEEDUP_FLOOR}x)"
+    );
+    println!(
+        "big grid {} | {big_designs} designs | simulated {} pruned {} | gap {:.4} ({:.2}%) | search {:.3} s | extrapolated exhaustive {:.1} s | {:.0}x",
+        kernel.name,
+        out.telemetry.designs_evaluated,
+        out.telemetry.designs_pruned,
+        out.gap(),
+        out.relative_gap() * 100.0,
+        big_secs,
+        extrapolated,
+        big_speedup,
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"certified_search\",\n",
+            "  \"runs_per_config\": {},\n",
+            "  \"paper_grid\": {{\n",
+            "    \"designs\": {},\n",
+            "    \"kernels\": [\n{}\n    ]\n",
+            "  }},\n",
+            "  \"big_grid\": {{\n",
+            "    \"kernel\": \"{}\",\n",
+            "    \"designs\": {},\n",
+            "    \"objective\": \"energy\",\n",
+            "    \"gap_target\": {:.3},\n",
+            "    \"certified_relative_gap\": {:.6},\n",
+            "    \"complete\": {},\n",
+            "    \"designs_simulated\": {},\n",
+            "    \"designs_pruned\": {},\n",
+            "    \"expansions\": {},\n",
+            "    \"beam_discarded\": {},\n",
+            "    \"search_secs\": {:.3},\n",
+            "    \"extrapolated_exhaustive_secs\": {:.3},\n",
+            "    \"speedup_vs_extrapolated\": {:.1},\n",
+            "    \"speedup_floor\": {:.1}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        RUNS,
+        designs,
+        rows.join(",\n"),
+        kernel.name,
+        big_designs,
+        BIG_GAP,
+        out.relative_gap(),
+        out.complete,
+        out.telemetry.designs_evaluated,
+        out.telemetry.designs_pruned,
+        out.expansions,
+        out.beam_discarded,
+        big_secs,
+        extrapolated,
+        big_speedup,
+        BIG_SPEEDUP_FLOOR,
+    );
+    std::fs::write("BENCH_search.json", &json).expect("can write BENCH_search.json");
+    println!("wrote BENCH_search.json");
+}

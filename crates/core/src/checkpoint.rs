@@ -207,12 +207,10 @@ impl Checkpoint {
             entries.push((
                 at(0) as usize,
                 Record {
-                    design: CacheDesign {
-                        cache_size: at(1) as usize,
-                        line: at(2) as usize,
-                        assoc: at(3) as usize,
-                        tiling: at(4),
-                    },
+                    // The entry format stores geometry only; resumes of
+                    // policy-bearing grids re-stamp the design from the
+                    // grid (the sweep id pins it — see the supervisor).
+                    design: CacheDesign::new(at(1) as usize, at(2) as usize, at(3) as usize, at(4)),
                     miss_rate: f64::from_bits(at(5)),
                     cycles: f64::from_bits(at(6)),
                     energy_nj: f64::from_bits(at(7)),
@@ -257,12 +255,7 @@ mod tests {
 
     fn sample() -> Checkpoint {
         let record = |i: u64| Record {
-            design: CacheDesign {
-                cache_size: 1 << (6 + i),
-                line: 8,
-                assoc: 2,
-                tiling: 4,
-            },
+            design: CacheDesign::new(1 << (6 + i), 8, 2, 4),
             miss_rate: 0.125 + i as f64 * 0.001,
             cycles: 1e6 + i as f64,
             energy_nj: 42.5 * (i + 1) as f64,

@@ -3,9 +3,12 @@
 //! Adopted from Hennessy & Patterson (the paper's \[10\]):
 //!
 //! * cycles per hit grow slightly with associativity (longer hit path):
-//!   1, 1.1, 1.12, 1.14 for 1-, 2-, 4-, 8-way;
+//!   1, 1.1, 1.12, 1.14 for 1-, 2-, 4-, 8-way, extrapolated with the same
+//!   +0.02 step to 1.16, 1.18, 1.20 for 16-, 32-, 64-way so the expansive
+//!   search grids stay inside the model;
 //! * cycles per miss grow with line size (longer refill):
-//!   40, 40, 42, 44, 48, 56, 72 for lines of 4…256 bytes;
+//!   40, 40, 42, 44, 48, 56, 72 for lines of 4…256 bytes, continuing the
+//!   doubling-increment pattern with 104, 168 for 512- and 1024-byte lines;
 //! * tiling adds its loop overhead to the miss path:
 //!
 //! ```text
@@ -22,14 +25,18 @@ impl CycleModel {
     ///
     /// # Panics
     ///
-    /// Panics if `assoc` is not 1, 2, 4, or 8 (the paper caps `S ≤ 8`).
+    /// Panics if `assoc` is not a power of two in `1..=64` (the paper caps
+    /// `S ≤ 8`; the extended entries serve the expansive search grids).
     pub fn cycles_per_hit(&self, assoc: usize) -> f64 {
         match assoc {
             1 => 1.0,
             2 => 1.1,
             4 => 1.12,
             8 => 1.14,
-            _ => panic!("associativity {assoc} outside the model's 1..=8 range"),
+            16 => 1.16,
+            32 => 1.18,
+            64 => 1.20,
+            _ => panic!("associativity {assoc} outside the model's 1..=64 range"),
         }
     }
 
@@ -37,7 +44,7 @@ impl CycleModel {
     ///
     /// # Panics
     ///
-    /// Panics if `line` is not a power of two in `4..=256`.
+    /// Panics if `line` is not a power of two in `4..=1024`.
     pub fn cycles_per_miss(&self, line: usize) -> f64 {
         match line {
             4 => 40.0,
@@ -47,7 +54,9 @@ impl CycleModel {
             64 => 48.0,
             128 => 56.0,
             256 => 72.0,
-            _ => panic!("line size {line} outside the model's 4..=256 range"),
+            512 => 104.0,
+            1024 => 168.0,
+            _ => panic!("line size {line} outside the model's 4..=1024 range"),
         }
     }
 
@@ -103,6 +112,14 @@ mod tests {
     }
 
     #[test]
+    fn extended_hit_cycles_continue_the_step() {
+        let m = CycleModel;
+        assert_eq!(m.cycles_per_hit(16), 1.16);
+        assert_eq!(m.cycles_per_hit(32), 1.18);
+        assert_eq!(m.cycles_per_hit(64), 1.20);
+    }
+
+    #[test]
     fn miss_cycles_match_the_paper_table() {
         let m = CycleModel;
         for (l, c) in [
@@ -113,6 +130,8 @@ mod tests {
             (64, 48.0),
             (128, 56.0),
             (256, 72.0),
+            (512, 104.0),
+            (1024, 168.0),
         ] {
             assert_eq!(m.cycles_per_miss(l), c);
         }
@@ -120,8 +139,8 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "associativity")]
-    fn sixteen_way_is_out_of_model() {
-        let _ = CycleModel.cycles_per_hit(16);
+    fn beyond_sixty_four_way_is_out_of_model() {
+        let _ = CycleModel.cycles_per_hit(128);
     }
 
     #[test]

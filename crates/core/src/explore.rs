@@ -25,7 +25,7 @@ use crate::obs::{FieldValue, LatencyHistogram, Obs, Span};
 use crate::telemetry::SweepTelemetry;
 use loopir::transform::tile_all;
 use loopir::{DataLayout, Kernel};
-use memsim::{TraceArena, TraceEvent};
+use memsim::{Replacement, TraceArena, TraceEvent, WritePolicy};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -53,6 +53,26 @@ pub struct DesignSpace {
     /// Minimum number of cache lines per configuration (the paper's Fig. 3
     /// restricts to ≥ 4 lines).
     pub min_lines: usize,
+    /// Candidate replacement policies (the paper assumes LRU only).
+    pub replacements: Vec<Replacement>,
+    /// Candidate write policies (the paper assumes write-back/allocate).
+    pub write_policies: Vec<WritePolicy>,
+}
+
+impl Default for DesignSpace {
+    /// An empty grid with the paper's single-policy axes, so struct-update
+    /// syntax (`..Default::default()`) keeps legacy grids policy-free.
+    fn default() -> Self {
+        DesignSpace {
+            cache_sizes: Vec::new(),
+            line_sizes: Vec::new(),
+            assocs: Vec::new(),
+            tilings: Vec::new(),
+            min_lines: 1,
+            replacements: vec![Replacement::default()],
+            write_policies: vec![WritePolicy::default()],
+        }
+    }
 }
 
 impl DesignSpace {
@@ -65,6 +85,27 @@ impl DesignSpace {
             assocs: vec![1, 2, 4, 8],
             tilings: vec![1, 2, 4, 8, 16],
             min_lines: 4,
+            ..Default::default()
+        }
+    }
+
+    /// An expansive grid of over a million candidates for bound-guided
+    /// search (`core::search`): `T` up to 8 MiB, `L` up to 1 KiB, `S` up
+    /// to 64 ways, every tiling `B` in 1…256, with replacement policy
+    /// (LRU, FIFO, PLRU) and write policy as first-class axes. Exhaustive
+    /// sweep is infeasible here — use [`Explorer::search`].
+    pub fn expansive() -> Self {
+        DesignSpace {
+            cache_sizes: pow2_range(16, 1 << 23),
+            line_sizes: pow2_range(4, 1024),
+            assocs: vec![1, 2, 4, 8, 16, 32, 64],
+            tilings: (1..=256).collect(),
+            min_lines: 4,
+            replacements: vec![Replacement::Lru, Replacement::Fifo, Replacement::Plru],
+            write_policies: vec![
+                WritePolicy::WriteBackAllocate,
+                WritePolicy::WriteThroughNoAllocate,
+            ],
         }
     }
 
@@ -76,6 +117,7 @@ impl DesignSpace {
             assocs: vec![1],
             tilings: vec![1],
             min_lines: 2,
+            ..Default::default()
         }
     }
 
@@ -88,6 +130,7 @@ impl DesignSpace {
             assocs: vec![1],
             tilings: vec![1],
             min_lines: 1,
+            ..Default::default()
         }
     }
 
@@ -108,12 +151,40 @@ impl DesignSpace {
                         if b > (t / l) as u64 {
                             continue;
                         }
-                        out.push(CacheDesign::new(t, l, s, b));
+                        for &r in &self.replacements {
+                            for &w in &self.write_policies {
+                                out.push(
+                                    CacheDesign::new(t, l, s, b)
+                                        .with_replacement(r)
+                                        .with_write_policy(w),
+                                );
+                            }
+                        }
                     }
                 }
             }
         }
         out
+    }
+
+    /// Number of valid designs, without materializing the grid — the
+    /// expansive search spaces run to 10⁶–10⁷ candidates, so callers size
+    /// work and report coverage from this count.
+    pub fn design_count(&self) -> usize {
+        let mut n = 0usize;
+        let policies = self.replacements.len() * self.write_policies.len();
+        for &t in &self.cache_sizes {
+            for &l in &self.line_sizes {
+                if l > t || t / l < self.min_lines {
+                    continue;
+                }
+                let lines = (t / l) as u64;
+                let s_ok = self.assocs.iter().filter(|&&s| s as u64 <= lines).count();
+                let b_ok = self.tilings.iter().filter(|&&b| b <= lines).count();
+                n += s_ok * b_ok * policies;
+            }
+        }
+        n
     }
 }
 
@@ -788,6 +859,49 @@ mod tests {
     }
 
     #[test]
+    fn paper_space_stays_policy_free() {
+        // Legacy grids must not grow policy axes: sweep order, checkpoint
+        // sweep ids, and golden outputs all depend on it.
+        let designs = DesignSpace::paper().designs();
+        assert_eq!(designs.len(), 425);
+        assert!(designs.iter().all(|d| d.has_default_policies()));
+    }
+
+    #[test]
+    fn expansive_space_exceeds_a_million_designs() {
+        let space = DesignSpace::expansive();
+        let n = space.design_count();
+        assert!(n >= 1_000_000, "expansive space too small: {n}");
+        assert!(n < 10_000_000, "expansive space too large: {n}");
+    }
+
+    #[test]
+    fn design_count_matches_materialized_grids() {
+        for space in [
+            DesignSpace::paper(),
+            DesignSpace::small(),
+            DesignSpace::size_line_grid(&[16, 32], &[4, 8]),
+        ] {
+            assert_eq!(space.design_count(), space.designs().len());
+        }
+        // A grid with policy axes counts the cross product too.
+        let space = DesignSpace {
+            cache_sizes: vec![64, 128],
+            line_sizes: vec![8],
+            assocs: vec![1, 2],
+            tilings: vec![1, 2],
+            min_lines: 2,
+            replacements: vec![Replacement::Lru, Replacement::Fifo],
+            write_policies: vec![
+                WritePolicy::WriteBackAllocate,
+                WritePolicy::WriteThroughNoAllocate,
+            ],
+        };
+        assert_eq!(space.design_count(), space.designs().len());
+        assert_eq!(space.design_count(), 2 * 2 * 2 * 2 * 2);
+    }
+
+    #[test]
     fn sweep_order_is_t_outer_b_inner() {
         let space = DesignSpace::paper();
         let designs = space.designs();
@@ -874,6 +988,7 @@ mod tests {
             assocs: vec![1, 2, 4],
             tilings: vec![1, 2],
             min_lines: 2,
+            ..Default::default()
         };
         let designs = space.designs();
         let (records, t) = Explorer::default().explore_designs_with_telemetry(&k, &designs);
@@ -908,6 +1023,7 @@ mod tests {
             assocs: vec![1, 2],
             tilings: vec![1, 2],
             min_lines: 2,
+            ..Default::default()
         };
         let designs = space.designs();
         let fused = Explorer::default()
@@ -928,6 +1044,7 @@ mod tests {
             assocs: vec![1, 2, 4],
             tilings: vec![1],
             min_lines: 2,
+            ..Default::default()
         };
         let designs = space.designs();
         let (_, fused) = Explorer::default()

@@ -47,6 +47,7 @@ pub mod hierarchy;
 pub mod metrics;
 pub mod obs;
 pub mod pareto;
+pub mod search;
 pub mod select;
 pub mod spm;
 pub mod supervisor;
@@ -62,5 +63,6 @@ pub use obs::{
     Event, EventKind, FieldValue, LatencyHistogram, LatencySummary, Obs, ObsConfig, ObsSink,
     RunReport,
 };
+pub use search::{Objective, SearchOptions, SearchOutcome};
 pub use supervisor::{CheckpointPolicy, SweepError, SweepOptions, SweepOutcome};
 pub use telemetry::SweepTelemetry;

@@ -6,10 +6,15 @@ use energy::DacEnergyModel;
 use energy::SramPart;
 use loopir::transform::tile_all;
 use loopir::{AccessKind, DataLayout, Kernel, TraceGen};
-use memsim::{BusEncoding, CacheConfig, ReplayBank, Simulator, TraceEvent};
+use memsim::{
+    BusEncoding, CacheConfig, Replacement, ReplayBank, Simulator, TraceEvent, WritePolicy,
+};
 use std::fmt;
 
-/// One point of the design space: the paper's `(T, L, S, B)`.
+/// One point of the design space: the paper's `(T, L, S, B)`, extended
+/// with the simulator's replacement and write policies as first-class
+/// axes (both default to the paper's assumptions: LRU, write-back with
+/// write-allocate).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct CacheDesign {
     /// Cache size `T` in bytes.
@@ -20,26 +25,54 @@ pub struct CacheDesign {
     pub assoc: usize,
     /// Tiling size `B` (1 = untiled).
     pub tiling: u64,
+    /// Replacement policy (default LRU, the paper's model).
+    pub replacement: Replacement,
+    /// Write policy (default write-back/write-allocate).
+    pub write_policy: WritePolicy,
 }
 
 impl CacheDesign {
-    /// Builds a design; geometry is validated when evaluated.
+    /// Builds a design with the paper's default policies; geometry is
+    /// validated when evaluated.
     pub fn new(cache_size: usize, line: usize, assoc: usize, tiling: u64) -> Self {
         CacheDesign {
             cache_size,
             line,
             assoc,
             tiling,
+            replacement: Replacement::default(),
+            write_policy: WritePolicy::default(),
         }
     }
 
-    /// The corresponding validated cache configuration.
+    /// Replaces the replacement policy (builder-style).
+    pub fn with_replacement(mut self, replacement: Replacement) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Replaces the write policy (builder-style).
+    pub fn with_write_policy(mut self, write_policy: WritePolicy) -> Self {
+        self.write_policy = write_policy;
+        self
+    }
+
+    /// Whether both policies are the paper defaults (LRU +
+    /// write-back/write-allocate). Grids of such designs keep the legacy
+    /// checkpoint sweep-id and the compact `Display` form.
+    pub fn has_default_policies(&self) -> bool {
+        self.replacement == Replacement::default() && self.write_policy == WritePolicy::default()
+    }
+
+    /// The corresponding validated cache configuration (policies applied).
     ///
     /// # Errors
     ///
     /// Propagates [`memsim::ConfigError`] for invalid geometry.
     pub fn cache_config(&self) -> Result<CacheConfig, memsim::ConfigError> {
-        CacheConfig::new(self.cache_size, self.line, self.assoc)
+        Ok(CacheConfig::new(self.cache_size, self.line, self.assoc)?
+            .with_replacement(self.replacement)
+            .with_write_policy(self.write_policy))
     }
 }
 
@@ -49,7 +82,18 @@ impl fmt::Display for CacheDesign {
             f,
             "C{}L{}SA{}B{}",
             self.cache_size, self.line, self.assoc, self.tiling
-        )
+        )?;
+        if self.replacement != Replacement::default() {
+            write!(f, "R{}", self.replacement)?;
+        }
+        if self.write_policy != WritePolicy::default() {
+            let tag = match self.write_policy {
+                WritePolicy::WriteBackAllocate => "WB",
+                WritePolicy::WriteThroughNoAllocate => "WT",
+            };
+            write!(f, "W{tag}")?;
+        }
+        Ok(())
     }
 }
 
@@ -186,7 +230,7 @@ impl Evaluator {
     ///
     /// Panics if the design's geometry is invalid (callers sweeping a
     /// [`DesignSpace`](crate::DesignSpace) never produce such designs) or if
-    /// the line size is outside the cycle model's 4…256 B range.
+    /// the line size is outside the cycle model's 4…1024 B range.
     pub fn evaluate(&self, kernel: &Kernel, design: CacheDesign) -> Record {
         if let Err(e) = design.cache_config() {
             panic!("invalid design {design}: {e}");
@@ -467,6 +511,40 @@ mod tests {
     #[test]
     fn design_display_is_compact() {
         assert_eq!(format!("{}", CacheDesign::new(64, 4, 8, 16)), "C64L4SA8B16");
+    }
+
+    #[test]
+    fn design_display_tags_non_default_policies_only() {
+        let d = CacheDesign::new(64, 4, 8, 16)
+            .with_replacement(Replacement::Fifo)
+            .with_write_policy(WritePolicy::WriteThroughNoAllocate);
+        assert_eq!(format!("{d}"), "C64L4SA8B16RFIFOWWT");
+        assert!(!d.has_default_policies());
+        assert!(CacheDesign::new(64, 4, 8, 16).has_default_policies());
+    }
+
+    #[test]
+    fn cache_config_carries_the_policies() {
+        let d = CacheDesign::new(64, 8, 2, 1).with_replacement(Replacement::Fifo);
+        let cfg = d.cache_config().unwrap();
+        assert_eq!(cfg.replacement, Replacement::Fifo);
+        assert_eq!(cfg.write_policy, WritePolicy::WriteBackAllocate);
+    }
+
+    #[test]
+    fn policies_change_simulated_records_but_not_geometry_defaults() {
+        // A FIFO 2-way run must still be a well-formed record; with the
+        // default policies the extended constructor path is bit-identical
+        // to the legacy 4-argument one.
+        let k = kernels::compress(31);
+        let eval = Evaluator::default();
+        let base = CacheDesign::new(64, 8, 2, 1);
+        let a = eval.evaluate(&k, base);
+        let b = eval.evaluate(&k, base.with_replacement(Replacement::Lru));
+        assert_eq!(a, b);
+        let fifo = eval.evaluate(&k, base.with_replacement(Replacement::Fifo));
+        assert!((0.0..=1.0).contains(&fifo.miss_rate));
+        assert_eq!(fifo.trip_count, a.trip_count);
     }
 
     #[test]

@@ -83,19 +83,23 @@ use std::time::{Duration, Instant};
 /// count, the compulsory-miss floor, and the exact average address-bus
 /// switching of the untiled trace.
 #[derive(Clone, Copy, Debug)]
-struct BoundInputs {
+pub(crate) struct BoundInputs {
     /// Line-level accesses (`n`) — exactly what the simulator will count.
-    accesses: u64,
+    pub(crate) accesses: u64,
     /// Distinct lines touched (`m`) — admissible lower bound on misses.
-    min_misses: u64,
+    pub(crate) min_misses: u64,
     /// Exact `Add_bs` of the untiled trace at this line size.
-    add_bs: f64,
+    pub(crate) add_bs: f64,
 }
 
 /// Exact average CPU-bus switching for `trace` at line size `line`,
 /// replicating the simulator's line splitting and bus observation order
 /// bit-for-bit (see `memsim::Simulator::step`).
-fn exact_add_bs(trace: &[TraceEvent], line: usize, encoding: memsim::BusEncoding) -> f64 {
+pub(crate) fn exact_add_bs(
+    trace: &[TraceEvent],
+    line: usize,
+    encoding: memsim::BusEncoding,
+) -> f64 {
     let shift = (line as u64).trailing_zeros();
     let mut bus = BusMonitor::new(encoding);
     for e in trace {
@@ -543,6 +547,7 @@ mod tests {
             assocs: vec![1, 2, 4],
             tilings: vec![1, 2, 4],
             min_lines: 2,
+            ..Default::default()
         };
         let explorer = Explorer::default();
         let (exhaustive, _) = explorer.pareto_exhaustive(&k, &space);
@@ -591,6 +596,7 @@ mod tests {
             assocs: vec![1, 2],
             tilings: vec![1, 2],
             min_lines: 2,
+            ..Default::default()
         };
         let (fused, tf) = Explorer::default()
             .with_engine(Engine::Fused)
@@ -645,6 +651,7 @@ mod tests {
             assocs: vec![],
             tilings: vec![],
             min_lines: 1,
+            ..Default::default()
         };
         let (frontier, t) = Explorer::default().pareto_pruned(&k, &space);
         assert!(frontier.is_empty());

@@ -138,9 +138,28 @@ pub fn sweep_id(kernel: &Kernel, designs: &[CacheDesign], evaluator: &Evaluator)
     let mut bytes = Vec::new();
     bytes.extend_from_slice(kernel.name.as_bytes());
     bytes.push(0);
+    // Pure-geometry grids hash exactly as before this field existed, so
+    // sidecar files from older runs stay resumable; policy-bearing grids
+    // append their policy words and thus can never collide with them.
+    let any_policies = designs.iter().any(|d| !d.has_default_policies());
     for d in designs {
         for word in [d.cache_size as u64, d.line as u64, d.assoc as u64, d.tiling] {
             bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        if any_policies {
+            let (r, seed) = match d.replacement {
+                memsim::Replacement::Lru => (0u8, 0u64),
+                memsim::Replacement::Fifo => (1, 0),
+                memsim::Replacement::Plru => (2, 0),
+                memsim::Replacement::Random { seed } => (3, seed),
+            };
+            let w = match d.write_policy {
+                memsim::WritePolicy::WriteBackAllocate => 0u8,
+                memsim::WritePolicy::WriteThroughNoAllocate => 1,
+            };
+            bytes.push(r);
+            bytes.extend_from_slice(&seed.to_le_bytes());
+            bytes.push(w);
         }
     }
     bytes.push(evaluator.placement as u8);
@@ -203,7 +222,7 @@ impl Explorer {
                         }
                         .into());
                     }
-                    for (idx, record) in ck.entries {
+                    for (idx, mut record) in ck.entries {
                         if idx >= designs.len() {
                             return Err(CheckpointError::BadEntry {
                                 index: idx as u64,
@@ -211,6 +230,10 @@ impl Explorer {
                             }
                             .into());
                         }
+                        // Entries persist geometry only; the sweep id just
+                        // matched, so the grid's design (with policies) is
+                        // the one this record was measured for.
+                        record.design = designs[idx];
                         let _ = record_slots[idx].set(record.clone());
                         resumed_entries.push((idx, record));
                     }

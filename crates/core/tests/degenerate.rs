@@ -85,6 +85,7 @@ fn pareto_engines_agree_on_a_degenerate_space() {
         assocs: vec![1, 8],
         tilings: vec![1, 16],
         min_lines: 1,
+        ..Default::default()
     };
     let kernel = kernels::dequant(15);
     let explorer = Explorer::default();

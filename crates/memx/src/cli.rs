@@ -1,5 +1,6 @@
-//! Argument parsing (dependency-free).
+//! Argument parsing (no external parser crates).
 
+use memexplore::Objective;
 use std::error::Error;
 use std::fmt;
 
@@ -18,6 +19,11 @@ USAGE:
                  [--engine fused|per-design]
                  [--checkpoint PATH [--checkpoint-every N] [--resume]]
                  [--deadline SECS] [--log-json FILE] [--progress]
+  memx search    KERNEL.mx [--objective energy|cycles|weighted=WE,WC]
+                 [--space paper|expansive] [--beam N] [--gap F]
+                 [--deadline SECS] [--format text|csv|json]
+                 [--part cy7c|lp2m|16m] [--em NJ] [--natural]
+                 [--telemetry] [--log-json FILE] [--progress]
   memx report    LOG.jsonl
   memx simulate  KERNEL.mx --cache N --line N [--assoc N] [--tiling B]
                  [--natural] [--classify]
@@ -180,6 +186,35 @@ pub enum Command {
         engine: String,
         /// Supervisor options (checkpoint/resume/deadline).
         supervise: Supervise,
+        /// Observability options (JSONL event log, live progress).
+        obs: ObsFlags,
+    },
+    /// Certified bound-guided best-first search for the grid's
+    /// single-objective optimum (`memexplore::search`), with an anytime
+    /// gap certificate — the way into the million-design grids.
+    Search {
+        /// Path to the kernel file.
+        file: String,
+        /// Off-chip part keyword (`cy7c`, `lp2m`, `16m`).
+        part: String,
+        /// Custom `Em` (nJ/access) overriding `part`.
+        em_nj: Option<f64>,
+        /// Use the natural (unoptimized) layout.
+        natural: bool,
+        /// Objective to minimize.
+        objective: Objective,
+        /// Grid keyword: `paper` (default) or `expansive`.
+        space: String,
+        /// Beam width (`None` = exact search).
+        beam: Option<usize>,
+        /// Relative gap target (`0` certifies the optimum).
+        gap: f64,
+        /// Wall-clock budget in seconds (anytime result on expiry).
+        deadline_secs: Option<f64>,
+        /// Output format: `text` (default), `csv`, or `json`.
+        format: String,
+        /// Print search telemetry on stderr.
+        telemetry: bool,
         /// Observability options (JSONL event log, live progress).
         obs: ObsFlags,
     },
@@ -448,6 +483,98 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 obs,
             })
         }
+        "search" => {
+            let file = args
+                .next()
+                .ok_or_else(|| err("search needs a kernel file"))?
+                .to_string();
+            let mut part = "cy7c".to_string();
+            let mut em_nj = None;
+            let mut natural = false;
+            let mut objective = Objective::Energy;
+            let mut space = "paper".to_string();
+            let mut beam = None;
+            let mut gap = 0.0f64;
+            let mut deadline_secs = None;
+            let mut format = "text".to_string();
+            let mut telemetry = false;
+            let mut obs = ObsFlags::default();
+            while let Some(flag) = args.next() {
+                match flag {
+                    "--part" => {
+                        let v = args.value_of(flag)?;
+                        if !["cy7c", "lp2m", "16m"].contains(&v) {
+                            return Err(err(format!(
+                                "unknown part `{v}` (expected cy7c, lp2m, or 16m)"
+                            )));
+                        }
+                        part = v.to_string();
+                    }
+                    "--em" => em_nj = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--natural" => natural = true,
+                    "--objective" => objective = args.value_of(flag)?.parse().map_err(err)?,
+                    "--space" => {
+                        let v = args.value_of(flag)?;
+                        if !["paper", "expansive"].contains(&v) {
+                            return Err(err(format!(
+                                "unknown space `{v}` (expected paper or expansive)"
+                            )));
+                        }
+                        space = v.to_string();
+                    }
+                    "--beam" => {
+                        let n: usize = parse_num(flag, args.value_of(flag)?)?;
+                        if n == 0 {
+                            return Err(err("`--beam` must be at least 1"));
+                        }
+                        beam = Some(n);
+                    }
+                    "--gap" => {
+                        let g: f64 = parse_num(flag, args.value_of(flag)?)?;
+                        if !g.is_finite() || g < 0.0 {
+                            return Err(err("`--gap` must be a finite non-negative fraction"));
+                        }
+                        gap = g;
+                    }
+                    "--deadline" => {
+                        let d: f64 = parse_num(flag, args.value_of(flag)?)?;
+                        if d <= 0.0 || d.is_nan() {
+                            return Err(err("`--deadline` must be a positive number of seconds"));
+                        }
+                        deadline_secs = Some(d);
+                    }
+                    "--format" => {
+                        let v = args.value_of(flag)?;
+                        if !["text", "csv", "json"].contains(&v) {
+                            return Err(err(format!(
+                                "unknown format `{v}` (expected text, csv, or json)"
+                            )));
+                        }
+                        format = v.to_string();
+                    }
+                    "--telemetry" => telemetry = true,
+                    other => {
+                        if !obs.parse_flag(other, &mut args)? {
+                            return Err(err(format!("unknown flag `{other}` for search")));
+                        }
+                    }
+                }
+            }
+            Ok(Command::Search {
+                file,
+                part,
+                em_nj,
+                natural,
+                objective,
+                space,
+                beam,
+                gap,
+                deadline_secs,
+                format,
+                telemetry,
+                obs,
+            })
+        }
         "report" => {
             let file = args
                 .next()
@@ -663,6 +790,92 @@ mod tests {
                 assert!(!exhaustive && !telemetry);
             }
             other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_search_with_all_flags() {
+        let cmd = parse_args(&argv(
+            "search k.mx --objective weighted=1,0.5 --space expansive --beam 16 \
+             --gap 0.01 --deadline 30 --format json --part lp2m --natural \
+             --telemetry --log-json run.jsonl --progress",
+        ))
+        .expect("valid");
+        match cmd {
+            Command::Search {
+                file,
+                part,
+                em_nj,
+                natural,
+                objective,
+                space,
+                beam,
+                gap,
+                deadline_secs,
+                format,
+                telemetry,
+                obs,
+            } => {
+                assert_eq!(file, "k.mx");
+                assert_eq!(part, "lp2m");
+                assert_eq!(em_nj, None);
+                assert!(natural && telemetry);
+                assert_eq!(
+                    objective,
+                    Objective::Weighted {
+                        energy_weight: 1.0,
+                        cycles_weight: 0.5
+                    }
+                );
+                assert_eq!(space, "expansive");
+                assert_eq!(beam, Some(16));
+                assert_eq!(gap, 0.01);
+                assert_eq!(deadline_secs, Some(30.0));
+                assert_eq!(format, "json");
+                assert_eq!(obs.log_json.as_deref(), Some("run.jsonl"));
+                assert!(obs.progress);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_defaults_to_exact_energy_on_the_paper_grid() {
+        match parse_args(&argv("search k.mx")).expect("valid") {
+            Command::Search {
+                objective,
+                space,
+                beam,
+                gap,
+                deadline_secs,
+                format,
+                ..
+            } => {
+                assert_eq!(objective, Objective::Energy);
+                assert_eq!(space, "paper");
+                assert_eq!(beam, None);
+                assert_eq!(gap, 0.0);
+                assert_eq!(deadline_secs, None);
+                assert_eq!(format, "text");
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_rejects_bad_values() {
+        for (line, needle) in [
+            ("search k.mx --objective speed", "unknown objective"),
+            ("search k.mx --objective weighted=-1,2", "non-negative"),
+            ("search k.mx --space tiny", "unknown space"),
+            ("search k.mx --beam 0", "--beam"),
+            ("search k.mx --gap -0.1", "--gap"),
+            ("search k.mx --deadline 0", "--deadline"),
+            ("search k.mx --format yaml", "unknown format"),
+            ("search k.mx --checkpoint c.bin", "unknown flag"),
+        ] {
+            let e = parse_args(&argv(line)).expect_err(line);
+            assert!(e.0.contains(needle), "{line}: {e}");
         }
     }
 

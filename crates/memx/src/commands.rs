@@ -10,10 +10,12 @@ use loopir::parse::parse_kernel;
 use loopir::{AccessKind, ArrayId, DataLayout, Kernel, TraceGen};
 use memexplore::{
     select, CacheDesign, CheckpointPolicy, DesignSpace, Engine, Evaluator, ExploreError, Explorer,
-    FaultPlan, Obs, ObsConfig, ObsSink, PlacementMode, RunReport, SweepOptions, SweepOutcome,
+    FaultPlan, Objective, Obs, ObsConfig, ObsSink, PlacementMode, RunReport, SearchOptions,
+    SweepOptions, SweepOutcome,
 };
 use memsim::din::{parse_din, write_din, DinLabel, DinRecord};
 use memsim::{CacheConfig, Simulator, TraceEvent};
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
@@ -147,6 +149,35 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
                 telemetry,
                 engine_kind(&engine),
                 &supervise,
+                &obs,
+            )
+        }
+        Command::Search {
+            file,
+            part,
+            em_nj,
+            natural,
+            objective,
+            space,
+            beam,
+            gap,
+            deadline_secs,
+            format,
+            telemetry,
+            obs,
+        } => {
+            let kernel = load(&file)?;
+            let evaluator = make_evaluator(&part, em_nj, natural);
+            search(
+                &kernel,
+                evaluator,
+                objective,
+                &space,
+                beam,
+                gap,
+                deadline_secs,
+                &format,
+                telemetry,
                 &obs,
             )
         }
@@ -291,9 +322,45 @@ fn load(path: &str) -> Result<Kernel, RunError> {
     parse_kernel(&text).map_err(|e| RunError::Other(format!("{path}: {e}").into()))
 }
 
+/// Analytic feasibility gate shared by the sweep and search commands: if
+/// the §3 minimum conflict-free cache for a design's line size exceeds
+/// its cache size for *every* design in the grid, no configuration can
+/// approach the compulsory floor and the run cannot say anything useful —
+/// that is a typed input error (exit 1), not an empty result stream.
+fn check_feasibility<I: Iterator<Item = (usize, usize)>>(
+    kernel: &Kernel,
+    mut grid: I,
+) -> Result<(), RunError> {
+    let mut memo: HashMap<usize, u64> = HashMap::new();
+    let mut smallest_bound = u64::MAX;
+    let mut any = false;
+    // `all` short-circuits on the first feasible design.
+    let all_infeasible = grid.all(|(t, l)| {
+        any = true;
+        let bound = *memo
+            .entry(l)
+            .or_insert_with(|| MinCacheReport::analyze(kernel, l as u64).min_pow2_cache_bytes());
+        smallest_bound = smallest_bound.min(bound);
+        (t as u64) < bound
+    });
+    if any && all_infeasible {
+        return Err(RunError::Other(
+            format!(
+                "design grid for kernel {} is infeasible: every cache size is below the \
+                 kernel's minimum conflict-free cache ({smallest_bound} B at the best line \
+                 size); see `memx min-cache`",
+                kernel.name
+            )
+            .into(),
+        ));
+    }
+    Ok(())
+}
+
 /// Pre-sweep validation (satellite guard against silently useless runs):
-/// an empty design grid is an error; tilings larger than every loop's
-/// trip count are flagged as warnings (they degenerate to untiled runs).
+/// an empty design grid is an error; an analytically all-infeasible grid
+/// is an error; tilings larger than every loop's trip count are flagged
+/// as warnings (they degenerate to untiled runs).
 fn check_sweep_inputs(
     kernel: &Kernel,
     designs: &[CacheDesign],
@@ -308,6 +375,7 @@ fn check_sweep_inputs(
             .into(),
         ));
     }
+    check_feasibility(kernel, designs.iter().map(|d| (d.cache_size, d.line)))?;
     let max_trip = kernel
         .nest
         .loops
@@ -327,6 +395,78 @@ fn check_sweep_inputs(
                 stderr,
                 "warning: tiling size(s) {excessive:?} exceed the largest loop trip count \
                  ({max_trip}) of kernel {}; they behave as untiled",
+                kernel.name
+            );
+        }
+    }
+    Ok(())
+}
+
+/// [`check_sweep_inputs`] for grids too large to materialize (the
+/// expansive search spaces run to 10⁶–10⁷ candidates): the same
+/// validations, derived from the grid axes alone.
+fn check_space_inputs(
+    kernel: &Kernel,
+    space: &DesignSpace,
+    stderr: &mut String,
+) -> Result<(), RunError> {
+    if space.design_count() == 0 {
+        return Err(RunError::Other(
+            format!(
+                "design grid for kernel {} is empty: nothing to sweep",
+                kernel.name
+            )
+            .into(),
+        ));
+    }
+    // Valid (T, L) pairs that contribute at least one design.
+    let pairs = || {
+        space.cache_sizes.iter().flat_map(|&t| {
+            space.line_sizes.iter().filter_map(move |&l| {
+                if l > t || t / l < space.min_lines {
+                    return None;
+                }
+                let lines = (t / l) as u64;
+                let has_assoc = space.assocs.iter().any(|&s| s as u64 <= lines);
+                let has_tiling = space.tilings.iter().any(|&b| b <= lines);
+                (has_assoc && has_tiling).then_some((t, l))
+            })
+        })
+    };
+    check_feasibility(kernel, pairs())?;
+    let max_trip = kernel
+        .nest
+        .loops
+        .iter()
+        .filter_map(|l| l.const_trip_count())
+        .max();
+    if let Some(max_trip) = max_trip {
+        let max_lines = pairs().map(|(t, l)| (t / l) as u64).max().unwrap_or(0);
+        let mut excessive: Vec<u64> = space
+            .tilings
+            .iter()
+            .copied()
+            .filter(|&b| b > 1 && b > max_trip && b <= max_lines)
+            .collect();
+        excessive.sort_unstable();
+        excessive.dedup();
+        if !excessive.is_empty() {
+            // Expansive grids have hundreds of tilings; keep the warning
+            // to one line by summarizing the range.
+            let shown = if excessive.len() > 8 {
+                format!(
+                    "{} tiling sizes in {}..={}",
+                    excessive.len(),
+                    excessive.first().expect("non-empty"),
+                    excessive.last().expect("non-empty")
+                )
+            } else {
+                format!("tiling size(s) {excessive:?}")
+            };
+            let _ = writeln!(
+                stderr,
+                "warning: {shown} exceed the largest loop trip count ({max_trip}) of \
+                 kernel {}; they behave as untiled",
                 kernel.name
             );
         }
@@ -480,12 +620,7 @@ fn explore(
             "trace-driven simulation"
         }
     );
-    let fmt_rec = |r: &memexplore::Record| {
-        format!(
-            "{}  miss rate {:.3}  cycles {:.0}  energy {:.0} nJ",
-            r.design, r.miss_rate, r.cycles, r.energy_nj
-        )
-    };
+    let fmt_rec = fmt_record;
     if let Some(r) = select::min_energy(&records) {
         let _ = writeln!(out, "minimum energy : {}", fmt_rec(r));
     }
@@ -530,6 +665,201 @@ fn explore(
                     stderr,
                     "telemetry: not available for the analytical model (no traces are simulated)"
                 );
+            }
+        }
+    }
+    Ok(Output {
+        stdout: out,
+        stderr,
+    })
+}
+
+/// The one-line record format shared by `explore` and `search` stdout,
+/// so the two commands' `minimum energy :` / `minimum time   :` lines
+/// stay byte-diffable (the CI search smoke job greps exactly that).
+fn fmt_record(r: &memexplore::Record) -> String {
+    format!(
+        "{}  miss rate {:.3}  cycles {:.0}  energy {:.0} nJ",
+        r.design, r.miss_rate, r.cycles, r.energy_nj
+    )
+}
+
+/// Runs the certified bound-guided search (`memx search`) and renders the
+/// incumbent plus its gap certificate in the requested format.
+#[allow(clippy::too_many_arguments)]
+fn search(
+    kernel: &Kernel,
+    evaluator: Evaluator,
+    objective: Objective,
+    space_name: &str,
+    beam: Option<usize>,
+    gap: f64,
+    deadline_secs: Option<f64>,
+    format: &str,
+    telemetry: bool,
+    obs_flags: &ObsFlags,
+) -> Result<Output, RunError> {
+    let mut stderr = String::new();
+    let space = if space_name == "expansive" {
+        DesignSpace::expansive()
+    } else {
+        DesignSpace::paper()
+    };
+    check_space_inputs(kernel, &space, &mut stderr)?;
+    let obs = build_obs(obs_flags)?;
+    let mut explorer = Explorer::new(evaluator);
+    if let Some(o) = &obs {
+        explorer = explorer.with_obs(Arc::clone(o));
+    }
+    let options = SearchOptions {
+        objective,
+        beam,
+        gap,
+        deadline: deadline_secs.map(Duration::from_secs_f64),
+    };
+    let outcome = explorer.search(kernel, &space, &options);
+    if let Some(o) = &obs {
+        o.finish();
+    }
+    if outcome.cancelled {
+        let _ = writeln!(
+            stderr,
+            "warning: deadline reached; result is anytime ({} of {} candidates simulated)",
+            outcome.telemetry.designs_evaluated, outcome.candidates
+        );
+    }
+    if telemetry && format != "json" {
+        let _ = writeln!(stderr, "{}", outcome.telemetry);
+        let _ = writeln!(
+            stderr,
+            "search: {} expansions, {} beam-discarded, certified gap {:.6}",
+            outcome.expansions,
+            outcome.beam_discarded,
+            outcome.gap()
+        );
+    }
+
+    let evaluated = outcome.telemetry.designs_evaluated;
+    let pruned = outcome.telemetry.designs_pruned;
+    let mut out = String::new();
+    match format {
+        "csv" => {
+            let _ = writeln!(
+                out,
+                "objective,design,cache,line,assoc,tiling,miss_rate,cycles,energy_nj,\
+                 cost,lower_bound,gap,relative_gap,complete,cancelled,candidates,\
+                 evaluated,pruned"
+            );
+            if let Some(r) = &outcome.incumbent {
+                let _ = writeln!(
+                    out,
+                    "\"{}\",{},{},{},{},{},{:.6},{:.1},{:.3},{:.3},{:.3},{:.6},{:.6},{},{},{},{},{}",
+                    objective,
+                    r.design,
+                    r.design.cache_size,
+                    r.design.line,
+                    r.design.assoc,
+                    r.design.tiling,
+                    r.miss_rate,
+                    r.cycles,
+                    r.energy_nj,
+                    outcome.incumbent_cost(),
+                    outcome.lower_bound,
+                    outcome.gap(),
+                    outcome.relative_gap(),
+                    outcome.complete,
+                    outcome.cancelled,
+                    outcome.candidates,
+                    evaluated,
+                    pruned
+                );
+            }
+        }
+        "json" => {
+            let _ = writeln!(out, "{{");
+            let _ = writeln!(out, "  \"kernel\": \"{}\",", kernel.name);
+            let _ = writeln!(out, "  \"objective\": \"{objective}\",");
+            let _ = writeln!(out, "  \"space\": \"{space_name}\",");
+            let _ = writeln!(out, "  \"candidates\": {},", outcome.candidates);
+            let _ = writeln!(out, "  \"evaluated\": {evaluated},");
+            let _ = writeln!(out, "  \"pruned\": {pruned},");
+            let _ = writeln!(out, "  \"expansions\": {},", outcome.expansions);
+            let _ = writeln!(out, "  \"beam_discarded\": {},", outcome.beam_discarded);
+            match &outcome.incumbent {
+                Some(r) => {
+                    let _ = writeln!(
+                        out,
+                        concat!(
+                            "  \"incumbent\": {{\"design\":\"{}\",\"cache\":{},",
+                            "\"line\":{},\"assoc\":{},\"tiling\":{},",
+                            "\"miss_rate\":{:.6},\"cycles\":{:.1},",
+                            "\"energy_nj\":{:.3},\"conflict_free\":{}}},"
+                        ),
+                        r.design,
+                        r.design.cache_size,
+                        r.design.line,
+                        r.design.assoc,
+                        r.design.tiling,
+                        r.miss_rate,
+                        r.cycles,
+                        r.energy_nj,
+                        r.conflict_free
+                    );
+                    let _ = writeln!(out, "  \"cost\": {:.3},", outcome.incumbent_cost());
+                    let _ = writeln!(out, "  \"gap\": {:.6},", outcome.gap());
+                    let _ = writeln!(out, "  \"relative_gap\": {:.6},", outcome.relative_gap());
+                }
+                None => {
+                    let _ = writeln!(out, "  \"incumbent\": null,");
+                }
+            }
+            if outcome.lower_bound.is_finite() {
+                let _ = writeln!(out, "  \"lower_bound\": {:.3},", outcome.lower_bound);
+            }
+            if telemetry {
+                let _ = writeln!(out, "  \"telemetry\": {},", outcome.telemetry.to_json());
+            }
+            let _ = writeln!(out, "  \"complete\": {},", outcome.complete);
+            let _ = writeln!(out, "  \"cancelled\": {}", outcome.cancelled);
+            let _ = writeln!(out, "}}");
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "searched kernel {}: {evaluated} of {} candidates simulated, \
+                 {pruned} pruned (objective {objective}, space {space_name})",
+                kernel.name, outcome.candidates
+            );
+            match &outcome.incumbent {
+                Some(r) => {
+                    let label = match objective {
+                        Objective::Energy => "minimum energy ",
+                        Objective::Cycles => "minimum time   ",
+                        Objective::Weighted { .. } => "minimum weighted",
+                    };
+                    let _ = writeln!(out, "{label}: {}", fmt_record(r));
+                    let _ = writeln!(out, "certified lower bound : {:.3}", outcome.lower_bound);
+                    let _ = writeln!(
+                        out,
+                        "certified gap : {:.3} ({:.2}%){}",
+                        outcome.gap(),
+                        outcome.relative_gap() * 100.0,
+                        if outcome.complete {
+                            ", optimum certified"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "no incumbent: the search stopped before its first simulation"
+                    );
+                    if outcome.lower_bound.is_finite() {
+                        let _ = writeln!(out, "certified lower bound : {:.3}", outcome.lower_bound);
+                    }
+                }
             }
         }
     }
@@ -674,14 +1004,16 @@ fn simulate(
     let config = CacheConfig::new(cache, line, assoc)?;
     // The cycle model only covers the paper's parameter ranges; reject the
     // rest here rather than panicking deep inside the evaluator.
-    if ![1, 2, 4, 8].contains(&assoc) {
+    if ![1, 2, 4, 8, 16, 32, 64].contains(&assoc) {
         return Err(format!(
-            "associativity {assoc} is outside the cycle model (use 1, 2, 4, or 8)"
+            "associativity {assoc} is outside the cycle model (use a power of two up to 64)"
         )
         .into());
     }
-    if !(4..=256).contains(&line) {
-        return Err(format!("line size {line} B is outside the cycle model (use 4 to 256)").into());
+    if !(4..=1024).contains(&line) {
+        return Err(
+            format!("line size {line} B is outside the cycle model (use 4 to 1024)").into(),
+        );
     }
     if tiling == 0 {
         return Err("tiling must be at least 1 (1 = untiled)".into());
@@ -1110,10 +1442,10 @@ mod tests {
             // Non-power-of-two cache: caught by CacheConfig.
             (&["--cache", "48", "--line", "8"], "48"),
             // Valid geometry but outside the cycle model's ranges.
-            (&["--cache", "1024", "--line", "512"], "line size 512"),
+            (&["--cache", "4096", "--line", "2048"], "line size 2048"),
             (
-                &["--cache", "1024", "--line", "8", "--assoc", "16"],
-                "associativity 16",
+                &["--cache", "1024", "--line", "8", "--assoc", "128"],
+                "associativity 128",
             ),
             (&["--cache", "64", "--line", "8", "--tiling", "0"], "tiling"),
         ];
@@ -1171,6 +1503,115 @@ mod tests {
             .expect("command succeeds")
         };
         assert_eq!(run_with("fused"), run_with("per-design"));
+    }
+
+    fn run_search(path: &str, objective: Objective, format: &str) -> Output {
+        run(Command::Search {
+            file: path.to_string(),
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            objective,
+            space: "paper".into(),
+            beam: None,
+            gap: 0.0,
+            deadline_secs: None,
+            format: format.into(),
+            telemetry: false,
+            obs: ObsFlags::default(),
+        })
+        .expect("search succeeds")
+    }
+
+    #[test]
+    fn search_command_matches_explore_minimum_lines() {
+        let (_dir, path) = write_kernel();
+        let explored = run(Command::Explore {
+            file: path.clone(),
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            analytical: false,
+            bound_cycles: None,
+            bound_energy: None,
+            pareto: false,
+            telemetry: false,
+            engine: "fused".into(),
+            supervise: Supervise::default(),
+            obs: ObsFlags::default(),
+        })
+        .expect("explore succeeds")
+        .stdout;
+        let line_of = |out: &str, label: &str| {
+            out.lines()
+                .find(|l| l.starts_with(label))
+                .unwrap_or_else(|| panic!("missing `{label}` in {out}"))
+                .to_string()
+        };
+        let energy = run_search(&path, Objective::Energy, "text").stdout;
+        assert_eq!(
+            line_of(&energy, "minimum energy"),
+            line_of(&explored, "minimum energy")
+        );
+        assert!(energy.contains("optimum certified"), "{energy}");
+        let cycles = run_search(&path, Objective::Cycles, "text").stdout;
+        assert_eq!(
+            line_of(&cycles, "minimum time"),
+            line_of(&explored, "minimum time")
+        );
+    }
+
+    #[test]
+    fn search_json_and_csv_outputs_are_well_formed() {
+        let (_dir, path) = write_kernel();
+        let json = run_search(&path, Objective::Energy, "json").stdout;
+        assert!(json.contains("\"complete\": true"), "{json}");
+        assert!(json.contains("\"incumbent\": {"), "{json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        let csv = run_search(
+            &path,
+            Objective::Weighted {
+                energy_weight: 1.0,
+                cycles_weight: 2.0,
+            },
+            "csv",
+        )
+        .stdout;
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header");
+        let row = lines.next().expect("row");
+        assert!(header.starts_with("objective,design,"), "{csv}");
+        assert!(row.contains("weighted(energy=1,cycles=2)"), "{csv}");
+        assert!(
+            row.ends_with(",true,false,425,425,0") || row.contains(",true,false,"),
+            "{csv}"
+        );
+    }
+
+    #[test]
+    fn search_deadline_zero_like_run_is_anytime() {
+        let (_dir, path) = write_kernel();
+        let out = run(Command::Search {
+            file: path,
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            objective: Objective::Energy,
+            space: "paper".into(),
+            beam: None,
+            gap: 0.0,
+            deadline_secs: Some(1e-9),
+            format: "text".into(),
+            telemetry: false,
+            obs: ObsFlags::default(),
+        })
+        .expect("search succeeds");
+        assert!(out.stderr.contains("deadline reached"), "{out:?}");
+        assert!(!out.stdout.contains("optimum certified"), "{out:?}");
     }
 
     #[test]

@@ -229,6 +229,63 @@ fn sweep_mismatch_on_resume_is_exit_two() {
 }
 
 #[test]
+fn all_infeasible_grid_is_a_typed_error_not_empty_output() {
+    let scratch = Scratch::new("infeasible");
+    // Two reads 512 elements apart share a reference class, so the §3
+    // minimum conflict-free cache is ~2 KiB at every line size — above the
+    // paper grid's largest cache (1024 B). No candidate is feasible.
+    let path = scratch.path("huge.mx");
+    std::fs::write(
+        &path,
+        "kernel Infeasible\narray a[1024][1024] elem 4\nfor i = 0 .. 7\nfor j = 0 .. 255\n  read a[i][j]\n  read a[i][j+512]\n",
+    )
+    .expect("tempdir writable");
+    let kernel = path.to_str().expect("utf8 path");
+    for args in [
+        &["search", kernel][..],
+        &["pareto", kernel][..],
+        &["explore", kernel][..],
+    ] {
+        let out = memx(args);
+        assert_eq!(exit_code(&out), 1, "args {args:?}: {}", stderr(&out));
+        assert_one_line_error(&out);
+        assert!(
+            stderr(&out).contains("infeasible"),
+            "args {args:?}: {}",
+            stderr(&out)
+        );
+        assert!(
+            out.stdout.is_empty(),
+            "no partial stdout on an infeasible grid: {:?}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn search_certifies_the_explore_optimum() {
+    let scratch = Scratch::new("search");
+    let kernel = scratch.kernel();
+    let explored = memx(&["explore", &kernel]);
+    let searched = memx(&["search", &kernel]);
+    assert_eq!(exit_code(&explored), 0, "stderr: {}", stderr(&explored));
+    assert_eq!(exit_code(&searched), 0, "stderr: {}", stderr(&searched));
+    let line = |out: &Output| {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.starts_with("minimum energy"))
+            .expect("minimum energy line")
+            .to_string()
+    };
+    assert_eq!(line(&explored), line(&searched));
+    assert!(
+        String::from_utf8_lossy(&searched.stdout).contains("optimum certified"),
+        "{}",
+        String::from_utf8_lossy(&searched.stdout)
+    );
+}
+
+#[test]
 fn deadline_yields_partial_result_with_exit_zero() {
     let scratch = Scratch::new("deadline");
     let kernel = scratch.kernel();

@@ -112,6 +112,7 @@ fn claim_mpeg_whole_program_optimum_is_its_own() {
         assocs: vec![1, 8],
         tilings: vec![1, 8],
         min_lines: 4,
+        ..Default::default()
     };
     let designs = space.designs();
     let mut kernel_optima = Vec::new();

@@ -18,8 +18,8 @@ use loopir::{
     AccessKind, AffineExpr, ArrayDecl, ArrayId, ArrayRef, DataLayout, Kernel, Loop, LoopNest,
     TraceGen,
 };
-use memexplore::{CacheDesign, Evaluator};
-use memsim::{CacheConfig, Simulator, TraceEvent};
+use memexplore::{select, CacheDesign, DesignSpace, Evaluator, Explorer, Objective, SearchOptions};
+use memsim::{CacheConfig, Replacement, Simulator, TraceEvent, WritePolicy};
 use std::collections::BTreeMap;
 
 /// `tests/random_kernels.proptest-regressions` seed b93d340a: three 5×6
@@ -194,6 +194,86 @@ fn seed_kernels_conflict_free_reports_imply_zero_conflict_misses() {
         let sim = Simulator::simulate_classified(cfg, events);
         assert_eq!(sim.miss_classes.unwrap().conflict, 0, "{}", kernel.name);
     }
+}
+
+#[test]
+fn search_seed_policy_cost_ties_keep_the_first_sweep_variant() {
+    // Found while developing `search_props`: the energy model is
+    // replacement- and write-policy-independent, so a grid with policy
+    // axes is full of *bitwise-identical* costs. A numeric gap-0 stop
+    // (`incumbent − bound ≤ 0`) terminates on the first tie and can
+    // return a later-in-sweep-order policy variant; certification must
+    // compare full tie-break keys so the incumbent stays bit-identical
+    // to the sweep's first-wins minimum.
+    let space = DesignSpace {
+        cache_sizes: vec![32, 64],
+        line_sizes: vec![4, 8],
+        assocs: vec![1, 2],
+        tilings: vec![1, 2],
+        min_lines: 1,
+        replacements: vec![Replacement::Lru, Replacement::Fifo, Replacement::Plru],
+        write_policies: vec![WritePolicy::default()],
+    };
+    let explorer = Explorer::default();
+    for kernel in sweep_seeds() {
+        let records = explorer.explore(&kernel, &space);
+        for objective in [Objective::Energy, Objective::Cycles] {
+            let out = explorer.search(
+                &kernel,
+                &space,
+                &SearchOptions {
+                    objective,
+                    ..Default::default()
+                },
+            );
+            assert!(out.complete, "{}/{objective}", kernel.name);
+            let oracle = match objective {
+                Objective::Energy => select::min_energy(&records),
+                _ => select::min_cycles(&records),
+            }
+            .expect("non-empty");
+            assert_eq!(
+                out.incumbent.as_ref().expect("incumbent"),
+                oracle,
+                "{}/{objective}: wrong policy variant survived the tie",
+                kernel.name
+            );
+        }
+    }
+}
+
+#[test]
+fn search_seed_loose_cycles_bound_still_terminates_complete() {
+    // Found while developing `search_oracle`: MatMult's cycles bound
+    // (derived from the untiled trace's miss floor) is loose enough to
+    // prune nothing, which exercises the exhaust-the-heap exit path.
+    // The search must still drain every candidate and certify gap 0
+    // rather than spinning or reporting an open bound.
+    let kernel = loopir::kernels::matmul(7);
+    let space = DesignSpace {
+        cache_sizes: vec![16, 32, 64],
+        line_sizes: vec![4, 8],
+        assocs: vec![1, 2],
+        tilings: vec![1, 2, 4],
+        min_lines: 1,
+        ..Default::default()
+    };
+    let explorer = Explorer::default();
+    let records = explorer.explore(&kernel, &space);
+    let out = explorer.search(
+        &kernel,
+        &space,
+        &SearchOptions {
+            objective: Objective::Cycles,
+            ..Default::default()
+        },
+    );
+    assert!(out.complete);
+    assert_eq!(out.gap(), 0.0);
+    assert_eq!(
+        out.incumbent.as_ref().expect("incumbent"),
+        select::min_cycles(&records).expect("non-empty")
+    );
 }
 
 #[test]

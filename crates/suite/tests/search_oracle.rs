@@ -1,0 +1,159 @@
+//! The search oracle: on every paper kernel, the certified bound-guided
+//! search (`Explorer::search`) at gap 0 must return an incumbent
+//! *bit-identical* to the minimum extracted from an exhaustive sweep of
+//! the full 425-design paper grid — for each objective.
+//!
+//! Bit-identical means the same `Record` down to float bit patterns and
+//! the same tie-break: `select::min_energy` / `select::min_cycles` keep
+//! the *first* minimum in sweep order, and the search's total order is
+//! built to reproduce exactly that choice.
+//!
+//! The beam half of the oracle checks honesty under truncation: a beamed
+//! search may miss the optimum, but it must never *claim* more than it
+//! proved — its certified lower bound stays admissible (≤ the true
+//! optimum) and its reported gap is at least the true distance between
+//! its incumbent and the optimum.
+
+use loopir::kernels;
+use loopir::Kernel;
+use memexplore::{select, DesignSpace, Explorer, Objective, SearchOptions};
+
+fn assert_search_oracle(kernel: &Kernel) {
+    let space = DesignSpace::paper();
+    let explorer = Explorer::default();
+    let records = explorer.explore(kernel, &space);
+    assert_eq!(records.len(), space.design_count());
+
+    let oracles = [
+        (Objective::Energy, select::min_energy(&records)),
+        (Objective::Cycles, select::min_cycles(&records)),
+    ];
+    for (objective, oracle) in oracles {
+        let oracle = oracle.expect("non-empty grid has a minimum");
+        let oracle_cost = objective.cost(oracle);
+
+        // Exact search: certified gap 0, bit-identical incumbent.
+        let out = explorer.search(
+            kernel,
+            &space,
+            &SearchOptions {
+                objective,
+                ..Default::default()
+            },
+        );
+        assert!(out.complete, "{}/{objective}: not certified", kernel.name);
+        assert!(!out.cancelled, "{}/{objective}", kernel.name);
+        assert_eq!(out.gap(), 0.0, "{}/{objective}", kernel.name);
+        assert_eq!(out.candidates, records.len(), "{}/{objective}", kernel.name);
+        let incumbent = out
+            .incumbent
+            .as_ref()
+            .expect("complete search has an incumbent");
+        assert_eq!(
+            incumbent, oracle,
+            "{}/{objective}: search incumbent diverged from the sweep minimum",
+            kernel.name
+        );
+        // The energy bounds must prune *something* — otherwise they are
+        // vacuous and this is just a slow exhaustive sweep. (Cycles bounds
+        // come from the untiled trace's miss floor and can be too loose to
+        // prune on tiling-dominated kernels like MatMult.)
+        if matches!(objective, Objective::Energy) {
+            assert!(
+                out.telemetry.designs_evaluated < records.len(),
+                "{}/{objective}: no pruning ({} of {} simulated)",
+                kernel.name,
+                out.telemetry.designs_evaluated,
+                records.len()
+            );
+        }
+
+        // Beamed searches: possibly suboptimal, never dishonest.
+        for beam in [Some(1), Some(4), Some(16), None] {
+            let out = explorer.search(
+                kernel,
+                &space,
+                &SearchOptions {
+                    objective,
+                    beam,
+                    ..Default::default()
+                },
+            );
+            let inc_cost = out.incumbent_cost();
+            assert!(
+                inc_cost >= oracle_cost,
+                "{}/{objective}/beam {beam:?}: incumbent {inc_cost} beats the oracle {oracle_cost}",
+                kernel.name
+            );
+            assert!(
+                out.lower_bound <= oracle_cost,
+                "{}/{objective}/beam {beam:?}: bound {} is not admissible (optimum {oracle_cost})",
+                kernel.name,
+                out.lower_bound
+            );
+            // Reported gap covers the true gap to the optimum.
+            let true_gap = inc_cost - oracle_cost;
+            assert!(
+                out.gap() >= true_gap - 1e-9,
+                "{}/{objective}/beam {beam:?}: reported gap {} below true gap {true_gap}",
+                kernel.name,
+                out.gap()
+            );
+            // An unbounded beam is the exact search again.
+            if beam.is_none() {
+                assert!(out.complete, "{}/{objective}: unbounded beam", kernel.name);
+                assert_eq!(out.incumbent.as_ref().expect("incumbent"), oracle);
+            }
+        }
+    }
+
+    // The weighted objective agrees with a direct scan of the sweep.
+    let objective = Objective::Weighted {
+        energy_weight: 1.0,
+        cycles_weight: 0.5,
+    };
+    let oracle_cost = records
+        .iter()
+        .map(|r| objective.cost(r))
+        .fold(f64::INFINITY, f64::min);
+    let out = explorer.search(
+        kernel,
+        &space,
+        &SearchOptions {
+            objective,
+            ..Default::default()
+        },
+    );
+    assert!(out.complete, "{}/weighted", kernel.name);
+    assert_eq!(
+        out.incumbent_cost(),
+        oracle_cost,
+        "{}/weighted",
+        kernel.name
+    );
+}
+
+#[test]
+fn search_matches_exhaustive_minimum_on_compress() {
+    assert_search_oracle(&kernels::compress(31));
+}
+
+#[test]
+fn search_matches_exhaustive_minimum_on_matmul() {
+    assert_search_oracle(&kernels::matmul(31));
+}
+
+#[test]
+fn search_matches_exhaustive_minimum_on_pde() {
+    assert_search_oracle(&kernels::pde(31));
+}
+
+#[test]
+fn search_matches_exhaustive_minimum_on_sor() {
+    assert_search_oracle(&kernels::sor(31));
+}
+
+#[test]
+fn search_matches_exhaustive_minimum_on_dequant() {
+    assert_search_oracle(&kernels::dequant(31));
+}

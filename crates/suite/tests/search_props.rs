@@ -1,0 +1,228 @@
+//! Property-based tests of the certified bound-guided search
+//! (`Explorer::search`) on randomly generated kernels and design grids.
+//!
+//! Three laws, each checked against the exhaustive sweep of the same
+//! grid:
+//!
+//! 1. **Certification** — the reported gap is never negative, the lower
+//!    bound never exceeds the true optimum (admissibility), and a gap-0
+//!    complete run returns the sweep minimum bit-identically.
+//! 2. **Anytime monotonicity** — replaying the JSONL observability log,
+//!    the `incumbent` events carry a non-increasing cost sequence (each
+//!    incumbent improves on the last).
+//! 3. **Deadline well-formedness** — a deadline-cancelled run still
+//!    reports a grid-consistent partial result: the incumbent (when any)
+//!    is the bit-exact record of its claimed sweep index.
+
+use loopir::{AffineExpr, ArrayDecl, ArrayId, ArrayRef, Kernel, Loop, LoopNest};
+use memexplore::obs::{Event, Obs, ObsConfig, ObsSink};
+use memexplore::{select, DesignSpace, Explorer, Objective, Record, SearchOptions};
+use memsim::{Replacement, WritePolicy};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A random rectangular 2-D stencil kernel (same family as
+/// `random_kernels.rs`): 1–2 arrays, 2–4 references with offsets in
+/// {-1, 0, 1}, loops over the interior.
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    let dims = (5usize..10, 5usize..10);
+    let n_arrays = 1usize..=2;
+    let refs = proptest::collection::vec((0usize..2, -1i64..=1, -1i64..=1), 2..=4);
+    (dims, n_arrays, refs).prop_map(|((rows, cols), n_arrays, refs)| {
+        let arrays: Vec<ArrayDecl> = (0..n_arrays)
+            .map(|i| ArrayDecl::new(format!("a{i}"), &[rows, cols], 4))
+            .collect();
+        let body: Vec<ArrayRef> = refs
+            .into_iter()
+            .map(|(aid, c0, c1)| {
+                let subs = vec![AffineExpr::var(0) + c0, AffineExpr::var(1) + c1];
+                ArrayRef::read(ArrayId(aid % n_arrays), subs)
+            })
+            .collect();
+        let nest = LoopNest {
+            loops: vec![Loop::new(1, rows as i64 - 2), Loop::new(1, cols as i64 - 2)],
+            refs: body,
+        };
+        Kernel::new("random", arrays, nest)
+    })
+}
+
+/// A random small design grid: a contiguous run of power-of-two cache
+/// sizes, 1–2 line sizes, a prefix of the assoc ladder, small tilings,
+/// and optionally the policy axes (so the search's policy tie-breaking
+/// is exercised too).
+fn arb_space() -> impl Strategy<Value = DesignSpace> {
+    (
+        0usize..3,  // first cache size
+        2usize..4,  // how many cache sizes
+        1usize..=2, // how many line sizes
+        1usize..=3, // how many assocs
+        1usize..=2, // how many tilings
+        proptest::bool::ANY,
+    )
+        .prop_map(|(t0, nt, nl, na, nb, policies)| {
+            let sizes = [16usize, 32, 64, 128, 256];
+            let mut space = DesignSpace {
+                cache_sizes: sizes[t0..(t0 + nt).min(sizes.len())].to_vec(),
+                line_sizes: [4usize, 8][..nl].to_vec(),
+                assocs: [1usize, 2, 4][..na].to_vec(),
+                tilings: [1u64, 2][..nb].to_vec(),
+                min_lines: 1,
+                ..Default::default()
+            };
+            if policies {
+                space.replacements = vec![Replacement::Lru, Replacement::Fifo];
+                space.write_policies = vec![WritePolicy::default()];
+            }
+            space
+        })
+}
+
+fn arb_objective() -> impl Strategy<Value = Objective> {
+    prop_oneof![
+        Just(Objective::Energy),
+        Just(Objective::Cycles),
+        (0.1f64..4.0, 0.1f64..4.0).prop_map(|(e, c)| Objective::Weighted {
+            energy_weight: e,
+            cycles_weight: c,
+        }),
+    ]
+}
+
+/// A `Write` sink capturing the JSONL log in memory for replay.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buffer lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The incumbent cost sequence replayed from a captured JSONL log, in
+/// emission order, decoded from the exact `cost_bits` payload.
+fn incumbent_costs(log: &[u8]) -> Vec<f64> {
+    String::from_utf8_lossy(log)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Event::parse(l).expect("log line parses"))
+        .filter(|e| e.phase == "search" && e.name == "incumbent")
+        .map(|e| f64::from_bits(e.u64_field("cost_bits").expect("cost_bits field")))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gap_is_certified_and_bound_is_admissible(
+        kernel in arb_kernel(),
+        space in arb_space(),
+        objective in arb_objective(),
+        beam in prop_oneof![Just(None), Just(Some(1usize)), Just(Some(3usize))],
+    ) {
+        let explorer = Explorer::default();
+        let records = explorer.explore(&kernel, &space);
+        prop_assert_eq!(records.len(), space.design_count());
+        let optimum = records
+            .iter()
+            .map(|r| objective.cost(r))
+            .fold(f64::INFINITY, f64::min);
+
+        let out = explorer.search(&kernel, &space, &SearchOptions {
+            objective,
+            beam,
+            ..Default::default()
+        });
+        prop_assert!(out.gap() >= 0.0, "negative gap {}", out.gap());
+        prop_assert!(
+            out.lower_bound <= optimum + 1e-9,
+            "bound {} above optimum {optimum}", out.lower_bound
+        );
+        prop_assert!(out.incumbent_cost() >= optimum - 1e-9);
+        if beam.is_none() {
+            // Unbounded gap-0 search is exact and bit-identical to the
+            // sweep's first-wins minimum.
+            prop_assert!(out.complete);
+            prop_assert_eq!(out.gap(), 0.0);
+            let incumbent = out.incumbent.as_ref().expect("complete => incumbent");
+            let oracle: &Record = match objective {
+                Objective::Energy => select::min_energy(&records).expect("non-empty"),
+                Objective::Cycles => select::min_cycles(&records).expect("non-empty"),
+                Objective::Weighted { .. } => {
+                    prop_assert_eq!(out.incumbent_cost(), optimum);
+                    incumbent
+                }
+            };
+            prop_assert_eq!(incumbent, oracle);
+        }
+    }
+
+    #[test]
+    fn incumbent_costs_replayed_from_the_log_never_increase(
+        kernel in arb_kernel(),
+        space in arb_space(),
+        objective in arb_objective(),
+    ) {
+        let buf = SharedBuf::default();
+        let obs = Obs::new(ObsConfig {
+            log: Some(ObsSink::Writer(Box::new(buf.clone()))),
+            ..Default::default()
+        })
+        .expect("in-memory obs");
+        let out = Explorer::default()
+            .with_obs(Arc::clone(&obs))
+            .search(&kernel, &space, &SearchOptions {
+                objective,
+                ..Default::default()
+            });
+        obs.finish();
+        let costs = incumbent_costs(&buf.0.lock().expect("buffer lock"));
+        prop_assert!(!costs.is_empty(), "no incumbent events logged");
+        for w in costs.windows(2) {
+            prop_assert!(
+                w[1] <= w[0],
+                "incumbent cost increased: {} -> {}", w[0], w[1]
+            );
+        }
+        // The last logged incumbent is the returned one.
+        prop_assert_eq!(*costs.last().expect("non-empty"), out.incumbent_cost());
+    }
+
+    #[test]
+    fn deadline_results_are_well_formed(
+        kernel in arb_kernel(),
+        space in arb_space(),
+        objective in arb_objective(),
+    ) {
+        let explorer = Explorer::default();
+        let out = explorer.search(&kernel, &space, &SearchOptions {
+            objective,
+            deadline: Some(Duration::from_nanos(1)),
+            ..Default::default()
+        });
+        prop_assert_eq!(out.candidates, space.design_count());
+        prop_assert!(out.gap() >= 0.0);
+        // A cancelled run must not claim certification unless the bound
+        // actually closed before the deadline hit.
+        if out.cancelled {
+            prop_assert!(
+                out.telemetry.designs_evaluated < out.candidates
+                    || out.complete
+            );
+        }
+        // Whatever partial incumbent exists is grid-consistent: it is the
+        // bit-exact record of the sweep index it claims.
+        if let Some(incumbent) = &out.incumbent {
+            let idx = out.incumbent_index.expect("incumbent has an index");
+            let records = explorer.explore(&kernel, &space);
+            prop_assert_eq!(incumbent, &records[idx]);
+            prop_assert!(out.lower_bound <= objective.cost(incumbent) + 1e-9);
+        }
+    }
+}

@@ -73,6 +73,7 @@ fn bench_kernel(kernel: &loopir::Kernel, designs: &[memexplore::CacheDesign]) ->
 }
 
 fn main() {
+    bench::reject_args("bench_explore");
     let designs = DesignSpace::paper().designs();
 
     let results: Vec<KernelResult> = kernels::all_paper_kernels()

@@ -40,6 +40,7 @@ fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 }
 
 fn main() {
+    bench::reject_args("bench_pareto");
     let space = DesignSpace::paper();
     let designs = space.designs().len();
     let explorer = Explorer::default().with_engine(Engine::Fused);

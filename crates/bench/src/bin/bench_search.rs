@@ -42,6 +42,7 @@ fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 }
 
 fn main() {
+    bench::reject_args("bench_search");
     let space = DesignSpace::paper();
     let designs = space.design_count();
     let explorer = Explorer::default();

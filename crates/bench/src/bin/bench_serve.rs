@@ -1,0 +1,155 @@
+//! Load harness for `memx serve`: replays a mixed stream of exploration
+//! jobs against a live in-process daemon and reports sustained
+//! throughput, client-observed latency percentiles, and the cache-hit
+//! ratio. The job pool deliberately contains many duplicates (the whole
+//! point of the content-addressed cache), and every repeated response is
+//! checked byte-identical to the first one for its job.
+//!
+//! Results are written to `BENCH_serve.json` in the current directory.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_serve
+//! ```
+
+use memexplore::obs::{push_json_str, LatencyHistogram};
+use memx::{http_request, ServeConfig, Server};
+use std::sync::Mutex;
+use std::time::Instant;
+
+const CLIENTS: usize = 32;
+const JOBS_PER_CLIENT: usize = 32;
+const KERNELS: &[&str] = &["compress", "matmul", "pde", "sor", "dequant"];
+const COMMANDS: &[&str] = &["explore", "pareto", "search"];
+const PARTS: &[&str] = &["cy7c", "lp2m"];
+
+/// The distinct job pool: every paper kernel x every job kind x two
+/// SRAM parts. 30 unique jobs, replayed 1024 times in total.
+fn job_pool() -> Vec<String> {
+    let mut pool = Vec::new();
+    for name in KERNELS {
+        let path = format!(
+            "{}/../../examples/kernels/{name}.mx",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let source =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        for command in COMMANDS {
+            for part in PARTS {
+                let mut body = String::from("{\"command\":");
+                push_json_str(&mut body, command);
+                body.push_str(",\"kernel\":");
+                push_json_str(&mut body, &source);
+                body.push_str(",\"part\":");
+                push_json_str(&mut body, part);
+                body.push('}');
+                pool.push(body);
+            }
+        }
+    }
+    pool
+}
+
+fn main() {
+    bench::reject_args("bench_serve");
+    let server = Server::start(ServeConfig::default()).expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    let pool = job_pool();
+    let latency = LatencyHistogram::new();
+    // First-seen response bytes per pool index, for byte-identity checks.
+    let first_seen: Vec<Mutex<Option<Vec<u8>>>> =
+        (0..pool.len()).map(|_| Mutex::new(None)).collect();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..CLIENTS {
+            let (addr, pool, latency, first_seen) = (&addr, &pool, &latency, &first_seen);
+            scope.spawn(move || {
+                for i in 0..JOBS_PER_CLIENT {
+                    // Deterministic mix: stride 13 is coprime to the pool
+                    // size, so every client cycles through all 30 jobs.
+                    let job = (t * 7 + i * 13) % pool.len();
+                    let sent = Instant::now();
+                    let response = http_request(addr, "POST", "/v1/jobs", pool[job].as_bytes())
+                        .expect("daemon reachable");
+                    latency.record(sent.elapsed());
+                    assert_eq!(response.code, 200, "job {job} failed");
+                    let mut slot = first_seen[job].lock().unwrap();
+                    match &*slot {
+                        None => *slot = Some(response.body),
+                        Some(first) => assert_eq!(
+                            first, &response.body,
+                            "job {job}: response bytes diverged across replays"
+                        ),
+                    }
+                }
+            });
+        }
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let total_jobs = CLIENTS * JOBS_PER_CLIENT;
+    let stats = server.cache().stats();
+    let summary = latency.summary();
+    let served = stats.hits + stats.misses + stats.joins;
+    assert_eq!(served, total_jobs as u64, "lost requests: {stats:?}");
+    assert_eq!(
+        stats.misses,
+        pool.len() as u64,
+        "every distinct job misses once"
+    );
+    let hit_ratio = (stats.hits + stats.joins) as f64 / served as f64;
+    let throughput = total_jobs as f64 / wall_secs;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"serve_mixed_load\",\n",
+            "  \"clients\": {},\n",
+            "  \"total_jobs\": {},\n",
+            "  \"distinct_jobs\": {},\n",
+            "  \"wall_secs\": {:.6},\n",
+            "  \"throughput_jobs_per_sec\": {:.3},\n",
+            "  \"latency_us\": {},\n",
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"joins\": {}}},\n",
+            "  \"hit_ratio\": {:.4},\n",
+            "  \"responses_byte_identical\": true\n",
+            "}}\n"
+        ),
+        CLIENTS,
+        total_jobs,
+        pool.len(),
+        wall_secs,
+        throughput,
+        summary.to_json(),
+        stats.hits,
+        stats.misses,
+        stats.joins,
+        hit_ratio,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("can write BENCH_serve.json");
+
+    println!(
+        "{total_jobs} jobs ({} distinct) over {CLIENTS} clients in {wall_secs:.3} s | {throughput:.1} jobs/s",
+        pool.len()
+    );
+    println!(
+        "latency p50 {:?} | p95 {:?} | p99 {:?} (n = {})",
+        summary.p50(),
+        summary.p95(),
+        summary.p99(),
+        summary.count
+    );
+    println!(
+        "cache: {} hits / {} misses / {} joins | hit ratio {:.1}%",
+        stats.hits,
+        stats.misses,
+        stats.joins,
+        hit_ratio * 100.0
+    );
+    println!("wrote BENCH_serve.json");
+
+    server.request_shutdown();
+    server.join();
+}

@@ -11,3 +11,13 @@ pub mod seed_engine;
 pub mod tables;
 
 pub use tables::Table;
+
+/// Argument hygiene for the `bench_*` binaries: they take no arguments,
+/// and like `memx` they must fail fast on anything unexpected instead of
+/// silently ignoring it — exit code 2 with a one-line `error:` message.
+pub fn reject_args(bin: &str) {
+    if let Some(arg) = std::env::args().nth(1) {
+        eprintln!("error: unknown argument `{arg}` for {bin} (takes no arguments)");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,592 @@
+//! Content-addressed result cache with single-flight deduplication.
+//!
+//! The exploration loop is a pure function of `(kernel IR, design grid,
+//! cycle/energy model, engine, objective)`, which makes completed results
+//! perfectly memoizable. This module provides the serving layer's memory:
+//!
+//! * [`CacheKey`] — a 128-bit FNV-1a hash over a caller-supplied canonical
+//!   byte string. Callers are responsible for canonicalization (the serve
+//!   layer renders the parsed job spec, not the request bytes, so key order
+//!   / whitespace / explicit defaults cannot perturb the key).
+//! * [`ResultCache`] — a bounded map from key to immutable result bytes with
+//!   LRU eviction and **single-flight** semantics: when several callers ask
+//!   for the same missing key concurrently, exactly one (the *leader*)
+//!   computes while the rest block on the in-flight slot and receive the
+//!   leader's bytes. A leader that dies (panic, cancellation) abandons the
+//!   flight; one waiter is promoted to retry so the key is never wedged.
+//!
+//! The cache stores opaque `Arc<[u8]>` values; hits are byte-identical to
+//! the miss that populated them by construction. Only *completed* results
+//! should be fulfilled as cacheable — cancelled or failed jobs must either
+//! fulfill uncacheable (waiters still get the bytes, nothing is stored) or
+//! abandon (waiters retry).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// FNV-1a 128-bit hash (offset basis and prime from the published spec).
+/// The 64-bit sibling lives in [`crate::checkpoint::fnv1a`]; keys that
+/// address arbitrary user-submitted jobs get the wider variant so that
+/// accidental collisions are out of the picture at any realistic scale.
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+    }
+    h
+}
+
+/// A content-address: the 128-bit FNV-1a hash of a canonical job rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u128);
+
+impl CacheKey {
+    /// Hashes a canonical byte string.
+    pub fn from_canonical(bytes: &[u8]) -> Self {
+        CacheKey(fnv1a_128(bytes))
+    }
+
+    /// Lower-case hex rendering (32 digits), used in logs and responses.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// State of an in-flight computation, guarded by `Flight::state`.
+enum FlightState {
+    /// Leader is computing; waiters block on the condvar.
+    Pending,
+    /// Leader delivered bytes (cacheable or not); waiters take the Arc.
+    Done(Arc<Vec<u8>>),
+    /// Leader died without delivering; one waiter retries the lookup.
+    Abandoned,
+}
+
+/// Shared slot for one in-flight key.
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Self> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Blocks until the leader resolves the flight. `None` = abandoned.
+    fn wait(&self) -> Option<Arc<Vec<u8>>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            match &*st {
+                FlightState::Pending => st = self.cv.wait(st).unwrap(),
+                FlightState::Done(v) => return Some(Arc::clone(v)),
+                FlightState::Abandoned => return None,
+            }
+        }
+    }
+
+    fn resolve(&self, outcome: FlightState) {
+        let mut st = self.state.lock().unwrap();
+        *st = outcome;
+        self.cv.notify_all();
+    }
+}
+
+enum Slot {
+    /// A leader is computing this key.
+    InFlight(Arc<Flight>),
+    /// Completed bytes, subject to LRU eviction.
+    Ready { value: Arc<Vec<u8>>, last_used: u64 },
+}
+
+struct Inner {
+    map: HashMap<u128, Slot>,
+    /// Monotonic logical clock for LRU ordering.
+    tick: u64,
+    /// Total bytes held by `Ready` slots.
+    bytes: usize,
+}
+
+/// Point-in-time counters, all monotonically increasing except
+/// `entries`/`bytes` which describe the current resident set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a `Ready` slot.
+    pub hits: u64,
+    /// Lookups that became the leader for a new flight.
+    pub misses: u64,
+    /// Lookups that joined an existing flight and received the leader's bytes.
+    pub joins: u64,
+    /// Ready entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Flights abandoned by their leader.
+    pub abandoned: u64,
+    /// Resident `Ready` entries.
+    pub entries: usize,
+    /// Resident `Ready` bytes.
+    pub bytes: usize,
+}
+
+/// Outcome of [`ResultCache::lookup`].
+pub enum Lookup {
+    /// Bytes were already resident (`coalesced == false`) or were produced
+    /// by a concurrent leader this call joined (`coalesced == true`).
+    Hit {
+        value: Arc<Vec<u8>>,
+        coalesced: bool,
+    },
+    /// This caller is the leader: compute the result, then call
+    /// [`FlightGuard::fulfill`]. Dropping the guard without fulfilling
+    /// abandons the flight (waiters retry).
+    Miss(FlightGuard),
+}
+
+/// Leader's obligation token for a single in-flight key.
+pub struct FlightGuard {
+    cache: Arc<CacheShared>,
+    key: CacheKey,
+    flight: Arc<Flight>,
+    fulfilled: bool,
+}
+
+impl FlightGuard {
+    /// The key this flight is computing.
+    pub fn key(&self) -> CacheKey {
+        self.key
+    }
+
+    /// Delivers `value` to every waiter. When `cacheable`, the bytes are
+    /// also stored for future lookups (subject to eviction); otherwise the
+    /// slot is removed so the next lookup recomputes.
+    pub fn fulfill(mut self, value: Arc<Vec<u8>>, cacheable: bool) {
+        self.fulfilled = true;
+        let mut inner = self.cache.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if cacheable {
+            inner.bytes += value.len();
+            inner.map.insert(
+                self.key.0,
+                Slot::Ready {
+                    value: Arc::clone(&value),
+                    last_used: tick,
+                },
+            );
+            self.cache.evict_locked(&mut inner);
+        } else {
+            inner.map.remove(&self.key.0);
+        }
+        drop(inner);
+        self.flight.resolve(FlightState::Done(value));
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        if self.fulfilled {
+            return;
+        }
+        // Leader died without delivering: clear the slot and wake waiters
+        // so one of them can retry as the new leader.
+        let mut inner = self.cache.inner.lock().unwrap();
+        if let Some(Slot::InFlight(f)) = inner.map.get(&self.key.0) {
+            if Arc::ptr_eq(f, &self.flight) {
+                inner.map.remove(&self.key.0);
+            }
+        }
+        drop(inner);
+        self.cache.abandoned.fetch_add(1, Ordering::Relaxed);
+        self.flight.resolve(FlightState::Abandoned);
+    }
+}
+
+struct CacheShared {
+    inner: Mutex<Inner>,
+    max_entries: usize,
+    max_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    joins: AtomicU64,
+    evictions: AtomicU64,
+    abandoned: AtomicU64,
+}
+
+impl CacheShared {
+    /// Evicts least-recently-used `Ready` slots until both bounds hold.
+    /// In-flight slots are never evicted. O(n) scan per eviction — the
+    /// resident set is small (hundreds) relative to job cost (milliseconds
+    /// of simulation), so simplicity wins over an intrusive LRU list.
+    fn evict_locked(&self, inner: &mut Inner) {
+        loop {
+            let ready = inner
+                .map
+                .iter()
+                .filter(|(_, s)| matches!(s, Slot::Ready { .. }))
+                .count();
+            // A lone entry always stays resident (`max_entries >= 1`), even
+            // when a single oversized value exceeds `max_bytes` — evicting
+            // it would just force the next lookup to recompute the same
+            // oversized value.
+            if ready <= 1 {
+                return;
+            }
+            if ready <= self.max_entries && inner.bytes <= self.max_bytes {
+                return;
+            }
+            let victim = inner
+                .map
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { last_used, .. } => Some((*last_used, *k)),
+                    Slot::InFlight(_) => None,
+                })
+                .min();
+            let Some((_, key)) = victim else { return };
+            if let Some(Slot::Ready { value, .. }) = inner.map.remove(&key) {
+                inner.bytes -= value.len();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Bounded content-addressed cache with single-flight deduplication.
+/// Cloning is cheap (shared state).
+#[derive(Clone)]
+pub struct ResultCache {
+    shared: Arc<CacheShared>,
+}
+
+impl ResultCache {
+    /// `max_entries` / `max_bytes` bound the resident `Ready` set; both are
+    /// clamped to at least 1 so the cache is never degenerate.
+    pub fn new(max_entries: usize, max_bytes: usize) -> Self {
+        ResultCache {
+            shared: Arc::new(CacheShared {
+                inner: Mutex::new(Inner {
+                    map: HashMap::new(),
+                    tick: 0,
+                    bytes: 0,
+                }),
+                max_entries: max_entries.max(1),
+                max_bytes: max_bytes.max(1),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                joins: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+                abandoned: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Looks up `key`, blocking on an in-flight computation if one exists.
+    ///
+    /// Returns [`Lookup::Hit`] with the resident (or just-computed) bytes,
+    /// or [`Lookup::Miss`] making this caller the leader. If a joined
+    /// flight is abandoned, the lookup retries internally — callers never
+    /// observe abandonment.
+    pub fn lookup(&self, key: CacheKey) -> Lookup {
+        loop {
+            let flight = {
+                let mut inner = self.shared.inner.lock().unwrap();
+                inner.tick += 1;
+                let tick = inner.tick;
+                match inner.map.get_mut(&key.0) {
+                    Some(Slot::Ready { value, last_used }) => {
+                        *last_used = tick;
+                        let value = Arc::clone(value);
+                        drop(inner);
+                        self.shared.hits.fetch_add(1, Ordering::Relaxed);
+                        return Lookup::Hit {
+                            value,
+                            coalesced: false,
+                        };
+                    }
+                    Some(Slot::InFlight(f)) => Arc::clone(f),
+                    None => {
+                        let flight = Flight::new();
+                        inner.map.insert(key.0, Slot::InFlight(Arc::clone(&flight)));
+                        drop(inner);
+                        self.shared.misses.fetch_add(1, Ordering::Relaxed);
+                        return Lookup::Miss(FlightGuard {
+                            cache: Arc::clone(&self.shared),
+                            key,
+                            flight,
+                            fulfilled: false,
+                        });
+                    }
+                }
+            };
+            // Block outside the map lock.
+            match flight.wait() {
+                Some(value) => {
+                    self.shared.joins.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Hit {
+                        value,
+                        coalesced: true,
+                    };
+                }
+                None => continue, // abandoned — retry as potential new leader
+            }
+        }
+    }
+
+    /// Removes one entry (Ready only); returns whether something was evicted.
+    pub fn evict(&self, key: CacheKey) -> bool {
+        let mut inner = self.shared.inner.lock().unwrap();
+        match inner.map.get(&key.0) {
+            Some(Slot::Ready { .. }) => {
+                if let Some(Slot::Ready { value, .. }) = inner.map.remove(&key.0) {
+                    inner.bytes -= value.len();
+                }
+                self.shared.evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drops every `Ready` entry (in-flight slots are untouched).
+    pub fn clear(&self) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        let keys: Vec<u128> = inner
+            .map
+            .iter()
+            .filter_map(|(k, s)| matches!(s, Slot::Ready { .. }).then_some(*k))
+            .collect();
+        for k in keys {
+            if let Some(Slot::Ready { value, .. }) = inner.map.remove(&k) {
+                inner.bytes -= value.len();
+                self.shared.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Snapshot of the counters and resident-set size.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.shared.inner.lock().unwrap();
+        let entries = inner
+            .map
+            .values()
+            .filter(|s| matches!(s, Slot::Ready { .. }))
+            .count();
+        CacheStats {
+            hits: self.shared.hits.load(Ordering::Relaxed),
+            misses: self.shared.misses.load(Ordering::Relaxed),
+            joins: self.shared.joins.load(Ordering::Relaxed),
+            evictions: self.shared.evictions.load(Ordering::Relaxed),
+            abandoned: self.shared.abandoned.load(Ordering::Relaxed),
+            entries,
+            bytes: inner.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn bytes(s: &str) -> Arc<Vec<u8>> {
+        Arc::new(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn fnv1a_128_spec_vectors() {
+        // Offset basis: hash of the empty string.
+        assert_eq!(fnv1a_128(b""), 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d);
+        // One byte mixes: must differ from the basis and be deterministic.
+        assert_ne!(fnv1a_128(b"a"), fnv1a_128(b""));
+        assert_eq!(fnv1a_128(b"a"), fnv1a_128(b"a"));
+        assert_ne!(fnv1a_128(b"ab"), fnv1a_128(b"ba"));
+    }
+
+    #[test]
+    fn key_hex_is_32_digits() {
+        assert_eq!(CacheKey(0).to_hex().len(), 32);
+        assert_eq!(CacheKey(1).to_hex(), format!("{:032x}", 1));
+        assert_eq!(CacheKey(u128::MAX).to_hex(), "f".repeat(32));
+    }
+
+    #[test]
+    fn miss_then_hit_round_trip() {
+        let cache = ResultCache::new(8, 1 << 20);
+        let key = CacheKey::from_canonical(b"job-1");
+        let Lookup::Miss(guard) = cache.lookup(key) else {
+            panic!("expected cold miss");
+        };
+        guard.fulfill(bytes("result-1"), true);
+        match cache.lookup(key) {
+            Lookup::Hit { value, coalesced } => {
+                assert_eq!(&**value, b"result-1");
+                assert!(!coalesced);
+            }
+            Lookup::Miss(_) => panic!("expected hit after fulfill"),
+        }
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.entries), (1, 1, 1));
+        assert_eq!(st.bytes, "result-1".len());
+    }
+
+    #[test]
+    fn uncacheable_fulfill_serves_waiters_but_is_not_stored() {
+        let cache = ResultCache::new(8, 1 << 20);
+        let key = CacheKey::from_canonical(b"cancelled-job");
+        let Lookup::Miss(guard) = cache.lookup(key) else {
+            panic!("expected miss");
+        };
+        guard.fulfill(bytes("partial"), false);
+        assert!(matches!(cache.lookup(key), Lookup::Miss(_)));
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn abandoned_flight_promotes_next_caller() {
+        let cache = ResultCache::new(8, 1 << 20);
+        let key = CacheKey::from_canonical(b"flaky");
+        let Lookup::Miss(guard) = cache.lookup(key) else {
+            panic!("expected miss");
+        };
+        drop(guard); // leader dies
+        assert_eq!(cache.stats().abandoned, 1);
+        // Next lookup becomes the new leader, not a wedged waiter.
+        let Lookup::Miss(guard) = cache.lookup(key) else {
+            panic!("expected re-miss after abandon");
+        };
+        guard.fulfill(bytes("ok"), true);
+        assert!(matches!(cache.lookup(key), Lookup::Hit { .. }));
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_lookups() {
+        let cache = ResultCache::new(8, 1 << 20);
+        let key = CacheKey::from_canonical(b"shared");
+        let n = 8;
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let cache = cache.clone();
+            handles.push(thread::spawn(move || match cache.lookup(key) {
+                Lookup::Hit { value, .. } => (*value).clone(),
+                Lookup::Miss(guard) => {
+                    // Simulate work while others pile up.
+                    thread::sleep(std::time::Duration::from_millis(20));
+                    let v = bytes("computed-once");
+                    guard.fulfill(Arc::clone(&v), true);
+                    (*v).clone()
+                }
+            }));
+        }
+        let results: Vec<Vec<u8>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results {
+            assert_eq!(r, b"computed-once");
+        }
+        // Exactly one leader, everyone else hit or joined.
+        let st = cache.stats();
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.hits + st.joins, (n - 1) as u64);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_entry() {
+        let cache = ResultCache::new(2, 1 << 20);
+        let (a, b, c) = (
+            CacheKey::from_canonical(b"a"),
+            CacheKey::from_canonical(b"b"),
+            CacheKey::from_canonical(b"c"),
+        );
+        for (k, v) in [(a, "va"), (b, "vb")] {
+            let Lookup::Miss(g) = cache.lookup(k) else {
+                panic!()
+            };
+            g.fulfill(bytes(v), true);
+        }
+        // Touch `a` so `b` is the LRU victim.
+        assert!(matches!(cache.lookup(a), Lookup::Hit { .. }));
+        let Lookup::Miss(g) = cache.lookup(c) else {
+            panic!()
+        };
+        g.fulfill(bytes("vc"), true);
+        assert!(matches!(cache.lookup(a), Lookup::Hit { .. }));
+        assert!(matches!(cache.lookup(c), Lookup::Hit { .. }));
+        assert!(matches!(cache.lookup(b), Lookup::Miss(_)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_bound_evicts_until_satisfied() {
+        let cache = ResultCache::new(64, 10);
+        let keys: Vec<CacheKey> = (0..4)
+            .map(|i| CacheKey::from_canonical(format!("k{i}").as_bytes()))
+            .collect();
+        for k in &keys {
+            let Lookup::Miss(g) = cache.lookup(*k) else {
+                panic!()
+            };
+            g.fulfill(bytes("xxxx"), true); // 4 bytes each; bound 10 → ≤ 2 fit
+        }
+        let st = cache.stats();
+        assert!(st.bytes <= 10, "bytes {} > bound", st.bytes);
+        assert!(st.entries <= 2);
+        // Newest entry always survives.
+        assert!(matches!(cache.lookup(keys[3]), Lookup::Hit { .. }));
+    }
+
+    #[test]
+    fn explicit_evict_forces_recompute() {
+        let cache = ResultCache::new(8, 1 << 20);
+        let key = CacheKey::from_canonical(b"evict-me");
+        let Lookup::Miss(g) = cache.lookup(key) else {
+            panic!()
+        };
+        g.fulfill(bytes("v1"), true);
+        assert!(cache.evict(key));
+        assert!(!cache.evict(key)); // already gone
+        let Lookup::Miss(g) = cache.lookup(key) else {
+            panic!("expected miss after evict");
+        };
+        g.fulfill(bytes("v1"), true);
+        match cache.lookup(key) {
+            Lookup::Hit { value, .. } => assert_eq!(&**value, b"v1"),
+            Lookup::Miss(_) => panic!(),
+        }
+    }
+
+    #[test]
+    fn clear_empties_ready_set() {
+        let cache = ResultCache::new(8, 1 << 20);
+        for i in 0..3 {
+            let k = CacheKey::from_canonical(format!("c{i}").as_bytes());
+            let Lookup::Miss(g) = cache.lookup(k) else {
+                panic!()
+            };
+            g.fulfill(bytes("v"), true);
+        }
+        cache.clear();
+        let st = cache.stats();
+        assert_eq!((st.entries, st.bytes), (0, 0));
+    }
+
+    #[test]
+    fn oversized_single_value_stays_resident() {
+        // A value larger than max_bytes must not evict itself into a loop.
+        let cache = ResultCache::new(8, 4);
+        let key = CacheKey::from_canonical(b"big");
+        let Lookup::Miss(g) = cache.lookup(key) else {
+            panic!()
+        };
+        g.fulfill(bytes("way-more-than-four-bytes"), true);
+        // The lone oversized entry survives (bound best-effort for n=1).
+        assert!(matches!(cache.lookup(key), Lookup::Hit { .. }));
+    }
+}

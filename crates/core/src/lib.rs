@@ -38,6 +38,7 @@
 //! println!("minimum-energy configuration: {}", best.design);
 //! ```
 
+pub mod cache;
 pub mod checkpoint;
 pub mod composite;
 pub mod cycles;
@@ -53,6 +54,7 @@ pub mod spm;
 pub mod supervisor;
 pub mod telemetry;
 
+pub use cache::{fnv1a_128, CacheKey, CacheStats, FlightGuard, Lookup, ResultCache};
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use composite::{CompositeProgram, CompositeRecord};
 pub use cycles::CycleModel;

@@ -1135,6 +1135,20 @@ pub struct RunReport {
     pub cancelled: bool,
     /// Quarantines, failed flushes, and cancellations in time order.
     pub timeline: Vec<TimelineEntry>,
+    /// Serve jobs completed (from `job` point events).
+    pub jobs_done: u64,
+    /// Serve jobs that ended cancelled (deadline) rather than complete.
+    pub jobs_cancelled: u64,
+    /// Serve jobs answered from the result cache.
+    pub cache_hits: u64,
+    /// Serve jobs that simulated (cold cache miss).
+    pub cache_misses: u64,
+    /// Serve jobs coalesced onto a concurrent identical job (single-flight).
+    pub cache_joins: u64,
+    /// Deepest admission queue observed across serve jobs.
+    pub queue_depth_max: u64,
+    /// End-to-end serve job latencies (rebuilt, µs resolution).
+    pub job: LatencySummary,
 }
 
 impl RunReport {
@@ -1149,6 +1163,7 @@ impl RunReport {
         let sim = LatencyHistogram::new();
         let layout = LatencyHistogram::new();
         let flush = LatencyHistogram::new();
+        let job = LatencyHistogram::new();
         for (lineno, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
@@ -1224,6 +1239,22 @@ impl RunReport {
                                 ),
                             });
                         }
+                        "job" => {
+                            job.record(dur);
+                            report.jobs_done += 1;
+                            if event.str_field("status") == Some("cancelled") {
+                                report.jobs_cancelled += 1;
+                            }
+                            match event.str_field("cache") {
+                                Some("hit") => report.cache_hits += 1,
+                                Some("miss") => report.cache_misses += 1,
+                                Some("join") => report.cache_joins += 1,
+                                _ => {}
+                            }
+                            report.queue_depth_max = report
+                                .queue_depth_max
+                                .max(event.u64_field("queue_depth").unwrap_or(0));
+                        }
                         "deadline_cancel" => {
                             report.cancelled = true;
                             report.timeline.push(TimelineEntry {
@@ -1242,6 +1273,7 @@ impl RunReport {
         report.sim = sim.summary();
         report.layout = layout.summary();
         report.flush = flush.summary();
+        report.job = job.summary();
         Ok(report)
     }
 
@@ -1299,6 +1331,20 @@ impl fmt::Display for RunReport {
             if s.count > 0 {
                 writeln!(f, "  {name:<6}: {s}")?;
             }
+        }
+        if self.jobs_done > 0 {
+            writeln!(
+                f,
+                "serve: {} job(s) ({} cancelled), cache {} hit / {} miss / {} join, \
+                 max queue depth {}",
+                self.jobs_done,
+                self.jobs_cancelled,
+                self.cache_hits,
+                self.cache_misses,
+                self.cache_joins,
+                self.queue_depth_max
+            )?;
+            writeln!(f, "  job   : {}", self.job)?;
         }
         write!(
             f,

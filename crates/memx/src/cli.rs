@@ -24,6 +24,17 @@ USAGE:
                  [--deadline SECS] [--format text|csv|json]
                  [--part cy7c|lp2m|16m] [--em NJ] [--natural]
                  [--telemetry] [--log-json FILE] [--progress]
+  memx serve     [--addr HOST:PORT] [--slots N] [--cache-entries N]
+                 [--cache-bytes N] [--default-deadline SECS]
+                 [--log-json FILE] [--progress]
+  memx submit    ADDR KERNEL.mx [--job explore|pareto|search]
+                 [--part cy7c|lp2m|16m] [--em NJ] [--natural]
+                 [--analytical] [--bound-cycles N] [--bound-energy NJ]
+                 [--pareto] [--engine fused|per-design]
+                 [--format csv|json|text] [--exhaustive]
+                 [--objective energy|cycles|weighted=WE,WC]
+                 [--space paper|expansive] [--beam N] [--gap F]
+                 [--deadline SECS] [--wait-health SECS]
   memx report    LOG.jsonl
   memx simulate  KERNEL.mx --cache N --line N [--assoc N] [--tiling B]
                  [--natural] [--classify]
@@ -217,6 +228,65 @@ pub enum Command {
         telemetry: bool,
         /// Observability options (JSONL event log, live progress).
         obs: ObsFlags,
+    },
+    /// Run the sweep-as-a-service daemon: exploration jobs over
+    /// HTTP+JSON, fair scheduling onto a shared worker pool, and a
+    /// content-addressed result cache with single-flight deduplication.
+    Serve {
+        /// Listen address (`HOST:PORT`; port 0 picks a free port).
+        addr: String,
+        /// Concurrent job slots (0 = one per available core).
+        slots: usize,
+        /// Result-cache capacity in entries.
+        cache_entries: usize,
+        /// Result-cache capacity in bytes.
+        cache_bytes: usize,
+        /// Deadline applied to jobs that do not set one (`None` = no cap).
+        default_deadline: Option<f64>,
+        /// Observability options (JSONL event log, live progress).
+        obs: ObsFlags,
+    },
+    /// Submit one job to a running `memx serve` daemon and print its
+    /// response (the tiny client the CI smoke job and scripts use).
+    Submit {
+        /// Daemon address (`HOST:PORT`).
+        addr: String,
+        /// Path to the kernel file (read locally, sent in the request).
+        file: String,
+        /// Job kind: `explore` (default), `pareto`, or `search`.
+        job: String,
+        /// Off-chip part keyword (`cy7c`, `lp2m`, `16m`).
+        part: String,
+        /// Custom `Em` (nJ/access) overriding `part`.
+        em_nj: Option<f64>,
+        /// Use the natural (unoptimized) layout.
+        natural: bool,
+        /// explore: use the analytical miss-rate model.
+        analytical: bool,
+        /// explore: cycle bound for the min-energy selection.
+        bound_cycles: Option<f64>,
+        /// explore: energy bound (nJ) for the min-time selection.
+        bound_energy: Option<f64>,
+        /// explore: print the Pareto frontier.
+        pareto: bool,
+        /// Simulation engine (`fused` or `per-design`).
+        engine: String,
+        /// pareto/search output format.
+        format: Option<String>,
+        /// pareto: exhaustive instead of pruned.
+        exhaustive: bool,
+        /// search: objective to minimize.
+        objective: Option<Objective>,
+        /// search: grid keyword (`paper` or `expansive`).
+        space: String,
+        /// search: beam width.
+        beam: Option<usize>,
+        /// search: relative gap target.
+        gap: f64,
+        /// Per-job deadline in seconds.
+        deadline_secs: Option<f64>,
+        /// Poll `GET /v1/health` for up to SECS before submitting.
+        wait_health_secs: Option<f64>,
     },
     /// Render a run summary from a `--log-json` event log.
     Report {
@@ -573,6 +643,195 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 format,
                 telemetry,
                 obs,
+            })
+        }
+        "serve" => {
+            let mut addr = "127.0.0.1:7199".to_string();
+            let mut slots = 0usize;
+            let mut cache_entries = 256usize;
+            let mut cache_bytes = 64usize << 20;
+            let mut default_deadline = None;
+            let mut obs = ObsFlags::default();
+            while let Some(flag) = args.next() {
+                match flag {
+                    "--addr" => {
+                        let v = args.value_of(flag)?;
+                        if !v.contains(':') {
+                            return Err(err(format!("`--addr` needs HOST:PORT, got `{v}`")));
+                        }
+                        addr = v.to_string();
+                    }
+                    "--slots" => slots = parse_num(flag, args.value_of(flag)?)?,
+                    "--cache-entries" => {
+                        let n: usize = parse_num(flag, args.value_of(flag)?)?;
+                        if n == 0 {
+                            return Err(err("`--cache-entries` must be at least 1"));
+                        }
+                        cache_entries = n;
+                    }
+                    "--cache-bytes" => {
+                        let n: usize = parse_num(flag, args.value_of(flag)?)?;
+                        if n == 0 {
+                            return Err(err("`--cache-bytes` must be at least 1"));
+                        }
+                        cache_bytes = n;
+                    }
+                    "--default-deadline" => {
+                        let d: f64 = parse_num(flag, args.value_of(flag)?)?;
+                        if d <= 0.0 || d.is_nan() {
+                            return Err(err(
+                                "`--default-deadline` must be a positive number of seconds",
+                            ));
+                        }
+                        default_deadline = Some(d);
+                    }
+                    other => {
+                        if !obs.parse_flag(other, &mut args)? {
+                            return Err(err(format!("unknown flag `{other}` for serve")));
+                        }
+                    }
+                }
+            }
+            Ok(Command::Serve {
+                addr,
+                slots,
+                cache_entries,
+                cache_bytes,
+                default_deadline,
+                obs,
+            })
+        }
+        "submit" => {
+            let addr = args
+                .next()
+                .ok_or_else(|| err("submit needs a daemon ADDR (HOST:PORT)"))?
+                .to_string();
+            if !addr.contains(':') {
+                return Err(err(format!("submit ADDR needs HOST:PORT, got `{addr}`")));
+            }
+            let file = args
+                .next()
+                .ok_or_else(|| err("submit needs a kernel file"))?
+                .to_string();
+            let mut job = "explore".to_string();
+            let mut part = "cy7c".to_string();
+            let mut em_nj = None;
+            let mut natural = false;
+            let mut analytical = false;
+            let mut bound_cycles = None;
+            let mut bound_energy = None;
+            let mut pareto = false;
+            let mut engine = "fused".to_string();
+            let mut format = None;
+            let mut exhaustive = false;
+            let mut objective = None;
+            let mut space = "paper".to_string();
+            let mut beam = None;
+            let mut gap = 0.0f64;
+            let mut deadline_secs = None;
+            let mut wait_health_secs = None;
+            while let Some(flag) = args.next() {
+                match flag {
+                    "--job" => {
+                        let v = args.value_of(flag)?;
+                        if !["explore", "pareto", "search"].contains(&v) {
+                            return Err(err(format!(
+                                "unknown job `{v}` (expected explore, pareto, or search)"
+                            )));
+                        }
+                        job = v.to_string();
+                    }
+                    "--part" => {
+                        let v = args.value_of(flag)?;
+                        if !["cy7c", "lp2m", "16m"].contains(&v) {
+                            return Err(err(format!(
+                                "unknown part `{v}` (expected cy7c, lp2m, or 16m)"
+                            )));
+                        }
+                        part = v.to_string();
+                    }
+                    "--em" => em_nj = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--natural" => natural = true,
+                    "--analytical" => analytical = true,
+                    "--bound-cycles" => bound_cycles = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--bound-energy" => bound_energy = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--pareto" => pareto = true,
+                    "--engine" => engine = parse_engine(args.value_of(flag)?)?,
+                    "--format" => {
+                        let v = args.value_of(flag)?;
+                        if !["text", "csv", "json"].contains(&v) {
+                            return Err(err(format!(
+                                "unknown format `{v}` (expected text, csv, or json)"
+                            )));
+                        }
+                        format = Some(v.to_string());
+                    }
+                    "--exhaustive" => exhaustive = true,
+                    "--objective" => {
+                        objective = Some(args.value_of(flag)?.parse().map_err(err)?);
+                    }
+                    "--space" => {
+                        let v = args.value_of(flag)?;
+                        if !["paper", "expansive"].contains(&v) {
+                            return Err(err(format!(
+                                "unknown space `{v}` (expected paper or expansive)"
+                            )));
+                        }
+                        space = v.to_string();
+                    }
+                    "--beam" => {
+                        let n: usize = parse_num(flag, args.value_of(flag)?)?;
+                        if n == 0 {
+                            return Err(err("`--beam` must be at least 1"));
+                        }
+                        beam = Some(n);
+                    }
+                    "--gap" => {
+                        let g: f64 = parse_num(flag, args.value_of(flag)?)?;
+                        if !g.is_finite() || g < 0.0 {
+                            return Err(err("`--gap` must be a finite non-negative fraction"));
+                        }
+                        gap = g;
+                    }
+                    "--deadline" => {
+                        let d: f64 = parse_num(flag, args.value_of(flag)?)?;
+                        if d <= 0.0 || d.is_nan() {
+                            return Err(err("`--deadline` must be a positive number of seconds"));
+                        }
+                        deadline_secs = Some(d);
+                    }
+                    "--wait-health" => {
+                        let d: f64 = parse_num(flag, args.value_of(flag)?)?;
+                        if d <= 0.0 || d.is_nan() {
+                            return Err(err(
+                                "`--wait-health` must be a positive number of seconds",
+                            ));
+                        }
+                        wait_health_secs = Some(d);
+                    }
+                    other => return Err(err(format!("unknown flag `{other}` for submit"))),
+                }
+            }
+            Ok(Command::Submit {
+                addr,
+                file,
+                job,
+                part,
+                em_nj,
+                natural,
+                analytical,
+                bound_cycles,
+                bound_energy,
+                pareto,
+                engine,
+                format,
+                exhaustive,
+                objective,
+                space,
+                beam,
+                gap,
+                deadline_secs,
+                wait_health_secs,
             })
         }
         "report" => {
@@ -985,6 +1244,145 @@ mod tests {
             other => panic!("wrong command: {other:?}"),
         }
         assert!(parse_args(&argv("explore k.mx --log-json")).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        match parse_args(&argv("serve")).expect("valid") {
+            Command::Serve {
+                addr,
+                slots,
+                cache_entries,
+                cache_bytes,
+                default_deadline,
+                obs,
+            } => {
+                assert_eq!(addr, "127.0.0.1:7199");
+                assert_eq!(slots, 0);
+                assert_eq!(cache_entries, 256);
+                assert_eq!(cache_bytes, 64 << 20);
+                assert_eq!(default_deadline, None);
+                assert!(!obs.is_active());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse_args(&argv(
+            "serve --addr 0.0.0.0:9000 --slots 4 --cache-entries 8 --cache-bytes 1024 \
+             --default-deadline 30 --log-json serve.jsonl --progress",
+        ))
+        .expect("valid")
+        {
+            Command::Serve {
+                addr,
+                slots,
+                cache_entries,
+                cache_bytes,
+                default_deadline,
+                obs,
+            } => {
+                assert_eq!(addr, "0.0.0.0:9000");
+                assert_eq!(slots, 4);
+                assert_eq!(cache_entries, 8);
+                assert_eq!(cache_bytes, 1024);
+                assert_eq!(default_deadline, Some(30.0));
+                assert_eq!(obs.log_json.as_deref(), Some("serve.jsonl"));
+                assert!(obs.progress);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_values() {
+        for (line, needle) in [
+            ("serve --addr nocolon", "HOST:PORT"),
+            ("serve --cache-entries 0", "--cache-entries"),
+            ("serve --cache-bytes 0", "--cache-bytes"),
+            ("serve --default-deadline 0", "--default-deadline"),
+            ("serve --default-deadline -5", "--default-deadline"),
+            ("serve --telemetry", "unknown flag"),
+            ("serve --wat", "unknown flag"),
+        ] {
+            let e = parse_args(&argv(line)).expect_err(line);
+            assert!(e.0.contains(needle), "{line}: {e}");
+        }
+    }
+
+    #[test]
+    fn submit_defaults_and_flags() {
+        match parse_args(&argv("submit 127.0.0.1:7199 k.mx")).expect("valid") {
+            Command::Submit {
+                addr,
+                file,
+                job,
+                part,
+                engine,
+                format,
+                objective,
+                space,
+                gap,
+                wait_health_secs,
+                ..
+            } => {
+                assert_eq!(addr, "127.0.0.1:7199");
+                assert_eq!(file, "k.mx");
+                assert_eq!(job, "explore");
+                assert_eq!(part, "cy7c");
+                assert_eq!(engine, "fused");
+                assert_eq!(format, None);
+                assert_eq!(objective, None);
+                assert_eq!(space, "paper");
+                assert_eq!(gap, 0.0);
+                assert_eq!(wait_health_secs, None);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse_args(&argv(
+            "submit h:1 k.mx --job search --objective cycles --space expansive \
+             --beam 8 --gap 0.05 --deadline 10 --wait-health 5 --format json",
+        ))
+        .expect("valid")
+        {
+            Command::Submit {
+                job,
+                objective,
+                space,
+                beam,
+                gap,
+                deadline_secs,
+                wait_health_secs,
+                format,
+                ..
+            } => {
+                assert_eq!(job, "search");
+                assert_eq!(objective, Some(Objective::Cycles));
+                assert_eq!(space, "expansive");
+                assert_eq!(beam, Some(8));
+                assert_eq!(gap, 0.05);
+                assert_eq!(deadline_secs, Some(10.0));
+                assert_eq!(wait_health_secs, Some(5.0));
+                assert_eq!(format.as_deref(), Some("json"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_rejects_bad_values() {
+        for (line, needle) in [
+            ("submit", "ADDR"),
+            ("submit nocolon k.mx", "HOST:PORT"),
+            ("submit h:1", "kernel file"),
+            ("submit h:1 k.mx --job simulate", "unknown job"),
+            ("submit h:1 k.mx --beam 0", "--beam"),
+            ("submit h:1 k.mx --gap -1", "--gap"),
+            ("submit h:1 k.mx --deadline 0", "--deadline"),
+            ("submit h:1 k.mx --wait-health 0", "--wait-health"),
+            ("submit h:1 k.mx --telemetry", "unknown flag"),
+        ] {
+            let e = parse_args(&argv(line)).expect_err(line);
+            assert!(e.0.contains(needle), "{line}: {e}");
+        }
     }
 
     #[test]

@@ -125,7 +125,9 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
                 engine_kind(&engine),
                 &supervise,
                 &obs,
+                None,
             )
+            .map(|(out, _)| out)
         }
         Command::Pareto {
             file,
@@ -150,7 +152,9 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
                 engine_kind(&engine),
                 &supervise,
                 &obs,
+                None,
             )
+            .map(|(out, _)| out)
         }
         Command::Search {
             file,
@@ -179,8 +183,95 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
                 &format,
                 telemetry,
                 &obs,
+                None,
             )
+            .map(|(out, _)| out)
         }
+        Command::Serve {
+            addr,
+            slots,
+            cache_entries,
+            cache_bytes,
+            default_deadline,
+            obs,
+        } => {
+            let obs_hub = build_obs(&obs)?;
+            let server = crate::serve::Server::start(crate::serve::ServeConfig {
+                addr: addr.clone(),
+                slots,
+                cache_entries,
+                cache_bytes,
+                default_deadline,
+                obs: obs_hub,
+            })
+            .map_err(|e| RunError::Io(format!("cannot listen on `{addr}`: {e}")))?;
+            // The listening line goes out before blocking (the CI smoke
+            // job and scripts wait for it), so print directly rather than
+            // through the deferred `Output`.
+            println!(
+                "memx serve listening on {} ({} job slot(s), cache {} entries / {} B)",
+                server.addr(),
+                if slots == 0 {
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                } else {
+                    slots
+                },
+                cache_entries,
+                cache_bytes
+            );
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+            crate::serve::install_signal_handlers();
+            while !crate::serve::signal_received() && !server.is_stopped() {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            server.request_shutdown();
+            server.join();
+            Ok(Output {
+                stdout: String::new(),
+                stderr: "memx serve: shut down cleanly\n".to_string(),
+            })
+        }
+        Command::Submit {
+            addr,
+            file,
+            job,
+            part,
+            em_nj,
+            natural,
+            analytical,
+            bound_cycles,
+            bound_energy,
+            pareto,
+            engine,
+            format,
+            exhaustive,
+            objective,
+            space,
+            beam,
+            gap,
+            deadline_secs,
+            wait_health_secs,
+        } => crate::serve::submit(&crate::serve::SubmitRequest {
+            addr,
+            file,
+            job,
+            part,
+            em_nj,
+            natural,
+            analytical,
+            bound_cycles,
+            bound_energy,
+            pareto,
+            engine,
+            format,
+            exhaustive,
+            objective,
+            space,
+            beam,
+            gap,
+            deadline_secs,
+            wait_health_secs,
+        }),
         Command::Report { file } => report(&file),
         Command::Simulate {
             file,
@@ -291,7 +382,7 @@ fn simulate_din(
 
 /// Maps the validated `--engine` keyword to the sweep engine (the parser
 /// only lets `fused` and `per-design` through).
-fn engine_kind(engine: &str) -> Engine {
+pub(crate) fn engine_kind(engine: &str) -> Engine {
     match engine {
         "per-design" => Engine::PerDesign,
         _ => Engine::Fused,
@@ -300,7 +391,7 @@ fn engine_kind(engine: &str) -> Engine {
 
 /// Builds the evaluator shared by `explore` and `pareto`: off-chip part
 /// from the keyword (or a custom `Em`), optionally with natural layout.
-fn make_evaluator(part: &str, em_nj: Option<f64>, natural: bool) -> Evaluator {
+pub(crate) fn make_evaluator(part: &str, em_nj: Option<f64>, natural: bool) -> Evaluator {
     let part = match em_nj {
         Some(em) => SramPart::custom(format!("custom (Em = {em} nJ)"), em),
         None => match part {
@@ -316,7 +407,7 @@ fn make_evaluator(part: &str, em_nj: Option<f64>, natural: bool) -> Evaluator {
     evaluator
 }
 
-fn load(path: &str) -> Result<Kernel, RunError> {
+pub(crate) fn load(path: &str) -> Result<Kernel, RunError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| RunError::Io(format!("cannot read `{path}`: {e}")))?;
     parse_kernel(&text).map_err(|e| RunError::Other(format!("{path}: {e}").into()))
@@ -554,8 +645,11 @@ fn run_supervised(
     Ok(outcome)
 }
 
+/// Runs the exhaustive sweep (`memx explore`). The bool in the result is
+/// the cancellation flag (deadline reached → partial output) — the serve
+/// layer uses it to keep partial results out of the cache.
 #[allow(clippy::too_many_arguments)]
-fn explore(
+pub(crate) fn explore(
     kernel: &Kernel,
     evaluator: Evaluator,
     analytical: bool,
@@ -566,7 +660,8 @@ fn explore(
     engine: Engine,
     supervise: &Supervise,
     obs_flags: &ObsFlags,
-) -> Result<Output, RunError> {
+    workers: Option<usize>,
+) -> Result<(Output, bool), RunError> {
     let mut stderr = String::new();
     let space = DesignSpace::paper();
     let designs = space.designs();
@@ -592,6 +687,9 @@ fn explore(
     } else {
         let obs = build_obs(obs_flags)?;
         let mut explorer = Explorer::new(evaluator).with_engine(engine);
+        if let Some(w) = workers {
+            explorer = explorer.with_workers(w);
+        }
         if let Some(o) = &obs {
             explorer = explorer.with_obs(Arc::clone(o));
         }
@@ -655,6 +753,7 @@ fn explore(
     }
     // The summary goes to stderr, never into the record stream: with
     // `--telemetry` a piped stdout must stay exactly the records.
+    let cancelled = sweep_telemetry.as_ref().is_some_and(|t| t.cancelled);
     if telemetry {
         match sweep_telemetry {
             Some(t) => {
@@ -668,16 +767,19 @@ fn explore(
             }
         }
     }
-    Ok(Output {
-        stdout: out,
-        stderr,
-    })
+    Ok((
+        Output {
+            stdout: out,
+            stderr,
+        },
+        cancelled,
+    ))
 }
 
 /// The one-line record format shared by `explore` and `search` stdout,
 /// so the two commands' `minimum energy :` / `minimum time   :` lines
 /// stay byte-diffable (the CI search smoke job greps exactly that).
-fn fmt_record(r: &memexplore::Record) -> String {
+pub(crate) fn fmt_record(r: &memexplore::Record) -> String {
     format!(
         "{}  miss rate {:.3}  cycles {:.0}  energy {:.0} nJ",
         r.design, r.miss_rate, r.cycles, r.energy_nj
@@ -687,7 +789,7 @@ fn fmt_record(r: &memexplore::Record) -> String {
 /// Runs the certified bound-guided search (`memx search`) and renders the
 /// incumbent plus its gap certificate in the requested format.
 #[allow(clippy::too_many_arguments)]
-fn search(
+pub(crate) fn search(
     kernel: &Kernel,
     evaluator: Evaluator,
     objective: Objective,
@@ -698,7 +800,8 @@ fn search(
     format: &str,
     telemetry: bool,
     obs_flags: &ObsFlags,
-) -> Result<Output, RunError> {
+    workers: Option<usize>,
+) -> Result<(Output, bool), RunError> {
     let mut stderr = String::new();
     let space = if space_name == "expansive" {
         DesignSpace::expansive()
@@ -708,6 +811,9 @@ fn search(
     check_space_inputs(kernel, &space, &mut stderr)?;
     let obs = build_obs(obs_flags)?;
     let mut explorer = Explorer::new(evaluator);
+    if let Some(w) = workers {
+        explorer = explorer.with_workers(w);
+    }
     if let Some(o) = &obs {
         explorer = explorer.with_obs(Arc::clone(o));
     }
@@ -863,14 +969,17 @@ fn search(
             }
         }
     }
-    Ok(Output {
-        stdout: out,
-        stderr,
-    })
+    Ok((
+        Output {
+            stdout: out,
+            stderr,
+        },
+        outcome.cancelled,
+    ))
 }
 
 #[allow(clippy::too_many_arguments)]
-fn pareto_frontier(
+pub(crate) fn pareto_frontier(
     kernel: &Kernel,
     evaluator: Evaluator,
     format: &str,
@@ -879,13 +988,17 @@ fn pareto_frontier(
     engine: Engine,
     supervise: &Supervise,
     obs_flags: &ObsFlags,
-) -> Result<Output, RunError> {
+    workers: Option<usize>,
+) -> Result<(Output, bool), RunError> {
     let mut stderr = String::new();
     let space = DesignSpace::paper();
     let designs = space.designs();
     check_sweep_inputs(kernel, &designs, &mut stderr)?;
     let obs = build_obs(obs_flags)?;
     let mut explorer = Explorer::new(evaluator).with_engine(engine);
+    if let Some(w) = workers {
+        explorer = explorer.with_workers(w);
+    }
     if let Some(o) = &obs {
         explorer = explorer.with_obs(Arc::clone(o));
     }
@@ -908,6 +1021,7 @@ fn pareto_frontier(
     if let Some(o) = &obs {
         o.finish();
     }
+    let cancelled = sweep.cancelled;
     if frontier.is_empty() {
         let _ = writeln!(
             stderr,
@@ -985,10 +1099,13 @@ fn pareto_frontier(
             let _ = writeln!(stderr, "{sweep}");
         }
     }
-    Ok(Output {
-        stdout: out,
-        stderr,
-    })
+    Ok((
+        Output {
+            stdout: out,
+            stderr,
+        },
+        cancelled,
+    ))
 }
 
 fn simulate(

@@ -21,6 +21,8 @@
 
 pub mod cli;
 pub mod commands;
+pub mod serve;
 
 pub use cli::{parse_args, Command, ObsFlags, Supervise, UsageError};
 pub use commands::{run, Output, RunError};
+pub use serve::{http_request, wait_health, JobSpec, ServeConfig, Server, SubmitRequest};

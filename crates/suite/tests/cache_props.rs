@@ -1,0 +1,193 @@
+//! Property tests of the content-addressed job cache:
+//!
+//! 1. **Canonicalization** — semantically identical job requests hash to
+//!    the same key no matter how the JSON is spelled: key order permuted,
+//!    whitespace varied, defaulted fields written out explicitly.
+//! 2. **Sensitivity** — changing any single model/grid/objective
+//!    parameter changes the key.
+//! 3. **Integrity under eviction** — an LRU cache under random
+//!    insert/lookup/evict pressure never serves stale or truncated
+//!    bytes: every hit is bit-exactly the value fulfilled for that key.
+
+mod common;
+
+use common::kernel_source;
+use memexplore::obs::parse_json;
+use memexplore::{CacheKey, Lookup, ResultCache};
+use memx::serve::JobSpec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Splitmix-style deterministic shuffle (proptest drives the seed).
+fn shuffled<T: Clone>(items: &[T], mut seed: u64) -> Vec<T> {
+    let mut v = items.to_vec();
+    for i in (1..v.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Renders a JSON object from `(key, raw-value)` members with
+/// seed-driven whitespace between tokens.
+fn render(members: &[(String, String)], mut seed: u64) -> String {
+    let mut ws = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        match (seed >> 33) % 4 {
+            0 => "",
+            1 => " ",
+            2 => "\n  ",
+            _ => "\t",
+        }
+    };
+    let mut s = String::from("{");
+    for (i, (k, v)) in members.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(ws());
+        s.push('"');
+        s.push_str(k);
+        s.push_str("\":");
+        s.push_str(ws());
+        s.push_str(v);
+    }
+    s.push_str(ws());
+    s.push('}');
+    s
+}
+
+fn key_of(body: &str) -> CacheKey {
+    let json = parse_json(body).expect("generated body is valid JSON");
+    JobSpec::from_json(&json)
+        .unwrap_or_else(|e| panic!("generated body is a valid job: {e} in {body}"))
+        .cache_key()
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::new();
+    memexplore::obs::push_json_str(&mut out, s);
+    out
+}
+
+/// The non-default explore knobs, as `(key, raw JSON value)` members, and
+/// their spelled-out default counterparts.
+fn explore_knobs() -> Vec<(String, String, String)> {
+    vec![
+        ("part".into(), "\"lp2m\"".into(), "\"cy7c\"".into()),
+        ("em_nj".into(), "2.5".into(), String::new()),
+        ("natural".into(), "true".into(), "false".into()),
+        ("analytical".into(), "true".into(), "false".into()),
+        ("bound_cycles".into(), "12000".into(), String::new()),
+        ("bound_energy".into(), "90000".into(), String::new()),
+        ("pareto".into(), "true".into(), "false".into()),
+        ("engine".into(), "\"per-design\"".into(), "\"fused\"".into()),
+    ]
+}
+
+proptest! {
+    /// Canonicalization: permuting member order, varying whitespace, and
+    /// writing defaults explicitly never changes the key.
+    #[test]
+    fn key_is_invariant_to_spelling(
+        include in proptest::collection::vec(proptest::bool::ANY, 8),
+        perm_a in 0u64..u64::MAX,
+        perm_b in 0u64..u64::MAX,
+        ws_a in 0u64..u64::MAX,
+        ws_b in 0u64..u64::MAX,
+        explicit_defaults in proptest::bool::ANY,
+    ) {
+        let kernel = json_str(&kernel_source("compress"));
+        let mut members: Vec<(String, String)> = vec![
+            ("command".into(), "\"explore\"".into()),
+            ("kernel".into(), kernel),
+        ];
+        for (on, (k, set, default)) in include.iter().zip(explore_knobs()) {
+            if *on {
+                members.push((k, set));
+            } else if explicit_defaults && !default.is_empty() {
+                // Spell the default out in one body, omit it in the other:
+                // both must hash identically.
+                members.push((k, default));
+            }
+        }
+        let body_a = render(&shuffled(&members, perm_a), ws_a);
+        // The second rendering drops the explicit defaults.
+        let set_members: Vec<(String, String)> = members
+            .iter()
+            .filter(|(k, v)| {
+                k == "command"
+                    || k == "kernel"
+                    || !explore_knobs()
+                        .iter()
+                        .any(|(dk, _, dv)| dk == k && dv == v)
+            })
+            .cloned()
+            .collect();
+        let body_b = render(&shuffled(&set_members, perm_b), ws_b);
+        prop_assert_eq!(key_of(&body_a), key_of(&body_b), "{} vs {}", body_a, body_b);
+    }
+
+    /// Sensitivity: flipping any single knob away from the base request
+    /// produces a different key.
+    #[test]
+    fn key_changes_with_any_single_knob(knob in 0usize..8) {
+        let kernel = json_str(&kernel_source("compress"));
+        let base = format!("{{\"command\":\"explore\",\"kernel\":{kernel}}}");
+        let (k, set, _) = explore_knobs().swap_remove(knob);
+        let varied = format!("{{\"command\":\"explore\",\"kernel\":{kernel},\"{k}\":{set}}}");
+        prop_assert!(key_of(&base) != key_of(&varied), "knob {} did not perturb the key", k);
+    }
+
+    /// Integrity: under random insert/lookup/evict pressure with tight
+    /// entry and byte bounds, a hit always returns the exact bytes
+    /// fulfilled for that key — never truncated, never another key's.
+    #[test]
+    fn lru_never_serves_stale_or_truncated_bytes(
+        ops in proptest::collection::vec((0u8..3, 0u64..12, 1usize..64), 1..120),
+        max_entries in 1usize..6,
+        max_bytes in 16usize..256,
+    ) {
+        let cache = ResultCache::new(max_entries, max_bytes);
+        // The authoritative value for key k is k repeated `len` times —
+        // recomputable, so re-simulation after eviction is modelled too.
+        let value_for = |k: u64, len: usize| -> Vec<u8> {
+            std::iter::repeat_n(k as u8, len).collect()
+        };
+        let mut lens: HashMap<u64, usize> = HashMap::new();
+        for (op, k, len) in ops {
+            let key = CacheKey(u128::from(k));
+            match op {
+                // Lookup; on miss, fulfill with the canonical value.
+                0 | 1 => {
+                    let len = *lens.entry(k).or_insert(len);
+                    match cache.lookup(key) {
+                        Lookup::Hit { value, .. } => {
+                            let want = value_for(k, len);
+                            prop_assert_eq!(
+                                value.as_slice(),
+                                want.as_slice(),
+                                "hit for key {} returned wrong bytes", k
+                            );
+                        }
+                        Lookup::Miss(flight) => {
+                            flight.fulfill(Arc::new(value_for(k, len)), true);
+                        }
+                    }
+                }
+                // Evict (a no-op unless resident).
+                _ => {
+                    cache.evict(key);
+                }
+            }
+            let stats = cache.stats();
+            prop_assert!(stats.entries <= max_entries);
+        }
+    }
+}

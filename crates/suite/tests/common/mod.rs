@@ -1,0 +1,66 @@
+//! Shared helpers for the `memx serve` test battery: the paper kernels
+//! as `.mx` sources, a tiny job-request builder, and response accessors.
+//!
+//! Each integration test binary compiles this module independently, so
+//! not every helper is used by every test.
+#![allow(dead_code)]
+
+use memexplore::obs::{parse_json, push_json_str, Json};
+use memx::serve::HttpResponse;
+use memx::{http_request, Server};
+
+/// The five kernels of the paper's evaluation, as shipped `.mx` files.
+pub const PAPER_KERNELS: &[&str] = &["compress", "matmul", "pde", "sor", "dequant"];
+
+/// Path to a shipped kernel file (`examples/kernels/<name>.mx`).
+pub fn kernel_path(name: &str) -> String {
+    format!(
+        "{}/../../examples/kernels/{name}.mx",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+/// The `.mx` source of a shipped kernel.
+pub fn kernel_source(name: &str) -> String {
+    let path = kernel_path(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// Builds a `POST /v1/jobs` body: `command`, inline `kernel`, plus any
+/// extra pre-rendered JSON members (`",\"engine\":\"fused\""`).
+pub fn job_body(command: &str, kernel_text: &str, extra: &str) -> String {
+    let mut b = String::from("{\"command\":");
+    push_json_str(&mut b, command);
+    b.push_str(",\"kernel\":");
+    push_json_str(&mut b, kernel_text);
+    b.push_str(extra);
+    b.push('}');
+    b
+}
+
+/// Posts one job to a live server and returns the raw response.
+pub fn post_job(server: &Server, body: &str) -> HttpResponse {
+    let addr = server.addr().to_string();
+    http_request(&addr, "POST", "/v1/jobs", body.as_bytes()).expect("daemon reachable")
+}
+
+/// The `X-Memx-Cache` disposition header (`hit`, `miss`, `join`).
+pub fn cache_disposition(response: &HttpResponse) -> &str {
+    response
+        .headers
+        .get("x-memx-cache")
+        .map_or("<absent>", String::as_str)
+}
+
+/// Parses the response body as JSON.
+pub fn body_json(response: &HttpResponse) -> Json {
+    let text = std::str::from_utf8(&response.body).expect("response body is UTF-8");
+    parse_json(text).unwrap_or_else(|e| panic!("malformed response body {text:?}: {e}"))
+}
+
+/// A required string field of the response body.
+pub fn body_str<'a>(json: &'a Json, key: &str) -> &'a str {
+    json.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("response body lacks string field `{key}`"))
+}

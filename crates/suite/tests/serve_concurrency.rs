@@ -1,0 +1,165 @@
+//! Concurrency battery for `memx serve`: single-flight deduplication
+//! (N identical submissions simulate exactly once — asserted through the
+//! observability counters, not just the cache stats), and graceful
+//! termination of mixed jobs under a tight deadline (every response is a
+//! well-formed complete-or-cancelled body with a typed status).
+
+mod common;
+
+use common::{body_json, body_str, cache_disposition, job_body, kernel_source, post_job};
+use memexplore::obs::{Obs, ObsConfig, ObsSink, RunReport};
+use memx::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Self-cleaning unique temp path for the JSONL event log.
+struct TempLog {
+    path: PathBuf,
+}
+
+impl TempLog {
+    fn new() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        TempLog {
+            path: std::env::temp_dir()
+                .join(format!("memx-serve-conc-{}-{n}.jsonl", std::process::id())),
+        }
+    }
+}
+
+impl Drop for TempLog {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[test]
+fn identical_concurrent_jobs_simulate_exactly_once() {
+    const CLIENTS: usize = 8;
+    let log = TempLog::new();
+    let obs = Obs::new(ObsConfig {
+        log: Some(ObsSink::Path(log.path.clone())),
+        progress: false,
+        run_id: None,
+    })
+    .expect("temp log is writable");
+    let server = Server::start(ServeConfig {
+        obs: Some(obs),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+
+    let body = job_body("explore", &kernel_source("compress"), "");
+    let responses: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| scope.spawn(|| post_job(&server, &body)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every client gets the complete result, byte-identical across all.
+    for r in &responses {
+        assert_eq!(r.code, 200);
+        assert_eq!(body_str(&body_json(r), "status"), "complete");
+        assert_eq!(r.body, responses[0].body, "response bodies diverged");
+    }
+    // Exactly one simulation: one miss (the leader), everyone else a hit
+    // or an in-flight join. On a single-core box the leader often
+    // finishes before later clients connect, so the hit/join split is
+    // load-dependent — the miss count is not.
+    let stats = server.cache().stats();
+    assert_eq!(stats.misses, 1, "single-flight broke: {stats:?}");
+    assert_eq!(
+        stats.hits + stats.joins,
+        (CLIENTS - 1) as u64,
+        "every non-leader must be served from the flight or the cache: {stats:?}"
+    );
+
+    // The same invariant must be visible through the observability layer
+    // (this is what `memx report` renders for operators).
+    server.request_shutdown();
+    server.join();
+    let text = std::fs::read_to_string(&log.path).expect("event log exists");
+    let report = RunReport::from_jsonl(&text).expect("valid JSONL");
+    assert_eq!(report.jobs_done, CLIENTS as u64, "{report}");
+    assert_eq!(report.jobs_cancelled, 0, "{report}");
+    assert_eq!(report.cache_misses, 1, "{report}");
+    assert_eq!(report.cache_hits + report.cache_joins, (CLIENTS - 1) as u64);
+}
+
+#[test]
+fn mixed_jobs_under_tight_deadline_terminate_well_formed() {
+    let server = Server::start(ServeConfig::default()).expect("bind ephemeral port");
+
+    // Distinct jobs across kernels and kinds. MatMult's 31^3 nest cannot
+    // finish a debug sweep in 50 ms, so at least one job cancels; the
+    // cheap search jobs may complete. Either way every response must be
+    // a typed, well-formed body.
+    let jobs: Vec<String> = vec![
+        job_body(
+            "explore",
+            &kernel_source("matmul"),
+            ",\"deadline_secs\":0.05",
+        ),
+        job_body(
+            "pareto",
+            &kernel_source("matmul"),
+            ",\"deadline_secs\":0.05",
+        ),
+        job_body(
+            "search",
+            &kernel_source("compress"),
+            ",\"deadline_secs\":30",
+        ),
+        job_body(
+            "search",
+            &kernel_source("dequant"),
+            ",\"deadline_secs\":0.05",
+        ),
+    ];
+    let responses: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|b| scope.spawn(|| post_job(&server, b)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut cancelled = 0;
+    for (r, body) in responses.iter().zip(&jobs) {
+        assert_eq!(r.code, 200, "job {body} failed");
+        let json = body_json(r);
+        let status = body_str(&json, "status");
+        assert!(
+            status == "complete" || status == "cancelled",
+            "job {body}: unexpected status {status}"
+        );
+        // The typed header mirrors the body's status field.
+        assert_eq!(
+            r.headers.get("x-memx-status").map(String::as_str),
+            Some(status)
+        );
+        if status == "cancelled" {
+            cancelled += 1;
+            // Partial results are answered but never cached: the same
+            // request must re-simulate.
+            let again = post_job(&server, body);
+            assert_eq!(
+                cache_disposition(&again),
+                "miss",
+                "cancelled job was cached"
+            );
+        }
+    }
+    assert!(
+        cancelled >= 1,
+        "the matmul sweep should have hit its 50 ms deadline"
+    );
+
+    // The long-deadline search completed and IS cached.
+    let warm = post_job(&server, &jobs[2]);
+    assert_eq!(cache_disposition(&warm), "hit");
+    server.request_shutdown();
+    server.join();
+}

@@ -53,6 +53,7 @@ pub mod select;
 pub mod spm;
 pub mod supervisor;
 pub mod telemetry;
+pub mod workload;
 
 pub use cache::{fnv1a_128, CacheKey, CacheStats, FlightGuard, Lookup, ResultCache};
 pub use checkpoint::{Checkpoint, CheckpointError};
@@ -68,3 +69,4 @@ pub use obs::{
 pub use search::{Objective, SearchOptions, SearchOutcome};
 pub use supervisor::{CheckpointPolicy, SweepError, SweepOptions, SweepOutcome};
 pub use telemetry::SweepTelemetry;
+pub use workload::{trace_sweep_id, TraceError, TraceWorkload, TRACE_BANK_WIDTH};

@@ -352,6 +352,35 @@ impl Evaluator {
             .collect()
     }
 
+    /// Converts finished [`memsim::SimReport`]s of a bank scan into
+    /// [`Record`]s, in input order — the public tail of the evaluation
+    /// pipeline for callers that drive the replay themselves (the
+    /// streaming sweep feeds a [`ReplayBank`] chunk by chunk and finishes
+    /// it here, so its records share the exact cycle/energy model path of
+    /// [`evaluate_bank_with_trace`](Self::evaluate_bank_with_trace)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` and `designs` differ in length.
+    pub fn evaluate_bank_reports(
+        &self,
+        designs: &[(CacheDesign, bool)],
+        reports: &[memsim::SimReport],
+    ) -> Vec<Record> {
+        assert_eq!(
+            designs.len(),
+            reports.len(),
+            "one report per bank design expected"
+        );
+        reports
+            .iter()
+            .zip(designs)
+            .map(|(report, &(design, conflict_free))| {
+                self.record_from_report(design, report, conflict_free)
+            })
+            .collect()
+    }
+
     /// Applies the cycle and energy models to a finished simulation report
     /// — the shared tail of the per-design and fused evaluation paths.
     fn record_from_report(

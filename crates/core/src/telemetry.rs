@@ -16,7 +16,7 @@ use std::time::Duration;
 
 /// Version stamp of the [`SweepTelemetry::to_json`] layout, emitted as
 /// its first field so downstream consumers can detect schema changes.
-pub const TELEMETRY_SCHEMA_VERSION: u64 = 2;
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 3;
 
 /// Counters and timings of one design-space sweep.
 #[derive(Clone, Debug, Default)]
@@ -83,6 +83,11 @@ pub struct SweepTelemetry {
     /// True when a cooperative deadline cancelled the sweep, leaving a
     /// well-formed partial result.
     pub cancelled: bool,
+    /// Largest chunk buffer (in bytes of [`memsim::TraceEvent`]) any one
+    /// worker held resident while streaming an external trace — total
+    /// streaming memory is bounded by this times `workers`. 0 for
+    /// arena-based (materialized) sweeps.
+    pub peak_chunk_bytes: u64,
     /// Per-unit layout placement latency (one sample per `(T, L)` pair).
     pub layout_latency: LatencySummary,
     /// Per-design simulation latency (per-design engine and supervisor
@@ -181,6 +186,7 @@ impl SweepTelemetry {
                 "\"designs_quarantined\":{},\"designs_retried\":{},",
                 "\"checkpoints_written\":{},\"checkpoints_failed\":{},",
                 "\"records_resumed\":{},\"cancelled\":{},",
+                "\"peak_chunk_bytes\":{},",
                 "\"layout_secs\":{},\"trace_secs\":{},",
                 "\"bound_secs\":{},\"simulate_secs\":{},",
                 "\"select_secs\":{},\"total_secs\":{},",
@@ -210,6 +216,7 @@ impl SweepTelemetry {
             self.checkpoints_failed,
             self.records_resumed,
             self.cancelled,
+            self.peak_chunk_bytes,
             json_f64(self.layout_time.as_secs_f64(), 6),
             json_f64(self.trace_time.as_secs_f64(), 6),
             json_f64(self.bound_time.as_secs_f64(), 6),
@@ -304,6 +311,15 @@ impl fmt::Display for SweepTelemetry {
                 f,
                 "  ckpt     : {} flushes written, {} failed, {} records resumed",
                 self.checkpoints_written, self.checkpoints_failed, self.records_resumed
+            )?;
+        }
+        if self.peak_chunk_bytes > 0 {
+            writeln!(
+                f,
+                "  stream   : peak resident chunk {} B per worker ({} B across {} workers)",
+                self.peak_chunk_bytes,
+                self.peak_chunk_bytes * self.workers as u64,
+                self.workers
             )?;
         }
         if self.cancelled {
@@ -515,6 +531,17 @@ mod tests {
         assert!(!s.contains("deadline"));
         let j = sample().to_json();
         assert!(j.contains("\"cancelled\":false"));
+    }
+
+    #[test]
+    fn stream_accounting() {
+        let mut t = sample();
+        t.peak_chunk_bytes = 1 << 20;
+        let j = t.to_json();
+        assert!(j.contains("\"peak_chunk_bytes\":1048576"));
+        crate::obs::parse_json(&j).expect("stream telemetry json parses");
+        assert!(t.to_string().contains("stream"), "{t}");
+        assert!(!sample().to_string().contains("stream"));
     }
 
     #[test]

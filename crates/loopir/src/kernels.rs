@@ -119,6 +119,33 @@ pub fn sor(n: i64) -> Kernel {
     Kernel::new("SOR", vec![a], nest)
 }
 
+/// An out-of-place 5-point stencil:
+/// `out[i,j] = f(a[i,j], a[i-1,j], a[i+1,j], a[i,j-1], a[i,j+1])` over the
+/// interior `n`×`n` points.
+///
+/// The PDE neighbourhood with the centre point included, writing a second
+/// array (Jacobi-style): five reads of `a` in two reference classes plus
+/// an independent write case, the densest single-array read pattern of
+/// the library.
+pub fn stencil(n: i64) -> Kernel {
+    let ext = n as usize + 2;
+    let a = ArrayDecl::new("a", &[ext, ext], ELEM);
+    let out = ArrayDecl::new("out", &[ext, ext], ELEM);
+    let id = ArrayId(0);
+    let nest = LoopNest {
+        loops: vec![Loop::new(1, n), Loop::new(1, n)],
+        refs: vec![
+            ArrayRef::read(id, vec![v(0), v(1)]),
+            ArrayRef::read(id, vec![v(0) - 1, v(1)]),
+            ArrayRef::read(id, vec![v(0) + 1, v(1)]),
+            ArrayRef::read(id, vec![v(0), v(1) - 1]),
+            ArrayRef::read(id, vec![v(0), v(1) + 1]),
+            ArrayRef::write(ArrayId(1), vec![v(0), v(1)]),
+        ],
+    };
+    Kernel::new("Stencil", vec![a, out], nest)
+}
+
 /// MPEG inverse quantisation (the paper's Dequant, from Panda/Dutt \[1\]):
 /// `out[i,j] = coeff[i,j] * qtable[i,j]` over an `n`×`n` coefficient plane.
 ///
@@ -292,9 +319,20 @@ mod tests {
     }
 
     #[test]
+    fn stencil_is_out_of_place_with_five_reads() {
+        let k = stencil(31);
+        assert_eq!(k.arrays.len(), 2);
+        assert_eq!(k.reads_per_iteration(), 5);
+        assert_eq!(k.read_trip_count(), Some(5 * 961));
+        let l = DataLayout::natural(&k);
+        assert_eq!(TraceGen::new(&k, &l).count(), 961 * 6);
+    }
+
+    #[test]
     fn stencil_kernels_stay_in_bounds() {
-        // PDE/SOR touch i±1, j±1; the declared extents must absorb them.
-        for k in [pde(31), sor(31)] {
+        // PDE/SOR/Stencil touch i±1, j±1; the declared extents must
+        // absorb them.
+        for k in [pde(31), sor(31), stencil(31)] {
             let l = DataLayout::natural(&k);
             // element_address panics on out-of-bounds; consuming the trace
             // is the assertion.

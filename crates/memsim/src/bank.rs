@@ -374,6 +374,22 @@ impl ReplayBank {
         }
     }
 
+    /// Feeds one chunk of a streamed trace — the incremental stepper
+    /// form of [`run_slice`](Self::run_slice). Lane state and the shared
+    /// CPU buses persist across calls, so feeding a trace chunk by chunk
+    /// (any chunking) then calling [`finish`](Self::finish) yields
+    /// reports bit-identical to one whole-slice scan.
+    pub fn feed(&mut self, chunk: &[TraceEvent]) {
+        self.run_slice(chunk);
+    }
+
+    /// Ends a [`feed`](Self::feed) run: one report per lane, in lane
+    /// order (alias of [`into_reports`](Self::into_reports), named for
+    /// the streaming protocol).
+    pub fn finish(self) -> Vec<SimReport> {
+        self.into_reports()
+    }
+
     /// [`run_slice`](Self::run_slice) with a progress hook: the slice is
     /// replayed in chunks of `every` events and `tick(n)` reports each
     /// chunk's size as it completes. Lane state and the shared CPU buses

@@ -99,37 +99,46 @@ pub fn parse_din<R: BufRead>(reader: R) -> Result<Vec<DinRecord>, Box<dyn Error 
     let mut out = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
-        let line_no = idx + 1;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
-        let mut fields = trimmed.split_whitespace();
-        let (label_tok, addr_tok) = match (fields.next(), fields.next(), fields.next()) {
-            (Some(l), Some(a), None) => (l, a),
-            _ => return Err(ParseDinError::MalformedLine { line: line_no }.into()),
-        };
-        let label = match label_tok {
-            "0" => DinLabel::Read,
-            "1" => DinLabel::Write,
-            "2" => DinLabel::Ifetch,
-            _ => {
-                return Err(ParseDinError::BadLabel {
-                    line: line_no,
-                    token: label_tok.to_string(),
-                }
-                .into())
-            }
-        };
-        let addr_tok_clean = addr_tok.trim_start_matches("0x").trim_start_matches("0X");
-        let addr =
-            u64::from_str_radix(addr_tok_clean, 16).map_err(|_| ParseDinError::BadAddress {
-                line: line_no,
-                token: addr_tok.to_string(),
-            })?;
-        out.push(DinRecord { label, addr });
+        out.push(parse_din_line(trimmed, idx + 1)?);
     }
     Ok(out)
+}
+
+/// Parses one non-blank, pre-trimmed `.din` line (`line_no` is 1-based
+/// and only used in errors). This is the single grammar shared by the
+/// materializing [`parse_din`] and the chunked streaming reader
+/// ([`DinSource`](crate::source::DinSource)), so the two can never drift.
+///
+/// # Errors
+///
+/// A [`ParseDinError`] describing the malformed field.
+pub fn parse_din_line(trimmed: &str, line_no: usize) -> Result<DinRecord, ParseDinError> {
+    let mut fields = trimmed.split_whitespace();
+    let (label_tok, addr_tok) = match (fields.next(), fields.next(), fields.next()) {
+        (Some(l), Some(a), None) => (l, a),
+        _ => return Err(ParseDinError::MalformedLine { line: line_no }),
+    };
+    let label = match label_tok {
+        "0" => DinLabel::Read,
+        "1" => DinLabel::Write,
+        "2" => DinLabel::Ifetch,
+        _ => {
+            return Err(ParseDinError::BadLabel {
+                line: line_no,
+                token: label_tok.to_string(),
+            })
+        }
+    };
+    let addr_tok_clean = addr_tok.trim_start_matches("0x").trim_start_matches("0X");
+    let addr = u64::from_str_radix(addr_tok_clean, 16).map_err(|_| ParseDinError::BadAddress {
+        line: line_no,
+        token: addr_tok.to_string(),
+    })?;
+    Ok(DinRecord { label, addr })
 }
 
 /// Writes records in `.din` format. A mut reference may be passed as the

@@ -47,6 +47,7 @@ pub mod din;
 pub mod hierarchy;
 pub mod reference;
 pub mod sim;
+pub mod source;
 pub mod stats;
 pub mod synth;
 
@@ -58,4 +59,8 @@ pub use classify::{Classifier, MissClass, MissClassCounts};
 pub use config::{CacheConfig, ConfigError, Replacement, WritePolicy};
 pub use hierarchy::{Hierarchy, HierarchyReport};
 pub use sim::{SimReport, Simulator, TraceEvent};
+pub use source::{
+    collect_source, din_event, fingerprint_source, DinSource, IterSource, SliceSource,
+    TraceFingerprint, TraceSource, TraceSourceError, DEFAULT_CHUNK_CAPACITY,
+};
 pub use stats::CacheStats;

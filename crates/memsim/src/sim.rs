@@ -128,6 +128,22 @@ impl Simulator {
         }
     }
 
+    /// Feeds one chunk of a streamed trace — the incremental stepper
+    /// form of [`run_slice`](Self::run_slice). Simulator state persists
+    /// across calls, so chunked feeding (any chunking) followed by
+    /// [`finish`](Self::finish) reports bit-identically to one
+    /// whole-slice scan.
+    pub fn feed(&mut self, chunk: &[TraceEvent]) {
+        self.run_slice(chunk);
+    }
+
+    /// Ends a [`feed`](Self::feed) run (alias of
+    /// [`into_report`](Self::into_report), named for the streaming
+    /// protocol).
+    pub fn finish(self) -> SimReport {
+        self.into_report()
+    }
+
     /// Current counters (the run can continue afterwards).
     pub fn stats(&self) -> &CacheStats {
         self.bank.stats(0)

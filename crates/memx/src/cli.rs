@@ -9,17 +9,19 @@ pub const USAGE: &str = "\
 memx — energy-aware data-cache exploration (DAC'99)
 
 USAGE:
-  memx explore   KERNEL.mx [--part cy7c|lp2m|16m] [--em NJ] [--natural]
-                 [--analytical] [--bound-cycles N] [--bound-energy NJ]
-                 [--pareto] [--telemetry] [--engine fused|per-design]
-                 [--checkpoint PATH [--checkpoint-every N] [--resume]]
-                 [--deadline SECS] [--log-json FILE] [--progress]
-  memx pareto    KERNEL.mx [--part cy7c|lp2m|16m] [--em NJ] [--natural]
-                 [--format csv|json] [--exhaustive] [--telemetry]
+  memx explore   KERNEL.mx|TRACE.din [--part cy7c|lp2m|16m] [--em NJ]
+                 [--natural] [--analytical] [--bound-cycles N]
+                 [--bound-energy NJ] [--pareto] [--telemetry]
                  [--engine fused|per-design]
                  [--checkpoint PATH [--checkpoint-every N] [--resume]]
                  [--deadline SECS] [--log-json FILE] [--progress]
-  memx search    KERNEL.mx [--objective energy|cycles|weighted=WE,WC]
+  memx pareto    KERNEL.mx|TRACE.din [--part cy7c|lp2m|16m] [--em NJ]
+                 [--natural] [--format csv|json] [--exhaustive]
+                 [--telemetry] [--engine fused|per-design]
+                 [--checkpoint PATH [--checkpoint-every N] [--resume]]
+                 [--deadline SECS] [--log-json FILE] [--progress]
+  memx search    KERNEL.mx|TRACE.din
+                 [--objective energy|cycles|weighted=WE,WC]
                  [--space paper|expansive] [--beam N] [--gap F]
                  [--deadline SECS] [--format text|csv|json]
                  [--part cy7c|lp2m|16m] [--em NJ] [--natural]
@@ -41,9 +43,16 @@ USAGE:
   memx place     KERNEL.mx --cache N --line N
   memx min-cache KERNEL.mx --line N
   memx classes   KERNEL.mx
-  memx trace     KERNEL.mx [--reads-only]
+  memx trace     KERNEL.mx [--reads-only] [--din]
   memx simulate-din TRACE.din --cache N --line N [--assoc N] [--classify]
+                 [--format text|csv|json]
   memx help
+
+Workloads: the sweep commands (explore, pareto, search) and `memx submit`
+accept either a loopir kernel file or a Dinero `.din` address trace
+(detected by the `.din` extension). Traces are streamed in fixed-capacity
+chunks, so multi-GB files run in bounded memory; the trace grid fixes
+tiling at 1 because an external trace cannot be re-tiled.
 
 Streams: records and reports go to stdout; telemetry summaries, progress,
 notes, and warnings go to stderr, so piped output stays machine-readable.
@@ -350,6 +359,8 @@ pub enum Command {
         assoc: usize,
         /// Enable three-C miss classification.
         classify: bool,
+        /// Output format: `text` (default), `csv`, or `json`.
+        format: String,
     },
     /// Print usage.
     Help,
@@ -916,12 +927,22 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
             let (mut cache, mut line) = (None, None);
             let mut assoc = 1usize;
             let mut classify = false;
+            let mut format = "text".to_string();
             while let Some(flag) = args.next() {
                 match flag {
                     "--cache" => cache = Some(parse_num(flag, args.value_of(flag)?)?),
                     "--line" => line = Some(parse_num(flag, args.value_of(flag)?)?),
                     "--assoc" => assoc = parse_num(flag, args.value_of(flag)?)?,
                     "--classify" => classify = true,
+                    "--format" => {
+                        let v = args.value_of(flag)?;
+                        if !["text", "csv", "json"].contains(&v) {
+                            return Err(err(format!(
+                                "unknown format `{v}` (expected text, csv, or json)"
+                            )));
+                        }
+                        format = v.to_string();
+                    }
                     other => return Err(err(format!("unknown flag `{other}` for simulate-din"))),
                 }
             }
@@ -931,6 +952,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 line: line.ok_or_else(|| err("simulate-din needs --line"))?,
                 assoc,
                 classify,
+                format,
             })
         }
         "trace" => {
@@ -942,6 +964,9 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
             while let Some(flag) = args.next() {
                 match flag {
                     "--reads-only" => reads_only = true,
+                    // `.din` is already the only output format; the flag is
+                    // accepted so scripts can state the intent explicitly.
+                    "--din" => {}
                     other => return Err(err(format!("unknown flag `{other}` for trace"))),
                 }
             }
@@ -1443,17 +1468,50 @@ mod tests {
     fn simulate_din_parses() {
         let ok =
             parse_args(&argv("simulate-din t.din --cache 128 --line 16 --assoc 4")).expect("valid");
-        assert!(matches!(
-            ok,
+        match ok {
             Command::SimulateDin {
-                cache: 128,
-                line: 16,
-                assoc: 4,
-                classify: false,
+                cache,
+                line,
+                assoc,
+                classify,
+                format,
                 ..
+            } => {
+                assert_eq!((cache, line, assoc), (128, 16, 4));
+                assert!(!classify);
+                assert_eq!(format, "text");
             }
-        ));
+            other => panic!("wrong command: {other:?}"),
+        }
         assert!(parse_args(&argv("simulate-din t.din --line 16")).is_err());
+    }
+
+    #[test]
+    fn simulate_din_formats() {
+        for f in ["text", "csv", "json"] {
+            let line = format!("simulate-din t.din --cache 64 --line 8 --format {f}");
+            match parse_args(&argv(&line)).expect("valid") {
+                Command::SimulateDin { format, .. } => assert_eq!(format, f),
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+        let e = parse_args(&argv(
+            "simulate-din t.din --cache 64 --line 8 --format yaml",
+        ))
+        .expect_err("should fail");
+        assert!(e.0.contains("yaml"));
+    }
+
+    #[test]
+    fn trace_accepts_din_marker() {
+        assert_eq!(
+            parse_args(&argv("trace k.mx --din --reads-only")).expect("valid"),
+            Command::Trace {
+                file: "k.mx".into(),
+                reads_only: true,
+            }
+        );
+        assert!(parse_args(&argv("trace k.mx --json")).is_err());
     }
 
     #[test]

@@ -10,11 +10,15 @@ use loopir::parse::parse_kernel;
 use loopir::{AccessKind, ArrayId, DataLayout, Kernel, TraceGen};
 use memexplore::{
     select, CacheDesign, CheckpointPolicy, DesignSpace, Engine, Evaluator, ExploreError, Explorer,
-    FaultPlan, Objective, Obs, ObsConfig, ObsSink, PlacementMode, RunReport, SearchOptions,
-    SweepOptions, SweepOutcome,
+    FaultPlan, Objective, Obs, ObsConfig, ObsSink, PlacementMode, Record, RunReport, SearchOptions,
+    SearchOutcome, SweepOptions, SweepOutcome, SweepTelemetry, TraceError, TraceWorkload,
 };
-use memsim::din::{parse_din, write_din, DinLabel, DinRecord};
-use memsim::{CacheConfig, Simulator, TraceEvent};
+use memsim::din::{write_din, DinLabel, DinRecord};
+use memsim::{
+    BusEncoding, CacheConfig, DinSource, Simulator, TraceEvent, TraceSource, TraceSourceError,
+    DEFAULT_CHUNK_CAPACITY,
+};
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -112,22 +116,46 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
             supervise,
             obs,
         } => {
-            let kernel = load(&file)?;
             let evaluator = make_evaluator(&part, em_nj, natural);
-            explore(
-                &kernel,
-                evaluator,
-                analytical,
-                bound_cycles,
-                bound_energy,
-                pareto,
-                telemetry,
-                engine_kind(&engine),
-                &supervise,
-                &obs,
-                None,
-            )
-            .map(|(out, _)| out)
+            if is_din_path(&file) {
+                if analytical {
+                    return Err(RunError::Other(
+                        "`--analytical` needs a kernel: the closed-form miss-rate model \
+                         has no meaning for a recorded `.din` trace"
+                            .into(),
+                    ));
+                }
+                let workload = load_trace(&file)?;
+                explore_trace(
+                    &workload,
+                    evaluator,
+                    bound_cycles,
+                    bound_energy,
+                    pareto,
+                    telemetry,
+                    &engine,
+                    &supervise,
+                    &obs,
+                    None,
+                )
+                .map(|(out, _)| out)
+            } else {
+                let kernel = load(&file)?;
+                explore(
+                    &kernel,
+                    evaluator,
+                    analytical,
+                    bound_cycles,
+                    bound_energy,
+                    pareto,
+                    telemetry,
+                    engine_kind(&engine),
+                    &supervise,
+                    &obs,
+                    None,
+                )
+                .map(|(out, _)| out)
+            }
         }
         Command::Pareto {
             file,
@@ -141,20 +169,28 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
             supervise,
             obs,
         } => {
-            let kernel = load(&file)?;
             let evaluator = make_evaluator(&part, em_nj, natural);
-            pareto_frontier(
-                &kernel,
-                evaluator,
-                &format,
-                exhaustive,
-                telemetry,
-                engine_kind(&engine),
-                &supervise,
-                &obs,
-                None,
-            )
-            .map(|(out, _)| out)
+            if is_din_path(&file) {
+                let workload = load_trace(&file)?;
+                pareto_trace(
+                    &workload, evaluator, &format, telemetry, &engine, &supervise, &obs, None,
+                )
+                .map(|(out, _)| out)
+            } else {
+                let kernel = load(&file)?;
+                pareto_frontier(
+                    &kernel,
+                    evaluator,
+                    &format,
+                    exhaustive,
+                    telemetry,
+                    engine_kind(&engine),
+                    &supervise,
+                    &obs,
+                    None,
+                )
+                .map(|(out, _)| out)
+            }
         }
         Command::Search {
             file,
@@ -170,22 +206,45 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
             telemetry,
             obs,
         } => {
-            let kernel = load(&file)?;
             let evaluator = make_evaluator(&part, em_nj, natural);
-            search(
-                &kernel,
-                evaluator,
-                objective,
-                &space,
-                beam,
-                gap,
-                deadline_secs,
-                &format,
-                telemetry,
-                &obs,
-                None,
-            )
-            .map(|(out, _)| out)
+            if is_din_path(&file) {
+                if space == "expansive" {
+                    return Err(RunError::Other(
+                        "`--space expansive` needs a kernel: a `.din` trace sweeps \
+                         the fixed trace grid"
+                            .into(),
+                    ));
+                }
+                let workload = load_trace(&file)?;
+                search_trace(
+                    &workload,
+                    evaluator,
+                    objective,
+                    beam,
+                    deadline_secs,
+                    &format,
+                    telemetry,
+                    &obs,
+                    None,
+                )
+                .map(|(out, _)| out)
+            } else {
+                let kernel = load(&file)?;
+                search(
+                    &kernel,
+                    evaluator,
+                    objective,
+                    &space,
+                    beam,
+                    gap,
+                    deadline_secs,
+                    &format,
+                    telemetry,
+                    &obs,
+                    None,
+                )
+                .map(|(out, _)| out)
+            }
         }
         Command::Serve {
             addr,
@@ -309,8 +368,9 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
             line,
             assoc,
             classify,
+            format,
         } => Ok(Output::stdout_only(simulate_din(
-            &file, cache, line, assoc, classify,
+            &file, cache, line, assoc, classify, &format,
         )?)),
     }
 }
@@ -346,36 +406,137 @@ fn build_obs(flags: &ObsFlags) -> Result<Option<Arc<Obs>>, RunError> {
     })
 }
 
+/// Maps a streaming-source failure onto the exit-code contract: both an
+/// unreadable file and a malformed record make the workload unusable, so
+/// both are input failures (exit 2, like an unreadable kernel file).
+fn source_error(e: TraceSourceError) -> RunError {
+    match e {
+        TraceSourceError::Io { path, error } => {
+            RunError::Io(format!("cannot read `{path}`: {error}"))
+        }
+        parse @ TraceSourceError::Parse { .. } => RunError::Io(parse.to_string()),
+    }
+}
+
+/// [`source_error`] lifted to whole streamed sweeps: checkpoint sidecar
+/// failures follow the kernel supervisor's I/O discipline, worker panics
+/// stay runtime failures (exit 1).
+fn trace_error(e: TraceError) -> RunError {
+    match e {
+        TraceError::Source(e) => source_error(e),
+        TraceError::Checkpoint(c) => RunError::Io(c.to_string()),
+        panic @ TraceError::WorkerPanic { .. } => RunError::Other(panic.to_string().into()),
+    }
+}
+
+/// True when the workload argument names a Dinero trace rather than a
+/// kernel file — the sweep commands stream it instead of parsing loopir.
+pub(crate) fn is_din_path(path: &str) -> bool {
+    Path::new(path)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("din"))
+}
+
+/// Prepares a `.din` workload: one streaming pass fingerprints the trace
+/// (bounded memory however large the file is).
+pub(crate) fn load_trace(path: &str) -> Result<TraceWorkload, RunError> {
+    TraceWorkload::from_path(path).map_err(trace_error)
+}
+
 fn simulate_din(
     path: &str,
     cache: usize,
     line: usize,
     assoc: usize,
     classify: bool,
+    format: &str,
 ) -> Result<String, RunError> {
     let config = CacheConfig::new(cache, line, assoc).map_err(|e| RunError::Other(e.into()))?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| RunError::Io(format!("cannot read `{path}`: {e}")))?;
-    let records = parse_din(text.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
-    let events = records.iter().map(|r| TraceEvent {
-        addr: r.addr,
-        size: 1,
-        is_write: r.label == DinLabel::Write,
-    });
-    let report = if classify {
-        Simulator::simulate_classified(config, events)
-    } else {
-        Simulator::simulate(config, events)
-    };
+    // Streamed: the trace is pulled through in fixed-capacity chunks, so
+    // peak memory is one chunk however large the file is. Chunked feeding
+    // is bit-identical to a whole-trace scan (lane state persists across
+    // `feed` calls).
+    let mut source = DinSource::open(path).map_err(source_error)?;
+    let mut sim = Simulator::with_options(config, BusEncoding::Gray, classify);
+    let mut chunk: Vec<TraceEvent> = Vec::with_capacity(DEFAULT_CHUNK_CAPACITY);
+    let mut records = 0u64;
+    loop {
+        let n = source
+            .fill(&mut chunk, DEFAULT_CHUNK_CAPACITY)
+            .map_err(source_error)?;
+        if n == 0 {
+            break;
+        }
+        records += n as u64;
+        sim.feed(&chunk);
+    }
+    let report = sim.finish();
+    let stats = &report.stats;
     let mut out = String::new();
-    let _ = writeln!(out, "{} records from {path} on {config}", records.len());
-    let _ = writeln!(out, "{}", report.stats);
-    if let Some(c) = report.miss_classes {
-        let _ = writeln!(
-            out,
-            "miss classes: compulsory {}  capacity {}  conflict {}",
-            c.compulsory, c.capacity, c.conflict
-        );
+    match format {
+        "csv" => {
+            let mut header = String::from(
+                "records,reads,read_hits,writes,write_hits,fills,evictions,writebacks,\
+                 buffer_hits,miss_rate",
+            );
+            let mut row = format!(
+                "{records},{},{},{},{},{},{},{},{},{:.6}",
+                stats.reads,
+                stats.read_hits,
+                stats.writes,
+                stats.write_hits,
+                stats.fills,
+                stats.evictions,
+                stats.writebacks,
+                stats.buffer_hits,
+                stats.miss_rate()
+            );
+            if let Some(c) = &report.miss_classes {
+                header.push_str(",compulsory,capacity,conflict");
+                let _ = write!(row, ",{},{},{}", c.compulsory, c.capacity, c.conflict);
+            }
+            let _ = writeln!(out, "{header}");
+            let _ = writeln!(out, "{row}");
+        }
+        "json" => {
+            let _ = writeln!(out, "{{");
+            let _ = writeln!(out, "  \"trace\": \"{path}\",");
+            let _ = writeln!(out, "  \"config\": \"{config}\",");
+            let _ = writeln!(out, "  \"records\": {records},");
+            let _ = writeln!(out, "  \"reads\": {},", stats.reads);
+            let _ = writeln!(out, "  \"read_hits\": {},", stats.read_hits);
+            let _ = writeln!(out, "  \"writes\": {},", stats.writes);
+            let _ = writeln!(out, "  \"write_hits\": {},", stats.write_hits);
+            let _ = writeln!(out, "  \"fills\": {},", stats.fills);
+            let _ = writeln!(out, "  \"evictions\": {},", stats.evictions);
+            let _ = writeln!(out, "  \"writebacks\": {},", stats.writebacks);
+            let _ = writeln!(out, "  \"buffer_hits\": {},", stats.buffer_hits);
+            match &report.miss_classes {
+                Some(c) => {
+                    let _ = writeln!(out, "  \"miss_rate\": {:.6},", stats.miss_rate());
+                    let _ = writeln!(
+                        out,
+                        "  \"miss_classes\": {{\"compulsory\":{},\"capacity\":{},\"conflict\":{}}}",
+                        c.compulsory, c.capacity, c.conflict
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  \"miss_rate\": {:.6}", stats.miss_rate());
+                }
+            }
+            let _ = writeln!(out, "}}");
+        }
+        _ => {
+            let _ = writeln!(out, "{records} records from {path} on {config}");
+            let _ = writeln!(out, "{stats}");
+            if let Some(c) = &report.miss_classes {
+                let _ = writeln!(
+                    out,
+                    "miss classes: compulsory {}  capacity {}  conflict {}",
+                    c.compulsory, c.capacity, c.conflict
+                );
+            }
+        }
     }
     Ok(out)
 }
@@ -577,16 +738,10 @@ fn probe_checkpoint_writable(path: &Path) -> Result<(), RunError> {
     Ok(())
 }
 
-/// Runs the supervised sweep behind `--checkpoint/--resume/--deadline`,
-/// translating CLI flags into [`SweepOptions`] and supervisor events into
-/// stderr notes (stdout stays byte-identical to an unsupervised run).
-fn run_supervised(
-    explorer: &Explorer,
-    kernel: &Kernel,
-    designs: &[CacheDesign],
-    supervise: &Supervise,
-    stderr: &mut String,
-) -> Result<SweepOutcome, RunError> {
+/// Translates the CLI supervisor flags into [`SweepOptions`], probing the
+/// checkpoint sidecar up front (an unwritable path is exit 2 before the
+/// sweep starts, not a silent stream of failed flushes an hour in).
+fn sweep_options(supervise: &Supervise, stderr: &mut String) -> Result<SweepOptions, RunError> {
     let checkpoint = match &supervise.checkpoint {
         Some(path) => {
             let path = PathBuf::from(path);
@@ -609,26 +764,23 @@ fn run_supervised(
         }
         None => None,
     };
-    let options = SweepOptions {
+    Ok(SweepOptions {
         checkpoint,
         deadline: supervise.deadline_secs.map(Duration::from_secs_f64),
         fault: FaultPlan::none(),
-    };
-    let outcome = explorer
-        .explore_supervised(kernel, designs, &options)
-        .map_err(|e| match e {
-            // A rejected checkpoint (unreadable, corrupt, truncated,
-            // or from a different sweep) follows the I/O contract.
-            ExploreError::Checkpoint(c) => RunError::Io(c.to_string()),
-            other => RunError::Other(other.to_string().into()),
-        })?;
+    })
+}
+
+/// Renders the supervisor's stderr notes — resume count, quarantine
+/// warnings, partial-result warning — shared by the kernel and trace
+/// sweeps so the two paths stay word-for-word comparable.
+fn note_supervised(outcome: &SweepOutcome, total: usize, stderr: &mut String) {
     let t = &outcome.telemetry;
     if t.records_resumed > 0 {
         let _ = writeln!(
             stderr,
-            "note: resumed {} of {} records from the checkpoint",
-            t.records_resumed,
-            designs.len()
+            "note: resumed {} of {total} records from the checkpoint",
+            t.records_resumed
         );
     }
     for e in &outcome.errors {
@@ -637,12 +789,63 @@ fn run_supervised(
     if t.cancelled {
         let _ = writeln!(
             stderr,
-            "warning: deadline reached; result is partial ({} of {} designs)",
-            t.designs_evaluated,
-            designs.len()
+            "warning: deadline reached; result is partial ({} of {total} designs)",
+            t.designs_evaluated
         );
     }
+}
+
+/// Runs the supervised sweep behind `--checkpoint/--resume/--deadline`,
+/// translating CLI flags into [`SweepOptions`] and supervisor events into
+/// stderr notes (stdout stays byte-identical to an unsupervised run).
+fn run_supervised(
+    explorer: &Explorer,
+    kernel: &Kernel,
+    designs: &[CacheDesign],
+    supervise: &Supervise,
+    stderr: &mut String,
+) -> Result<SweepOutcome, RunError> {
+    let options = sweep_options(supervise, stderr)?;
+    let outcome = explorer
+        .explore_supervised(kernel, designs, &options)
+        .map_err(|e| match e {
+            // A rejected checkpoint (unreadable, corrupt, truncated,
+            // or from a different sweep) follows the I/O contract.
+            ExploreError::Checkpoint(c) => RunError::Io(c.to_string()),
+            other => RunError::Other(other.to_string().into()),
+        })?;
+    note_supervised(&outcome, designs.len(), stderr);
     Ok(outcome)
+}
+
+/// [`run_supervised`] for streamed `.din` workloads: same checkpoint /
+/// resume / deadline translation, driving the chunked trace sweep instead
+/// of the arena-based kernel sweep.
+fn run_trace_supervised(
+    explorer: &Explorer,
+    workload: &TraceWorkload,
+    designs: &[CacheDesign],
+    supervise: &Supervise,
+    stderr: &mut String,
+) -> Result<SweepOutcome, RunError> {
+    let options = sweep_options(supervise, stderr)?;
+    let outcome = explorer
+        .explore_trace_supervised(workload, designs, &options)
+        .map_err(trace_error)?;
+    note_supervised(&outcome, designs.len(), stderr);
+    Ok(outcome)
+}
+
+/// The streamed sweep has one engine (banked shards over the stream), so
+/// a non-default `--engine` on a `.din` workload is noted and ignored.
+fn warn_trace_engine(engine: &str, stderr: &mut String) {
+    if engine != "fused" {
+        let _ = writeln!(
+            stderr,
+            "warning: --engine {engine} is ignored for `.din` traces \
+             (streamed sweeps are always banked)"
+        );
+    }
 }
 
 /// Runs the exhaustive sweep (`memx explore`). The bool in the result is
@@ -718,39 +921,7 @@ pub(crate) fn explore(
             "trace-driven simulation"
         }
     );
-    let fmt_rec = fmt_record;
-    if let Some(r) = select::min_energy(&records) {
-        let _ = writeln!(out, "minimum energy : {}", fmt_rec(r));
-    }
-    if let Some(r) = select::min_cycles(&records) {
-        let _ = writeln!(out, "minimum time   : {}", fmt_rec(r));
-    }
-    if let Some(bound) = bound_cycles {
-        match select::min_energy_bounded(&records, bound) {
-            Some(r) => {
-                let _ = writeln!(out, "min energy @ cycles<={bound:.0} : {}", fmt_rec(r));
-            }
-            None => {
-                let _ = writeln!(out, "min energy @ cycles<={bound:.0} : infeasible");
-            }
-        }
-    }
-    if let Some(bound) = bound_energy {
-        match select::min_cycles_bounded(&records, bound) {
-            Some(r) => {
-                let _ = writeln!(out, "min time @ energy<={bound:.0} nJ : {}", fmt_rec(r));
-            }
-            None => {
-                let _ = writeln!(out, "min time @ energy<={bound:.0} nJ : infeasible");
-            }
-        }
-    }
-    if pareto {
-        let _ = writeln!(out, "pareto frontier:");
-        for r in select::pareto(&records) {
-            let _ = writeln!(out, "  {}", fmt_rec(r));
-        }
-    }
+    write_selection(&mut out, &records, bound_cycles, bound_energy, pareto);
     // The summary goes to stderr, never into the record stream: with
     // `--telemetry` a piped stdout must stay exactly the records.
     let cancelled = sweep_telemetry.as_ref().is_some_and(|t| t.cancelled);
@@ -766,6 +937,107 @@ pub(crate) fn explore(
                 );
             }
         }
+    }
+    Ok((
+        Output {
+            stdout: out,
+            stderr,
+        },
+        cancelled,
+    ))
+}
+
+/// Writes the `minimum energy :` / `minimum time   :` / bounded-selection
+/// / frontier lines over a completed record set. Shared by the kernel and
+/// trace explore paths so the round-trip smoke can diff their selections
+/// byte-for-byte.
+fn write_selection(
+    out: &mut String,
+    records: &[Record],
+    bound_cycles: Option<f64>,
+    bound_energy: Option<f64>,
+    pareto: bool,
+) {
+    if let Some(r) = select::min_energy(records) {
+        let _ = writeln!(out, "minimum energy : {}", fmt_record(r));
+    }
+    if let Some(r) = select::min_cycles(records) {
+        let _ = writeln!(out, "minimum time   : {}", fmt_record(r));
+    }
+    if let Some(bound) = bound_cycles {
+        match select::min_energy_bounded(records, bound) {
+            Some(r) => {
+                let _ = writeln!(out, "min energy @ cycles<={bound:.0} : {}", fmt_record(r));
+            }
+            None => {
+                let _ = writeln!(out, "min energy @ cycles<={bound:.0} : infeasible");
+            }
+        }
+    }
+    if let Some(bound) = bound_energy {
+        match select::min_cycles_bounded(records, bound) {
+            Some(r) => {
+                let _ = writeln!(out, "min time @ energy<={bound:.0} nJ : {}", fmt_record(r));
+            }
+            None => {
+                let _ = writeln!(out, "min time @ energy<={bound:.0} nJ : infeasible");
+            }
+        }
+    }
+    if pareto {
+        let _ = writeln!(out, "pareto frontier:");
+        for r in select::pareto(records) {
+            let _ = writeln!(out, "  {}", fmt_record(r));
+        }
+    }
+}
+
+/// `memx explore` over an external `.din` trace: the trace grid (tiling
+/// pinned at 1) is swept by streaming the file in chunks through banked
+/// replay shards, then the selection lines render exactly as for a kernel.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explore_trace(
+    workload: &TraceWorkload,
+    evaluator: Evaluator,
+    bound_cycles: Option<f64>,
+    bound_energy: Option<f64>,
+    pareto: bool,
+    telemetry: bool,
+    engine: &str,
+    supervise: &Supervise,
+    obs_flags: &ObsFlags,
+    workers: Option<usize>,
+) -> Result<(Output, bool), RunError> {
+    let mut stderr = String::new();
+    warn_trace_engine(engine, &mut stderr);
+    let designs = TraceWorkload::design_space().designs();
+    let obs = build_obs(obs_flags)?;
+    let mut explorer = Explorer::new(evaluator);
+    if let Some(w) = workers {
+        explorer = explorer.with_workers(w);
+    }
+    if let Some(o) = &obs {
+        explorer = explorer.with_obs(Arc::clone(o));
+    }
+    let outcome = run_trace_supervised(&explorer, workload, &designs, supervise, &mut stderr)?;
+    if let Some(o) = &obs {
+        o.finish();
+    }
+    let records = outcome.completed_records();
+    let sweep = outcome.telemetry;
+    let cancelled = sweep.cancelled;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "explored {} configurations of trace {} ({} events, streamed)",
+        records.len(),
+        workload.name(),
+        workload.events()
+    );
+    write_selection(&mut out, &records, bound_cycles, bound_energy, pareto);
+    if telemetry {
+        let _ = writeln!(stderr, "{sweep}");
     }
     Ok((
         Output {
@@ -845,6 +1117,35 @@ pub(crate) fn search(
         );
     }
 
+    let out = render_search(
+        "kernel",
+        &kernel.name,
+        space_name,
+        &outcome,
+        format,
+        telemetry,
+    );
+    Ok((
+        Output {
+            stdout: out,
+            stderr,
+        },
+        outcome.cancelled,
+    ))
+}
+
+/// Renders a [`SearchOutcome`] in the requested format. `subject` is
+/// `"kernel"` or `"trace"`; it names the JSON member and the text heading
+/// so the two search paths emit the same shape.
+fn render_search(
+    subject: &str,
+    name: &str,
+    space_name: &str,
+    outcome: &SearchOutcome,
+    format: &str,
+    telemetry: bool,
+) -> String {
+    let objective = outcome.objective;
     let evaluated = outcome.telemetry.designs_evaluated;
     let pruned = outcome.telemetry.designs_pruned;
     let mut out = String::new();
@@ -883,7 +1184,7 @@ pub(crate) fn search(
         }
         "json" => {
             let _ = writeln!(out, "{{");
-            let _ = writeln!(out, "  \"kernel\": \"{}\",", kernel.name);
+            let _ = writeln!(out, "  \"{subject}\": \"{name}\",");
             let _ = writeln!(out, "  \"objective\": \"{objective}\",");
             let _ = writeln!(out, "  \"space\": \"{space_name}\",");
             let _ = writeln!(out, "  \"candidates\": {},", outcome.candidates);
@@ -932,9 +1233,9 @@ pub(crate) fn search(
         _ => {
             let _ = writeln!(
                 out,
-                "searched kernel {}: {evaluated} of {} candidates simulated, \
+                "searched {subject} {name}: {evaluated} of {} candidates simulated, \
                  {pruned} pruned (objective {objective}, space {space_name})",
-                kernel.name, outcome.candidates
+                outcome.candidates
             );
             match &outcome.incumbent {
                 Some(r) => {
@@ -969,13 +1270,132 @@ pub(crate) fn search(
             }
         }
     }
+    out
+}
+
+/// `memx search` over an external `.din` trace. The trace grid is small
+/// (tiling is pinned at 1) and every design replays the same recorded
+/// stream, so the "search" is an exhaustive streamed sweep followed by
+/// exact selection; the certificate is the incumbent's own cost, which is
+/// trivially tight when the sweep ran to completion.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn search_trace(
+    workload: &TraceWorkload,
+    evaluator: Evaluator,
+    objective: Objective,
+    beam: Option<usize>,
+    deadline_secs: Option<f64>,
+    format: &str,
+    telemetry: bool,
+    obs_flags: &ObsFlags,
+    workers: Option<usize>,
+) -> Result<(Output, bool), RunError> {
+    let mut stderr = String::new();
+    if beam.is_some() {
+        let _ = writeln!(
+            stderr,
+            "warning: --beam is ignored for `.din` traces (the trace grid is swept exhaustively)"
+        );
+    }
+    let designs = TraceWorkload::design_space().designs();
+    let obs = build_obs(obs_flags)?;
+    let mut explorer = Explorer::new(evaluator);
+    if let Some(w) = workers {
+        explorer = explorer.with_workers(w);
+    }
+    if let Some(o) = &obs {
+        explorer = explorer.with_obs(Arc::clone(o));
+    }
+    let supervise = Supervise {
+        deadline_secs,
+        ..Supervise::default()
+    };
+    let sweep = run_trace_supervised(&explorer, workload, &designs, &supervise, &mut stderr)?;
+    if let Some(o) = &obs {
+        o.finish();
+    }
+    let cancelled = sweep.telemetry.cancelled;
+    let incumbent_index = trace_search_winner(&sweep.records, objective);
+    let incumbent = incumbent_index.and_then(|i| sweep.records[i].clone());
+    // The exhaustive sweep needs no relaxation: a finished sweep certifies
+    // the incumbent exactly (gap 0); a deadline-cut sweep certifies
+    // nothing beyond cost >= 0, which every objective satisfies.
+    let lower_bound = match (&incumbent, cancelled) {
+        (Some(r), false) => objective.cost(r),
+        _ => 0.0,
+    };
+    let outcome = SearchOutcome {
+        objective,
+        incumbent,
+        incumbent_index,
+        lower_bound,
+        complete: !cancelled && incumbent_index.is_some(),
+        cancelled,
+        candidates: designs.len(),
+        expansions: 0,
+        beam_discarded: 0,
+        telemetry: sweep.telemetry,
+    };
+    if telemetry && format != "json" {
+        let _ = writeln!(stderr, "{}", outcome.telemetry);
+    }
+    let out = render_search(
+        "trace",
+        workload.name(),
+        "trace",
+        &outcome,
+        format,
+        telemetry,
+    );
     Ok((
         Output {
             stdout: out,
             stderr,
         },
-        outcome.cancelled,
+        cancelled,
     ))
+}
+
+/// Selects the best completed record under `objective`, replicating the
+/// searcher's total order (objective cost, then the secondary metrics,
+/// then smallest cache and lowest index) so `memx search` on a trace names
+/// the same design the certified kernel search would.
+fn trace_search_winner(records: &[Option<Record>], objective: Objective) -> Option<usize> {
+    let floats = |r: &Record| -> [f64; 3] {
+        match objective {
+            Objective::Energy => [r.energy_nj, r.cycles, 0.0],
+            Objective::Cycles => [r.cycles, r.energy_nj, 0.0],
+            Objective::Weighted { .. } => [objective.cost(r), r.energy_nj, r.cycles],
+        }
+    };
+    let mut best: Option<(usize, [f64; 3])> = None;
+    for (index, record) in records.iter().enumerate() {
+        let Some(r) = record else { continue };
+        let candidate = floats(r);
+        let better = match &best {
+            None => true,
+            Some((best_index, best_floats)) => {
+                let mut decided = None;
+                for (a, b) in candidate.iter().zip(best_floats.iter()) {
+                    match a.partial_cmp(b).expect("objective costs are finite") {
+                        Ordering::Equal => continue,
+                        order => {
+                            decided = Some(order);
+                            break;
+                        }
+                    }
+                }
+                let best_record = records[*best_index].as_ref().expect("winner is complete");
+                decided.unwrap_or_else(|| {
+                    (r.design.cache_size, index).cmp(&(best_record.design.cache_size, *best_index))
+                }) == Ordering::Less
+            }
+        };
+        if better {
+            best = Some((index, candidate));
+        }
+    }
+    best.map(|(index, _)| index)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1037,6 +1457,98 @@ pub(crate) fn pareto_frontier(
     } else {
         "pruned"
     };
+    let out = render_frontier(
+        "kernel",
+        &kernel.name,
+        engine_label,
+        &frontier,
+        &sweep,
+        format,
+        telemetry,
+        &mut stderr,
+    );
+    Ok((
+        Output {
+            stdout: out,
+            stderr,
+        },
+        cancelled,
+    ))
+}
+
+/// `memx pareto` over an external `.din` trace: exhaustive streamed sweep
+/// of the trace grid, then the 3-objective frontier renders exactly as for
+/// a kernel (the JSON member is `"trace"` instead of `"kernel"`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pareto_trace(
+    workload: &TraceWorkload,
+    evaluator: Evaluator,
+    format: &str,
+    telemetry: bool,
+    engine: &str,
+    supervise: &Supervise,
+    obs_flags: &ObsFlags,
+    workers: Option<usize>,
+) -> Result<(Output, bool), RunError> {
+    let mut stderr = String::new();
+    warn_trace_engine(engine, &mut stderr);
+    let designs = TraceWorkload::design_space().designs();
+    let obs = build_obs(obs_flags)?;
+    let mut explorer = Explorer::new(evaluator);
+    if let Some(w) = workers {
+        explorer = explorer.with_workers(w);
+    }
+    if let Some(o) = &obs {
+        explorer = explorer.with_obs(Arc::clone(o));
+    }
+    let outcome = run_trace_supervised(&explorer, workload, &designs, supervise, &mut stderr)?;
+    if let Some(o) = &obs {
+        o.finish();
+    }
+    let completed = outcome.completed_records();
+    let frontier = select::pareto3(&completed);
+    let mut sweep = outcome.telemetry;
+    sweep.frontier_size = frontier.len();
+    let cancelled = sweep.cancelled;
+    if frontier.is_empty() {
+        let _ = writeln!(
+            stderr,
+            "warning: the Pareto frontier of trace {} is empty (no designs completed)",
+            workload.name()
+        );
+    }
+    let out = render_frontier(
+        "trace",
+        workload.name(),
+        "streamed",
+        &frontier,
+        &sweep,
+        format,
+        telemetry,
+        &mut stderr,
+    );
+    Ok((
+        Output {
+            stdout: out,
+            stderr,
+        },
+        cancelled,
+    ))
+}
+
+/// Renders a Pareto frontier as JSON or CSV. `subject` is `"kernel"` or
+/// `"trace"`; CSV telemetry goes to `stderr` so piped rows stay pure.
+#[allow(clippy::too_many_arguments)]
+fn render_frontier(
+    subject: &str,
+    name: &str,
+    engine_label: &str,
+    frontier: &[Record],
+    sweep: &SweepTelemetry,
+    format: &str,
+    telemetry: bool,
+    stderr: &mut String,
+) -> String {
     let mut out = String::new();
     if format == "json" {
         let rows: Vec<String> = frontier
@@ -1060,7 +1572,7 @@ pub(crate) fn pareto_frontier(
             })
             .collect();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"kernel\": \"{}\",", kernel.name);
+        let _ = writeln!(out, "  \"{subject}\": \"{name}\",");
         let _ = writeln!(out, "  \"engine\": \"{engine_label}\",");
         let _ = writeln!(out, "  \"frontier_size\": {},", frontier.len());
         let _ = writeln!(out, "  \"frontier\": [\n{}\n  ]{}", rows.join(",\n"), {
@@ -1079,7 +1591,7 @@ pub(crate) fn pareto_frontier(
             out,
             "cache,line,assoc,tiling,miss_rate,cycles,energy_nj,conflict_free"
         );
-        for r in &frontier {
+        for r in frontier {
             let _ = writeln!(
                 out,
                 "{},{},{},{},{:.6},{:.1},{:.3},{}",
@@ -1099,13 +1611,7 @@ pub(crate) fn pareto_frontier(
             let _ = writeln!(stderr, "{sweep}");
         }
     }
-    Ok((
-        Output {
-            stdout: out,
-            stderr,
-        },
-        cancelled,
-    ))
+    out
 }
 
 fn simulate(
@@ -1462,11 +1968,205 @@ mod tests {
             line: 8,
             assoc: 1,
             classify: true,
+            format: "text".into(),
         })
         .expect("simulate-din succeeds")
         .stdout;
         assert!(out.contains("3844 records"), "{out}");
         assert!(out.contains("conflict"), "{out}");
+    }
+
+    /// Records the paper kernel's trace into a `.din` file so the trace
+    /// command paths exercise a realistic external workload.
+    fn write_din_file() -> (tempdir::TempDirGuard, String) {
+        let (dir, path) = write_kernel();
+        let din = run(Command::Trace {
+            file: path,
+            reads_only: false,
+        })
+        .expect("trace succeeds")
+        .stdout;
+        let din_path = dir.path.join("k.din");
+        std::fs::write(&din_path, din).expect("tempdir writable");
+        (dir, din_path.to_string_lossy().into_owned())
+    }
+
+    #[test]
+    fn explore_din_streams_the_trace_grid() {
+        let (_dir, din) = write_din_file();
+        let out = run(Command::Explore {
+            file: din,
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            analytical: false,
+            bound_cycles: None,
+            bound_energy: None,
+            pareto: false,
+            telemetry: true,
+            engine: "fused".into(),
+            supervise: Supervise::default(),
+            obs: ObsFlags::default(),
+        })
+        .expect("command succeeds");
+        // The trace grid pins tiling at 1: 95 (T, L, S) designs, not the
+        // kernel grid's full (T, L, S, B) cross product.
+        assert!(
+            out.stdout.contains("explored 95 configurations of trace"),
+            "{out:?}"
+        );
+        assert!(out.stdout.contains("events, streamed)"), "{out:?}");
+        assert!(out.stdout.contains("minimum energy"), "{out:?}");
+        // Streamed sweeps report their peak resident chunk footprint.
+        assert!(out.stderr.contains("peak resident chunk"), "{out:?}");
+    }
+
+    #[test]
+    fn explore_din_rejects_analytical() {
+        let (_dir, din) = write_din_file();
+        let err = run(Command::Explore {
+            file: din,
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            analytical: true,
+            bound_cycles: None,
+            bound_energy: None,
+            pareto: false,
+            telemetry: false,
+            engine: "fused".into(),
+            supervise: Supervise::default(),
+            obs: ObsFlags::default(),
+        })
+        .expect_err("analytical model needs a kernel");
+        assert!(err.to_string().contains("--analytical"), "{err}");
+    }
+
+    #[test]
+    fn simulate_din_csv_and_json_formats() {
+        let (_dir, din) = write_din_file();
+        let csv = run(Command::SimulateDin {
+            file: din.clone(),
+            cache: 64,
+            line: 8,
+            assoc: 1,
+            classify: false,
+            format: "csv".into(),
+        })
+        .expect("csv succeeds")
+        .stdout;
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some(
+                "records,reads,read_hits,writes,write_hits,fills,evictions,\
+                 writebacks,buffer_hits,miss_rate"
+            )
+        );
+        let row = lines.next().expect("one data row");
+        assert_eq!(row.split(',').count(), 10, "{row}");
+        assert_eq!(lines.next(), None);
+
+        let json = run(Command::SimulateDin {
+            file: din,
+            cache: 64,
+            line: 8,
+            assoc: 1,
+            classify: true,
+            format: "json".into(),
+        })
+        .expect("json succeeds")
+        .stdout;
+        assert!(json.contains("\"miss_rate\":"), "{json}");
+        assert!(json.contains("\"miss_classes\":"), "{json}");
+        assert!(json.contains("\"records\":"), "{json}");
+    }
+
+    #[test]
+    fn pareto_din_emits_trace_header_and_engine_warning() {
+        let (_dir, din) = write_din_file();
+        let out = run(Command::Pareto {
+            file: din,
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            format: "json".into(),
+            exhaustive: false,
+            telemetry: false,
+            engine: "per-design".into(),
+            supervise: Supervise::default(),
+            obs: ObsFlags::default(),
+        })
+        .expect("command succeeds");
+        assert!(out.stdout.contains("\"trace\": \""), "{out:?}");
+        assert!(out.stdout.contains("k.din"), "{out:?}");
+        assert!(out.stdout.contains("\"engine\": \"streamed\""), "{out:?}");
+        assert!(
+            out.stderr.contains("--engine per-design is ignored"),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn search_din_matches_explore_minimum_energy() {
+        let (_dir, din) = write_din_file();
+        let explore_out = run(Command::Explore {
+            file: din.clone(),
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            analytical: false,
+            bound_cycles: None,
+            bound_energy: None,
+            pareto: false,
+            telemetry: false,
+            engine: "fused".into(),
+            supervise: Supervise::default(),
+            obs: ObsFlags::default(),
+        })
+        .expect("explore succeeds")
+        .stdout;
+        let min_line = explore_out
+            .lines()
+            .find(|l| l.starts_with("minimum energy"))
+            .expect("explore names a minimum")
+            .to_string();
+        let search_out = run(Command::Search {
+            file: din.clone(),
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            objective: Objective::Energy,
+            space: "paper".into(),
+            beam: None,
+            gap: 0.0,
+            deadline_secs: None,
+            format: "text".into(),
+            telemetry: false,
+            obs: ObsFlags::default(),
+        })
+        .expect("search succeeds")
+        .stdout;
+        assert!(search_out.contains(&min_line), "{search_out}\n{min_line}");
+        assert!(search_out.contains("optimum certified"), "{search_out}");
+        assert!(search_out.contains("searched trace "), "{search_out}");
+
+        let err = run(Command::Search {
+            file: din,
+            part: "cy7c".into(),
+            em_nj: None,
+            natural: false,
+            objective: Objective::Energy,
+            space: "expansive".into(),
+            beam: None,
+            gap: 0.0,
+            deadline_secs: None,
+            format: "text".into(),
+            telemetry: false,
+            obs: ObsFlags::default(),
+        })
+        .expect_err("expansive space needs a kernel");
+        assert!(err.to_string().contains("expansive"), "{err}");
     }
 
     #[test]

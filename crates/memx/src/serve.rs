@@ -5,9 +5,11 @@
 //! line-delimited HTTP/1.1+JSON API on a TCP socket:
 //!
 //! * `POST /v1/jobs` — run (or serve from cache) one job. The body is a
-//!   JSON object; `command` picks the job kind and `kernel` carries the
-//!   loopir `.mx` text inline. Unknown fields are rejected (400), so a
-//!   typo'd knob can never silently fall back to a default.
+//!   JSON object; `command` picks the job kind and exactly one of
+//!   `kernel` (inline loopir `.mx` text) or `trace` (inline Dinero `.din`
+//!   text, swept by streaming) carries the workload. Unknown fields are
+//!   rejected (400), so a typo'd knob can never silently fall back to a
+//!   default.
 //! * `GET  /v1/health` — liveness probe.
 //! * `GET  /v1/stats` — job/cache/queue counters as JSON.
 //! * `POST /v1/shutdown` — graceful stop (also SIGTERM on the binary).
@@ -34,7 +36,7 @@ use crate::commands::{self, Output, RunError};
 use loopir::parse::parse_kernel;
 use loopir::Kernel;
 use memexplore::obs::{parse_json, push_json_str, Json};
-use memexplore::{CacheKey, FieldValue, Lookup, Objective, Obs, ResultCache};
+use memexplore::{CacheKey, FieldValue, Lookup, Objective, Obs, ResultCache, TraceWorkload};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -82,15 +84,25 @@ impl JobKind {
     }
 }
 
+/// The workload a job sweeps: a parsed kernel or a streamed trace.
+#[derive(Clone, Debug)]
+pub enum JobInput {
+    /// Parsed kernel from the request's inline `.mx` text.
+    Kernel(Kernel),
+    /// Prepared trace from the request's inline `.din` text, swept by
+    /// streaming over the fixed trace grid (tiling pinned at 1).
+    Trace(TraceWorkload),
+}
+
 /// A fully validated job request. Defaults mirror the offline CLI, so a
 /// request that only sets `command` and `kernel` behaves exactly like
-/// `memx <command> KERNEL.mx`.
+/// `memx <command> KERNEL.mx` (and `trace` like `memx <command> TRACE.din`).
 #[derive(Clone, Debug)]
 pub struct JobSpec {
     /// Which sweep to run.
     pub kind: JobKind,
-    /// Parsed kernel (from the request's inline `.mx` text).
-    pub kernel: Kernel,
+    /// The workload (inline kernel or inline trace).
+    pub input: JobInput,
     /// Off-chip part keyword (`cy7c`, `lp2m`, `16m`).
     pub part: String,
     /// Custom `Em` (nJ/access) overriding `part`.
@@ -188,15 +200,30 @@ impl JobSpec {
                 }
             },
         };
-        let kernel_text = match body.get("kernel") {
-            None => return Err(bad("missing field `kernel` (inline .mx text)")),
-            Some(v) => field_str(v, "kernel")?.to_string(),
+        let input = match (body.get("kernel"), body.get("trace")) {
+            (Some(_), Some(_)) => {
+                return Err(bad("fields `kernel` and `trace` are mutually exclusive"))
+            }
+            (None, None) => return Err(bad(
+                "missing workload: set `kernel` (inline .mx text) or `trace` (inline .din text)",
+            )),
+            (Some(v), None) => {
+                let text = field_str(v, "kernel")?;
+                JobInput::Kernel(parse_kernel(text).map_err(|e| bad(format!("bad kernel: {e}")))?)
+            }
+            (None, Some(v)) => {
+                let text = field_str(v, "trace")?.to_string();
+                JobInput::Trace(
+                    TraceWorkload::from_text("inline.din", text)
+                        .map_err(|e| bad(format!("bad trace: {e}")))?,
+                )
+            }
         };
-        let kernel = parse_kernel(&kernel_text).map_err(|e| bad(format!("bad kernel: {e}")))?;
+        let is_trace = matches!(input, JobInput::Trace(_));
 
         let mut spec = JobSpec {
             kind,
-            kernel,
+            input,
             part: "cy7c".to_string(),
             em_nj: None,
             natural: false,
@@ -219,7 +246,17 @@ impl JobSpec {
         };
         for (key, value) in pairs {
             let known = match key.as_str() {
-                "command" | "kernel" => true,
+                "command" | "kernel" | "trace" => true,
+                // Kernel-shaped knobs are rejected outright for trace
+                // jobs: a streamed `.din` sweep has one engine, no
+                // analytical model, and sweeps the fixed trace grid
+                // exhaustively, so accepting these would silently lie.
+                "engine" | "analytical" | "exhaustive" | "space" | "beam" | "gap" if is_trace => {
+                    return Err(bad(format!(
+                        "field `{key}` needs a kernel workload (a streamed `.din` trace \
+                         sweeps the fixed trace grid)"
+                    )));
+                }
                 "part" => {
                     spec.part = field_keyword(value, "part", &["cy7c", "lp2m", "16m"])?.to_string();
                     true
@@ -317,17 +354,31 @@ impl JobSpec {
 
     /// The content address of this job: a 128-bit FNV-1a hash over the
     /// canonical rendering. Canonical means (a) the *parsed* kernel's
-    /// `Display` (so formatting/comments in the request text are erased),
-    /// (b) every knob present with its resolved value (so explicit
-    /// defaults hash like omitted ones), (c) floats as IEEE bit patterns
-    /// (so `0.5` and `5e-1` agree), and (d) only fields that affect the
-    /// result bytes — `deadline_secs` is excluded because cancelled
-    /// results are never cached.
+    /// `Display` (so formatting/comments in the request text are erased)
+    /// — or, for trace jobs, the streaming fingerprint plus event count
+    /// (so two spellings of the same recorded events share an entry), (b)
+    /// every knob present with its resolved value (so explicit defaults
+    /// hash like omitted ones), (c) floats as IEEE bit patterns (so `0.5`
+    /// and `5e-1` agree), and (d) only fields that affect the result
+    /// bytes — `deadline_secs` is excluded because cancelled results are
+    /// never cached.
     pub fn cache_key(&self) -> CacheKey {
         use std::fmt::Write as _;
         let mut s = String::with_capacity(512);
         let _ = write!(s, "{KEY_SCHEMA}\0command={}\0", self.kind.as_str());
-        let _ = write!(s, "kernel={}\0", self.kernel);
+        match &self.input {
+            JobInput::Kernel(kernel) => {
+                let _ = write!(s, "kernel={kernel}\0");
+            }
+            JobInput::Trace(workload) => {
+                let _ = write!(
+                    s,
+                    "trace={}:{}\0",
+                    workload.fingerprint().to_hex(),
+                    workload.events()
+                );
+            }
+        }
         let _ = write!(s, "part={}\0", self.part);
         let _ = write!(
             s,
@@ -777,9 +828,9 @@ fn run_job(spec: &JobSpec, workers: usize) -> Result<(Output, bool), RunError> {
         ..Supervise::default()
     };
     let obs_flags = ObsFlags::default();
-    match spec.kind {
-        JobKind::Explore => commands::explore(
-            &spec.kernel,
+    match (&spec.input, spec.kind) {
+        (JobInput::Kernel(kernel), JobKind::Explore) => commands::explore(
+            kernel,
             evaluator,
             spec.analytical,
             spec.bound_cycles,
@@ -791,8 +842,8 @@ fn run_job(spec: &JobSpec, workers: usize) -> Result<(Output, bool), RunError> {
             &obs_flags,
             Some(workers),
         ),
-        JobKind::Pareto => commands::pareto_frontier(
-            &spec.kernel,
+        (JobInput::Kernel(kernel), JobKind::Pareto) => commands::pareto_frontier(
+            kernel,
             evaluator,
             &spec.format,
             spec.exhaustive,
@@ -802,13 +853,46 @@ fn run_job(spec: &JobSpec, workers: usize) -> Result<(Output, bool), RunError> {
             &obs_flags,
             Some(workers),
         ),
-        JobKind::Search => commands::search(
-            &spec.kernel,
+        (JobInput::Kernel(kernel), JobKind::Search) => commands::search(
+            kernel,
             evaluator,
             spec.objective,
             &spec.space,
             spec.beam,
             spec.gap,
+            spec.deadline_secs,
+            &spec.format,
+            false,
+            &obs_flags,
+            Some(workers),
+        ),
+        (JobInput::Trace(workload), JobKind::Explore) => commands::explore_trace(
+            workload,
+            evaluator,
+            spec.bound_cycles,
+            spec.bound_energy,
+            spec.pareto,
+            false,
+            &spec.engine,
+            &supervise,
+            &obs_flags,
+            Some(workers),
+        ),
+        (JobInput::Trace(workload), JobKind::Pareto) => commands::pareto_trace(
+            workload,
+            evaluator,
+            &spec.format,
+            false,
+            &spec.engine,
+            &supervise,
+            &obs_flags,
+            Some(workers),
+        ),
+        (JobInput::Trace(workload), JobKind::Search) => commands::search_trace(
+            workload,
+            evaluator,
+            spec.objective,
+            spec.beam,
             spec.deadline_secs,
             &spec.format,
             false,
@@ -1104,7 +1188,8 @@ pub fn signal_received() -> bool {
 pub struct SubmitRequest {
     /// Daemon address (`HOST:PORT`).
     pub addr: String,
-    /// Kernel file path (read locally, sent inline).
+    /// Workload file path (read locally, sent inline): `.mx` kernel
+    /// text, or a `.din` trace submitted as a streamed trace job.
     pub file: String,
     /// Job kind keyword (`explore`, `pareto`, `search`).
     pub job: String,
@@ -1146,11 +1231,15 @@ impl SubmitRequest {
     /// Renders the `POST /v1/jobs` body. Only non-default knobs are sent,
     /// so a flag that does not apply to the chosen job kind surfaces as
     /// the daemon's typed 400 instead of being silently dropped.
-    fn body(&self, kernel_text: &str) -> String {
+    /// `workload_key` is `"kernel"` for `.mx` files and `"trace"` for
+    /// `.din` files.
+    fn body(&self, workload_key: &str, workload_text: &str) -> String {
         let mut b = String::from("{\"command\":");
         push_json_str(&mut b, &self.job);
-        b.push_str(",\"kernel\":");
-        push_json_str(&mut b, kernel_text);
+        b.push_str(",\"");
+        b.push_str(workload_key);
+        b.push_str("\":");
+        push_json_str(&mut b, workload_text);
         if self.part != "cy7c" {
             b.push_str(",\"part\":");
             push_json_str(&mut b, &self.part);
@@ -1215,10 +1304,14 @@ impl SubmitRequest {
 ///
 /// [`RunError`] per the contract above.
 pub fn submit(req: &SubmitRequest) -> Result<Output, RunError> {
-    let kernel_text = std::fs::read_to_string(&req.file)
+    let workload_text = std::fs::read_to_string(&req.file)
         .map_err(|e| RunError::Io(format!("cannot read `{}`: {e}", req.file)))?;
-    // Fail on an unparsable kernel locally — no point shipping it.
-    parse_kernel(&kernel_text).map_err(|e| RunError::Other(format!("{}: {e}", req.file).into()))?;
+    let is_trace = commands::is_din_path(&req.file);
+    if !is_trace {
+        // Fail on an unparsable kernel locally — no point shipping it.
+        parse_kernel(&workload_text)
+            .map_err(|e| RunError::Other(format!("{}: {e}", req.file).into()))?;
+    }
     if let Some(budget) = req.wait_health_secs {
         if !wait_health(&req.addr, Duration::from_secs_f64(budget)) {
             return Err(RunError::Io(format!(
@@ -1227,7 +1320,7 @@ pub fn submit(req: &SubmitRequest) -> Result<Output, RunError> {
             )));
         }
     }
-    let body = req.body(&kernel_text);
+    let body = req.body(if is_trace { "trace" } else { "kernel" }, &workload_text);
     let response = http_request(&req.addr, "POST", "/v1/jobs", body.as_bytes())
         .map_err(|e| RunError::Io(format!("cannot reach daemon at {}: {e}", req.addr)))?;
     let text = String::from_utf8_lossy(&response.body);
@@ -1387,6 +1480,62 @@ mod tests {
         )
         .expect_err("bad kernel");
         assert!(e.0.contains("bad kernel"), "{e}");
+    }
+
+    fn trace_spec(cmd: &str, din_text: &str, extra: &str) -> Result<JobSpec, BadRequest> {
+        let mut body = format!("{{\"command\":\"{cmd}\",\"trace\":");
+        push_json_str(&mut body, din_text);
+        body.push_str(extra);
+        body.push('}');
+        JobSpec::from_json(&parse_json(&body).expect("valid JSON"))
+    }
+
+    #[test]
+    fn trace_jobs_key_by_content_not_spelling() {
+        // Same four events, different address spellings and labels order —
+        // the streaming fingerprint erases the text differences.
+        let a = trace_spec("explore", "0 0\n1 4\n0 8\n2 c\n", "").expect("valid spec");
+        let b = trace_spec("explore", "0 0x0\n1 0x4\n0 08\n2 0xc\n", "").expect("valid spec");
+        assert_eq!(a.cache_key(), b.cache_key());
+        // A different event stream must change the key.
+        let c = trace_spec("explore", "0 0\n1 4\n0 8\n2 10\n", "").expect("valid spec");
+        assert_ne!(a.cache_key(), c.cache_key());
+        // And the key never collides with any kernel job's.
+        assert_ne!(a.cache_key(), explore_spec("").cache_key());
+    }
+
+    #[test]
+    fn trace_jobs_reject_kernel_shaped_knobs() {
+        for (cmd, extra) in [
+            ("explore", ",\"analytical\":true"),
+            ("explore", ",\"engine\":\"per-design\""),
+            ("pareto", ",\"exhaustive\":true"),
+            ("search", ",\"space\":\"expansive\""),
+            ("search", ",\"beam\":4"),
+            ("search", ",\"gap\":0.1"),
+        ] {
+            let e = trace_spec(cmd, "0 0\n", extra).expect_err("must reject");
+            assert!(e.0.contains("needs a kernel workload"), "{cmd}{extra}: {e}");
+        }
+        // Bounds, part, format, deadline stay valid for trace jobs.
+        trace_spec("explore", "0 0\n", ",\"bound_cycles\":100,\"pareto\":true").expect("valid");
+        trace_spec(
+            "search",
+            "0 0\n",
+            ",\"objective\":\"cycles\",\"format\":\"json\"",
+        )
+        .expect("valid");
+    }
+
+    #[test]
+    fn kernel_and_trace_are_mutually_exclusive() {
+        let mut body = String::from("{\"command\":\"explore\",\"kernel\":");
+        push_json_str(&mut body, &compress_text());
+        body.push_str(",\"trace\":\"0 0\\n\"}");
+        let e = JobSpec::from_json(&parse_json(&body).expect("valid")).expect_err("must reject");
+        assert!(e.0.contains("mutually exclusive"), "{e}");
+        let e = trace_spec("explore", "not a trace", "").expect_err("bad trace");
+        assert!(e.0.contains("bad trace"), "{e}");
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn single_pass_kernels() -> Vec<Kernel> {
         kernels::sor(15),
         kernels::dequant(15),
         kernels::matadd(15),
+        kernels::stencil(15),
     ]
 }
 

@@ -1,0 +1,44 @@
+//! Golden snapshots of the kernel library.
+//!
+//! Each shipped `.mx` example must parse to *exactly* the kernel its
+//! `loopir::kernels` builder constructs — compared through the canonical
+//! [`Kernel`] `Display` rendering, which normalizes loop-variable names
+//! and subscript spelling. This pins both sides at once: a builder edit
+//! that drifts from the shipped example fails here, and so does an
+//! example edit that drifts from the builder.
+
+use loopir::{kernels, parse_kernel, Kernel};
+use std::fs;
+use std::path::Path;
+
+fn shipped(name: &str) -> Kernel {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/kernels")
+        .join(name);
+    let text =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    parse_kernel(&text).unwrap_or_else(|e| panic!("cannot parse {name}: {e}"))
+}
+
+#[test]
+fn shipped_examples_match_their_builders() {
+    let pairs: Vec<(&str, Kernel)> = vec![
+        ("compress.mx", kernels::compress(31)),
+        ("matmul.mx", kernels::matmul(31)),
+        ("pde.mx", kernels::pde(31)),
+        ("sor.mx", kernels::sor(31)),
+        ("dequant.mx", kernels::dequant(31)),
+        ("matadd.mx", kernels::matadd(6)),
+        ("conv2d.mx", kernels::conv2d(16, 3)),
+        ("stencil.mx", kernels::stencil(31)),
+    ];
+    for (file, builder) in pairs {
+        let parsed = shipped(file);
+        assert_eq!(
+            parsed.to_string(),
+            builder.to_string(),
+            "{file} no longer matches kernels::{}",
+            builder.name.to_lowercase()
+        );
+    }
+}

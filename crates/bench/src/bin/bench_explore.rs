@@ -72,6 +72,46 @@ fn bench_kernel(kernel: &loopir::Kernel, designs: &[memexplore::CacheDesign]) ->
     }
 }
 
+/// Multi-worker numbers on a strided subset of the expansive grid
+/// (`DesignSpace::expansive()` has over a million candidates, so the
+/// exhaustive sweep is infeasible — a fixed-stride sample keeps the
+/// subset deterministic while still covering the full size/line/assoc/
+/// tiling range).
+struct ExpansiveResult {
+    subset: usize,
+    total: usize,
+    workers: usize,
+    serial_secs: f64,
+    parallel_secs: f64,
+    identical: bool,
+}
+
+fn bench_expansive() -> ExpansiveResult {
+    const SUBSET: usize = 2048;
+    let kernel = kernels::compress(31);
+    let space = DesignSpace::expansive();
+    let all = space.designs();
+    let stride = (all.len() / SUBSET).max(1);
+    let designs: Vec<memexplore::CacheDesign> = all.iter().copied().step_by(stride).collect();
+
+    let serial = Explorer::default().with_workers(1);
+    let workers = std::thread::available_parallelism().map_or(4, usize::from);
+    let parallel = Explorer::default().with_workers(workers);
+
+    let (serial_secs, serial_records) = best_of(RUNS, || serial.explore_designs(&kernel, &designs));
+    let (parallel_secs, parallel_records) =
+        best_of(RUNS, || parallel.explore_designs(&kernel, &designs));
+
+    ExpansiveResult {
+        subset: designs.len(),
+        total: all.len(),
+        workers,
+        serial_secs,
+        parallel_secs,
+        identical: serial_records == parallel_records,
+    }
+}
+
 fn main() {
     bench::reject_args("bench_explore");
     let designs = DesignSpace::paper().designs();
@@ -97,12 +137,15 @@ fn main() {
     let identical_to_seed = fused_compress == seed_records;
     let identical_to_serial = fused_compress == serial;
 
+    let expansive = bench_expansive();
+
     let json = render_json(
         &results,
         seed_secs,
         compress.fused_secs,
         identical_to_seed,
         identical_to_serial,
+        &expansive,
     );
     std::fs::write("BENCH_explore.json", &json).expect("can write BENCH_explore.json");
 
@@ -129,10 +172,24 @@ fn main() {
     println!(
         "records bit-identical to seed engine: {identical_to_seed}, to serial sweep: {identical_to_serial}"
     );
+    println!(
+        "expansive subset ({} of {} designs) | serial {:.3} s | {} workers {:.3} s | speedup {:.2}x | identical {}",
+        expansive.subset,
+        expansive.total,
+        expansive.serial_secs,
+        expansive.workers,
+        expansive.parallel_secs,
+        expansive.serial_secs / expansive.parallel_secs,
+        expansive.identical
+    );
     println!("wrote BENCH_explore.json");
 
     assert!(identical_to_seed, "fused engine diverged from seed engine");
     assert!(identical_to_serial, "parallel sweep diverged from serial");
+    assert!(
+        expansive.identical,
+        "multi-worker expansive sweep diverged from serial"
+    );
 }
 
 fn render_json(
@@ -141,6 +198,7 @@ fn render_json(
     fused_compress_secs: f64,
     identical_to_seed: bool,
     identical_to_serial: bool,
+    expansive: &ExpansiveResult,
 ) -> String {
     let mut kernels_json = String::new();
     for (i, r) in results.iter().enumerate() {
@@ -179,7 +237,17 @@ fn render_json(
             "  \"seed_engine_secs_compress\": {:.6},\n",
             "  \"seed_vs_fused_speedup_compress\": {:.3},\n",
             "  \"records_identical_to_seed\": {},\n",
-            "  \"records_identical_to_serial\": {}\n",
+            "  \"records_identical_to_serial\": {},\n",
+            "  \"expansive_subset\": {{\n",
+            "    \"kernel\": \"Compress\",\n",
+            "    \"subset_designs\": {},\n",
+            "    \"grid_designs\": {},\n",
+            "    \"workers\": {},\n",
+            "    \"serial_secs\": {:.6},\n",
+            "    \"parallel_secs\": {:.6},\n",
+            "    \"speedup\": {:.3},\n",
+            "    \"records_identical\": {}\n",
+            "  }}\n",
             "}}\n"
         ),
         RUNS,
@@ -188,5 +256,12 @@ fn render_json(
         seed_secs / fused_compress_secs,
         identical_to_seed,
         identical_to_serial,
+        expansive.subset,
+        expansive.total,
+        expansive.workers,
+        expansive.serial_secs,
+        expansive.parallel_secs,
+        expansive.serial_secs / expansive.parallel_secs,
+        expansive.identical,
     )
 }

@@ -54,8 +54,10 @@ pub enum CheckpointError {
     Truncated { expected: usize, got: usize },
     /// Leading magic bytes are not `MXCK`.
     BadMagic,
-    /// Format version this build does not understand.
-    BadVersion { found: u32 },
+    /// Format version this build does not understand; carries both the
+    /// version found in the header and the one this build supports so
+    /// the operator can tell which side is stale.
+    BadVersion { found: u32, supported: u32 },
     /// Payload checksum mismatch (bit rot or a torn write).
     BadChecksum { expected: u64, got: u64 },
     /// Checkpoint belongs to a different sweep configuration.
@@ -72,10 +74,10 @@ impl fmt::Display for CheckpointError {
                 write!(f, "truncated checkpoint: need {expected} bytes, found {got}")
             }
             Self::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
-            Self::BadVersion { found } => {
+            Self::BadVersion { found, supported } => {
                 write!(
                     f,
-                    "unsupported checkpoint version {found} (this build reads {VERSION})"
+                    "unsupported checkpoint version {found} (this build reads version {supported})"
                 )
             }
             Self::BadChecksum { expected, got } => write!(
@@ -172,7 +174,10 @@ impl Checkpoint {
         let u64_at = |b: &[u8], o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
         let version = u32_at(4);
         if version != VERSION {
-            return Err(CheckpointError::BadVersion { found: version });
+            return Err(CheckpointError::BadVersion {
+                found: version,
+                supported: VERSION,
+            });
         }
         let sweep_id = u64_at(bytes, 8);
         let count = u64_at(bytes, 16);
@@ -326,8 +331,32 @@ mod tests {
         bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
         assert!(matches!(
             Checkpoint::from_bytes(&bad_version),
-            Err(CheckpointError::BadVersion { found: 99 })
+            Err(CheckpointError::BadVersion {
+                found: 99,
+                supported: VERSION
+            })
         ));
+    }
+
+    /// Regression: a v-next header on otherwise-valid bytes must be
+    /// rejected as version skew — checked *before* the checksum so the
+    /// operator sees "unsupported version", not a misleading bit-rot
+    /// report — and the message must name both versions.
+    #[test]
+    fn version_skew_is_reported_before_checksum_and_names_both_versions() {
+        let mut next = sample().to_bytes();
+        next[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        let err = Checkpoint::from_bytes(&next).unwrap_err();
+        match &err {
+            CheckpointError::BadVersion { found, supported } => {
+                assert_eq!(*found, VERSION + 1);
+                assert_eq!(*supported, VERSION);
+            }
+            other => panic!("expected BadVersion, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("version {}", VERSION + 1)), "{msg}");
+        assert!(msg.contains(&format!("version {VERSION}")), "{msg}");
     }
 
     #[test]

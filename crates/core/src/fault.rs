@@ -21,6 +21,17 @@ pub struct FaultPlan {
     pub panic_design: Option<usize>,
     /// Report failure for this (0-based) checkpoint flush.
     pub fail_checkpoint_write: Option<usize>,
+    /// Kill the worker running this `(shard, attempt)` mid-shard; the
+    /// coordinator must observe the loss and retry within its budget.
+    pub drop_worker: Option<(usize, u32)>,
+    /// Stall liveness for this `(shard, attempt)`: the attempt reports a
+    /// stale heartbeat (and dawdles) so straggler detection must fire a
+    /// speculative re-dispatch that wins the race.
+    pub stall_heartbeat: Option<(usize, u32)>,
+    /// Flip a byte in this `(shard, attempt)`'s result stream before the
+    /// coordinator validates it — must surface as a typed checkpoint
+    /// rejection followed by a re-dispatch, never as merged garbage.
+    pub corrupt_stream: Option<(usize, u32)>,
 }
 
 impl FaultPlan {
@@ -43,7 +54,7 @@ impl FaultPlan {
         Self {
             panic_group: (groups > 0).then(|| next() as usize % groups),
             panic_design: (designs > 0).then(|| next() as usize % designs),
-            fail_checkpoint_write: None,
+            ..Self::default()
         }
     }
 
@@ -70,6 +81,27 @@ impl FaultPlan {
     #[inline]
     pub fn should_fail_checkpoint(&self, flush: usize) -> bool {
         cfg!(feature = "fault-injection") && self.fail_checkpoint_write == Some(flush)
+    }
+
+    /// True iff fault injection is compiled in and the worker executing
+    /// `(shard, attempt)` should die mid-shard.
+    #[inline]
+    pub fn should_drop_worker(&self, shard: usize, attempt: u32) -> bool {
+        cfg!(feature = "fault-injection") && self.drop_worker == Some((shard, attempt))
+    }
+
+    /// True iff fault injection is compiled in and `(shard, attempt)`'s
+    /// heartbeat should read as stale to the coordinator.
+    #[inline]
+    pub fn should_stall_heartbeat(&self, shard: usize, attempt: u32) -> bool {
+        cfg!(feature = "fault-injection") && self.stall_heartbeat == Some((shard, attempt))
+    }
+
+    /// True iff fault injection is compiled in and `(shard, attempt)`'s
+    /// result stream should be corrupted before validation.
+    #[inline]
+    pub fn should_corrupt_stream(&self, shard: usize, attempt: u32) -> bool {
+        cfg!(feature = "fault-injection") && self.corrupt_stream == Some((shard, attempt))
     }
 }
 
@@ -102,6 +134,9 @@ mod tests {
             panic_group: Some(2),
             panic_design: Some(5),
             fail_checkpoint_write: Some(1),
+            drop_worker: Some((3, 0)),
+            stall_heartbeat: Some((1, 2)),
+            corrupt_stream: Some((0, 1)),
         };
         plan.maybe_panic_group(1);
         plan.maybe_panic_design(4);
@@ -109,6 +144,12 @@ mod tests {
         assert!(plan.should_fail_checkpoint(1));
         assert!(std::panic::catch_unwind(|| plan.maybe_panic_group(2)).is_err());
         assert!(std::panic::catch_unwind(|| plan.maybe_panic_design(5)).is_err());
+        assert!(plan.should_drop_worker(3, 0));
+        assert!(!plan.should_drop_worker(3, 1));
+        assert!(plan.should_stall_heartbeat(1, 2));
+        assert!(!plan.should_stall_heartbeat(2, 1));
+        assert!(plan.should_corrupt_stream(0, 1));
+        assert!(!plan.should_corrupt_stream(0, 0));
     }
 
     #[cfg(not(feature = "fault-injection"))]
@@ -118,9 +159,15 @@ mod tests {
             panic_group: Some(0),
             panic_design: Some(0),
             fail_checkpoint_write: Some(0),
+            drop_worker: Some((0, 0)),
+            stall_heartbeat: Some((0, 0)),
+            corrupt_stream: Some((0, 0)),
         };
         plan.maybe_panic_group(0);
         plan.maybe_panic_design(0);
         assert!(!plan.should_fail_checkpoint(0));
+        assert!(!plan.should_drop_worker(0, 0));
+        assert!(!plan.should_stall_heartbeat(0, 0));
+        assert!(!plan.should_corrupt_stream(0, 0));
     }
 }

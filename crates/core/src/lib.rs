@@ -50,6 +50,7 @@ pub mod obs;
 pub mod pareto;
 pub mod search;
 pub mod select;
+pub mod shard;
 pub mod spm;
 pub mod supervisor;
 pub mod telemetry;
@@ -67,6 +68,10 @@ pub use obs::{
     RunReport,
 };
 pub use search::{Objective, SearchOptions, SearchOutcome};
+pub use shard::{
+    backoff_delay, partition, run_sharded, CoordinatorOptions, MergeStats, ShardError,
+    ShardExecutor, ShardHandle, ShardOutput, ShardSpec, ShardedOutcome, ThreadExecutor,
+};
 pub use supervisor::{CheckpointPolicy, SweepError, SweepOptions, SweepOutcome};
 pub use telemetry::SweepTelemetry;
 pub use workload::{trace_sweep_id, TraceError, TraceWorkload, TRACE_BANK_WIDTH};

@@ -1,0 +1,1405 @@
+//! Fault-tolerant sharding of a design-grid sweep across workers.
+//!
+//! The sweep over the paper's design grid is embarrassingly parallel:
+//! every [`Record`] depends only on its own design point, so a worker
+//! that sweeps the slice `designs[start..end]` produces exactly the
+//! records a single-process sweep would have produced for those slots
+//! (the property the resume tests already pin bit-exactly). This module
+//! turns that observation into a coordinator/worker protocol:
+//!
+//! * [`partition`] splits the grid into contiguous [`ShardSpec`] ranges;
+//! * a [`ShardExecutor`] launches one *attempt* of a shard and hands
+//!   back a [`ShardHandle`] the coordinator can poll, probe for
+//!   liveness, and cancel;
+//! * [`run_sharded`] is the coordinator control loop: it dispatches
+//!   shards into free slots, retries failed attempts with exponential
+//!   backoff under a retry budget, speculatively re-dispatches
+//!   stragglers whose heartbeat goes stale (first complete wins,
+//!   duplicates are deduped by sweep id + entry index), degrades to
+//!   coordinator-local execution when a shard exhausts its budget, and
+//!   merges everything into slot order — byte-identical to the
+//!   single-process sweep.
+//!
+//! The checkpoint sidecar ([`crate::checkpoint`]) is the durable wire
+//! format: process workers stream their results into a per-shard
+//! checkpoint file, which doubles as the crash-recovery journal — a
+//! retried attempt resumes from whatever its predecessor flushed. A
+//! corrupt stream surfaces as a typed [`CheckpointError`] and triggers
+//! a fresh (non-resuming) re-dispatch, never merged garbage.
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::fault::FaultPlan;
+use crate::metrics::{CacheDesign, Record};
+use crate::obs::{FieldValue, Obs};
+use crate::supervisor::SweepError;
+use crate::telemetry::SweepTelemetry;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One contiguous slice of the design grid, assigned to a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Position of this shard in the partition (0-based).
+    pub index: usize,
+    /// First global design index covered (inclusive).
+    pub start: usize,
+    /// One past the last global design index covered.
+    pub end: usize,
+    /// Sweep id of the slice `designs[start..end]`, used to reject a
+    /// result stream that belongs to a different shard or workload and
+    /// as half of the merge dedupe key. 0 disables the check (executors
+    /// that cannot compute slice ids, e.g. synthetic tests).
+    pub sweep_id: u64,
+}
+
+impl ShardSpec {
+    /// Number of designs the shard covers.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the shard covers no designs.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Splits `total` designs into at most `shards` contiguous, near-equal
+/// ranges. The split is deterministic: the first `total % shards`
+/// shards take the extra design, so any two coordinators partitioning
+/// the same grid agree exactly. Empty shards are never produced — fewer
+/// than `shards` specs come back when `total < shards`.
+pub fn partition(total: usize, shards: usize) -> Vec<ShardSpec> {
+    let shards = shards.max(1).min(total.max(1));
+    let base = total / shards;
+    let extra = total % shards;
+    let mut specs = Vec::with_capacity(shards);
+    let mut start = 0;
+    for index in 0..shards {
+        let len = base + usize::from(index < extra);
+        if len == 0 {
+            break;
+        }
+        specs.push(ShardSpec {
+            index,
+            start,
+            end: start + len,
+            sweep_id: 0,
+        });
+        start += len;
+    }
+    debug_assert_eq!(specs.iter().map(ShardSpec::len).sum::<usize>(), total);
+    specs
+}
+
+/// What one shard attempt hands back to the coordinator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardOutput {
+    /// Sweep id the worker computed for its slice; validated against
+    /// [`ShardSpec::sweep_id`] when the spec carries one.
+    pub sweep_id: u64,
+    /// Completed records keyed by *local* index within the shard.
+    pub entries: Vec<(usize, Record)>,
+    /// Designs the worker quarantined, as `(local index, message)`.
+    pub quarantined: Vec<(usize, String)>,
+}
+
+/// Why a shard attempt failed. Every variant is retryable; the
+/// coordinator decides between resuming the attempt's checkpoint
+/// (crash, timeout) and starting fresh (corrupt stream).
+#[derive(Debug)]
+pub enum ShardError {
+    /// The worker process/thread died, was killed, or exited non-zero.
+    WorkerLost {
+        shard: usize,
+        attempt: u32,
+        message: String,
+    },
+    /// The result stream failed checkpoint validation — version skew,
+    /// checksum mismatch, wrong sweep id, or out-of-range entries.
+    CorruptStream {
+        shard: usize,
+        attempt: u32,
+        message: String,
+    },
+    /// The attempt outlived its per-shard deadline and was cancelled.
+    Timeout { shard: usize, attempt: u32 },
+    /// The attempt could not even be launched.
+    Launch {
+        shard: usize,
+        attempt: u32,
+        message: String,
+    },
+}
+
+impl ShardError {
+    /// Shard the failure belongs to.
+    pub fn shard(&self) -> usize {
+        match self {
+            Self::WorkerLost { shard, .. }
+            | Self::CorruptStream { shard, .. }
+            | Self::Timeout { shard, .. }
+            | Self::Launch { shard, .. } => *shard,
+        }
+    }
+
+    /// Short machine-stable reason, used for obs events.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Self::WorkerLost { .. } => "worker_lost",
+            Self::CorruptStream { .. } => "corrupt_stream",
+            Self::Timeout { .. } => "timeout",
+            Self::Launch { .. } => "launch",
+        }
+    }
+
+    /// Whether a retry may resume the attempt's checkpoint file. False
+    /// for corrupt streams: the sidecar itself is suspect, so the retry
+    /// starts from a clean slate.
+    pub fn resumable(&self) -> bool {
+        !matches!(self, Self::CorruptStream { .. })
+    }
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WorkerLost {
+                shard,
+                attempt,
+                message,
+            } => write!(f, "shard {shard} attempt {attempt}: worker lost: {message}"),
+            Self::CorruptStream {
+                shard,
+                attempt,
+                message,
+            } => write!(
+                f,
+                "shard {shard} attempt {attempt}: corrupt result stream: {message}"
+            ),
+            Self::Timeout { shard, attempt } => {
+                write!(f, "shard {shard} attempt {attempt}: deadline exceeded")
+            }
+            Self::Launch {
+                shard,
+                attempt,
+                message,
+            } => write!(
+                f,
+                "shard {shard} attempt {attempt}: launch failed: {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// A single in-flight shard attempt, owned by the coordinator.
+pub trait ShardHandle: Send {
+    /// Non-blocking completion probe. `None` while running; the first
+    /// `Some` is final (the coordinator drops the handle afterwards).
+    fn poll(&mut self) -> Option<Result<ShardOutput, ShardError>>;
+
+    /// Time since the attempt last showed signs of life (fresh process
+    /// output, checkpoint growth, …). The coordinator treats ages above
+    /// its straggler threshold as grounds for speculation.
+    fn heartbeat_age(&self) -> Duration;
+
+    /// Best-effort cancellation of a no-longer-needed attempt.
+    fn cancel(&mut self);
+}
+
+/// Launches shard attempts. `slots` bounds how many attempts the
+/// coordinator keeps in flight at once.
+pub trait ShardExecutor {
+    /// Starts one attempt of `spec`. `resume` asks the attempt to pick
+    /// up its predecessor's checkpoint where it left off (crash
+    /// recovery); executors without durable state may ignore it.
+    fn launch(
+        &self,
+        spec: &ShardSpec,
+        attempt: u32,
+        resume: bool,
+    ) -> Result<Box<dyn ShardHandle>, ShardError>;
+
+    /// Concurrent attempt capacity.
+    fn slots(&self) -> usize;
+}
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorOptions {
+    /// Extra attempts allowed per shard after the first; once a shard
+    /// has burned `1 + retry_budget` attempts it degrades to
+    /// coordinator-local execution.
+    pub retry_budget: u32,
+    /// Base backoff before a retry; attempt `n` waits roughly
+    /// `base * 2^(n-1)` plus deterministic jitter (see
+    /// [`backoff_delay`]).
+    pub backoff: Duration,
+    /// Heartbeat age beyond which a lone running attempt is declared a
+    /// straggler and a speculative twin is launched.
+    pub straggler_after: Duration,
+    /// Optional wall-clock cap per attempt; exceeding it cancels the
+    /// attempt and counts as a failure.
+    pub shard_deadline: Option<Duration>,
+    /// Coordinator poll interval.
+    pub poll: Duration,
+    /// Seed mixed into the backoff jitter so coordinated retries from
+    /// many shards do not synchronize.
+    pub seed: u64,
+}
+
+impl Default for CoordinatorOptions {
+    fn default() -> Self {
+        Self {
+            retry_budget: 3,
+            backoff: Duration::from_millis(100),
+            straggler_after: Duration::from_secs(10),
+            shard_deadline: None,
+            poll: Duration::from_millis(2),
+            seed: 0x6d65_6d78, // "memx"
+        }
+    }
+}
+
+/// Deterministic exponential backoff with jitter: attempt `n` (1-based
+/// for retries) waits `base * 2^(n-1)` (exponent capped at 6) plus an
+/// xorshift-derived jitter in `[0, base/2]`. Pure function of its
+/// arguments, so tests can assert the exact schedule.
+pub fn backoff_delay(base: Duration, seed: u64, shard: usize, attempt: u32) -> Duration {
+    let exp = 1u32 << attempt.saturating_sub(1).min(6);
+    let scaled = base.saturating_mul(exp);
+    let mut x =
+        seed ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (u64::from(attempt) << 32);
+    x |= 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let half = (base.as_micros() / 2) as u64;
+    let jitter = if half == 0 { 0 } else { x % (half + 1) };
+    scaled + Duration::from_micros(jitter)
+}
+
+/// Coordinator-side accounting of one distributed sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Shard attempts launched, counting retries and speculation.
+    pub dispatched: usize,
+    /// Attempts relaunched after a failure (loss, timeout, corruption).
+    pub retried: usize,
+    /// Speculative attempts launched against stale-heartbeat stragglers.
+    pub redispatched: usize,
+    /// Duplicate result entries discarded by first-complete-wins.
+    pub deduped: u64,
+    /// Shards that exhausted their retry budget and ran locally.
+    pub degraded: usize,
+    /// Worker slots still trusted at the end: the executor's slot count
+    /// minus permanently failed shards (floor 0).
+    pub workers_surviving: usize,
+    /// Wall time spent validating and merging result streams.
+    pub merge_time: Duration,
+}
+
+impl MergeStats {
+    /// Copies the shard counters into a merged sweep's telemetry.
+    pub fn fill(&self, t: &mut SweepTelemetry) {
+        t.shards_dispatched = self.dispatched;
+        t.shards_retried = self.retried;
+        t.shards_redispatched = self.redispatched;
+        t.shard_entries_deduped = self.deduped;
+        t.workers_surviving = self.workers_surviving;
+    }
+}
+
+/// Result of a coordinated sweep: records in grid slot order (a `None`
+/// means the design was quarantined), quarantine errors in ascending
+/// design order, and the coordinator's accounting.
+#[derive(Debug)]
+pub struct ShardedOutcome {
+    /// One slot per design in the grid.
+    pub records: Vec<Option<Record>>,
+    /// Quarantines propagated from workers (any worker quarantining a
+    /// design quarantines it in the merged result).
+    pub errors: Vec<SweepError>,
+    /// Dispatch/retry/merge accounting.
+    pub stats: MergeStats,
+}
+
+impl ShardedOutcome {
+    /// True when every design produced a record.
+    pub fn is_complete(&self) -> bool {
+        self.records.iter().all(Option::is_some)
+    }
+
+    /// Records in sweep order, skipping quarantined slots.
+    pub fn completed_records(&self) -> Vec<Record> {
+        self.records.iter().filter_map(Clone::clone).collect()
+    }
+}
+
+/// One in-flight attempt tracked by the coordinator.
+struct Active {
+    shard: usize,
+    attempt: u32,
+    handle: Box<dyn ShardHandle>,
+    started: Instant,
+}
+
+/// Scheduling state of one shard.
+enum SlotState {
+    /// Waiting (or backing off) for its next launch.
+    Pending { not_before: Instant, resume: bool },
+    /// At least one attempt is running.
+    Running,
+    /// Merged.
+    Done,
+}
+
+/// The coordinator control loop. Dispatches `specs` onto `executor`'s
+/// slots, retries failures with exponential backoff under
+/// `options.retry_budget`, speculatively re-dispatches stragglers, and
+/// merges results first-complete-wins into grid slot order. A shard
+/// that exhausts its budget is executed via `local` on the coordinator
+/// itself (graceful degradation down to zero surviving workers); only a
+/// failure of that last resort aborts the sweep.
+pub fn run_sharded(
+    executor: &dyn ShardExecutor,
+    specs: &[ShardSpec],
+    designs: &[CacheDesign],
+    local: &dyn Fn(&ShardSpec) -> Result<ShardOutput, ShardError>,
+    options: &CoordinatorOptions,
+    obs: Option<&Obs>,
+) -> Result<ShardedOutcome, ShardError> {
+    let total: usize = specs.iter().map(ShardSpec::len).sum();
+    debug_assert!(total <= designs.len());
+    let slots = executor.slots();
+    let mut records: Vec<Option<Record>> = vec![None; designs.len()];
+    let mut quarantined: BTreeMap<usize, String> = BTreeMap::new();
+    let mut stats = MergeStats::default();
+    let mut states: Vec<SlotState> = specs
+        .iter()
+        .map(|_| SlotState::Pending {
+            not_before: Instant::now(),
+            resume: false,
+        })
+        .collect();
+    // Attempts launched so far, per shard (also the next attempt number).
+    let mut attempts: Vec<u32> = vec![0; specs.len()];
+    let mut active: Vec<Active> = Vec::new();
+    let mut done = 0usize;
+
+    // Merges one attempt's validated output into the global slots.
+    let merge = |spec: &ShardSpec,
+                 out: ShardOutput,
+                 records: &mut Vec<Option<Record>>,
+                 quarantined: &mut BTreeMap<usize, String>,
+                 stats: &mut MergeStats| {
+        let t0 = Instant::now();
+        let mut fresh = 0u64;
+        for (local_idx, record) in out.entries {
+            let slot = &mut records[spec.start + local_idx];
+            if slot.is_some() {
+                stats.deduped += 1;
+            } else {
+                *slot = Some(record);
+                fresh += 1;
+            }
+        }
+        for (local_idx, message) in out.quarantined {
+            quarantined.entry(spec.start + local_idx).or_insert(message);
+        }
+        stats.merge_time += t0.elapsed();
+        fresh
+    };
+
+    // Checks an output against its spec; any inconsistency is a corrupt
+    // stream (retried fresh), never silent partial garbage.
+    let validate = |spec: &ShardSpec, attempt: u32, out: &ShardOutput| -> Result<(), ShardError> {
+        let corrupt = |message: String| ShardError::CorruptStream {
+            shard: spec.index,
+            attempt,
+            message,
+        };
+        if spec.sweep_id != 0 && out.sweep_id != spec.sweep_id {
+            return Err(corrupt(format!(
+                "sweep id {:#018x} does not match shard sweep id {:#018x}",
+                out.sweep_id, spec.sweep_id
+            )));
+        }
+        for (local_idx, _) in &out.entries {
+            if *local_idx >= spec.len() {
+                return Err(corrupt(format!(
+                    "entry index {local_idx} outside shard of {} designs",
+                    spec.len()
+                )));
+            }
+        }
+        for (local_idx, _) in &out.quarantined {
+            if *local_idx >= spec.len() {
+                return Err(corrupt(format!(
+                    "quarantine index {local_idx} outside shard of {} designs",
+                    spec.len()
+                )));
+            }
+        }
+        Ok(())
+    };
+
+    while done < specs.len() {
+        let now = Instant::now();
+
+        // Fill free slots with due pending shards, in index order.
+        for (s, spec) in specs.iter().enumerate() {
+            if active.len() >= slots {
+                break;
+            }
+            let SlotState::Pending { not_before, resume } = &states[s] else {
+                continue;
+            };
+            if *not_before > now {
+                continue;
+            }
+            let resume = *resume;
+            let attempt = attempts[s];
+            attempts[s] += 1;
+            stats.dispatched += 1;
+            if let Some(o) = obs {
+                o.point(
+                    "shard",
+                    "dispatch",
+                    &[
+                        ("shard", FieldValue::U64(s as u64)),
+                        ("attempt", FieldValue::U64(u64::from(attempt))),
+                        ("start", FieldValue::U64(spec.start as u64)),
+                        ("end", FieldValue::U64(spec.end as u64)),
+                        ("resume", FieldValue::U64(u64::from(resume))),
+                    ],
+                );
+            }
+            match executor.launch(spec, attempt, resume) {
+                Ok(handle) => {
+                    states[s] = SlotState::Running;
+                    active.push(Active {
+                        shard: s,
+                        attempt,
+                        handle,
+                        started: now,
+                    });
+                }
+                Err(e) => {
+                    // A launch failure is an attempt failure: back off
+                    // and retry like any other loss.
+                    schedule_retry(
+                        s,
+                        &e,
+                        specs,
+                        options,
+                        &mut states,
+                        &attempts,
+                        &mut stats,
+                        obs,
+                    );
+                    if matches!(states[s], SlotState::Done) {
+                        let out = local(spec)?;
+                        validate(spec, attempts[s], &out)?;
+                        merge(spec, out, &mut records, &mut quarantined, &mut stats);
+                        done += 1;
+                    }
+                }
+            }
+        }
+
+        // Poll in-flight attempts.
+        let mut i = 0;
+        while i < active.len() {
+            let timed_out = options
+                .shard_deadline
+                .is_some_and(|d| active[i].started.elapsed() > d);
+            let polled = if timed_out {
+                active[i].handle.cancel();
+                Some(Err(ShardError::Timeout {
+                    shard: specs[active[i].shard].index,
+                    attempt: active[i].attempt,
+                }))
+            } else {
+                active[i].handle.poll()
+            };
+            let Some(result) = polled else {
+                i += 1;
+                continue;
+            };
+            let finished = active.swap_remove(i);
+            let s = finished.shard;
+            let spec = &specs[s];
+            match result.and_then(|out| {
+                validate(spec, finished.attempt, &out)?;
+                Ok(out)
+            }) {
+                Ok(out) => {
+                    if matches!(states[s], SlotState::Done) {
+                        // A late twin of an already-merged shard: every
+                        // entry is a duplicate by construction.
+                        stats.deduped += out.entries.len() as u64;
+                        continue;
+                    }
+                    let entries = out.entries.len() as u64;
+                    let quarantines = out.quarantined.len() as u64;
+                    let fresh = merge(spec, out, &mut records, &mut quarantined, &mut stats);
+                    states[s] = SlotState::Done;
+                    done += 1;
+                    // First complete wins: cancel any surviving twin.
+                    for twin in active.iter_mut().filter(|a| a.shard == s) {
+                        twin.handle.cancel();
+                    }
+                    active.retain(|a| a.shard != s);
+                    if let Some(o) = obs {
+                        o.point(
+                            "shard",
+                            "complete",
+                            &[
+                                ("shard", FieldValue::U64(s as u64)),
+                                ("attempt", FieldValue::U64(u64::from(finished.attempt))),
+                                ("entries", FieldValue::U64(entries)),
+                                ("fresh", FieldValue::U64(fresh)),
+                                ("quarantined", FieldValue::U64(quarantines)),
+                            ],
+                        );
+                    }
+                }
+                Err(e) => {
+                    if matches!(states[s], SlotState::Done) {
+                        continue; // losing twin died after the winner merged
+                    }
+                    if active.iter().any(|a| a.shard == s) {
+                        // A twin is still running; let it race rather
+                        // than burning another attempt immediately.
+                        continue;
+                    }
+                    schedule_retry(
+                        s,
+                        &e,
+                        specs,
+                        options,
+                        &mut states,
+                        &attempts,
+                        &mut stats,
+                        obs,
+                    );
+                    if matches!(states[s], SlotState::Done) {
+                        // Degraded to coordinator-local execution.
+                        let out = local(spec)?;
+                        validate(spec, attempts[s], &out)?;
+                        merge(spec, out, &mut records, &mut quarantined, &mut stats);
+                        done += 1;
+                    }
+                }
+            }
+        }
+
+        if done >= specs.len() {
+            break;
+        }
+
+        // Speculative re-dispatch: a lone attempt whose heartbeat went
+        // stale gets a fresh twin while it keeps running.
+        if active.len() < slots {
+            let stragglers: Vec<usize> = active
+                .iter()
+                .filter(|a| a.handle.heartbeat_age() > options.straggler_after)
+                .map(|a| a.shard)
+                .filter(|s| active.iter().filter(|a| a.shard == *s).count() == 1)
+                .filter(|s| attempts[*s] <= options.retry_budget)
+                .collect();
+            for s in stragglers {
+                if active.len() >= slots {
+                    break;
+                }
+                let attempt = attempts[s];
+                attempts[s] += 1;
+                stats.dispatched += 1;
+                stats.redispatched += 1;
+                if let Some(o) = obs {
+                    o.point(
+                        "shard",
+                        "redispatch",
+                        &[
+                            ("shard", FieldValue::U64(s as u64)),
+                            ("attempt", FieldValue::U64(u64::from(attempt))),
+                        ],
+                    );
+                }
+                // Speculative twins never resume the straggler's
+                // checkpoint: two writers on one file would race.
+                if let Ok(handle) = executor.launch(&specs[s], attempt, false) {
+                    active.push(Active {
+                        shard: s,
+                        attempt,
+                        handle,
+                        started: Instant::now(),
+                    });
+                }
+            }
+        }
+
+        thread::sleep(options.poll);
+    }
+
+    stats.workers_surviving = slots.saturating_sub(stats.degraded);
+    let errors: Vec<SweepError> = quarantined
+        .iter()
+        .filter(|(idx, _)| records[**idx].is_none())
+        .map(|(idx, message)| SweepError {
+            design_index: *idx,
+            design: designs[*idx],
+            engine: "worker",
+            message: message.clone(),
+        })
+        .collect();
+    if let Some(o) = obs {
+        o.point(
+            "shard",
+            "merge",
+            &[
+                (
+                    "records",
+                    FieldValue::U64(records.iter().flatten().count() as u64),
+                ),
+                ("deduped", FieldValue::U64(stats.deduped)),
+                ("quarantined", FieldValue::U64(errors.len() as u64)),
+                (
+                    "merge_us",
+                    FieldValue::U64(
+                        u64::try_from(stats.merge_time.as_micros()).unwrap_or(u64::MAX),
+                    ),
+                ),
+            ],
+        );
+    }
+    Ok(ShardedOutcome {
+        records,
+        errors,
+        stats,
+    })
+}
+
+/// Books a failed attempt: schedules the next try with exponential
+/// backoff, or — budget exhausted — marks the shard `Done` so the
+/// caller degrades it to coordinator-local execution.
+#[allow(clippy::too_many_arguments)]
+fn schedule_retry(
+    s: usize,
+    error: &ShardError,
+    specs: &[ShardSpec],
+    options: &CoordinatorOptions,
+    states: &mut [SlotState],
+    attempts: &[u32],
+    stats: &mut MergeStats,
+    obs: Option<&Obs>,
+) {
+    let next = attempts[s];
+    if next > options.retry_budget {
+        stats.degraded += 1;
+        if let Some(o) = obs {
+            o.point(
+                "shard",
+                "degrade",
+                &[
+                    ("shard", FieldValue::U64(s as u64)),
+                    ("attempts", FieldValue::U64(u64::from(next))),
+                    ("reason", FieldValue::Str(error.reason().to_string())),
+                ],
+            );
+        }
+        states[s] = SlotState::Done;
+        return;
+    }
+    let delay = backoff_delay(options.backoff, options.seed ^ specs[s].sweep_id, s, next);
+    stats.retried += 1;
+    if let Some(o) = obs {
+        o.point(
+            "shard",
+            "retry",
+            &[
+                ("shard", FieldValue::U64(s as u64)),
+                ("attempt", FieldValue::U64(u64::from(next))),
+                (
+                    "delay_us",
+                    FieldValue::U64(u64::try_from(delay.as_micros()).unwrap_or(u64::MAX)),
+                ),
+                ("reason", FieldValue::Str(error.reason().to_string())),
+            ],
+        );
+    }
+    states[s] = SlotState::Pending {
+        not_before: Instant::now() + delay,
+        resume: error.resumable(),
+    };
+}
+
+/// Closure type executed by [`ThreadExecutor`] workers.
+pub type ShardFn = dyn Fn(&ShardSpec) -> Result<ShardOutput, ShardError> + Send + Sync;
+
+/// In-process executor: each attempt runs `run` on its own thread.
+/// Used by `memx serve --distribute`, `bench_shard`, and the suite's
+/// deterministic fault tests. Heartbeats are always fresh (an
+/// in-process thread cannot silently wedge between polls) unless a
+/// [`FaultPlan::stall_heartbeat`] fault forces staleness.
+pub struct ThreadExecutor {
+    run: Arc<ShardFn>,
+    slots: usize,
+    fault: FaultPlan,
+}
+
+impl ThreadExecutor {
+    /// Executor with `slots` concurrent worker threads.
+    pub fn new(slots: usize, run: Arc<ShardFn>) -> Self {
+        Self {
+            run,
+            slots: slots.max(1),
+            fault: FaultPlan::none(),
+        }
+    }
+
+    /// Installs a deterministic fault plan (no-op without the
+    /// `fault-injection` feature).
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+}
+
+struct ThreadHandle {
+    rx: mpsc::Receiver<Result<ShardOutput, ShardError>>,
+    started: Instant,
+    stalled: bool,
+    cancelled: bool,
+    shard: usize,
+    attempt: u32,
+}
+
+impl ShardHandle for ThreadHandle {
+    fn poll(&mut self) -> Option<Result<ShardOutput, ShardError>> {
+        if self.cancelled {
+            return None;
+        }
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ShardError::WorkerLost {
+                shard: self.shard,
+                attempt: self.attempt,
+                message: "worker thread died without a result".into(),
+            })),
+        }
+    }
+
+    fn heartbeat_age(&self) -> Duration {
+        if self.stalled {
+            // The injected straggler: report a hopelessly stale
+            // heartbeat so the coordinator's speculation must fire.
+            self.started.elapsed() + Duration::from_secs(3600)
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    fn cancel(&mut self) {
+        // Threads cannot be killed; detach and discard the result.
+        self.cancelled = true;
+    }
+}
+
+impl ShardExecutor for ThreadExecutor {
+    fn launch(
+        &self,
+        spec: &ShardSpec,
+        attempt: u32,
+        _resume: bool,
+    ) -> Result<Box<dyn ShardHandle>, ShardError> {
+        let (tx, rx) = mpsc::channel();
+        let run = Arc::clone(&self.run);
+        let fault = self.fault.clone();
+        let spec_owned = spec.clone();
+        let stalled = fault.should_stall_heartbeat(spec.index, attempt);
+        thread::spawn(move || {
+            let spec = spec_owned;
+            if fault.should_drop_worker(spec.index, attempt) {
+                let _ = tx.send(Err(ShardError::WorkerLost {
+                    shard: spec.index,
+                    attempt,
+                    message: "injected worker drop".into(),
+                }));
+                return;
+            }
+            if stalled {
+                // Dawdle so the speculative twin launched against this
+                // straggler deterministically wins the race.
+                thread::sleep(Duration::from_millis(200));
+            }
+            let mut result = run(&spec);
+            if fault.should_corrupt_stream(spec.index, attempt) {
+                if let Ok(out) = &result {
+                    // Round-trip through the real wire format with one
+                    // payload byte flipped, so the typed checkpoint
+                    // validation (not a synthetic error) rejects it.
+                    let ckpt = Checkpoint {
+                        sweep_id: out.sweep_id,
+                        entries: out.entries.clone(),
+                    };
+                    let mut bytes = ckpt.to_bytes();
+                    if let Some(last) = bytes.last_mut() {
+                        *last ^= 0xFF;
+                    }
+                    let err: CheckpointError = Checkpoint::from_bytes(&bytes)
+                        .expect_err("flipped payload byte must fail validation");
+                    result = Err(ShardError::CorruptStream {
+                        shard: spec.index,
+                        attempt,
+                        message: err.to_string(),
+                    });
+                }
+            }
+            let _ = tx.send(result);
+        });
+        Ok(Box::new(ThreadHandle {
+            rx,
+            started: Instant::now(),
+            stalled,
+            cancelled: false,
+            shard: spec.index,
+            attempt,
+        }))
+    }
+
+    fn slots(&self) -> usize {
+        self.slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    fn design(i: usize) -> CacheDesign {
+        CacheDesign::new(64 << (i % 4), 4 << (i % 3), 1 + i % 2, 1 + (i as u64 % 8))
+    }
+
+    fn record(designs: &[CacheDesign], global: usize) -> Record {
+        Record {
+            design: designs[global],
+            miss_rate: global as f64 * 0.25 + 0.125,
+            cycles: 1000.0 + global as f64,
+            energy_nj: 42.5 * (global as f64 + 1.0),
+            trip_count: 31 * (global as u64 + 1),
+            conflict_free: global.is_multiple_of(2),
+        }
+    }
+
+    fn grid(n: usize) -> Vec<CacheDesign> {
+        (0..n).map(design).collect()
+    }
+
+    /// A well-behaved worker closure over the synthetic grid.
+    fn worker(designs: Vec<CacheDesign>) -> Arc<ShardFn> {
+        Arc::new(move |spec: &ShardSpec| {
+            Ok(ShardOutput {
+                sweep_id: spec.sweep_id,
+                entries: (0..spec.len())
+                    .map(|l| (l, record(&designs, spec.start + l)))
+                    .collect(),
+                quarantined: Vec::new(),
+            })
+        })
+    }
+
+    fn fast_options() -> CoordinatorOptions {
+        CoordinatorOptions {
+            backoff: Duration::from_millis(1),
+            poll: Duration::from_micros(200),
+            ..CoordinatorOptions::default()
+        }
+    }
+
+    fn fail_local(spec: &ShardSpec) -> Result<ShardOutput, ShardError> {
+        panic!("local fallback must not run for shard {}", spec.index)
+    }
+
+    #[test]
+    fn partition_covers_the_grid_contiguously() {
+        for total in [0usize, 1, 7, 95, 425, 1000] {
+            for shards in [1usize, 2, 3, 8, 97] {
+                let specs = partition(total, shards);
+                assert!(specs.len() <= shards.max(1));
+                let mut next = 0;
+                for (i, s) in specs.iter().enumerate() {
+                    assert_eq!(s.index, i);
+                    assert_eq!(s.start, next);
+                    assert!(!s.is_empty());
+                    next = s.end;
+                }
+                assert_eq!(next, total);
+                // Near-equal: lengths differ by at most one.
+                if let (Some(max), Some(min)) = (
+                    specs.iter().map(ShardSpec::len).max(),
+                    specs.iter().map(ShardSpec::len).min(),
+                ) {
+                    assert!(max - min <= 1, "total {total} shards {shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_jittered() {
+        let base = Duration::from_millis(100);
+        for shard in 0..8 {
+            for attempt in 1..6u32 {
+                let a = backoff_delay(base, 7, shard, attempt);
+                let b = backoff_delay(base, 7, shard, attempt);
+                assert_eq!(a, b, "deterministic");
+                let floor = base * (1 << (attempt - 1));
+                assert!(a >= floor, "attempt {attempt}: {a:?} < {floor:?}");
+                assert!(a <= floor + base / 2 + Duration::from_micros(1));
+            }
+        }
+        // Jitter decorrelates shards: not every shard shares a delay.
+        let delays: Vec<Duration> = (0..16).map(|s| backoff_delay(base, 7, s, 1)).collect();
+        assert!(delays.iter().any(|d| *d != delays[0]));
+        // The exponent caps instead of overflowing.
+        let capped = backoff_delay(base, 7, 0, 60);
+        assert!(capped >= base * 64 && capped < base * 65);
+    }
+
+    #[test]
+    fn sharded_run_merges_bit_identically() {
+        let designs = grid(95);
+        let expected: Vec<Record> = (0..designs.len()).map(|i| record(&designs, i)).collect();
+        for shards in [1usize, 2, 3, 7] {
+            let executor = ThreadExecutor::new(4, worker(designs.clone()));
+            let specs = partition(designs.len(), shards);
+            let outcome = run_sharded(
+                &executor,
+                &specs,
+                &designs,
+                &fail_local,
+                &fast_options(),
+                None,
+            )
+            .expect("sweep completes");
+            assert!(outcome.is_complete());
+            assert!(outcome.errors.is_empty());
+            assert_eq!(outcome.stats.dispatched, specs.len());
+            assert_eq!(outcome.stats.retried, 0);
+            assert_eq!(outcome.stats.workers_surviving, 4);
+            let merged = outcome.completed_records();
+            assert_eq!(merged.len(), expected.len());
+            for (m, e) in merged.iter().zip(&expected) {
+                assert_eq!(m.design, e.design);
+                assert_eq!(m.miss_rate.to_bits(), e.miss_rate.to_bits());
+                assert_eq!(m.cycles.to_bits(), e.cycles.to_bits());
+                assert_eq!(m.energy_nj.to_bits(), e.energy_nj.to_bits());
+                assert_eq!(m.trip_count, e.trip_count);
+                assert_eq!(m.conflict_free, e.conflict_free);
+            }
+        }
+    }
+
+    #[test]
+    fn quarantines_propagate_to_the_merged_outcome() {
+        let designs = grid(20);
+        let victim = 13usize;
+        let d = designs.clone();
+        let run: Arc<ShardFn> = Arc::new(move |spec: &ShardSpec| {
+            let mut out = ShardOutput {
+                sweep_id: spec.sweep_id,
+                ..ShardOutput::default()
+            };
+            for l in 0..spec.len() {
+                let g = spec.start + l;
+                if g == victim {
+                    out.quarantined.push((l, "injected fault: design".into()));
+                } else {
+                    out.entries.push((l, record(&d, g)));
+                }
+            }
+            Ok(out)
+        });
+        let executor = ThreadExecutor::new(2, run);
+        let specs = partition(designs.len(), 4);
+        let outcome = run_sharded(
+            &executor,
+            &specs,
+            &designs,
+            &fail_local,
+            &fast_options(),
+            None,
+        )
+        .expect("sweep completes");
+        assert!(!outcome.is_complete());
+        assert!(outcome.records[victim].is_none());
+        assert_eq!(outcome.errors.len(), 1);
+        let e = &outcome.errors[0];
+        assert_eq!(e.design_index, victim);
+        assert_eq!(e.design, designs[victim]);
+        assert_eq!(e.engine, "worker");
+        assert!(e.message.contains("injected"));
+    }
+
+    /// Scripted executor for failure-path tests: `script(shard, attempt)`
+    /// decides what each attempt does.
+    enum Behavior {
+        Ok,
+        Fail(&'static str),
+        /// Never completes and reports a stale heartbeat.
+        Hang,
+    }
+
+    struct MockExecutor {
+        designs: Vec<CacheDesign>,
+        script: Box<dyn Fn(usize, u32) -> Behavior>,
+        slots: usize,
+        launches: RefCell<Vec<(usize, u32, bool)>>,
+    }
+
+    struct MockHandle {
+        result: Option<Result<ShardOutput, ShardError>>,
+        hang: bool,
+    }
+
+    impl ShardHandle for MockHandle {
+        fn poll(&mut self) -> Option<Result<ShardOutput, ShardError>> {
+            if self.hang {
+                None
+            } else {
+                self.result.take()
+            }
+        }
+        fn heartbeat_age(&self) -> Duration {
+            if self.hang {
+                Duration::from_secs(3600)
+            } else {
+                Duration::ZERO
+            }
+        }
+        fn cancel(&mut self) {}
+    }
+
+    impl ShardExecutor for MockExecutor {
+        fn launch(
+            &self,
+            spec: &ShardSpec,
+            attempt: u32,
+            resume: bool,
+        ) -> Result<Box<dyn ShardHandle>, ShardError> {
+            self.launches
+                .borrow_mut()
+                .push((spec.index, attempt, resume));
+            let behavior = (self.script)(spec.index, attempt);
+            Ok(Box::new(match behavior {
+                Behavior::Ok => MockHandle {
+                    result: Some(Ok(ShardOutput {
+                        sweep_id: spec.sweep_id,
+                        entries: (0..spec.len())
+                            .map(|l| (l, record(&self.designs, spec.start + l)))
+                            .collect(),
+                        quarantined: Vec::new(),
+                    })),
+                    hang: false,
+                },
+                Behavior::Fail(msg) => MockHandle {
+                    result: Some(Err(ShardError::WorkerLost {
+                        shard: spec.index,
+                        attempt,
+                        message: msg.into(),
+                    })),
+                    hang: false,
+                },
+                Behavior::Hang => MockHandle {
+                    result: None,
+                    hang: true,
+                },
+            }))
+        }
+        fn slots(&self) -> usize {
+            self.slots
+        }
+    }
+
+    #[test]
+    fn failed_attempts_retry_with_backoff_and_resume() {
+        let designs = grid(12);
+        let executor = MockExecutor {
+            designs: designs.clone(),
+            script: Box::new(|shard, attempt| {
+                if shard == 1 && attempt < 2 {
+                    Behavior::Fail("killed")
+                } else {
+                    Behavior::Ok
+                }
+            }),
+            slots: 2,
+            launches: RefCell::new(Vec::new()),
+        };
+        let specs = partition(designs.len(), 3);
+        let outcome = run_sharded(
+            &executor,
+            &specs,
+            &designs,
+            &fail_local,
+            &fast_options(),
+            None,
+        )
+        .expect("sweep completes");
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.stats.retried, 2);
+        assert_eq!(outcome.stats.dispatched, 5);
+        assert_eq!(outcome.stats.degraded, 0);
+        assert_eq!(outcome.stats.workers_surviving, 2);
+        // Crash retries ask to resume the shard checkpoint.
+        let launches = executor.launches.borrow();
+        assert!(launches.contains(&(1, 1, true)));
+        assert!(launches.contains(&(1, 2, true)));
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_local_execution() {
+        let designs = grid(10);
+        let executor = MockExecutor {
+            designs: designs.clone(),
+            script: Box::new(|shard, _| {
+                if shard == 0 {
+                    Behavior::Fail("dead slot")
+                } else {
+                    Behavior::Ok
+                }
+            }),
+            slots: 2,
+            launches: RefCell::new(Vec::new()),
+        };
+        let specs = partition(designs.len(), 2);
+        let d = designs.clone();
+        let local = move |spec: &ShardSpec| {
+            Ok(ShardOutput {
+                sweep_id: spec.sweep_id,
+                entries: (0..spec.len())
+                    .map(|l| (l, record(&d, spec.start + l)))
+                    .collect(),
+                quarantined: Vec::new(),
+            })
+        };
+        let options = CoordinatorOptions {
+            retry_budget: 2,
+            ..fast_options()
+        };
+        let outcome =
+            run_sharded(&executor, &specs, &designs, &local, &options, None).expect("completes");
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.stats.degraded, 1);
+        assert_eq!(outcome.stats.workers_surviving, 1);
+        // initial + 2 retries for shard 0, then local; shard 1 once.
+        assert_eq!(outcome.stats.dispatched, 4);
+        assert_eq!(outcome.stats.retried, 2);
+    }
+
+    #[test]
+    fn stragglers_are_speculatively_redispatched() {
+        let designs = grid(8);
+        let executor = MockExecutor {
+            designs: designs.clone(),
+            script: Box::new(|shard, attempt| {
+                if shard == 0 && attempt == 0 {
+                    Behavior::Hang
+                } else {
+                    Behavior::Ok
+                }
+            }),
+            slots: 3,
+            launches: RefCell::new(Vec::new()),
+        };
+        let specs = partition(designs.len(), 2);
+        let options = CoordinatorOptions {
+            straggler_after: Duration::from_millis(1),
+            ..fast_options()
+        };
+        let outcome = run_sharded(&executor, &specs, &designs, &fail_local, &options, None)
+            .expect("completes");
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.stats.redispatched, 1);
+        assert_eq!(outcome.stats.retried, 0);
+        // Speculative twins never resume the straggler's checkpoint.
+        assert!(executor.launches.borrow().contains(&(0, 1, false)));
+    }
+
+    #[test]
+    fn sweep_id_mismatch_is_rejected_as_corrupt_and_retried_fresh() {
+        let designs = grid(6);
+        let d = designs.clone();
+        let run: Arc<ShardFn> = Arc::new(move |spec: &ShardSpec| {
+            Ok(ShardOutput {
+                // Wrong id on the first shard only.
+                sweep_id: if spec.index == 0 && spec.sweep_id != 0 {
+                    spec.sweep_id ^ 0xDEAD
+                } else {
+                    spec.sweep_id
+                },
+                entries: (0..spec.len())
+                    .map(|l| (l, record(&d, spec.start + l)))
+                    .collect(),
+                quarantined: Vec::new(),
+            })
+        });
+        let executor = ThreadExecutor::new(2, run);
+        let mut specs = partition(designs.len(), 2);
+        specs[0].sweep_id = 0x1111;
+        // Shard 0 always returns a bad id, so it degrades to local.
+        let d2 = designs.clone();
+        let local = move |spec: &ShardSpec| {
+            Ok(ShardOutput {
+                sweep_id: spec.sweep_id,
+                entries: (0..spec.len())
+                    .map(|l| (l, record(&d2, spec.start + l)))
+                    .collect(),
+                quarantined: Vec::new(),
+            })
+        };
+        let options = CoordinatorOptions {
+            retry_budget: 1,
+            ..fast_options()
+        };
+        let outcome =
+            run_sharded(&executor, &specs, &designs, &local, &options, None).expect("completes");
+        assert!(outcome.is_complete());
+        assert!(outcome.stats.retried >= 1);
+        assert_eq!(outcome.stats.degraded, 1);
+    }
+
+    #[test]
+    fn duplicate_results_are_deduped_first_complete_wins() {
+        // A worker redundantly re-reports every entry, as a resumed
+        // attempt re-flushing its full checkpoint does; the merge must
+        // keep the first copy and count the rest as deduped.
+        let designs = grid(5);
+        let specs = partition(designs.len(), 1);
+        let d = designs.clone();
+        let run: Arc<ShardFn> = Arc::new(move |spec: &ShardSpec| {
+            Ok(ShardOutput {
+                sweep_id: spec.sweep_id,
+                entries: (0..spec.len())
+                    .map(|l| (l, record(&d, spec.start + l)))
+                    // The worker redundantly re-reports every entry, as a
+                    // resumed attempt re-flushing its full checkpoint does.
+                    .chain((0..spec.len()).map(|l| (l, record(&d, spec.start + l))))
+                    .collect(),
+                quarantined: Vec::new(),
+            })
+        });
+        let executor = ThreadExecutor::new(1, run);
+        let outcome = run_sharded(
+            &executor,
+            &specs,
+            &designs,
+            &fail_local,
+            &fast_options(),
+            None,
+        )
+        .expect("completes");
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.stats.deduped, designs.len() as u64);
+    }
+
+    #[test]
+    fn merge_stats_fill_telemetry() {
+        let stats = MergeStats {
+            dispatched: 9,
+            retried: 2,
+            redispatched: 1,
+            deduped: 7,
+            degraded: 1,
+            workers_surviving: 3,
+            merge_time: Duration::from_millis(1),
+        };
+        let mut t = SweepTelemetry::default();
+        stats.fill(&mut t);
+        assert_eq!(t.shards_dispatched, 9);
+        assert_eq!(t.shards_retried, 2);
+        assert_eq!(t.shards_redispatched, 1);
+        assert_eq!(t.shard_entries_deduped, 7);
+        assert_eq!(t.workers_surviving, 3);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod faulted {
+        use super::*;
+
+        #[test]
+        fn dropped_worker_is_retried_and_merges_identically() {
+            let designs = grid(30);
+            let expected: Vec<Record> = (0..designs.len()).map(|i| record(&designs, i)).collect();
+            let executor = ThreadExecutor::new(2, worker(designs.clone())).with_fault(FaultPlan {
+                drop_worker: Some((1, 0)),
+                ..FaultPlan::none()
+            });
+            let specs = partition(designs.len(), 3);
+            let outcome = run_sharded(
+                &executor,
+                &specs,
+                &designs,
+                &fail_local,
+                &fast_options(),
+                None,
+            )
+            .expect("completes");
+            assert!(outcome.is_complete());
+            assert_eq!(outcome.stats.retried, 1);
+            let merged = outcome.completed_records();
+            for (m, e) in merged.iter().zip(&expected) {
+                assert_eq!(m.miss_rate.to_bits(), e.miss_rate.to_bits());
+            }
+        }
+
+        #[test]
+        fn corrupt_stream_is_typed_and_redispatched_fresh() {
+            let designs = grid(16);
+            let executor = ThreadExecutor::new(2, worker(designs.clone())).with_fault(FaultPlan {
+                corrupt_stream: Some((0, 0)),
+                ..FaultPlan::none()
+            });
+            let specs = partition(designs.len(), 2);
+            let outcome = run_sharded(
+                &executor,
+                &specs,
+                &designs,
+                &fail_local,
+                &fast_options(),
+                None,
+            )
+            .expect("completes");
+            assert!(outcome.is_complete());
+            assert_eq!(outcome.stats.retried, 1);
+        }
+
+        #[test]
+        fn stalled_heartbeat_triggers_speculation_and_the_twin_wins() {
+            let designs = grid(16);
+            let executor = ThreadExecutor::new(3, worker(designs.clone())).with_fault(FaultPlan {
+                stall_heartbeat: Some((0, 0)),
+                ..FaultPlan::none()
+            });
+            let specs = partition(designs.len(), 2);
+            let options = CoordinatorOptions {
+                straggler_after: Duration::from_millis(5),
+                ..fast_options()
+            };
+            let outcome = run_sharded(&executor, &specs, &designs, &fail_local, &options, None)
+                .expect("completes");
+            assert!(outcome.is_complete());
+            assert_eq!(outcome.stats.redispatched, 1);
+        }
+    }
+}

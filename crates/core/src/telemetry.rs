@@ -16,7 +16,7 @@ use std::time::Duration;
 
 /// Version stamp of the [`SweepTelemetry::to_json`] layout, emitted as
 /// its first field so downstream consumers can detect schema changes.
-pub const TELEMETRY_SCHEMA_VERSION: u64 = 3;
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 4;
 
 /// Counters and timings of one design-space sweep.
 #[derive(Clone, Debug, Default)]
@@ -88,6 +88,23 @@ pub struct SweepTelemetry {
     /// streaming memory is bounded by this times `workers`. 0 for
     /// arena-based (materialized) sweeps.
     pub peak_chunk_bytes: u64,
+    /// Shard attempts dispatched by a distributed coordinator, counting
+    /// retries and speculative re-dispatches (0 for single-process
+    /// sweeps).
+    pub shards_dispatched: usize,
+    /// Shard attempts relaunched after a worker loss, timeout, or
+    /// corrupt result stream.
+    pub shards_retried: usize,
+    /// Speculative attempts launched against stragglers (stale
+    /// heartbeats) while the original was still running.
+    pub shards_redispatched: usize,
+    /// Duplicate result entries discarded by the first-complete-wins
+    /// merge (a late or speculative attempt re-reporting a filled slot).
+    pub shard_entries_deduped: u64,
+    /// Worker slots the coordinator still trusted when the sweep
+    /// finished (0 for single-process sweeps; equal to the starting
+    /// slot count when nothing died permanently).
+    pub workers_surviving: usize,
     /// Per-unit layout placement latency (one sample per `(T, L)` pair).
     pub layout_latency: LatencySummary,
     /// Per-design simulation latency (per-design engine and supervisor
@@ -187,6 +204,9 @@ impl SweepTelemetry {
                 "\"checkpoints_written\":{},\"checkpoints_failed\":{},",
                 "\"records_resumed\":{},\"cancelled\":{},",
                 "\"peak_chunk_bytes\":{},",
+                "\"shards_dispatched\":{},\"shards_retried\":{},",
+                "\"shards_redispatched\":{},\"shard_entries_deduped\":{},",
+                "\"workers_surviving\":{},",
                 "\"layout_secs\":{},\"trace_secs\":{},",
                 "\"bound_secs\":{},\"simulate_secs\":{},",
                 "\"select_secs\":{},\"total_secs\":{},",
@@ -217,6 +237,11 @@ impl SweepTelemetry {
             self.records_resumed,
             self.cancelled,
             self.peak_chunk_bytes,
+            self.shards_dispatched,
+            self.shards_retried,
+            self.shards_redispatched,
+            self.shard_entries_deduped,
+            self.workers_surviving,
             json_f64(self.layout_time.as_secs_f64(), 6),
             json_f64(self.trace_time.as_secs_f64(), 6),
             json_f64(self.bound_time.as_secs_f64(), 6),
@@ -311,6 +336,18 @@ impl fmt::Display for SweepTelemetry {
                 f,
                 "  ckpt     : {} flushes written, {} failed, {} records resumed",
                 self.checkpoints_written, self.checkpoints_failed, self.records_resumed
+            )?;
+        }
+        if self.shards_dispatched > 0 {
+            writeln!(
+                f,
+                "  shard    : {} dispatched ({} retried, {} re-dispatched), {} duplicate entries deduped, {} of {} workers surviving",
+                self.shards_dispatched,
+                self.shards_retried,
+                self.shards_redispatched,
+                self.shard_entries_deduped,
+                self.workers_surviving,
+                self.workers
             )?;
         }
         if self.peak_chunk_bytes > 0 {
@@ -531,6 +568,33 @@ mod tests {
         assert!(!s.contains("deadline"));
         let j = sample().to_json();
         assert!(j.contains("\"cancelled\":false"));
+    }
+
+    #[test]
+    fn shard_accounting() {
+        let mut t = sample();
+        t.shards_dispatched = 11;
+        t.shards_retried = 2;
+        t.shards_redispatched = 1;
+        t.shard_entries_deduped = 53;
+        t.workers_surviving = 3;
+        t.workers = 4;
+        let j = t.to_json();
+        for field in [
+            "\"shards_dispatched\":11",
+            "\"shards_retried\":2",
+            "\"shards_redispatched\":1",
+            "\"shard_entries_deduped\":53",
+            "\"workers_surviving\":3",
+        ] {
+            assert!(j.contains(field), "missing {field} in {j}");
+        }
+        crate::obs::parse_json(&j).expect("shard telemetry json parses");
+        let s = t.to_string();
+        assert!(s.contains("shard    : 11 dispatched"), "{s}");
+        assert!(s.contains("3 of 4 workers surviving"), "{s}");
+        // Single-process sweeps never show the shard line.
+        assert!(!sample().to_string().contains("shard    :"));
     }
 
     #[test]

@@ -26,9 +26,20 @@ USAGE:
                  [--deadline SECS] [--format text|csv|json]
                  [--part cy7c|lp2m|16m] [--em NJ] [--natural]
                  [--telemetry] [--log-json FILE] [--progress]
+  memx sweep     KERNEL.mx|TRACE.din --distributed N [--shards K]
+                 [--attach HOST:PORT]... [--shard-dir DIR]
+                 [--retry-budget N] [--backoff-ms MS] [--straggler-ms MS]
+                 [--part cy7c|lp2m|16m] [--em NJ] [--natural]
+                 [--bound-cycles N] [--bound-energy NJ] [--pareto]
+                 [--telemetry] [--engine fused|per-design]
+                 [--log-json FILE] [--progress]
+  memx worker    KERNEL.mx|TRACE.din --start I --end J --checkpoint PATH
+                 [--checkpoint-every N] [--resume]
+                 [--part cy7c|lp2m|16m] [--em NJ] [--natural]
+                 [--engine fused|per-design]
   memx serve     [--addr HOST:PORT] [--slots N] [--cache-entries N]
                  [--cache-bytes N] [--default-deadline SECS]
-                 [--log-json FILE] [--progress]
+                 [--distribute N] [--log-json FILE] [--progress]
   memx submit    ADDR KERNEL.mx [--job explore|pareto|search]
                  [--part cy7c|lp2m|16m] [--em NJ] [--natural]
                  [--analytical] [--bound-cycles N] [--bound-energy NJ]
@@ -37,6 +48,7 @@ USAGE:
                  [--objective energy|cycles|weighted=WE,WC]
                  [--space paper|expansive] [--beam N] [--gap F]
                  [--deadline SECS] [--wait-health SECS]
+                 [--retries N] [--backoff MS]
   memx report    LOG.jsonl
   memx simulate  KERNEL.mx --cache N --line N [--assoc N] [--tiling B]
                  [--natural] [--classify]
@@ -47,6 +59,14 @@ USAGE:
   memx simulate-din TRACE.din --cache N --line N [--assoc N] [--classify]
                  [--format text|csv|json]
   memx help
+
+Distributed sweeps: `memx sweep --distributed N` shards the explore grid
+across N local `memx worker` processes (plus any daemons named with
+`--attach`), retries failures with exponential backoff, speculatively
+re-dispatches stragglers, and merges results byte-identical to
+`memx explore`. `memx worker` is the single-shard engine the coordinator
+spawns; its checkpoint file is both the result stream and the
+crash-recovery journal.
 
 Workloads: the sweep commands (explore, pareto, search) and `memx submit`
 accept either a loopir kernel file or a Dinero `.din` address trace
@@ -238,6 +258,72 @@ pub enum Command {
         /// Observability options (JSONL event log, live progress).
         obs: ObsFlags,
     },
+    /// Distributed exploration: shard the design grid across local
+    /// worker processes and/or attached daemons, with retry/backoff,
+    /// straggler re-dispatch, and a byte-identical merge.
+    Sweep {
+        /// Path to the kernel or `.din` trace file.
+        file: String,
+        /// Off-chip part keyword (`cy7c`, `lp2m`, `16m`).
+        part: String,
+        /// Custom `Em` (nJ/access) overriding `part`.
+        em_nj: Option<f64>,
+        /// Use the natural (unoptimized) layout.
+        natural: bool,
+        /// Cycle bound for the min-energy selection.
+        bound_cycles: Option<f64>,
+        /// Energy bound (nJ) for the min-time selection.
+        bound_energy: Option<f64>,
+        /// Print the Pareto frontier.
+        pareto: bool,
+        /// Print merged sweep telemetry (including shard counters).
+        telemetry: bool,
+        /// Simulation engine forwarded to workers.
+        engine: String,
+        /// Local worker processes to spawn (0 = coordinator-local only,
+        /// unless daemons are attached).
+        distributed: usize,
+        /// Shard count override (default: 2 per worker slot).
+        shards: Option<usize>,
+        /// Daemon addresses to attach as workers over HTTP.
+        attach: Vec<String>,
+        /// Directory for per-shard checkpoint files (default: a
+        /// temporary directory).
+        shard_dir: Option<String>,
+        /// Extra attempts allowed per shard after the first.
+        retry_budget: u32,
+        /// Base retry backoff in milliseconds.
+        backoff_ms: u64,
+        /// Heartbeat age (ms) before a straggler is re-dispatched.
+        straggler_ms: u64,
+        /// Observability options (JSONL event log, live progress).
+        obs: ObsFlags,
+    },
+    /// One shard of a distributed sweep: evaluate grid designs
+    /// `[start, end)` and stream records into a checkpoint file (the
+    /// coordinator's wire format and crash-recovery journal).
+    Worker {
+        /// Path to the kernel or `.din` trace file.
+        file: String,
+        /// Off-chip part keyword (`cy7c`, `lp2m`, `16m`).
+        part: String,
+        /// Custom `Em` (nJ/access) overriding `part`.
+        em_nj: Option<f64>,
+        /// Use the natural (unoptimized) layout.
+        natural: bool,
+        /// Simulation engine (`fused` or `per-design`).
+        engine: String,
+        /// First global design index (inclusive).
+        start: usize,
+        /// One past the last global design index.
+        end: usize,
+        /// Checkpoint sidecar path (required: it is the result stream).
+        checkpoint: String,
+        /// Flush interval in records (0 selects the default).
+        checkpoint_every: usize,
+        /// Resume from an existing checkpoint (crash recovery).
+        resume: bool,
+    },
     /// Run the sweep-as-a-service daemon: exploration jobs over
     /// HTTP+JSON, fair scheduling onto a shared worker pool, and a
     /// content-addressed result cache with single-flight deduplication.
@@ -252,6 +338,9 @@ pub enum Command {
         cache_bytes: usize,
         /// Deadline applied to jobs that do not set one (`None` = no cap).
         default_deadline: Option<f64>,
+        /// Route explore jobs through the embedded shard coordinator
+        /// onto N in-process workers (0 = off).
+        distribute: usize,
         /// Observability options (JSONL event log, live progress).
         obs: ObsFlags,
     },
@@ -296,6 +385,10 @@ pub enum Command {
         deadline_secs: Option<f64>,
         /// Poll `GET /v1/health` for up to SECS before submitting.
         wait_health_secs: Option<f64>,
+        /// Retries after connection-refused/timeout (0 = fail fast).
+        retries: u32,
+        /// Base retry backoff in milliseconds (exponential + jitter).
+        backoff_ms: u64,
     },
     /// Render a run summary from a `--log-json` event log.
     Report {
@@ -662,6 +755,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
             let mut cache_entries = 256usize;
             let mut cache_bytes = 64usize << 20;
             let mut default_deadline = None;
+            let mut distribute = 0usize;
             let mut obs = ObsFlags::default();
             while let Some(flag) = args.next() {
                 match flag {
@@ -696,6 +790,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                         }
                         default_deadline = Some(d);
                     }
+                    "--distribute" => distribute = parse_num(flag, args.value_of(flag)?)?,
                     other => {
                         if !obs.parse_flag(other, &mut args)? {
                             return Err(err(format!("unknown flag `{other}` for serve")));
@@ -709,6 +804,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 cache_entries,
                 cache_bytes,
                 default_deadline,
+                distribute,
                 obs,
             })
         }
@@ -741,6 +837,8 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
             let mut gap = 0.0f64;
             let mut deadline_secs = None;
             let mut wait_health_secs = None;
+            let mut retries = 0u32;
+            let mut backoff_ms = 250u64;
             while let Some(flag) = args.next() {
                 match flag {
                     "--job" => {
@@ -820,6 +918,14 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                         }
                         wait_health_secs = Some(d);
                     }
+                    "--retries" => retries = parse_num(flag, args.value_of(flag)?)?,
+                    "--backoff" => {
+                        let ms: u64 = parse_num(flag, args.value_of(flag)?)?;
+                        if ms == 0 {
+                            return Err(err("`--backoff` must be at least 1 millisecond"));
+                        }
+                        backoff_ms = ms;
+                    }
                     other => return Err(err(format!("unknown flag `{other}` for submit"))),
                 }
             }
@@ -843,6 +949,174 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 gap,
                 deadline_secs,
                 wait_health_secs,
+                retries,
+                backoff_ms,
+            })
+        }
+        "sweep" => {
+            let file = args
+                .next()
+                .ok_or_else(|| err("sweep needs a kernel or trace file"))?
+                .to_string();
+            let mut part = "cy7c".to_string();
+            let mut em_nj = None;
+            let mut natural = false;
+            let mut bound_cycles = None;
+            let mut bound_energy = None;
+            let mut pareto = false;
+            let mut telemetry = false;
+            let mut engine = "fused".to_string();
+            let mut distributed = None;
+            let mut shards = None;
+            let mut attach = Vec::new();
+            let mut shard_dir = None;
+            let mut retry_budget = 3u32;
+            let mut backoff_ms = 100u64;
+            let mut straggler_ms = 10_000u64;
+            let mut obs = ObsFlags::default();
+            while let Some(flag) = args.next() {
+                match flag {
+                    "--part" => {
+                        let v = args.value_of(flag)?;
+                        if !["cy7c", "lp2m", "16m"].contains(&v) {
+                            return Err(err(format!(
+                                "unknown part `{v}` (expected cy7c, lp2m, or 16m)"
+                            )));
+                        }
+                        part = v.to_string();
+                    }
+                    "--em" => em_nj = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--natural" => natural = true,
+                    "--bound-cycles" => bound_cycles = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--bound-energy" => bound_energy = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--pareto" => pareto = true,
+                    "--telemetry" => telemetry = true,
+                    "--engine" => engine = parse_engine(args.value_of(flag)?)?,
+                    "--distributed" => distributed = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--shards" => {
+                        let n: usize = parse_num(flag, args.value_of(flag)?)?;
+                        if n == 0 {
+                            return Err(err("`--shards` must be at least 1"));
+                        }
+                        shards = Some(n);
+                    }
+                    "--attach" => {
+                        let v = args.value_of(flag)?;
+                        if !v.contains(':') {
+                            return Err(err(format!("`--attach` needs HOST:PORT, got `{v}`")));
+                        }
+                        attach.push(v.to_string());
+                    }
+                    "--shard-dir" => shard_dir = Some(args.value_of(flag)?.to_string()),
+                    "--retry-budget" => retry_budget = parse_num(flag, args.value_of(flag)?)?,
+                    "--backoff-ms" => {
+                        let ms: u64 = parse_num(flag, args.value_of(flag)?)?;
+                        if ms == 0 {
+                            return Err(err("`--backoff-ms` must be at least 1"));
+                        }
+                        backoff_ms = ms;
+                    }
+                    "--straggler-ms" => {
+                        let ms: u64 = parse_num(flag, args.value_of(flag)?)?;
+                        if ms == 0 {
+                            return Err(err("`--straggler-ms` must be at least 1"));
+                        }
+                        straggler_ms = ms;
+                    }
+                    other => {
+                        if !obs.parse_flag(other, &mut args)? {
+                            return Err(err(format!("unknown flag `{other}` for sweep")));
+                        }
+                    }
+                }
+            }
+            // `--attach` alone is a valid worker pool; `--distributed`
+            // is only mandatory when no daemon is attached.
+            let distributed =
+                match distributed {
+                    Some(n) => n,
+                    None if !attach.is_empty() => 0,
+                    None => return Err(err(
+                        "sweep needs `--distributed N` (0 = local only) or `--attach HOST:PORT`",
+                    )),
+                };
+            Ok(Command::Sweep {
+                file,
+                part,
+                em_nj,
+                natural,
+                bound_cycles,
+                bound_energy,
+                pareto,
+                telemetry,
+                engine,
+                distributed,
+                shards,
+                attach,
+                shard_dir,
+                retry_budget,
+                backoff_ms,
+                straggler_ms,
+                obs,
+            })
+        }
+        "worker" => {
+            let file = args
+                .next()
+                .ok_or_else(|| err("worker needs a kernel or trace file"))?
+                .to_string();
+            let mut part = "cy7c".to_string();
+            let mut em_nj = None;
+            let mut natural = false;
+            let mut engine = "fused".to_string();
+            let mut start = None;
+            let mut end = None;
+            let mut checkpoint = None;
+            let mut checkpoint_every = 0usize;
+            let mut resume = false;
+            while let Some(flag) = args.next() {
+                match flag {
+                    "--part" => {
+                        let v = args.value_of(flag)?;
+                        if !["cy7c", "lp2m", "16m"].contains(&v) {
+                            return Err(err(format!(
+                                "unknown part `{v}` (expected cy7c, lp2m, or 16m)"
+                            )));
+                        }
+                        part = v.to_string();
+                    }
+                    "--em" => em_nj = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--natural" => natural = true,
+                    "--engine" => engine = parse_engine(args.value_of(flag)?)?,
+                    "--start" => start = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--end" => end = Some(parse_num(flag, args.value_of(flag)?)?),
+                    "--checkpoint" => checkpoint = Some(args.value_of(flag)?.to_string()),
+                    "--checkpoint-every" => {
+                        let n: usize = parse_num(flag, args.value_of(flag)?)?;
+                        checkpoint_every = if n == 0 { 32 } else { n };
+                    }
+                    "--resume" => resume = true,
+                    other => return Err(err(format!("unknown flag `{other}` for worker"))),
+                }
+            }
+            let start: usize = start.ok_or_else(|| err("worker needs `--start I`"))?;
+            let end: usize = end.ok_or_else(|| err("worker needs `--end J`"))?;
+            if end <= start {
+                return Err(err("worker `--end` must be greater than `--start`"));
+            }
+            let checkpoint = checkpoint
+                .ok_or_else(|| err("worker needs `--checkpoint PATH` (the result stream)"))?;
+            Ok(Command::Worker {
+                file,
+                part,
+                em_nj,
+                natural,
+                engine,
+                start,
+                end,
+                checkpoint,
+                checkpoint_every,
+                resume,
             })
         }
         "report" => {
@@ -1280,6 +1554,7 @@ mod tests {
                 cache_entries,
                 cache_bytes,
                 default_deadline,
+                distribute,
                 obs,
             } => {
                 assert_eq!(addr, "127.0.0.1:7199");
@@ -1287,13 +1562,14 @@ mod tests {
                 assert_eq!(cache_entries, 256);
                 assert_eq!(cache_bytes, 64 << 20);
                 assert_eq!(default_deadline, None);
+                assert_eq!(distribute, 0);
                 assert!(!obs.is_active());
             }
             other => panic!("wrong command: {other:?}"),
         }
         match parse_args(&argv(
             "serve --addr 0.0.0.0:9000 --slots 4 --cache-entries 8 --cache-bytes 1024 \
-             --default-deadline 30 --log-json serve.jsonl --progress",
+             --default-deadline 30 --distribute 2 --log-json serve.jsonl --progress",
         ))
         .expect("valid")
         {
@@ -1303,6 +1579,7 @@ mod tests {
                 cache_entries,
                 cache_bytes,
                 default_deadline,
+                distribute,
                 obs,
             } => {
                 assert_eq!(addr, "0.0.0.0:9000");
@@ -1310,6 +1587,7 @@ mod tests {
                 assert_eq!(cache_entries, 8);
                 assert_eq!(cache_bytes, 1024);
                 assert_eq!(default_deadline, Some(30.0));
+                assert_eq!(distribute, 2);
                 assert_eq!(obs.log_json.as_deref(), Some("serve.jsonl"));
                 assert!(obs.progress);
             }
@@ -1404,6 +1682,177 @@ mod tests {
             ("submit h:1 k.mx --deadline 0", "--deadline"),
             ("submit h:1 k.mx --wait-health 0", "--wait-health"),
             ("submit h:1 k.mx --telemetry", "unknown flag"),
+        ] {
+            let e = parse_args(&argv(line)).expect_err(line);
+            assert!(e.0.contains(needle), "{line}: {e}");
+        }
+    }
+
+    #[test]
+    fn submit_parses_retry_flags_with_defaults() {
+        match parse_args(&argv("submit h:1 k.mx")).expect("valid") {
+            Command::Submit {
+                retries,
+                backoff_ms,
+                ..
+            } => {
+                assert_eq!(retries, 0);
+                assert_eq!(backoff_ms, 250);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse_args(&argv("submit h:1 k.mx --retries 4 --backoff 50")).expect("valid") {
+            Command::Submit {
+                retries,
+                backoff_ms,
+                ..
+            } => {
+                assert_eq!(retries, 4);
+                assert_eq!(backoff_ms, 50);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        for (line, needle) in [
+            ("submit h:1 k.mx --retries many", "--retries"),
+            ("submit h:1 k.mx --backoff 0", "--backoff"),
+            ("submit h:1 k.mx --backoff", "--backoff"),
+        ] {
+            let e = parse_args(&argv(line)).expect_err(line);
+            assert!(e.0.contains(needle), "{line}: {e}");
+        }
+    }
+
+    #[test]
+    fn serve_parses_distribute() {
+        match parse_args(&argv("serve --distribute 4")).expect("valid") {
+            Command::Serve { distribute, .. } => assert_eq!(distribute, 4),
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse_args(&argv("serve")).expect("valid") {
+            Command::Serve { distribute, .. } => assert_eq!(distribute, 0),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_parses_with_defaults_and_flags() {
+        match parse_args(&argv("sweep k.mx --distributed 2")).expect("valid") {
+            Command::Sweep {
+                file,
+                distributed,
+                shards,
+                attach,
+                retry_budget,
+                backoff_ms,
+                straggler_ms,
+                pareto,
+                ..
+            } => {
+                assert_eq!(file, "k.mx");
+                assert_eq!(distributed, 2);
+                assert_eq!(shards, None);
+                assert!(attach.is_empty());
+                assert_eq!(retry_budget, 3);
+                assert_eq!(backoff_ms, 100);
+                assert_eq!(straggler_ms, 10_000);
+                assert!(!pareto);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse_args(&argv(
+            "sweep t.din --distributed 0 --shards 8 --attach h:1 --attach h:2 \
+             --shard-dir /tmp/s --retry-budget 1 --backoff-ms 10 --straggler-ms 500 \
+             --part lp2m --natural --pareto --telemetry --bound-cycles 9000",
+        ))
+        .expect("valid")
+        {
+            Command::Sweep {
+                distributed,
+                shards,
+                attach,
+                shard_dir,
+                retry_budget,
+                backoff_ms,
+                straggler_ms,
+                part,
+                natural,
+                pareto,
+                telemetry,
+                bound_cycles,
+                ..
+            } => {
+                assert_eq!(distributed, 0);
+                assert_eq!(shards, Some(8));
+                assert_eq!(attach, vec!["h:1".to_string(), "h:2".to_string()]);
+                assert_eq!(shard_dir.as_deref(), Some("/tmp/s"));
+                assert_eq!(retry_budget, 1);
+                assert_eq!(backoff_ms, 10);
+                assert_eq!(straggler_ms, 500);
+                assert_eq!(part, "lp2m");
+                assert!(natural && pareto && telemetry);
+                assert_eq!(bound_cycles, Some(9000.0));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_bad_values() {
+        for (line, needle) in [
+            ("sweep", "kernel or trace"),
+            ("sweep k.mx", "--distributed"),
+            ("sweep k.mx --distributed 2 --shards 0", "--shards"),
+            ("sweep k.mx --distributed 2 --attach nocolon", "HOST:PORT"),
+            ("sweep k.mx --distributed 2 --backoff-ms 0", "--backoff-ms"),
+            (
+                "sweep k.mx --distributed 2 --straggler-ms 0",
+                "--straggler-ms",
+            ),
+            ("sweep k.mx --distributed 2 --checkpoint c", "unknown flag"),
+        ] {
+            let e = parse_args(&argv(line)).expect_err(line);
+            assert!(e.0.contains(needle), "{line}: {e}");
+        }
+    }
+
+    #[test]
+    fn worker_parses_and_validates_its_range() {
+        match parse_args(&argv(
+            "worker k.mx --start 5 --end 10 --checkpoint s.ckpt --checkpoint-every 0 --resume \
+             --engine per-design --part 16m",
+        ))
+        .expect("valid")
+        {
+            Command::Worker {
+                file,
+                start,
+                end,
+                checkpoint,
+                checkpoint_every,
+                resume,
+                engine,
+                part,
+                ..
+            } => {
+                assert_eq!(file, "k.mx");
+                assert_eq!((start, end), (5, 10));
+                assert_eq!(checkpoint, "s.ckpt");
+                assert_eq!(checkpoint_every, 32);
+                assert!(resume);
+                assert_eq!(engine, "per-design");
+                assert_eq!(part, "16m");
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        for (line, needle) in [
+            ("worker k.mx --end 3 --checkpoint c", "--start"),
+            ("worker k.mx --start 0 --checkpoint c", "--end"),
+            ("worker k.mx --start 3 --end 3 --checkpoint c", "greater"),
+            ("worker k.mx --start 0 --end 5", "--checkpoint"),
+            (
+                "worker k.mx --start 0 --end 5 --checkpoint c --wat",
+                "unknown flag",
+            ),
         ] {
             let e = parse_args(&argv(line)).expect_err(line);
             assert!(e.0.contains(needle), "{line}: {e}");

@@ -246,12 +246,73 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
                 .map(|(out, _)| out)
             }
         }
+        Command::Sweep {
+            file,
+            part,
+            em_nj,
+            natural,
+            bound_cycles,
+            bound_energy,
+            pareto,
+            telemetry,
+            engine,
+            distributed,
+            shards,
+            attach,
+            shard_dir,
+            retry_budget,
+            backoff_ms,
+            straggler_ms,
+            obs,
+        } => crate::sweep::sweep(&crate::sweep::SweepRequest {
+            file,
+            part,
+            em_nj,
+            natural,
+            bound_cycles,
+            bound_energy,
+            pareto,
+            telemetry,
+            engine,
+            distributed,
+            shards,
+            attach,
+            shard_dir,
+            retry_budget,
+            backoff_ms,
+            straggler_ms,
+            obs,
+        }),
+        Command::Worker {
+            file,
+            part,
+            em_nj,
+            natural,
+            engine,
+            start,
+            end,
+            checkpoint,
+            checkpoint_every,
+            resume,
+        } => crate::sweep::worker(
+            &file,
+            &part,
+            em_nj,
+            natural,
+            &engine,
+            start,
+            end,
+            &checkpoint,
+            checkpoint_every,
+            resume,
+        ),
         Command::Serve {
             addr,
             slots,
             cache_entries,
             cache_bytes,
             default_deadline,
+            distribute,
             obs,
         } => {
             let obs_hub = build_obs(&obs)?;
@@ -261,6 +322,7 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
                 cache_entries,
                 cache_bytes,
                 default_deadline,
+                distribute,
                 obs: obs_hub,
             })
             .map_err(|e| RunError::Io(format!("cannot listen on `{addr}`: {e}")))?;
@@ -310,6 +372,8 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
             gap,
             deadline_secs,
             wait_health_secs,
+            retries,
+            backoff_ms,
         } => crate::serve::submit(&crate::serve::SubmitRequest {
             addr,
             file,
@@ -330,6 +394,8 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
             gap,
             deadline_secs,
             wait_health_secs,
+            retries,
+            backoff_ms,
         }),
         Command::Report { file } => report(&file),
         Command::Simulate {
@@ -386,7 +452,7 @@ fn report(path: &str) -> Result<Output, RunError> {
 
 /// Builds the observability hub from the CLI flags; `None` when both are
 /// off, so the sweep path stays untouched (bit-identical output).
-fn build_obs(flags: &ObsFlags) -> Result<Option<Arc<Obs>>, RunError> {
+pub(crate) fn build_obs(flags: &ObsFlags) -> Result<Option<Arc<Obs>>, RunError> {
     if !flags.is_active() {
         return Ok(None);
     }
@@ -421,7 +487,7 @@ fn source_error(e: TraceSourceError) -> RunError {
 /// [`source_error`] lifted to whole streamed sweeps: checkpoint sidecar
 /// failures follow the kernel supervisor's I/O discipline, worker panics
 /// stay runtime failures (exit 1).
-fn trace_error(e: TraceError) -> RunError {
+pub(crate) fn trace_error(e: TraceError) -> RunError {
     match e {
         TraceError::Source(e) => source_error(e),
         TraceError::Checkpoint(c) => RunError::Io(c.to_string()),
@@ -613,7 +679,7 @@ fn check_feasibility<I: Iterator<Item = (usize, usize)>>(
 /// an empty design grid is an error; an analytically all-infeasible grid
 /// is an error; tilings larger than every loop's trip count are flagged
 /// as warnings (they degenerate to untiled runs).
-fn check_sweep_inputs(
+pub(crate) fn check_sweep_inputs(
     kernel: &Kernel,
     designs: &[CacheDesign],
     stderr: &mut String,
@@ -951,7 +1017,7 @@ pub(crate) fn explore(
 /// / frontier lines over a completed record set. Shared by the kernel and
 /// trace explore paths so the round-trip smoke can diff their selections
 /// byte-for-byte.
-fn write_selection(
+pub(crate) fn write_selection(
     out: &mut String,
     records: &[Record],
     bound_cycles: Option<f64>,

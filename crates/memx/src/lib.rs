@@ -22,6 +22,7 @@
 pub mod cli;
 pub mod commands;
 pub mod serve;
+pub mod sweep;
 
 pub use cli::{parse_args, Command, ObsFlags, Supervise, UsageError};
 pub use commands::{run, Output, RunError};

@@ -72,6 +72,11 @@ pub enum JobKind {
     Pareto,
     /// Certified bound-guided search (`memx search`).
     Search,
+    /// One shard of a distributed sweep: evaluate `[start, end)` of the
+    /// workload's grid and answer with the checkpoint wire bytes
+    /// (hex-encoded in `stdout`) plus quarantine lines (`stderr`). The
+    /// `memx sweep --attach` coordinator is the client.
+    Shard,
 }
 
 impl JobKind {
@@ -80,6 +85,7 @@ impl JobKind {
             JobKind::Explore => "explore",
             JobKind::Pareto => "pareto",
             JobKind::Search => "search",
+            JobKind::Shard => "shard",
         }
     }
 }
@@ -133,6 +139,10 @@ pub struct JobSpec {
     pub beam: Option<usize>,
     /// search: relative gap target.
     pub gap: f64,
+    /// shard: first grid index of the slice (inclusive).
+    pub shard_start: usize,
+    /// shard: one past the last grid index of the slice.
+    pub shard_end: usize,
 }
 
 /// A rejected job request — one line, reported as HTTP 400.
@@ -193,9 +203,10 @@ impl JobSpec {
                 "explore" => JobKind::Explore,
                 "pareto" => JobKind::Pareto,
                 "search" => JobKind::Search,
+                "shard" => JobKind::Shard,
                 other => {
                     return Err(bad(format!(
-                        "unknown command `{other}` (expected explore, pareto, or search)"
+                        "unknown command `{other}` (expected explore, pareto, search, or shard)"
                     )))
                 }
             },
@@ -243,6 +254,8 @@ impl JobSpec {
             space: "paper".to_string(),
             beam: None,
             gap: 0.0,
+            shard_start: 0,
+            shard_end: 0,
         };
         for (key, value) in pairs {
             let known = match key.as_str() {
@@ -271,6 +284,24 @@ impl JobSpec {
                 }
                 "natural" => {
                     spec.natural = field_bool(value, "natural")?;
+                    true
+                }
+                // A deadline would truncate the shard's result stream,
+                // and the coordinator would silently merge a partial
+                // sweep — so it is a typed error, never ignored.
+                "deadline_secs" if kind == JobKind::Shard => {
+                    return Err(bad("field `deadline_secs` does not apply to shard jobs \
+                         (a partial shard would corrupt the merged sweep)"));
+                }
+                "start" | "end" if kind == JobKind::Shard => {
+                    let n = value.as_u64().ok_or_else(|| {
+                        bad(format!("field `{key}` must be a non-negative integer"))
+                    })? as usize;
+                    if key == "start" {
+                        spec.shard_start = n;
+                    } else {
+                        spec.shard_end = n;
+                    }
                     true
                 }
                 "deadline_secs" => {
@@ -349,6 +380,11 @@ impl JobSpec {
                 )));
             }
         }
+        if kind == JobKind::Shard && spec.shard_end <= spec.shard_start {
+            return Err(bad(
+                "shard jobs need a non-empty range: `start` < `end` (grid indices)",
+            ));
+        }
         Ok(spec)
     }
 
@@ -420,6 +456,11 @@ impl JobSpec {
                 );
                 let _ = write!(s, "gap={:016x}\0", self.gap.to_bits());
                 let _ = write!(s, "format={}\0", self.format);
+            }
+            JobKind::Shard => {
+                let _ = write!(s, "engine={}\0", self.engine);
+                let _ = write!(s, "start={}\0", self.shard_start);
+                let _ = write!(s, "end={}\0", self.shard_end);
             }
         }
         CacheKey::from_canonical(s.as_bytes())
@@ -510,6 +551,9 @@ pub struct ServeConfig {
     pub cache_bytes: usize,
     /// Deadline for jobs that do not set one (`None` = unbounded).
     pub default_deadline: Option<f64>,
+    /// Route eligible explore jobs through the shard coordinator onto
+    /// this many in-process workers (0/1 = undistributed).
+    pub distribute: usize,
     /// Observability hub for per-job events (`None` = off).
     pub obs: Option<Arc<Obs>>,
 }
@@ -522,6 +566,7 @@ impl Default for ServeConfig {
             cache_entries: 256,
             cache_bytes: 64 << 20,
             default_deadline: None,
+            distribute: 0,
             obs: None,
         }
     }
@@ -537,6 +582,8 @@ struct ServerShared {
     /// concurrent jobs share the cores instead of oversubscribing.
     workers_per_job: usize,
     default_deadline: Option<f64>,
+    /// In-process shard workers for eligible explore jobs (0/1 = off).
+    distribute: usize,
 }
 
 /// A running daemon. Dropping the handle does NOT stop it; call
@@ -572,6 +619,7 @@ impl Server {
             jobs: AtomicU64::new(0),
             workers_per_job: (cores / slots).max(1),
             default_deadline: config.default_deadline,
+            distribute: config.distribute,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
@@ -819,9 +867,23 @@ fn job_body(status: &str, key: CacheKey, spec_kind: JobKind, output: &Output) ->
     s.into_bytes()
 }
 
+/// Renders a shard job's output: checkpoint wire bytes hex-encoded on
+/// stdout (one line), quarantine lines on stderr.
+fn shard_output(result: (Vec<u8>, Vec<(usize, String)>)) -> (Output, bool) {
+    use std::fmt::Write as _;
+    let (bytes, quarantined) = result;
+    let mut stdout = crate::sweep::hex_encode(&bytes);
+    stdout.push('\n');
+    let mut stderr = String::new();
+    for (idx, message) in &quarantined {
+        let _ = writeln!(stderr, "quarantine {idx} {message}");
+    }
+    (Output { stdout, stderr }, false)
+}
+
 /// Runs one job on the sweep engines. Returns the command output plus the
 /// cancellation flag (deadline reached → partial, uncacheable).
-fn run_job(spec: &JobSpec, workers: usize) -> Result<(Output, bool), RunError> {
+fn run_job(spec: &JobSpec, workers: usize, distribute: usize) -> Result<(Output, bool), RunError> {
     let evaluator = commands::make_evaluator(&spec.part, spec.em_nj, spec.natural);
     let supervise = Supervise {
         deadline_secs: spec.deadline_secs,
@@ -829,6 +891,41 @@ fn run_job(spec: &JobSpec, workers: usize) -> Result<(Output, bool), RunError> {
     };
     let obs_flags = ObsFlags::default();
     match (&spec.input, spec.kind) {
+        // `--distribute N` routes eligible explore jobs through the shard
+        // coordinator; analytical jobs never sweep, and deadline jobs
+        // need the supervisor's cooperative cancellation, so both keep
+        // the undistributed path.
+        (JobInput::Kernel(kernel), JobKind::Explore)
+            if distribute >= 2 && !spec.analytical && spec.deadline_secs.is_none() =>
+        {
+            crate::sweep::explore_kernel_sharded(
+                kernel,
+                &evaluator,
+                &spec.engine,
+                workers,
+                distribute,
+                spec.bound_cycles,
+                spec.bound_energy,
+                spec.pareto,
+            )
+        }
+        (JobInput::Kernel(kernel), JobKind::Shard) => crate::sweep::kernel_shard_bytes(
+            kernel,
+            &evaluator,
+            &spec.engine,
+            workers,
+            spec.shard_start,
+            spec.shard_end,
+        )
+        .map(shard_output),
+        (JobInput::Trace(workload), JobKind::Shard) => crate::sweep::trace_shard_bytes(
+            workload,
+            &evaluator,
+            workers,
+            spec.shard_start,
+            spec.shard_end,
+        )
+        .map(shard_output),
         (JobInput::Kernel(kernel), JobKind::Explore) => commands::explore(
             kernel,
             evaluator,
@@ -941,7 +1038,9 @@ fn handle_job(stream: &mut TcpStream, shared: &ServerShared, body: &[u8]) -> io:
         Lookup::Miss(flight) => {
             // Leader: fair-FIFO admission, then simulate.
             let queue_depth = shared.gate.acquire();
-            let result = catch_unwind(AssertUnwindSafe(|| run_job(&spec, shared.workers_per_job)));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_job(&spec, shared.workers_per_job, shared.distribute)
+            }));
             shared.gate.release();
             match result {
                 Ok(Ok((output, cancelled))) => {
@@ -1225,6 +1324,11 @@ pub struct SubmitRequest {
     pub deadline_secs: Option<f64>,
     /// Poll health for up to this many seconds before submitting.
     pub wait_health_secs: Option<f64>,
+    /// Retry transient transport failures this many times (`--retries`).
+    pub retries: u32,
+    /// Base backoff between retries, milliseconds (`--backoff`);
+    /// exponential with deterministic jitter.
+    pub backoff_ms: u64,
 }
 
 impl SubmitRequest {
@@ -1321,8 +1425,8 @@ pub fn submit(req: &SubmitRequest) -> Result<Output, RunError> {
         }
     }
     let body = req.body(if is_trace { "trace" } else { "kernel" }, &workload_text);
-    let response = http_request(&req.addr, "POST", "/v1/jobs", body.as_bytes())
-        .map_err(|e| RunError::Io(format!("cannot reach daemon at {}: {e}", req.addr)))?;
+    let mut notes = String::new();
+    let response = submit_with_retry(req, body.as_bytes(), &mut notes)?;
     let text = String::from_utf8_lossy(&response.body);
     let json = parse_json(&text)
         .map_err(|e| RunError::Other(format!("malformed daemon response: {e}").into()))?;
@@ -1342,11 +1446,12 @@ pub fn submit(req: &SubmitRequest) -> Result<Output, RunError> {
         .and_then(Json::as_str)
         .unwrap_or_default()
         .to_string();
-    let mut stderr = json
-        .get("stderr")
-        .and_then(Json::as_str)
-        .unwrap_or_default()
-        .to_string();
+    let mut stderr = notes;
+    stderr.push_str(
+        json.get("stderr")
+            .and_then(Json::as_str)
+            .unwrap_or_default(),
+    );
     let status = json.get("status").and_then(Json::as_str).unwrap_or("?");
     let disposition = response
         .headers
@@ -1359,6 +1464,66 @@ pub fn submit(req: &SubmitRequest) -> Result<Output, RunError> {
         "note: cache {disposition}, status {status}, key {key}"
     );
     Ok(Output { stdout, stderr })
+}
+
+/// True for transport failures worth retrying: the daemon is not up yet,
+/// dropped the connection, or the socket timed out. A DNS failure or a
+/// refused *response* (HTTP-level error) is not transient.
+fn transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Posts the job, retrying transient transport failures up to
+/// `req.retries` times with exponential backoff plus deterministic
+/// jitter (the same [`memexplore::backoff_delay`] schedule the shard
+/// coordinator uses). Each retry leaves a note for the final stderr.
+fn submit_with_retry(
+    req: &SubmitRequest,
+    body: &[u8],
+    notes: &mut String,
+) -> Result<HttpResponse, RunError> {
+    use std::fmt::Write as _;
+    let mut attempt: u32 = 0;
+    loop {
+        match http_request(&req.addr, "POST", "/v1/jobs", body) {
+            Ok(response) => return Ok(response),
+            Err(e) if attempt < req.retries && transient(&e) => {
+                attempt += 1;
+                let delay = memexplore::backoff_delay(
+                    Duration::from_millis(req.backoff_ms.max(1)),
+                    0x6d65_6d78,
+                    0,
+                    attempt,
+                );
+                let _ = writeln!(
+                    notes,
+                    "note: retrying after transport error ({e}); attempt {attempt} of {}, \
+                     backoff {} ms",
+                    req.retries,
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+            }
+            Err(e) => {
+                return Err(RunError::Io(if attempt > 0 {
+                    format!(
+                        "cannot reach daemon at {} after {} attempts: {e}",
+                        req.addr,
+                        attempt + 1
+                    )
+                } else {
+                    format!("cannot reach daemon at {}: {e}", req.addr)
+                }));
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -285,6 +285,140 @@ fn search_certifies_the_explore_optimum() {
     );
 }
 
+/// A `HOST:PORT` that refuses connections: bind an ephemeral port, then
+/// drop the listener so nothing is accepting there.
+fn dead_addr() -> String {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    drop(listener);
+    addr
+}
+
+#[test]
+fn submit_refused_without_retries_is_exit_two_fast() {
+    let scratch = Scratch::new("submit-refused");
+    let kernel = scratch.kernel();
+    let started = std::time::Instant::now();
+    let out = memx(&["submit", &dead_addr(), &kernel]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    assert_one_line_error(&out);
+    assert!(
+        stderr(&out).contains("cannot reach daemon"),
+        "{}",
+        stderr(&out)
+    );
+    // No retries requested: one connect attempt, no backoff sleeps.
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(10),
+        "refused submit must fail fast, took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn submit_retries_report_attempt_count_on_exhaustion() {
+    let scratch = Scratch::new("submit-retries");
+    let kernel = scratch.kernel();
+    let out = memx(&[
+        "submit",
+        &dead_addr(),
+        &kernel,
+        "--retries",
+        "2",
+        "--backoff",
+        "10",
+    ]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    assert_one_line_error(&out);
+    assert!(
+        stderr(&out).contains("after 3 attempts"),
+        "exhausted retries must name the attempt count: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn submit_rejects_bad_retry_flags() {
+    for args in [
+        &["submit", "127.0.0.1:1", "k.mx", "--retries"][..],
+        &["submit", "127.0.0.1:1", "k.mx", "--backoff", "0"][..],
+        &["submit", "127.0.0.1:1", "k.mx", "--backoff"][..],
+    ] {
+        let out = memx(args);
+        assert_eq!(exit_code(&out), 2, "args {args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn sweep_without_workers_flag_is_exit_two_with_usage() {
+    let scratch = Scratch::new("sweep-noflag");
+    let kernel = scratch.kernel();
+    let out = memx(&["sweep", &kernel]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("--distributed"), "{}", stderr(&out));
+}
+
+#[test]
+fn worker_bad_range_is_exit_two() {
+    let scratch = Scratch::new("worker-range");
+    let kernel = scratch.kernel();
+    let ckpt = scratch.path("w.ckpt");
+    let ckpt = ckpt.to_str().expect("utf8 path");
+    // end <= start is a CLI error.
+    let out = memx(&[
+        "worker",
+        &kernel,
+        "--start",
+        "5",
+        "--end",
+        "5",
+        "--checkpoint",
+        ckpt,
+    ]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    // A range past the grid is an I/O-class error (exit 2, one line).
+    let out = memx(&[
+        "worker",
+        &kernel,
+        "--start",
+        "0",
+        "--end",
+        "999999",
+        "--checkpoint",
+        ckpt,
+    ]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    assert_one_line_error(&out);
+    assert!(stderr(&out).contains("exceeds"), "{}", stderr(&out));
+}
+
+#[test]
+fn worker_checkpoint_is_the_result_stream() {
+    let scratch = Scratch::new("worker-ok");
+    let kernel = scratch.kernel();
+    let ckpt = scratch.path("w.ckpt");
+    let out = memx(&[
+        "worker",
+        &kernel,
+        "--start",
+        "0",
+        "--end",
+        "8",
+        "--checkpoint",
+        ckpt.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(
+        ckpt.exists(),
+        "final flush must leave the checkpoint behind"
+    );
+    assert!(
+        stderr(&out).contains("designs [0..8) done"),
+        "{}",
+        stderr(&out)
+    );
+}
+
 #[test]
 fn deadline_yields_partial_result_with_exit_zero() {
     let scratch = Scratch::new("deadline");

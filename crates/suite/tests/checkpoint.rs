@@ -95,7 +95,10 @@ fn version_skew_is_a_typed_error() {
     bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
     assert!(matches!(
         Checkpoint::from_bytes(&bytes),
-        Err(CheckpointError::BadVersion { found: 2 })
+        Err(CheckpointError::BadVersion {
+            found: 2,
+            supported: 1
+        })
     ));
 }
 

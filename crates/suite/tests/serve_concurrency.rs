@@ -163,3 +163,79 @@ fn mixed_jobs_under_tight_deadline_terminate_well_formed() {
     server.request_shutdown();
     server.join();
 }
+
+#[test]
+fn shutdown_under_load_drains_every_accepted_job() {
+    // The graceful-drain contract behind SIGTERM (the signal handler
+    // calls the same `request_shutdown`): a shutdown that lands while
+    // jobs are in flight must not drop any of them — every accepted job
+    // runs to a well-formed complete-or-cancelled response, and the
+    // accounting in the event log balances exactly.
+    let log = TempLog::new();
+    let obs = Obs::new(ObsConfig {
+        log: Some(ObsSink::Path(log.path.clone())),
+        progress: false,
+        run_id: None,
+    })
+    .expect("temp log is writable");
+    let server = Server::start(ServeConfig {
+        obs: Some(obs),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // Distinct jobs so none dedupe into each other: two full sweeps, a
+    // search, and one sweep on a 50 ms fuse (guaranteed to cancel — that
+    // path must drain cleanly too).
+    let jobs: Vec<String> = vec![
+        job_body("explore", &kernel_source("compress"), ""),
+        job_body("explore", &kernel_source("dequant"), ""),
+        job_body("search", &kernel_source("sor"), ""),
+        job_body(
+            "explore",
+            &kernel_source("matmul"),
+            ",\"deadline_secs\":0.05",
+        ),
+    ];
+    let responses: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|b| scope.spawn(|| post_job(&server, b)))
+            .collect();
+        // Let the clients connect and the jobs start, then yank the rug
+        // mid-flight.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        server.request_shutdown();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut done = 0u64;
+    let mut cancelled = 0u64;
+    for (r, body) in responses.iter().zip(&jobs) {
+        assert_eq!(r.code, 200, "job {body} was dropped by the drain");
+        let json = body_json(r);
+        match body_str(&json, "status") {
+            "complete" => done += 1,
+            "cancelled" => cancelled += 1,
+            other => panic!("job {body}: unexpected status {other}"),
+        }
+    }
+    assert_eq!(done + cancelled, jobs.len() as u64);
+    assert!(cancelled >= 1, "the 50 ms matmul job should have cancelled");
+
+    // The accept loop has exited: new connections are refused, so the
+    // drain really was a drain and not a still-open door.
+    server.join();
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, std::time::Duration::from_millis(500)).is_err(),
+        "server still accepting after drain"
+    );
+
+    // The event log balances: every accepted job is accounted done or
+    // cancelled, nothing vanished.
+    let text = std::fs::read_to_string(&log.path).expect("event log exists");
+    let report = RunReport::from_jsonl(&text).expect("valid JSONL");
+    assert_eq!(report.jobs_done, done + cancelled, "{report}");
+    assert_eq!(report.jobs_cancelled, cancelled, "{report}");
+}

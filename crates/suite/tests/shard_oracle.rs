@@ -1,0 +1,176 @@
+//! The shard oracle: a distributed sweep (coordinator plus worker
+//! *processes*, or an attached daemon) must produce stdout byte-identical
+//! to the single-process `memx explore`, for paper kernels and for a
+//! streamed `.din` trace.
+//!
+//! This is the merge contract of `memx sweep`: sharding, retries, and
+//! transport are invisible in the output — a client can never tell how
+//! many workers (if any) ran the sweep.
+
+mod common;
+
+use common::kernel_path;
+use memx::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Locates the `memx` binary next to this test executable
+/// (`target/<profile>/memx`), honouring a `MEMX_BIN` override. Falls
+/// back to building it, so `cargo test -p suite` works standalone.
+fn memx_bin() -> PathBuf {
+    if let Ok(path) = std::env::var("MEMX_BIN") {
+        return PathBuf::from(path);
+    }
+    let mut dir = std::env::current_exe().expect("test executable path");
+    dir.pop();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let bin = dir.join(format!("memx{}", std::env::consts::EXE_SUFFIX));
+    if !bin.exists() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+        let mut build = Command::new(cargo);
+        build.args(["build", "-p", "memx", "--bin", "memx"]);
+        if dir.ends_with("release") {
+            build.arg("--release");
+        }
+        let status = build.status().expect("cargo runs");
+        assert!(status.success(), "building the memx binary failed");
+    }
+    assert!(bin.exists(), "memx binary not found at {}", bin.display());
+    bin
+}
+
+fn memx(args: &[&str]) -> Output {
+    Command::new(memx_bin())
+        .args(args)
+        .output()
+        .expect("memx binary runs")
+}
+
+fn assert_ok(out: &Output, what: &str) {
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{what} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Self-cleaning scratch directory.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("memx-shard-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn distributed_kernel_sweep_is_byte_identical_to_explore() {
+    // Two paper kernels, each swept by a coordinator with two worker
+    // processes over more shards than workers (so the launch queue,
+    // not just the initial dispatch, is exercised).
+    for kernel in ["compress", "dequant"] {
+        let path = kernel_path(kernel);
+        let single = memx(&["explore", &path, "--pareto"]);
+        assert_ok(&single, "single-process explore");
+        let distributed = memx(&[
+            "sweep",
+            &path,
+            "--pareto",
+            "--distributed",
+            "2",
+            "--shards",
+            "5",
+            "--telemetry",
+        ]);
+        assert_ok(&distributed, "distributed sweep");
+        assert_eq!(
+            String::from_utf8_lossy(&single.stdout),
+            String::from_utf8_lossy(&distributed.stdout),
+            "kernel {kernel}: distributed stdout diverged from explore"
+        );
+        let stderr = String::from_utf8_lossy(&distributed.stderr);
+        assert!(
+            stderr.contains("shard    : 5 dispatched"),
+            "telemetry must report shard counters: {stderr}"
+        );
+        assert!(
+            stderr.contains("2 of 2 workers surviving"),
+            "telemetry must report surviving workers: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn distributed_trace_sweep_is_byte_identical_to_explore() {
+    let scratch = Scratch::new("trace");
+    let din = scratch.path("compress.din");
+    let traced = memx(&["trace", &kernel_path("compress")]);
+    assert_ok(&traced, "trace generation");
+    std::fs::write(&din, &traced.stdout).expect("tempdir is writable");
+
+    let single = memx(&["explore", &din]);
+    assert_ok(&single, "single-process trace explore");
+    let distributed = memx(&["sweep", &din, "--distributed", "2"]);
+    assert_ok(&distributed, "distributed trace sweep");
+    assert_eq!(
+        String::from_utf8_lossy(&single.stdout),
+        String::from_utf8_lossy(&distributed.stdout),
+        "trace: distributed stdout diverged from explore"
+    );
+}
+
+#[test]
+fn attached_daemon_sweep_is_byte_identical_to_explore() {
+    // The coordinator can also dispatch shards to a `memx serve` daemon
+    // over HTTP; here the daemon runs in-process and the coordinator is
+    // the real binary, so the whole shard-job wire format is exercised.
+    let server = Server::start(ServeConfig::default()).expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    let path = kernel_path("compress");
+    let single = memx(&["explore", &path]);
+    assert_ok(&single, "single-process explore");
+    let attached = memx(&["sweep", &path, "--attach", &addr]);
+    assert_ok(&attached, "attached sweep");
+    assert_eq!(
+        String::from_utf8_lossy(&single.stdout),
+        String::from_utf8_lossy(&attached.stdout),
+        "attached stdout diverged from explore"
+    );
+
+    server.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn zero_workers_degrades_to_local_sweep() {
+    let path = kernel_path("compress");
+    let single = memx(&["explore", &path]);
+    assert_ok(&single, "single-process explore");
+    let local = memx(&["sweep", &path, "--distributed", "0"]);
+    assert_ok(&local, "local-degraded sweep");
+    assert_eq!(
+        String::from_utf8_lossy(&single.stdout),
+        String::from_utf8_lossy(&local.stdout),
+        "zero-worker sweep must be the local explore"
+    );
+    assert!(
+        String::from_utf8_lossy(&local.stderr).contains("sweeping locally"),
+        "degradation must be announced on stderr"
+    );
+}

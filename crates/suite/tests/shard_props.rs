@@ -1,0 +1,320 @@
+//! Property and fault-injection tests of the shard protocol behind
+//! distributed sweeps (`memexplore::shard`), driven through the public
+//! crate API the `memx sweep` coordinator uses.
+//!
+//! Unconditional properties:
+//!
+//! 1. **Partition** — every grid partition is a contiguous, complete,
+//!    gap-free cover with near-even shard sizes.
+//! 2. **Backoff** — the retry schedule is deterministic, exponential in
+//!    the attempt, and its jitter stays within half the base delay.
+//! 3. **Merge** — for any grid and shard count, `run_sharded` over an
+//!    in-process executor reproduces the worker records bit-identically
+//!    in grid order, with zero retries and all workers surviving.
+//!
+//! With `--features fault-injection`, the deterministic fault plans
+//! additionally pin the recovery ladder: worker loss → resumed retry,
+//! stalled heartbeat → speculative re-dispatch with first-complete-wins
+//! dedupe, corrupt stream → typed rejection and fresh re-dispatch, and
+//! quarantine propagation into the merged telemetry.
+
+use memexplore::shard::ShardFn;
+use memexplore::{
+    backoff_delay, partition, run_sharded, CacheDesign, CoordinatorOptions, Record, ShardOutput,
+    ShardSpec, SweepTelemetry, ThreadExecutor,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn design(i: usize) -> CacheDesign {
+    CacheDesign::new(64 << (i % 4), 4 << (i % 3), 1 + i % 2, 1 + (i as u64 % 8))
+}
+
+/// A synthetic, deterministic record for grid slot `global` — the merge
+/// laws only need bit-stable payloads, not real simulations.
+fn record(global: usize) -> Record {
+    Record {
+        design: design(global),
+        miss_rate: (global as f64).mul_add(0.001, 0.125),
+        cycles: 1000.0 + global as f64,
+        energy_nj: 42.5 * (global as f64 + 1.0),
+        trip_count: 31 * (global as u64 + 1),
+        conflict_free: global.is_multiple_of(2),
+    }
+}
+
+/// A well-behaved in-process worker over the synthetic grid, quarantining
+/// every global index in `quarantine`.
+fn worker(quarantine: Vec<usize>) -> Arc<ShardFn> {
+    Arc::new(move |spec: &ShardSpec| {
+        let mut entries = Vec::new();
+        let mut quarantined = Vec::new();
+        for local in 0..spec.len() {
+            let global = spec.start + local;
+            if quarantine.contains(&global) {
+                quarantined.push((local, format!("injected quarantine at {global}")));
+            } else {
+                entries.push((local, record(global)));
+            }
+        }
+        Ok(ShardOutput {
+            sweep_id: spec.sweep_id,
+            entries,
+            quarantined,
+        })
+    })
+}
+
+fn fast_options() -> CoordinatorOptions {
+    CoordinatorOptions {
+        backoff: Duration::from_millis(1),
+        poll: Duration::from_micros(200),
+        ..CoordinatorOptions::default()
+    }
+}
+
+fn fail_local(spec: &ShardSpec) -> Result<ShardOutput, memexplore::ShardError> {
+    panic!("local fallback must not run for shard {}", spec.index)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_is_a_contiguous_even_cover(total in 0usize..3000, shards in 1usize..64) {
+        let specs = partition(total, shards);
+        // Complete, contiguous, gap-free.
+        let mut next = 0usize;
+        for (i, s) in specs.iter().enumerate() {
+            prop_assert_eq!(s.index, i);
+            prop_assert_eq!(s.start, next);
+            prop_assert!(s.end > s.start, "empty shard in the cover");
+            next = s.end;
+        }
+        prop_assert_eq!(next, total);
+        // Never more shards than designs, and near-even: sizes differ by
+        // at most one.
+        prop_assert!(specs.len() <= shards.min(total.max(1)));
+        if let (Some(min), Some(max)) = (
+            specs.iter().map(ShardSpec::len).min(),
+            specs.iter().map(ShardSpec::len).max(),
+        ) {
+            prop_assert!(max - min <= 1, "uneven partition: {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_with_bounded_jitter(
+        base_ms in 1u64..500,
+        seed in 0u64..u64::MAX,
+        shard in 0usize..64,
+        attempt in 1u32..10,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let a = backoff_delay(base, seed, shard, attempt);
+        let b = backoff_delay(base, seed, shard, attempt);
+        prop_assert_eq!(a, b, "schedule must be deterministic");
+        // Exponential floor (exponent capped at 6) and jitter ceiling of
+        // half the base delay.
+        let floor = base * (1u32 << (attempt - 1).min(6));
+        prop_assert!(a >= floor, "delay {a:?} under exponential floor {floor:?}");
+        prop_assert!(
+            a <= floor + base / 2 + Duration::from_millis(1),
+            "delay {a:?} exceeds jitter ceiling over {floor:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_merge_reproduces_the_grid_bit_identically(
+        total in 1usize..400,
+        shards in 1usize..16,
+        slots in 1usize..5,
+    ) {
+        let designs: Vec<CacheDesign> = (0..total).map(design).collect();
+        let specs = partition(total, shards);
+        let executor = ThreadExecutor::new(slots, worker(Vec::new()));
+        let outcome = run_sharded(
+            &executor,
+            &specs,
+            &designs,
+            &fail_local,
+            &fast_options(),
+            None,
+        )
+        .expect("sharded sweep completes");
+        prop_assert!(outcome.is_complete());
+        prop_assert!(outcome.errors.is_empty());
+        for (i, slot) in outcome.records.iter().enumerate() {
+            prop_assert_eq!(slot.as_ref(), Some(&record(i)), "slot {i} diverged");
+        }
+        prop_assert_eq!(outcome.stats.dispatched, specs.len());
+        prop_assert_eq!(outcome.stats.retried, 0);
+        prop_assert_eq!(outcome.stats.redispatched, 0);
+        prop_assert_eq!(outcome.stats.workers_surviving, slots);
+    }
+}
+
+#[test]
+fn quarantines_propagate_into_errors_and_telemetry() {
+    let total = 60;
+    let quarantined = vec![3usize, 17, 41];
+    let designs: Vec<CacheDesign> = (0..total).map(design).collect();
+    let specs = partition(total, 4);
+    let executor = ThreadExecutor::new(2, worker(quarantined.clone()));
+    let outcome = run_sharded(
+        &executor,
+        &specs,
+        &designs,
+        &fail_local,
+        &fast_options(),
+        None,
+    )
+    .expect("sharded sweep completes");
+    let mut reported: Vec<usize> = outcome.errors.iter().map(|e| e.design_index).collect();
+    reported.sort_unstable();
+    assert_eq!(
+        reported, quarantined,
+        "quarantines must merge by grid index"
+    );
+    for e in &outcome.errors {
+        assert_eq!(e.engine, "worker");
+        assert!(e.message.contains("injected quarantine"));
+        assert_eq!(e.design, designs[e.design_index]);
+    }
+    // The unaffected slots are all present; the quarantined ones are not.
+    for (i, slot) in outcome.records.iter().enumerate() {
+        assert_eq!(slot.is_none(), quarantined.contains(&i), "slot {i}");
+    }
+    // MergeStats land in the shared telemetry schema.
+    let mut t = SweepTelemetry::default();
+    outcome.stats.fill(&mut t);
+    assert_eq!(t.shards_dispatched, 4);
+    assert_eq!(t.workers_surviving, 2);
+    let json = t.to_json();
+    assert!(json.contains("\"shards_dispatched\":4"), "{json}");
+}
+
+#[cfg(feature = "fault-injection")]
+mod faults {
+    use super::*;
+    use memexplore::FaultPlan;
+
+    /// Worker loss mid-shard: the coordinator retries (resumable) within
+    /// its budget and the merge stays bit-identical.
+    #[test]
+    fn dropped_worker_is_retried_and_merge_is_exact() {
+        let total = 90;
+        let designs: Vec<CacheDesign> = (0..total).map(design).collect();
+        let specs = partition(total, 5);
+        let executor = ThreadExecutor::new(2, worker(Vec::new())).with_fault(FaultPlan {
+            drop_worker: Some((2, 0)),
+            ..FaultPlan::none()
+        });
+        let outcome = run_sharded(
+            &executor,
+            &specs,
+            &designs,
+            &fail_local,
+            &fast_options(),
+            None,
+        )
+        .expect("sharded sweep completes");
+        assert!(outcome.is_complete());
+        assert_eq!(
+            outcome.stats.retried, 1,
+            "one retry for the dropped attempt"
+        );
+        for (i, slot) in outcome.records.iter().enumerate() {
+            assert_eq!(slot.as_ref(), Some(&record(i)), "slot {i} diverged");
+        }
+    }
+
+    /// Stalled heartbeat: straggler detection launches a speculative
+    /// twin; the first completion wins and the loser's duplicate entries
+    /// are deduped, never double-merged.
+    #[test]
+    fn straggler_gets_a_speculative_twin_and_duplicates_dedupe() {
+        let total = 80;
+        let designs: Vec<CacheDesign> = (0..total).map(design).collect();
+        let specs = partition(total, 4);
+        let executor = ThreadExecutor::new(4, worker(Vec::new())).with_fault(FaultPlan {
+            stall_heartbeat: Some((1, 0)),
+            ..FaultPlan::none()
+        });
+        let options = CoordinatorOptions {
+            straggler_after: Duration::from_millis(20),
+            ..fast_options()
+        };
+        let outcome = run_sharded(&executor, &specs, &designs, &fail_local, &options, None)
+            .expect("sharded sweep completes");
+        assert!(outcome.is_complete());
+        assert!(
+            outcome.stats.redispatched >= 1,
+            "straggler must trigger a speculative re-dispatch: {:?}",
+            outcome.stats
+        );
+        for (i, slot) in outcome.records.iter().enumerate() {
+            assert_eq!(slot.as_ref(), Some(&record(i)), "slot {i} diverged");
+        }
+    }
+
+    /// Corrupt result stream: rejected by the typed checkpoint
+    /// validation (not merged, not resumed) and re-dispatched fresh.
+    #[test]
+    fn corrupt_stream_is_rejected_and_redispatched_fresh() {
+        let total = 70;
+        let designs: Vec<CacheDesign> = (0..total).map(design).collect();
+        let specs = partition(total, 3);
+        let executor = ThreadExecutor::new(2, worker(Vec::new())).with_fault(FaultPlan {
+            corrupt_stream: Some((0, 0)),
+            ..FaultPlan::none()
+        });
+        let outcome = run_sharded(
+            &executor,
+            &specs,
+            &designs,
+            &fail_local,
+            &fast_options(),
+            None,
+        )
+        .expect("sharded sweep completes");
+        assert!(outcome.is_complete());
+        assert_eq!(
+            outcome.stats.retried, 1,
+            "corrupt stream must cost exactly one retry: {:?}",
+            outcome.stats
+        );
+        for (i, slot) in outcome.records.iter().enumerate() {
+            assert_eq!(slot.as_ref(), Some(&record(i)), "slot {i} diverged");
+        }
+    }
+
+    /// Exhausted retry budget: the coordinator degrades the shard to
+    /// local execution instead of failing the sweep, and reports the
+    /// lost capacity in `workers_surviving`.
+    #[test]
+    fn exhausted_budget_degrades_to_local_execution() {
+        let total = 40;
+        let designs: Vec<CacheDesign> = (0..total).map(design).collect();
+        let specs = partition(total, 2);
+        // Every attempt of shard 1 drops (budget 0 → first loss degrades).
+        let executor = ThreadExecutor::new(2, worker(Vec::new())).with_fault(FaultPlan {
+            drop_worker: Some((1, 0)),
+            ..FaultPlan::none()
+        });
+        let options = CoordinatorOptions {
+            retry_budget: 0,
+            ..fast_options()
+        };
+        let local = |spec: &ShardSpec| worker(Vec::new())(spec);
+        let outcome = run_sharded(&executor, &specs, &designs, &local, &options, None)
+            .expect("sharded sweep completes");
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.stats.degraded, 1, "{:?}", outcome.stats);
+        assert_eq!(outcome.stats.workers_surviving, 1, "{:?}", outcome.stats);
+        for (i, slot) in outcome.records.iter().enumerate() {
+            assert_eq!(slot.as_ref(), Some(&record(i)), "slot {i} diverged");
+        }
+    }
+}

@@ -306,7 +306,7 @@ mod injected {
             fault: FaultPlan {
                 panic_group: Some(0),
                 panic_design: Some(0),
-                fail_checkpoint_write: None,
+                ..FaultPlan::none()
             },
             ..SweepOptions::default()
         };

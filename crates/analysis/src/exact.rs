@@ -1,0 +1,242 @@
+//! Exact closed-form replay for conflict-light read traces.
+//!
+//! The §3 machinery ([`missrate`](crate::missrate)) estimates miss rates
+//! from reuse distances under a conflict-free assumption — fast but
+//! approximate. This module goes one step further for the cases where the
+//! assumption can be *proved* against the concrete trace: it computes the
+//! full simulator report (hit/miss counters, both address buses) in
+//! closed form, bit-identical to what `memsim` would measure, so a sweep
+//! can skip replay entirely for qualifying designs.
+//!
+//! The argument has two halves, both per line-size class (a trace splits
+//! into line-granular sub-accesses the same way for every design sharing
+//! a line size — see `memsim::ReplayBank`):
+//!
+//! 1. **Profile** ([`profile_read_class`]): one pass over the trace
+//!    collects the sub-access count, the distinct lines in first-touch
+//!    order, whether each line's sub-accesses form one contiguous run,
+//!    and both bus monitors' statistics. The CPU bus is a pure function
+//!    of the sub-access stream; the memory bus sees exactly the fills,
+//!    which for the qualifying cases below are exactly the first touches
+//!    in first-touch order.
+//! 2. **Classify** ([`exact_report`]): a design is *analytic-exact* when
+//!    the trace is read-only and either
+//!    * every line's sub-accesses are **contiguous** — a line is never
+//!      re-referenced after the stream leaves it, so each distinct line
+//!      misses exactly once (compulsory) and eviction choice is
+//!      irrelevant: any policy evicts only lines that are never touched
+//!      again, and each set's eviction count is just
+//!      `max(0, fills − assoc)`; or
+//!    * the **occupancy replay** shows no set ever receives more fills
+//!      than it has ways — nothing is ever evicted, so every revisit
+//!      hits regardless of replacement policy.
+//!
+//!    In both cases misses = distinct lines, hits = sub-accesses −
+//!    misses, writebacks = 0 (read-only), and the fill sequence — hence
+//!    the memory-bus trace — is the first-touch sequence.
+//!
+//! Anything else (writes, revisits after a possible eviction, line
+//! buffers, miss classifiers) must simulate.
+
+use memsim::{BusEncoding, BusMonitor, CacheConfig, CacheStats, SimReport, TraceEvent};
+use std::collections::HashMap;
+
+/// One line-size class's trace profile — everything [`exact_report`]
+/// needs, computed in a single pass shared by all designs of that line
+/// size.
+#[derive(Clone, Debug)]
+pub struct ClassProfile {
+    /// `line.trailing_zeros()`.
+    pub shift: u32,
+    /// Line-granular sub-accesses after Dinero-style splitting (equals
+    /// the read count every lane of this class records).
+    pub sub_accesses: u64,
+    /// Distinct line numbers in first-touch order — the compulsory-miss
+    /// (and, for qualifying designs, the fill) sequence.
+    pub first_touch: Vec<u64>,
+    /// Whether every line's sub-accesses form one contiguous run.
+    pub contiguous: bool,
+    /// Processor↔cache bus statistics over the full sub-access stream.
+    pub cpu_bus: memsim::BusStats,
+    /// Cache↔memory bus statistics over the first-touch fill sequence.
+    pub mem_bus: memsim::BusStats,
+}
+
+/// Profiles a read-only trace for one line size, splitting multi-byte
+/// events exactly as the replay engine does. Returns `None` if the trace
+/// contains any write — dirty lines make eviction *identity* matter, and
+/// the closed form only counts.
+pub fn profile_read_class(
+    events: &[TraceEvent],
+    line: usize,
+    encoding: BusEncoding,
+) -> Option<ClassProfile> {
+    debug_assert!(line.is_power_of_two());
+    let shift = line.trailing_zeros();
+    let mut cpu = BusMonitor::new(encoding);
+    let mut first_touch = Vec::new();
+    // Line → whether the stream has already left it (any later revisit
+    // breaks contiguity). The value is the index in `first_touch`.
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    let mut contiguous = true;
+    let mut sub_accesses = 0u64;
+    let mut prev_line = u64::MAX;
+    for e in events {
+        if e.is_write {
+            return None;
+        }
+        let size = u64::from(e.size.max(1));
+        let first_line = e.addr >> shift;
+        let last_line = (e.addr + size - 1) >> shift;
+        for l in first_line..=last_line {
+            cpu.observe_cpu(if l == first_line { e.addr } else { l << shift });
+            sub_accesses += 1;
+            if l != prev_line {
+                match seen.entry(l) {
+                    std::collections::hash_map::Entry::Occupied(_) => contiguous = false,
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(first_touch.len());
+                        first_touch.push(l);
+                    }
+                }
+                prev_line = l;
+            }
+        }
+    }
+    let mut mem = BusMonitor::new(encoding);
+    for &l in &first_touch {
+        mem.observe_mem(l << shift);
+    }
+    Some(ClassProfile {
+        shift,
+        sub_accesses,
+        first_touch,
+        contiguous,
+        cpu_bus: cpu.cpu(),
+        mem_bus: mem.mem(),
+    })
+}
+
+/// Replays set occupancy over the first-touch sequence: total evictions
+/// assuming each distinct line fills once, and whether any set ever
+/// overflows its ways.
+fn occupancy_evictions(profile: &ClassProfile, sets: usize, assoc: usize) -> u64 {
+    let mask = sets as u64 - 1;
+    let mut fills = vec![0u64; sets];
+    for &l in &profile.first_touch {
+        fills[(l & mask) as usize] += 1;
+    }
+    fills.iter().map(|&f| f.saturating_sub(assoc as u64)).sum()
+}
+
+/// The exact simulator report for `config` replaying the profiled class,
+/// or `None` when the design must simulate. See the module docs for the
+/// two qualifying conditions; the returned report is bit-identical to a
+/// `memsim` replay of the same trace (asserted wholesale by the
+/// differential oracle suite).
+pub fn exact_report(profile: &ClassProfile, config: CacheConfig) -> Option<SimReport> {
+    debug_assert_eq!(config.line().trailing_zeros(), profile.shift);
+    let evictions = occupancy_evictions(profile, config.num_sets(), config.assoc());
+    if !profile.contiguous && evictions > 0 {
+        return None;
+    }
+    let misses = profile.first_touch.len() as u64;
+    let stats = CacheStats {
+        reads: profile.sub_accesses,
+        read_hits: profile.sub_accesses - misses,
+        writes: 0,
+        write_hits: 0,
+        fills: misses,
+        evictions,
+        writebacks: 0,
+        buffer_hits: 0,
+    };
+    Some(SimReport {
+        config,
+        stats,
+        cpu_bus: profile.cpu_bus,
+        mem_bus: profile.mem_bus,
+        miss_classes: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::Simulator;
+
+    fn reads(addrs: &[u64]) -> Vec<TraceEvent> {
+        addrs.iter().map(|&a| TraceEvent::read(a, 4)).collect()
+    }
+
+    fn assert_exact_matches_sim(trace: &[TraceEvent], config: CacheConfig) {
+        let profile = profile_read_class(trace, config.line(), BusEncoding::Gray)
+            .expect("read-only trace profiles");
+        let report = exact_report(&profile, config).expect("design classified exact");
+        let mut sim = Simulator::with_options(config, BusEncoding::Gray, false);
+        sim.run_slice(trace);
+        let lone = sim.into_report();
+        assert_eq!(report.stats, lone.stats, "{config}");
+        assert_eq!(report.cpu_bus, lone.cpu_bus, "{config}");
+        assert_eq!(report.mem_bus, lone.mem_bus, "{config}");
+    }
+
+    #[test]
+    fn writes_disqualify_the_class() {
+        let trace = vec![TraceEvent::read(0, 4), TraceEvent::write(8, 4)];
+        assert!(profile_read_class(&trace, 8, BusEncoding::Gray).is_none());
+    }
+
+    #[test]
+    fn contiguous_stream_is_exact_even_with_evictions() {
+        // A sequential walk leaves each line for good: exact at any size.
+        let trace = reads(&(0..256).map(|i| i * 4).collect::<Vec<_>>());
+        for (t, l, a) in [(32usize, 8usize, 1usize), (64, 8, 2), (64, 16, 4)] {
+            assert_exact_matches_sim(&trace, CacheConfig::new(t, l, a).unwrap());
+        }
+    }
+
+    #[test]
+    fn ample_capacity_revisits_are_exact() {
+        // Revisits with no evictions: every set stays under its ways.
+        let mut addrs: Vec<u64> = (0..32).map(|i| i * 8).collect();
+        addrs.extend((0..32).map(|i| i * 8)); // full second pass
+        let trace = reads(&addrs);
+        assert_exact_matches_sim(&trace, CacheConfig::new(512, 8, 2).unwrap());
+    }
+
+    #[test]
+    fn evicting_revisits_must_simulate() {
+        // Two passes over a footprint larger than the cache: revisits
+        // after eviction — the closed form refuses.
+        let mut addrs: Vec<u64> = (0..64).map(|i| i * 8).collect();
+        addrs.extend((0..64).map(|i| i * 8));
+        let trace = reads(&addrs);
+        let profile = profile_read_class(&trace, 8, BusEncoding::Gray).unwrap();
+        assert!(!profile.contiguous);
+        assert!(exact_report(&profile, CacheConfig::new(64, 8, 1).unwrap()).is_none());
+        // …but a cache holding the whole footprint qualifies.
+        assert!(exact_report(&profile, CacheConfig::new(1024, 8, 2).unwrap()).is_some());
+    }
+
+    #[test]
+    fn spanning_accesses_split_like_the_simulator() {
+        let trace: Vec<TraceEvent> = (0..100).map(|i| TraceEvent::read(i * 6, 4)).collect();
+        assert_exact_matches_sim(&trace, CacheConfig::new(1024, 8, 1).unwrap());
+    }
+
+    #[test]
+    fn policies_do_not_change_the_exact_counts() {
+        use memsim::Replacement;
+        let trace = reads(&(0..200).map(|i| i * 4).collect::<Vec<_>>());
+        let base = CacheConfig::new(64, 8, 2).unwrap();
+        for r in [
+            Replacement::Lru,
+            Replacement::Fifo,
+            Replacement::Plru,
+            Replacement::Random { seed: 3 },
+        ] {
+            assert_exact_matches_sim(&trace, base.with_replacement(r));
+        }
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod bounds;
 pub mod classes;
+pub mod exact;
 pub mod min_cache;
 pub mod missrate;
 pub mod placement;

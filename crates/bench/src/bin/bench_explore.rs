@@ -1,15 +1,23 @@
 //! Sweep-engine benchmark: fused one-pass replay vs per-design replay
-//! (plus the historical seed-engine comparison on `compress`).
+//! (plus the historical seed-engine comparison on `compress` and the
+//! scalar-replay baseline on `matmul`).
 //!
 //! For each of the paper's five kernels this runs the full
-//! `DesignSpace::paper()` sweep with both the fused and the per-design
-//! engine, checks the records are bit-identical, and reports the
-//! replay-phase speedup (`simulate_time` per-design / fused) alongside
-//! the wall-clock speedup. On `compress` it additionally times the
-//! original seed engine as a baseline. Everything is written to
-//! `BENCH_explore.json` in the current directory. Each engine is timed
-//! over several runs and the best run is reported, which filters
-//! scheduler noise without external tooling.
+//! `DesignSpace::paper()` sweep with the fused engine (analytic fast
+//! path on and off) and the per-design engine, checks all three record
+//! streams are bit-identical, and reports the replay-phase speedup
+//! (`simulate_time` per-design / fused) alongside the wall-clock
+//! speedup. Every kernel is measured at each worker count in
+//! `{1, num_cpus}` — published rows carry a `workers` field so
+//! single-worker numbers can no longer masquerade as the engine's
+//! parallel throughput. On `compress` it additionally times the original
+//! seed engine, and on `matmul` the pre-bulk scalar replay path
+//! (`Evaluator::scalar_replay`), which is PR 3's fused baseline — the
+//! `replay_phase_speedup` of that row is the number the bulk-lane
+//! refactor is pinned on. Everything is written to `BENCH_explore.json`
+//! in the current directory. Each configuration is timed over several
+//! runs and the best run is reported, which filters scheduler noise
+//! without external tooling.
 //!
 //! Regenerate with:
 //!
@@ -40,21 +48,39 @@ fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 
 struct KernelResult {
     kernel: String,
+    workers: usize,
     designs: usize,
     fused_secs: f64,
+    no_analytic_secs: f64,
     per_design_secs: f64,
     replay_speedup: f64,
     total_speedup: f64,
+    /// Fused ≡ fused-without-analytic ≡ per-design, bitwise.
     identical: bool,
     telemetry: SweepTelemetry,
 }
 
-fn bench_kernel(kernel: &loopir::Kernel, designs: &[memexplore::CacheDesign]) -> KernelResult {
-    let fused = Explorer::default().with_engine(Engine::Fused);
-    let per_design = Explorer::default().with_engine(Engine::PerDesign);
+fn bench_kernel(
+    kernel: &loopir::Kernel,
+    designs: &[memexplore::CacheDesign],
+    workers: usize,
+) -> KernelResult {
+    let fused = Explorer::default()
+        .with_engine(Engine::Fused)
+        .with_workers(workers);
+    let no_analytic = Explorer::default()
+        .with_engine(Engine::Fused)
+        .with_workers(workers)
+        .with_analytic(false);
+    let per_design = Explorer::default()
+        .with_engine(Engine::PerDesign)
+        .with_workers(workers);
 
     let (fused_secs, (fused_records, fused_t)) = best_of(RUNS, || {
         fused.explore_designs_with_telemetry(kernel, designs)
+    });
+    let (na_secs, (na_records, _)) = best_of(RUNS, || {
+        no_analytic.explore_designs_with_telemetry(kernel, designs)
     });
     let (per_secs, (per_records, per_t)) = best_of(RUNS, || {
         per_design.explore_designs_with_telemetry(kernel, designs)
@@ -62,13 +88,59 @@ fn bench_kernel(kernel: &loopir::Kernel, designs: &[memexplore::CacheDesign]) ->
 
     KernelResult {
         kernel: kernel.name.clone(),
+        workers,
         designs: designs.len(),
         fused_secs,
+        no_analytic_secs: na_secs,
         per_design_secs: per_secs,
         replay_speedup: per_t.simulate_time.as_secs_f64() / fused_t.simulate_time.as_secs_f64(),
         total_speedup: per_secs / fused_secs,
-        identical: fused_records == per_records,
+        identical: fused_records == per_records && fused_records == na_records,
         telemetry: fused_t,
+    }
+}
+
+/// PR 3's fused baseline on the heaviest kernel: the same fused engine
+/// with `Evaluator::scalar_replay`, which disables the bulk-lane SWAR
+/// path (and, through it, the analytic fast path). The replay-phase
+/// ratio of this row against the current engine is the bulk-replay
+/// speedup the refactor is pinned on.
+struct ScalarBaseline {
+    kernel: String,
+    scalar_secs: f64,
+    scalar_simulate_secs: f64,
+    bulk_simulate_secs: f64,
+    replay_speedup: f64,
+    identical: bool,
+}
+
+fn bench_scalar_baseline(
+    kernel: &loopir::Kernel,
+    designs: &[memexplore::CacheDesign],
+) -> ScalarBaseline {
+    let evaluator = Evaluator {
+        scalar_replay: true,
+        ..Evaluator::default()
+    };
+    let scalar = Explorer::new(evaluator).with_engine(Engine::Fused);
+    let bulk = Explorer::default().with_engine(Engine::Fused);
+
+    let (scalar_secs, (scalar_records, scalar_t)) = best_of(RUNS, || {
+        scalar.explore_designs_with_telemetry(kernel, designs)
+    });
+    let (_, (bulk_records, bulk_t)) = best_of(RUNS, || {
+        bulk.explore_designs_with_telemetry(kernel, designs)
+    });
+
+    let scalar_sim = scalar_t.simulate_time.as_secs_f64();
+    let bulk_sim = bulk_t.simulate_time.as_secs_f64();
+    ScalarBaseline {
+        kernel: kernel.name.clone(),
+        scalar_secs,
+        scalar_simulate_secs: scalar_sim,
+        bulk_simulate_secs: bulk_sim,
+        replay_speedup: scalar_sim / bulk_sim,
+        identical: scalar_records == bulk_records,
     }
 }
 
@@ -86,7 +158,7 @@ struct ExpansiveResult {
     identical: bool,
 }
 
-fn bench_expansive() -> ExpansiveResult {
+fn bench_expansive(workers: usize) -> ExpansiveResult {
     const SUBSET: usize = 2048;
     let kernel = kernels::compress(31);
     let space = DesignSpace::expansive();
@@ -95,7 +167,6 @@ fn bench_expansive() -> ExpansiveResult {
     let designs: Vec<memexplore::CacheDesign> = all.iter().copied().step_by(stride).collect();
 
     let serial = Explorer::default().with_workers(1);
-    let workers = std::thread::available_parallelism().map_or(4, usize::from);
     let parallel = Explorer::default().with_workers(workers);
 
     let (serial_secs, serial_records) = best_of(RUNS, || serial.explore_designs(&kernel, &designs));
@@ -115,11 +186,22 @@ fn bench_expansive() -> ExpansiveResult {
 fn main() {
     bench::reject_args("bench_explore");
     let designs = DesignSpace::paper().designs();
+    let num_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    // One row per (kernel, worker count): serial first, then the
+    // machine's full parallelism — even when they coincide, both rows
+    // are published so consumers can always key on `workers`.
+    let worker_counts: Vec<usize> = if num_cpus == 1 {
+        vec![1]
+    } else {
+        vec![1, num_cpus]
+    };
 
-    let results: Vec<KernelResult> = kernels::all_paper_kernels()
-        .iter()
-        .map(|k| bench_kernel(k, &designs))
-        .collect();
+    let mut results: Vec<KernelResult> = Vec::new();
+    for kernel in kernels::all_paper_kernels() {
+        for &workers in &worker_counts {
+            results.push(bench_kernel(&kernel, &designs, workers));
+        }
+    }
 
     // Historical baseline: the pre-refactor seed engine, on compress only
     // (it regenerates the trace per design, so it is slow on every kernel).
@@ -137,22 +219,29 @@ fn main() {
     let identical_to_seed = fused_compress == seed_records;
     let identical_to_serial = fused_compress == serial;
 
-    let expansive = bench_expansive();
+    // PR 3's fused baseline: scalar (pre-bulk) replay on the heaviest
+    // kernel, whose 3.9 M-event trace dominates the paper sweep.
+    let scalar = bench_scalar_baseline(&kernels::matmul(31), &designs);
+
+    let expansive = bench_expansive(num_cpus.max(2));
 
     let json = render_json(
         &results,
+        num_cpus,
         seed_secs,
         compress.fused_secs,
         identical_to_seed,
         identical_to_serial,
+        &scalar,
         &expansive,
     );
     std::fs::write("BENCH_explore.json", &json).expect("can write BENCH_explore.json");
 
     for r in &results {
         println!(
-            "kernel {} | {} designs | fused {:.3} s | per-design {:.3} s | replay speedup {:.2}x | total {:.2}x",
-            r.kernel, r.designs, r.fused_secs, r.per_design_secs, r.replay_speedup, r.total_speedup
+            "kernel {} | {} designs | {} worker(s) | fused {:.3} s | no-analytic {:.3} s | per-design {:.3} s | replay speedup {:.2}x | total {:.2}x",
+            r.kernel, r.designs, r.workers, r.fused_secs, r.no_analytic_secs, r.per_design_secs,
+            r.replay_speedup, r.total_speedup
         );
         assert!(r.identical, "{}: engines diverged", r.kernel);
     }
@@ -162,11 +251,21 @@ fn main() {
         seed_secs,
         seed_secs / compress.fused_secs
     );
+    println!(
+        "scalar replay on {}: simulate {:.3} s vs bulk {:.3} s ({:.2}x)",
+        scalar.kernel,
+        scalar.scalar_simulate_secs,
+        scalar.bulk_simulate_secs,
+        scalar.replay_speedup
+    );
     println!("{}", compress.telemetry);
     for r in &results {
         let scan = &r.telemetry.scan_latency;
         if scan.count > 0 {
-            println!("kernel {} | fused scan latency: {scan}", r.kernel);
+            println!(
+                "kernel {} ({} workers) | fused scan latency: {scan}",
+                r.kernel, r.workers
+            );
         }
     }
     println!(
@@ -187,17 +286,24 @@ fn main() {
     assert!(identical_to_seed, "fused engine diverged from seed engine");
     assert!(identical_to_serial, "parallel sweep diverged from serial");
     assert!(
+        scalar.identical,
+        "bulk-lane replay diverged from scalar replay"
+    );
+    assert!(
         expansive.identical,
         "multi-worker expansive sweep diverged from serial"
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     results: &[KernelResult],
+    num_cpus: usize,
     seed_secs: f64,
     fused_compress_secs: f64,
     identical_to_seed: bool,
     identical_to_serial: bool,
+    scalar: &ScalarBaseline,
     expansive: &ExpansiveResult,
 ) -> String {
     let mut kernels_json = String::new();
@@ -207,8 +313,10 @@ fn render_json(
             concat!(
                 "    {{\n",
                 "      \"kernel\": \"{}\",\n",
+                "      \"workers\": {},\n",
                 "      \"designs\": {},\n",
                 "      \"fused_secs\": {:.6},\n",
+                "      \"fused_no_analytic_secs\": {:.6},\n",
                 "      \"per_design_secs\": {:.6},\n",
                 "      \"replay_phase_speedup\": {:.3},\n",
                 "      \"total_speedup\": {:.3},\n",
@@ -217,8 +325,10 @@ fn render_json(
                 "    }}{}"
             ),
             r.kernel,
+            r.workers,
             r.designs,
             r.fused_secs,
+            r.no_analytic_secs,
             r.per_design_secs,
             r.replay_speedup,
             r.total_speedup,
@@ -232,12 +342,21 @@ fn render_json(
             "{{\n",
             "  \"benchmark\": \"explore_paper_space\",\n",
             "  \"runs_per_engine\": {},\n",
-            "  \"engines\": [\"fused\", \"per-design\"],\n",
+            "  \"num_cpus\": {},\n",
+            "  \"engines\": [\"fused\", \"fused-no-analytic\", \"per-design\"],\n",
             "  \"kernels\": [\n{}  ],\n",
             "  \"seed_engine_secs_compress\": {:.6},\n",
             "  \"seed_vs_fused_speedup_compress\": {:.3},\n",
             "  \"records_identical_to_seed\": {},\n",
             "  \"records_identical_to_serial\": {},\n",
+            "  \"scalar_replay_baseline\": {{\n",
+            "    \"kernel\": \"{}\",\n",
+            "    \"scalar_secs\": {:.6},\n",
+            "    \"scalar_simulate_secs\": {:.6},\n",
+            "    \"bulk_simulate_secs\": {:.6},\n",
+            "    \"replay_phase_speedup\": {:.3},\n",
+            "    \"records_identical\": {}\n",
+            "  }},\n",
             "  \"expansive_subset\": {{\n",
             "    \"kernel\": \"Compress\",\n",
             "    \"subset_designs\": {},\n",
@@ -251,11 +370,18 @@ fn render_json(
             "}}\n"
         ),
         RUNS,
+        num_cpus,
         kernels_json,
         seed_secs,
         seed_secs / fused_compress_secs,
         identical_to_seed,
         identical_to_serial,
+        scalar.kernel,
+        scalar.scalar_secs,
+        scalar.scalar_simulate_secs,
+        scalar.bulk_simulate_secs,
+        scalar.replay_speedup,
+        scalar.identical,
         expansive.subset,
         expansive.total,
         expansive.workers,

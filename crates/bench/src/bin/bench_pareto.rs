@@ -6,9 +6,13 @@
 //! frontiers are bit-identical, and writes per-kernel timings, prune
 //! counts and speedups to `BENCH_pareto.json` in the current directory.
 //! The pruned search additionally runs under both replay engines (fused
-//! banked replay vs per-design replay) so the banked speedup is recorded
-//! on the pruning path as well. Each configuration is timed over several
-//! runs and the best run is reported.
+//! banked replay vs per-design replay) and with the analytic fast path
+//! disabled, so the banked speedup is recorded on the pruning path as
+//! well. Every kernel is measured at each worker count in
+//! `{1, num_cpus}` — rows carry a `workers` field so single-worker
+//! numbers can no longer masquerade as the engine's parallel
+//! throughput. Each configuration is timed over several runs and the
+//! best run is reported.
 //!
 //! Kernels whose working set exceeds the largest swept cache (MatMult)
 //! legitimately prune nothing — the interesting column is the speedup on
@@ -43,72 +47,101 @@ fn main() {
     bench::reject_args("bench_pareto");
     let space = DesignSpace::paper();
     let designs = space.designs().len();
-    let explorer = Explorer::default().with_engine(Engine::Fused);
-    let per_design = Explorer::default().with_engine(Engine::PerDesign);
+    let num_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let worker_counts: Vec<usize> = if num_cpus == 1 {
+        vec![1]
+    } else {
+        vec![1, num_cpus]
+    };
 
     let mut rows = Vec::new();
     let mut best_speedup: f64 = 0.0;
     for kernel in kernels::all_paper_kernels() {
-        let (exhaustive_secs, (exhaustive, _)) =
-            best_of(RUNS, || explorer.pareto_exhaustive(&kernel, &space));
-        let (pruned_secs, (pruned, telemetry)) =
-            best_of(RUNS, || explorer.pareto_pruned(&kernel, &space));
-        let (pruned_pd_secs, (pruned_pd, _)) =
-            best_of(RUNS, || per_design.pareto_pruned(&kernel, &space));
-        assert_eq!(
-            exhaustive, pruned,
-            "{}: pruned frontier diverged from exhaustive",
-            kernel.name
-        );
-        assert_eq!(
-            pruned, pruned_pd,
-            "{}: fused pruned frontier diverged from per-design",
-            kernel.name
-        );
-        let speedup = exhaustive_secs / pruned_secs;
-        let engine_speedup = pruned_pd_secs / pruned_secs;
-        best_speedup = best_speedup.max(speedup);
-        println!(
-            "kernel {:10} | {} designs | simulated {:3} pruned {:3} | frontier {:3} | exhaustive {:.3} s | pruned {:.3} s | speedup {:.2}x | fused vs per-design {:.2}x",
-            kernel.name,
-            designs,
-            telemetry.designs_evaluated,
-            telemetry.designs_pruned,
-            pruned.len(),
-            exhaustive_secs,
-            pruned_secs,
-            speedup,
-            engine_speedup
-        );
-        rows.push(format!(
-            concat!(
-                "    {{\n",
-                "      \"kernel\": \"{}\",\n",
-                "      \"designs\": {},\n",
-                "      \"designs_simulated\": {},\n",
-                "      \"designs_pruned\": {},\n",
-                "      \"frontier_size\": {},\n",
-                "      \"frontier_identical\": true,\n",
-                "      \"exhaustive_secs\": {:.6},\n",
-                "      \"pruned_secs\": {:.6},\n",
-                "      \"pruned_per_design_secs\": {:.6},\n",
-                "      \"speedup\": {:.3},\n",
-                "      \"fused_vs_per_design_speedup\": {:.3},\n",
-                "      \"telemetry\": {}\n",
-                "    }}"
-            ),
-            kernel.name,
-            designs,
-            telemetry.designs_evaluated,
-            telemetry.designs_pruned,
-            pruned.len(),
-            exhaustive_secs,
-            pruned_secs,
-            pruned_pd_secs,
-            speedup,
-            engine_speedup,
-            telemetry.to_json()
-        ));
+        for &workers in &worker_counts {
+            let explorer = Explorer::default()
+                .with_engine(Engine::Fused)
+                .with_workers(workers);
+            let no_analytic = Explorer::default()
+                .with_engine(Engine::Fused)
+                .with_workers(workers)
+                .with_analytic(false);
+            let per_design = Explorer::default()
+                .with_engine(Engine::PerDesign)
+                .with_workers(workers);
+
+            let (exhaustive_secs, (exhaustive, _)) =
+                best_of(RUNS, || explorer.pareto_exhaustive(&kernel, &space));
+            let (pruned_secs, (pruned, telemetry)) =
+                best_of(RUNS, || explorer.pareto_pruned(&kernel, &space));
+            let (pruned_na_secs, (pruned_na, _)) =
+                best_of(RUNS, || no_analytic.pareto_pruned(&kernel, &space));
+            let (pruned_pd_secs, (pruned_pd, _)) =
+                best_of(RUNS, || per_design.pareto_pruned(&kernel, &space));
+            assert_eq!(
+                exhaustive, pruned,
+                "{}: pruned frontier diverged from exhaustive",
+                kernel.name
+            );
+            assert_eq!(
+                pruned, pruned_na,
+                "{}: analytic frontier diverged from plain replay",
+                kernel.name
+            );
+            assert_eq!(
+                pruned, pruned_pd,
+                "{}: fused pruned frontier diverged from per-design",
+                kernel.name
+            );
+            let speedup = exhaustive_secs / pruned_secs;
+            let engine_speedup = pruned_pd_secs / pruned_secs;
+            best_speedup = best_speedup.max(speedup);
+            println!(
+                "kernel {:10} | {} designs | {} worker(s) | simulated {:3} pruned {:3} | frontier {:3} | exhaustive {:.3} s | pruned {:.3} s | speedup {:.2}x | fused vs per-design {:.2}x",
+                kernel.name,
+                designs,
+                workers,
+                telemetry.designs_evaluated,
+                telemetry.designs_pruned,
+                pruned.len(),
+                exhaustive_secs,
+                pruned_secs,
+                speedup,
+                engine_speedup
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\n",
+                    "      \"kernel\": \"{}\",\n",
+                    "      \"workers\": {},\n",
+                    "      \"designs\": {},\n",
+                    "      \"designs_simulated\": {},\n",
+                    "      \"designs_pruned\": {},\n",
+                    "      \"frontier_size\": {},\n",
+                    "      \"frontier_identical\": true,\n",
+                    "      \"exhaustive_secs\": {:.6},\n",
+                    "      \"pruned_secs\": {:.6},\n",
+                    "      \"pruned_no_analytic_secs\": {:.6},\n",
+                    "      \"pruned_per_design_secs\": {:.6},\n",
+                    "      \"speedup\": {:.3},\n",
+                    "      \"fused_vs_per_design_speedup\": {:.3},\n",
+                    "      \"telemetry\": {}\n",
+                    "    }}"
+                ),
+                kernel.name,
+                workers,
+                designs,
+                telemetry.designs_evaluated,
+                telemetry.designs_pruned,
+                pruned.len(),
+                exhaustive_secs,
+                pruned_secs,
+                pruned_na_secs,
+                pruned_pd_secs,
+                speedup,
+                engine_speedup,
+                telemetry.to_json()
+            ));
+        }
     }
 
     let json = format!(
@@ -117,12 +150,14 @@ fn main() {
             "  \"benchmark\": \"pareto_paper_space\",\n",
             "  \"designs\": {},\n",
             "  \"runs_per_engine\": {},\n",
+            "  \"num_cpus\": {},\n",
             "  \"best_speedup\": {:.3},\n",
             "  \"kernels\": [\n{}\n  ]\n",
             "}}\n"
         ),
         designs,
         RUNS,
+        num_cpus,
         best_speedup,
         rows.join(",\n")
     );

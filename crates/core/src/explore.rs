@@ -19,13 +19,14 @@
 //! either way, so the returned order is the deterministic sweep order
 //! regardless of scheduling or engine.
 
+use crate::analytic::{kernel_footprint_bytes, try_group_records};
 use crate::checkpoint::CheckpointError;
 use crate::metrics::{read_trace, CacheDesign, Evaluator, Record};
 use crate::obs::{FieldValue, LatencyHistogram, Obs, Span};
 use crate::telemetry::SweepTelemetry;
 use loopir::transform::tile_all;
 use loopir::{DataLayout, Kernel};
-use memsim::{Replacement, TraceArena, TraceEvent, WritePolicy};
+use memsim::{CompressedTrace, Replacement, TraceArena, TraceEvent, WritePolicy};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -390,7 +391,7 @@ impl SweepHists {
 /// let records = Explorer::default().explore(&kernels::matadd(6), &DesignSpace::small());
 /// assert!(!records.is_empty());
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Explorer {
     /// Per-design evaluator.
     pub evaluator: Evaluator,
@@ -406,6 +407,24 @@ pub struct Explorer {
     /// default — keeps the sweep exactly as uninstrumented as before;
     /// records are bit-identical either way.
     pub obs: Option<Arc<Obs>>,
+    /// Whether the fused engine may resolve qualifying trace groups in
+    /// closed form instead of replaying them (see [`crate::analytic`]).
+    /// On by default; records are bit-identical either way — `false` is
+    /// the `--no-analytic` escape hatch and the honest replay baseline
+    /// for benchmarks.
+    pub analytic: bool,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            evaluator: Evaluator::default(),
+            workers: None,
+            engine: Engine::default(),
+            obs: None,
+            analytic: true,
+        }
+    }
 }
 
 /// The shared preparation of a sweep: the layout phase (one off-chip
@@ -468,15 +487,30 @@ impl SweepPlan {
     }
 }
 
+/// The fused engine's prepared work units: trace groups with their event
+/// counts, the closed-form records of every analytic-exact group, and the
+/// compressed trace of every must-simulate group. Built between the trace
+/// and simulate phases; once it exists the raw arena can be dropped.
+struct FusedPrep {
+    groups: Vec<Vec<usize>>,
+    group_events: Vec<usize>,
+    analytic_records: Vec<Option<Vec<Record>>>,
+    ztraces: Vec<Option<CompressedTrace>>,
+}
+
 impl Explorer {
     /// An explorer around a specific evaluator.
     pub fn new(evaluator: Evaluator) -> Self {
         Explorer {
             evaluator,
-            workers: None,
-            engine: Engine::default(),
-            obs: None,
+            ..Explorer::default()
         }
+    }
+
+    /// Enables or disables the analytic fast path (builder-style).
+    pub fn with_analytic(mut self, analytic: bool) -> Self {
+        self.analytic = analytic;
+        self
     }
 
     /// Pins the sweep to a fixed worker count (builder-style).
@@ -691,7 +725,109 @@ impl Explorer {
                 .fetch_add(designs.len() as u64, Ordering::Relaxed);
         }
         let hists = SweepHists::default();
-        let plan = self.prepare(kernel, designs, workers, &hists)?;
+        let mut plan = self.prepare(kernel, designs, workers, &hists)?;
+        let events_generated = plan.arena.events().len() as u64;
+
+        // Phases 2b/2c (fused engine only): classify each trace group as
+        // analytic-exact vs must-simulate, then delta-compress the traces
+        // the must-simulate groups will replay and drop the raw arena.
+        // Both run in their own windows (`classify_time`, `compress_time`)
+        // so the simulate phase stays a pure replay measurement; only the
+        // block decode rides inside it.
+        let mut classify_time = Duration::ZERO;
+        let mut compress_time = Duration::ZERO;
+        let mut analytic_groups = 0usize;
+        let mut arena_bytes = 0u64;
+        let mut arena_compressed_bytes = 0u64;
+        let mut fused_prep: Option<FusedPrep> = None;
+        if self.engine == Engine::Fused {
+            let groups = plan.groups(designs);
+            let group_events: Vec<usize> = (0..groups.len())
+                .map(|g| {
+                    plan.arena
+                        .get(&plan.keys[g])
+                        .expect("trace phase interned every key")
+                        .len()
+                })
+                .collect();
+
+            let phase_start = Instant::now();
+            let analytic_slots: Vec<OnceLock<Option<Vec<Record>>>> =
+                groups.iter().map(|_| OnceLock::new()).collect();
+            if self.analytic && !self.evaluator.scalar_replay {
+                let span = Span::begin(obs, "classify");
+                let footprint = kernel_footprint_bytes(kernel);
+                try_steal_loop(workers, groups.len(), |_w, g| {
+                    let trace = plan
+                        .arena
+                        .get(&plan.keys[g])
+                        .expect("trace phase interned every key");
+                    let bank: Vec<(CacheDesign, bool)> = groups[g]
+                        .iter()
+                        .map(|&i| (designs[i], plan.conflict_free_of(&designs[i])))
+                        .collect();
+                    let _ = analytic_slots[g].set(try_group_records(
+                        &self.evaluator,
+                        footprint,
+                        &bank,
+                        trace,
+                    ));
+                })
+                .map_err(|message| ExploreError::WorkerPanic {
+                    phase: "classify",
+                    message,
+                })?;
+                drop(span);
+            }
+            let analytic_records: Vec<Option<Vec<Record>>> = analytic_slots
+                .into_iter()
+                .map(|s| s.into_inner().flatten())
+                .collect();
+            analytic_groups = analytic_records.iter().filter(|r| r.is_some()).count();
+            classify_time = phase_start.elapsed();
+
+            let phase_start = Instant::now();
+            let span = Span::begin(obs, "compress");
+            let ztrace_slots: Vec<OnceLock<Option<CompressedTrace>>> =
+                groups.iter().map(|_| OnceLock::new()).collect();
+            try_steal_loop(workers, groups.len(), |_w, g| {
+                let _ = ztrace_slots[g].set(if analytic_records[g].is_some() {
+                    None
+                } else {
+                    Some(CompressedTrace::encode(
+                        plan.arena
+                            .get(&plan.keys[g])
+                            .expect("trace phase interned every key"),
+                    ))
+                });
+            })
+            .map_err(|message| ExploreError::WorkerPanic {
+                phase: "compress",
+                message,
+            })?;
+            let ztraces: Vec<Option<CompressedTrace>> = ztrace_slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("compress phase filled every slot"))
+                .collect();
+            arena_bytes = events_generated * std::mem::size_of::<TraceEvent>() as u64;
+            arena_compressed_bytes = ztraces
+                .iter()
+                .flatten()
+                .map(|z| z.compressed_bytes() as u64)
+                .sum();
+            // The raw arena is no longer needed: analytic groups are
+            // already resolved and the rest replay from compressed form.
+            plan.arena = TraceArena::new();
+            drop(span);
+            compress_time = phase_start.elapsed();
+
+            fused_prep = Some(FusedPrep {
+                groups,
+                group_events,
+                analytic_records,
+                ztraces,
+            });
+        }
 
         // Phase 3: simulate. The conflict-free flag rides with each design
         // (it belongs to the design's own (T, L) pair, which can differ
@@ -703,31 +839,60 @@ impl Explorer {
         let scanned = AtomicUsize::new(0);
         let (worker_busy, fused_groups, max_bank_width) = match self.engine {
             Engine::Fused => {
-                // Trace groups: every design keyed to the same arena slice
-                // forms one bank, scanned once in lockstep.
-                let groups = plan.groups(designs);
+                // Trace groups: every design keyed to the same slice forms
+                // one bank. Analytic groups scatter their precomputed
+                // records; the rest stream their compressed trace once
+                // through a lockstep replay bank.
+                let FusedPrep {
+                    groups,
+                    group_events,
+                    analytic_records,
+                    ztraces,
+                } = fused_prep.take().expect("fused prep ran for this engine");
                 let max_width = groups.iter().map(Vec::len).max().unwrap_or(0);
                 let busy = try_steal_loop(workers, groups.len(), |w, g| {
                     let members = &groups[g];
-                    let trace = plan
-                        .arena
-                        .get(&plan.keys[g])
-                        .expect("trace phase interned every key");
-                    scanned.fetch_add(trace.len(), Ordering::Relaxed);
-                    replayed.fetch_add(trace.len() * members.len(), Ordering::Relaxed);
+                    let events = group_events[g];
+                    replayed.fetch_add(events * members.len(), Ordering::Relaxed);
+                    let unit_start = Instant::now();
+                    if let Some(records) = &analytic_records[g] {
+                        for (&i, record) in members.iter().zip(records) {
+                            let _ = record_slots[i].set(record.clone());
+                        }
+                        let dur = unit_start.elapsed();
+                        if let Some(o) = obs {
+                            o.counters.add_done(members.len() as u64);
+                            o.unit(
+                                "simulate",
+                                "analytic",
+                                w as u64,
+                                dur,
+                                &[
+                                    ("events", FieldValue::U64(events as u64)),
+                                    ("width", FieldValue::U64(members.len() as u64)),
+                                    ("fresh", FieldValue::U64(members.len() as u64)),
+                                ],
+                            );
+                        }
+                        return;
+                    }
+                    scanned.fetch_add(events, Ordering::Relaxed);
+                    let ztrace = ztraces[g]
+                        .as_ref()
+                        .expect("must-simulate groups were compressed");
                     let bank: Vec<(CacheDesign, bool)> = members
                         .iter()
                         .map(|&i| (designs[i], plan.conflict_free_of(&designs[i])))
                         .collect();
-                    let unit_start = Instant::now();
                     let records = match obs {
-                        Some(o) => self.evaluator.evaluate_bank_with_trace_ticked(
+                        Some(o) => self.evaluator.evaluate_bank_with_ztrace(
                             &bank,
-                            trace,
-                            OBS_TICK_EVENTS,
-                            &|n| o.counters.add_events(n),
+                            ztrace,
+                            Some(&|n| o.counters.add_events(n)),
                         ),
-                        None => self.evaluator.evaluate_bank_with_trace(&bank, trace),
+                        None => self
+                            .evaluator
+                            .evaluate_bank_with_ztrace(&bank, ztrace, None),
                     };
                     let dur = unit_start.elapsed();
                     hists.scan.record(dur);
@@ -742,7 +907,7 @@ impl Explorer {
                             w as u64,
                             dur,
                             &[
-                                ("events", FieldValue::U64(trace.len() as u64)),
+                                ("events", FieldValue::U64(events as u64)),
                                 ("width", FieldValue::U64(members.len() as u64)),
                                 ("fresh", FieldValue::U64(members.len() as u64)),
                             ],
@@ -801,14 +966,20 @@ impl Explorer {
             designs_evaluated: designs.len(),
             layouts_computed: plan.pairs.len(),
             traces_generated: plan.keys.len(),
-            trace_events_generated: plan.arena.events().len() as u64,
+            trace_events_generated: events_generated,
             trace_events_replayed: replayed.into_inner() as u64,
             trace_events_scanned: scanned.into_inner() as u64,
             fused_groups,
             max_bank_width,
+            analytic_groups,
+            simulated_groups: fused_groups - analytic_groups,
+            arena_bytes,
+            arena_compressed_bytes,
             workers,
             layout_time: plan.layout_time,
             trace_time: plan.trace_time,
+            classify_time,
+            compress_time,
             simulate_time,
             select_time,
             total_time: sweep_start.elapsed(),

@@ -38,6 +38,7 @@
 //! println!("minimum-energy configuration: {}", best.design);
 //! ```
 
+pub mod analytic;
 pub mod cache;
 pub mod checkpoint;
 pub mod composite;

@@ -7,7 +7,8 @@ use energy::SramPart;
 use loopir::transform::tile_all;
 use loopir::{AccessKind, DataLayout, Kernel, TraceGen};
 use memsim::{
-    BusEncoding, CacheConfig, Replacement, ReplayBank, Simulator, TraceEvent, WritePolicy,
+    BusEncoding, CacheConfig, CompressedTrace, Replacement, ReplayBank, Simulator, TraceEvent,
+    WritePolicy,
 };
 use std::fmt;
 
@@ -153,6 +154,9 @@ pub struct Evaluator {
     pub placement: PlacementMode,
     /// Address-bus encoding (the paper assumes Gray).
     pub bus_encoding: BusEncoding,
+    /// Forces the fused engine's scalar lane loop (the pre-bulk replay
+    /// path) — for baseline benchmarking and differential tests only.
+    pub scalar_replay: bool,
 }
 
 impl Default for Evaluator {
@@ -164,6 +168,7 @@ impl Default for Evaluator {
             cycle_model: CycleModel,
             placement: PlacementMode::Optimized,
             bus_encoding: BusEncoding::Gray,
+            scalar_replay: false,
         }
     }
 }
@@ -310,6 +315,9 @@ impl Evaluator {
             })
             .collect();
         let mut bank = ReplayBank::with_options(&configs, self.bus_encoding, false);
+        if self.scalar_replay {
+            bank = bank.with_scalar_replay();
+        }
         bank.run_slice(trace);
         bank.into_reports()
             .iter()
@@ -342,8 +350,51 @@ impl Evaluator {
             })
             .collect();
         let mut bank = ReplayBank::with_options(&configs, self.bus_encoding, false);
+        if self.scalar_replay {
+            bank = bank.with_scalar_replay();
+        }
         bank.run_slice_ticked(trace, every, tick);
         bank.into_reports()
+            .iter()
+            .zip(designs)
+            .map(|(report, &(design, conflict_free))| {
+                self.record_from_report(design, report, conflict_free)
+            })
+            .collect()
+    }
+
+    /// [`evaluate_bank_with_trace`](Self::evaluate_bank_with_trace)
+    /// streaming from a delta-compressed trace: each decoded block is fed
+    /// to the bank in turn, so replay never needs the raw events resident.
+    /// `tick`, when given, is called once per block with the block's event
+    /// count. Records are bit-identical to the uncompressed variant — the
+    /// bank's chunk-invariance contract covers block boundaries exactly as
+    /// it covers chunk boundaries.
+    pub fn evaluate_bank_with_ztrace(
+        &self,
+        designs: &[(CacheDesign, bool)],
+        ztrace: &CompressedTrace,
+        tick: Option<&(dyn Fn(u64) + Sync)>,
+    ) -> Vec<Record> {
+        let configs: Vec<CacheConfig> = designs
+            .iter()
+            .map(|(design, _)| {
+                design
+                    .cache_config()
+                    .unwrap_or_else(|e| panic!("invalid design {design}: {e}"))
+            })
+            .collect();
+        let mut bank = ReplayBank::with_options(&configs, self.bus_encoding, false);
+        if self.scalar_replay {
+            bank = bank.with_scalar_replay();
+        }
+        ztrace.replay(|block| {
+            bank.feed(block);
+            if let Some(tick) = tick {
+                tick(block.len() as u64);
+            }
+        });
+        bank.finish()
             .iter()
             .zip(designs)
             .map(|(report, &(design, conflict_free))| {

@@ -711,8 +711,17 @@ impl LatencySummary {
         }
     }
 
-    /// Flat JSON rendering (embedded in `SweepTelemetry::to_json`).
+    /// Flat JSON rendering (embedded in `SweepTelemetry::to_json`). An
+    /// empty histogram has no percentiles — they render as `null`, not a
+    /// fake `0` that would read as "instant" downstream.
     pub fn to_json(&self) -> String {
+        if self.count == 0 {
+            return concat!(
+                "{\"count\":0,\"total_us\":0,",
+                "\"p50_us\":null,\"p95_us\":null,\"p99_us\":null}"
+            )
+            .to_string();
+        }
         format!(
             concat!(
                 "{{\"count\":{},\"total_us\":{},",
@@ -1330,6 +1339,9 @@ impl fmt::Display for RunReport {
         ] {
             if s.count > 0 {
                 writeln!(f, "  {name:<6}: {s}")?;
+            } else {
+                // No samples means no percentiles: `-`, not a fake 0.
+                writeln!(f, "  {name:<6}: 0 samples, p50 -, p95 -, p99 -")?;
             }
         }
         if self.jobs_done > 0 {
@@ -1460,6 +1472,24 @@ mod tests {
         assert_eq!(json_f64(f64::NAN, 3), "null");
         assert_eq!(json_f64(f64::INFINITY, 6), "null");
         assert_eq!(json_f64(f64::NEG_INFINITY, 6), "null");
+    }
+
+    #[test]
+    fn empty_latency_summary_pins_null_json_and_dash_report() {
+        let s = LatencySummary::default();
+        assert_eq!(
+            s.to_json(),
+            "{\"count\":0,\"total_us\":0,\"p50_us\":null,\"p95_us\":null,\"p99_us\":null}"
+        );
+        let v = parse_json(&s.to_json()).expect("parse");
+        assert_eq!(v.get("p50_us"), Some(&Json::Null));
+        assert_eq!(v.get("p99_us"), Some(&Json::Null));
+
+        let report = RunReport::default();
+        let rendered = report.to_string();
+        assert!(rendered.contains("scan  : 0 samples, p50 -, p95 -, p99 -"));
+        assert!(rendered.contains("flush : 0 samples, p50 -, p95 -, p99 -"));
+        assert!(!rendered.contains("p50_us: 0"));
     }
 
     #[test]

@@ -65,6 +65,7 @@
 //! banking within a wave changes neither the prune set nor the frontier:
 //! both stay bit-identical to the per-design engine.
 
+use crate::analytic::{kernel_footprint_bytes, try_group_records};
 use crate::explore::{steal_loop, DesignSpace, Engine, Explorer, SweepHists, OBS_TICK_EVENTS};
 use crate::metrics::{read_trace, CacheDesign, Record};
 use crate::obs::{FieldValue, Span};
@@ -354,7 +355,15 @@ impl Explorer {
                         telemetry.max_bank_width = telemetry
                             .max_bank_width
                             .max(groups.iter().map(Vec::len).max().unwrap_or(0));
-                        steal_loop(workers, groups.len(), |w, g| {
+                        // The frontier sweep keeps its raw traces resident
+                        // (the bound scans reuse them across cache-size
+                        // groups), so the analytic fast path is applied
+                        // per bank inside the worker — qualifying groups
+                        // skip the replay, everything else streams as
+                        // before.
+                        let analytic_hits = AtomicUsize::new(0);
+                        let footprint = kernel_footprint_bytes(kernel);
+                        let busy = steal_loop(workers, groups.len(), |w, g| {
                             let members = &groups[g];
                             let bank: Vec<(CacheDesign, bool)> = members
                                 .iter()
@@ -367,9 +376,35 @@ impl Explorer {
                             let d = survivors[members[0]];
                             let (id, _) = pair_layout[&(d.cache_size, d.line)];
                             let trace = &traces[&(id, d.tiling)];
-                            scanned.fetch_add(trace.len(), Ordering::Relaxed);
                             replayed.fetch_add(trace.len() * members.len(), Ordering::Relaxed);
                             let unit_start = Instant::now();
+                            if self.analytic {
+                                if let Some(records) =
+                                    try_group_records(&self.evaluator, footprint, &bank, trace)
+                                {
+                                    analytic_hits.fetch_add(1, Ordering::Relaxed);
+                                    for (&i, record) in members.iter().zip(records) {
+                                        let _ = record_slots[i].set(record);
+                                    }
+                                    let dur = unit_start.elapsed();
+                                    if let Some(o) = obs {
+                                        o.counters.add_done(members.len() as u64);
+                                        o.unit(
+                                            "simulate",
+                                            "analytic",
+                                            w as u64,
+                                            dur,
+                                            &[
+                                                ("events", FieldValue::U64(trace.len() as u64)),
+                                                ("width", FieldValue::U64(members.len() as u64)),
+                                                ("fresh", FieldValue::U64(members.len() as u64)),
+                                            ],
+                                        );
+                                    }
+                                    return;
+                                }
+                            }
+                            scanned.fetch_add(trace.len(), Ordering::Relaxed);
                             let records = match obs {
                                 Some(o) => self.evaluator.evaluate_bank_with_trace_ticked(
                                     &bank,
@@ -398,7 +433,11 @@ impl Explorer {
                                     ],
                                 );
                             }
-                        })
+                        });
+                        let hits = analytic_hits.into_inner();
+                        telemetry.analytic_groups += hits;
+                        telemetry.simulated_groups += groups.len() - hits;
+                        busy
                     }
                     Engine::PerDesign => steal_loop(workers, survivors.len(), |w, i| {
                         let d = survivors[i];

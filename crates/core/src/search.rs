@@ -59,6 +59,7 @@
 //! minimum bound is folded into `lower_bound`, so a beam search's
 //! certificate stays sound (it can only widen the reported gap).
 
+use crate::analytic::{kernel_footprint_bytes, try_group_records};
 use crate::explore::{steal_loop, DesignSpace, Explorer, SweepHists};
 use crate::metrics::{read_trace, CacheDesign, Record};
 use crate::obs::{FieldValue, Span};
@@ -408,6 +409,7 @@ impl Explorer {
         let search_span = Span::begin(obs, "search");
         let mut telemetry = SweepTelemetry::default();
         let hists = SweepHists::default();
+        let footprint = kernel_footprint_bytes(kernel);
 
         // ---- Prepare: pairs, layouts, traces, bound inputs. -------------
         let mut pairs: Vec<PairInfo> = Vec::new();
@@ -643,9 +645,31 @@ impl Explorer {
                     telemetry.trace_time += trace_start.elapsed();
                     let trace = &traces[&(info.layout_id, design.tiling)];
                     let sim_start = Instant::now();
-                    let record =
+                    // Leaves evaluate one design at a time, so the
+                    // analytic fast path sees a bank of one; qualifying
+                    // leaves skip the replay with bit-identical records.
+                    let analytic_record = if self.analytic {
+                        try_group_records(
+                            &self.evaluator,
+                            footprint,
+                            &[(design, info.conflict_free)],
+                            trace,
+                        )
+                        .map(|mut records| records.remove(0))
+                    } else {
+                        None
+                    };
+                    let analytic_hit = analytic_record.is_some();
+                    let record = analytic_record.unwrap_or_else(|| {
                         self.evaluator
-                            .evaluate_with_trace(design, trace, info.conflict_free);
+                            .evaluate_with_trace(design, trace, info.conflict_free)
+                    });
+                    if analytic_hit {
+                        telemetry.analytic_groups += 1;
+                    } else {
+                        telemetry.simulated_groups += 1;
+                        telemetry.trace_events_scanned += trace.len() as u64;
+                    }
                     let dur = sim_start.elapsed();
                     hists.design.record(dur);
                     telemetry.simulate_time += dur;

@@ -16,7 +16,7 @@ use std::time::Duration;
 
 /// Version stamp of the [`SweepTelemetry::to_json`] layout, emitted as
 /// its first field so downstream consumers can detect schema changes.
-pub const TELEMETRY_SCHEMA_VERSION: u64 = 4;
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 5;
 
 /// Counters and timings of one design-space sweep.
 #[derive(Clone, Debug, Default)]
@@ -45,12 +45,28 @@ pub struct SweepTelemetry {
     /// Widest design bank stepped in lockstep by the fused engine
     /// (0 for the per-design engine).
     pub max_bank_width: usize,
+    /// Trace groups resolved in closed form by the analytic fast path —
+    /// bit-identical records, no replay (0 when disabled or when no
+    /// group qualified).
+    pub analytic_groups: usize,
+    /// Trace groups that replayed through a `memsim::ReplayBank`.
+    pub simulated_groups: usize,
+    /// Raw bytes of the materialized trace arena.
+    pub arena_bytes: u64,
+    /// Resident bytes of the delta-compressed replay form (0 when replay
+    /// streamed from the raw arena).
+    pub arena_compressed_bytes: u64,
     /// Worker threads used by the sweep.
     pub workers: usize,
     /// Wall time of the layout phase (off-chip placement per `(T, L)`).
     pub layout_time: Duration,
     /// Wall time of the trace-materialization phase.
     pub trace_time: Duration,
+    /// Wall time classifying trace groups for the analytic fast path
+    /// (zero when the fast path is disabled or never gated in).
+    pub classify_time: Duration,
+    /// Wall time delta-compressing trace slices for streamed replay.
+    pub compress_time: Duration,
     /// Wall time of the work-stealing simulation phase.
     pub simulate_time: Duration,
     /// Wall time of result collection into sweep order.
@@ -197,6 +213,8 @@ impl SweepTelemetry {
                 "\"trace_events_replayed\":{},\"trace_events_reused\":{},",
                 "\"trace_events_scanned\":{},\"trace_events_avoided\":{},",
                 "\"fused_groups\":{},\"max_bank_width\":{},",
+                "\"analytic_groups\":{},\"simulated_groups\":{},",
+                "\"arena_bytes\":{},\"arena_compressed_bytes\":{},",
                 "\"trace_reuse_factor\":{},\"workers\":{},",
                 "\"worker_utilization\":{},\"designs_pruned\":{},",
                 "\"prune_rate\":{},\"frontier_size\":{},",
@@ -208,6 +226,7 @@ impl SweepTelemetry {
                 "\"shards_redispatched\":{},\"shard_entries_deduped\":{},",
                 "\"workers_surviving\":{},",
                 "\"layout_secs\":{},\"trace_secs\":{},",
+                "\"classify_secs\":{},\"compress_secs\":{},",
                 "\"bound_secs\":{},\"simulate_secs\":{},",
                 "\"select_secs\":{},\"total_secs\":{},",
                 "\"layout_latency\":{},\"design_latency\":{},",
@@ -224,6 +243,10 @@ impl SweepTelemetry {
             self.trace_events_avoided(),
             self.fused_groups,
             self.max_bank_width,
+            self.analytic_groups,
+            self.simulated_groups,
+            self.arena_bytes,
+            self.arena_compressed_bytes,
             json_f64(self.trace_reuse_factor(), 3),
             self.workers,
             json_f64(self.worker_utilization(), 3),
@@ -244,6 +267,8 @@ impl SweepTelemetry {
             self.workers_surviving,
             json_f64(self.layout_time.as_secs_f64(), 6),
             json_f64(self.trace_time.as_secs_f64(), 6),
+            json_f64(self.classify_time.as_secs_f64(), 6),
+            json_f64(self.compress_time.as_secs_f64(), 6),
             json_f64(self.bound_time.as_secs_f64(), 6),
             json_f64(self.simulate_time.as_secs_f64(), 6),
             json_f64(self.select_time.as_secs_f64(), 6),
@@ -315,6 +340,25 @@ impl fmt::Display for SweepTelemetry {
                 self.max_bank_width,
                 self.trace_events_scanned,
                 self.trace_events_avoided()
+            )?;
+        }
+        if self.analytic_groups > 0 {
+            writeln!(
+                f,
+                "  analytic : {} trace groups closed-form ({} simulated) in {:.1} ms",
+                self.analytic_groups,
+                self.simulated_groups,
+                self.classify_time.as_secs_f64() * 1e3
+            )?;
+        }
+        if self.arena_compressed_bytes > 0 {
+            writeln!(
+                f,
+                "  arena    : {} B raw -> {} B compressed ({:.1}x) in {:.1} ms",
+                self.arena_bytes,
+                self.arena_compressed_bytes,
+                self.arena_bytes as f64 / self.arena_compressed_bytes.max(1) as f64,
+                self.compress_time.as_secs_f64() * 1e3
             )?;
         }
         if self.frontier_size > 0 {

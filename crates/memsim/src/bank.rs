@@ -230,7 +230,45 @@ impl Lane {
 pub struct ReplayBank {
     lanes: Vec<Lane>,
     classes: Vec<LineClass>,
+    /// Set once the bank has replayed any write. Writes can leave dirty
+    /// lines behind, and a later read miss evicting a dirty line must
+    /// produce a writeback — so the read-only bulk path is only sound
+    /// while the whole replay history is write-free.
+    saw_write: bool,
+    /// Forces the scalar per-access lane loop even where the bulk path
+    /// applies — the pre-bulk engine, kept for honest baseline
+    /// benchmarking and differential tests.
+    scalar_replay: bool,
+    /// Per-chunk line-number stream, reused across chunks and feeds.
+    line_scratch: Vec<u64>,
+    /// Per-set SWAR digest words for [`Cache::run_read_lines`], reused.
+    digest_scratch: Vec<u64>,
+    /// Per-set exact packed-recency words for narrow-tag scans, reused.
+    word_scratch: Vec<u64>,
+    /// Fill addresses of one bulk lane scan, in access order, reused.
+    fill_scratch: Vec<u64>,
+    /// Index of the class with the smallest line size — the one whose CPU
+    /// bus stays live while per-class accounting is deferred (see
+    /// [`cpu_stale`](Self::cpu_stale)).
+    cpu_live_class: usize,
+    /// While every event replayed so far fits inside one line of *every*
+    /// class, all classes observe the identical byte-address sequence and
+    /// their CPU buses are bit-equal. The read-only scan then skips the
+    /// encode/popcount accounting for every class but
+    /// [`cpu_live_class`](Self::cpu_live_class); this flag records that
+    /// the other classes' monitors lag and must be re-synced (copied from
+    /// the live class) before they are read or driven again.
+    cpu_stale: bool,
+    /// Set once an event has straddled a line of the smallest class: the
+    /// per-class sub-access sequences (and hence buses) genuinely differ
+    /// from then on, so deferred accounting is disabled for good.
+    cpu_diverged: bool,
 }
+
+/// Internal replay chunk: bounds the per-class stream buffer so it stays
+/// cache-resident while every member lane scans it, instead of streaming
+/// a whole multi-megabyte slice through each lane in turn.
+const REPLAY_CHUNK: usize = 1 << 15;
 
 impl ReplayBank {
     /// A bank with Gray-coded buses and no miss classification.
@@ -269,7 +307,34 @@ impl ReplayBank {
                 class,
             });
         }
-        ReplayBank { lanes, classes }
+        let cpu_live_class = classes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.shift)
+            .map_or(0, |(i, _)| i);
+        ReplayBank {
+            lanes,
+            classes,
+            saw_write: false,
+            scalar_replay: false,
+            line_scratch: Vec::new(),
+            digest_scratch: Vec::new(),
+            word_scratch: Vec::new(),
+            fill_scratch: Vec::new(),
+            cpu_live_class,
+            cpu_stale: false,
+            cpu_diverged: false,
+        }
+    }
+
+    /// Disables the bulk read-only lane loop (builder-style): every lane
+    /// takes the scalar per-access path regardless of eligibility. This is
+    /// the engine exactly as it was before bulk replay landed — benchmarks
+    /// time it as the baseline, and the differential tests pit it against
+    /// the bulk path event for event.
+    pub fn with_scalar_replay(mut self) -> Self {
+        self.scalar_replay = true;
+        self
     }
 
     /// Adds a single-entry line buffer in front of every lane
@@ -301,6 +366,13 @@ impl ReplayBank {
     /// event and drives the shared CPU bus once, then its lanes process
     /// the resulting sub-accesses.
     pub fn step(&mut self, event: TraceEvent) {
+        self.sync_cpu_buses();
+        if let Some(live) = self.classes.get(self.cpu_live_class) {
+            let size = u64::from(event.size.max(1));
+            if (event.addr >> live.shift) != ((event.addr + size - 1) >> live.shift) {
+                self.cpu_diverged = true;
+            }
+        }
         let classes = &mut self.classes;
         let lanes = &mut self.lanes;
         for class in classes.iter_mut() {
@@ -334,11 +406,50 @@ impl ReplayBank {
     /// while paying the split, the bus observation, and the byte-to-line
     /// shift once per class instead of once per lane per event.
     pub fn run_slice(&mut self, events: &[TraceEvent]) {
-        let ReplayBank { lanes, classes } = self;
-        let mut stream: Vec<(u64, bool)> = Vec::new();
+        for chunk in events.chunks(REPLAY_CHUNK) {
+            self.run_chunk(chunk);
+        }
+    }
+
+    /// One internal chunk: routes to the read-only bulk scan when the
+    /// whole replay history (not just this chunk) is write-free, else to
+    /// the general mixed scan. Both produce identical reports; the bulk
+    /// scan is just faster.
+    fn run_chunk(&mut self, events: &[TraceEvent]) {
+        if !self.saw_write && events.iter().any(|e| e.is_write) {
+            self.saw_write = true;
+        }
+        if self.saw_write || self.scalar_replay {
+            self.run_chunk_mixed(events);
+        } else {
+            self.run_chunk_reads(events);
+        }
+    }
+
+    /// Catches every deferred CPU-bus monitor up to the live class. While
+    /// [`cpu_stale`](Self::cpu_stale) is set the monitors are bit-equal by
+    /// construction, so a plain copy of the live state *is* the sequence
+    /// the lagging class would have observed.
+    fn sync_cpu_buses(&mut self) {
+        if self.cpu_stale {
+            let live = self.classes[self.cpu_live_class].cpu_bus;
+            for (i, class) in self.classes.iter_mut().enumerate() {
+                if i != self.cpu_live_class {
+                    class.cpu_bus = live;
+                }
+            }
+            self.cpu_stale = false;
+        }
+    }
+
+    /// The general chunk scan: per-class `(line, is_write)` stream, scalar
+    /// lane loops.
+    fn run_chunk_mixed(&mut self, events: &[TraceEvent]) {
+        self.sync_cpu_buses();
+        let ReplayBank { lanes, classes, .. } = self;
+        let mut stream: Vec<(u64, bool)> = Vec::with_capacity(events.len());
         for class in classes.iter_mut() {
             stream.clear();
-            stream.reserve(events.len());
             let shift = class.shift;
             let mut writes = 0u64;
             for e in events {
@@ -372,6 +483,165 @@ impl ReplayBank {
                 }
             }
         }
+    }
+
+    /// The read-only chunk scan: the per-class stream drops the write
+    /// flag and packs into a flat `u64` buffer, and eligible lanes (no
+    /// line buffer, no classifier, LRU/FIFO up to 8 ways) resolve it with
+    /// [`Cache::run_read_lines`] — bitwise digest compares instead of a
+    /// per-way probe per event. Ineligible lanes keep the scalar loop
+    /// with `is_write == false`.
+    ///
+    /// CPU-bus accounting is deferred where it provably repeats: an event
+    /// that stays inside one line of the *smallest* line size stays inside
+    /// one line of every larger size (any `2^{k+1}` boundary is also a
+    /// `2^k` boundary), so a chunk with no such straddler drives the
+    /// identical byte-address sequence onto every class's bus. The live
+    /// (smallest-line) class is scanned first and keeps real accounting;
+    /// if it saw no straddler the other classes skip the encode/popcount
+    /// work entirely and are marked stale (see
+    /// [`sync_cpu_buses`](Self::sync_cpu_buses)). The first straddler
+    /// re-syncs from the live class's pre-chunk state and disables the
+    /// optimisation for the rest of the run.
+    fn run_chunk_reads(&mut self, events: &[TraceEvent]) {
+        if self.classes.is_empty() {
+            return;
+        }
+        let live = self.cpu_live_class;
+        let deferrable = !self.cpu_diverged && self.classes.len() > 1;
+        let saved = deferrable.then(|| self.classes[live].cpu_bus);
+
+        let spanned = Self::read_class(
+            &mut self.classes[live],
+            &mut self.lanes,
+            events,
+            true,
+            &mut self.line_scratch,
+            &mut self.digest_scratch,
+            &mut self.word_scratch,
+            &mut self.fill_scratch,
+        );
+        if spanned {
+            if let Some(saved) = saved {
+                if self.cpu_stale {
+                    for (i, class) in self.classes.iter_mut().enumerate() {
+                        if i != live {
+                            class.cpu_bus = saved;
+                        }
+                    }
+                    self.cpu_stale = false;
+                }
+                self.cpu_diverged = true;
+            }
+        }
+        let observe_others = self.cpu_diverged || !deferrable;
+        for c in 0..self.classes.len() {
+            if c == live {
+                continue;
+            }
+            Self::read_class(
+                &mut self.classes[c],
+                &mut self.lanes,
+                events,
+                observe_others,
+                &mut self.line_scratch,
+                &mut self.digest_scratch,
+                &mut self.word_scratch,
+                &mut self.fill_scratch,
+            );
+        }
+        if !observe_others {
+            self.cpu_stale = true;
+        }
+    }
+
+    /// One class's share of a read-only chunk: builds the flat line-number
+    /// stream (observing the CPU bus unless the caller has proven this
+    /// class's sequence identical to the live class's) and replays it
+    /// through the class's member lanes. Returns whether any event
+    /// straddled a line boundary of this class.
+    #[allow(clippy::too_many_arguments)]
+    fn read_class(
+        class: &mut LineClass,
+        lanes: &mut [Lane],
+        events: &[TraceEvent],
+        observe: bool,
+        line_scratch: &mut Vec<u64>,
+        digest_scratch: &mut Vec<u64>,
+        word_scratch: &mut Vec<u64>,
+        fill_scratch: &mut Vec<u64>,
+    ) -> bool {
+        line_scratch.clear();
+        line_scratch.reserve(events.len());
+        let shift = class.shift;
+        let mut max_line = 0u64;
+        if observe {
+            for e in events {
+                let size = u64::from(e.size.max(1));
+                let first_line = e.addr >> shift;
+                let last_line = (e.addr + size - 1) >> shift;
+                class.cpu_bus.observe_cpu(e.addr);
+                line_scratch.push(first_line);
+                max_line = max_line.max(last_line);
+                for l in (first_line + 1)..=last_line {
+                    class.cpu_bus.observe_cpu(l << shift);
+                    line_scratch.push(l);
+                }
+            }
+        } else {
+            for e in events {
+                let size = u64::from(e.size.max(1));
+                let first_line = e.addr >> shift;
+                let last_line = (e.addr + size - 1) >> shift;
+                line_scratch.push(first_line);
+                max_line = max_line.max(last_line);
+                for l in (first_line + 1)..=last_line {
+                    line_scratch.push(l);
+                }
+            }
+        }
+        let spanned = line_scratch.len() != events.len();
+        debug_assert!(
+            observe || !spanned,
+            "deferred bus accounting requires a straddle-free chunk"
+        );
+        let reads = line_scratch.len() as u64;
+        for &i in &class.members {
+            let lane = &mut lanes[i];
+            if lane.line_buffer.is_none()
+                && lane.classifier.is_none()
+                && lane.cache.bulk_read_eligible()
+            {
+                let Lane {
+                    cache,
+                    stats,
+                    mem_bus,
+                    ..
+                } = lane;
+                let out = cache.run_read_lines(
+                    line_scratch,
+                    max_line,
+                    digest_scratch,
+                    word_scratch,
+                    fill_scratch,
+                );
+                mem_bus.observe_mem_run(fill_scratch);
+                stats.reads += reads;
+                stats.read_hits += out.hits;
+                stats.fills += out.fills;
+                stats.evictions += out.evictions;
+            } else if lane.line_buffer.is_none() {
+                for &line_addr in line_scratch.iter() {
+                    lane.access_line_bulk(line_addr, false);
+                }
+                lane.stats.reads += reads;
+            } else {
+                for &line_addr in line_scratch.iter() {
+                    lane.access_line(line_addr, false);
+                }
+            }
+        }
+        spanned
     }
 
     /// Feeds one chunk of a streamed trace — the incremental stepper
@@ -421,18 +691,25 @@ impl ReplayBank {
     /// Lane `i`'s processor-side bus statistics (shared with every lane of
     /// equal line size).
     pub fn cpu_bus(&self, i: usize) -> BusStats {
-        self.classes[self.lanes[i].class].cpu_bus.cpu()
+        let class = if self.cpu_stale {
+            self.cpu_live_class
+        } else {
+            self.lanes[i].class
+        };
+        self.classes[class].cpu_bus.cpu()
     }
 
     /// Finishes the run and returns one report per lane, in lane order.
     pub fn into_reports(self) -> Vec<SimReport> {
         let classes = self.classes;
+        let live = self.cpu_live_class;
+        let stale = self.cpu_stale;
         self.lanes
             .into_iter()
             .map(|lane| SimReport {
                 config: *lane.cache.config(),
                 stats: lane.stats,
-                cpu_bus: classes[lane.class].cpu_bus.cpu(),
+                cpu_bus: classes[if stale { live } else { lane.class }].cpu_bus.cpu(),
                 mem_bus: lane.mem_bus.mem(),
                 miss_classes: lane.classifier.map(|c| c.counts()),
             })
@@ -451,6 +728,7 @@ impl ReplayBank {
 mod tests {
     use super::*;
     use crate::sim::Simulator;
+    use crate::Replacement;
 
     fn stride_trace(n: u64, stride: u64) -> Vec<TraceEvent> {
         (0..n)
@@ -567,6 +845,121 @@ mod tests {
             assert_eq!(lone.stats, report.stats, "{config}");
             assert!(report.stats.buffer_hits > 0, "{config}");
         }
+    }
+
+    /// A read-only trace that revisits lines at several strides, so every
+    /// geometry sees a mix of hits, cold fills, and capacity evictions.
+    fn revisit_trace(n: u64) -> Vec<TraceEvent> {
+        (0..n)
+            .map(|i| {
+                let addr = match i % 4 {
+                    0 => (i * 12) % 2048,
+                    1 => (i * 7) % 512,
+                    2 => (i / 2 * 20) % 1024,
+                    _ => (i * 36) % 4096 + 6, // spans small lines
+                };
+                TraceEvent::read(addr, 4)
+            })
+            .collect()
+    }
+
+    fn all_policy_configs() -> Vec<CacheConfig> {
+        let mut configs = Vec::new();
+        for &(size, line, assoc) in &[
+            (64usize, 8usize, 1usize),
+            (128, 8, 2),
+            (256, 16, 4),
+            (512, 8, 8),
+            (1024, 16, 16),
+            (256, 32, 2),
+        ] {
+            let base = CacheConfig::new(size, line, assoc).unwrap();
+            configs.push(base.with_replacement(Replacement::Lru));
+            configs.push(base.with_replacement(Replacement::Fifo));
+            if assoc.is_power_of_two() && assoc > 1 {
+                configs.push(base.with_replacement(Replacement::Plru));
+            }
+            configs.push(base.with_replacement(Replacement::Random { seed: 11 }));
+        }
+        configs
+    }
+
+    #[test]
+    fn bulk_replay_matches_scalar_replay() {
+        let configs = all_policy_configs();
+        let trace = revisit_trace(6000);
+        let mut bulk = ReplayBank::new(&configs);
+        bulk.run_slice(&trace);
+        let mut scalar = ReplayBank::new(&configs).with_scalar_replay();
+        scalar.run_slice(&trace);
+        for ((config, b), s) in configs
+            .iter()
+            .zip(bulk.into_reports())
+            .zip(scalar.into_reports())
+        {
+            assert_eq!(b.stats, s.stats, "{config}");
+            assert_eq!(b.cpu_bus, s.cpu_bus, "{config}");
+            assert_eq!(b.mem_bus, s.mem_bus, "{config}");
+        }
+    }
+
+    #[test]
+    fn bulk_replay_is_chunk_invariant() {
+        let configs = all_policy_configs();
+        let trace = revisit_trace(5000);
+        let mut whole = ReplayBank::new(&configs);
+        whole.run_slice(&trace);
+        let whole = whole.into_reports();
+        for chunk_size in [1usize, 7, 333, 4096] {
+            let mut fed = ReplayBank::new(&configs);
+            for chunk in trace.chunks(chunk_size) {
+                fed.feed(chunk);
+            }
+            for (config, (w, f)) in configs.iter().zip(whole.iter().zip(fed.finish())) {
+                assert_eq!(w.stats, f.stats, "{config} @ chunk {chunk_size}");
+                assert_eq!(w.cpu_bus, f.cpu_bus, "{config} @ chunk {chunk_size}");
+                assert_eq!(w.mem_bus, f.mem_bus, "{config} @ chunk {chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_cpu_bus_accounting_survives_divergence() {
+        // Aligned reads keep every class's CPU bus provably identical (the
+        // deferred path), then a read straddling only the smallest line
+        // forces the re-sync + divergence transition mid-run.
+        let configs = [
+            CacheConfig::new(64, 4, 1).unwrap(),
+            CacheConfig::new(64, 16, 1).unwrap(),
+        ];
+        let mut trace: Vec<TraceEvent> = (0..100).map(|i| TraceEvent::read(i * 4, 4)).collect();
+        trace.push(TraceEvent::read(2, 4)); // spans a 4 B line, not a 16 B one
+        trace.extend((0..100).map(|i| TraceEvent::read(i * 8, 4)));
+        let mut bank = ReplayBank::new(&configs);
+        for chunk in trace.chunks(13) {
+            bank.feed(chunk);
+        }
+        for (config, report) in configs.iter().zip(bank.finish()) {
+            let lone = Simulator::simulate_slice(*config, &trace);
+            assert_eq!(lone.stats, report.stats, "{config}");
+            assert_eq!(lone.cpu_bus, report.cpu_bus, "{config}");
+            assert_eq!(lone.mem_bus, report.mem_bus, "{config}");
+        }
+    }
+
+    #[test]
+    fn one_write_disables_bulk_for_the_rest_of_the_run() {
+        // A dirty line left by an early write must still produce its
+        // writeback when a much later read evicts it — the bank may never
+        // return to the bulk path once it has seen a write.
+        let configs = [CacheConfig::new(16, 8, 1).unwrap()];
+        let mut bank = ReplayBank::new(&configs);
+        bank.feed(&[TraceEvent::write(0, 4)]);
+        let quiet: Vec<TraceEvent> = (0..100).map(|_| TraceEvent::read(8, 4)).collect();
+        bank.feed(&quiet); // reads that never touch set 0
+        bank.feed(&[TraceEvent::read(16, 4)]); // evicts the dirty line
+        let report = &bank.finish()[0];
+        assert_eq!(report.stats.writebacks, 1);
     }
 
     #[test]

@@ -112,6 +112,32 @@ impl BusMonitor {
         Self::observe(self.encoding, &mut self.mem, &mut self.last_mem, addr);
     }
 
+    /// Records a run of addresses driven on the cache↔memory bus —
+    /// equivalent to calling [`observe_mem`](Self::observe_mem) once per
+    /// element, but with the switch accumulator and the previous coded
+    /// value held in registers across the run instead of reloaded per
+    /// call. The bulk replay scan drives every fill address of a chunk
+    /// through here in one go.
+    pub fn observe_mem_run(&mut self, addrs: &[u64]) {
+        let Some((&first, rest)) = addrs.split_first() else {
+            return;
+        };
+        let encoding = self.encoding;
+        let mut prev = encoding.encode(first);
+        let mut switches = match self.last_mem {
+            Some(last) => (last ^ prev).count_ones() as u64,
+            None => prev.count_ones() as u64,
+        };
+        for &addr in rest {
+            let coded = encoding.encode(addr);
+            switches += (prev ^ coded).count_ones() as u64;
+            prev = coded;
+        }
+        self.mem.transfers += addrs.len() as u64;
+        self.mem.bit_switches += switches;
+        self.last_mem = Some(prev);
+    }
+
     fn observe(encoding: BusEncoding, stats: &mut BusStats, last: &mut Option<u64>, addr: u64) {
         let coded = encoding.encode(addr);
         stats.transfers += 1;

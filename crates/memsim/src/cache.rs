@@ -221,6 +221,402 @@ impl Cache {
         }
     }
 
+    /// Whether [`run_read_lines`](Self::run_read_lines) reproduces this
+    /// cache's canonical behaviour. The bulk path specializes the two
+    /// stamp-ordered policies (LRU and FIFO) up to 8 ways — the widest
+    /// associativity whose per-way tag digests fit one `u64` word. PLRU
+    /// and seeded-random lanes keep the scalar loop: their replacement
+    /// state (tree bits, RNG draws) is advanced per access and gains
+    /// nothing from the packed probe.
+    pub(crate) fn bulk_read_eligible(&self) -> bool {
+        matches!(
+            self.config.replacement,
+            Replacement::Lru | Replacement::Fifo
+        ) && matches!(self.config.assoc(), 1 | 2 | 4 | 8)
+    }
+
+    /// Replays a read-only stream of line numbers through the cache in one
+    /// tight scan — the bulk-lane fast path of
+    /// [`ReplayBank`](crate::ReplayBank).
+    ///
+    /// Equivalent to calling [`access_line`](Self::access_line) with
+    /// `is_write == false` for each element, under two preconditions the
+    /// bank enforces (debug-asserted here):
+    ///
+    /// * [`bulk_read_eligible`](Self::bulk_read_eligible) holds, and
+    /// * the cache holds **no dirty lines** (the bank routes every stream
+    ///   through the scalar path once it has seen a single write), so a
+    ///   read miss can never trigger a writeback.
+    ///
+    /// Each fill's line-aligned byte address is appended to `fill_scratch`
+    /// in access order — the caller drives the memory-side bus from it in
+    /// one predictable scan after the loop. Counters come back in bulk;
+    /// the caller adds the read total itself (a property of the stream,
+    /// not the lane).
+    ///
+    /// Direct-mapped lanes skip the `stamps`/`clock` bookkeeping entirely:
+    /// with one way per set the victim is always way 0 and the stamp array
+    /// is never read back, for this or any later access. Set-associative
+    /// lanes maintain `stamps` and `clock` exactly as the scalar path
+    /// does, probing via a per-set SWAR digest word (8 bits per way:
+    /// valid bit + 7 tag bits) rebuilt from the canonical arrays once per
+    /// call — hits and invalid ways resolve with bitwise compares instead
+    /// of a per-way scan.
+    pub(crate) fn run_read_lines(
+        &mut self,
+        lines: &[u64],
+        max_line: u64,
+        digest_scratch: &mut Vec<u64>,
+        word_scratch: &mut Vec<u64>,
+        fill_scratch: &mut Vec<u64>,
+    ) -> BulkReadOutcome {
+        debug_assert!(self.bulk_read_eligible());
+        debug_assert!(
+            self.dirty.iter().all(|&d| !d),
+            "bulk read replay requires an all-clean cache"
+        );
+        fill_scratch.clear();
+        let mut out = BulkReadOutcome::default();
+        let set_mask = self.set_mask;
+        let sets_shift = self.sets_shift;
+        let line_shift = self.line_shift;
+        let assoc = self.config.assoc();
+
+        if assoc == 1 {
+            let keys = &mut self.keys[..];
+            // The extra `& (len - 1)` is a no-op (sets are a power of
+            // two) that lets the compiler prove the index in bounds.
+            let idx_mask = keys.len() - 1;
+            for &line in lines {
+                let set = (line & set_mask) as usize & idx_mask;
+                let key = ((line >> sets_shift) << 1) | 1;
+                let old = keys[set];
+                keys[set] = key;
+                if old == key {
+                    out.hits += 1;
+                } else {
+                    out.evictions += u64::from(old != 0);
+                    fill_scratch.push(line << line_shift);
+                }
+            }
+            out.fills = fill_scratch.len() as u64;
+            self.clock += lines.len() as u64;
+            return out;
+        }
+
+        // When every tag in the stream fits 15 bits, a set's whole state —
+        // keys *and* recency order — packs into exact 16-bit way entries
+        // (one u64 word for 2/4 ways, a word pair for 8), and the probe
+        // needs no confirming key load and the miss no stamp scan. Wider
+        // tags (real `.din` address streams) take the 7-bit-digest probe,
+        // which accelerates but never replaces the canonical arrays.
+        let narrow = (max_line >> sets_shift) < (1 << 15);
+        match (narrow, assoc) {
+            (true, 2) => {
+                self.run_read_lines_exact::<2>(lines, word_scratch, fill_scratch, &mut out)
+            }
+            (true, 4) => {
+                self.run_read_lines_exact::<4>(lines, word_scratch, fill_scratch, &mut out)
+            }
+            (true, 8) => self.run_read_lines_exact8(lines, word_scratch, fill_scratch, &mut out),
+            (_, 2) => self.run_read_lines_swar::<2>(lines, digest_scratch, fill_scratch, &mut out),
+            (_, 4) => self.run_read_lines_swar::<4>(lines, digest_scratch, fill_scratch, &mut out),
+            (_, 8) => self.run_read_lines_swar::<8>(lines, digest_scratch, fill_scratch, &mut out),
+            _ => unreachable!("bulk_read_eligible gates associativity"),
+        }
+        out.fills = fill_scratch.len() as u64;
+        out
+    }
+
+    /// Exact packed-recency bulk scan, monomorphized per associativity:
+    /// each set is one `u64` of `A` 16-bit way entries (full key, never
+    /// zero when valid), ordered newest-first — recency order for LRU,
+    /// fill order for FIFO. The order *is* the replacement state:
+    ///
+    /// * **probe** — splat the key and SWAR-compare; a match is a hit with
+    ///   no confirming load (entries are exact);
+    /// * **LRU hit** — move the matched entry to slot 0 with three masks
+    ///   and a shift;
+    /// * **FIFO hit** — nothing: fill order is untouched by hits;
+    /// * **miss** — the victim is whatever 16-bit entry falls off the top
+    ///   of `(word << 16) | key`; a zero entry was an invalid way (no
+    ///   eviction). No stamp scan, no invalid-way scan.
+    ///
+    /// Words are rebuilt from the canonical `keys`/`stamps` arrays at scan
+    /// start (sorting each set's ways newest-first) and written back at
+    /// scan end: slot `i` becomes way `i` with stamp `clock − i`. Ways are
+    /// interchangeable — sets carry no way identity, only membership and
+    /// stamp *order*, both of which the write-back preserves exactly — so
+    /// a later scalar scan, digest scan, or rebuilt exact scan continues
+    /// bit-identically.
+    fn run_read_lines_exact<const A: usize>(
+        &mut self,
+        lines: &[u64],
+        word_scratch: &mut Vec<u64>,
+        fill_scratch: &mut Vec<u64>,
+        out: &mut BulkReadOutcome,
+    ) {
+        debug_assert_eq!(A, self.config.assoc());
+        let set_mask = self.set_mask;
+        let sets_shift = self.sets_shift;
+        let line_shift = self.line_shift;
+        let sets = self.config.num_sets();
+        let is_lru = self.config.replacement == Replacement::Lru;
+        let word_mask: u64 = if 16 * A == 64 {
+            u64::MAX
+        } else {
+            (1u64 << (16 * A)) - 1
+        };
+
+        word_scratch.clear();
+        word_scratch.resize(sets, 0);
+        for (s, word) in word_scratch.iter_mut().enumerate() {
+            let base = s * A;
+            // Newest-first insertion sort of the set's valid ways; invalid
+            // ways (key 0) have stamp 0 and sink to the top slots as zero
+            // entries. Valid stamps are ≥ 1 and unique within a set.
+            let mut order: [(u64, u64); A] = [(0, 0); A];
+            for j in 0..A {
+                let entry = (self.stamps[base + j], self.keys[base + j]);
+                let mut k = j;
+                while k > 0 && order[k - 1].0 < entry.0 {
+                    order[k] = order[k - 1];
+                    k -= 1;
+                }
+                order[k] = entry;
+            }
+            for (i, &(_, key)) in order.iter().enumerate() {
+                *word |= key << (16 * i);
+            }
+        }
+
+        let words = &mut word_scratch[..];
+        let idx_mask = words.len() - 1;
+        let fills_before = fill_scratch.len();
+        for &line in lines {
+            let set = (line & set_mask) as usize & idx_mask;
+            let key = ((line >> sets_shift) << 1) | 1;
+            let w = words[set];
+            let x = w ^ (key * EXACT16_LO);
+            let zeros = x.wrapping_sub(EXACT16_LO) & !x & EXACT16_HI & word_mask;
+            if zeros != 0 {
+                // Slot 0 is already MRU — skip the reorder store so the
+                // next probe of this set needs no forwarded load.
+                if is_lru && zeros & 0x8000 == 0 {
+                    let slot = (zeros.trailing_zeros() / 16) as usize;
+                    let below = (1u64 << (16 * slot)) - 1;
+                    words[set] = (w & !((below << 16) | 0xffff)) | ((w & below) << 16) | key;
+                }
+                continue;
+            }
+            let evicted = (w >> (16 * (A - 1))) & 0xffff;
+            out.evictions += u64::from(evicted != 0);
+            words[set] = ((w << 16) & word_mask) | key;
+            fill_scratch.push(line << line_shift);
+        }
+        // Hits are the complement of the misses this scan appended.
+        out.hits += (lines.len() - (fill_scratch.len() - fills_before)) as u64;
+
+        // Write back: slot i → way i. `clock − i` keeps newest-first stamp
+        // order; a set's valid slots never outnumber its accesses, so
+        // valid stamps stay ≥ 1 and future fills (stamped > clock) stay
+        // newest.
+        self.clock += lines.len() as u64;
+        for (s, &word) in word_scratch.iter().enumerate() {
+            let base = s * A;
+            for i in 0..A {
+                let key = (word >> (16 * i)) & 0xffff;
+                self.keys[base + i] = key;
+                self.stamps[base + i] = if key == 0 { 0 } else { self.clock - i as u64 };
+            }
+        }
+    }
+
+    /// [`run_read_lines_exact`](Self::run_read_lines_exact) for 8-way
+    /// sets: the recency sequence spans a *pair* of u64 words — `lo`
+    /// holds slots 0–3 (newest first), `hi` slots 4–7 — kept as two
+    /// plain u64s rather than one u128 so every store forwards cleanly
+    /// to the next probe of the same set. A miss shifts both words with
+    /// `lo`'s top entry carrying into `hi`; an LRU hit in `hi` removes
+    /// the entry there and pushes `lo`'s top entry down as it reinserts
+    /// the key at slot 0.
+    fn run_read_lines_exact8(
+        &mut self,
+        lines: &[u64],
+        word_scratch: &mut Vec<u64>,
+        fill_scratch: &mut Vec<u64>,
+        out: &mut BulkReadOutcome,
+    ) {
+        const A: usize = 8;
+        debug_assert_eq!(A, self.config.assoc());
+        let set_mask = self.set_mask;
+        let sets_shift = self.sets_shift;
+        let line_shift = self.line_shift;
+        let sets = self.config.num_sets();
+        let is_lru = self.config.replacement == Replacement::Lru;
+
+        word_scratch.clear();
+        word_scratch.resize(sets * 2, 0);
+        for s in 0..sets {
+            let base = s * A;
+            let mut order: [(u64, u64); A] = [(0, 0); A];
+            for j in 0..A {
+                let entry = (self.stamps[base + j], self.keys[base + j]);
+                let mut k = j;
+                while k > 0 && order[k - 1].0 < entry.0 {
+                    order[k] = order[k - 1];
+                    k -= 1;
+                }
+                order[k] = entry;
+            }
+            for (i, &(_, key)) in order.iter().enumerate() {
+                word_scratch[s * 2 + i / 4] |= key << (16 * (i % 4));
+            }
+        }
+
+        let words = &mut word_scratch[..];
+        let idx_mask = words.len() / 2 - 1;
+        let fills_before = fill_scratch.len();
+        for &line in lines {
+            let set = (line & set_mask) as usize & idx_mask;
+            let key = ((line >> sets_shift) << 1) | 1;
+            let lo = words[set * 2];
+            let hi = words[set * 2 + 1];
+            let splat = key * EXACT16_LO;
+            let xl = lo ^ splat;
+            let zl = xl.wrapping_sub(EXACT16_LO) & !xl & EXACT16_HI;
+            if zl != 0 {
+                // Slot 0 is already MRU — skip the reorder store so the
+                // next probe of this set needs no forwarded load.
+                if is_lru && zl & 0x8000 == 0 {
+                    let slot = (zl.trailing_zeros() / 16) as usize;
+                    let below = (1u64 << (16 * slot)) - 1;
+                    words[set * 2] = (lo & !((below << 16) | 0xffff)) | ((lo & below) << 16) | key;
+                }
+                continue;
+            }
+            let xh = hi ^ splat;
+            let zh = xh.wrapping_sub(EXACT16_LO) & !xh & EXACT16_HI;
+            if zh != 0 {
+                if is_lru {
+                    let slot = (zh.trailing_zeros() / 16) as usize;
+                    let below = (1u64 << (16 * slot)) - 1;
+                    // The key leaves `hi`; lo's oldest entry slides down
+                    // into hi's slot 0 as the key re-enters lo at slot 0.
+                    words[set * 2 + 1] =
+                        (hi & !((below << 16) | 0xffff)) | ((hi & below) << 16) | (lo >> 48);
+                    words[set * 2] = (lo << 16) | key;
+                }
+                continue;
+            }
+            let evicted = hi >> 48;
+            out.evictions += u64::from(evicted != 0);
+            words[set * 2 + 1] = (hi << 16) | (lo >> 48);
+            words[set * 2] = (lo << 16) | key;
+            fill_scratch.push(line << line_shift);
+        }
+        out.hits += (lines.len() - (fill_scratch.len() - fills_before)) as u64;
+
+        self.clock += lines.len() as u64;
+        for s in 0..sets {
+            let base = s * A;
+            for i in 0..A {
+                let key = (word_scratch[s * 2 + i / 4] >> (16 * (i % 4))) & 0xffff;
+                self.keys[base + i] = key;
+                self.stamps[base + i] = if key == 0 { 0 } else { self.clock - i as u64 };
+            }
+        }
+    }
+
+    /// Set-associative bulk scan, monomorphized per associativity: each
+    /// set's ways pack into
+    /// one SWAR digest word (8 bits per way: valid marker + 7 tag bits),
+    /// rebuilt from the canonical arrays once per call, so a probe is one
+    /// load plus bitwise compares instead of eight key loads.
+    fn run_read_lines_swar<const A: usize>(
+        &mut self,
+        lines: &[u64],
+        digest_scratch: &mut Vec<u64>,
+        fill_scratch: &mut Vec<u64>,
+        out: &mut BulkReadOutcome,
+    ) {
+        let assoc = A;
+        debug_assert_eq!(assoc, self.config.assoc());
+        let set_mask = self.set_mask;
+        let sets_shift = self.sets_shift;
+        let line_shift = self.line_shift;
+        let sets = self.config.num_sets();
+        digest_scratch.clear();
+        digest_scratch.resize(sets, 0);
+        for (s, word) in digest_scratch.iter_mut().enumerate() {
+            let base = s * assoc;
+            for j in 0..assoc {
+                let k = self.keys[base + j];
+                if k != 0 {
+                    *word |= digest_byte(k) << (8 * j);
+                }
+            }
+        }
+
+        let is_lru = self.config.replacement == Replacement::Lru;
+        let keys = &mut self.keys[..];
+        let stamps = &mut self.stamps[..];
+        let digests = &mut digest_scratch[..];
+        let idx_mask = digests.len() - 1;
+        let mut clock = self.clock;
+        for &line in lines {
+            clock += 1;
+            let set = (line & set_mask) as usize & idx_mask;
+            let key = ((line >> sets_shift) << 1) | 1;
+            let base = set * assoc;
+            let d = digests[set];
+            // Splat the probe byte across all 8 lanes; zero bytes of the
+            // XOR mark candidate ways (7-bit digest collisions are
+            // resolved against the full key).
+            let x = d ^ (digest_byte(key) * SWAR_LO);
+            let mut zeros = x.wrapping_sub(SWAR_LO) & !x & SWAR_HI;
+            let mut hit = false;
+            while zeros != 0 {
+                let j = (zeros.trailing_zeros() / 8) as usize;
+                if keys[base + j] == key {
+                    if is_lru {
+                        stamps[base + j] = clock;
+                    }
+                    hit = true;
+                    break;
+                }
+                zeros &= zeros - 1;
+            }
+            if hit {
+                out.hits += 1;
+                continue;
+            }
+            // Miss: first invalid way (a clear 0x80 bit), else the
+            // stamp-minimal way — identical victim choice to the scalar
+            // path for LRU and FIFO.
+            let invalid = !d & SWAR_HI & ((1u128 << (8 * A)) - 1) as u64;
+            let victim = if invalid != 0 {
+                (invalid.trailing_zeros() / 8) as usize
+            } else {
+                out.evictions += 1;
+                let mut v = 0;
+                let mut best = stamps[base];
+                for j in 1..assoc {
+                    if stamps[base + j] < best {
+                        best = stamps[base + j];
+                        v = j;
+                    }
+                }
+                v
+            };
+            keys[base + victim] = key;
+            stamps[base + victim] = clock;
+            digests[set] = (d & !(0xffu64 << (8 * victim))) | (digest_byte(key) << (8 * victim));
+            fill_scratch.push(line << line_shift);
+        }
+        self.clock = clock;
+    }
+
     /// True if the line containing `addr` is currently cached (no state
     /// change — useful in tests and in the conflict-miss classifier).
     pub fn contains(&self, addr: u64) -> bool {
@@ -235,6 +631,31 @@ impl Cache {
     pub fn valid_lines(&self) -> usize {
         self.keys.iter().filter(|&&k| k != 0).count()
     }
+}
+
+/// Counters accumulated by one [`Cache::run_read_lines`] scan. Read
+/// totals are a property of the stream and stay with the caller.
+#[derive(Clone, Copy, Default, Debug)]
+pub(crate) struct BulkReadOutcome {
+    pub hits: u64,
+    pub fills: u64,
+    pub evictions: u64,
+}
+
+/// `0x01` repeated — the SWAR splat multiplier.
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+/// `0x80` repeated — the SWAR high-bit mask.
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+/// `0x0001` repeated per 16-bit lane — the exact-key splat multiplier.
+const EXACT16_LO: u64 = 0x0001_0001_0001_0001;
+/// `0x8000` repeated per 16-bit lane — the exact-key high-bit mask.
+const EXACT16_HI: u64 = 0x8000_8000_8000_8000;
+
+/// One way's 8-bit digest: valid marker plus the low 7 tag bits. Never
+/// zero for a valid way, so it cannot collide with an empty digest byte.
+#[inline]
+fn digest_byte(key: u64) -> u64 {
+    0x80 | ((key >> 1) & 0x7f)
 }
 
 /// Walks the PLRU tree from the root, flipping the bits along the path to

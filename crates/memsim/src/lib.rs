@@ -50,6 +50,7 @@ pub mod sim;
 pub mod source;
 pub mod stats;
 pub mod synth;
+pub mod zarena;
 
 pub use arena::TraceArena;
 pub use bank::ReplayBank;
@@ -64,3 +65,4 @@ pub use source::{
     TraceFingerprint, TraceSource, TraceSourceError, DEFAULT_CHUNK_CAPACITY,
 };
 pub use stats::CacheStats;
+pub use zarena::CompressedTrace;

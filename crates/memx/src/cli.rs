@@ -12,12 +12,12 @@ USAGE:
   memx explore   KERNEL.mx|TRACE.din [--part cy7c|lp2m|16m] [--em NJ]
                  [--natural] [--analytical] [--bound-cycles N]
                  [--bound-energy NJ] [--pareto] [--telemetry]
-                 [--engine fused|per-design]
+                 [--engine fused|per-design] [--no-analytic]
                  [--checkpoint PATH [--checkpoint-every N] [--resume]]
                  [--deadline SECS] [--log-json FILE] [--progress]
   memx pareto    KERNEL.mx|TRACE.din [--part cy7c|lp2m|16m] [--em NJ]
                  [--natural] [--format csv|json] [--exhaustive]
-                 [--telemetry] [--engine fused|per-design]
+                 [--telemetry] [--engine fused|per-design] [--no-analytic]
                  [--checkpoint PATH [--checkpoint-every N] [--resume]]
                  [--deadline SECS] [--log-json FILE] [--progress]
   memx search    KERNEL.mx|TRACE.din
@@ -25,7 +25,8 @@ USAGE:
                  [--space paper|expansive] [--beam N] [--gap F]
                  [--deadline SECS] [--format text|csv|json]
                  [--part cy7c|lp2m|16m] [--em NJ] [--natural]
-                 [--telemetry] [--log-json FILE] [--progress]
+                 [--telemetry] [--no-analytic]
+                 [--log-json FILE] [--progress]
   memx sweep     KERNEL.mx|TRACE.din --distributed N [--shards K]
                  [--attach HOST:PORT]... [--shard-dir DIR]
                  [--retry-budget N] [--backoff-ms MS] [--straggler-ms MS]
@@ -200,6 +201,9 @@ pub enum Command {
         telemetry: bool,
         /// Simulation engine (`fused`, the default, or `per-design`).
         engine: String,
+        /// Disable the analytic fast path (`--no-analytic`): replay every
+        /// trace group even when it classifies analytic-exact.
+        no_analytic: bool,
         /// Supervisor options (checkpoint/resume/deadline).
         supervise: Supervise,
         /// Observability options (JSONL event log, live progress).
@@ -224,6 +228,8 @@ pub enum Command {
         telemetry: bool,
         /// Simulation engine (`fused`, the default, or `per-design`).
         engine: String,
+        /// Disable the analytic fast path (`--no-analytic`).
+        no_analytic: bool,
         /// Supervisor options (checkpoint/resume/deadline).
         supervise: Supervise,
         /// Observability options (JSONL event log, live progress).
@@ -255,6 +261,8 @@ pub enum Command {
         format: String,
         /// Print search telemetry on stderr.
         telemetry: bool,
+        /// Disable the analytic fast path (`--no-analytic`).
+        no_analytic: bool,
         /// Observability options (JSONL event log, live progress).
         obs: ObsFlags,
     },
@@ -538,6 +546,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 pareto: false,
                 telemetry: false,
                 engine: "fused".to_string(),
+                no_analytic: false,
                 supervise: Supervise::default(),
                 obs: ObsFlags::default(),
             };
@@ -552,6 +561,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     pareto,
                     telemetry,
                     engine,
+                    no_analytic,
                     supervise,
                     obs,
                     ..
@@ -581,6 +591,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     "--pareto" => *pareto = true,
                     "--telemetry" => *telemetry = true,
                     "--engine" => *engine = parse_engine(args.value_of(flag)?)?,
+                    "--no-analytic" => *no_analytic = true,
                     other => {
                         if !supervise.parse_flag(other, &mut args)?
                             && !obs.parse_flag(other, &mut args)?
@@ -607,6 +618,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
             let mut exhaustive = false;
             let mut telemetry = false;
             let mut engine = "fused".to_string();
+            let mut no_analytic = false;
             let mut supervise = Supervise::default();
             let mut obs = ObsFlags::default();
             while let Some(flag) = args.next() {
@@ -634,6 +646,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                     "--exhaustive" => exhaustive = true,
                     "--telemetry" => telemetry = true,
                     "--engine" => engine = parse_engine(args.value_of(flag)?)?,
+                    "--no-analytic" => no_analytic = true,
                     other => {
                         if !supervise.parse_flag(other, &mut args)?
                             && !obs.parse_flag(other, &mut args)?
@@ -653,6 +666,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 exhaustive,
                 telemetry,
                 engine,
+                no_analytic,
                 supervise,
                 obs,
             })
@@ -672,6 +686,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
             let mut deadline_secs = None;
             let mut format = "text".to_string();
             let mut telemetry = false;
+            let mut no_analytic = false;
             let mut obs = ObsFlags::default();
             while let Some(flag) = args.next() {
                 match flag {
@@ -727,6 +742,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                         format = v.to_string();
                     }
                     "--telemetry" => telemetry = true,
+                    "--no-analytic" => no_analytic = true,
                     other => {
                         if !obs.parse_flag(other, &mut args)? {
                             return Err(err(format!("unknown flag `{other}` for search")));
@@ -746,6 +762,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, UsageError> {
                 deadline_secs,
                 format,
                 telemetry,
+                no_analytic,
                 obs,
             })
         }
@@ -1261,7 +1278,7 @@ mod tests {
     #[test]
     fn parses_explore_with_all_flags() {
         let cmd = parse_args(&argv(
-            "explore k.mx --part 16m --natural --analytical --bound-cycles 5000 --bound-energy 5500 --pareto --telemetry --engine per-design",
+            "explore k.mx --part 16m --natural --analytical --bound-cycles 5000 --bound-energy 5500 --pareto --telemetry --engine per-design --no-analytic",
         ))
         .expect("valid");
         match cmd {
@@ -1276,12 +1293,14 @@ mod tests {
                 telemetry,
                 em_nj,
                 engine,
+                no_analytic,
                 supervise,
                 obs,
             } => {
                 assert_eq!(file, "k.mx");
                 assert_eq!(part, "16m");
                 assert!(natural && analytical && pareto && telemetry);
+                assert!(no_analytic);
                 assert_eq!(bound_cycles, Some(5000.0));
                 assert_eq!(bound_energy, Some(5500.0));
                 assert_eq!(em_nj, None);
@@ -1306,7 +1325,7 @@ mod tests {
     #[test]
     fn parses_pareto_with_all_flags() {
         let cmd = parse_args(&argv(
-            "pareto k.mx --part lp2m --natural --format json --exhaustive --telemetry",
+            "pareto k.mx --part lp2m --natural --format json --exhaustive --telemetry --no-analytic",
         ))
         .expect("valid");
         match cmd {
@@ -1319,6 +1338,7 @@ mod tests {
                 exhaustive,
                 telemetry,
                 engine,
+                no_analytic,
                 supervise,
                 obs,
             } => {
@@ -1326,6 +1346,7 @@ mod tests {
                 assert_eq!(part, "lp2m");
                 assert_eq!(em_nj, None);
                 assert!(natural && exhaustive && telemetry);
+                assert!(no_analytic);
                 assert_eq!(format, "json");
                 assert_eq!(engine, "fused");
                 assert!(!supervise.is_active());
@@ -1356,7 +1377,7 @@ mod tests {
         let cmd = parse_args(&argv(
             "search k.mx --objective weighted=1,0.5 --space expansive --beam 16 \
              --gap 0.01 --deadline 30 --format json --part lp2m --natural \
-             --telemetry --log-json run.jsonl --progress",
+             --telemetry --no-analytic --log-json run.jsonl --progress",
         ))
         .expect("valid");
         match cmd {
@@ -1372,12 +1393,14 @@ mod tests {
                 deadline_secs,
                 format,
                 telemetry,
+                no_analytic,
                 obs,
             } => {
                 assert_eq!(file, "k.mx");
                 assert_eq!(part, "lp2m");
                 assert_eq!(em_nj, None);
                 assert!(natural && telemetry);
+                assert!(no_analytic);
                 assert_eq!(
                     objective,
                     Objective::Weighted {

@@ -49,13 +49,19 @@ impl Output {
 }
 
 /// A failed command, classified by the exit-code contract: invalid CLI
-/// input is exit 2 (handled by the parser), I/O failures are also exit 2,
-/// every other runtime failure is exit 1.
+/// input is exit 2 (handled by the parser), I/O failures and invalid
+/// cache geometry are also exit 2, every other runtime failure is exit 1.
 #[derive(Debug)]
 pub enum RunError {
     /// Filesystem problem (unreadable input, unwritable or corrupt
     /// checkpoint) — one line on stderr, exit code 2.
     Io(String),
+    /// Invalid cache geometry (non-power-of-two size/line/assoc, line
+    /// larger than cache, more ways than lines). The simulator's
+    /// shift-based address math would silently mis-index with such a
+    /// geometry, so it dies at the boundary: exit code 2 offline, HTTP
+    /// 400 on `memx serve`.
+    Geometry(String),
     /// Any other runtime failure — exit code 1.
     Other(Box<dyn Error + Send + Sync>),
 }
@@ -64,7 +70,7 @@ impl RunError {
     /// The process exit code this error maps to.
     pub fn exit_code(&self) -> u8 {
         match self {
-            Self::Io(_) => 2,
+            Self::Io(_) | Self::Geometry(_) => 2,
             Self::Other(_) => 1,
         }
     }
@@ -73,7 +79,7 @@ impl RunError {
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::Io(msg) => write!(f, "{msg}"),
+            Self::Io(msg) | Self::Geometry(msg) => write!(f, "{msg}"),
             Self::Other(e) => write!(f, "{e}"),
         }
     }
@@ -113,6 +119,7 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
             pareto,
             telemetry,
             engine,
+            no_analytic,
             supervise,
             obs,
         } => {
@@ -134,6 +141,7 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
                     pareto,
                     telemetry,
                     &engine,
+                    !no_analytic,
                     &supervise,
                     &obs,
                     None,
@@ -150,6 +158,7 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
                     pareto,
                     telemetry,
                     engine_kind(&engine),
+                    !no_analytic,
                     &supervise,
                     &obs,
                     None,
@@ -166,6 +175,7 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
             exhaustive,
             telemetry,
             engine,
+            no_analytic,
             supervise,
             obs,
         } => {
@@ -173,7 +183,15 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
             if is_din_path(&file) {
                 let workload = load_trace(&file)?;
                 pareto_trace(
-                    &workload, evaluator, &format, telemetry, &engine, &supervise, &obs, None,
+                    &workload,
+                    evaluator,
+                    &format,
+                    telemetry,
+                    &engine,
+                    !no_analytic,
+                    &supervise,
+                    &obs,
+                    None,
                 )
                 .map(|(out, _)| out)
             } else {
@@ -185,6 +203,7 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
                     exhaustive,
                     telemetry,
                     engine_kind(&engine),
+                    !no_analytic,
                     &supervise,
                     &obs,
                     None,
@@ -204,6 +223,7 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
             deadline_secs,
             format,
             telemetry,
+            no_analytic,
             obs,
         } => {
             let evaluator = make_evaluator(&part, em_nj, natural);
@@ -224,6 +244,7 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
                     deadline_secs,
                     &format,
                     telemetry,
+                    !no_analytic,
                     &obs,
                     None,
                 )
@@ -240,6 +261,7 @@ pub fn run(cmd: Command) -> Result<Output, RunError> {
                     deadline_secs,
                     &format,
                     telemetry,
+                    !no_analytic,
                     &obs,
                     None,
                 )
@@ -509,6 +531,20 @@ pub(crate) fn load_trace(path: &str) -> Result<TraceWorkload, RunError> {
     TraceWorkload::from_path(path).map_err(trace_error)
 }
 
+/// Validates cache geometry at the CLI/parse boundary. Everything
+/// downstream (simulator lanes, the analytic fast path) assumes
+/// power-of-two line and set counts for its shift-based address math, so
+/// a bad geometry must die here with a typed exit-2 error — never reach
+/// the sweep and return a silently wrong answer.
+pub(crate) fn validate_geometry(
+    cache: usize,
+    line: usize,
+    assoc: usize,
+) -> Result<CacheConfig, RunError> {
+    CacheConfig::new(cache, line, assoc)
+        .map_err(|e| RunError::Geometry(format!("invalid cache geometry: {e}")))
+}
+
 fn simulate_din(
     path: &str,
     cache: usize,
@@ -517,7 +553,7 @@ fn simulate_din(
     classify: bool,
     format: &str,
 ) -> Result<String, RunError> {
-    let config = CacheConfig::new(cache, line, assoc).map_err(|e| RunError::Other(e.into()))?;
+    let config = validate_geometry(cache, line, assoc)?;
     // Streamed: the trace is pulled through in fixed-capacity chunks, so
     // peak memory is one chunk however large the file is. Chunked feeding
     // is bit-identical to a whole-trace scan (lane state persists across
@@ -693,6 +729,16 @@ pub(crate) fn check_sweep_inputs(
             .into(),
         ));
     }
+    // Geometry first: a non-power-of-two line or set count would silently
+    // mis-index in the shift-based simulator, so it must die here.
+    if let Some((design, e)) = designs
+        .iter()
+        .find_map(|d| d.cache_config().err().map(|e| (d, e)))
+    {
+        return Err(RunError::Geometry(format!(
+            "invalid cache geometry in design grid: {design}: {e}"
+        )));
+    }
     check_feasibility(kernel, designs.iter().map(|d| (d.cache_size, d.line)))?;
     let max_trip = kernel
         .nest
@@ -736,6 +782,19 @@ fn check_space_inputs(
             )
             .into(),
         ));
+    }
+    // Geometry first, from the axes alone (the grid is too large to
+    // materialize): every size on a power-of-two axis must actually be one.
+    for (field, values) in [
+        ("cache size", &space.cache_sizes),
+        ("line size", &space.line_sizes),
+        ("associativity", &space.assocs),
+    ] {
+        if let Some(&v) = values.iter().find(|&&v| v == 0 || !v.is_power_of_two()) {
+            return Err(RunError::Geometry(format!(
+                "invalid cache geometry in design space: {field} {v} is not a power of two"
+            )));
+        }
     }
     // Valid (T, L) pairs that contribute at least one design.
     let pairs = || {
@@ -927,6 +986,7 @@ pub(crate) fn explore(
     pareto: bool,
     telemetry: bool,
     engine: Engine,
+    analytic: bool,
     supervise: &Supervise,
     obs_flags: &ObsFlags,
     workers: Option<usize>,
@@ -955,7 +1015,9 @@ pub(crate) fn explore(
         (records, None)
     } else {
         let obs = build_obs(obs_flags)?;
-        let mut explorer = Explorer::new(evaluator).with_engine(engine);
+        let mut explorer = Explorer::new(evaluator)
+            .with_engine(engine)
+            .with_analytic(analytic);
         if let Some(w) = workers {
             explorer = explorer.with_workers(w);
         }
@@ -1070,6 +1132,7 @@ pub(crate) fn explore_trace(
     pareto: bool,
     telemetry: bool,
     engine: &str,
+    analytic: bool,
     supervise: &Supervise,
     obs_flags: &ObsFlags,
     workers: Option<usize>,
@@ -1078,7 +1141,7 @@ pub(crate) fn explore_trace(
     warn_trace_engine(engine, &mut stderr);
     let designs = TraceWorkload::design_space().designs();
     let obs = build_obs(obs_flags)?;
-    let mut explorer = Explorer::new(evaluator);
+    let mut explorer = Explorer::new(evaluator).with_analytic(analytic);
     if let Some(w) = workers {
         explorer = explorer.with_workers(w);
     }
@@ -1137,6 +1200,7 @@ pub(crate) fn search(
     deadline_secs: Option<f64>,
     format: &str,
     telemetry: bool,
+    analytic: bool,
     obs_flags: &ObsFlags,
     workers: Option<usize>,
 ) -> Result<(Output, bool), RunError> {
@@ -1148,7 +1212,7 @@ pub(crate) fn search(
     };
     check_space_inputs(kernel, &space, &mut stderr)?;
     let obs = build_obs(obs_flags)?;
-    let mut explorer = Explorer::new(evaluator);
+    let mut explorer = Explorer::new(evaluator).with_analytic(analytic);
     if let Some(w) = workers {
         explorer = explorer.with_workers(w);
     }
@@ -1353,6 +1417,7 @@ pub(crate) fn search_trace(
     deadline_secs: Option<f64>,
     format: &str,
     telemetry: bool,
+    analytic: bool,
     obs_flags: &ObsFlags,
     workers: Option<usize>,
 ) -> Result<(Output, bool), RunError> {
@@ -1365,7 +1430,7 @@ pub(crate) fn search_trace(
     }
     let designs = TraceWorkload::design_space().designs();
     let obs = build_obs(obs_flags)?;
-    let mut explorer = Explorer::new(evaluator);
+    let mut explorer = Explorer::new(evaluator).with_analytic(analytic);
     if let Some(w) = workers {
         explorer = explorer.with_workers(w);
     }
@@ -1472,6 +1537,7 @@ pub(crate) fn pareto_frontier(
     exhaustive: bool,
     telemetry: bool,
     engine: Engine,
+    analytic: bool,
     supervise: &Supervise,
     obs_flags: &ObsFlags,
     workers: Option<usize>,
@@ -1481,7 +1547,9 @@ pub(crate) fn pareto_frontier(
     let designs = space.designs();
     check_sweep_inputs(kernel, &designs, &mut stderr)?;
     let obs = build_obs(obs_flags)?;
-    let mut explorer = Explorer::new(evaluator).with_engine(engine);
+    let mut explorer = Explorer::new(evaluator)
+        .with_engine(engine)
+        .with_analytic(analytic);
     if let Some(w) = workers {
         explorer = explorer.with_workers(w);
     }
@@ -1552,6 +1620,7 @@ pub(crate) fn pareto_trace(
     format: &str,
     telemetry: bool,
     engine: &str,
+    analytic: bool,
     supervise: &Supervise,
     obs_flags: &ObsFlags,
     workers: Option<usize>,
@@ -1560,7 +1629,7 @@ pub(crate) fn pareto_trace(
     warn_trace_engine(engine, &mut stderr);
     let designs = TraceWorkload::design_space().designs();
     let obs = build_obs(obs_flags)?;
-    let mut explorer = Explorer::new(evaluator);
+    let mut explorer = Explorer::new(evaluator).with_analytic(analytic);
     if let Some(w) = workers {
         explorer = explorer.with_workers(w);
     }
@@ -1688,9 +1757,10 @@ fn simulate(
     tiling: u64,
     natural: bool,
     classify: bool,
-) -> Result<String, Box<dyn Error + Send + Sync>> {
-    // Validate geometry up front so the user gets an error, not a panic.
-    let config = CacheConfig::new(cache, line, assoc)?;
+) -> Result<String, RunError> {
+    // Validate geometry up front so the user gets a typed exit-2 error,
+    // not a panic or a silently mis-indexed sweep.
+    let config = validate_geometry(cache, line, assoc)?;
     // The cycle model only covers the paper's parameter ranges; reject the
     // rest here rather than panicking deep inside the evaluator.
     if ![1, 2, 4, 8, 16, 32, 64].contains(&assoc) {
@@ -1705,7 +1775,7 @@ fn simulate(
         );
     }
     if tiling == 0 {
-        return Err("tiling must be at least 1 (1 = untiled)".into());
+        return Err("tiling must be at least 1 (1 = untiled)".to_string().into());
     }
     let mut evaluator = Evaluator::default();
     if natural {
@@ -1738,8 +1808,9 @@ fn simulate(
     Ok(out)
 }
 
-fn place(kernel: &Kernel, cache: u64, line: u64) -> Result<String, Box<dyn Error + Send + Sync>> {
-    let report = optimize_layout(kernel, cache, line)?;
+fn place(kernel: &Kernel, cache: u64, line: u64) -> Result<String, RunError> {
+    validate_geometry(cache as usize, line as usize, 1)?;
+    let report = optimize_layout(kernel, cache, line).map_err(|e| RunError::Other(e.into()))?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -1764,9 +1835,11 @@ fn place(kernel: &Kernel, cache: u64, line: u64) -> Result<String, Box<dyn Error
     Ok(out)
 }
 
-fn min_cache(kernel: &Kernel, line: u64) -> Result<String, Box<dyn Error + Send + Sync>> {
+fn min_cache(kernel: &Kernel, line: u64) -> Result<String, RunError> {
     if line == 0 || !line.is_power_of_two() {
-        return Err(format!("line size {line} must be a power of two").into());
+        return Err(RunError::Geometry(format!(
+            "invalid cache geometry: line size {line} must be a power of two"
+        )));
     }
     if let Some(a) = kernel.arrays.iter().find(|a| a.elem_size as u64 > line) {
         return Err(format!(
@@ -1959,6 +2032,7 @@ mod tests {
             pareto: true,
             telemetry: false,
             engine: "fused".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         })
@@ -1984,6 +2058,7 @@ mod tests {
             pareto: false,
             telemetry: true,
             engine: "fused".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         })
@@ -2006,6 +2081,7 @@ mod tests {
             pareto: false,
             telemetry: true,
             engine: "fused".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         })
@@ -2071,6 +2147,7 @@ mod tests {
             pareto: false,
             telemetry: true,
             engine: "fused".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         })
@@ -2101,6 +2178,7 @@ mod tests {
             pareto: false,
             telemetry: false,
             engine: "fused".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         })
@@ -2160,6 +2238,7 @@ mod tests {
             exhaustive: false,
             telemetry: false,
             engine: "per-design".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         })
@@ -2187,6 +2266,7 @@ mod tests {
             pareto: false,
             telemetry: false,
             engine: "fused".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         })
@@ -2209,6 +2289,7 @@ mod tests {
             deadline_secs: None,
             format: "text".into(),
             telemetry: false,
+            no_analytic: false,
             obs: ObsFlags::default(),
         })
         .expect("search succeeds")
@@ -2229,6 +2310,7 @@ mod tests {
             deadline_secs: None,
             format: "text".into(),
             telemetry: false,
+            no_analytic: false,
             obs: ObsFlags::default(),
         })
         .expect_err("expansive space needs a kernel");
@@ -2247,6 +2329,7 @@ mod tests {
             exhaustive: false,
             telemetry: true,
             engine: "fused".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         })
@@ -2283,6 +2366,7 @@ mod tests {
             exhaustive: false,
             telemetry: false,
             engine: "fused".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         })
@@ -2297,6 +2381,7 @@ mod tests {
             exhaustive: true,
             telemetry: false,
             engine: "fused".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         })
@@ -2380,6 +2465,7 @@ mod tests {
                 pareto: true,
                 telemetry: false,
                 engine: engine.into(),
+                no_analytic: false,
                 supervise: Supervise::default(),
                 obs: ObsFlags::default(),
             })
@@ -2401,6 +2487,7 @@ mod tests {
             deadline_secs: None,
             format: format.into(),
             telemetry: false,
+            no_analytic: false,
             obs: ObsFlags::default(),
         })
         .expect("search succeeds")
@@ -2420,6 +2507,7 @@ mod tests {
             pareto: false,
             telemetry: false,
             engine: "fused".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         })
@@ -2490,6 +2578,7 @@ mod tests {
             deadline_secs: Some(1e-9),
             format: "text".into(),
             telemetry: false,
+            no_analytic: false,
             obs: ObsFlags::default(),
         })
         .expect("search succeeds");
@@ -2511,6 +2600,7 @@ mod tests {
             pareto: false,
             telemetry: true,
             engine: "fused".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         })
@@ -2532,6 +2622,7 @@ mod tests {
                 exhaustive: false,
                 telemetry: false,
                 engine: engine.into(),
+                no_analytic: false,
                 supervise: Supervise::default(),
                 obs: ObsFlags::default(),
             })

@@ -935,6 +935,7 @@ fn run_job(spec: &JobSpec, workers: usize, distribute: usize) -> Result<(Output,
             spec.pareto,
             false,
             commands::engine_kind(&spec.engine),
+            true,
             &supervise,
             &obs_flags,
             Some(workers),
@@ -946,6 +947,7 @@ fn run_job(spec: &JobSpec, workers: usize, distribute: usize) -> Result<(Output,
             spec.exhaustive,
             false,
             commands::engine_kind(&spec.engine),
+            true,
             &supervise,
             &obs_flags,
             Some(workers),
@@ -960,6 +962,7 @@ fn run_job(spec: &JobSpec, workers: usize, distribute: usize) -> Result<(Output,
             spec.deadline_secs,
             &spec.format,
             false,
+            true,
             &obs_flags,
             Some(workers),
         ),
@@ -971,6 +974,7 @@ fn run_job(spec: &JobSpec, workers: usize, distribute: usize) -> Result<(Output,
             spec.pareto,
             false,
             &spec.engine,
+            true,
             &supervise,
             &obs_flags,
             Some(workers),
@@ -981,6 +985,7 @@ fn run_job(spec: &JobSpec, workers: usize, distribute: usize) -> Result<(Output,
             &spec.format,
             false,
             &spec.engine,
+            true,
             &supervise,
             &obs_flags,
             Some(workers),
@@ -993,6 +998,7 @@ fn run_job(spec: &JobSpec, workers: usize, distribute: usize) -> Result<(Output,
             spec.deadline_secs,
             &spec.format,
             false,
+            true,
             &obs_flags,
             Some(workers),
         ),
@@ -1060,10 +1066,12 @@ fn handle_job(stream: &mut TcpStream, shared: &ServerShared, body: &[u8]) -> io:
                 }
                 Ok(Err(err)) => {
                     // Runtime failure (e.g. infeasible grid): typed 422.
+                    // Invalid cache geometry is the client's fault: 400.
                     // I/O failures cannot normally happen (inputs are
                     // inline), so anything of that class is a 500.
                     let code = match &err {
                         RunError::Io(_) => 500,
+                        RunError::Geometry(_) => 400,
                         RunError::Other(_) => 422,
                     };
                     drop(flight); // abandon: waiters retry, nothing cached

@@ -211,7 +211,7 @@ fn run_slice(
             .explore_trace_supervised(tw, slice, options)
             .map_err(|e| match commands::trace_error(e) {
                 RunError::Io(m) => SliceError::Checkpoint(m),
-                RunError::Other(m) => SliceError::Other(m.to_string()),
+                other => SliceError::Other(other.to_string()),
             }),
     }
 }
@@ -909,6 +909,7 @@ fn local_only(req: &SweepRequest) -> Result<Output, RunError> {
             req.pareto,
             req.telemetry,
             commands::engine_kind(&req.engine),
+            true,
             &supervise,
             &req.obs,
             None,
@@ -921,6 +922,7 @@ fn local_only(req: &SweepRequest) -> Result<Output, RunError> {
             req.pareto,
             req.telemetry,
             &req.engine,
+            true,
             &supervise,
             &req.obs,
             None,

@@ -1,10 +1,12 @@
 //! Exit-code contract of the `memx` binary.
 //!
 //! * 0 — success
-//! * 1 — runtime failure (bad geometry, parse error, …)
-//! * 2 — invalid CLI input **or** an I/O failure (unreadable input,
-//!   unwritable or corrupt checkpoint), always with a one-line
-//!   `error: …` message on stderr
+//! * 1 — runtime failure (parse error, infeasible grid, …)
+//! * 2 — invalid CLI input, invalid cache geometry (non-power-of-two
+//!   size/line/assoc — the shift-based address math would silently
+//!   mis-index), **or** an I/O failure (unreadable input, unwritable or
+//!   corrupt checkpoint), always with a one-line `error: …` message on
+//!   stderr
 //!
 //! These run the real binary (`CARGO_BIN_EXE_memx`) so the contract is
 //! pinned end to end, not just at the library layer.
@@ -154,16 +156,48 @@ fn corrupt_checkpoint_on_resume_is_exit_two() {
 #[test]
 fn runtime_failures_are_exit_one() {
     let scratch = Scratch::new("runtime");
-    let kernel = scratch.kernel();
-    // Valid CLI, readable file, bad geometry: a runtime failure.
-    let out = memx(&["simulate", &kernel, "--cache", "48", "--line", "8"]);
-    assert_eq!(exit_code(&out), 1, "stderr: {}", stderr(&out));
-    assert_one_line_error(&out);
-    // Unparseable kernel text: also runtime, not I/O.
+    // Unparseable kernel text: runtime, not I/O.
     let bad = scratch.path("bad.mx");
     std::fs::write(&bad, "this is not a kernel").expect("tempdir writable");
     let out = memx(&["classes", bad.to_str().expect("utf8 path")]);
     assert_eq!(exit_code(&out), 1, "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn bad_geometry_is_exit_two_everywhere() {
+    let scratch = Scratch::new("geometry");
+    let kernel = scratch.kernel();
+    let din = scratch.path("t.din");
+    std::fs::write(&din, "0 0\n0 8\n1 10\n").expect("tempdir writable");
+    let din = din.to_str().expect("utf8 path").to_string();
+    for args in [
+        // Non-power-of-two cache size: shift-indexing cannot address it.
+        &["simulate", &kernel, "--cache", "48", "--line", "8"][..],
+        // Non-power-of-two line size.
+        &["simulate", &kernel, "--cache", "64", "--line", "6"][..],
+        // Line larger than the cache.
+        &["simulate", &kernel, "--cache", "64", "--line", "128"][..],
+        // More ways than lines.
+        &[
+            "simulate", &kernel, "--cache", "64", "--line", "32", "--assoc", "4",
+        ][..],
+        &["place", &kernel, "--cache", "48", "--line", "8"][..],
+        &["min-cache", &kernel, "--line", "6"][..],
+        &["simulate-din", &din, "--cache", "48", "--line", "8"][..],
+        &["simulate-din", &din, "--cache", "64", "--line", "6"][..],
+    ] {
+        let out = memx(args);
+        assert_eq!(exit_code(&out), 2, "args {args:?}: {}", stderr(&out));
+        assert_one_line_error(&out);
+        // Geometry errors are input errors, not CLI-syntax errors: the
+        // message names the bad value instead of dumping the usage text.
+        assert!(!stderr(&out).contains("USAGE"), "args {args:?}");
+        assert!(
+            stderr(&out).contains("geometry") || stderr(&out).contains("power of two"),
+            "args {args:?}: {}",
+            stderr(&out)
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,143 @@
+//! Differential oracle for the analytic fast path.
+//!
+//! The fused engine may resolve a whole trace group in closed form
+//! (`memexplore::analytic::try_group_records`, built on
+//! `analysis::exact`) instead of replaying it. That is only sound if the
+//! closed form is *bit-identical* to simulation, so two layers pin it:
+//!
+//! 1. **End to end**: on seven kernels (the paper's five plus the stencil
+//!    and conv2d extras), `Explorer` records with the fast path enabled
+//!    must equal plain replay and the per-design engine — on the paper
+//!    grid (where the capacity gate keeps the fast path dormant) and on
+//!    an ample grid sized to actually trigger it.
+//! 2. **Unit**: any report the classifier approves as analytic-exact must
+//!    reproduce the naive `memsim::reference` model's counters exactly,
+//!    over random read traces and random geometries.
+
+use analysis::exact::{exact_report, profile_read_class};
+use loopir::{kernels, Kernel};
+use memexplore::{DesignSpace, Engine, Explorer};
+use memsim::reference::ReferenceCache;
+use memsim::{BusEncoding, CacheConfig, TraceEvent};
+use proptest::prelude::*;
+
+/// The paper's five evaluation kernels plus the two library extras.
+fn seven_kernels() -> Vec<Kernel> {
+    let mut v = kernels::all_paper_kernels();
+    v.push(kernels::stencil(31));
+    v.push(kernels::conv2d(16, 3));
+    v
+}
+
+/// A grid whose every cache holds the kernel's whole array footprint, so
+/// the capacity gate admits each trace group to classification.
+fn ample_space(kernel: &Kernel) -> DesignSpace {
+    let footprint: u64 = memexplore::analytic::kernel_footprint_bytes(kernel);
+    let base = usize::try_from(footprint.next_power_of_two()).expect("small kernels");
+    DesignSpace {
+        cache_sizes: vec![base, base * 2],
+        line_sizes: vec![8, 16],
+        assocs: vec![1, 2],
+        tilings: vec![1],
+        min_lines: 1,
+        ..Default::default()
+    }
+}
+
+fn assert_analytic_oracle(kernel: &Kernel, space: &DesignSpace, expect_analytic: bool) {
+    let analytic = Explorer::default().with_engine(Engine::Fused);
+    let replayed = Explorer::default()
+        .with_engine(Engine::Fused)
+        .with_analytic(false);
+    let per_design = Explorer::default().with_engine(Engine::PerDesign);
+
+    let (ar, at) = analytic.explore_with_telemetry(kernel, space);
+    let (rr, rt) = replayed.explore_with_telemetry(kernel, space);
+    let (pr, _) = per_design.explore_with_telemetry(kernel, space);
+
+    assert_eq!(
+        ar, rr,
+        "{}: analytic records diverged from fused replay",
+        kernel.name
+    );
+    assert_eq!(
+        ar, pr,
+        "{}: analytic records diverged from per-design replay",
+        kernel.name
+    );
+    assert_eq!(
+        at.analytic_groups + at.simulated_groups,
+        at.fused_groups,
+        "{}: every fused group is either analytic or simulated",
+        kernel.name
+    );
+    assert_eq!(
+        rt.analytic_groups, 0,
+        "{}: --no-analytic must never classify",
+        kernel.name
+    );
+    if expect_analytic {
+        assert!(
+            at.analytic_groups > 0,
+            "{}: ample grid should trigger the fast path ({} groups, all simulated)",
+            kernel.name,
+            at.fused_groups
+        );
+    } else {
+        // The paper grid's caches sit far below every kernel footprint,
+        // so the capacity gate must keep the fast path dormant there.
+        assert_eq!(
+            at.analytic_groups, 0,
+            "{}: paper grid should never classify",
+            kernel.name
+        );
+    }
+}
+
+#[test]
+fn analytic_matches_simulation_on_the_paper_grid() {
+    let space = DesignSpace::paper();
+    for kernel in seven_kernels() {
+        assert_analytic_oracle(&kernel, &space, false);
+    }
+}
+
+#[test]
+fn analytic_fast_path_fires_and_matches_on_ample_grids() {
+    for kernel in seven_kernels() {
+        assert_analytic_oracle(&kernel, &ample_space(&kernel), true);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any (trace, geometry) the classifier approves must reproduce the
+    /// naive reference model's counters exactly. Rejections are fine —
+    /// they just mean the design simulates — but an approval is a claim
+    /// of bit-identity, checked here against an implementation that
+    /// shares no code with either the classifier or the replay engine.
+    #[test]
+    fn approved_classifications_match_the_reference_model(
+        accesses in proptest::collection::vec((0u64..4096, 1u32..9), 1..200),
+        line_pow in 2u32..7,   // 4..=64 B lines
+        cache_pow in 6u32..13, // 64..=4096 B caches
+        assoc_pow in 0u32..3,  // 1, 2, 4 ways
+    ) {
+        let line = 1usize << line_pow;
+        let cache = 1usize << cache_pow;
+        let assoc = 1usize << assoc_pow;
+        prop_assume!(line <= cache && assoc <= cache / line);
+        let events: Vec<TraceEvent> = accesses
+            .iter()
+            .map(|&(addr, size)| TraceEvent::read(addr, size))
+            .collect();
+        let profile = profile_read_class(&events, line, BusEncoding::Gray)
+            .expect("read-only traces always profile");
+        let config = CacheConfig::new(cache, line, assoc).expect("powers of two");
+        if let Some(report) = exact_report(&profile, config) {
+            let stats = ReferenceCache::simulate(config, events.iter().copied());
+            prop_assert_eq!(report.stats, stats);
+        }
+    }
+}

@@ -32,6 +32,7 @@ fn offline_command(kind: &str, file: String) -> Command {
             pareto: false,
             telemetry: false,
             engine: "fused".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         },
@@ -44,6 +45,7 @@ fn offline_command(kind: &str, file: String) -> Command {
             exhaustive: false,
             telemetry: false,
             engine: "fused".into(),
+            no_analytic: false,
             supervise: Supervise::default(),
             obs: ObsFlags::default(),
         },
@@ -59,6 +61,7 @@ fn offline_command(kind: &str, file: String) -> Command {
             deadline_secs: None,
             format: "text".into(),
             telemetry: false,
+            no_analytic: false,
             obs: ObsFlags::default(),
         },
         other => panic!("unknown job kind {other}"),
